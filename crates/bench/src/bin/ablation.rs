@@ -1,0 +1,132 @@
+//! Design-choice ablations beyond the paper's figures (DESIGN.md E12/
+//! E13): issue-width and window scaling, MSHR capacity, and the
+//! mispredict-penalty sensitivity, plus MSHR-occupancy histograms.
+
+use media_kernels::Variant;
+use visim::bench::Bench;
+use visim::config::Arch;
+use visim::report;
+use visim_bench::{section, size_from_args};
+use visim_cpu::{CpuConfig, Pipeline};
+use visim_mem::MemConfig;
+
+fn run_with(bench: Bench, cpu: CpuConfig, mem: MemConfig, size: &visim::bench::WorkloadSize) -> visim_cpu::Summary {
+    let mut pipe = Pipeline::new(cpu, mem);
+    bench.run(&mut pipe, size, Variant::VIS);
+    pipe.finish()
+}
+
+fn main() {
+    let size = size_from_args();
+    let benches = [Bench::Addition, Bench::Conv, Bench::MpegEnc];
+
+    section("ablation: issue width (out-of-order, VIS)");
+    let mut rows = Vec::new();
+    for bench in benches {
+        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
+        let mut row = vec![bench.name().to_string()];
+        for width in [1u32, 2, 4, 8] {
+            let mut cfg = CpuConfig::ooo_4way();
+            cfg.issue_width = width;
+            let s = run_with(bench, cfg, MemConfig::default(), &size);
+            row.push(format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64));
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        report::table(&["benchmark", "w=1", "w=2", "w=4", "w=8"], &rows)
+    );
+
+    section("ablation: instruction window size");
+    let mut rows = Vec::new();
+    for bench in benches {
+        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
+        let mut row = vec![bench.name().to_string()];
+        for window in [16u32, 32, 64, 128] {
+            let mut cfg = CpuConfig::ooo_4way();
+            cfg.window = window;
+            let s = run_with(bench, cfg, MemConfig::default(), &size);
+            row.push(format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64));
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        report::table(&["benchmark", "win=16", "win=32", "win=64", "win=128"], &rows)
+    );
+
+    section("ablation: L1 MSHR count (write backup, paper §3.1)");
+    let mut rows = Vec::new();
+    for bench in benches {
+        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
+        let mut row = vec![bench.name().to_string()];
+        for mshrs in [2u32, 4, 12, 24] {
+            let mut mem = MemConfig::default();
+            mem.l1.mshrs = mshrs;
+            mem.l2.mshrs = mshrs;
+            let s = run_with(bench, CpuConfig::ooo_4way(), mem, &size);
+            row.push(format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64));
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        report::table(&["benchmark", "mshr=2", "mshr=4", "mshr=12", "mshr=24"], &rows)
+    );
+
+    section("ablation: branch mispredict penalty");
+    let mut rows = Vec::new();
+    for bench in benches {
+        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
+        let mut row = vec![bench.name().to_string()];
+        for pen in [0u64, 5, 10, 20] {
+            let mut cfg = CpuConfig::ooo_4way();
+            cfg.mispredict_penalty = pen;
+            let s = run_with(bench, cfg, MemConfig::default(), &size);
+            row.push(format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64));
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        report::table(&["benchmark", "pen=0", "pen=5", "pen=10", "pen=20"], &rows)
+    );
+
+    section("ablation: blocking vs non-blocking loads (related work, paper §5)");
+    let mut rows = Vec::new();
+    for bench in benches {
+        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
+        let mut cfg = CpuConfig::ooo_4way();
+        cfg.blocking_loads = true;
+        let s = run_with(bench, cfg, MemConfig::default(), &size);
+        rows.push(vec![
+            bench.name().to_string(),
+            format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64),
+        ]);
+    }
+    print!(
+        "{}",
+        report::table(&["benchmark", "blocking-loads slowdown"], &rows)
+    );
+
+    section("MSHR occupancy (paper: >5 in flight under prefetching)");
+    for bench in [Bench::Addition, Bench::Scaling] {
+        for (label, variant) in [("VIS", Variant::VIS), ("VIS+PF", Variant::VIS_PF)] {
+            let s = {
+                let mut pipe = Pipeline::new(Arch::Ooo4.cpu(), MemConfig::default());
+                bench.run(&mut pipe, &size, variant);
+                pipe.finish()
+            };
+            let hist = &s.mshr_histogram;
+            let total: u64 = hist.iter().sum();
+            let frac_ge5: u64 = hist.iter().skip(5).sum();
+            println!(
+                "{:<10} {:<7} cycles with >=5 outstanding misses: {:>5.1}%",
+                bench.name(),
+                label,
+                100.0 * frac_ge5 as f64 / total.max(1) as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 1**: normalized execution time of all 12
+//! benchmarks on {1-way in-order, 4-way in-order, 4-way out-of-order} ×
+//! {without VIS, with VIS}, broken into Busy / FU stall / L1 hit /
+//! L1 miss components.
+
+use visim::bench::Bench;
+use visim::experiment::fig1_bench;
+use visim::report;
+use visim_bench::{section, size_from_args};
+
+fn main() {
+    let size = size_from_args();
+    println!("Figure 1: performance of image and video benchmarks");
+    println!(
+        "(inputs: {}x{} images, {} dotprod elements, {}x{} video)",
+        size.image_w, size.image_h, size.dotprod_n, size.video_w, size.video_h
+    );
+    for bench in Bench::all() {
+        section(bench.name());
+        let bars = fig1_bench(bench, &size);
+        let rows = report::fig1_rows(&bars);
+        print!("{}", report::table(&report::fig1_headers(), &rows));
+        // The headline ratios the paper quotes.
+        let t = |i: usize| bars[i].summary.cycles() as f64;
+        println!(
+            "ILP speedup (1-way -> ooo): {:.2}x   VIS speedup (ooo): {:.2}x   combined: {:.2}x",
+            t(0) / t(2),
+            t(2) / t(5),
+            t(0) / t(5),
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Figure 2**: normalized dynamic (retired) instruction
+//! counts, base vs. VIS, split into FU / Branch / Memory / VIS
+//! categories — plus the in-text §3.2.2 statistics (branch
+//! misprediction improvements, VIS rearrangement overhead).
+
+use visim::experiment::fig2;
+use visim::report;
+use visim_bench::{section, size_from_args};
+
+fn main() {
+    let size = size_from_args();
+    println!("Figure 2: impact of VIS on dynamic (retired) instruction count");
+    section("instruction mix (percent of the base variant's count)");
+    let rows = fig2(&size);
+    print!("{}", report::table(&report::fig2_headers(), &report::fig2_rows(&rows)));
+
+    section("in-text statistics (paper §3.2.2 / §3.2.3)");
+    let mut overhead_sum = 0.0;
+    let mut overhead_n = 0;
+    for r in &rows {
+        if r.vis.mix[3] > 0 {
+            overhead_sum += r.vis.vis_overhead_fraction();
+            overhead_n += 1;
+        }
+    }
+    println!(
+        "average VIS rearrangement/alignment overhead: {:.0}% of VIS instructions (paper: ~41%)",
+        100.0 * overhead_sum / overhead_n.max(1) as f64
+    );
+    for name in ["conv", "thresh", "mpeg-enc"] {
+        if let Some(r) = rows.iter().find(|r| r.bench.name() == name) {
+            println!(
+                "{name}: branch misprediction {:.1}% -> {:.1}% with VIS",
+                100.0 * r.base.mispredict_rate(),
+                100.0 * r.vis.mispredict_rate()
+            );
+        }
+    }
+}

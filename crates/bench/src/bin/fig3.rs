@@ -1,0 +1,29 @@
+//! Regenerates **Figure 3**: the effect of software-inserted
+//! prefetching (VIS vs. VIS+PF) on the nine benchmarks with
+//! non-trivial memory stall time.
+
+use visim::experiment::fig3;
+use visim::report;
+use visim_bench::{section, size_from_args};
+
+fn main() {
+    let size = size_from_args();
+    println!("Figure 3: effect of software-inserted prefetching (4-way ooo, VIS)");
+    section("normalized execution time");
+    let rows = fig3(&size);
+    print!("{}", report::table(&report::fig3_headers(), &report::fig3_rows(&rows)));
+
+    // The paper's claim: with prefetching, every benchmark reverts to
+    // being compute-bound.
+    section("compute- vs memory-bound after prefetching");
+    for r in &rows {
+        let bd = r.pf.cpu.breakdown();
+        let memfrac = bd.memory() / r.pf.cycles() as f64;
+        println!(
+            "{:<10} memory fraction {:>5.1}%  -> {}",
+            r.bench.name(),
+            100.0 * memfrac,
+            if memfrac < 0.5 { "compute-bound" } else { "memory-bound" }
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts an optional size argument:
+//!
+//! ```text
+//! cargo run --release -p visim-bench --bin fig1 [tiny|study|paper]
+//! ```
+//!
+//! `study` (the default) is the scaled-down geometry documented in
+//! DESIGN.md; `paper` is the full 1024×640 / 352×240 geometry (slow).
+
+use visim::bench::WorkloadSize;
+
+/// Parse the common size argument (defaults to `study`).
+pub fn size_from_args() -> WorkloadSize {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => WorkloadSize::tiny(),
+        Some("paper") => WorkloadSize::paper(),
+        Some("study") | None => WorkloadSize::study(),
+        Some(other) => {
+            eprintln!("unknown size '{other}', expected tiny|study|paper");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print a titled section.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_size_is_study() {
+        // No args in the test harness beyond the binary name; argv[1]
+        // may hold a test filter, so only check it does not panic for
+        // the recognized names.
+        let s = WorkloadSize::study();
+        assert_eq!(s.image_w, 256);
+    }
+}

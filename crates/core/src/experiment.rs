@@ -1,0 +1,200 @@
+//! Experiment runners for every figure and table of the paper.
+
+use media_kernels::Variant;
+use visim_cpu::{CountingSink, CpuStats, Pipeline, Summary};
+use visim_mem::MemConfig;
+
+use crate::bench::{Bench, WorkloadSize};
+use crate::config::Arch;
+
+/// Run one benchmark through the detailed timing model.
+pub fn run_timed(
+    bench: Bench,
+    arch: Arch,
+    mem: Option<MemConfig>,
+    size: &WorkloadSize,
+    variant: Variant,
+) -> Summary {
+    let mut pipe = Pipeline::new(arch.cpu(), mem.unwrap_or_default());
+    bench.run(&mut pipe, size, variant);
+    pipe.finish()
+}
+
+/// Run one benchmark through the functional counter (fast; used for the
+/// instruction-mix experiments).
+pub fn run_counted(bench: Bench, size: &WorkloadSize, variant: Variant) -> CpuStats {
+    let mut sink = CountingSink::new();
+    bench.run(&mut sink, size, variant);
+    sink.finish()
+}
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Fig1Bar {
+    /// Architecture variation.
+    pub arch: Arch,
+    /// With or without VIS.
+    pub vis: bool,
+    /// Timing result.
+    pub summary: Summary,
+}
+
+/// Figure 1 for one benchmark: six bars (3 architectures × {base, VIS}).
+pub fn fig1_bench(bench: Bench, size: &WorkloadSize) -> Vec<Fig1Bar> {
+    let mut bars = Vec::with_capacity(6);
+    for vis in [false, true] {
+        let variant = if vis { Variant::VIS } else { Variant::SCALAR };
+        for arch in Arch::all() {
+            let summary = run_timed(bench, arch, None, size, variant);
+            bars.push(Fig1Bar {
+                arch,
+                vis,
+                summary,
+            });
+        }
+    }
+    bars
+}
+
+/// One pair of Figure 2 bars: base and VIS instruction mixes.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// The benchmark.
+    pub bench: Bench,
+    /// Scalar-variant counts.
+    pub base: CpuStats,
+    /// VIS-variant counts.
+    pub vis: CpuStats,
+}
+
+/// Figure 2: dynamic (retired) instruction counts, base vs. VIS.
+pub fn fig2(size: &WorkloadSize) -> Vec<Fig2Row> {
+    Bench::all()
+        .into_iter()
+        .map(|bench| Fig2Row {
+            bench,
+            base: run_counted(bench, size, Variant::SCALAR),
+            vis: run_counted(bench, size, Variant::VIS),
+        })
+        .collect()
+}
+
+/// One pair of Figure 3 bars: VIS and VIS+prefetch timings.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// The benchmark.
+    pub bench: Bench,
+    /// VIS baseline.
+    pub vis: Summary,
+    /// VIS + software prefetching.
+    pub pf: Summary,
+}
+
+/// Figure 3: software prefetching on the benchmarks with memory stall.
+pub fn fig3(size: &WorkloadSize) -> Vec<Fig3Row> {
+    Bench::prefetch_set()
+        .into_iter()
+        .map(|bench| Fig3Row {
+            bench,
+            vis: run_timed(bench, Arch::Ooo4, None, size, Variant::VIS),
+            pf: run_timed(bench, Arch::Ooo4, None, size, Variant::VIS_PF),
+        })
+        .collect()
+}
+
+/// A cache-size sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Cache size in bytes.
+    pub bytes: u64,
+    /// Timing result.
+    pub summary: Summary,
+}
+
+/// §4.1 L2 sweep: vary the L2 size with the L1 fixed.
+pub fn l2_sweep(bench: Bench, size: &WorkloadSize, l2_sizes: &[u64]) -> Vec<SweepPoint> {
+    l2_sizes
+        .iter()
+        .map(|&bytes| SweepPoint {
+            bytes,
+            summary: run_timed(
+                bench,
+                Arch::Ooo4,
+                Some(MemConfig::default().with_l2_size(bytes)),
+                size,
+                Variant::VIS,
+            ),
+        })
+        .collect()
+}
+
+/// §4.1 L1 sweep: vary the L1 size with the L2 fixed.
+pub fn l1_sweep(bench: Bench, size: &WorkloadSize, l1_sizes: &[u64]) -> Vec<SweepPoint> {
+    l1_sizes
+        .iter()
+        .map(|&bytes| SweepPoint {
+            bytes,
+            summary: run_timed(
+                bench,
+                Arch::Ooo4,
+                Some(MemConfig::default().with_l1_size(bytes)),
+                size,
+                Variant::VIS,
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WorkloadSize {
+        let mut s = WorkloadSize::tiny();
+        s.image_w = 32;
+        s.image_h = 32;
+        s.dotprod_n = 512;
+        s
+    }
+
+    #[test]
+    fn timed_run_produces_consistent_summary() {
+        let s = run_timed(Bench::Addition, Arch::Ooo4, None, &tiny(), Variant::SCALAR);
+        assert!(s.cycles() > 0);
+        let b = s.cpu.breakdown();
+        assert!((b.total() - s.cycles() as f64).abs() < 1e-6);
+        assert!(s.cpu.retired > 1000);
+    }
+
+    #[test]
+    fn ooo_beats_inorder_on_a_kernel() {
+        let io = run_timed(Bench::Scaling, Arch::InOrder1, None, &tiny(), Variant::SCALAR);
+        let ooo = run_timed(Bench::Scaling, Arch::Ooo4, None, &tiny(), Variant::SCALAR);
+        let speedup = io.cycles() as f64 / ooo.cycles() as f64;
+        assert!(speedup > 1.5, "ILP speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn vis_beats_scalar_on_a_kernel() {
+        let s = run_timed(Bench::Thresh, Arch::Ooo4, None, &tiny(), Variant::SCALAR);
+        let v = run_timed(Bench::Thresh, Arch::Ooo4, None, &tiny(), Variant::VIS);
+        let speedup = s.cycles() as f64 / v.cycles() as f64;
+        assert!(speedup > 1.5, "VIS speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn fig2_reduces_instruction_counts_with_vis() {
+        let rows = fig2(&tiny());
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(
+                r.vis.retired <= r.base.retired,
+                "{}: VIS should not add instructions",
+                r.bench.name()
+            );
+        }
+        // Kernels see large reductions.
+        let addition = rows.iter().find(|r| r.bench == Bench::Addition).unwrap();
+        assert!(addition.vis.retired * 2 < addition.base.retired);
+    }
+}

@@ -1,0 +1,39 @@
+//! `visim` — the study façade reproducing Ranganathan, Adve & Jouppi,
+//! *Performance of Image and Video Processing with General-Purpose
+//! Processors and Media ISA Extensions* (ISCA 1999).
+//!
+//! This crate ties the simulator substrate (`visim-cpu`, `visim-mem`,
+//! `visim-trace`) to the twelve workloads (`media-kernels`,
+//! `media-jpeg`, `media-mpeg`) and provides:
+//!
+//! * [`bench`](mod@bench) — the paper's 12-benchmark registry (Table 1)
+//!   and the code that drives each benchmark through a
+//!   [`visim_cpu::SimSink`];
+//! * [`config`] — the architecture variations of Figure 1 and the
+//!   Table 2/3 machine parameters;
+//! * [`experiment`] — runners that regenerate every figure and table:
+//!   Figure 1 (ILP × VIS execution-time breakdowns), Figure 2 (dynamic
+//!   instruction mix), Figure 3 (software prefetching), and the §4.1
+//!   cache-size sweeps;
+//! * [`report`] — plain-text rendering of the results.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use visim::bench::{Bench, WorkloadSize};
+//! use visim::config::Arch;
+//! use visim::experiment;
+//!
+//! let size = WorkloadSize::tiny();
+//! let s = experiment::run_timed(Bench::Addition, Arch::Ooo4, None, &size,
+//!                               media_kernels::Variant::VIS);
+//! println!("addition/VIS: {} cycles", s.cycles());
+//! ```
+
+pub mod bench;
+pub mod config;
+pub mod experiment;
+pub mod report;
+
+pub use bench::{Bench, WorkloadSize};
+pub use config::Arch;

@@ -1,0 +1,198 @@
+//! Plain-text rendering of experiment results (the figure/table
+//! binaries print these).
+
+use visim_cpu::{Breakdown, CpuStats};
+
+use crate::experiment::{Fig1Bar, Fig2Row, Fig3Row, SweepPoint};
+
+/// Render a simple aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:width$}  ", c, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+fn pct(x: f64, total: f64) -> String {
+    if total <= 0.0 {
+        "0.0".into()
+    } else {
+        format!("{:.1}", 100.0 * x / total)
+    }
+}
+
+/// Figure 1 rows for one benchmark: normalized execution time split into
+/// the paper's four components.
+pub fn fig1_rows(bars: &[Fig1Bar]) -> Vec<Vec<String>> {
+    let base = bars
+        .first()
+        .map(|b| b.summary.cycles() as f64)
+        .unwrap_or(1.0);
+    bars.iter()
+        .map(|b| {
+            let bd: Breakdown = b.summary.cpu.breakdown();
+            let n = b.summary.cycles() as f64 / base * 100.0;
+            vec![
+                format!("{}{}", if b.vis { "VIS " } else { "" }, b.arch.label()),
+                format!("{n:.1}"),
+                pct(bd.busy, base),
+                pct(bd.fu_stall, base),
+                pct(bd.l1_hit, base),
+                pct(bd.l1_miss, base),
+            ]
+        })
+        .collect()
+}
+
+/// Figure 1 table headers.
+pub fn fig1_headers() -> [&'static str; 6] {
+    ["config", "norm time", "busy", "fu stall", "l1 hit", "l1 miss"]
+}
+
+/// Figure 2 rows: normalized dynamic instruction counts by category.
+pub fn fig2_rows(rows: &[Fig2Row]) -> Vec<Vec<String>> {
+    rows.iter()
+        .flat_map(|r| {
+            let base = r.base.retired as f64;
+            let mk = |label: &str, s: &CpuStats| {
+                vec![
+                    r.bench.name().to_string(),
+                    label.to_string(),
+                    format!("{:.1}", 100.0 * s.retired as f64 / base),
+                    pct(s.mix[0] as f64, base),
+                    pct(s.mix[1] as f64, base),
+                    pct(s.mix[2] as f64, base),
+                    pct(s.mix[3] as f64, base),
+                    format!("{:.1}", 100.0 * s.mispredict_rate()),
+                    format!("{:.0}", 100.0 * s.vis_overhead_fraction()),
+                ]
+            };
+            [mk("base", &r.base), mk("vis", &r.vis)]
+        })
+        .collect()
+}
+
+/// Figure 2 table headers.
+pub fn fig2_headers() -> [&'static str; 9] {
+    [
+        "benchmark",
+        "variant",
+        "norm insts",
+        "fu",
+        "branch",
+        "memory",
+        "vis",
+        "mispredict%",
+        "vis-overhead%",
+    ]
+}
+
+/// Figure 3 rows: VIS vs VIS+PF normalized execution time.
+pub fn fig3_rows(rows: &[Fig3Row]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            let base = r.vis.cycles() as f64;
+            let bd = r.pf.cpu.breakdown();
+            vec![
+                r.bench.name().to_string(),
+                "100.0".to_string(),
+                format!("{:.1}", 100.0 * r.pf.cycles() as f64 / base),
+                format!("{:.2}x", base / r.pf.cycles() as f64),
+                pct(bd.memory(), r.pf.cycles() as f64),
+                format!("{}", r.pf.mem.prefetches_issued),
+                format!("{}", r.pf.mem.prefetches_late),
+            ]
+        })
+        .collect()
+}
+
+/// Figure 3 table headers.
+pub fn fig3_headers() -> [&'static str; 7] {
+    [
+        "benchmark",
+        "VIS",
+        "+PF",
+        "speedup",
+        "mem% after",
+        "prefetches",
+        "late",
+    ]
+}
+
+/// Sweep rows: normalized time per cache size.
+pub fn sweep_rows(points: &[SweepPoint]) -> Vec<Vec<String>> {
+    let base = points
+        .first()
+        .map(|pt| pt.summary.cycles() as f64)
+        .unwrap_or(1.0);
+    points
+        .iter()
+        .map(|pt| {
+            let bd = pt.summary.cpu.breakdown();
+            vec![
+                if pt.bytes >= 1 << 20 {
+                    format!("{}M", pt.bytes >> 20)
+                } else {
+                    format!("{}K", pt.bytes >> 10)
+                },
+                format!("{:.1}", 100.0 * pt.summary.cycles() as f64 / base),
+                format!("{:.1}", 100.0 * bd.memory() / pt.summary.cycles() as f64),
+                format!("{:.2}", 100.0 * pt.summary.mem.l1_miss_rate()),
+            ]
+        })
+        .collect()
+}
+
+/// Sweep table headers.
+pub fn sweep_headers() -> [&'static str; 4] {
+    ["size", "norm time", "mem stall %", "l1 miss %"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "bench"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("x"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn pct_handles_zero_total() {
+        assert_eq!(pct(5.0, 0.0), "0.0");
+        assert_eq!(pct(5.0, 10.0), "50.0");
+    }
+}

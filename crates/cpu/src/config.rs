@@ -1,0 +1,213 @@
+//! Processor configuration (Table 2 of the paper).
+
+use visim_isa::LatencyTable;
+
+/// Issue discipline of the modelled core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssuePolicy {
+    /// Scoreboarded in-order issue (non-blocking memory).
+    InOrder,
+    /// Out-of-order issue from an instruction window.
+    OutOfOrder,
+}
+
+/// Functional-unit counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuCounts {
+    /// Integer arithmetic units.
+    pub int_alu: u32,
+    /// Floating-point units.
+    pub fp: u32,
+    /// Address-generation units.
+    pub agu: u32,
+    /// VIS multipliers.
+    pub vis_mul: u32,
+    /// VIS adders.
+    pub vis_add: u32,
+}
+
+impl Default for FuCounts {
+    fn default() -> Self {
+        FuCounts {
+            int_alu: 2,
+            fp: 2,
+            agu: 2,
+            vis_mul: 1,
+            vis_add: 1,
+        }
+    }
+}
+
+/// Full processor configuration.
+///
+/// The presets reproduce the three architecture variations of the paper:
+/// [`CpuConfig::inorder_1way`], [`CpuConfig::inorder_4way`], and
+/// [`CpuConfig::ooo_4way`] (the Table 2 default). When studying the
+/// 1-way-issue processor the paper scales the functional units to one of
+/// each type; the preset does the same.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Issue discipline.
+    pub policy: IssuePolicy,
+    /// Instructions issued (and fetched, and retired) per cycle.
+    pub issue_width: u32,
+    /// Instruction window size (also bounds the in-order model's
+    /// completion scoreboard depth).
+    pub window: u32,
+    /// Memory queue size: outstanding loads plus buffered stores.
+    pub mem_queue: u32,
+    /// Entries in the bimodal agree predictor.
+    pub predictor_entries: u32,
+    /// Return-address stack depth.
+    pub ras_entries: u32,
+    /// Taken branches fetched per cycle.
+    pub taken_per_cycle: u32,
+    /// Maximum simultaneously speculated (unresolved) branches.
+    pub max_spec_branches: u32,
+    /// Front-end refill penalty after a mispredicted branch resolves, in
+    /// cycles. Not listed in Table 2; 5 cycles approximates the
+    /// fetch-to-issue depth of the late-1990s pipelines the paper models.
+    pub mispredict_penalty: u64,
+    /// Functional-unit counts.
+    pub fu: FuCounts,
+    /// Operation latencies.
+    pub lat: LatencyTable,
+    /// Stall issue until each load completes (the "simplistic processor
+    /// model with blocking loads" of the related work the paper
+    /// contrasts against, §5). Off on every paper configuration.
+    pub blocking_loads: bool,
+}
+
+impl CpuConfig {
+    /// The paper's base machine: 4-way out-of-order (Table 2).
+    pub fn ooo_4way() -> Self {
+        CpuConfig {
+            policy: IssuePolicy::OutOfOrder,
+            issue_width: 4,
+            window: 64,
+            mem_queue: 32,
+            predictor_entries: 2048,
+            ras_entries: 32,
+            taken_per_cycle: 1,
+            max_spec_branches: 16,
+            mispredict_penalty: 5,
+            fu: FuCounts::default(),
+            lat: LatencyTable::default(),
+            blocking_loads: false,
+        }
+    }
+
+    /// 4-way in-order variation.
+    pub fn inorder_4way() -> Self {
+        CpuConfig {
+            policy: IssuePolicy::InOrder,
+            ..Self::ooo_4way()
+        }
+    }
+
+    /// Single-issue in-order variation (functional units scaled to one of
+    /// each type, as in the paper).
+    pub fn inorder_1way() -> Self {
+        CpuConfig {
+            policy: IssuePolicy::InOrder,
+            issue_width: 1,
+            fu: FuCounts {
+                int_alu: 1,
+                fp: 1,
+                agu: 1,
+                vis_mul: 1,
+                vis_add: 1,
+            },
+            ..Self::ooo_4way()
+        }
+    }
+
+    /// Table 2 as printable `(parameter, value)` rows.
+    pub fn table2(&self) -> Vec<(String, String)> {
+        let l = &self.lat;
+        vec![
+            ("Processor speed".into(), "1 GHz".into()),
+            ("Issue width".into(), format!("{}-way", self.issue_width)),
+            ("Instruction window size".into(), self.window.to_string()),
+            ("Memory queue size".into(), self.mem_queue.to_string()),
+            (
+                "Bimodal agree predictor size".into(),
+                format!("{}K", self.predictor_entries / 1024),
+            ),
+            ("Return-address stack size".into(), self.ras_entries.to_string()),
+            ("Taken branches per cycle".into(), self.taken_per_cycle.to_string()),
+            (
+                "Simultaneous speculated branches".into(),
+                self.max_spec_branches.to_string(),
+            ),
+            ("Integer arithmetic units".into(), self.fu.int_alu.to_string()),
+            ("Floating-point units".into(), self.fu.fp.to_string()),
+            ("Address generation units".into(), self.fu.agu.to_string()),
+            ("VIS multipliers".into(), self.fu.vis_mul.to_string()),
+            ("VIS adders".into(), self.fu.vis_add.to_string()),
+            (
+                "Default integer/address generation".into(),
+                format!("{}/{}", l.int_alu, l.int_alu),
+            ),
+            (
+                "Integer multiply/divide".into(),
+                format!("{}/{}", l.int_mul, l.int_div),
+            ),
+            ("Default floating point".into(), l.fp_default.to_string()),
+            (
+                "FP moves/converts/divides".into(),
+                format!("{}/{}/{}", l.fp_move, l.fp_move, l.fp_div),
+            ),
+            ("Default VIS".into(), l.vis_default.to_string()),
+            (
+                "VIS 8-bit loads/multiply/pdist".into(),
+                format!("1/{}/{}", l.vis_mul, l.vis_pdist),
+            ),
+        ]
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::ooo_4way()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ooo_default_matches_table_2() {
+        let c = CpuConfig::ooo_4way();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.window, 64);
+        assert_eq!(c.mem_queue, 32);
+        assert_eq!(c.predictor_entries, 2048);
+        assert_eq!(c.ras_entries, 32);
+        assert_eq!(c.taken_per_cycle, 1);
+        assert_eq!(c.max_spec_branches, 16);
+        assert_eq!(c.fu, FuCounts::default());
+        assert_eq!(c.policy, IssuePolicy::OutOfOrder);
+    }
+
+    #[test]
+    fn one_way_scales_functional_units() {
+        let c = CpuConfig::inorder_1way();
+        assert_eq!(c.issue_width, 1);
+        assert_eq!(c.fu.int_alu, 1);
+        assert_eq!(c.fu.fp, 1);
+        assert_eq!(c.fu.agu, 1);
+        assert_eq!(c.policy, IssuePolicy::InOrder);
+    }
+
+    #[test]
+    fn table2_has_all_rows() {
+        let rows = CpuConfig::ooo_4way().table2();
+        assert_eq!(rows.len(), 19);
+        assert!(rows.iter().any(|(k, v)| k == "Issue width" && v == "4-way"));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k.contains("pdist") && v == "1/3/3"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Functional-unit pool with per-cycle issue bandwidth and a
+//! non-pipelined floating-point divider.
+
+use visim_isa::{FuKind, Op};
+
+use crate::config::{CpuConfig, FuCounts};
+
+/// Tracks functional-unit availability cycle by cycle.
+///
+/// Each pipelined unit accepts one new operation per cycle. The FP
+/// divider is non-pipelined: a divide occupies one FP unit for its full
+/// latency, blocking other FP work on that unit.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    counts: FuCounts,
+    cycle: u64,
+    used: [u32; 5],
+    /// Busy-until times of the FP units (for non-pipelined divides).
+    fp_busy: Vec<u64>,
+    fp_div_latency: u64,
+}
+
+fn slot(kind: FuKind) -> usize {
+    match kind {
+        FuKind::IntAlu => 0,
+        FuKind::Fp => 1,
+        FuKind::Agu => 2,
+        FuKind::VisAdder => 3,
+        FuKind::VisMul => 4,
+    }
+}
+
+impl FuPool {
+    /// Build the pool from a processor configuration.
+    pub fn new(cfg: &CpuConfig) -> Self {
+        FuPool {
+            counts: cfg.fu,
+            cycle: 0,
+            used: [0; 5],
+            fp_busy: vec![0; cfg.fu.fp as usize],
+            fp_div_latency: cfg.lat.fp_div as u64,
+        }
+    }
+
+    fn count(&self, kind: FuKind) -> u32 {
+        match kind {
+            FuKind::IntAlu => self.counts.int_alu,
+            FuKind::Fp => self.counts.fp,
+            FuKind::Agu => self.counts.agu,
+            FuKind::VisAdder => self.counts.vis_add,
+            FuKind::VisMul => self.counts.vis_mul,
+        }
+    }
+
+    fn roll(&mut self, now: u64) {
+        if now != self.cycle {
+            self.cycle = now;
+            self.used = [0; 5];
+        }
+    }
+
+    /// Try to issue `op` at cycle `now`; returns false when no unit of
+    /// the required kind has bandwidth this cycle.
+    pub fn try_issue(&mut self, op: Op, now: u64) -> bool {
+        self.roll(now);
+        let kind = op.fu();
+        let s = slot(kind);
+        if kind == FuKind::Fp {
+            // Need an FP unit that is not occupied by a divide and has
+            // issue bandwidth left this cycle.
+            let free_units = self.fp_busy.iter().filter(|&&b| b <= now).count() as u32;
+            if self.used[s] >= free_units {
+                return false;
+            }
+            if op == Op::FpDiv {
+                if let Some(b) = self.fp_busy.iter_mut().find(|b| **b <= now) {
+                    *b = now + self.fp_div_latency;
+                }
+            }
+            self.used[s] += 1;
+            return true;
+        }
+        if self.used[s] >= self.count(kind) {
+            return false;
+        }
+        self.used[s] += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuConfig;
+
+    #[test]
+    fn per_cycle_bandwidth_is_enforced() {
+        let mut pool = FuPool::new(&CpuConfig::ooo_4way()); // 2 int ALUs
+        assert!(pool.try_issue(Op::IntAlu, 10));
+        assert!(pool.try_issue(Op::IntAlu, 10));
+        assert!(!pool.try_issue(Op::IntAlu, 10), "third int op must wait");
+        assert!(pool.try_issue(Op::IntAlu, 11), "next cycle is fresh");
+    }
+
+    #[test]
+    fn single_vis_units() {
+        let mut pool = FuPool::new(&CpuConfig::ooo_4way());
+        assert!(pool.try_issue(Op::VisMul, 0));
+        assert!(!pool.try_issue(Op::VisPdist, 0), "one VIS multiplier");
+        assert!(pool.try_issue(Op::VisAdd, 0), "adder is independent");
+        assert!(!pool.try_issue(Op::VisLogic, 0), "one VIS adder");
+    }
+
+    #[test]
+    fn fp_divide_blocks_its_unit() {
+        let mut pool = FuPool::new(&CpuConfig::ooo_4way()); // 2 FP units, div=12
+        assert!(pool.try_issue(Op::FpDiv, 0));
+        assert!(pool.try_issue(Op::FpDiv, 1), "second unit still free");
+        assert!(!pool.try_issue(Op::FpOp, 2), "both units busy dividing");
+        assert!(pool.try_issue(Op::FpOp, 12), "first divide finished");
+    }
+
+    #[test]
+    fn one_way_machine_has_single_units() {
+        let mut pool = FuPool::new(&CpuConfig::inorder_1way());
+        assert!(pool.try_issue(Op::IntAlu, 0));
+        assert!(!pool.try_issue(Op::IntAlu, 0));
+        assert!(pool.try_issue(Op::Load, 0));
+        assert!(!pool.try_issue(Op::Store, 0), "one AGU");
+    }
+}

@@ -1,0 +1,486 @@
+//! The unified pipeline model (in-order and out-of-order issue).
+//!
+//! The pipeline is *execution driven*: the workload synchronously pushes
+//! dynamic instructions (via [`crate::SimSink`]) into a bounded fetch
+//! queue, and the model advances its cycle-by-cycle simulation whenever
+//! the queue fills. Stage order within a cycle is: complete/resolve →
+//! retire → issue → dispatch → drain stores. Dispatch after issue gives
+//! every instruction a one-cycle decode stage.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use visim_isa::{BranchKind, Inst, MemKind, MemRef, Reg};
+use visim_mem::{MemConfig, MemStats, MemSystem, Request, ServiceLevel};
+
+use crate::config::{CpuConfig, IssuePolicy};
+use crate::fu::FuPool;
+use crate::predictor::{AgreePredictor, ReturnAddressStack};
+use crate::sink::SimSink;
+use crate::stats::{CpuStats, StallClass};
+
+/// A trivial multiplicative hasher for dense `Reg` keys (the default
+/// SipHash dominates the simulation profile otherwise).
+#[derive(Debug, Default)]
+struct RegHasher(u64);
+
+impl Hasher for RegHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    inst: Inst,
+    issued: bool,
+    done_at: u64,
+    mem_level: Option<ServiceLevel>,
+    /// Last issue attempt was rejected by the memory system (MSHR
+    /// contention); retry no earlier than `mem_retry_at`.
+    mem_blocked: bool,
+    mem_retry_at: u64,
+    mispredicted: bool,
+    resolved: bool,
+}
+
+impl Slot {
+    fn new(inst: Inst) -> Self {
+        Slot {
+            inst,
+            issued: false,
+            done_at: 0,
+            mem_level: None,
+            mem_blocked: false,
+            mem_retry_at: 0,
+            mispredicted: false,
+            resolved: false,
+        }
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Pipeline-side statistics (cycles, mix, attribution, branches).
+    pub cpu: CpuStats,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Time-weighted L1 MSHR occupancy histogram.
+    pub mshr_histogram: Vec<u64>,
+}
+
+impl Summary {
+    /// Total execution time in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cpu.cycles
+    }
+}
+
+/// The processor pipeline simulator.
+///
+/// See the crate documentation for an example.
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: CpuConfig,
+    mem: MemSystem,
+    fus: FuPool,
+    pred: AgreePredictor,
+    ras: ReturnAddressStack,
+    fetch_q: VecDeque<Inst>,
+    fetch_cap: usize,
+    window: VecDeque<Slot>,
+    /// Producer sequence number for every register whose producer has not
+    /// retired yet; a missing entry means the value is available.
+    produced: HashMap<Reg, u64, BuildHasherDefault<RegHasher>>,
+    head_seq: u64,
+    now: u64,
+    /// Cycle at which the front end may dispatch again (`u64::MAX` while
+    /// an unresolved mispredicted branch blocks it).
+    fetch_resume_at: u64,
+    unresolved_branches: u32,
+    /// Sequence numbers of dispatched-but-unresolved branches.
+    unresolved_seqs: Vec<u64>,
+    /// Window index below which every slot has issued.
+    issue_frontier: usize,
+    /// Completion times of loads occupying memory-queue slots.
+    inflight_loads: Vec<u64>,
+    /// Retired stores waiting to be accepted by the L1.
+    store_buffer: VecDeque<(Request, u64)>,
+    /// With `blocking_loads`, no instruction issues before this cycle.
+    issue_blocked_until: u64,
+    stats: CpuStats,
+}
+
+impl Pipeline {
+    /// Build a pipeline over a fresh memory system.
+    pub fn new(cfg: CpuConfig, mem_cfg: MemConfig) -> Self {
+        let fus = FuPool::new(&cfg);
+        let pred = AgreePredictor::new(cfg.predictor_entries);
+        let ras = ReturnAddressStack::new(cfg.ras_entries);
+        let stats = CpuStats::new(cfg.issue_width);
+        Pipeline {
+            fetch_cap: (cfg.window as usize * 2).max(64),
+            fus,
+            pred,
+            ras,
+            fetch_q: VecDeque::new(),
+            window: VecDeque::with_capacity(cfg.window as usize),
+            produced: HashMap::default(),
+            head_seq: 0,
+            now: 0,
+            fetch_resume_at: 0,
+            unresolved_branches: 0,
+            unresolved_seqs: Vec::new(),
+            issue_frontier: 0,
+            inflight_loads: Vec::new(),
+            store_buffer: VecDeque::new(),
+            issue_blocked_until: 0,
+            stats,
+            mem: MemSystem::new(mem_cfg),
+            cfg,
+        }
+    }
+
+    /// Run the simulation to completion and return the statistics.
+    pub fn finish(mut self) -> Summary {
+        while !self.fetch_q.is_empty()
+            || !self.window.is_empty()
+            || !self.store_buffer.is_empty()
+            || !self.inflight_loads.is_empty()
+        {
+            self.cycle();
+        }
+        let hist = self.mem.mshr_histogram(self.now);
+        Summary {
+            cpu: self.stats,
+            mem: self.mem.stats().clone(),
+            mshr_histogram: hist,
+        }
+    }
+
+    /// The processor configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    fn mem_queue_used(&self) -> usize {
+        self.inflight_loads.len() + self.store_buffer.len()
+    }
+
+    fn cycle(&mut self) {
+        let now = self.now;
+        self.inflight_loads.retain(|&t| t > now);
+        self.resolve_branches();
+        let (retired, stall) = self.retire();
+        self.issue();
+        self.dispatch();
+        self.drain_stores();
+        self.stats.account_cycle(retired, stall);
+        self.now += 1;
+    }
+
+    /// Mark completed branches resolved; a resolved misprediction
+    /// re-opens the front end after the refill penalty.
+    fn resolve_branches(&mut self) {
+        let now = self.now;
+        let head = self.head_seq;
+        let window = &mut self.window;
+        let penalty = self.cfg.mispredict_penalty;
+        let mut resolved_misp_at = None;
+        let mut resolved = 0u32;
+        self.unresolved_seqs.retain(|&seq| {
+            let ix = (seq - head) as usize;
+            let slot = &mut window[ix];
+            if slot.issued && slot.done_at <= now {
+                slot.resolved = true;
+                resolved += 1;
+                if slot.mispredicted {
+                    resolved_misp_at = Some(slot.done_at);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        self.unresolved_branches -= resolved;
+        if let Some(done_at) = resolved_misp_at {
+            self.fetch_resume_at = done_at + penalty;
+        }
+    }
+
+    /// Retire up to `issue_width` completed instructions in order.
+    /// Returns the retired count and the stall class of the first
+    /// instruction that could not retire.
+    fn retire(&mut self) -> (u32, Option<StallClass>) {
+        let mut retired = 0;
+        while retired < self.cfg.issue_width {
+            let Some(slot) = self.window.front() else {
+                return (retired, Some(StallClass::FuStall));
+            };
+            if !slot.issued {
+                let class = if slot.inst.op.is_mem() && slot.mem_blocked {
+                    StallClass::L1Hit // MSHR / memory-structure contention
+                } else {
+                    StallClass::FuStall
+                };
+                return (retired, Some(class));
+            }
+            if slot.done_at > self.now {
+                let class = match slot.mem_level {
+                    Some(level) if level.is_l1_miss() => StallClass::L1Miss,
+                    Some(_) => StallClass::L1Hit,
+                    None if slot.inst.op.is_mem() => StallClass::L1Hit,
+                    None => StallClass::FuStall,
+                };
+                return (retired, Some(class));
+            }
+            // Stores and prefetches enter the memory queue at
+            // retirement and need a slot there.
+            if let Some(mem) = slot.inst.mem {
+                if mem.kind.is_store() || mem.kind == MemKind::Prefetch {
+                    if self.mem_queue_used() >= self.cfg.mem_queue as usize {
+                        return (retired, Some(StallClass::L1Hit));
+                    }
+                    self.store_buffer
+                        .push_back((Request::new(mem.addr, mem.size, mem.kind), self.now));
+                }
+            }
+            let slot = self.window.pop_front().expect("checked above");
+            self.head_seq += 1;
+            self.issue_frontier = self.issue_frontier.saturating_sub(1);
+            if slot.inst.dst.is_some() {
+                self.produced.remove(&slot.inst.dst);
+            }
+            self.stats.note_retired(slot.inst.op);
+            retired += 1;
+        }
+        (retired, None)
+    }
+
+    /// True when every source register of `inst` is available at `now`.
+    fn sources_ready(&self, inst: &Inst) -> bool {
+        inst.sources().all(|r| match self.produced.get(&r) {
+            None => true, // producer retired (or never in flight)
+            Some(&seq) => {
+                let ix = (seq - self.head_seq) as usize;
+                let p = &self.window[ix];
+                p.issued && p.done_at <= self.now
+            }
+        })
+    }
+
+    /// Issue ready instructions (program-order scan; the in-order policy
+    /// stops at the first unissued instruction that cannot go).
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let now = self.now;
+        if self.cfg.blocking_loads && now < self.issue_blocked_until {
+            return;
+        }
+        // Slots before `issue_frontier` are all issued already.
+        while self.issue_frontier < self.window.len() && self.window[self.issue_frontier].issued
+        {
+            self.issue_frontier += 1;
+        }
+        for i in self.issue_frontier..self.window.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            if self.window[i].issued {
+                continue;
+            }
+            let inst = self.window[i].inst;
+            let mut blocked = false;
+
+            if !self.sources_ready(&inst) {
+                blocked = true;
+            } else if self.window[i].mem_blocked && now < self.window[i].mem_retry_at {
+                blocked = true;
+            } else if let Some(mem) = inst.mem {
+                blocked = !self.try_issue_mem(i, mem, &inst);
+            } else if self.fus.try_issue(inst.op, now) {
+                let slot = &mut self.window[i];
+                slot.issued = true;
+                slot.done_at = now + inst.op.latency(&self.cfg.lat) as u64;
+            } else {
+                blocked = true;
+            }
+
+            if self.window[i].issued {
+                issued += 1;
+                if self.cfg.blocking_loads && self.issue_blocked_until > now {
+                    break; // a blocking load was just issued
+                }
+            } else {
+                debug_assert!(blocked);
+                if self.cfg.policy == IssuePolicy::InOrder {
+                    break; // strict program-order issue
+                }
+            }
+        }
+    }
+
+    /// Issue the memory instruction in window slot `i`. Returns false
+    /// when it must keep waiting.
+    fn try_issue_mem(&mut self, i: usize, mem: MemRef, inst: &Inst) -> bool {
+        let now = self.now;
+        let is_store = mem.kind.is_store();
+        let is_prefetch = mem.kind == MemKind::Prefetch;
+        if !is_store && !is_prefetch && self.mem_queue_used() >= self.cfg.mem_queue as usize {
+            return false; // loads need a memory-queue slot
+        }
+        if !self.fus.try_issue(inst.op, now) {
+            return false; // both AGUs busy this cycle
+        }
+        if is_store || is_prefetch {
+            // Address generation only; stores and (non-binding)
+            // prefetches drain through the memory queue after
+            // retirement, so they never stall the core directly.
+            let slot = &mut self.window[i];
+            slot.issued = true;
+            slot.done_at = now + 1;
+            return true;
+        }
+        let req = Request::new(mem.addr, mem.size, mem.kind);
+        match self.mem.access(req, now + 1) {
+            Ok(r) => {
+                let slot = &mut self.window[i];
+                slot.issued = true;
+                slot.done_at = r.done_at;
+                slot.mem_level = Some(r.level);
+                self.inflight_loads.push(r.done_at);
+                if self.cfg.blocking_loads {
+                    self.issue_blocked_until = r.done_at;
+                }
+                true
+            }
+            Err(rej) => {
+                // Demand accesses wait for MSHR capacity and retry.
+                let slot = &mut self.window[i];
+                slot.mem_blocked = true;
+                slot.mem_retry_at = rej.retry_at.max(now + 1);
+                false
+            }
+        }
+    }
+
+    /// Move instructions from the fetch queue into the window.
+    fn dispatch(&mut self) {
+        if self.now < self.fetch_resume_at {
+            return;
+        }
+        let mut dispatched = 0;
+        let mut taken = 0;
+        while dispatched < self.cfg.issue_width
+            && self.window.len() < self.cfg.window as usize
+            && !self.fetch_q.is_empty()
+        {
+            // Branch limits are checked before consuming the instruction.
+            if let Some(b) = self.fetch_q.front().and_then(|i| i.branch) {
+                if self.unresolved_branches >= self.cfg.max_spec_branches {
+                    break;
+                }
+                if b.taken && taken >= self.cfg.taken_per_cycle {
+                    break;
+                }
+            }
+            let inst = self.fetch_q.pop_front().expect("non-empty");
+            let seq = self.head_seq + self.window.len() as u64;
+            let mut slot = Slot::new(inst);
+            if inst.dst.is_some() {
+                let prev = self.produced.insert(inst.dst, seq);
+                // The emitter allocates SSA-style registers; an in-flight
+                // duplicate destination would corrupt the scoreboard.
+                debug_assert!(
+                    prev.is_none(),
+                    "destination register {:?} reused while in flight",
+                    inst.dst
+                );
+            }
+            if let Some(b) = inst.branch {
+                self.unresolved_branches += 1;
+                self.unresolved_seqs.push(seq);
+                let correct = match b.kind {
+                    BranchKind::Cond => {
+                        self.stats.cond_branches += 1;
+                        let p = self.pred.predict(inst.pc, b.backward);
+                        self.pred.update(inst.pc, b.backward, b.taken);
+                        let ok = p == b.taken;
+                        if !ok {
+                            self.stats.mispredicts += 1;
+                        }
+                        ok
+                    }
+                    BranchKind::Jump => true,
+                    BranchKind::Call => {
+                        self.ras.push(b.target);
+                        true
+                    }
+                    BranchKind::Ret => {
+                        let ok = self.ras.pop_matches(b.target);
+                        if !ok {
+                            self.stats.ras_mispredicts += 1;
+                        }
+                        ok
+                    }
+                };
+                if b.taken {
+                    taken += 1;
+                }
+                if !correct {
+                    slot.mispredicted = true;
+                    self.window.push_back(slot);
+                    // Fetch stalls until this branch resolves.
+                    self.fetch_resume_at = u64::MAX;
+                    return;
+                }
+            }
+            self.window.push_back(slot);
+            dispatched += 1;
+        }
+    }
+
+    /// Try to hand buffered stores to the L1 (up to one per port per
+    /// cycle); rejected stores retry and back the queue up, reproducing
+    /// the paper's write-backup MSHR contention.
+    fn drain_stores(&mut self) {
+        let ports = self.mem.config().l1.ports;
+        for _ in 0..ports {
+            let Some(&(req, retry_at)) = self.store_buffer.front() else {
+                return;
+            };
+            if retry_at > self.now {
+                return;
+            }
+            match self.mem.access(req, self.now) {
+                Ok(_) => {
+                    self.store_buffer.pop_front();
+                }
+                Err(rej) => {
+                    self.store_buffer[0].1 = rej.retry_at.max(self.now + 1);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl SimSink for Pipeline {
+    fn push(&mut self, inst: Inst) {
+        self.fetch_q.push_back(inst);
+        while self.fetch_q.len() > self.fetch_cap {
+            self.cycle();
+        }
+    }
+}

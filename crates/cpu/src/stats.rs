@@ -1,0 +1,223 @@
+//! Execution statistics and the paper's execution-time attribution.
+
+use visim_isa::{InstCat, Op};
+
+/// Where a lost retirement slot is charged (paper §2.3.4 / Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallClass {
+    /// Waiting on computation: operands, functional units, branch
+    /// recovery, or an empty window.
+    FuStall,
+    /// Waiting on the memory system but within the L1 (port and MSHR
+    /// contention, L1 hit latency, full memory queue).
+    L1Hit,
+    /// Waiting on an access that left the L1.
+    L1Miss,
+}
+
+/// Execution-time breakdown in cycles, as plotted in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Retirement-slot-weighted busy time.
+    pub busy: f64,
+    /// Functional-unit / dependence stall time.
+    pub fu_stall: f64,
+    /// Memory stall time within the L1.
+    pub l1_hit: f64,
+    /// Memory stall time beyond the L1.
+    pub l1_miss: f64,
+}
+
+impl Breakdown {
+    /// Total accounted time (equals total cycles).
+    pub fn total(&self) -> f64 {
+        self.busy + self.fu_stall + self.l1_hit + self.l1_miss
+    }
+
+    /// Memory component (L1 hit + L1 miss).
+    pub fn memory(&self) -> f64 {
+        self.l1_hit + self.l1_miss
+    }
+
+    /// Scale every component by `1/denom` (for normalized plots).
+    pub fn normalized(&self, denom: f64) -> Breakdown {
+        Breakdown {
+            busy: self.busy / denom,
+            fu_stall: self.fu_stall / denom,
+            l1_hit: self.l1_hit / denom,
+            l1_miss: self.l1_miss / denom,
+        }
+    }
+}
+
+/// Statistics accumulated by a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct CpuStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired (graduated) instructions.
+    pub retired: u64,
+    /// Retired instructions per Figure 2 category, indexed by
+    /// `[Fu, Branch, Memory, Vis]`.
+    pub mix: [u64; 4],
+    /// Retired VIS instructions that are subword rearrangement or
+    /// alignment overhead (paper §3.2.3).
+    pub vis_overhead: u64,
+    /// Retired conditional branches.
+    pub cond_branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// Return-address-stack mispredictions.
+    pub ras_mispredicts: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// Issued software prefetches.
+    pub prefetches: u64,
+    // Attribution accumulators in units of (1/issue_width) cycles.
+    pub(crate) width: u64,
+    pub(crate) busy_units: u64,
+    pub(crate) fu_stall_units: u64,
+    pub(crate) l1_hit_units: u64,
+    pub(crate) l1_miss_units: u64,
+}
+
+impl CpuStats {
+    pub(crate) fn new(width: u32) -> Self {
+        CpuStats {
+            width: width as u64,
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn account_cycle(&mut self, retired: u32, stall: Option<StallClass>) {
+        self.cycles += 1;
+        self.busy_units += retired as u64;
+        let lost = self.width - retired as u64;
+        if lost == 0 {
+            return;
+        }
+        match stall.unwrap_or(StallClass::FuStall) {
+            StallClass::FuStall => self.fu_stall_units += lost,
+            StallClass::L1Hit => self.l1_hit_units += lost,
+            StallClass::L1Miss => self.l1_miss_units += lost,
+        }
+    }
+
+    pub(crate) fn note_retired(&mut self, op: Op) {
+        self.retired += 1;
+        let ix = match op.category() {
+            InstCat::Fu => 0,
+            InstCat::Branch => 1,
+            InstCat::Memory => 2,
+            InstCat::Vis => 3,
+        };
+        self.mix[ix] += 1;
+        if op.is_vis_overhead() {
+            self.vis_overhead += 1;
+        }
+        match op {
+            Op::Load => self.loads += 1,
+            Op::Store => self.stores += 1,
+            Op::Prefetch => self.prefetches += 1,
+            _ => {}
+        }
+    }
+
+    /// The Figure 1 execution-time breakdown, in cycles.
+    pub fn breakdown(&self) -> Breakdown {
+        let w = self.width.max(1) as f64;
+        Breakdown {
+            busy: self.busy_units as f64 / w,
+            fu_stall: self.fu_stall_units as f64 / w,
+            l1_hit: self.l1_hit_units as f64 / w,
+            l1_miss: self.l1_miss_units as f64 / w,
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Fraction of retired VIS instructions that are rearrangement /
+    /// alignment overhead.
+    pub fn vis_overhead_fraction(&self) -> f64 {
+        let vis = self.mix[3];
+        if vis == 0 {
+            0.0
+        } else {
+            self.vis_overhead as f64 / vis as f64
+        }
+    }
+
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_is_exhaustive() {
+        let mut s = CpuStats::new(4);
+        s.account_cycle(4, None); // fully busy
+        s.account_cycle(2, Some(StallClass::L1Miss));
+        s.account_cycle(0, Some(StallClass::FuStall));
+        s.account_cycle(1, Some(StallClass::L1Hit));
+        let b = s.breakdown();
+        assert!((b.total() - s.cycles as f64).abs() < 1e-9);
+        assert!((b.busy - (4.0 + 2.0 + 0.0 + 1.0) / 4.0).abs() < 1e-9);
+        assert!((b.l1_miss - 0.5).abs() < 1e-9);
+        assert!((b.fu_stall - 1.0).abs() < 1e-9);
+        assert!((b.l1_hit - 0.75).abs() < 1e-9);
+        assert!((b.memory() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_counts_categories() {
+        let mut s = CpuStats::new(1);
+        s.note_retired(Op::IntAlu);
+        s.note_retired(Op::Branch);
+        s.note_retired(Op::Load);
+        s.note_retired(Op::VisPack);
+        s.note_retired(Op::VisAdd);
+        assert_eq!(s.mix, [1, 1, 1, 2]);
+        assert_eq!(s.vis_overhead, 1);
+        assert!((s.vis_overhead_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(s.loads, 1);
+    }
+
+    #[test]
+    fn rates_handle_empty_runs() {
+        let s = CpuStats::new(4);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.vis_overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn normalization_scales_components() {
+        let b = Breakdown {
+            busy: 10.0,
+            fu_stall: 5.0,
+            l1_hit: 3.0,
+            l1_miss: 2.0,
+        };
+        let n = b.normalized(20.0);
+        assert!((n.total() - 1.0).abs() < 1e-12);
+        assert!((n.busy - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests of the pipeline: for random well-formed instruction
+//! streams, the simulation must terminate, retire everything exactly
+//! once, account every cycle, and replay deterministically.
+
+use proptest::prelude::*;
+use visim_cpu::{CpuConfig, Pipeline, SimSink};
+use visim_isa::{BranchInfo, Inst, MemKind, MemRef, Op, Reg};
+use visim_mem::MemConfig;
+
+/// A compact generator-friendly instruction description.
+#[derive(Debug, Clone, Copy)]
+enum Gen {
+    Alu { dep: bool },
+    Mul,
+    Fp,
+    Div,
+    Vis(u8),
+    Load { addr: u16 },
+    Store { addr: u16 },
+    Prefetch { addr: u16 },
+    Branch { taken: bool, backward: bool },
+}
+
+fn arb_gen() -> impl Strategy<Value = Gen> {
+    prop_oneof![
+        any::<bool>().prop_map(|dep| Gen::Alu { dep }),
+        Just(Gen::Mul),
+        Just(Gen::Fp),
+        Just(Gen::Div),
+        (0u8..6).prop_map(Gen::Vis),
+        any::<u16>().prop_map(|addr| Gen::Load { addr }),
+        any::<u16>().prop_map(|addr| Gen::Store { addr }),
+        any::<u16>().prop_map(|addr| Gen::Prefetch { addr }),
+        (any::<bool>(), any::<bool>())
+            .prop_map(|(taken, backward)| Gen::Branch { taken, backward }),
+    ]
+}
+
+fn materialize(gens: &[Gen]) -> Vec<Inst> {
+    let mut out = Vec::with_capacity(gens.len());
+    let mut reg = 1u32;
+    let mut last = Reg::NONE;
+    for (i, g) in gens.iter().enumerate() {
+        let pc = 0x1000 + (i as u64 % 37) * 4;
+        let fresh = |reg: &mut u32| {
+            let r = Reg(*reg);
+            *reg += 1;
+            r
+        };
+        let inst = match *g {
+            Gen::Alu { dep } => {
+                let d = fresh(&mut reg);
+                let src = if dep { last } else { Reg::NONE };
+                Inst::compute(Op::IntAlu, pc, d, [src, Reg::NONE, Reg::NONE])
+            }
+            Gen::Mul => Inst::compute(Op::IntMul, pc, fresh(&mut reg), [last, Reg::NONE, Reg::NONE]),
+            Gen::Fp => Inst::compute(Op::FpOp, pc, fresh(&mut reg), [Reg::NONE; 3]),
+            Gen::Div => Inst::compute(Op::FpDiv, pc, fresh(&mut reg), [Reg::NONE; 3]),
+            Gen::Vis(k) => {
+                let op = [
+                    Op::VisAdd,
+                    Op::VisMul,
+                    Op::VisPack,
+                    Op::VisPdist,
+                    Op::VisLogic,
+                    Op::VisMerge,
+                ][k as usize % 6];
+                Inst::compute(op, pc, fresh(&mut reg), [last, Reg::NONE, Reg::NONE])
+            }
+            Gen::Load { addr } => Inst::memory(
+                Op::Load,
+                pc,
+                fresh(&mut reg),
+                [Reg::NONE; 3],
+                MemRef {
+                    addr: 0x1_0000 + (addr as u64) * 8,
+                    size: 8,
+                    kind: MemKind::Load,
+                },
+            ),
+            Gen::Store { addr } => Inst::memory(
+                Op::Store,
+                pc,
+                Reg::NONE,
+                [last, Reg::NONE, Reg::NONE],
+                MemRef {
+                    addr: 0x1_0000 + (addr as u64) * 8,
+                    size: 8,
+                    kind: MemKind::Store,
+                },
+            ),
+            Gen::Prefetch { addr } => Inst::memory(
+                Op::Prefetch,
+                pc,
+                Reg::NONE,
+                [Reg::NONE; 3],
+                MemRef {
+                    addr: 0x1_0000 + (addr as u64) * 8,
+                    size: 8,
+                    kind: MemKind::Prefetch,
+                },
+            ),
+            Gen::Branch { taken, backward } => Inst::control(
+                Op::Branch,
+                pc,
+                [last, Reg::NONE, Reg::NONE],
+                BranchInfo::cond(taken, backward),
+            ),
+        };
+        if inst.dst.is_some() {
+            last = inst.dst;
+        }
+        out.push(inst);
+    }
+    out
+}
+
+fn run(insts: &[Inst], cfg: CpuConfig) -> visim_cpu::Summary {
+    let mut p = Pipeline::new(cfg, MemConfig::default());
+    for &i in insts {
+        p.push(i);
+    }
+    p.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_streams_retire_everything(gens in prop::collection::vec(arb_gen(), 1..400)) {
+        let insts = materialize(&gens);
+        for cfg in [CpuConfig::inorder_1way(), CpuConfig::inorder_4way(), CpuConfig::ooo_4way()] {
+            let s = run(&insts, cfg);
+            prop_assert_eq!(s.cpu.retired, insts.len() as u64);
+            let b = s.cpu.breakdown();
+            prop_assert!((b.total() - s.cycles() as f64).abs() < 1e-6,
+                "attribution covers every cycle");
+            prop_assert!(s.cycles() >= (insts.len() as u64).div_ceil(4),
+                "cannot beat the retire width");
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic(gens in prop::collection::vec(arb_gen(), 1..200)) {
+        let insts = materialize(&gens);
+        let a = run(&insts, CpuConfig::ooo_4way());
+        let b = run(&insts, CpuConfig::ooo_4way());
+        prop_assert_eq!(a.cycles(), b.cycles());
+        prop_assert_eq!(a.mem, b.mem);
+        prop_assert_eq!(a.cpu.mispredicts, b.cpu.mispredicts);
+    }
+
+    #[test]
+    fn ooo_never_loses_to_inorder(gens in prop::collection::vec(arb_gen(), 1..300)) {
+        let insts = materialize(&gens);
+        let io = run(&insts, CpuConfig::inorder_4way());
+        let ooo = run(&insts, CpuConfig::ooo_4way());
+        // Same width, strictly more scheduling freedom: allow a tiny
+        // tolerance for edge effects at the end of the stream.
+        prop_assert!(
+            ooo.cycles() <= io.cycles() + 4,
+            "ooo {} vs inorder {}",
+            ooo.cycles(),
+            io.cycles()
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! MSB-first bit-level I/O with optional JPEG byte stuffing.
+
+/// MSB-first bit writer.
+///
+/// With stuffing enabled (JPEG entropy-coded segments), every 0xFF data
+/// byte is followed by a stuffed 0x00.
+#[derive(Debug, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+    stuff: bool,
+}
+
+impl BitWriter {
+    /// A writer without byte stuffing.
+    pub fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            acc: 0,
+            nbits: 0,
+            stuff: false,
+        }
+    }
+
+    /// A writer with JPEG 0xFF00 byte stuffing.
+    pub fn with_stuffing() -> Self {
+        BitWriter {
+            stuff: true,
+            ..Self::new()
+        }
+    }
+
+    /// Append the low `n` bits of `v` (MSB first), `n <= 24`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24`.
+    pub fn put(&mut self, v: u32, n: u32) {
+        assert!(n <= 24, "put supports up to 24 bits at a time");
+        self.acc = (self.acc << n) | (v & ((1u32 << n) - 1).max(0));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            let b = (self.acc >> (self.nbits - 8)) as u8;
+            self.bytes.push(b);
+            if self.stuff && b == 0xff {
+                self.bytes.push(0x00);
+            }
+            self.nbits -= 8;
+        }
+        self.acc &= (1u32 << self.nbits) - 1;
+    }
+
+    /// Pad with 1-bits to a byte boundary (the JPEG convention).
+    pub fn align(&mut self) {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1 << pad) - 1, pad);
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+
+    /// Finish (aligning to a byte) and return the bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align();
+        self.bytes
+    }
+}
+
+impl Default for BitWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// MSB-first bit reader (with optional un-stuffing).
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+    stuff: bool,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader without byte stuffing.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+            stuff: false,
+        }
+    }
+
+    /// A reader that removes JPEG 0xFF00 stuffing.
+    pub fn with_stuffing(bytes: &'a [u8]) -> Self {
+        BitReader {
+            stuff: true,
+            ..Self::new(bytes)
+        }
+    }
+
+    fn fill(&mut self) {
+        while self.nbits <= 24 && self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            self.pos += 1;
+            if self.stuff && b == 0xff {
+                // Skip the stuffed zero byte.
+                if self.pos < self.bytes.len() && self.bytes[self.pos] == 0x00 {
+                    self.pos += 1;
+                }
+            }
+            self.acc = (self.acc << 8) | b as u32;
+            self.nbits += 8;
+        }
+    }
+
+    /// Read `n <= 24` bits; reads past the end return padding 1-bits
+    /// (mirroring the writer's alignment convention).
+    pub fn get(&mut self, n: u32) -> u32 {
+        assert!(n <= 24);
+        self.fill();
+        if self.nbits < n {
+            // Pad with 1s past the end.
+            let missing = n - self.nbits;
+            self.acc = (self.acc << missing) | ((1u32 << missing) - 1);
+            self.nbits = n;
+        }
+        let v = (self.acc >> (self.nbits - n)) & if n == 32 { u32::MAX } else { (1 << n) - 1 };
+        self.nbits -= n;
+        self.acc &= if self.nbits == 0 {
+            0
+        } else {
+            (1u32 << self.nbits) - 1
+        };
+        v
+    }
+
+    /// Read a single bit.
+    pub fn bit(&mut self) -> u32 {
+        self.get(1)
+    }
+
+    /// True once all source bits (minus padding) are consumed.
+    pub fn exhausted(&mut self) -> bool {
+        self.fill();
+        self.nbits == 0 && self.pos >= self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        let fields = [(0b1u32, 1), (0b0110, 4), (0xabc, 12), (0x3ffff, 18), (0, 3)];
+        for &(v, n) in &fields {
+            w.put(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.get(n), v, "{n}-bit field");
+        }
+    }
+
+    #[test]
+    fn stuffing_inserts_and_removes_zero_after_ff() {
+        let mut w = BitWriter::with_stuffing();
+        w.put(0xff, 8);
+        w.put(0xd9, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0xff, 0x00, 0xd9]);
+        let mut r = BitReader::with_stuffing(&bytes);
+        assert_eq!(r.get(8), 0xff);
+        assert_eq!(r.get(8), 0xd9);
+    }
+
+    #[test]
+    fn align_pads_with_ones() {
+        let mut w = BitWriter::new();
+        w.put(0, 3);
+        w.align();
+        assert_eq!(w.into_bytes(), vec![0b0001_1111]);
+    }
+
+    #[test]
+    fn bit_len_counts_partials() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.put(0xff, 8);
+        assert_eq!(w.bit_len(), 11);
+    }
+
+    #[test]
+    fn reading_past_end_returns_ones() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.get(5), 0b11111);
+    }
+
+    #[test]
+    fn exhausted_reports_end() {
+        let mut w = BitWriter::new();
+        w.put(0xa5, 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(!r.exhausted());
+        r.get(8);
+        assert!(r.exhausted());
+    }
+}

@@ -1,0 +1,286 @@
+//! Fixed-point 8×8 forward and inverse DCT (the "islow" integer
+//! algorithm family used by the IJG codec and the MPEG-2 reference
+//! encoder: a Loeffler/Ligtenberg/Moshovitz-style butterfly with 13-bit
+//! fixed-point constants).
+
+const CONST_BITS: i32 = 13;
+const PASS1_BITS: i32 = 2;
+
+const FIX_0_298631336: i64 = 2446;
+const FIX_0_390180644: i64 = 3196;
+const FIX_0_541196100: i64 = 4433;
+const FIX_0_765366865: i64 = 6270;
+const FIX_0_899976223: i64 = 7373;
+const FIX_1_175875602: i64 = 9633;
+const FIX_1_501321110: i64 = 12299;
+const FIX_1_847759065: i64 = 15137;
+const FIX_1_961570560: i64 = 16069;
+const FIX_2_053119869: i64 = 16819;
+const FIX_2_562915447: i64 = 20995;
+const FIX_3_072711026: i64 = 25172;
+
+#[inline]
+fn descale(x: i64, n: i32) -> i64 {
+    (x + (1 << (n - 1))) >> n
+}
+
+/// One 1-D forward DCT pass over 8 values; `shift` is the final descale
+/// for the even/odd outputs.
+#[allow(clippy::too_many_arguments)]
+fn fdct_1d(d: [i64; 8], down: i32, up_shift: i32) -> [i64; 8] {
+    let tmp0 = d[0] + d[7];
+    let tmp7 = d[0] - d[7];
+    let tmp1 = d[1] + d[6];
+    let tmp6 = d[1] - d[6];
+    let tmp2 = d[2] + d[5];
+    let tmp5 = d[2] - d[5];
+    let tmp3 = d[3] + d[4];
+    let tmp4 = d[3] - d[4];
+
+    let tmp10 = tmp0 + tmp3;
+    let tmp13 = tmp0 - tmp3;
+    let tmp11 = tmp1 + tmp2;
+    let tmp12 = tmp1 - tmp2;
+
+    let mut out = [0i64; 8];
+    if up_shift >= 0 {
+        out[0] = (tmp10 + tmp11) << up_shift;
+        out[4] = (tmp10 - tmp11) << up_shift;
+    } else {
+        out[0] = descale(tmp10 + tmp11, -up_shift);
+        out[4] = descale(tmp10 - tmp11, -up_shift);
+    }
+
+    let z1 = (tmp12 + tmp13) * FIX_0_541196100;
+    out[2] = descale(z1 + tmp13 * FIX_0_765366865, down);
+    out[6] = descale(z1 - tmp12 * FIX_1_847759065, down);
+
+    let z1 = tmp4 + tmp7;
+    let z2 = tmp5 + tmp6;
+    let z3 = tmp4 + tmp6;
+    let z4 = tmp5 + tmp7;
+    let z5 = (z3 + z4) * FIX_1_175875602;
+
+    let t4 = tmp4 * FIX_0_298631336;
+    let t5 = tmp5 * FIX_2_053119869;
+    let t6 = tmp6 * FIX_3_072711026;
+    let t7 = tmp7 * FIX_1_501321110;
+    let z1 = -z1 * FIX_0_899976223;
+    let z2 = -z2 * FIX_2_562915447;
+    let z3 = -z3 * FIX_1_961570560 + z5;
+    let z4 = -z4 * FIX_0_390180644 + z5;
+
+    out[7] = descale(t4 + z1 + z3, down);
+    out[5] = descale(t5 + z2 + z4, down);
+    out[3] = descale(t6 + z2 + z3, down);
+    out[1] = descale(t7 + z1 + z4, down);
+    out
+}
+
+/// Forward 8×8 DCT of a spatial block (values typically centered on 0,
+/// e.g. pixel − 128). Returns true (unscaled) DCT-II coefficients with
+/// the JPEG normalization.
+pub fn fdct8x8(block: &[i32; 64]) -> [i32; 64] {
+    let mut tmp = [0i64; 64];
+    // Rows: keep PASS1_BITS of extra precision.
+    for r in 0..8 {
+        let mut d = [0i64; 8];
+        for c in 0..8 {
+            d[c] = block[r * 8 + c] as i64;
+        }
+        let o = fdct_1d(d, CONST_BITS - PASS1_BITS, PASS1_BITS);
+        tmp[r * 8..r * 8 + 8].copy_from_slice(&o);
+    }
+    // Columns: remove the extra precision and the ×8 DCT scale.
+    let mut out = [0i32; 64];
+    for c in 0..8 {
+        let mut d = [0i64; 8];
+        for r in 0..8 {
+            d[r] = tmp[r * 8 + c];
+        }
+        let o = fdct_1d(d, CONST_BITS + PASS1_BITS + 3, -(PASS1_BITS + 3));
+        for r in 0..8 {
+            out[r * 8 + c] = o[r] as i32;
+        }
+    }
+    out
+}
+
+/// One 1-D inverse DCT pass.
+fn idct_1d(d: [i64; 8], down: i32) -> [i64; 8] {
+    // Even part.
+    let z2 = d[2];
+    let z3 = d[6];
+    let z1 = (z2 + z3) * FIX_0_541196100;
+    let tmp2 = z1 - z3 * FIX_1_847759065;
+    let tmp3 = z1 + z2 * FIX_0_765366865;
+
+    let tmp0 = (d[0] + d[4]) << CONST_BITS;
+    let tmp1 = (d[0] - d[4]) << CONST_BITS;
+
+    let tmp10 = tmp0 + tmp3;
+    let tmp13 = tmp0 - tmp3;
+    let tmp11 = tmp1 + tmp2;
+    let tmp12 = tmp1 - tmp2;
+
+    // Odd part.
+    let t0 = d[7];
+    let t1 = d[5];
+    let t2 = d[3];
+    let t3 = d[1];
+    let z1 = t0 + t3;
+    let z2 = t1 + t2;
+    let z3 = t0 + t2;
+    let z4 = t1 + t3;
+    let z5 = (z3 + z4) * FIX_1_175875602;
+
+    let t0 = t0 * FIX_0_298631336;
+    let t1 = t1 * FIX_2_053119869;
+    let t2 = t2 * FIX_3_072711026;
+    let t3 = t3 * FIX_1_501321110;
+    let z1 = -z1 * FIX_0_899976223;
+    let z2 = -z2 * FIX_2_562915447;
+    let z3 = -z3 * FIX_1_961570560 + z5;
+    let z4 = -z4 * FIX_0_390180644 + z5;
+
+    let t0 = t0 + z1 + z3;
+    let t1 = t1 + z2 + z4;
+    let t2 = t2 + z2 + z3;
+    let t3 = t3 + z1 + z4;
+
+    [
+        descale(tmp10 + t3, down),
+        descale(tmp11 + t2, down),
+        descale(tmp12 + t1, down),
+        descale(tmp13 + t0, down),
+        descale(tmp13 - t0, down),
+        descale(tmp12 - t1, down),
+        descale(tmp11 - t2, down),
+        descale(tmp10 - t3, down),
+    ]
+}
+
+/// Inverse 8×8 DCT of true (unscaled) coefficients; returns the spatial
+/// block (still centered on 0).
+pub fn idct8x8(coef: &[i32; 64]) -> [i32; 64] {
+    let mut tmp = [0i64; 64];
+    // Columns first (as the IJG code does).
+    for c in 0..8 {
+        let mut d = [0i64; 8];
+        for r in 0..8 {
+            d[r] = coef[r * 8 + c] as i64;
+        }
+        let o = idct_1d(d, CONST_BITS - PASS1_BITS);
+        for r in 0..8 {
+            tmp[r * 8 + c] = o[r];
+        }
+    }
+    // Rows; the +3 removes the DCT's ×8 normalization.
+    let mut out = [0i32; 64];
+    for r in 0..8 {
+        let mut d = [0i64; 8];
+        d.copy_from_slice(&tmp[r * 8..r * 8 + 8]);
+        let o = idct_1d(d, CONST_BITS + PASS1_BITS + 3);
+        for c in 0..8 {
+            out[r * 8 + c] = o[c] as i32;
+        }
+    }
+    out
+}
+
+/// Floating-point reference DCT-II with JPEG normalization (tests only).
+pub fn fdct8x8_f64(block: &[i32; 64]) -> [f64; 64] {
+    let mut out = [0f64; 64];
+    for v in 0..8 {
+        for u in 0..8 {
+            let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let mut s = 0.0;
+            for y in 0..8 {
+                for x in 0..8 {
+                    s += block[y * 8 + x] as f64
+                        * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            out[v * 8 + u] = 0.25 * cu * cv * s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_block() -> [i32; 64] {
+        let mut b = [0i32; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as i32 * 7) % 256) - 128;
+        }
+        b
+    }
+
+    #[test]
+    fn fdct_matches_float_reference() {
+        let b = ramp_block();
+        let fixed = fdct8x8(&b);
+        let float = fdct8x8_f64(&b);
+        for i in 0..64 {
+            let err = (fixed[i] as f64 - float[i]).abs();
+            assert!(err <= 2.0, "coef {i}: {} vs {:.2}", fixed[i], float[i]);
+        }
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        let b = [10i32; 64];
+        let c = fdct8x8(&b);
+        // DC of a constant block = 8 * value with JPEG normalization.
+        assert!((c[0] - 80).abs() <= 1, "DC {}", c[0]);
+        for (i, &v) in c.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 1, "AC {i} should vanish: {v}");
+        }
+    }
+
+    #[test]
+    fn idct_of_dc_only_is_constant() {
+        let mut c = [0i32; 64];
+        c[0] = 80;
+        let s = idct8x8(&c);
+        for &v in &s {
+            assert!((v - 10).abs() <= 1, "{v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_small() {
+        for seed in 0..5i32 {
+            let mut b = [0i32; 64];
+            let mut x = seed.wrapping_mul(2654435761u32 as i32);
+            for v in b.iter_mut() {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                *v = (x >> 16) % 128; // [-127, 127]
+            }
+            let back = idct8x8(&fdct8x8(&b));
+            for i in 0..64 {
+                let err = (back[i] - b[i]).abs();
+                assert!(err <= 2, "seed {seed} pixel {i}: {} vs {}", back[i], b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a = ramp_block();
+        let mut a2 = a;
+        for v in a2.iter_mut() {
+            *v *= 2;
+        }
+        let ca = fdct8x8(&a);
+        let ca2 = fdct8x8(&a2);
+        for i in 0..64 {
+            assert!((ca2[i] - 2 * ca[i]).abs() <= 2, "coef {i}");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Canonical (JPEG-style) Huffman coding, including the ITU-T T.81
+//! Annex K default tables used by the IJG codec.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// A canonical Huffman table defined, as in JPEG, by the number of codes
+/// of each length 1..=16 (`bits`) and the symbol values in code order
+/// (`vals`).
+#[derive(Debug, Clone)]
+pub struct HuffTable {
+    /// `(code, length)` per symbol, or length 0 when absent.
+    enc: Vec<(u32, u32)>,
+    // Standard JPEG decoding tables.
+    mincode: [i32; 17],
+    maxcode: [i32; 17],
+    valptr: [usize; 17],
+    vals: Vec<u8>,
+}
+
+impl HuffTable {
+    /// Build from the `bits`/`vals` specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the specification is over-subscribed (more codes of a
+    /// length than a prefix code allows).
+    pub fn new(bits: &[u8; 16], vals: &[u8]) -> Self {
+        let total: usize = bits.iter().map(|&b| b as usize).sum();
+        assert_eq!(total, vals.len(), "bits/vals mismatch");
+        let mut enc = vec![(0u32, 0u32); 256];
+        let mut mincode = [0i32; 17];
+        let mut maxcode = [-1i32; 17];
+        let mut valptr = [0usize; 17];
+        let mut code: u32 = 0;
+        let mut k = 0usize;
+        for len in 1..=16usize {
+            let n = bits[len - 1] as usize;
+            assert!(
+                (code as u64) + (n as u64) <= 1u64 << len,
+                "over-subscribed at length {len}"
+            );
+            valptr[len] = k;
+            mincode[len] = code as i32;
+            for _ in 0..n {
+                enc[vals[k] as usize] = (code, len as u32);
+                code += 1;
+                k += 1;
+            }
+            maxcode[len] = code as i32 - 1;
+            if n == 0 {
+                maxcode[len] = -1;
+            }
+            code <<= 1;
+        }
+        HuffTable {
+            enc,
+            mincode,
+            maxcode,
+            valptr,
+            vals: vals.to_vec(),
+        }
+    }
+
+    /// Code and length for `symbol`, or `None` when absent (for building
+    /// derived tables).
+    pub fn try_code(&self, symbol: u8) -> Option<(u32, u32)> {
+        let (c, l) = self.enc[symbol as usize];
+        (l > 0).then_some((c, l))
+    }
+
+    /// The canonical decoding tables `(mincode, maxcode, valptr, vals)`,
+    /// indexed by code length 1..=16 (for building derived in-memory
+    /// tables).
+    pub fn decode_tables(&self) -> (&[i32; 17], &[i32; 17], &[usize; 17], &[u8]) {
+        (&self.mincode, &self.maxcode, &self.valptr, &self.vals)
+    }
+
+    /// Code and length for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the symbol has no code in this table.
+    pub fn code(&self, symbol: u8) -> (u32, u32) {
+        let (c, l) = self.enc[symbol as usize];
+        assert!(l > 0, "symbol {symbol:#x} not in table");
+        (c, l)
+    }
+
+    /// Emit `symbol` into `w`.
+    pub fn encode(&self, w: &mut BitWriter, symbol: u8) {
+        let (c, l) = self.code(symbol);
+        w.put(c, l);
+    }
+
+    /// Decode one symbol from `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a code not present in the table (corrupt stream).
+    pub fn decode(&self, r: &mut BitReader) -> u8 {
+        let mut code = 0i32;
+        for len in 1..=16usize {
+            code = (code << 1) | r.bit() as i32;
+            if self.maxcode[len] >= 0 && code <= self.maxcode[len] && code >= self.mincode[len] {
+                let ix = self.valptr[len] + (code - self.mincode[len]) as usize;
+                return self.vals[ix];
+            }
+        }
+        panic!("invalid huffman code in stream");
+    }
+}
+
+/// Annex K default DC luminance table.
+pub fn dc_luma() -> HuffTable {
+    let bits = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0];
+    let vals: Vec<u8> = (0..=11).collect();
+    HuffTable::new(&bits, &vals)
+}
+
+/// Annex K default DC chrominance table.
+pub fn dc_chroma() -> HuffTable {
+    let bits = [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0];
+    let vals: Vec<u8> = (0..=11).collect();
+    HuffTable::new(&bits, &vals)
+}
+
+/// Annex K default AC luminance table.
+pub fn ac_luma() -> HuffTable {
+    let bits = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 125];
+    let vals: [u8; 162] = [
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+        0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52,
+        0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x25,
+        0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45,
+        0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64,
+        0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x83,
+        0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+        0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+        0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3,
+        0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8,
+        0xe9, 0xea, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+    ];
+    HuffTable::new(&bits, &vals)
+}
+
+/// Annex K default AC chrominance table.
+pub fn ac_chroma() -> HuffTable {
+    let bits = [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 119];
+    let vals: [u8; 162] = [
+        0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61,
+        0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xa1, 0xb1, 0xc1, 0x09, 0x23, 0x33,
+        0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25, 0xf1, 0x17, 0x18,
+        0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44,
+        0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63,
+        0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a,
+        0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97,
+        0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4,
+        0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca,
+        0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7,
+        0xe8, 0xe9, 0xea, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+    ];
+    HuffTable::new(&bits, &vals)
+}
+
+/// JPEG "magnitude category" of a value: the number of bits needed to
+/// represent `|v|` (0 for 0).
+pub fn magnitude(v: i32) -> u32 {
+    32 - (v.unsigned_abs()).leading_zeros()
+}
+
+/// JPEG signed-magnitude extra bits for `v` in category `s`
+/// (one's-complement encoding of negatives).
+pub fn extend_bits(v: i32, s: u32) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v - 1 + (1 << s)) as u32
+    }
+}
+
+/// Inverse of [`extend_bits`].
+pub fn extend(bits: u32, s: u32) -> i32 {
+    if s == 0 {
+        return 0;
+    }
+    let v = bits as i32;
+    if v < (1 << (s - 1)) {
+        v - (1 << s) + 1
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tables_build() {
+        for t in [dc_luma(), dc_chroma(), ac_luma(), ac_chroma()] {
+            // EOB-ish symbols must be present.
+            let _ = t.code(0x01);
+        }
+    }
+
+    #[test]
+    fn all_symbols_roundtrip_through_the_bitstream() {
+        let t = ac_luma();
+        let symbols: Vec<u8> = vec![0x00, 0x01, 0x11, 0xf0, 0xfa, 0x53, 0x08];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            t.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(t.decode(&mut r), s);
+        }
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let t = dc_luma();
+        let mut codes = Vec::new();
+        for sym in 0..=11u8 {
+            codes.push(t.code(sym));
+        }
+        for (i, &(ca, la)) in codes.iter().enumerate() {
+            for &(cb, lb) in codes.iter().skip(i + 1) {
+                let l = la.min(lb);
+                assert_ne!(ca >> (la - l), cb >> (lb - l), "prefix collision");
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_categories() {
+        assert_eq!(magnitude(0), 0);
+        assert_eq!(magnitude(1), 1);
+        assert_eq!(magnitude(-1), 1);
+        assert_eq!(magnitude(2), 2);
+        assert_eq!(magnitude(-3), 2);
+        assert_eq!(magnitude(255), 8);
+        assert_eq!(magnitude(-1024), 11);
+    }
+
+    #[test]
+    fn extend_roundtrips() {
+        for v in [-2047, -255, -1, 0, 1, 17, 255, 2047] {
+            let s = magnitude(v);
+            assert_eq!(extend(extend_bits(v, s), s), v, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "over-subscribed")]
+    fn oversubscribed_spec_panics() {
+        let mut bits = [0u8; 16];
+        bits[0] = 3; // three 1-bit codes is impossible
+        let _ = HuffTable::new(&bits, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn dc_encoding_of_typical_diffs() {
+        // Encode/decode a DC difference sequence the way JPEG does.
+        let t = dc_luma();
+        let diffs = [0i32, 3, -3, 120, -120, 1023];
+        let mut w = BitWriter::new();
+        for &d in &diffs {
+            let s = magnitude(d);
+            t.encode(&mut w, s as u8);
+            if s > 0 {
+                w.put(extend_bits(d, s), s);
+            }
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &d in &diffs {
+            let s = t.decode(&mut r) as u32;
+            let bits = if s > 0 { r.get(s) } else { 0 };
+            assert_eq!(extend(bits, s), d);
+        }
+    }
+}

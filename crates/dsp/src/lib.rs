@@ -1,0 +1,20 @@
+//! Shared DSP substrate for the JPEG and MPEG-2 codecs.
+//!
+//! These are *host-side reference implementations* — the fixed-point 8×8
+//! DCT/IDCT, quantization tables, zig-zag ordering, bit-level I/O and
+//! canonical (JPEG-style) Huffman coding that the paper's workloads
+//! (IJG JPEG 6a, MSSG MPEG-2 1.1) build on. The emitter-based codecs in
+//! `media-jpeg` / `media-mpeg` mirror these algorithms instruction by
+//! instruction; the versions here pin down the expected outputs in tests
+//! and provide table construction.
+
+pub mod bitio;
+pub mod dct;
+pub mod huffman;
+pub mod quant;
+pub mod zigzag;
+
+pub use bitio::{BitReader, BitWriter};
+pub use dct::{fdct8x8, idct8x8};
+pub use huffman::HuffTable;
+pub use zigzag::{ZIGZAG, ZIGZAG_INV};

@@ -1,0 +1,120 @@
+//! Quantization tables and helpers (ITU-T T.81 Annex K defaults, with
+//! IJG-style quality scaling).
+
+/// The Annex K luminance quantization table (raster order).
+pub const LUMA_Q: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The Annex K chrominance quantization table (raster order).
+pub const CHROMA_Q: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// The MPEG-2 default intra quantizer matrix (raster order).
+pub const MPEG_INTRA_Q: [u16; 64] = [
+    8, 16, 19, 22, 26, 27, 29, 34, //
+    16, 16, 22, 24, 27, 29, 34, 37, //
+    19, 22, 26, 27, 29, 34, 34, 38, //
+    22, 22, 26, 27, 29, 34, 37, 40, //
+    22, 26, 27, 29, 32, 35, 40, 48, //
+    26, 27, 29, 32, 35, 40, 48, 58, //
+    26, 27, 29, 34, 38, 46, 56, 69, //
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// Scale a base table by an IJG-style quality factor in `1..=100`
+/// (50 = unscaled); entries clamp to `1..=255`.
+pub fn scale_table(base: &[u16; 64], quality: u32) -> [u16; 64] {
+    let q = quality.clamp(1, 100);
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0u16; 64];
+    for i in 0..64 {
+        let v = (base[i] as u32 * scale + 50) / 100;
+        out[i] = v.clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// Quantize one coefficient (round-to-nearest, ties away from zero).
+pub fn quantize(coef: i32, q: u16) -> i32 {
+    let q = q as i32;
+    if coef >= 0 {
+        (coef + q / 2) / q
+    } else {
+        -((-coef + q / 2) / q)
+    }
+}
+
+/// Dequantize one coefficient.
+pub fn dequantize(level: i32, q: u16) -> i32 {
+    level * q as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_identity() {
+        assert_eq!(scale_table(&LUMA_Q, 50), LUMA_Q);
+    }
+
+    #[test]
+    fn higher_quality_means_smaller_steps() {
+        let q75 = scale_table(&LUMA_Q, 75);
+        let q25 = scale_table(&LUMA_Q, 25);
+        for i in 0..64 {
+            assert!(q75[i] <= LUMA_Q[i]);
+            assert!(q25[i] >= LUMA_Q[i]);
+        }
+    }
+
+    #[test]
+    fn quality_100_is_lossless_steps() {
+        let q100 = scale_table(&LUMA_Q, 100);
+        assert!(q100.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn entries_stay_in_range() {
+        for q in [1u32, 3, 10, 97, 100] {
+            for &v in scale_table(&CHROMA_Q, q).iter() {
+                assert!((1..=255).contains(&v), "q={q} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        assert_eq!(quantize(10, 4), 3); // 2.5 rounds away
+        assert_eq!(quantize(9, 4), 2);
+        assert_eq!(quantize(-10, 4), -3);
+        assert_eq!(quantize(-9, 4), -2);
+        assert_eq!(quantize(0, 16), 0);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_is_bounded() {
+        for c in [-300i32, -37, -1, 0, 1, 5, 120, 999] {
+            for q in [1u16, 2, 16, 99] {
+                let back = dequantize(quantize(c, q), q);
+                assert!((back - c).abs() <= q as i32 / 2 + 1, "c={c} q={q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The JPEG/MPEG zig-zag scan order.
+
+/// `ZIGZAG[k]` is the raster index of the k-th coefficient in zig-zag
+/// order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Inverse mapping: `ZIGZAG_INV[raster] = zig-zag position`.
+pub const ZIGZAG_INV: [usize; 64] = {
+    let mut inv = [0usize; 64];
+    let mut k = 0;
+    while k < 64 {
+        inv[ZIGZAG[k]] = k;
+        k += 1;
+    }
+    inv
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &ix in &ZIGZAG {
+            assert!(!seen[ix]);
+            seen[ix] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn inverse_really_inverts() {
+        for k in 0..64 {
+            assert_eq!(ZIGZAG_INV[ZIGZAG[k]], k);
+        }
+    }
+
+    #[test]
+    fn scan_walks_antidiagonals() {
+        // Positions along the scan have monotonically non-decreasing
+        // (row+col) up to jitter of one diagonal.
+        for k in 1..64 {
+            let (r0, c0) = (ZIGZAG[k - 1] / 8, ZIGZAG[k - 1] % 8);
+            let (r1, c1) = (ZIGZAG[k] / 8, ZIGZAG[k] % 8);
+            let d0 = r0 + c0;
+            let d1 = r1 + c1;
+            assert!(d1 == d0 || d1 == d0 + 1, "step {k}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Image substrate for the `visim` media workloads.
+//!
+//! The paper runs its image benchmarks on 1024×640 3-band (RGB) images
+//! from the Intel Media Benchmark (`sf16.ppm`, `rose16.ppm`,
+//! `winter16.ppm`) and its video benchmarks on the 352×240 `mei16v2`
+//! MPEG-2 test stream. Those inputs are not redistributable, so this
+//! crate provides:
+//!
+//! * [`Image`] — a planar-free, interleaved 8-bit multi-band image
+//!   buffer with PPM import/export ([`ppm`]);
+//! * [`synth`] — deterministic synthetic generators that stand in for
+//!   the paper's inputs: photographic-looking stills (smooth gradients +
+//!   structured edges + seeded noise) and a translating/occluding video
+//!   scene in 4:2:0 YUV for the MPEG benchmarks.
+//!
+//! Kernel behaviour is data-independent except for branch outcomes in
+//! thresholding/saturation paths; the generators expose edge/noise
+//! density so those branches are as hard to predict as on photographs
+//! (see DESIGN.md substitution #2).
+
+pub mod ppm;
+pub mod synth;
+
+/// An 8-bit interleaved image with `bands` channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    bands: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// A black image.
+    pub fn new(width: usize, height: usize, bands: usize) -> Self {
+        assert!(bands >= 1 && bands <= 4, "1..=4 bands supported");
+        Image {
+            width,
+            height,
+            bands,
+            data: vec![0; width * height * bands],
+        }
+    }
+
+    /// Build from raw interleaved data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != width * height * bands`.
+    pub fn from_raw(width: usize, height: usize, bands: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), width * height * bands, "raw size mismatch");
+        Image {
+            width,
+            height,
+            bands,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of interleaved bands (channels).
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Row stride in bytes.
+    pub fn stride(&self) -> usize {
+        self.width * self.bands
+    }
+
+    /// The interleaved bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The interleaved bytes, mutably.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Sample one band of one pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, x: usize, y: usize, b: usize) -> u8 {
+        self.data[(y * self.width + x) * self.bands + b]
+    }
+
+    /// Set one band of one pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, b: usize, v: u8) {
+        self.data[(y * self.width + x) * self.bands + b] = v;
+    }
+
+    /// Mean absolute per-sample difference against `other` (images must
+    /// have identical geometry). Used to verify that VIS variants are
+    /// "visually imperceptible" per the paper's §2.3.2 criterion.
+    pub fn mean_abs_diff(&self, other: &Image) -> f64 {
+        assert_eq!(self.data.len(), other.data.len(), "geometry mismatch");
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs() as u64)
+            .sum();
+        sum as f64 / self.data.len() as f64
+    }
+
+    /// Peak signal-to-noise ratio against `other`, in dB (infinite for
+    /// identical images).
+    pub fn psnr(&self, other: &Image) -> f64 {
+        assert_eq!(self.data.len(), other.data.len(), "geometry mismatch");
+        let se: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = a as i64 - b as i64;
+                (d * d) as u64
+            })
+            .sum();
+        if se == 0 {
+            return f64::INFINITY;
+        }
+        let mse = se as f64 / self.data.len() as f64;
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_and_accessors() {
+        let mut img = Image::new(4, 3, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.bands(), 3);
+        assert_eq!(img.stride(), 12);
+        assert_eq!(img.data().len(), 36);
+        img.set(2, 1, 1, 99);
+        assert_eq!(img.get(2, 1, 1), 99);
+        assert_eq!(img.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let data: Vec<u8> = (0..24).collect();
+        let img = Image::from_raw(4, 2, 3, data.clone());
+        assert_eq!(img.data(), &data[..]);
+        assert_eq!(img.get(3, 1, 2), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "raw size mismatch")]
+    fn from_raw_validates_size() {
+        let _ = Image::from_raw(4, 2, 3, vec![0; 10]);
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = Image::from_raw(2, 2, 1, vec![1, 2, 3, 4]);
+        assert_eq!(img.psnr(&img.clone()), f64::INFINITY);
+        assert_eq!(img.mean_abs_diff(&img.clone()), 0.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = Image::from_raw(2, 2, 1, vec![100, 100, 100, 100]);
+        let b = Image::from_raw(2, 2, 1, vec![101, 100, 100, 100]);
+        let c = Image::from_raw(2, 2, 1, vec![130, 130, 130, 130]);
+        assert!(a.psnr(&b) > a.psnr(&c));
+        assert!(a.mean_abs_diff(&b) < a.mean_abs_diff(&c));
+    }
+}

@@ -1,0 +1,163 @@
+//! Binary PPM (P6) and PGM (P5) image I/O.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::Image;
+
+/// Error decoding a PPM/PGM stream.
+#[derive(Debug)]
+pub enum DecodePpmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a valid P5/P6 file.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodePpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodePpmError::Io(e) => write!(f, "i/o error reading ppm: {e}"),
+            DecodePpmError::Malformed(m) => write!(f, "malformed ppm: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodePpmError {}
+
+impl From<io::Error> for DecodePpmError {
+    fn from(e: io::Error) -> Self {
+        DecodePpmError::Io(e)
+    }
+}
+
+/// Write `img` as binary PPM (3 bands) or PGM (1 band).
+///
+/// # Errors
+///
+/// Propagates writer failures. Returns an error for band counts other
+/// than 1 or 3.
+pub fn write<W: Write>(img: &Image, mut w: W) -> io::Result<()> {
+    let magic = match img.bands() {
+        1 => "P5",
+        3 => "P6",
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "only 1- or 3-band images map to PGM/PPM",
+            ))
+        }
+    };
+    write!(w, "{magic}\n{} {}\n255\n", img.width(), img.height())?;
+    w.write_all(img.data())
+}
+
+/// Read a binary PPM/PGM image.
+///
+/// # Errors
+///
+/// Returns [`DecodePpmError`] on I/O failure or malformed input.
+pub fn read<R: Read>(mut r: R) -> Result<Image, DecodePpmError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    let mut pos = 0usize;
+
+    fn token(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, DecodePpmError> {
+        // Skip whitespace and comments.
+        loop {
+            while *pos < buf.len() && buf[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+            if *pos < buf.len() && buf[*pos] == b'#' {
+                while *pos < buf.len() && buf[*pos] != b'\n' {
+                    *pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = *pos;
+        while *pos < buf.len() && !buf[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+        if start == *pos {
+            return Err(DecodePpmError::Malformed("unexpected end of header"));
+        }
+        Ok(buf[start..*pos].to_vec())
+    }
+
+    let magic = token(&buf, &mut pos)?;
+    let bands = match magic.as_slice() {
+        b"P6" => 3,
+        b"P5" => 1,
+        _ => return Err(DecodePpmError::Malformed("not a P5/P6 file")),
+    };
+    let parse = |t: Vec<u8>| -> Result<usize, DecodePpmError> {
+        std::str::from_utf8(&t)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or(DecodePpmError::Malformed("bad header number"))
+    };
+    let width = parse(token(&buf, &mut pos)?)?;
+    let height = parse(token(&buf, &mut pos)?)?;
+    let maxval = parse(token(&buf, &mut pos)?)?;
+    if maxval != 255 {
+        return Err(DecodePpmError::Malformed("only maxval 255 supported"));
+    }
+    pos += 1; // single whitespace after maxval
+    let need = width * height * bands;
+    if buf.len() < pos + need {
+        return Err(DecodePpmError::Malformed("truncated pixel data"));
+    }
+    Ok(Image::from_raw(
+        width,
+        height,
+        bands,
+        buf[pos..pos + need].to_vec(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn ppm_roundtrip() {
+        let img = synth::still(37, 23, 3, 7);
+        let mut bytes = Vec::new();
+        write(&img, &mut bytes).unwrap();
+        let back = read(&bytes[..]).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = synth::still(16, 9, 1, 3);
+        let mut bytes = Vec::new();
+        write(&img, &mut bytes).unwrap();
+        let back = read(&bytes[..]).unwrap();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let data = b"P5\n# a comment\n2 2\n255\n\x01\x02\x03\x04";
+        let img = read(&data[..]).unwrap();
+        assert_eq!(img.data(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read(&b"JUNK"[..]).is_err());
+        assert!(read(&b"P6\n2 2\n255\n\x01"[..]).is_err(), "truncated");
+        assert!(read(&b"P6\n2 2\n65535\n"[..]).is_err(), "16-bit maxval");
+    }
+
+    #[test]
+    fn two_band_images_cannot_serialize() {
+        let img = Image::new(2, 2, 2);
+        let mut bytes = Vec::new();
+        assert!(write(&img, &mut bytes).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic synthetic inputs standing in for the paper's images and
+//! video (see DESIGN.md, substitution #2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Image;
+
+/// A photographic-looking still: smooth low-frequency gradients, a few
+/// structured edges (rectangles and a disc), and seeded high-frequency
+/// noise. Deterministic in `seed`.
+pub fn still(width: usize, height: usize, bands: usize, seed: u64) -> Image {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_1234);
+    let mut img = Image::new(width, height, bands);
+    // Random per-band gradient directions and phases.
+    let mut params = Vec::new();
+    for _ in 0..bands {
+        params.push((
+            rng.gen_range(0.3..1.7),  // x frequency scale
+            rng.gen_range(0.3..1.7),  // y frequency scale
+            rng.gen_range(0.0..std::f64::consts::TAU), // phase
+            rng.gen_range(60.0..120.0f64),
+        ));
+    }
+    // Structured occluders: rectangles and one disc.
+    let mut rects = Vec::new();
+    for _ in 0..6 {
+        let x0 = rng.gen_range(0..width.max(2) - 1);
+        let y0 = rng.gen_range(0..height.max(2) - 1);
+        let w = rng.gen_range(width / 8 + 1..width / 2 + 2);
+        let h = rng.gen_range(height / 8 + 1..height / 2 + 2);
+        let shade: i32 = rng.gen_range(-70..70);
+        rects.push((x0, y0, w, h, shade));
+    }
+    let (cx, cy) = (width as f64 * 0.6, height as f64 * 0.4);
+    let radius = (width.min(height) as f64) * 0.2;
+
+    for y in 0..height {
+        for x in 0..width {
+            for b in 0..bands {
+                let (fx, fy, ph, amp) = params[b];
+                let u = x as f64 / width.max(1) as f64;
+                let v = y as f64 / height.max(1) as f64;
+                let mut val = 128.0
+                    + amp * 0.5 * ((u * fx * std::f64::consts::TAU + ph).sin() + (v * fy * std::f64::consts::TAU).cos());
+                for &(x0, y0, w, h, shade) in &rects {
+                    if x >= x0 && x < x0 + w && y >= y0 && y < y0 + h {
+                        val += shade as f64 * 0.5;
+                    }
+                }
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                if dx * dx + dy * dy < radius * radius {
+                    val += 35.0;
+                }
+                val += rng.gen_range(-8.0..8.0); // sensor noise
+                img.set(x, y, b, val.clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+    img
+}
+
+/// An alpha map (values spanning the full 0-255 range with smooth and
+/// noisy regions), used by the blending benchmarks in place of
+/// `winter16.ppm`.
+pub fn alpha(width: usize, height: usize, bands: usize, seed: u64) -> Image {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xa1fa);
+    let mut img = Image::new(width, height, bands);
+    for y in 0..height {
+        for x in 0..width {
+            for b in 0..bands {
+                let ramp = (x * 255 / width.max(1)) as f64;
+                let wave = 60.0 * ((y as f64) / 9.0).sin();
+                let noise = rng.gen_range(-25.0..25.0);
+                img.set(x, y, b, (ramp + wave + noise).clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+    img
+}
+
+/// A planar 4:2:0 YUV frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Yuv420 {
+    /// Luma width in pixels (even).
+    pub width: usize,
+    /// Luma height in pixels (even).
+    pub height: usize,
+    /// Luma plane, `width * height` bytes.
+    pub y: Vec<u8>,
+    /// Cb plane, quarter size.
+    pub u: Vec<u8>,
+    /// Cr plane, quarter size.
+    pub v: Vec<u8>,
+}
+
+impl Yuv420 {
+    /// A black frame.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width % 2 == 0 && height % 2 == 0, "4:2:0 needs even dims");
+        Yuv420 {
+            width,
+            height,
+            y: vec![16; width * height],
+            u: vec![128; width * height / 4],
+            v: vec![128; width * height / 4],
+        }
+    }
+
+    /// Luma PSNR against another frame, in dB.
+    pub fn psnr_y(&self, other: &Yuv420) -> f64 {
+        assert_eq!(self.y.len(), other.y.len());
+        let se: u64 = self
+            .y
+            .iter()
+            .zip(&other.y)
+            .map(|(&a, &b)| {
+                let d = a as i64 - b as i64;
+                (d * d) as u64
+            })
+            .sum();
+        if se == 0 {
+            return f64::INFINITY;
+        }
+        let mse = se as f64 / self.y.len() as f64;
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// A deterministic synthetic video: a textured background panning at
+/// (+2, +1) pixels per frame with a brighter foreground block moving the
+/// opposite way (so motion estimation has real work and occlusion),
+/// standing in for the `mei16v2` bit-stream content.
+pub fn video(width: usize, height: usize, frames: usize, seed: u64) -> Vec<Yuv420> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x71de0);
+    // A wrapping background texture bigger than the frame.
+    let (tw, th) = (width * 2, height * 2);
+    let mut tex = vec![0u8; tw * th];
+    for ty in 0..th {
+        for tx in 0..tw {
+            let base = 100.0
+                + 60.0 * ((tx as f64 / 17.0).sin() + (ty as f64 / 13.0).cos())
+                + rng.gen_range(-10.0..10.0);
+            tex[ty * tw + tx] = base.clamp(16.0, 235.0) as u8;
+        }
+    }
+    let (bw, bh) = (width / 4, height / 4);
+    let mut out = Vec::with_capacity(frames);
+    for f in 0..frames {
+        let mut frame = Yuv420::new(width, height);
+        let (pan_x, pan_y) = (2 * f, f);
+        for y in 0..height {
+            for x in 0..width {
+                let t = tex[((y + pan_y) % th) * tw + ((x + pan_x) % tw)];
+                frame.y[y * width + x] = t;
+            }
+        }
+        // The moving foreground block.
+        let bx = (width as i64 - bw as i64 - 3 * f as i64).rem_euclid(width as i64) as usize;
+        let by = (f * 2) % (height - bh).max(1);
+        for y in by..(by + bh).min(height) {
+            for x in bx..(bx + bw).min(width) {
+                frame.y[y * width + x] = frame.y[y * width + x].saturating_add(60);
+            }
+        }
+        // Chroma: slow fields derived from position so that color coding
+        // is exercised.
+        let (cw, ch) = (width / 2, height / 2);
+        for cy in 0..ch {
+            for cx in 0..cw {
+                frame.u[cy * cw + cx] = (118 + ((cx + f) % 20)) as u8;
+                frame.v[cy * cw + cx] = (138usize.wrapping_sub((cy + f) % 24)) as u8;
+            }
+        }
+        out.push(frame);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn still_is_deterministic() {
+        let a = still(64, 40, 3, 5);
+        let b = still(64, 40, 3, 5);
+        assert_eq!(a, b);
+        let c = still(64, 40, 3, 6);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn still_uses_wide_value_range() {
+        let img = still(128, 80, 3, 1);
+        let min = *img.data().iter().min().unwrap();
+        let max = *img.data().iter().max().unwrap();
+        assert!(max - min > 100, "dynamic range {min}..{max}");
+    }
+
+    #[test]
+    fn alpha_spans_range() {
+        let img = alpha(128, 64, 3, 2);
+        let min = *img.data().iter().min().unwrap();
+        let max = *img.data().iter().max().unwrap();
+        assert!(min < 30 && max > 225, "alpha range {min}..{max}");
+    }
+
+    #[test]
+    fn video_has_motion() {
+        let v = video(64, 48, 3, 9);
+        assert_eq!(v.len(), 3);
+        // Consecutive frames differ substantially but are correlated:
+        // panning means frame N+1 shifted back matches frame N well.
+        let psnr_raw = v[0].psnr_y(&v[1]);
+        assert!(psnr_raw < 30.0, "frames differ: {psnr_raw}");
+        // Shifted comparison: frame1 shifted by (-2, -1) ~ frame0.
+        let (w, h) = (v[0].width, v[0].height);
+        let mut shifted = Yuv420::new(w, h);
+        for y in 0..h - 1 {
+            for x in 0..w - 2 {
+                shifted.y[y * w + x] = v[1].y[(y + 1) * w + (x + 2)];
+            }
+        }
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for y in 0..h - 1 {
+            for x in 0..w - 2 {
+                total += 1;
+                if (shifted.y[y * w + x] as i32 - v[0].y[(y + 1) * w + x + 2] as i32).abs() < 4 {
+                    matches += 1;
+                }
+            }
+        }
+        // This is a loose structural check: background pans so most
+        // pixels should align somewhere; exact fraction depends on the
+        // occluder size.
+        assert!(total > 0 && matches * 100 / total > 10);
+    }
+
+    #[test]
+    fn video_is_deterministic() {
+        assert_eq!(video(32, 16, 2, 3), video(32, 16, 2, 3));
+    }
+
+    #[test]
+    fn yuv_psnr_identity() {
+        let v = video(32, 16, 1, 3);
+        assert_eq!(v[0].psnr_y(&v[0].clone()), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "even dims")]
+    fn yuv_requires_even_dimensions() {
+        let _ = Yuv420::new(33, 16);
+    }
+}

@@ -1,0 +1,235 @@
+//! The dynamic instruction record exchanged between the workload emitter
+//! (`visim-trace`) and the pipeline models (`visim-cpu`).
+
+use crate::op::Op;
+
+/// A virtual register name.
+///
+/// The emitter allocates a fresh register for every produced value
+/// (SSA-like), which gives the out-of-order model perfect renaming and
+/// lets the in-order model track true (read-after-write) dependences.
+/// [`Reg::NONE`] marks an absent operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Sentinel for "no register".
+    pub const NONE: Reg = Reg(u32::MAX);
+
+    /// True unless this is the [`Reg::NONE`] sentinel.
+    pub fn is_some(self) -> bool {
+        self != Reg::NONE
+    }
+}
+
+/// Flavour of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Ordinary load.
+    Load,
+    /// Ordinary store.
+    Store,
+    /// Non-binding prefetch into L1 (dropped if no MSHR is free).
+    Prefetch,
+    /// VIS partial store (mask-selected bytes of a 64-bit line chunk).
+    PartialStore,
+    /// VIS block load: 64 bytes, bypassing cache allocation.
+    BlockLoad,
+    /// VIS block store: 64 bytes, bypassing cache allocation.
+    BlockStore,
+}
+
+impl MemKind {
+    /// True for store-class references.
+    pub fn is_store(self) -> bool {
+        matches!(
+            self,
+            MemKind::Store | MemKind::PartialStore | MemKind::BlockStore
+        )
+    }
+
+    /// True for references that should not allocate in the caches.
+    pub fn bypasses_cache(self) -> bool {
+        matches!(self, MemKind::BlockLoad | MemKind::BlockStore)
+    }
+}
+
+/// A memory reference: virtual address, access size and flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Simulated virtual address.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4, 8 or 64 for block transfers).
+    pub size: u8,
+    /// Load/store/prefetch flavour.
+    pub kind: MemKind,
+}
+
+/// Control-transfer flavour, used by the branch predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional branch predicted by the bimodal agree predictor.
+    Cond,
+    /// Unconditional direct jump (always predicted correctly).
+    Jump,
+    /// Call: pushes the return-address stack.
+    Call,
+    /// Return: predicted by the return-address stack.
+    Ret,
+}
+
+/// Branch metadata attached to control-transfer instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Flavour of control transfer.
+    pub kind: BranchKind,
+    /// Actual outcome (trace-driven): taken or not.
+    pub taken: bool,
+    /// True if the target is "backward" (loop-closing); used as the
+    /// static bias bit by the agree predictor.
+    pub backward: bool,
+    /// Call/return linkage token: a call pushes its own `pc` on the
+    /// return-address stack, and the matching return carries the same
+    /// value here so RAS mispredictions can be detected. Zero for
+    /// ordinary branches.
+    pub target: u64,
+}
+
+impl BranchInfo {
+    /// A conditional branch with the given outcome and direction.
+    pub fn cond(taken: bool, backward: bool) -> Self {
+        BranchInfo {
+            kind: BranchKind::Cond,
+            taken,
+            backward,
+            target: 0,
+        }
+    }
+
+    /// A call/return pair linked by `target` (see [`BranchInfo::target`]).
+    pub fn linkage(kind: BranchKind, target: u64) -> Self {
+        debug_assert!(matches!(kind, BranchKind::Call | BranchKind::Ret));
+        BranchInfo {
+            kind,
+            taken: true,
+            backward: false,
+            target,
+        }
+    }
+}
+
+/// One dynamic instruction.
+///
+/// `pc` is a stable identifier of the *static* instruction site (derived
+/// by the emitter from the Rust call site), so that branch-predictor and
+/// per-site statistics behave as they would on a real instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Operation kind (determines unit, latency and category).
+    pub op: Op,
+    /// Static-site identifier (plays the role of the program counter).
+    pub pc: u64,
+    /// Destination register, or [`Reg::NONE`].
+    pub dst: Reg,
+    /// Source registers; unused slots are [`Reg::NONE`].
+    pub srcs: [Reg; 3],
+    /// Memory reference for loads/stores/prefetches.
+    pub mem: Option<MemRef>,
+    /// Branch metadata for control transfers.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Inst {
+    /// A plain computational instruction.
+    pub fn compute(op: Op, pc: u64, dst: Reg, srcs: [Reg; 3]) -> Self {
+        debug_assert!(!op.is_mem() && !op.is_branch());
+        Inst {
+            op,
+            pc,
+            dst,
+            srcs,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// A memory instruction. `op` must be `Load`, `Store`, or `Prefetch`.
+    pub fn memory(op: Op, pc: u64, dst: Reg, srcs: [Reg; 3], mem: MemRef) -> Self {
+        debug_assert!(op.is_mem());
+        debug_assert_eq!(op == Op::Store, mem.kind.is_store());
+        Inst {
+            op,
+            pc,
+            dst,
+            srcs,
+            mem: Some(mem),
+            branch: None,
+        }
+    }
+
+    /// A control-transfer instruction.
+    pub fn control(op: Op, pc: u64, srcs: [Reg; 3], branch: BranchInfo) -> Self {
+        debug_assert!(op.is_branch());
+        Inst {
+            op,
+            pc,
+            dst: Reg::NONE,
+            srcs,
+            mem: None,
+            branch: Some(branch),
+        }
+    }
+
+    /// Iterator over the *present* source registers.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().copied().filter(|r| r.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_none_is_not_some() {
+        assert!(!Reg::NONE.is_some());
+        assert!(Reg(0).is_some());
+        assert!(Reg(123).is_some());
+    }
+
+    #[test]
+    fn sources_skips_none() {
+        let i = Inst::compute(Op::IntAlu, 1, Reg(5), [Reg(1), Reg::NONE, Reg(2)]);
+        let srcs: Vec<Reg> = i.sources().collect();
+        assert_eq!(srcs, vec![Reg(1), Reg(2)]);
+    }
+
+    #[test]
+    fn memkind_predicates() {
+        assert!(MemKind::Store.is_store());
+        assert!(MemKind::PartialStore.is_store());
+        assert!(MemKind::BlockStore.is_store());
+        assert!(!MemKind::Load.is_store());
+        assert!(!MemKind::Prefetch.is_store());
+        assert!(MemKind::BlockLoad.bypasses_cache());
+        assert!(MemKind::BlockStore.bypasses_cache());
+        assert!(!MemKind::Store.bypasses_cache());
+    }
+
+    #[test]
+    fn constructors_populate_fields() {
+        let m = MemRef {
+            addr: 0x1000,
+            size: 8,
+            kind: MemKind::Load,
+        };
+        let i = Inst::memory(Op::Load, 7, Reg(3), [Reg(1), Reg::NONE, Reg::NONE], m);
+        assert_eq!(i.mem, Some(m));
+        assert_eq!(i.dst, Reg(3));
+
+        let b = BranchInfo::cond(true, true);
+        let i = Inst::control(Op::Branch, 9, [Reg(2), Reg::NONE, Reg::NONE], b);
+        assert_eq!(i.branch, Some(b));
+        assert_eq!(i.dst, Reg::NONE);
+    }
+}

@@ -1,0 +1,36 @@
+//! Instruction-set model for the `visim` simulator.
+//!
+//! This crate defines the *dynamic instruction* representation consumed by
+//! the pipeline models in `visim-cpu`, mirroring the ISA assumed by
+//! Ranganathan, Adve and Jouppi (ISCA 1999): a SPARC-V9-like scalar RISC
+//! core plus the Sun VIS media ISA extensions.
+//!
+//! Three layers live here:
+//!
+//! * [`op`] — operation kinds, the functional-unit class each op needs,
+//!   default latencies (Table 2 of the paper), and the instruction
+//!   categories used for the paper's Figure 2 instruction-mix breakdown.
+//! * [`inst`] — the [`inst::Inst`] record itself: virtual registers,
+//!   memory reference and branch metadata.
+//! * [`vis`] — *functional* semantics of the VIS-style packed operations
+//!   (packed arithmetic, pack/expand/merge/align, partitioned compares,
+//!   edge masks, `pdist`, and the graphics status register), used by the
+//!   workload emitter so that VIS benchmark variants compute real data.
+//!
+//! # Example
+//!
+//! ```
+//! use visim_isa::vis;
+//!
+//! // Two packed-16 lanes-of-four additions.
+//! let a = vis::pack16([1, 2, 3, 4]);
+//! let b = vis::pack16([10, 20, 30, 40]);
+//! assert_eq!(vis::unpack16(vis::fpadd16(a, b)), [11, 22, 33, 44]);
+//! ```
+
+pub mod inst;
+pub mod op;
+pub mod vis;
+
+pub use inst::{BranchInfo, BranchKind, Inst, MemKind, MemRef, Reg};
+pub use op::{FuKind, InstCat, LatencyTable, Op};

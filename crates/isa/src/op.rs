@@ -1,0 +1,341 @@
+//! Operation kinds, functional-unit classes and latencies.
+//!
+//! The latency and functional-unit assignments follow Table 2 of the paper
+//! (default parameters chosen after the Alpha 21264 / UltraSPARC-II):
+//!
+//! * integer add/logic 1 cycle, multiply 7, divide 12;
+//! * default floating point 4 cycles, FP moves/converts 4, FP divide 12
+//!   (the only non-pipelined unit);
+//! * default VIS 1 cycle; VIS 8-bit loads / multiplies / `pdist` 1/3/3;
+//! * address generation 1 cycle (folded into the memory instruction, which
+//!   occupies one of the two address-generation units).
+
+/// Functional-unit class an operation executes on.
+///
+/// The counts per class on the default machine (Table 2) are: 2 integer
+/// ALUs, 2 floating-point units, 2 address-generation units, 1 VIS
+/// multiplier, 1 VIS adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Integer arithmetic/logical unit (also resolves branches).
+    IntAlu,
+    /// Floating-point unit.
+    Fp,
+    /// Address-generation unit; every load/store/prefetch occupies one.
+    Agu,
+    /// The single VIS adder (partitioned add/sub, logicals, align, edge).
+    VisAdder,
+    /// The single VIS multiplier (packed multiplies, pack, compares,
+    /// `pdist`, merge/expand).
+    VisMul,
+}
+
+/// Instruction categories for the paper's Figure 2 instruction-mix plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstCat {
+    /// Scalar ALU/FPU computation ("FU" in Figure 2).
+    Fu,
+    /// Control transfer.
+    Branch,
+    /// Loads, stores and prefetches.
+    Memory,
+    /// Any VIS operation.
+    Vis,
+}
+
+/// The dynamic operation kind of an instruction.
+///
+/// This is deliberately a *timing-level* classification: functionally
+/// distinct operations that are indistinguishable to the pipeline (e.g.
+/// `add` vs `xor`) share a kind. The VIS kinds are split by
+/// functional-unit path and latency, and finely enough to reconstruct the
+/// paper's "subword rearrangement and alignment overhead" statistic
+/// (§3.2.3: ~41% of VIS instructions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Integer add/sub/logic/shift/compare/sethi. 1 cycle.
+    IntAlu,
+    /// Integer multiply. 7 cycles.
+    IntMul,
+    /// Integer divide. 12 cycles.
+    IntDiv,
+    /// FP add/sub/mul (default FP, 4 cycles).
+    FpOp,
+    /// FP register move. 4 cycles.
+    FpMove,
+    /// FP convert. 4 cycles.
+    FpConv,
+    /// FP divide. 12 cycles, non-pipelined.
+    FpDiv,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump.
+    Jump,
+    /// Call (pushes the return-address stack).
+    Call,
+    /// Return (pops the return-address stack).
+    Ret,
+    /// Scalar load (any width), including VIS short/block loads.
+    Load,
+    /// Scalar store (any width), including VIS partial/short/block stores.
+    Store,
+    /// Non-binding software prefetch into the L1 cache.
+    Prefetch,
+    /// VIS partitioned add/subtract (`fpadd16/32`, `fpsub16/32`).
+    VisAdd,
+    /// VIS logical on the FP datapath (`fand`, `for`, `fxor`, ...).
+    VisLogic,
+    /// `falignaddr` / `faligndata` subword realignment.
+    VisAlign,
+    /// `edge8/16/32` boundary-mask generation.
+    VisEdge,
+    /// Partitioned compare (`fcmpgt16`, `fcmple32`, ...).
+    VisCmp,
+    /// Packed multiply (`fmul8x16` family). 3 cycles.
+    VisMul,
+    /// `fpack16/32`, `fpackfix` data packing with saturation.
+    VisPack,
+    /// `fexpand` data expansion.
+    VisExpand,
+    /// `fpmerge` byte interleave.
+    VisMerge,
+    /// `pdist` pixel-distance (sum of absolute differences). 3 cycles.
+    VisPdist,
+    /// `array8/16/32` blocked-address conversion.
+    VisArray,
+    /// Read/write the graphics status register.
+    VisGsr,
+}
+
+/// Per-machine operation latencies, in cycles.
+///
+/// [`LatencyTable::default`] reproduces Table 2 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Default integer / address-generation latency.
+    pub int_alu: u32,
+    /// Integer multiply latency.
+    pub int_mul: u32,
+    /// Integer divide latency.
+    pub int_div: u32,
+    /// Default floating-point latency.
+    pub fp_default: u32,
+    /// FP move / convert latency.
+    pub fp_move: u32,
+    /// FP divide latency (non-pipelined).
+    pub fp_div: u32,
+    /// Default VIS latency.
+    pub vis_default: u32,
+    /// VIS packed-multiply latency.
+    pub vis_mul: u32,
+    /// VIS `pdist` latency.
+    pub vis_pdist: u32,
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        LatencyTable {
+            int_alu: 1,
+            int_mul: 7,
+            int_div: 12,
+            fp_default: 4,
+            fp_move: 4,
+            fp_div: 12,
+            vis_default: 1,
+            vis_mul: 3,
+            vis_pdist: 3,
+        }
+    }
+}
+
+impl Op {
+    /// Functional unit this operation executes on.
+    ///
+    /// Memory operations return [`FuKind::Agu`]; their cache access is
+    /// modelled separately by the memory system. Branch-class operations
+    /// resolve on an integer ALU, as on the UltraSPARC/Alpha pipelines.
+    pub fn fu(self) -> FuKind {
+        use Op::*;
+        match self {
+            IntAlu | IntMul | IntDiv | Branch | Jump | Call | Ret => FuKind::IntAlu,
+            FpOp | FpMove | FpConv | FpDiv => FuKind::Fp,
+            Load | Store | Prefetch => FuKind::Agu,
+            VisAdd | VisLogic | VisAlign | VisEdge | VisArray | VisGsr => FuKind::VisAdder,
+            VisCmp | VisMul | VisPack | VisExpand | VisMerge | VisPdist => FuKind::VisMul,
+        }
+    }
+
+    /// Execution latency of this operation under `lat`.
+    ///
+    /// For memory operations this is the address-generation latency only;
+    /// cache access time is added by the memory hierarchy model.
+    pub fn latency(self, lat: &LatencyTable) -> u32 {
+        use Op::*;
+        match self {
+            IntAlu | Branch | Jump | Call | Ret => lat.int_alu,
+            IntMul => lat.int_mul,
+            IntDiv => lat.int_div,
+            FpOp => lat.fp_default,
+            FpMove | FpConv => lat.fp_move,
+            FpDiv => lat.fp_div,
+            Load | Store | Prefetch => lat.int_alu,
+            VisMul => lat.vis_mul,
+            VisPdist => lat.vis_pdist,
+            VisAdd | VisLogic | VisAlign | VisEdge | VisCmp | VisPack | VisExpand | VisMerge
+            | VisArray | VisGsr => lat.vis_default,
+        }
+    }
+
+    /// Whether the operation's functional unit is pipelined.
+    ///
+    /// All units are fully pipelined except floating-point divide
+    /// (Table 2).
+    pub fn pipelined(self) -> bool {
+        !matches!(self, Op::FpDiv)
+    }
+
+    /// Instruction category for instruction-mix accounting (Figure 2).
+    pub fn category(self) -> InstCat {
+        use Op::*;
+        match self {
+            IntAlu | IntMul | IntDiv | FpOp | FpMove | FpConv | FpDiv => InstCat::Fu,
+            Branch | Jump | Call | Ret => InstCat::Branch,
+            Load | Store | Prefetch => InstCat::Memory,
+            VisAdd | VisLogic | VisAlign | VisEdge | VisCmp | VisMul | VisPack | VisExpand
+            | VisMerge | VisPdist | VisArray | VisGsr => InstCat::Vis,
+        }
+    }
+
+    /// True for VIS *subword rearrangement / alignment* operations, the
+    /// overhead class the paper quantifies in §3.2.3.
+    pub fn is_vis_overhead(self) -> bool {
+        matches!(
+            self,
+            Op::VisAlign | Op::VisPack | Op::VisExpand | Op::VisMerge | Op::VisGsr
+        )
+    }
+
+    /// True for any VIS operation.
+    pub fn is_vis(self) -> bool {
+        self.category() == InstCat::Vis
+    }
+
+    /// True for loads, stores and prefetches.
+    pub fn is_mem(self) -> bool {
+        matches!(self, Op::Load | Op::Store | Op::Prefetch)
+    }
+
+    /// True for control-transfer operations.
+    pub fn is_branch(self) -> bool {
+        self.category() == InstCat::Branch
+    }
+
+    /// All operation kinds, for table generation and exhaustive tests.
+    pub fn all() -> &'static [Op] {
+        use Op::*;
+        &[
+            IntAlu, IntMul, IntDiv, FpOp, FpMove, FpConv, FpDiv, Branch, Jump, Call, Ret, Load,
+            Store, Prefetch, VisAdd, VisLogic, VisAlign, VisEdge, VisCmp, VisMul, VisPack,
+            VisExpand, VisMerge, VisPdist, VisArray, VisGsr,
+        ]
+    }
+
+    /// Human-readable VIS classification row, mirroring Table 4 of the
+    /// paper; `None` for non-VIS operations.
+    pub fn vis_class(self) -> Option<&'static str> {
+        use Op::*;
+        Some(match self {
+            VisAdd => "packed arithmetic",
+            VisMul => "packed multiplication",
+            VisLogic => "logical operations",
+            VisPack | VisExpand | VisMerge => "data packing and expansion",
+            VisAlign => "data alignment",
+            VisCmp => "partitioned compares",
+            VisEdge => "mask generation for edge effects",
+            VisPdist => "pixel distance computation",
+            VisArray => "array address conversion",
+            VisGsr => "graphics status register access",
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_match_table_2() {
+        let lat = LatencyTable::default();
+        assert_eq!(Op::IntAlu.latency(&lat), 1);
+        assert_eq!(Op::IntMul.latency(&lat), 7);
+        assert_eq!(Op::IntDiv.latency(&lat), 12);
+        assert_eq!(Op::FpOp.latency(&lat), 4);
+        assert_eq!(Op::FpMove.latency(&lat), 4);
+        assert_eq!(Op::FpConv.latency(&lat), 4);
+        assert_eq!(Op::FpDiv.latency(&lat), 12);
+        assert_eq!(Op::VisAdd.latency(&lat), 1);
+        assert_eq!(Op::VisMul.latency(&lat), 3);
+        assert_eq!(Op::VisPdist.latency(&lat), 3);
+        assert_eq!(Op::Load.latency(&lat), 1, "AGU latency");
+    }
+
+    #[test]
+    fn only_fp_divide_is_unpipelined() {
+        for &op in Op::all() {
+            assert_eq!(op.pipelined(), op != Op::FpDiv, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn categories_are_consistent_with_predicates() {
+        for &op in Op::all() {
+            match op.category() {
+                InstCat::Vis => assert!(op.is_vis()),
+                InstCat::Memory => assert!(op.is_mem()),
+                InstCat::Branch => assert!(op.is_branch()),
+                InstCat::Fu => {
+                    assert!(!op.is_vis() && !op.is_mem() && !op.is_branch());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vis_ops_execute_on_vis_units_and_have_a_table4_class() {
+        for &op in Op::all() {
+            if op.is_vis() {
+                assert!(
+                    matches!(op.fu(), FuKind::VisAdder | FuKind::VisMul),
+                    "{op:?}"
+                );
+                assert!(op.vis_class().is_some(), "{op:?}");
+            } else {
+                assert!(op.vis_class().is_none(), "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_ops_are_vis() {
+        for &op in Op::all() {
+            if op.is_vis_overhead() {
+                assert!(op.is_vis());
+            }
+        }
+    }
+
+    #[test]
+    fn mem_ops_use_agu() {
+        assert_eq!(Op::Load.fu(), FuKind::Agu);
+        assert_eq!(Op::Store.fu(), FuKind::Agu);
+        assert_eq!(Op::Prefetch.fu(), FuKind::Agu);
+    }
+
+    #[test]
+    fn pdist_and_packed_multiply_share_the_vis_multiplier() {
+        assert_eq!(Op::VisPdist.fu(), FuKind::VisMul);
+        assert_eq!(Op::VisMul.fu(), FuKind::VisMul);
+        assert_eq!(Op::VisAdd.fu(), FuKind::VisAdder);
+    }
+}

@@ -1,0 +1,657 @@
+//! Functional semantics of the VIS-style packed (subword-SIMD) operations.
+//!
+//! The paper's VIS-enhanced benchmark variants must *compute real data*
+//! so their outputs can be checked against the scalar variants (the
+//! paper's §2.3.2 methodology requires VIS substitutions to be visually
+//! indistinguishable). This module implements the packed data types and
+//! the operations of Table 4 on plain `u64` values.
+//!
+//! # Lane convention
+//!
+//! A 64-bit VIS register holds eight 8-bit, four 16-bit, or two 32-bit
+//! lanes. **Lane 0 is the least-significant lane**, which also corresponds
+//! to the *lowest* memory address (loads use little-endian byte order into
+//! the register). This differs from big-endian SPARC but is internally
+//! consistent; only lane order, not the results of whole-image kernels,
+//! is affected.
+//!
+//! # Example
+//!
+//! ```
+//! use visim_isa::vis::{self, Gsr};
+//!
+//! // Saturating 16->8 packing through the graphics status register.
+//! let gsr = Gsr { align: 0, scale: 7 };
+//! let wide = vis::pack16([-5, 0, 255, 300]);
+//! assert_eq!(vis::fpack16(gsr, wide), [0, 0, 255, 255]);
+//! ```
+
+/// Graphics status register: alignment offset (3 bits) and packing scale
+/// factor (up to 15 supported here; real VIS uses 4 bits for `fpack16`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Gsr {
+    /// Byte offset used by `faligndata`.
+    pub align: u8,
+    /// Left-shift applied before packing in `fpack16/32`/`fpackfix`.
+    pub scale: u8,
+}
+
+// ---------------------------------------------------------------------
+// Packing helpers between lane arrays and u64 registers.
+// ---------------------------------------------------------------------
+
+/// Pack eight bytes (lane 0 = least significant) into a register.
+pub fn pack8(lanes: [u8; 8]) -> u64 {
+    u64::from_le_bytes(lanes)
+}
+
+/// Unpack a register into eight byte lanes.
+pub fn unpack8(r: u64) -> [u8; 8] {
+    r.to_le_bytes()
+}
+
+/// Pack four signed 16-bit lanes into a register.
+pub fn pack16(lanes: [i16; 4]) -> u64 {
+    let mut r = 0u64;
+    for (i, &l) in lanes.iter().enumerate() {
+        r |= (l as u16 as u64) << (16 * i);
+    }
+    r
+}
+
+/// Unpack a register into four signed 16-bit lanes.
+pub fn unpack16(r: u64) -> [i16; 4] {
+    [
+        r as u16 as i16,
+        (r >> 16) as u16 as i16,
+        (r >> 32) as u16 as i16,
+        (r >> 48) as u16 as i16,
+    ]
+}
+
+/// Pack two signed 32-bit lanes into a register.
+pub fn pack32(lanes: [i32; 2]) -> u64 {
+    (lanes[0] as u32 as u64) | ((lanes[1] as u32 as u64) << 32)
+}
+
+/// Unpack a register into two signed 32-bit lanes.
+pub fn unpack32(r: u64) -> [i32; 2] {
+    [r as u32 as i32, (r >> 32) as u32 as i32]
+}
+
+// ---------------------------------------------------------------------
+// Packed arithmetic.
+// ---------------------------------------------------------------------
+
+/// `fpadd16`: four partitioned 16-bit additions (modular).
+pub fn fpadd16(a: u64, b: u64) -> u64 {
+    lanewise16(a, b, |x, y| x.wrapping_add(y))
+}
+
+/// `fpsub16`: four partitioned 16-bit subtractions (modular).
+pub fn fpsub16(a: u64, b: u64) -> u64 {
+    lanewise16(a, b, |x, y| x.wrapping_sub(y))
+}
+
+/// `fpadd32`: two partitioned 32-bit additions (modular).
+pub fn fpadd32(a: u64, b: u64) -> u64 {
+    lanewise32(a, b, |x, y| x.wrapping_add(y))
+}
+
+/// `fpsub32`: two partitioned 32-bit subtractions (modular).
+pub fn fpsub32(a: u64, b: u64) -> u64 {
+    lanewise32(a, b, |x, y| x.wrapping_sub(y))
+}
+
+fn lanewise16(a: u64, b: u64, f: impl Fn(i16, i16) -> i16) -> u64 {
+    let (a, b) = (unpack16(a), unpack16(b));
+    pack16([f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])])
+}
+
+fn lanewise32(a: u64, b: u64, f: impl Fn(i32, i32) -> i32) -> u64 {
+    let (a, b) = (unpack32(a), unpack32(b));
+    pack32([f(a[0], b[0]), f(a[1], b[1])])
+}
+
+// ---------------------------------------------------------------------
+// Packed multiplication.
+// ---------------------------------------------------------------------
+
+/// `fmul8x16`: multiply four unsigned 8-bit pixels (low 32 bits of `a`,
+/// one per byte) by four signed 16-bit fixed-point lanes of `b`, rounding
+/// each 24-bit product to its upper 16 bits.
+pub fn fmul8x16(a: u64, b: u64) -> u64 {
+    let pix = unpack8(a);
+    let w = unpack16(b);
+    let mut out = [0i16; 4];
+    for i in 0..4 {
+        out[i] = mul8x16_lane(pix[i], w[i]);
+    }
+    pack16(out)
+}
+
+/// [`fmul8x16`] reading its four pixels from the *upper* four bytes of
+/// `a` (real VIS addresses either 32-bit register half at no extra
+/// cost).
+pub fn fmul8x16_hi(a: u64, b: u64) -> u64 {
+    let pix = unpack8(a);
+    let w = unpack16(b);
+    let mut out = [0i16; 4];
+    for i in 0..4 {
+        out[i] = mul8x16_lane(pix[i + 4], w[i]);
+    }
+    pack16(out)
+}
+
+/// `fmul8x16au`: multiply four unsigned 8-bit pixels by the *same* signed
+/// 16-bit coefficient (the "upper" half of a 32-bit scalar in real VIS).
+pub fn fmul8x16au(a: u64, coeff: i16) -> u64 {
+    let pix = unpack8(a);
+    let mut out = [0i16; 4];
+    for i in 0..4 {
+        out[i] = mul8x16_lane(pix[i], coeff);
+    }
+    pack16(out)
+}
+
+/// [`fmul8x16au`] reading its pixels from the upper four bytes of `a`.
+pub fn fmul8x16au_hi(a: u64, coeff: i16) -> u64 {
+    let pix = unpack8(a);
+    let mut out = [0i16; 4];
+    for i in 0..4 {
+        out[i] = mul8x16_lane(pix[i + 4], coeff);
+    }
+    pack16(out)
+}
+
+fn mul8x16_lane(pixel: u8, w: i16) -> i16 {
+    // Round the 24-bit product to its upper 16 bits.
+    (((pixel as i32) * (w as i32) + 0x80) >> 8) as i16
+}
+
+/// `fmul8sux16`: lane-wise product of the *signed upper byte* of each
+/// 16-bit lane of `a` with the corresponding 16-bit lane of `b` (low 16
+/// bits kept, modular).
+///
+/// Together with [`fmul8ulx16`] this emulates a full 16×16 multiply the
+/// way VIS code does (the paper notes VIS "uses a pipelined series of two
+/// 8x16 multiplies and one add" for 16-bit products); the identity
+/// `fpadd16(fmul8sux16(a,b), fmul8ulx16(a,b)) == (a*b) >> 8` holds
+/// lane-wise (see the property tests).
+pub fn fmul8sux16(a: u64, b: u64) -> u64 {
+    lanewise16(a, b, |x, y| {
+        let hi = (x >> 8) as i32; // signed upper byte
+        (hi * y as i32) as i16
+    })
+}
+
+/// `fmul8ulx16`: lane-wise product of the *unsigned lower byte* of each
+/// 16-bit lane of `a` with the 16-bit lane of `b`, arithmetic-shifted
+/// right by 8 (low 16 bits kept).
+pub fn fmul8ulx16(a: u64, b: u64) -> u64 {
+    lanewise16(a, b, |x, y| {
+        let lo = (x as u16 & 0xff) as i32; // unsigned lower byte
+        ((lo * y as i32) >> 8) as i16
+    })
+}
+
+/// `fmuld8sux16` on the lower two 16-bit lanes: signed-upper-byte
+/// product widened to 32 bits and shifted left 8, so that adding the
+/// [`fmuld8ulx16_lo`] result reconstructs the exact 32-bit product
+/// (the VIS widening 16×16 emulation used by dot products).
+pub fn fmuld8sux16_lo(a: u64, b: u64) -> u64 {
+    let (a, b) = (unpack16(a), unpack16(b));
+    pack32([muld_sux(a[0], b[0]), muld_sux(a[1], b[1])])
+}
+
+/// `fmuld8ulx16` on the lower two 16-bit lanes.
+pub fn fmuld8ulx16_lo(a: u64, b: u64) -> u64 {
+    let (a, b) = (unpack16(a), unpack16(b));
+    pack32([muld_ulx(a[0], b[0]), muld_ulx(a[1], b[1])])
+}
+
+/// [`fmuld8sux16_lo`] on the upper two lanes (lanes 2 and 3). Real VIS
+/// reaches these lanes through the second 32-bit register half; the
+/// instruction count is identical.
+pub fn fmuld8sux16_hi(a: u64, b: u64) -> u64 {
+    let (a, b) = (unpack16(a), unpack16(b));
+    pack32([muld_sux(a[2], b[2]), muld_sux(a[3], b[3])])
+}
+
+/// [`fmuld8ulx16_lo`] on the upper two lanes.
+pub fn fmuld8ulx16_hi(a: u64, b: u64) -> u64 {
+    let (a, b) = (unpack16(a), unpack16(b));
+    pack32([muld_ulx(a[2], b[2]), muld_ulx(a[3], b[3])])
+}
+
+fn muld_sux(a: i16, b: i16) -> i32 {
+    let hi = (a >> 8) as i32; // signed upper byte
+    hi.wrapping_mul(b as i32) << 8
+}
+
+fn muld_ulx(a: i16, b: i16) -> i32 {
+    let lo = (a as u16 & 0xff) as i32; // unsigned lower byte
+    lo.wrapping_mul(b as i32)
+}
+
+/// Full 16×16→16 lane-wise multiply returning the upper 16 bits of each
+/// 32-bit product (`(a*b) >> 8` truncated to 16 bits, i.e. a Q8 fixed
+/// point multiply). This is the *composite* operation VIS code builds out
+/// of `fmul8sux16 + fmul8ulx16 + fpadd16`; provided for reference and
+/// testing.
+pub fn mul16_q8(a: u64, b: u64) -> u64 {
+    fpadd16(fmul8sux16(a, b), fmul8ulx16(a, b))
+}
+
+// ---------------------------------------------------------------------
+// Logical operations (on the FP/VIS datapath).
+// ---------------------------------------------------------------------
+
+/// `fand`: bitwise AND.
+pub fn fand(a: u64, b: u64) -> u64 {
+    a & b
+}
+
+/// `for`: bitwise OR.
+pub fn f_or(a: u64, b: u64) -> u64 {
+    a | b
+}
+
+/// `fxor`: bitwise XOR.
+pub fn fxor(a: u64, b: u64) -> u64 {
+    a ^ b
+}
+
+/// `fnot`: bitwise NOT.
+pub fn fnot(a: u64) -> u64 {
+    !a
+}
+
+/// `fandnot`: `a & !b`.
+pub fn fandnot(a: u64, b: u64) -> u64 {
+    a & !b
+}
+
+// ---------------------------------------------------------------------
+// Subword rearrangement: pack / expand / merge / align.
+// ---------------------------------------------------------------------
+
+/// `fpack16`: scale four 16-bit lanes left by `gsr.scale`, then saturate
+/// bits `[14:7]` of each into an unsigned byte.
+///
+/// With `scale == 7` this is plain i16 → u8 saturation.
+pub fn fpack16(gsr: Gsr, a: u64) -> [u8; 4] {
+    let lanes = unpack16(a);
+    let mut out = [0u8; 4];
+    for i in 0..4 {
+        let v = (lanes[i] as i32) << gsr.scale;
+        out[i] = (v >> 7).clamp(0, 255) as u8;
+    }
+    out
+}
+
+/// [`fpack16`] on two registers, producing a full 8-byte register
+/// (`a` supplies lanes 0-3, `b` lanes 4-7). Convenience composite used by
+/// kernels that pack two halves with two `fpack16` instructions.
+pub fn fpack16_pair(gsr: Gsr, a: u64, b: u64) -> u64 {
+    let lo = fpack16(gsr, a);
+    let hi = fpack16(gsr, b);
+    pack8([lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]])
+}
+
+/// `fpackfix`: scale two 32-bit lanes left by `gsr.scale` and saturate
+/// bits `[31:16]` into signed 16-bit values.
+pub fn fpackfix(gsr: Gsr, a: u64) -> [i16; 2] {
+    let lanes = unpack32(a);
+    let mut out = [0i16; 2];
+    for i in 0..2 {
+        let v = (lanes[i] as i64) << gsr.scale;
+        out[i] = (v >> 16).clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+    }
+    out
+}
+
+/// `fexpand`: widen four unsigned bytes into four 16-bit lanes shifted
+/// left by 4 (VIS fixed-point pixel format).
+pub fn fexpand(a: [u8; 4]) -> u64 {
+    pack16([
+        (a[0] as i16) << 4,
+        (a[1] as i16) << 4,
+        (a[2] as i16) << 4,
+        (a[3] as i16) << 4,
+    ])
+}
+
+/// `fpmerge`: interleave two 4-byte operands into eight bytes:
+/// `a0 b0 a1 b1 a2 b2 a3 b3` (lane 0 first).
+pub fn fpmerge(a: [u8; 4], b: [u8; 4]) -> u64 {
+    pack8([a[0], b[0], a[1], b[1], a[2], b[2], a[3], b[3]])
+}
+
+/// `falignaddr`: align `addr + offset` down to 8 bytes and return the
+/// aligned address together with the GSR alignment field.
+pub fn falignaddr(addr: u64, offset: i64) -> (u64, u8) {
+    let ea = addr.wrapping_add_signed(offset);
+    (ea & !7, (ea & 7) as u8)
+}
+
+/// `faligndata`: extract 8 bytes starting at byte offset `gsr.align` from
+/// the 16-byte concatenation of `lo_addr_reg` (bytes 0-7, the lower
+/// addresses) and `hi_addr_reg` (bytes 8-15).
+pub fn faligndata(gsr: Gsr, lo_addr_reg: u64, hi_addr_reg: u64) -> u64 {
+    let k = (gsr.align & 7) as usize;
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&lo_addr_reg.to_le_bytes());
+    bytes[8..].copy_from_slice(&hi_addr_reg.to_le_bytes());
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&bytes[k..k + 8]);
+    u64::from_le_bytes(out)
+}
+
+// ---------------------------------------------------------------------
+// Partitioned compares and edge masks.
+// ---------------------------------------------------------------------
+
+/// `fcmpgt16`: 4-bit mask, bit *i* set when lane *i* of `a` > lane *i*
+/// of `b` (signed).
+pub fn fcmpgt16(a: u64, b: u64) -> u8 {
+    cmp16(a, b, |x, y| x > y)
+}
+
+/// `fcmple16`: 4-bit mask for `a <= b` lane-wise.
+pub fn fcmple16(a: u64, b: u64) -> u8 {
+    cmp16(a, b, |x, y| x <= y)
+}
+
+/// `fcmpeq16`: 4-bit mask for `a == b` lane-wise.
+pub fn fcmpeq16(a: u64, b: u64) -> u8 {
+    cmp16(a, b, |x, y| x == y)
+}
+
+/// `fcmpne16`: 4-bit mask for `a != b` lane-wise.
+pub fn fcmpne16(a: u64, b: u64) -> u8 {
+    cmp16(a, b, |x, y| x != y)
+}
+
+/// `fcmpgt32`: 2-bit mask for `a > b` lane-wise on 32-bit lanes.
+pub fn fcmpgt32(a: u64, b: u64) -> u8 {
+    let (a, b) = (unpack32(a), unpack32(b));
+    (a[0] > b[0]) as u8 | (((a[1] > b[1]) as u8) << 1)
+}
+
+fn cmp16(a: u64, b: u64, f: impl Fn(i16, i16) -> bool) -> u8 {
+    let (a, b) = (unpack16(a), unpack16(b));
+    let mut m = 0u8;
+    for i in 0..4 {
+        if f(a[i], b[i]) {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+/// `edge8`: byte-validity mask for a partial store covering `[addr, end]`.
+///
+/// Bits are set for the bytes of the 8-byte chunk at `addr & !7` that lie
+/// within the addressed region: from `addr & 7` up to either the end of
+/// the chunk or `end & 7` when `addr` and `end` fall in the same chunk.
+pub fn edge8(addr: u64, end: u64) -> u8 {
+    edge_mask(addr, end, 8)
+}
+
+/// `edge16`: like [`edge8`] for four 16-bit elements (4-bit mask).
+pub fn edge16(addr: u64, end: u64) -> u8 {
+    edge_mask(addr, end, 4)
+}
+
+/// `edge32`: like [`edge8`] for two 32-bit elements (2-bit mask).
+pub fn edge32(addr: u64, end: u64) -> u8 {
+    edge_mask(addr, end, 2)
+}
+
+fn edge_mask(addr: u64, end: u64, lanes: u64) -> u8 {
+    let bytes_per = 8 / lanes;
+    let lo = (addr & 7) / bytes_per;
+    let hi = if (addr & !7) == (end & !7) {
+        (end & 7) / bytes_per
+    } else {
+        lanes - 1
+    };
+    let mut m = 0u8;
+    for i in lo..=hi {
+        m |= 1 << i;
+    }
+    m
+}
+
+/// Apply a byte mask (as produced by [`edge8`] or a partitioned compare
+/// expanded to bytes) to merge `new` over `old`: mask bit *i* selects the
+/// new byte for lane *i*. This is the datapath of the VIS *partial store*.
+pub fn partial_store_merge(old: u64, new: u64, mask: u8) -> u64 {
+    let (o, n) = (unpack8(old), unpack8(new));
+    let mut out = [0u8; 8];
+    for i in 0..8 {
+        out[i] = if mask & (1 << i) != 0 { n[i] } else { o[i] };
+    }
+    pack8(out)
+}
+
+/// Expand a 4-bit 16-bit-lane compare mask into the corresponding 8-bit
+/// byte mask (each lane covers two bytes).
+pub fn mask16_to_bytes(mask4: u8) -> u8 {
+    let mut m = 0u8;
+    for i in 0..4 {
+        if mask4 & (1 << i) != 0 {
+            m |= 0b11 << (2 * i);
+        }
+    }
+    m
+}
+
+// ---------------------------------------------------------------------
+// Special-purpose operations.
+// ---------------------------------------------------------------------
+
+/// `pdist`: sum of absolute differences of the eight byte lanes of `a`
+/// and `b`, accumulated into `acc`.
+pub fn pdist(a: u64, b: u64, acc: u64) -> u64 {
+    let (a, b) = (unpack8(a), unpack8(b));
+    let mut s = 0u64;
+    for i in 0..8 {
+        s += (a[i] as i32 - b[i] as i32).unsigned_abs() as u64;
+    }
+    acc + s
+}
+
+/// `array8`: convert x/y/z fixed-point coordinates into a blocked byte
+/// address (used by 3-D rendering for cache locality). Implemented as the
+/// standard bit-interleave of the integer parts; our 2-D image workloads
+/// do not use it (matching the paper, whose benchmarks also never use
+/// `array`), but it is exercised by tests for completeness.
+pub fn array8(x: u64, y: u64, z: u64) -> u64 {
+    let (xi, yi, zi) = (x >> 11 & 0x7ff, y >> 11 & 0x7ff, z >> 11 & 0x7ff);
+    // Lower blocking: 2 bits of each coordinate interleaved, then middle
+    // 4 bits, then the upper bits concatenated.
+    let low = (xi & 3) | (yi & 3) << 2 | (zi & 1) << 4;
+    let mid = (xi >> 2 & 0xf) << 5 | (yi >> 2 & 0xf) << 9 | (zi >> 1 & 0xf) << 13;
+    let high = (xi >> 6) << 17 | (yi >> 6) << 22 | (zi >> 5) << 27;
+    low | mid | high
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let lanes = [-1i16, 0, 32767, -32768];
+        assert_eq!(unpack16(pack16(lanes)), lanes);
+        let lanes32 = [i32::MIN, i32::MAX];
+        assert_eq!(unpack32(pack32(lanes32)), lanes32);
+        let bytes = [1u8, 2, 3, 4, 5, 250, 251, 255];
+        assert_eq!(unpack8(pack8(bytes)), bytes);
+    }
+
+    #[test]
+    fn packed_add_sub_wraps() {
+        let a = pack16([i16::MAX, 1, -1, 100]);
+        let b = pack16([1, 1, 1, -100]);
+        assert_eq!(unpack16(fpadd16(a, b)), [i16::MIN, 2, 0, 0]);
+        assert_eq!(unpack16(fpsub16(a, b)), [i16::MAX - 1, 0, -2, 200]);
+        let a32 = pack32([i32::MAX, -5]);
+        let b32 = pack32([1, 5]);
+        assert_eq!(unpack32(fpadd32(a32, b32)), [i32::MIN, 0]);
+        assert_eq!(unpack32(fpsub32(a32, b32)), [i32::MAX - 1, -10]);
+    }
+
+    #[test]
+    fn fmul8x16_rounds_to_upper_16() {
+        // 255 * 256 = 65280; (65280 + 128) >> 8 = 255.
+        let pix = pack8([255, 0, 128, 1, 0, 0, 0, 0]);
+        let w = pack16([256, 256, 256, 256]);
+        assert_eq!(unpack16(fmul8x16(pix, w)), [255, 0, 128, 1]);
+    }
+
+    #[test]
+    fn fmul8x16au_broadcasts_coefficient() {
+        let pix = pack8([10, 20, 30, 40, 0, 0, 0, 0]);
+        let got = unpack16(fmul8x16au(pix, 512));
+        assert_eq!(got, [20, 40, 60, 80]);
+    }
+
+    #[test]
+    fn mul16_q8_identity() {
+        for (a, b) in [(300i16, 77i16), (-1234, 89), (32767, -32768), (-256, -256)] {
+            let ra = pack16([a; 4]);
+            let rb = pack16([b; 4]);
+            let want = ((a as i32 * b as i32) >> 8) as i16;
+            assert_eq!(unpack16(mul16_q8(ra, rb)), [want; 4], "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn fpack16_saturates() {
+        let gsr = Gsr { align: 0, scale: 7 };
+        assert_eq!(fpack16(gsr, pack16([-1, 256, 255, 0])), [0, 255, 255, 0]);
+        // scale=3 divides by 16 (the fexpand format).
+        let gsr3 = Gsr { align: 0, scale: 3 };
+        assert_eq!(
+            fpack16(gsr3, pack16([16 * 16, 255 * 16, 256 * 16, -16])),
+            [16, 255, 255, 0]
+        );
+    }
+
+    #[test]
+    fn fexpand_then_pack_is_identity() {
+        let gsr = Gsr { align: 0, scale: 3 };
+        for v in [0u8, 1, 127, 128, 254, 255] {
+            let wide = fexpand([v; 4]);
+            assert_eq!(fpack16(gsr, wide), [v; 4]);
+        }
+    }
+
+    #[test]
+    fn fpackfix_saturates_32_to_16() {
+        let gsr = Gsr { align: 0, scale: 16 };
+        assert_eq!(
+            fpackfix(gsr, pack32([40000, -40000])),
+            [i16::MAX, i16::MIN]
+        );
+        assert_eq!(fpackfix(gsr, pack32([1234, -1234])), [1234, -1234]);
+    }
+
+    #[test]
+    fn fpmerge_interleaves() {
+        let r = fpmerge([1, 2, 3, 4], [5, 6, 7, 8]);
+        assert_eq!(unpack8(r), [1, 5, 2, 6, 3, 7, 4, 8]);
+    }
+
+    #[test]
+    fn faligndata_extracts_window() {
+        let lo = pack8([0, 1, 2, 3, 4, 5, 6, 7]);
+        let hi = pack8([8, 9, 10, 11, 12, 13, 14, 15]);
+        for k in 0u8..8 {
+            let gsr = Gsr { align: k, scale: 0 };
+            let got = unpack8(faligndata(gsr, lo, hi));
+            let want: Vec<u8> = (k..k + 8).collect();
+            assert_eq!(&got[..], &want[..], "align {k}");
+        }
+    }
+
+    #[test]
+    fn falignaddr_splits_address() {
+        let (base, off) = falignaddr(0x1003, 2);
+        assert_eq!(base, 0x1000);
+        assert_eq!(off, 5);
+        let (base, off) = falignaddr(0x1008, 0);
+        assert_eq!(base, 0x1008);
+        assert_eq!(off, 0);
+    }
+
+    #[test]
+    fn partitioned_compares() {
+        let a = pack16([1, 5, -3, 7]);
+        let b = pack16([2, 5, -4, 0]);
+        assert_eq!(fcmpgt16(a, b), 0b1100);
+        assert_eq!(fcmple16(a, b), 0b0011);
+        assert_eq!(fcmpeq16(a, b), 0b0010);
+        assert_eq!(fcmpne16(a, b), 0b1101);
+        assert_eq!(fcmpgt32(pack32([5, -1]), pack32([4, 0])), 0b01);
+    }
+
+    #[test]
+    fn edge_masks() {
+        // Aligned start, far end: full mask.
+        assert_eq!(edge8(0x1000, 0x2000), 0xff);
+        // Start at byte 3 of the chunk.
+        assert_eq!(edge8(0x1003, 0x2000), 0b1111_1000);
+        // Start and end inside the same chunk (bytes 2..=5).
+        assert_eq!(edge8(0x1002, 0x1005), 0b0011_1100);
+        // 16-bit lanes: start at element 1 of 4.
+        assert_eq!(edge16(0x1002, 0x2000), 0b1110);
+        // 32-bit lanes.
+        assert_eq!(edge32(0x1004, 0x2000), 0b10);
+    }
+
+    #[test]
+    fn partial_store_merges_bytes() {
+        let old = pack8([0xaa; 8]);
+        let new = pack8([1, 2, 3, 4, 5, 6, 7, 8]);
+        let r = unpack8(partial_store_merge(old, new, 0b0000_1010));
+        assert_eq!(r, [0xaa, 2, 0xaa, 4, 0xaa, 0xaa, 0xaa, 0xaa]);
+    }
+
+    #[test]
+    fn mask16_expansion() {
+        assert_eq!(mask16_to_bytes(0b1010), 0b1100_1100);
+        assert_eq!(mask16_to_bytes(0b0001), 0b0000_0011);
+    }
+
+    #[test]
+    fn pdist_accumulates_sad() {
+        let a = pack8([10, 20, 30, 40, 50, 60, 70, 80]);
+        let b = pack8([12, 18, 30, 45, 50, 0, 70, 90]);
+        // |2|+|2|+0+|5|+0+|60|+0+|10| = 79
+        assert_eq!(pdist(a, b, 0), 79);
+        assert_eq!(pdist(a, b, 100), 179);
+        assert_eq!(pdist(a, a, 7), 7);
+    }
+
+    #[test]
+    fn logicals() {
+        assert_eq!(fand(0xf0f0, 0xff00), 0xf000);
+        assert_eq!(f_or(0xf0f0, 0x0f00), 0xfff0);
+        assert_eq!(fxor(0xffff, 0x00ff), 0xff00);
+        assert_eq!(fnot(0), u64::MAX);
+        assert_eq!(fandnot(0xff, 0x0f), 0xf0);
+    }
+
+    #[test]
+    fn array8_blocks_nearby_coordinates_together() {
+        // Adjacent x coordinates map to adjacent blocked addresses.
+        let a = array8(0 << 11, 0, 0);
+        let b = array8(1 << 11, 0, 0);
+        assert_ne!(a, b);
+        assert!(b - a <= 2, "nearby coords stay in the same block");
+    }
+}

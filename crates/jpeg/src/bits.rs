@@ -1,0 +1,212 @@
+//! Emitted bit-level I/O: the entropy-coded segment writer and reader.
+//!
+//! Both keep their state (output pointer, bit accumulator, bit count) in
+//! simulated registers and emit every shift/or/store — this serial
+//! register dependence chain is exactly why the paper finds the Huffman
+//! phases VIS-inapplicable.
+
+use visim_cpu::SimSink;
+use visim_trace::{Cond, Program, Val};
+
+/// Emitted bitstream writer state (MSB-first, JPEG 0xFF00 stuffing).
+#[derive(Debug, Clone, Copy)]
+pub struct BitWriterState {
+    /// Output byte pointer.
+    pub out: Val,
+    /// Bit accumulator (holds < 8 bits between symbols).
+    pub acc: Val,
+    /// Number of valid bits in `acc`.
+    pub nbits: Val,
+}
+
+impl BitWriterState {
+    /// Start writing at simulated address `out`.
+    pub fn new<S: SimSink>(p: &mut Program<S>, out: u64) -> Self {
+        BitWriterState {
+            out: p.li(out as i64),
+            acc: p.li(0),
+            nbits: p.li(0),
+        }
+    }
+
+    /// Append the low `len` bits of `code` (both emitted values; `len`'s
+    /// host value drives the byte-drain loop the way a real encoder's
+    /// data does).
+    pub fn put<S: SimSink>(&mut self, p: &mut Program<S>, code: &Val, len: &Val) {
+        self.acc = p.shl(&self.acc, len);
+        let masked = {
+            // code is already within len bits by construction.
+            p.or(&self.acc, code)
+        };
+        self.acc = masked;
+        self.nbits = p.add(&self.nbits, len);
+        // Drain whole bytes. The loop condition is a real emitted branch
+        // whose outcome depends on accumulated code lengths.
+        while p.bcond_i(Cond::Ge, &self.nbits, 8, false) {
+            self.nbits = p.addi(&self.nbits, -8);
+            let byte = p.shr(&self.acc, &self.nbits);
+            let byte = p.andi(&byte, 0xff);
+            p.store_u8(&self.out, 0, &byte);
+            self.out = p.addi(&self.out, 1);
+            // JPEG byte stuffing: 0xFF is followed by 0x00.
+            if p.bcond_i(Cond::Eq, &byte, 0xff, false) {
+                let z = p.li(0);
+                p.store_u8(&self.out, 0, &z);
+                self.out = p.addi(&self.out, 1);
+            }
+            // Clear the drained bits.
+            let one = p.li(1);
+            let m = p.shl(&one, &self.nbits);
+            let m = p.addi(&m, -1);
+            self.acc = p.and(&self.acc, &m);
+        }
+    }
+
+    /// Pad to a byte boundary with 1-bits and return the end address.
+    pub fn finish<S: SimSink>(&mut self, p: &mut Program<S>) -> u64 {
+        if p.bcond_i(Cond::Gt, &self.nbits, 0, false) {
+            let pad = p.li(8);
+            let padlen = p.sub(&pad, &self.nbits);
+            let one = p.li(1);
+            let ones = p.shl(&one, &padlen);
+            let ones = p.addi(&ones, -1);
+            self.put(p, &ones, &padlen);
+        }
+        self.out.value() as u64
+    }
+}
+
+/// Emitted bitstream reader state (MSB-first, removes 0xFF00 stuffing).
+#[derive(Debug, Clone, Copy)]
+pub struct BitReaderState {
+    /// Input byte pointer.
+    pub inp: Val,
+    /// Bit reservoir.
+    pub acc: Val,
+    /// Valid bits in the reservoir.
+    pub nbits: Val,
+}
+
+impl BitReaderState {
+    /// Start reading at simulated address `inp`.
+    pub fn new<S: SimSink>(p: &mut Program<S>, inp: u64) -> Self {
+        BitReaderState {
+            inp: p.li(inp as i64),
+            acc: p.li(0),
+            nbits: p.li(0),
+        }
+    }
+
+    fn fill<S: SimSink>(&mut self, p: &mut Program<S>, need: i64) {
+        while p.bcond_i(Cond::Lt, &self.nbits, need, false) {
+            let byte = p.load_u8(&self.inp, 0);
+            self.inp = p.addi(&self.inp, 1);
+            if p.bcond_i(Cond::Eq, &byte, 0xff, false) {
+                // Skip the stuffed zero.
+                self.inp = p.addi(&self.inp, 1);
+            }
+            let acc8 = p.shli(&self.acc, 8);
+            self.acc = p.or(&acc8, &byte);
+            self.nbits = p.addi(&self.nbits, 8);
+        }
+    }
+
+    /// Read one bit.
+    pub fn bit<S: SimSink>(&mut self, p: &mut Program<S>) -> Val {
+        self.fill(p, 1);
+        self.nbits = p.addi(&self.nbits, -1);
+        let b = p.shr(&self.acc, &self.nbits);
+        let b = p.andi(&b, 1);
+        let one = p.li(1);
+        let m = p.shl(&one, &self.nbits);
+        let m = p.addi(&m, -1);
+        self.acc = p.and(&self.acc, &m);
+        b
+    }
+
+    /// Read `n` bits (`n` is a host-known count, e.g. a decoded size
+    /// category), emitting a single masked extract.
+    pub fn get<S: SimSink>(&mut self, p: &mut Program<S>, n: i64) -> Val {
+        if n == 0 {
+            return p.li(0);
+        }
+        self.fill(p, n);
+        self.nbits = p.addi(&self.nbits, -n);
+        let v = p.shr(&self.acc, &self.nbits);
+        let mask = (1i64 << n) - 1;
+        let v = p.andi(&v, mask);
+        let one = p.li(1);
+        let m = p.shl(&one, &self.nbits);
+        let m = p.addi(&m, -1);
+        self.acc = p.and(&self.acc, &m);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visim_cpu::CountingSink;
+
+    #[test]
+    fn emitted_writer_reader_roundtrip() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let buf = p.mem_mut().alloc(256, 8);
+        let mut w = BitWriterState::new(&mut p, buf);
+        let fields: Vec<(i64, i64)> =
+            vec![(0b1, 1), (0b0110, 4), (0xabc, 12), (0xff, 8), (0, 3), (0x1f, 5)];
+        for &(v, n) in &fields {
+            let code = p.li(v);
+            let len = p.li(n);
+            w.put(&mut p, &code, &len);
+        }
+        let end = w.finish(&mut p);
+        assert!(end > buf);
+        let mut r = BitReaderState::new(&mut p, buf);
+        for &(v, n) in &fields {
+            let got = r.get(&mut p, n);
+            assert_eq!(got.value(), v, "{n}-bit field");
+        }
+    }
+
+    #[test]
+    fn stuffing_matches_host_bitwriter() {
+        // The emitted writer must produce byte-identical output to the
+        // host-side reference in media-dsp.
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let buf = p.mem_mut().alloc(64, 8);
+        let mut w = BitWriterState::new(&mut p, buf);
+        let mut href = media_dsp::BitWriter::with_stuffing();
+        for (v, n) in [(0xffu32, 8), (0x3, 2), (0xff, 8), (0x1, 6)] {
+            let code = p.li(v as i64);
+            let len = p.li(n as i64);
+            w.put(&mut p, &code, &len);
+            href.put(v, n);
+        }
+        let end = w.finish(&mut p);
+        let want = href.into_bytes();
+        let got = p.mem().bytes(buf, (end - buf) as usize).to_vec();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_bits_reassemble() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let buf = p.mem_mut().alloc(64, 8);
+        let mut w = BitWriterState::new(&mut p, buf);
+        let code = p.li(0b1011_0010);
+        let len = p.li(8);
+        w.put(&mut p, &code, &len);
+        w.finish(&mut p);
+        let mut r = BitReaderState::new(&mut p, buf);
+        let mut v = 0i64;
+        for _ in 0..8 {
+            let b = r.bit(&mut p);
+            v = (v << 1) | b.value();
+        }
+        assert_eq!(v, 0b1011_0010);
+    }
+}

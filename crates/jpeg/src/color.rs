@@ -1,0 +1,590 @@
+//! Color conversion and chroma resampling (the MediaLib-style routines
+//! the paper swapped in for the VIS experiments, §2.3.1).
+//!
+//! Encoder: interleaved RGB → full-resolution planar YCbCr → 2×2-mean
+//! chroma decimation to 4:2:0. Decoder: chroma replication upsample →
+//! planar YCbCr → interleaved RGB with saturation.
+//!
+//! The scalar variants clamp with data-dependent branches; the VIS
+//! variants use `fmul8x16au`/`fmul8sux16`-based fixed-point arithmetic,
+//! `fpack16` saturation, and merge/align rearrangement sequences
+//! (modelled by [`Program::vshuffle_composite`] at the instruction cost
+//! of the real MediaLib shuffles).
+
+use media_kernels::{SimImage, Variant};
+use visim_cpu::SimSink;
+use visim_isa::vis;
+use visim_trace::{Cond, Program, Val, VVal};
+
+use crate::SimPlane;
+
+/// Full set of planes produced by the encoder front end.
+#[derive(Debug, Clone, Copy)]
+pub struct Planes {
+    /// Luma at full resolution.
+    pub y: SimPlane,
+    /// Cb at quarter resolution (4:2:0).
+    pub cb: SimPlane,
+    /// Cr at quarter resolution.
+    pub cr: SimPlane,
+}
+
+/// Emit `clamp(v, 0, 255)` with explicit branches (scalar code path).
+pub fn clamp255<S: SimSink>(p: &mut Program<S>, v: &Val) -> Val {
+    let mut out = *v;
+    if p.bcond_i(Cond::Lt, &out, 0, false) {
+        out = p.li(0);
+    }
+    if p.bcond_i(Cond::Gt, &out, 255, false) {
+        out = p.li(255);
+    }
+    out
+}
+
+/// The 16×16-bit Q8 lane multiply VIS emulates with
+/// `fmul8sux16 + fmul8ulx16 + fpadd16`.
+fn vmulq8<S: SimSink>(p: &mut Program<S>, a: &VVal, c: &VVal) -> VVal {
+    let s = p.vmul8sux16(a, c);
+    let u = p.vmul8ulx16(a, c);
+    p.vadd16(&s, &u)
+}
+
+/// RGB → planar full-resolution YCbCr, then 4:2:0 decimation.
+pub fn rgb_to_ycbcr420<S: SimSink>(p: &mut Program<S>, rgb: &SimImage, v: Variant) -> Planes {
+    assert_eq!(rgb.bands, 3, "color conversion expects RGB");
+    let (w, h) = (rgb.width, rgb.height);
+    assert!(w % 16 == 0 && h % 16 == 0, "4:2:0 MCUs need 16x16 multiples");
+    let yp = SimPlane::alloc(p, w, h);
+    let cbf = SimPlane::alloc(p, w, h);
+    let crf = SimPlane::alloc(p, w, h);
+    if v.vis {
+        convert_vis(p, rgb, &yp, &cbf, &crf);
+    } else {
+        convert_scalar(p, rgb, &yp, &cbf, &crf);
+    }
+    let cb = SimPlane::alloc(p, w / 2, h / 2);
+    let cr = SimPlane::alloc(p, w / 2, h / 2);
+    decimate(p, &cbf, &cb, v);
+    decimate(p, &crf, &cr, v);
+    Planes { y: yp, cb, cr }
+}
+
+fn convert_scalar<S: SimSink>(
+    p: &mut Program<S>,
+    rgb: &SimImage,
+    yp: &SimPlane,
+    cbf: &SimPlane,
+    crf: &SimPlane,
+) {
+    let mut rin = p.li(rgb.addr as i64);
+    let mut ry = p.li(yp.addr as i64);
+    let mut rcb = p.li(cbf.addr as i64);
+    let mut rcr = p.li(crf.addr as i64);
+    let n = (rgb.width * 3) as i64;
+    p.loop_range(0, rgb.height as i64, 1, |p, _| {
+        let mut oy = ry;
+        let mut ocb = rcb;
+        let mut ocr = rcr;
+        p.loop_range(0, n, 3, |p, i| {
+            let r = p.load_u8_idx(&rin, i, 0);
+            let g = p.load_u8_idx(&rin, i, 1);
+            let b = p.load_u8_idx(&rin, i, 2);
+            let t1 = p.muli(&r, 77);
+            let t2 = p.muli(&g, 150);
+            let t3 = p.muli(&b, 29);
+            let s = p.add(&t1, &t2);
+            let s = p.add(&s, &t3);
+            let s = p.addi(&s, 128);
+            let y = p.srai(&s, 8);
+            p.store_u8(&oy, 0, &y);
+            let t1 = p.muli(&r, -43);
+            let t2 = p.muli(&g, -85);
+            let t3 = p.muli(&b, 128);
+            let s = p.add(&t1, &t2);
+            let s = p.add(&s, &t3);
+            let s = p.addi(&s, 128);
+            let cb = p.srai(&s, 8);
+            let cb = p.addi(&cb, 128);
+            p.store_u8(&ocb, 0, &cb);
+            let t1 = p.muli(&r, 128);
+            let t2 = p.muli(&g, -107);
+            let t3 = p.muli(&b, -21);
+            let s = p.add(&t1, &t2);
+            let s = p.add(&s, &t3);
+            let s = p.addi(&s, 128);
+            let cr = p.srai(&s, 8);
+            let cr = p.addi(&cr, 128);
+            p.store_u8(&ocr, 0, &cr);
+            oy = p.addi(&oy, 1);
+            ocb = p.addi(&ocb, 1);
+            ocr = p.addi(&ocr, 1);
+        });
+        rin = p.addi(&rin, rgb.stride as i64);
+        ry = p.addi(&ry, yp.w as i64);
+        rcb = p.addi(&rcb, cbf.w as i64);
+        rcr = p.addi(&rcr, crf.w as i64);
+    });
+}
+
+/// Host-side helper: the deinterleaved channel bytes of a 24-byte chunk.
+fn deinterleave_bits(d0: u64, d1: u64, d2: u64, channel: usize) -> u64 {
+    let mut bytes = [0u8; 24];
+    bytes[..8].copy_from_slice(&d0.to_le_bytes());
+    bytes[8..16].copy_from_slice(&d1.to_le_bytes());
+    bytes[16..].copy_from_slice(&d2.to_le_bytes());
+    let mut out = [0u8; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = bytes[3 * k + channel];
+    }
+    u64::from_le_bytes(out)
+}
+
+fn convert_vis<S: SimSink>(
+    p: &mut Program<S>,
+    rgb: &SimImage,
+    yp: &SimPlane,
+    cbf: &SimPlane,
+    crf: &SimPlane,
+) {
+    p.set_gsr_scale(3);
+    // Coefficients scaled by 16 so fmul8x16au leaves Q4 lanes.
+    let cyr = p.li(77 * 16);
+    let cyg = p.li(150 * 16);
+    let cyb = p.li(29 * 16);
+    let cbr = p.li(-43 * 16);
+    let cbg = p.li(-85 * 16);
+    let cbb = p.li(128 * 16);
+    let crr = p.li(128 * 16);
+    let crg = p.li(-107 * 16);
+    let crb = p.li(-21 * 16);
+    let k128 = p.vli(vis::pack16([128 << 4; 4]));
+    let mut rin = p.li(rgb.addr as i64);
+    let mut ry = p.li(yp.addr as i64);
+    let mut rcb = p.li(cbf.addr as i64);
+    let mut rcr = p.li(crf.addr as i64);
+    let w = rgb.width as i64;
+    p.loop_range(0, rgb.height as i64, 1, |p, _| {
+        p.loop_range(0, w, 8, |p, px| {
+            let i3 = px.value() * 3;
+            let d0 = p.loadv(&rin, i3);
+            let d1 = p.loadv(&rin, i3 + 8);
+            let d2 = p.loadv(&rin, i3 + 16);
+            // MediaLib-style merge deinterleave: 4 rearrangement ops per
+            // channel.
+            let r8 = {
+                let bits = deinterleave_bits(d0.bits(), d1.bits(), d2.bits(), 0);
+                p.vshuffle_composite(&[&d0, &d1, &d2], 4, bits)
+            };
+            let g8 = {
+                let bits = deinterleave_bits(d0.bits(), d1.bits(), d2.bits(), 1);
+                p.vshuffle_composite(&[&d0, &d1, &d2], 4, bits)
+            };
+            let b8 = {
+                let bits = deinterleave_bits(d0.bits(), d1.bits(), d2.bits(), 2);
+                p.vshuffle_composite(&[&d0, &d1, &d2], 4, bits)
+            };
+            let channel = |p: &mut Program<S>,
+                               cr_c: &Val,
+                               cg_c: &Val,
+                               cb_c: &Val,
+                               bias: bool|
+             -> VVal {
+                let mut halves = Vec::with_capacity(2);
+                for hi in [false, true] {
+                    let m1 = if hi {
+                        p.vmul8x16au_hi(&r8, cr_c)
+                    } else {
+                        p.vmul8x16au(&r8, cr_c)
+                    };
+                    let m2 = if hi {
+                        p.vmul8x16au_hi(&g8, cg_c)
+                    } else {
+                        p.vmul8x16au(&g8, cg_c)
+                    };
+                    let m3 = if hi {
+                        p.vmul8x16au_hi(&b8, cb_c)
+                    } else {
+                        p.vmul8x16au(&b8, cb_c)
+                    };
+                    let s = p.vadd16(&m1, &m2);
+                    let mut s = p.vadd16(&s, &m3);
+                    if bias {
+                        s = p.vadd16(&s, &k128);
+                    }
+                    halves.push(s);
+                }
+                p.vpack16_pair(&halves[0], &halves[1])
+            };
+            let y8 = channel(p, &cyr, &cyg, &cyb, false);
+            p.storev_idx(&ry, px, 0, &y8);
+            let cb8 = channel(p, &cbr, &cbg, &cbb, true);
+            p.storev_idx(&rcb, px, 0, &cb8);
+            let cr8 = channel(p, &crr, &crg, &crb, true);
+            p.storev_idx(&rcr, px, 0, &cr8);
+        });
+        rin = p.addi(&rin, rgb.stride as i64);
+        ry = p.addi(&ry, yp.w as i64);
+        rcb = p.addi(&rcb, cbf.w as i64);
+        rcr = p.addi(&rcr, crf.w as i64);
+    });
+}
+
+/// 2×2-mean decimation of a full-resolution plane into a half-resolution
+/// plane.
+pub fn decimate<S: SimSink>(p: &mut Program<S>, full: &SimPlane, half: &SimPlane, v: Variant) {
+    assert_eq!(full.w / 2, half.w);
+    assert_eq!(full.h / 2, half.h);
+    let mut r0 = p.li(full.addr as i64);
+    let mut r1 = p.li(full.addr as i64 + full.w as i64);
+    let mut ro = p.li(half.addr as i64);
+    let wout = half.w as i64;
+    if v.vis {
+        p.set_gsr_scale(1); // lanes hold 4*out*16; (v<<1)>>7 = v>>6
+        // Latch a 2-byte (one-lane) shift in the GSR for the horizontal
+        // pair adds.
+        let two = p.li(2);
+        p.valignaddr(&two, 0);
+    }
+    p.loop_range(0, half.h as i64, 1, |p, _| {
+        if v.vis {
+            p.loop_range(0, wout, 8, |p, o| {
+                let i = o.value() * 2;
+                let a0 = p.loadv(&r0, i);
+                let a1 = p.loadv(&r0, i + 8);
+                let b0 = p.loadv(&r1, i);
+                let b1 = p.loadv(&r1, i + 8);
+                // Vertical sums in Q4 lanes (columns 0..15).
+                let mut sums = Vec::with_capacity(4);
+                for (a, b) in [(a0, b0), (a1, b1)] {
+                    let al = p.vexpand_lo(&a);
+                    let bl = p.vexpand_lo(&b);
+                    sums.push(p.vadd16(&al, &bl));
+                    let ah = p.vexpand_hi(&a);
+                    let bh = p.vexpand_hi(&b);
+                    sums.push(p.vadd16(&ah, &bh));
+                }
+                // Horizontal pair add: shift one 16-bit lane and add.
+                let zero = p.vli(0);
+                let mut packed = Vec::with_capacity(4);
+                for k in 0..4 {
+                    let next = if k + 1 < 4 { sums[k + 1] } else { zero };
+                    let sh = p.valigndata(&sums[k], &next);
+                    let hs = p.vadd16(&sums[k], &sh);
+                    packed.push(p.vpack16(&hs)); // bytes 0,2 valid
+                }
+                // Compact the valid bytes of the four packs into eight.
+                let host = |pk: &VVal, lane: usize| pk.lanes8()[lane];
+                let mut out_bytes = [0u8; 8];
+                for k in 0..4 {
+                    out_bytes[2 * k] = host(&packed[k], 0);
+                    out_bytes[2 * k + 1] = host(&packed[k], 2);
+                }
+                let c1 = p.vshuffle_composite(&[&packed[0], &packed[1]], 2, 0);
+                let c2 = p.vshuffle_composite(&[&packed[2], &packed[3]], 2, 0);
+                let out = p.vshuffle_composite(&[&c1, &c2], 1, u64::from_le_bytes(out_bytes));
+                p.storev_idx(&ro, o, 0, &out);
+            });
+        } else {
+            p.loop_range(0, wout, 1, |p, o| {
+                let i = o.value() * 2;
+                let a = p.load_u8(&r0, i);
+                let b = p.load_u8(&r0, i + 1);
+                let c = p.load_u8(&r1, i);
+                let d = p.load_u8(&r1, i + 1);
+                let s = p.add(&a, &b);
+                let s2 = p.add(&c, &d);
+                let s = p.add(&s, &s2);
+                let s = p.addi(&s, 2);
+                let m = p.srai(&s, 2);
+                p.store_u8_idx(&ro, o, 0, &m);
+            });
+        }
+        r0 = p.addi(&r0, 2 * full.w as i64);
+        r1 = p.addi(&r1, 2 * full.w as i64);
+        ro = p.addi(&ro, half.w as i64);
+    });
+}
+
+/// Replicate-upsample a half-resolution plane to full resolution.
+pub fn upsample<S: SimSink>(p: &mut Program<S>, half: &SimPlane, full: &SimPlane, v: Variant) {
+    assert_eq!(full.w / 2, half.w);
+    assert_eq!(full.h / 2, half.h);
+    let mut ri = p.li(half.addr as i64);
+    let mut o0 = p.li(full.addr as i64);
+    let mut o1 = p.li(full.addr as i64 + full.w as i64);
+    let win = half.w as i64;
+    p.loop_range(0, half.h as i64, 1, |p, _| {
+        if v.vis {
+            p.loop_range(0, win, 8, |p, i| {
+                let x = p.loadv_idx(&ri, i, 0);
+                let lo = p.vmerge_lo(&x, &x); // a0a0a1a1a2a2a3a3
+                let hi = p.vmerge_hi(&x, &x);
+                let o = i.value() * 2;
+                p.storev(&o0, o, &lo);
+                p.storev(&o0, o + 8, &hi);
+                p.storev(&o1, o, &lo);
+                p.storev(&o1, o + 8, &hi);
+            });
+        } else {
+            p.loop_range(0, win, 1, |p, i| {
+                let x = p.load_u8_idx(&ri, i, 0);
+                let o = i.value() * 2;
+                p.store_u8(&o0, o, &x);
+                p.store_u8(&o0, o + 1, &x);
+                p.store_u8(&o1, o, &x);
+                p.store_u8(&o1, o + 1, &x);
+            });
+        }
+        ri = p.addi(&ri, half.w as i64);
+        o0 = p.addi(&o0, 2 * full.w as i64);
+        o1 = p.addi(&o1, 2 * full.w as i64);
+    });
+}
+
+/// Host-side helper: interleave three channel chunks into 24 RGB bytes.
+fn interleave_bits(r: u64, g: u64, b: u64) -> [u8; 24] {
+    let (r, g, b) = (r.to_le_bytes(), g.to_le_bytes(), b.to_le_bytes());
+    let mut out = [0u8; 24];
+    for k in 0..8 {
+        out[3 * k] = r[k];
+        out[3 * k + 1] = g[k];
+        out[3 * k + 2] = b[k];
+    }
+    out
+}
+
+/// Planar YCbCr (full-resolution chroma) → interleaved RGB.
+pub fn ycbcr_to_rgb<S: SimSink>(
+    p: &mut Program<S>,
+    yp: &SimPlane,
+    cbf: &SimPlane,
+    crf: &SimPlane,
+    out: &SimImage,
+    v: Variant,
+) {
+    assert_eq!(out.bands, 3);
+    assert_eq!((out.width, out.height), (yp.w, yp.h));
+    let mut ry = p.li(yp.addr as i64);
+    let mut rcb = p.li(cbf.addr as i64);
+    let mut rcr = p.li(crf.addr as i64);
+    let mut ro = p.li(out.addr as i64);
+    let w = yp.w as i64;
+    let vis_consts = if v.vis {
+        p.set_gsr_scale(3);
+        Some((
+            p.vli(vis::pack16([128 << 4; 4])), // chroma bias in Q4
+            p.vli(vis::pack16([359; 4])),
+            p.vli(vis::pack16([88; 4])),
+            p.vli(vis::pack16([183; 4])),
+            p.vli(vis::pack16([454; 4])),
+        ))
+    } else {
+        None
+    };
+    p.loop_range(0, yp.h as i64, 1, |p, _| {
+        if let Some((k128, c359, c88, c183, c454)) = &vis_consts {
+            p.loop_range(0, w, 8, |p, px| {
+                let y8 = p.loadv_idx(&ry, px, 0);
+                let cb8 = p.loadv_idx(&rcb, px, 0);
+                let cr8 = p.loadv_idx(&rcr, px, 0);
+                let mut chans = Vec::with_capacity(3);
+                let mut halves_r = Vec::new();
+                let mut halves_g = Vec::new();
+                let mut halves_b = Vec::new();
+                for hi in [false, true] {
+                    let yq = if hi {
+                        p.vexpand_hi(&y8)
+                    } else {
+                        p.vexpand_lo(&y8)
+                    };
+                    let cbq = if hi {
+                        p.vexpand_hi(&cb8)
+                    } else {
+                        p.vexpand_lo(&cb8)
+                    };
+                    let crq = if hi {
+                        p.vexpand_hi(&cr8)
+                    } else {
+                        p.vexpand_lo(&cr8)
+                    };
+                    let cbd = p.vsub16(&cbq, k128);
+                    let crd = p.vsub16(&crq, k128);
+                    let rr = vmulq8(p, &crd, c359);
+                    halves_r.push(p.vadd16(&yq, &rr));
+                    let g1 = vmulq8(p, &cbd, c88);
+                    let g2 = vmulq8(p, &crd, c183);
+                    let gs = p.vadd16(&g1, &g2);
+                    halves_g.push(p.vsub16(&yq, &gs));
+                    let bb = vmulq8(p, &cbd, c454);
+                    halves_b.push(p.vadd16(&yq, &bb));
+                }
+                chans.push(p.vpack16_pair(&halves_r[0], &halves_r[1]));
+                chans.push(p.vpack16_pair(&halves_g[0], &halves_g[1]));
+                chans.push(p.vpack16_pair(&halves_b[0], &halves_b[1]));
+                // Interleave 3 channel chunks into 24 bytes (MediaLib
+                // merge sequence: 4 ops per output chunk).
+                let bytes =
+                    interleave_bits(chans[0].bits(), chans[1].bits(), chans[2].bits());
+                let o = px.value() * 3;
+                for (k, chunk) in bytes.chunks_exact(8).enumerate() {
+                    let bits = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                    let c =
+                        p.vshuffle_composite(&[&chans[0], &chans[1], &chans[2]], 4, bits);
+                    p.storev(&ro, o + 8 * k as i64, &c);
+                }
+            });
+        } else {
+            p.loop_range(0, w, 1, |p, px| {
+                let y = p.load_u8_idx(&ry, px, 0);
+                let cb = p.load_u8_idx(&rcb, px, 0);
+                let cr = p.load_u8_idx(&rcr, px, 0);
+                let cbd = p.addi(&cb, -128);
+                let crd = p.addi(&cr, -128);
+                let t = p.muli(&crd, 359);
+                let t = p.srai(&t, 8);
+                let r = p.add(&y, &t);
+                let r = clamp255(p, &r);
+                let t1 = p.muli(&cbd, 88);
+                let t2 = p.muli(&crd, 183);
+                let t = p.add(&t1, &t2);
+                let t = p.srai(&t, 8);
+                let g = p.sub(&y, &t);
+                let g = clamp255(p, &g);
+                let t = p.muli(&cbd, 454);
+                let t = p.srai(&t, 8);
+                let b = p.add(&y, &t);
+                let b = clamp255(p, &b);
+                let o = px.value() * 3;
+                p.store_u8(&ro, o, &r);
+                p.store_u8(&ro, o + 1, &g);
+                p.store_u8(&ro, o + 2, &b);
+            });
+        }
+        ry = p.addi(&ry, yp.w as i64);
+        rcb = p.addi(&rcb, cbf.w as i64);
+        rcr = p.addi(&rcr, crf.w as i64);
+        ro = p.addi(&ro, out.stride as i64);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media_image::synth;
+    use visim_cpu::CountingSink;
+
+    fn roundtrip(v: Variant) -> (media_image::Image, media_image::Image, visim_cpu::CpuStats) {
+        let (w, h) = (32, 16);
+        let img = synth::still(w, h, 3, 77);
+        let mut sink = CountingSink::new();
+        let (src, back) = {
+            let mut p = Program::new(&mut sink);
+            let rgb = SimImage::from_image(&mut p, &img);
+            let planes = rgb_to_ycbcr420(&mut p, &rgb, v);
+            // Upsample chroma and convert back.
+            let cbf = SimPlane::alloc(&mut p, w, h);
+            let crf = SimPlane::alloc(&mut p, w, h);
+            upsample(&mut p, &planes.cb, &cbf, v);
+            upsample(&mut p, &planes.cr, &crf, v);
+            let out = SimImage::alloc(&mut p, w, h, 3);
+            ycbcr_to_rgb(&mut p, &planes.y, &cbf, &crf, &out, v);
+            (rgb.to_image(&p), out.to_image(&p))
+        };
+        (src, back, sink.finish())
+    }
+
+    #[test]
+    fn scalar_color_roundtrip_is_close() {
+        let (src, back, _) = roundtrip(Variant::SCALAR);
+        // Chroma subsampling is lossy; luma-dominant PSNR stays high.
+        let psnr = src.psnr(&back);
+        assert!(psnr > 24.0, "roundtrip PSNR {psnr:.1}");
+    }
+
+    #[test]
+    fn vis_color_matches_scalar_visually() {
+        let (_, s, cs) = roundtrip(Variant::SCALAR);
+        let (_, v, cv) = roundtrip(Variant::VIS);
+        let diff = s.mean_abs_diff(&v);
+        assert!(diff < 3.0, "VIS color path diff {diff:.2}");
+        assert!(
+            cv.retired * 2 < cs.retired,
+            "VIS halves the color path: {} vs {}",
+            cv.retired,
+            cs.retired
+        );
+        assert!(cv.vis_overhead > 0, "shuffle sequences counted as overhead");
+    }
+
+    #[test]
+    fn gray_input_produces_neutral_chroma() {
+        let (w, h) = (16, 16);
+        let mut img = media_image::Image::new(w, h, 3);
+        for v in img.data_mut() {
+            *v = 120;
+        }
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let rgb = SimImage::from_image(&mut p, &img);
+        let planes = rgb_to_ycbcr420(&mut p, &rgb, Variant::SCALAR);
+        let cb = planes.cb.to_vec(&p);
+        let cr = planes.cr.to_vec(&p);
+        for &v in cb.iter().chain(cr.iter()) {
+            assert!((v as i32 - 128).abs() <= 1, "neutral chroma, got {v}");
+        }
+        let y = planes.y.to_vec(&p);
+        for &v in &y {
+            assert!((v as i32 - 120).abs() <= 2, "gray luma, got {v}");
+        }
+    }
+
+    #[test]
+    fn decimate_averages_quads() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let full = SimPlane::alloc(&mut p, 16, 4);
+        for y in 0..4u64 {
+            for x in 0..16u64 {
+                p.mem_mut()
+                    .write_u8(full.addr + y * 16 + x, (10 * y + x) as u8);
+            }
+        }
+        let half = SimPlane::alloc(&mut p, 8, 2);
+        decimate(&mut p, &full, &half, Variant::SCALAR);
+        let out = half.to_vec(&p);
+        // Quad (0,0): 0,1,10,11 -> mean 5.5 -> 6 (round-half-up).
+        assert_eq!(out[0], 6);
+        let halfv = SimPlane::alloc(&mut p, 8, 2);
+        decimate(&mut p, &full, &halfv, Variant::VIS);
+        let outv = halfv.to_vec(&p);
+        for i in 0..out.len() {
+            assert!(
+                (out[i] as i32 - outv[i] as i32).abs() <= 1,
+                "VIS decimate sample {i}: {} vs {}",
+                out[i],
+                outv[i]
+            );
+        }
+    }
+
+    #[test]
+    fn upsample_replicates() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let half = SimPlane::alloc(&mut p, 8, 2);
+        for i in 0..16u64 {
+            p.mem_mut().write_u8(half.addr + i, i as u8);
+        }
+        for v in [Variant::SCALAR, Variant::VIS] {
+            let full = SimPlane::alloc(&mut p, 16, 4);
+            upsample(&mut p, &half, &full, v);
+            let out = full.to_vec(&p);
+            for y in 0..4usize {
+                for x in 0..16usize {
+                    let want = ((y / 2) * 8 + x / 2) as u8;
+                    assert_eq!(out[y * 16 + x], want, "{v:?} ({x},{y})");
+                }
+            }
+        }
+    }
+}

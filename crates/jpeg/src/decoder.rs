@@ -1,0 +1,229 @@
+//! The emitted JPEG decoder (`djpeg` / `djpeg-np`).
+
+use media_dsp::quant::{scale_table, CHROMA_Q, LUMA_Q};
+use media_dsp::ZIGZAG;
+use media_image::Image;
+use media_kernels::{SimImage, Variant};
+use visim_cpu::SimSink;
+use visim_trace::{Program, Val};
+
+use crate::bits::BitReaderState;
+use crate::block::{idct, store_block, SimQuant, VisIdct};
+use crate::color::{upsample, ycbcr_to_rgb};
+use crate::encoder::{scan_script, EntropyTables, JpegStream};
+use crate::huff::extend;
+use crate::SimPlane;
+
+/// Decode a stream produced by [`crate::encode`] back into an image.
+pub fn decode<S: SimSink>(p: &mut Program<S>, stream: &JpegStream, v: Variant) -> Image {
+    let out = decode_sim(p, stream, v);
+    out.to_image(p)
+}
+
+/// Decode into a simulated-memory image.
+pub fn decode_sim<S: SimSink>(p: &mut Program<S>, stream: &JpegStream, v: Variant) -> SimImage {
+    // Emitted header parse: the decoder trusts its own loads.
+    let hb = p.li(stream.addr as i64);
+    let m0 = p.load_u8(&hb, 0);
+    let m1 = p.load_u8(&hb, 1);
+    assert_eq!((m0.value(), m1.value()), (b'V' as i64, b'J' as i64));
+    let whi = p.load_u8(&hb, 2);
+    let wlo = p.load_u8(&hb, 3);
+    let t = p.muli(&whi, 256);
+    let wv = p.add(&t, &wlo);
+    let hhi = p.load_u8(&hb, 4);
+    let hlo = p.load_u8(&hb, 5);
+    let t = p.muli(&hhi, 256);
+    let hv = p.add(&t, &hlo);
+    let q = p.load_u8(&hb, 6);
+    let prog = p.load_u8(&hb, 7);
+    let (w, h) = (wv.value() as usize, hv.value() as usize);
+    let quality = q.value() as u32;
+    let progressive = prog.value() != 0;
+
+    let yp = SimPlane::alloc(p, w, h);
+    let cbp = SimPlane::alloc(p, w / 2, h / 2);
+    let crp = SimPlane::alloc(p, w / 2, h / 2);
+    let lq = SimQuant::install(p, &scale_table(&LUMA_Q, quality));
+    let cq = SimQuant::install(p, &scale_table(&CHROMA_Q, quality));
+    let tables = EntropyTables::install(p);
+    let vidct = if v.vis { Some(VisIdct::new(p)) } else { None };
+    let mut reader = BitReaderState::new(p, stream.addr + 8);
+    let comps: [(&SimPlane, &SimQuant); 3] = [(&yp, &lq), (&cbp, &cq), (&crp, &cq)];
+
+    if progressive {
+        // Scans fill image-sized level buffers; blocks reconstruct after.
+        let mut bufs = Vec::new();
+        for (plane, _) in comps {
+            let (wb, hb_) = (plane.w / 8, plane.h / 8);
+            bufs.push((p.mem_mut().alloc(wb * hb_ * 128, 8), wb, hb_));
+        }
+        for (comp, ss, se) in scan_script() {
+            let (buf, wb, hb_) = bufs[comp];
+            let chan = comp.min(1);
+            let mut pred = p.li(0);
+            for bi in 0..wb * hb_ {
+                let base = p.li((buf + (bi * 128) as u64) as i64);
+                if ss == 0 {
+                    let (dc, npred) = decode_dc(p, &mut reader, &tables, chan, &pred);
+                    pred = npred;
+                    p.store_u16(&base, 0, &dc);
+                } else {
+                    decode_ac_band_to_buffer(p, &mut reader, &tables, chan, &base, ss, se);
+                }
+            }
+        }
+        // Reconstruction pass: dequantize + IDCT every block.
+        for (comp, &(plane, q)) in comps.iter().enumerate() {
+            let (buf, wb, hb_) = bufs[comp];
+            for by in 0..hb_ {
+                for bx in 0..wb {
+                    let base = p.li((buf + ((by * wb + bx) * 128) as u64) as i64);
+                    if v.prefetch {
+                        p.prefetch(&base, 256);
+                        p.prefetch(&base, 320);
+                    }
+                    let zero = p.li(0);
+                    let mut coef = vec![zero; 64];
+                    for k in 0..64 {
+                        let lvl = p.load_i16(&base, 2 * k as i64);
+                        let (raster, val) = q.dequant_one(p, k, &lvl);
+                        coef[raster] = val;
+                    }
+                    if let Some(ctx) = &vidct {
+                        ctx.run(p, &coef, plane, bx, by);
+                    } else {
+                        let px = idct(p, &coef);
+                        store_block(p, plane, bx, by, &px);
+                    }
+                }
+            }
+        }
+    } else {
+        let (mw, mh) = (w / 16, h / 16);
+        let mut preds = [p.li(0), p.li(0), p.li(0)];
+        for my in 0..mh {
+            for mx in 0..mw {
+                for (comp, &(plane, q)) in comps.iter().enumerate() {
+                    let blocks: &[(usize, usize)] = if comp == 0 {
+                        &[
+                            (2 * mx, 2 * my),
+                            (2 * mx + 1, 2 * my),
+                            (2 * mx, 2 * my + 1),
+                            (2 * mx + 1, 2 * my + 1),
+                        ]
+                    } else {
+                        &[(mx, my)]
+                    };
+                    let chan = comp.min(1);
+                    for &(bx, by) in blocks {
+                        let (dc, npred) = decode_dc(p, &mut reader, &tables, chan, &preds[comp]);
+                        preds[comp] = npred;
+                        let zero = p.li(0);
+                        let mut coef = vec![zero; 64];
+                        let (raster0, v0) = q.dequant_one(p, 0, &dc);
+                        coef[raster0] = v0;
+                        decode_ac_into(p, &mut reader, &tables, chan, q, &mut coef);
+                        if let Some(ctx) = &vidct {
+                            ctx.run(p, &coef, plane, bx, by);
+                        } else {
+                            let px = idct(p, &coef);
+                            store_block(p, plane, bx, by, &px);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Upsample chroma and convert back to interleaved RGB.
+    let cbf = SimPlane::alloc(p, w, h);
+    let crf = SimPlane::alloc(p, w, h);
+    upsample(p, &cbp, &cbf, v);
+    upsample(p, &crp, &crf, v);
+    let rgb = SimImage::alloc(p, w, h, 3);
+    ycbcr_to_rgb(p, &yp, &cbf, &crf, &rgb, v);
+    rgb
+}
+
+/// Emit DC decode: returns `(dc_level, new_pred)`.
+fn decode_dc<S: SimSink>(
+    p: &mut Program<S>,
+    r: &mut BitReaderState,
+    t: &EntropyTables,
+    chan: usize,
+    pred: &Val,
+) -> (Val, Val) {
+    let cat = t.dc[chan].decode(p, r);
+    let catv = cat.value();
+    let bits = r.get(p, catv);
+    let diff = extend(p, &bits, catv);
+    let dc = p.add(pred, &diff);
+    (dc, dc)
+}
+
+/// Emit baseline AC decode of coefficients 1..=63 directly into a
+/// dequantized raster block.
+fn decode_ac_into<S: SimSink>(
+    p: &mut Program<S>,
+    r: &mut BitReaderState,
+    t: &EntropyTables,
+    chan: usize,
+    q: &SimQuant,
+    coef: &mut [Val],
+) {
+    let mut k = 1usize;
+    while k <= 63 {
+        let sym = t.ac[chan].decode(p, r);
+        let run = p.shri(&sym, 4);
+        let size = p.andi(&sym, 15);
+        if size.value() == 0 {
+            if run.value() == 15 {
+                k += 16; // ZRL
+                continue;
+            }
+            break; // EOB
+        }
+        k += run.value() as usize;
+        let bits = r.get(p, size.value());
+        let level = extend(p, &bits, size.value());
+        let (raster, val) = q.dequant_one(p, k, &level);
+        coef[raster] = val;
+        k += 1;
+    }
+}
+
+/// Emit progressive AC decode of a spectral band into the level buffer.
+fn decode_ac_band_to_buffer<S: SimSink>(
+    p: &mut Program<S>,
+    r: &mut BitReaderState,
+    t: &EntropyTables,
+    chan: usize,
+    base: &Val,
+    ss: usize,
+    se: usize,
+) {
+    let mut k = ss;
+    while k <= se {
+        let sym = t.ac[chan].decode(p, r);
+        let run = p.shri(&sym, 4);
+        let size = p.andi(&sym, 15);
+        if size.value() == 0 {
+            if run.value() == 15 {
+                k += 16;
+                continue;
+            }
+            break;
+        }
+        k += run.value() as usize;
+        let bits = r.get(p, size.value());
+        let level = extend(p, &bits, size.value());
+        p.store_u16(base, 2 * k as i64, &level);
+        k += 1;
+    }
+}
+
+#[allow(unused)]
+fn zz_check(k: usize) -> usize {
+    ZIGZAG[k]
+}

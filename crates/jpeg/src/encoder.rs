@@ -1,0 +1,286 @@
+//! The emitted JPEG encoder (`cjpeg` / `cjpeg-np`).
+
+use media_dsp::huffman::{ac_chroma, ac_luma, dc_chroma, dc_luma};
+use media_dsp::quant::{scale_table, CHROMA_Q, LUMA_Q};
+use media_image::Image;
+use media_kernels::{SimImage, Variant};
+use visim_cpu::SimSink;
+use visim_trace::{Cond, Program, Val};
+
+use crate::bits::BitWriterState;
+use crate::block::{fdct, load_block, SimQuant};
+use crate::color::rgb_to_ycbcr420;
+use crate::huff::{extend_bits, SimCategory, SimHuff};
+use crate::SimPlane;
+
+/// Encoder parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeParams {
+    /// IJG-style quality, 1..=100.
+    pub quality: u32,
+    /// Progressive (spectral-selection) mode — the paper's `cjpeg`
+    /// versus the baseline `cjpeg-np`.
+    pub progressive: bool,
+}
+
+impl Default for EncodeParams {
+    fn default() -> Self {
+        EncodeParams {
+            quality: 75,
+            progressive: false,
+        }
+    }
+}
+
+/// An encoded stream resident in simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JpegStream {
+    /// Start of the stream (header byte 0).
+    pub addr: u64,
+    /// Total length in bytes.
+    pub len: usize,
+    /// Image width (also recoverable from the header).
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Quality used.
+    pub quality: u32,
+    /// Progressive flag.
+    pub progressive: bool,
+}
+
+/// The progressive spectral-selection scan script (component, ss, se);
+/// `ss == 0` marks a DC scan. Mirrors the flavor of the IJG default
+/// script without successive approximation.
+pub(crate) fn scan_script() -> Vec<(usize, usize, usize)> {
+    vec![
+        (0, 0, 0), // DC Y
+        (1, 0, 0), // DC Cb
+        (2, 0, 0), // DC Cr
+        (0, 1, 5), // AC Y low band
+        (0, 6, 63),
+        (1, 1, 63),
+        (2, 1, 63),
+    ]
+}
+
+/// Shared entropy-coding context.
+pub(crate) struct EntropyTables {
+    pub dc: [SimHuff; 2], // luma, chroma
+    pub ac: [SimHuff; 2],
+    pub cat: SimCategory,
+}
+
+impl EntropyTables {
+    pub fn install<S: SimSink>(p: &mut Program<S>) -> Self {
+        EntropyTables {
+            dc: [
+                SimHuff::install(p, &dc_luma()),
+                SimHuff::install(p, &dc_chroma()),
+            ],
+            ac: [
+                SimHuff::install(p, &ac_luma()),
+                SimHuff::install(p, &ac_chroma()),
+            ],
+            cat: SimCategory::install(p),
+        }
+    }
+
+    fn chan(&self, comp: usize) -> usize {
+        usize::from(comp != 0)
+    }
+}
+
+/// Encode `img` into a simulated-memory stream.
+pub fn encode<S: SimSink>(
+    p: &mut Program<S>,
+    img: &Image,
+    params: EncodeParams,
+    v: Variant,
+) -> JpegStream {
+    let rgb = SimImage::from_image(p, img);
+    encode_sim(p, &rgb, params, v)
+}
+
+/// Encode an image already resident in simulated memory.
+pub fn encode_sim<S: SimSink>(
+    p: &mut Program<S>,
+    rgb: &SimImage,
+    params: EncodeParams,
+    v: Variant,
+) -> JpegStream {
+    let (w, h) = (rgb.width, rgb.height);
+    let planes = rgb_to_ycbcr420(p, rgb, v);
+    let lq = SimQuant::install(p, &scale_table(&LUMA_Q, params.quality));
+    let cq = SimQuant::install(p, &scale_table(&CHROMA_Q, params.quality));
+    let tables = EntropyTables::install(p);
+
+    // Output buffer and emitted header. Worst case (quality 100 on
+    // noise) can exceed the raw size once byte stuffing is included,
+    // so size for twice the raw image.
+    let cap = w * h * 6 + 8192;
+    let out = p.mem_mut().alloc(cap, 8);
+    let ob = p.li(out as i64);
+    let hdr = [
+        b'V' as i64,
+        b'J' as i64,
+        (w / 256) as i64,
+        (w % 256) as i64,
+        (h / 256) as i64,
+        (h % 256) as i64,
+        params.quality as i64,
+        params.progressive as i64,
+    ];
+    for (i, b) in hdr.iter().enumerate() {
+        let bv = p.li(*b);
+        p.store_u8(&ob, i as i64, &bv);
+    }
+
+    let mut writer = BitWriterState::new(p, out + 8);
+    let comps: [(&SimPlane, &SimQuant); 3] =
+        [(&planes.y, &lq), (&planes.cb, &cq), (&planes.cr, &cq)];
+
+    if params.progressive {
+        // Pass 1: DCT + quantize every block of every component into
+        // image-sized coefficient buffers (the large working set of
+        // §4.1).
+        let mut bufs = Vec::new();
+        for (plane, q) in comps {
+            let (wb, hb) = (plane.w / 8, plane.h / 8);
+            let buf = p.mem_mut().alloc(wb * hb * 64 * 2, 8);
+            for by in 0..hb {
+                for bx in 0..wb {
+                    let samples = load_block(p, plane, bx, by);
+                    let coef = fdct(p, &samples);
+                    let zz = q.quantize(p, &coef);
+                    let base = p.li((buf + ((by * wb + bx) * 128) as u64) as i64);
+                    for (k, level) in zz.iter().enumerate() {
+                        p.store_u16(&base, 2 * k as i64, level);
+                    }
+                }
+            }
+            bufs.push((buf, wb, hb));
+        }
+        // Entropy scans: each is a full pass over a coefficient buffer.
+        for (comp, ss, se) in scan_script() {
+            let (buf, wb, hb) = bufs[comp];
+            let chan = tables.chan(comp);
+            let mut pred = p.li(0);
+            for bi in 0..wb * hb {
+                let base = p.li((buf + (bi * 128) as u64) as i64);
+                if v.prefetch {
+                    // Prefetch the next blocks' coefficient lines (the
+                    // paper's small cjpeg/djpeg prefetching win).
+                    p.prefetch(&base, 256);
+                    p.prefetch(&base, 320);
+                }
+                if ss == 0 {
+                    let dc = p.load_i16(&base, 0);
+                    pred = encode_dc(p, &mut writer, &tables, chan, &dc, &pred);
+                } else {
+                    let levels: Vec<Val> = (ss..=se)
+                        .map(|k| p.load_i16(&base, 2 * k as i64))
+                        .collect();
+                    encode_ac_band(p, &mut writer, &tables, chan, &levels);
+                }
+            }
+        }
+    } else {
+        // Baseline: one interleaved blocked pipeline over 16x16 MCUs.
+        let (mw, mh) = (w / 16, h / 16);
+        let mut preds = [p.li(0), p.li(0), p.li(0)];
+        for my in 0..mh {
+            for mx in 0..mw {
+                for (comp, &(plane, q)) in comps.iter().enumerate() {
+                    let blocks: &[(usize, usize)] = if comp == 0 {
+                        &[
+                            (2 * mx, 2 * my),
+                            (2 * mx + 1, 2 * my),
+                            (2 * mx, 2 * my + 1),
+                            (2 * mx + 1, 2 * my + 1),
+                        ]
+                    } else {
+                        &[(mx, my)]
+                    };
+                    let chan = tables.chan(comp);
+                    for &(bx, by) in blocks {
+                        let samples = load_block(p, plane, bx, by);
+                        let coef = fdct(p, &samples);
+                        let zz = q.quantize(p, &coef);
+                        preds[comp] =
+                            encode_dc(p, &mut writer, &tables, chan, &zz[0], &preds[comp]);
+                        encode_ac_band(p, &mut writer, &tables, chan, &zz[1..]);
+                    }
+                }
+            }
+        }
+    }
+
+    let end = writer.finish(p);
+    JpegStream {
+        addr: out,
+        len: (end - out) as usize,
+        width: w,
+        height: h,
+        quality: params.quality,
+        progressive: params.progressive,
+    }
+}
+
+/// Emit DC-difference coding of `dc` against `pred`; returns the new
+/// predictor.
+pub(crate) fn encode_dc<S: SimSink>(
+    p: &mut Program<S>,
+    w: &mut BitWriterState,
+    t: &EntropyTables,
+    chan: usize,
+    dc: &Val,
+    pred: &Val,
+) -> Val {
+    let diff = p.sub(dc, pred);
+    let (cat, _) = t.cat.of(p, &diff);
+    t.dc[chan].encode(p, w, &cat);
+    if cat.value() > 0 {
+        let bits = extend_bits(p, &diff, &cat);
+        w.put(p, &bits, &cat);
+    }
+    *dc
+}
+
+/// Emit run/size AC coding of a zig-zag band (levels in band order).
+pub(crate) fn encode_ac_band<S: SimSink>(
+    p: &mut Program<S>,
+    w: &mut BitWriterState,
+    t: &EntropyTables,
+    chan: usize,
+    levels: &[Val],
+) {
+    let mut run = p.li(0);
+    let mut wrote_any_after_run = true;
+    for level in levels {
+        // The per-coefficient zero test: the data-dependent branch the
+        // paper's Huffman analysis hinges on.
+        if p.bcond_i(Cond::Eq, level, 0, false) {
+            run = p.addi(&run, 1);
+            wrote_any_after_run = false;
+            continue;
+        }
+        while run.value() >= 16 {
+            let zrl = p.li(0xf0);
+            t.ac[chan].encode(p, w, &zrl);
+            run = p.addi(&run, -16);
+        }
+        let (cat, _) = t.cat.of(p, level);
+        let r4 = p.shli(&run, 4);
+        let sym = p.or(&r4, &cat);
+        t.ac[chan].encode(p, w, &sym);
+        let bits = extend_bits(p, level, &cat);
+        w.put(p, &bits, &cat);
+        run = p.li(0);
+        wrote_any_after_run = true;
+    }
+    if !wrote_any_after_run {
+        let eob = p.li(0x00);
+        t.ac[chan].encode(p, w, &eob);
+    }
+}

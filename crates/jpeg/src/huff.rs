@@ -1,0 +1,233 @@
+//! Emitted Huffman entropy coding over in-memory tables.
+//!
+//! The encoder's code/length tables and the decoder's canonical
+//! min/max/valptr tables live in *simulated* memory and every table
+//! access is an emitted load — these are the "small data structures"
+//! (§4.1) that make up the codecs' first-level working sets.
+
+use media_dsp::huffman::HuffTable;
+use visim_cpu::SimSink;
+use visim_trace::{Cond, Program, Val};
+
+use crate::bits::{BitReaderState, BitWriterState};
+
+/// A Huffman table materialized in simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct SimHuff {
+    code: u64,    // 256 x u16
+    len: u64,     // 256 x u8
+    mincode: u64, // 17 x i32
+    maxcode: u64, // 17 x i32
+    valptr: u64,  // 17 x i32
+    vals: u64,    // up to 256 x u8
+}
+
+impl SimHuff {
+    /// Copy `table` into simulated memory (host-side setup).
+    pub fn install<S: SimSink>(p: &mut Program<S>, table: &HuffTable) -> Self {
+        let mem = p.mem_mut();
+        let code = mem.alloc(512, 8);
+        let len = mem.alloc(256, 8);
+        for sym in 0..=255u8 {
+            if let Some((c, l)) = table.try_code(sym) {
+                mem.write_u16(code + 2 * sym as u64, c as u16);
+                mem.write_u8(len + sym as u64, l as u8);
+            }
+        }
+        let (minc, maxc, vp, vals) = table.decode_tables();
+        let mincode = mem.alloc(17 * 4, 8);
+        let maxcode = mem.alloc(17 * 4, 8);
+        let valptr = mem.alloc(17 * 4, 8);
+        let vals_a = mem.alloc(vals.len().max(1), 8);
+        for i in 0..17 {
+            mem.write_u32(mincode + 4 * i as u64, minc[i] as u32);
+            mem.write_u32(maxcode + 4 * i as u64, maxc[i] as u32);
+            mem.write_u32(valptr + 4 * i as u64, vp[i] as u32);
+        }
+        mem.write_bytes(vals_a, vals);
+        SimHuff {
+            code,
+            len,
+            mincode,
+            maxcode,
+            valptr,
+            vals: vals_a,
+        }
+    }
+
+    /// Emit the encoding of `sym` into `w` and return the code length.
+    pub fn encode<S: SimSink>(
+        &self,
+        p: &mut Program<S>,
+        w: &mut BitWriterState,
+        sym: &Val,
+    ) -> Val {
+        let cbase = p.li(self.code as i64);
+        let lbase = p.li(self.len as i64);
+        let ix2 = p.shli(sym, 1);
+        let code = p.load_u16_idx(&cbase, &ix2, 0);
+        let len = p.load_u8_idx(&lbase, sym, 0);
+        debug_assert!(len.value() > 0, "symbol {} has no code", sym.value());
+        w.put(p, &code, &len);
+        len
+    }
+
+    /// Emit the decoding of one symbol from `r` (the canonical
+    /// bit-serial walk: one emitted branch per code length, exactly the
+    /// "inherently sequential" behaviour of §3.2.3).
+    pub fn decode<S: SimSink>(&self, p: &mut Program<S>, r: &mut BitReaderState) -> Val {
+        let maxb = p.li(self.maxcode as i64);
+        let mut code = p.li(0);
+        for l in 1..=16i64 {
+            let b = r.bit(p);
+            let c2 = p.shli(&code, 1);
+            code = p.or(&c2, &b);
+            let maxc = p.load_i32(&maxb, 4 * l);
+            if p.bcond(Cond::Le, &code, &maxc, false) && maxc.value() >= 0 {
+                let minb = p.li(self.mincode as i64);
+                let minc = p.load_i32(&minb, 4 * l);
+                let off = p.sub(&code, &minc);
+                let vpb = p.li(self.valptr as i64);
+                let vp = p.load_i32(&vpb, 4 * l);
+                let ix = p.add(&vp, &off);
+                let vb = p.li(self.vals as i64);
+                return p.load_u8_idx(&vb, &ix, 0);
+            }
+        }
+        panic!("invalid huffman code in simulated stream");
+    }
+}
+
+/// A 256-entry magnitude-category table in simulated memory, plus the
+/// emitted category computation (abs + table lookup, with a rare branch
+/// for values above 255 — the jpeglib approach).
+#[derive(Debug, Clone, Copy)]
+pub struct SimCategory {
+    table: u64,
+}
+
+impl SimCategory {
+    /// Install the category table.
+    pub fn install<S: SimSink>(p: &mut Program<S>) -> Self {
+        let addr = p.mem_mut().alloc(256, 8);
+        for v in 0..256u64 {
+            let bits = 32 - (v as u32).leading_zeros();
+            p.mem_mut().write_u8(addr + v, bits as u8);
+        }
+        SimCategory { table: addr }
+    }
+
+    /// Emit `(category, abs_value)` of `v`.
+    pub fn of<S: SimSink>(&self, p: &mut Program<S>, v: &Val) -> (Val, Val) {
+        let mut av = *v;
+        if p.bcond_i(Cond::Lt, v, 0, false) {
+            let z = p.li(0);
+            av = p.sub(&z, v);
+        }
+        let tb = p.li(self.table as i64);
+        let cat = if p.bcond_i(Cond::Lt, &av, 256, false) {
+            p.load_u8_idx(&tb, &av, 0)
+        } else {
+            let hi = p.shri(&av, 8);
+            let c = p.load_u8_idx(&tb, &hi, 0);
+            p.addi(&c, 8)
+        };
+        (cat, av)
+    }
+}
+
+/// Emit the JPEG signed-magnitude "extend" bits of `v` for category
+/// `cat` (ones-complement negatives), ready for [`BitWriterState::put`].
+pub fn extend_bits<S: SimSink>(p: &mut Program<S>, v: &Val, cat: &Val) -> Val {
+    if p.bcond_i(Cond::Ge, v, 0, false) {
+        *v
+    } else {
+        // v - 1 + (1 << cat)
+        let one = p.li(1);
+        let pw = p.shl(&one, cat);
+        let t = p.add(v, &pw);
+        p.addi(&t, -1)
+    }
+}
+
+/// Emit the inverse of [`extend_bits`]: reconstruct the signed value
+/// from `bits` in category `cat` (host-known `cat`).
+pub fn extend<S: SimSink>(p: &mut Program<S>, bits: &Val, cat: i64) -> Val {
+    if cat == 0 {
+        return p.li(0);
+    }
+    let half = 1i64 << (cat - 1);
+    if p.bcond_i(Cond::Lt, bits, half, false) {
+        let t = p.addi(bits, 1 - (1i64 << cat));
+        t
+    } else {
+        *bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media_dsp::huffman;
+    use visim_cpu::CountingSink;
+
+    #[test]
+    fn emitted_encode_decode_roundtrip() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let table = huffman::ac_luma();
+        let sh = SimHuff::install(&mut p, &table);
+        let buf = p.mem_mut().alloc(512, 8);
+        let mut w = BitWriterState::new(&mut p, buf);
+        let syms = [0x01u8, 0x00, 0xf0, 0x53, 0x22, 0xfa, 0x11];
+        for &s in &syms {
+            let sv = p.li(s as i64);
+            sh.encode(&mut p, &mut w, &sv);
+        }
+        w.finish(&mut p);
+        let mut r = BitReaderState::new(&mut p, buf);
+        for &s in &syms {
+            let got = sh.decode(&mut p, &mut r);
+            assert_eq!(got.value(), s as i64);
+        }
+    }
+
+    #[test]
+    fn emitted_bytes_match_host_encoder() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let table = huffman::dc_luma();
+        let sh = SimHuff::install(&mut p, &table);
+        let buf = p.mem_mut().alloc(128, 8);
+        let mut w = BitWriterState::new(&mut p, buf);
+        let mut href = media_dsp::BitWriter::with_stuffing();
+        for s in 0..=11u8 {
+            let sv = p.li(s as i64);
+            sh.encode(&mut p, &mut w, &sv);
+            table.encode(&mut href, s);
+        }
+        let end = w.finish(&mut p);
+        let want = href.into_bytes();
+        let got = p.mem().bytes(buf, (end - buf) as usize).to_vec();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn category_and_extend_roundtrip() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let cat = SimCategory::install(&mut p);
+        for v in [-2047i64, -300, -1, 0, 1, 2, 255, 256, 1023, 2047] {
+            let vv = p.li(v);
+            let (c, _av) = cat.of(&mut p, &vv);
+            assert_eq!(c.value() as u32, huffman::magnitude(v as i32), "v={v}");
+            let bits = extend_bits(&mut p, &vv, &c);
+            assert_eq!(
+                bits.value() as u32,
+                huffman::extend_bits(v as i32, c.value() as u32)
+            );
+            let back = extend(&mut p, &bits, c.value());
+            assert_eq!(back.value(), v, "v={v}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Emitter-based JPEG codec: the paper's `cjpeg` / `djpeg`
+//! (progressive) and `cjpeg-np` / `djpeg-np` (baseline sequential)
+//! benchmarks.
+//!
+//! The codec is algorithmically faithful to the IJG release the paper
+//! uses: RGB→YCbCr color conversion, 4:2:0 chroma decimation, the
+//! "islow" fixed-point 8×8 DCT, Annex-K quantization with IJG quality
+//! scaling, zig-zag ordering, and canonical Huffman entropy coding with
+//! the Annex-K default tables (DC-difference prediction, run/size AC
+//! coding, 0xFF byte stuffing). The container framing is a compact
+//! private header rather than JFIF marker segments, and the progressive
+//! mode uses spectral selection only (no successive approximation);
+//! both simplifications are documented in DESIGN.md.
+//!
+//! Two structural properties the paper's analysis depends on are
+//! preserved exactly:
+//!
+//! * **baseline** (`*-np`) is a *blocked pipeline*: each 8×8 block goes
+//!   through DCT → quant → entropy coding immediately (small working
+//!   set, cache-size-insensitive, §4.1);
+//! * **progressive** buffers the *whole image's* DCT coefficients and
+//!   makes multiple entropy passes over that image-sized buffer (large
+//!   working set that only a display-sized cache captures, §4.1).
+//!
+//! The VIS variants accelerate the MediaLib-style routines — color
+//! conversion, chroma decimation/upsampling, and sample clamp/store —
+//! while the DCT and the inherently sequential Huffman coding stay
+//! scalar (as §3.2.3 explains, variable-length coding cannot use VIS).
+
+pub mod bits;
+pub mod block;
+pub mod color;
+pub mod decoder;
+pub mod encoder;
+pub mod huff;
+
+pub use decoder::decode;
+pub use encoder::{encode, EncodeParams, JpegStream};
+pub use media_kernels::Variant;
+
+use visim_cpu::SimSink;
+use visim_trace::Program;
+
+/// An 8-bit planar sample plane in simulated memory (stride == width;
+/// widths are multiples of 8 so rows stay VIS-aligned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimPlane {
+    /// Simulated base address (8-aligned).
+    pub addr: u64,
+    /// Width in samples.
+    pub w: usize,
+    /// Height in samples.
+    pub h: usize,
+}
+
+impl SimPlane {
+    /// Allocate a zeroed plane (with guard bytes for VIS windowed loads
+    /// and edge-clamped half-pel interpolation windows).
+    pub fn alloc<S: SimSink>(p: &mut Program<S>, w: usize, h: usize) -> Self {
+        assert_eq!(w % 8, 0, "plane width must be a multiple of 8");
+        let addr = p.mem_mut().alloc_skewed(w * h + 32, 8, 136);
+        SimPlane { addr, w, h }
+    }
+
+    /// Address of row `y`.
+    pub fn row(&self, y: usize) -> u64 {
+        self.addr + (y * self.w) as u64
+    }
+
+    /// Copy the plane out of simulated memory.
+    pub fn to_vec<S: SimSink>(&self, p: &Program<S>) -> Vec<u8> {
+        p.mem().bytes(self.addr, self.w * self.h).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_rows_are_contiguous() {
+        let mut sink = visim_cpu::CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let pl = SimPlane::alloc(&mut p, 16, 4);
+        assert_eq!(pl.row(1) - pl.row(0), 16);
+        assert_eq!(pl.to_vec(&p).len(), 64);
+    }
+}

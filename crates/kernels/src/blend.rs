@@ -1,0 +1,194 @@
+//! Alpha blending: `dst = (alpha*src1 + (255-alpha)*src2) / 255`
+//! (paper Table 1). Works for one-band (`blend1`) and three-band
+//! (`blend`) images alike — the operation is per-sample with a
+//! per-sample alpha image.
+
+use visim_cpu::SimSink;
+use visim_isa::vis;
+use visim_trace::{Program, Val};
+
+use crate::simimg::SimImage;
+use crate::{last_chunk, Variant, PF_DISTANCE};
+
+/// Run the blend kernel.
+pub fn blend<S: SimSink>(
+    p: &mut Program<S>,
+    src1: &SimImage,
+    src2: &SimImage,
+    alpha: &SimImage,
+    dst: &SimImage,
+    v: Variant,
+) {
+    for img in [src2, alpha, dst] {
+        assert_eq!((src1.width, src1.height, src1.bands), (img.width, img.height, img.bands));
+    }
+    let n = src1.row_bytes() as i64;
+    let vis_consts = if v.vis {
+        // Packing scale 3: lanes hold blended*255/16, and
+        // ((v << 3) >> 7) == v/16 ≈ blended (see kernel docs).
+        p.set_gsr_scale(3);
+        // 255 in the fexpand (<<4) domain, for computing 255 - alpha.
+        Some(p.vli(vis::pack16([255 << 4; 4])))
+    } else {
+        None
+    };
+    let mut r1 = p.li(src1.addr as i64);
+    let mut r2 = p.li(src2.addr as i64);
+    let mut ra = p.li(alpha.addr as i64);
+    let mut rd = p.li(dst.addr as i64);
+    p.loop_range(0, src1.height as i64, 1, |p, _| {
+        if let Some(k255) = vis_consts {
+            let body = |p: &mut Program<S>, i: &Val| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&r1, i, PF_DISTANCE);
+                    p.prefetch_idx(&r2, i, PF_DISTANCE);
+                    p.prefetch_idx(&ra, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let va = p.loadv_idx(&ra, i, 0);
+                let v1 = p.loadv_idx(&r1, i, 0);
+                let v2 = p.loadv_idx(&r2, i, 0);
+                let al = p.vexpand_lo(&va);
+                let ah = p.vexpand_hi(&va);
+                let il = p.vsub16(&k255, &al);
+                let ih = p.vsub16(&k255, &ah);
+                let m1l = p.vmul8x16(&v1, &al);
+                let m1h = p.vmul8x16_hi(&v1, &ah);
+                let m2l = p.vmul8x16(&v2, &il);
+                let m2h = p.vmul8x16_hi(&v2, &ih);
+                let sl = p.vadd16(&m1l, &m2l);
+                let sh = p.vadd16(&m1h, &m2h);
+                p.vpack16_pair(&sl, &sh)
+            };
+            p.loop_range(0, last_chunk(n), 8, |p, i| {
+                let out = body(p, i);
+                p.storev_idx(&rd, i, 0, &out);
+            });
+            let i = p.li(last_chunk(n));
+            let out = body(p, &i);
+            let cur = p.add(&rd, &i);
+            let end = p.addi(&rd, n - 1);
+            let mask = p.vedge8(&cur, &end);
+            p.partial_store(&cur, 0, &out, &mask);
+        } else {
+            p.loop_range(0, n, 1, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&r1, i, PF_DISTANCE);
+                    p.prefetch_idx(&r2, i, PF_DISTANCE);
+                    p.prefetch_idx(&ra, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let a = p.load_u8_idx(&ra, i, 0);
+                let x = p.load_u8_idx(&r1, i, 0);
+                let y = p.load_u8_idx(&r2, i, 0);
+                let k = p.li(255);
+                let inv = p.sub(&k, &a);
+                let t1 = p.mul(&x, &a);
+                let t2 = p.mul(&y, &inv);
+                let t = p.add(&t1, &t2);
+                // Exact round(t/255) = (t*257 + 32768) >> 16.
+                let u = p.muli(&t, 257);
+                let w = p.addi(&u, 32768);
+                let out = p.shri(&w, 16);
+                p.store_u8_idx(&rd, i, 0, &out);
+            });
+        }
+        r1 = p.addi(&r1, src1.stride as i64);
+        r2 = p.addi(&r2, src2.stride as i64);
+        ra = p.addi(&ra, alpha.stride as i64);
+        rd = p.addi(&rd, dst.stride as i64);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media_image::synth;
+    use visim_cpu::CountingSink;
+
+    fn run(bands: usize, v: Variant) -> (media_image::Image, visim_cpu::CpuStats) {
+        let (w, h) = (40, 6);
+        let s1 = synth::still(w, h, bands, 1);
+        let s2 = synth::still(w, h, bands, 2);
+        let al = synth::alpha(w, h, bands, 3);
+        let mut sink = CountingSink::new();
+        let out = {
+            let mut p = Program::new(&mut sink);
+            let i1 = SimImage::from_image(&mut p, &s1);
+            let i2 = SimImage::from_image(&mut p, &s2);
+            let ia = SimImage::from_image(&mut p, &al);
+            let id = SimImage::alloc(&mut p, w, h, bands);
+            blend(&mut p, &i1, &i2, &ia, &id, v);
+            id.to_image(&p)
+        };
+        (out, sink.finish())
+    }
+
+    #[test]
+    fn scalar_blend_matches_reference() {
+        let (out, _) = run(3, Variant::SCALAR);
+        let s1 = synth::still(40, 6, 3, 1);
+        let s2 = synth::still(40, 6, 3, 2);
+        let al = synth::alpha(40, 6, 3, 3);
+        for i in 0..out.data().len() {
+            let (a, x, y) = (al.data()[i] as u32, s1.data()[i] as u32, s2.data()[i] as u32);
+            let t = a * x + (255 - a) * y;
+            let want = ((t * 257 + 32768) >> 16) as u8;
+            assert_eq!(out.data()[i], want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn vis_blend_is_visually_identical() {
+        let (s, cs) = run(3, Variant::SCALAR);
+        let (v, cv) = run(3, Variant::VIS);
+        // The paper's criterion (§2.3.2): losses must be imperceptible.
+        assert!(s.mean_abs_diff(&v) < 2.0, "diff {}", s.mean_abs_diff(&v));
+        assert!(s.psnr(&v) > 40.0, "psnr {}", s.psnr(&v));
+        assert!(
+            cv.retired * 4 < cs.retired,
+            "VIS cuts blend instructions >4x: {} vs {}",
+            cv.retired,
+            cs.retired
+        );
+    }
+
+    #[test]
+    fn one_band_blend_works_too() {
+        let (s, _) = run(1, Variant::SCALAR);
+        let (v, _) = run(1, Variant::VIS);
+        assert!(s.mean_abs_diff(&v) < 2.0);
+    }
+
+    #[test]
+    fn extreme_alphas_select_sources() {
+        let (w, h) = (16, 2);
+        let s1 = synth::still(w, h, 1, 1);
+        let s2 = synth::still(w, h, 1, 2);
+        let mut a0 = media_image::Image::new(w, h, 1);
+        let mut a255 = media_image::Image::new(w, h, 1);
+        for v in a255.data_mut() {
+            *v = 255;
+        }
+        for v in a0.data_mut() {
+            *v = 0;
+        }
+        for (alpha_img, want) in [(&a255, &s1), (&a0, &s2)] {
+            let mut sink = CountingSink::new();
+            let mut p = Program::new(&mut sink);
+            let i1 = SimImage::from_image(&mut p, &s1);
+            let i2 = SimImage::from_image(&mut p, &s2);
+            let ia = SimImage::from_image(&mut p, alpha_img);
+            let id = SimImage::alloc(&mut p, w, h, 1);
+            blend(&mut p, &i1, &i2, &ia, &id, Variant::SCALAR);
+            assert_eq!(id.to_image(&p), (*want).clone());
+        }
+    }
+
+    #[test]
+    fn prefetch_emits_for_all_three_streams() {
+        let (_, c) = run(3, Variant::VIS_PF);
+        // 6 rows x (row_bytes=120 -> 2 line boundaries) x 3 streams.
+        assert!(c.prefetches >= 18, "prefetches {}", c.prefetches);
+    }
+}

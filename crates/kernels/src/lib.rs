@@ -1,0 +1,169 @@
+//! The Sun VSDK-style image-processing kernels of the paper (Table 1).
+//!
+//! The paper studies the 14 kernels of the VIS Software Development Kit
+//! and reports six representative ones: *addition, blend, conv, dotprod,
+//! scaling, thresh*. This crate implements that kernel family — each in
+//! a **scalar** variant (plain RISC code with explicit saturation /
+//! threshold branches), a **VIS** variant (packed arithmetic,
+//! pack/expand/align rearrangement, partitioned compares, edge-masked
+//! partial stores, `pdist`), and optionally with Mowry-style **software
+//! prefetching** (§2.3.3) — all emitted through [`visim_trace::Program`]
+//! so the same code both computes the output image and drives the
+//! timing simulator.
+//!
+//! Kernels where VIS is inapplicable (table lookup, histogram — the
+//! scatter/gather cases called out in §3.2.3) fall back to the scalar
+//! loop in their VIS variant, as real VIS code must.
+
+pub mod blend;
+pub mod conv;
+pub mod pointwise;
+pub mod reduce;
+pub mod simimg;
+pub mod thresh;
+
+pub use simimg::SimImage;
+
+/// Kernel variant selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Variant {
+    /// Use the VIS media-ISA code path.
+    pub vis: bool,
+    /// Insert software prefetches (Mowry-style, §2.3.3).
+    pub prefetch: bool,
+}
+
+impl Variant {
+    /// Plain scalar code.
+    pub const SCALAR: Variant = Variant {
+        vis: false,
+        prefetch: false,
+    };
+    /// VIS-enhanced code.
+    pub const VIS: Variant = Variant {
+        vis: true,
+        prefetch: false,
+    };
+    /// VIS with software prefetching (the paper's Figure 3 "+PF").
+    pub const VIS_PF: Variant = Variant {
+        vis: true,
+        prefetch: true,
+    };
+    /// Scalar with software prefetching.
+    pub const SCALAR_PF: Variant = Variant {
+        vis: false,
+        prefetch: true,
+    };
+}
+
+/// Byte offset of the (edge-masked) final 8-byte chunk of an `n`-byte
+/// row — the epilogue position shared by the VIS kernels.
+pub(crate) fn last_chunk(n: i64) -> i64 {
+    (n - 1) & !7
+}
+
+/// Software-prefetch look-ahead distance in bytes (eight cache lines).
+///
+/// Mowry's algorithm picks the distance to cover the miss latency: the
+/// VIS kernels consume a 64-byte line in roughly 15-50 cycles, so eight
+/// lines ahead covers the 122-cycle DRAM latency with slack.
+pub const PF_DISTANCE: i64 = 512;
+
+/// Identifiers for all fourteen kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelId {
+    /// Mean of two images (reported).
+    Addition,
+    /// Three-band alpha blend (reported).
+    Blend,
+    /// One-band alpha blend.
+    Blend1,
+    /// General 3×3 saturating convolution (reported).
+    Conv,
+    /// Separable 3×3 convolution.
+    ConvSep,
+    /// Image copy.
+    Copy,
+    /// 16×16-bit dot product over a linear array (reported).
+    Dotprod,
+    /// Pixel inversion.
+    Invert,
+    /// Table lookup (VIS-inapplicable).
+    Lookup,
+    /// 256-bin histogram (VIS-inapplicable).
+    Histogram,
+    /// Sum of absolute differences between two images (`pdist`).
+    Sad,
+    /// Linear intensity scaling with saturation (reported).
+    Scaling,
+    /// Double-limit threshold (reported).
+    Thresh,
+    /// Single-limit threshold.
+    Thresh1,
+}
+
+impl KernelId {
+    /// All fourteen kernels.
+    pub fn all() -> &'static [KernelId] {
+        use KernelId::*;
+        &[
+            Addition, Blend, Blend1, Conv, ConvSep, Copy, Dotprod, Invert, Lookup, Histogram,
+            Sad, Scaling, Thresh, Thresh1,
+        ]
+    }
+
+    /// The six kernels the paper reports in its figures.
+    pub fn reported() -> &'static [KernelId] {
+        use KernelId::*;
+        &[Addition, Blend, Conv, Dotprod, Scaling, Thresh]
+    }
+
+    /// Lower-case name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        use KernelId::*;
+        match self {
+            Addition => "addition",
+            Blend => "blend",
+            Blend1 => "blend1",
+            Conv => "conv",
+            ConvSep => "convsep",
+            Copy => "copy",
+            Dotprod => "dotprod",
+            Invert => "invert",
+            Lookup => "lookup",
+            Histogram => "histogram",
+            Sad => "sad",
+            Scaling => "scaling",
+            Thresh => "thresh",
+            Thresh1 => "thresh1",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_inventory_matches_the_paper() {
+        assert_eq!(KernelId::all().len(), 14, "the VSDK has 14 kernels");
+        assert_eq!(KernelId::reported().len(), 6);
+        for k in KernelId::reported() {
+            assert!(KernelId::all().contains(k));
+        }
+    }
+
+    #[test]
+    fn variant_constants() {
+        assert!(!Variant::SCALAR.vis && !Variant::SCALAR.prefetch);
+        assert!(Variant::VIS.vis && !Variant::VIS.prefetch);
+        assert!(Variant::VIS_PF.vis && Variant::VIS_PF.prefetch);
+        assert!(!Variant::SCALAR_PF.vis && Variant::SCALAR_PF.prefetch);
+    }
+}

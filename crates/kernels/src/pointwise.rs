@@ -1,0 +1,477 @@
+//! Point-wise kernels: addition, copy, invert, scaling, lookup,
+//! histogram.
+
+use visim_cpu::SimSink;
+use visim_trace::{Program, Val};
+
+use crate::simimg::SimImage;
+use crate::{last_chunk, Variant, PF_DISTANCE};
+
+/// Byte offset of the (edge-masked) final 8-byte chunk of an `n`-byte
+/// row.
+/// `addition`: per-sample mean of two images, `dst = (a + b) / 2`
+/// (paper Table 1).
+pub fn addition<S: SimSink>(
+    p: &mut Program<S>,
+    a: &SimImage,
+    b: &SimImage,
+    dst: &SimImage,
+    v: Variant,
+) {
+    assert_eq!((a.width, a.height, a.bands), (b.width, b.height, b.bands));
+    assert_eq!((a.width, a.height, a.bands), (dst.width, dst.height, dst.bands));
+    let n = a.row_bytes() as i64;
+    if v.vis {
+        // expand gives v<<4; pack at scale 2 yields ((a+b)<<4 <<2)>>7.
+        p.set_gsr_scale(2);
+    }
+    let mut ra = p.li(a.addr as i64);
+    let mut rb = p.li(b.addr as i64);
+    let mut rd = p.li(dst.addr as i64);
+    p.loop_range(0, a.height as i64, 1, |p, _| {
+        if v.vis {
+            let body = |p: &mut Program<S>, i: &Val, ra: &Val, rb: &Val| {
+                // Prefetches are staggered across the line so the three
+                // streams do not burst-fill the MSHRs (Mowry scheduling).
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(ra, i, PF_DISTANCE);
+                }
+                if v.prefetch && i.value() % 64 == 24 {
+                    p.prefetch_idx(rb, i, PF_DISTANCE - 24);
+                }
+                if v.prefetch && i.value() % 64 == 48 {
+                    p.prefetch_idx(&rd, i, PF_DISTANCE - 48);
+                }
+                let va = p.loadv_idx(ra, i, 0);
+                let vb = p.loadv_idx(rb, i, 0);
+                let al = p.vexpand_lo(&va);
+                let ah = p.vexpand_hi(&va);
+                let bl = p.vexpand_lo(&vb);
+                let bh = p.vexpand_hi(&vb);
+                let sl = p.vadd16(&al, &bl);
+                let sh = p.vadd16(&ah, &bh);
+                p.vpack16_pair(&sl, &sh)
+            };
+            p.loop_range(0, last_chunk(n), 8, |p, i| {
+                let out = body(p, i, &ra, &rb);
+                p.storev_idx(&rd, i, 0, &out);
+            });
+            // Edge-masked epilogue chunk.
+            let i = p.li(last_chunk(n));
+            let out = body(p, &i, &ra, &rb);
+            let cur = p.add(&rd, &i);
+            let end = p.addi(&rd, n - 1);
+            let mask = p.vedge8(&cur, &end);
+            p.partial_store(&cur, 0, &out, &mask);
+        } else {
+            p.loop_range(0, n, 1, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&ra, i, PF_DISTANCE);
+                    p.prefetch_idx(&rb, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let x = p.load_u8_idx(&ra, i, 0);
+                let y = p.load_u8_idx(&rb, i, 0);
+                let s = p.add(&x, &y);
+                let m = p.shri(&s, 1);
+                p.store_u8_idx(&rd, i, 0, &m);
+            });
+        }
+        ra = p.addi(&ra, a.stride as i64);
+        rb = p.addi(&rb, b.stride as i64);
+        rd = p.addi(&rd, dst.stride as i64);
+    });
+}
+
+/// `copy`: image copy.
+pub fn copy<S: SimSink>(p: &mut Program<S>, src: &SimImage, dst: &SimImage, v: Variant) {
+    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    let n = src.row_bytes() as i64;
+    let mut rs = p.li(src.addr as i64);
+    let mut rd = p.li(dst.addr as i64);
+    p.loop_range(0, src.height as i64, 1, |p, _| {
+        if v.vis {
+            p.loop_range(0, last_chunk(n), 8, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let x = p.loadv_idx(&rs, i, 0);
+                p.storev_idx(&rd, i, 0, &x);
+            });
+            let i = p.li(last_chunk(n));
+            let x = p.loadv_idx(&rs, &i, 0);
+            let cur = p.add(&rd, &i);
+            let end = p.addi(&rd, n - 1);
+            let mask = p.vedge8(&cur, &end);
+            p.partial_store(&cur, 0, &x, &mask);
+        } else {
+            p.loop_range(0, n, 1, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let x = p.load_u8_idx(&rs, i, 0);
+                p.store_u8_idx(&rd, i, 0, &x);
+            });
+        }
+        rs = p.addi(&rs, src.stride as i64);
+        rd = p.addi(&rd, dst.stride as i64);
+    });
+}
+
+/// `invert`: photographic negative, `dst = 255 - src`.
+pub fn invert<S: SimSink>(p: &mut Program<S>, src: &SimImage, dst: &SimImage, v: Variant) {
+    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    let n = src.row_bytes() as i64;
+    let ones = if v.vis { Some(p.vli(u64::MAX)) } else { None };
+    let mut rs = p.li(src.addr as i64);
+    let mut rd = p.li(dst.addr as i64);
+    p.loop_range(0, src.height as i64, 1, |p, _| {
+        if let Some(ones) = ones {
+            p.loop_range(0, last_chunk(n), 8, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let x = p.loadv_idx(&rs, i, 0);
+                let y = p.vxor(&x, &ones);
+                p.storev_idx(&rd, i, 0, &y);
+            });
+            let i = p.li(last_chunk(n));
+            let x = p.loadv_idx(&rs, &i, 0);
+            let y = p.vxor(&x, &ones);
+            let cur = p.add(&rd, &i);
+            let end = p.addi(&rd, n - 1);
+            let mask = p.vedge8(&cur, &end);
+            p.partial_store(&cur, 0, &y, &mask);
+        } else {
+            p.loop_range(0, n, 1, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let x = p.load_u8_idx(&rs, i, 0);
+                let ff = p.li(0xff);
+                let y = p.xor(&x, &ff);
+                p.store_u8_idx(&rd, i, 0, &y);
+            });
+        }
+        rs = p.addi(&rs, src.stride as i64);
+        rd = p.addi(&rd, dst.stride as i64);
+    });
+}
+
+/// `scaling`: linear intensity scaling with saturation,
+/// `dst = clamp((src * scale_q8) >> 8 + offset)`.
+pub fn scaling<S: SimSink>(
+    p: &mut Program<S>,
+    src: &SimImage,
+    dst: &SimImage,
+    scale_q8: i16,
+    offset: i16,
+    v: Variant,
+) {
+    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert!(scale_q8 >= 0, "negative scales not supported");
+    let n = src.row_bytes() as i64;
+    let vis_state = if v.vis {
+        p.set_gsr_scale(7); // lanes hold final pixel values
+        let coeff = p.li(scale_q8 as i64);
+        let offv = p.vli(visim_isa::vis::pack16([offset; 4]));
+        Some((coeff, offv))
+    } else {
+        None
+    };
+    let mut rs = p.li(src.addr as i64);
+    let mut rd = p.li(dst.addr as i64);
+    p.loop_range(0, src.height as i64, 1, |p, _| {
+        if let Some((coeff, offv)) = &vis_state {
+            let body = |p: &mut Program<S>, i: &Val| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let x = p.loadv_idx(&rs, i, 0);
+                let lo = p.vmul8x16au(&x, coeff);
+                let hi = p.vmul8x16au_hi(&x, coeff);
+                let lo = p.vadd16(&lo, offv);
+                let hi = p.vadd16(&hi, offv);
+                p.vpack16_pair(&lo, &hi)
+            };
+            p.loop_range(0, last_chunk(n), 8, |p, i| {
+                let y = body(p, i);
+                p.storev_idx(&rd, i, 0, &y);
+            });
+            let i = p.li(last_chunk(n));
+            let y = body(p, &i);
+            let cur = p.add(&rd, &i);
+            let end = p.addi(&rd, n - 1);
+            let mask = p.vedge8(&cur, &end);
+            p.partial_store(&cur, 0, &y, &mask);
+        } else {
+            p.loop_range(0, n, 1, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let x = p.load_u8_idx(&rs, i, 0);
+                let m = p.muli(&x, scale_q8 as i64);
+                let s = p.srai(&m, 8);
+                let y = p.addi(&s, offset as i64);
+                // Explicit saturation: the data-dependent branches the
+                // paper calls out as hard to predict.
+                let mut out = y;
+                if p.bcond_i(visim_trace::Cond::Lt, &y, 0, false) {
+                    out = p.li(0);
+                }
+                if p.bcond_i(visim_trace::Cond::Gt, &out, 255, false) {
+                    out = p.li(255);
+                }
+                p.store_u8_idx(&rd, i, 0, &out);
+            });
+        }
+        rs = p.addi(&rs, src.stride as i64);
+        rd = p.addi(&rd, dst.stride as i64);
+    });
+}
+
+/// `lookup`: table transform `dst = table[src]`. VIS has no gather, so
+/// (as §3.2.3 notes for scatter-gather addressing) the VIS variant falls
+/// back to scalar code.
+pub fn lookup<S: SimSink>(
+    p: &mut Program<S>,
+    src: &SimImage,
+    dst: &SimImage,
+    table: &[u8; 256],
+    v: Variant,
+) {
+    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    let n = src.row_bytes() as i64;
+    let taddr = p.mem_mut().alloc(256, 8);
+    p.mem_mut().write_bytes(taddr, table);
+    let tbase = p.li(taddr as i64);
+    let mut rs = p.li(src.addr as i64);
+    let mut rd = p.li(dst.addr as i64);
+    p.loop_range(0, src.height as i64, 1, |p, _| {
+        p.loop_range(0, n, 1, |p, i| {
+            if v.prefetch && i.value() % 64 == 0 {
+                p.prefetch_idx(&rs, i, PF_DISTANCE);
+            }
+            let x = p.load_u8_idx(&rs, i, 0);
+            let y = p.load_u8_idx(&tbase, &x, 0);
+            p.store_u8_idx(&rd, i, 0, &y);
+        });
+        rs = p.addi(&rs, src.stride as i64);
+        rd = p.addi(&rd, dst.stride as i64);
+    });
+}
+
+/// `histogram`: 256-bin luminance histogram (band-0 samples). The
+/// read-modify-write scatter is VIS-inapplicable; both variants emit
+/// scalar code. Returns the histogram address (256 × u32).
+pub fn histogram<S: SimSink>(p: &mut Program<S>, src: &SimImage, _v: Variant) -> u64 {
+    let haddr = p.mem_mut().alloc(256 * 4, 8);
+    let hbase = p.li(haddr as i64);
+    let mut rs = p.li(src.addr as i64);
+    let bands = src.bands as i64;
+    let n = src.row_bytes() as i64;
+    p.loop_range(0, src.height as i64, 1, |p, _| {
+        p.loop_range(0, n, bands, |p, i| {
+            let x = p.load_u8_idx(&rs, i, 0);
+            let ix = p.shli(&x, 2);
+            let c = p.load_i32_idx(&hbase, &ix, 0);
+            let c1 = p.addi(&c, 1);
+            p.store_u32_idx(&hbase, &ix, 0, &c1);
+        });
+        rs = p.addi(&rs, src.stride as i64);
+    });
+    haddr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media_image::{synth, Image};
+    use visim_cpu::{CountingSink, CpuStats};
+
+    fn run2(
+        w: usize,
+        h: usize,
+        bands: usize,
+        v: Variant,
+        f: impl Fn(&mut Program<CountingSink>, &SimImage, &SimImage, &SimImage, Variant),
+    ) -> (Image, CpuStats) {
+        let a = synth::still(w, h, bands, 1);
+        let b = synth::still(w, h, bands, 2);
+        let mut sink = CountingSink::new();
+        let out = {
+            let mut p = Program::new(&mut sink);
+            let sa = SimImage::from_image(&mut p, &a);
+            let sb = SimImage::from_image(&mut p, &b);
+            let sd = SimImage::alloc(&mut p, w, h, bands);
+            f(&mut p, &sa, &sb, &sd, v);
+            sd.to_image(&p)
+        };
+        (out, sink.finish())
+    }
+
+    #[test]
+    fn addition_scalar_matches_reference() {
+        let (out, _) = run2(24, 5, 3, Variant::SCALAR, addition);
+        let a = synth::still(24, 5, 3, 1);
+        let b = synth::still(24, 5, 3, 2);
+        for i in 0..out.data().len() {
+            let want = ((a.data()[i] as u32 + b.data()[i] as u32) / 2) as u8;
+            assert_eq!(out.data()[i], want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn addition_vis_matches_scalar_exactly() {
+        let (s, cs) = run2(40, 7, 3, Variant::SCALAR, addition);
+        let (v, cv) = run2(40, 7, 3, Variant::VIS, addition);
+        assert_eq!(s, v, "VIS addition is exact");
+        assert!(
+            cv.retired * 3 < cs.retired,
+            "VIS cuts instructions >3x: {} vs {}",
+            cv.retired,
+            cs.retired
+        );
+        assert!(cv.mix[3] > 0, "VIS ops present");
+        assert_eq!(cs.mix[3], 0, "scalar emits no VIS ops");
+    }
+
+    #[test]
+    fn addition_with_odd_row_bytes_uses_edge_mask() {
+        // width*bands = 25 bytes: the last chunk is partial.
+        let (s, _) = run2(25, 3, 1, Variant::SCALAR, addition);
+        let (v, _) = run2(25, 3, 1, Variant::VIS, addition);
+        assert_eq!(s, v);
+    }
+
+    #[test]
+    fn prefetch_variant_emits_prefetches_and_same_pixels() {
+        let (s, _) = run2(32, 4, 3, Variant::SCALAR, addition);
+        let (vp, cp) = run2(32, 4, 3, Variant::VIS_PF, addition);
+        assert_eq!(s, vp);
+        assert!(cp.prefetches > 0, "prefetches emitted");
+    }
+
+    #[test]
+    fn copy_roundtrips() {
+        for v in [Variant::SCALAR, Variant::VIS] {
+            let img = synth::still(19, 6, 3, 9);
+            let mut sink = CountingSink::new();
+            let out = {
+                let mut p = Program::new(&mut sink);
+                let s = SimImage::from_image(&mut p, &img);
+                let d = SimImage::alloc(&mut p, 19, 6, 3);
+                copy(&mut p, &s, &d, v);
+                d.to_image(&p)
+            };
+            assert_eq!(out, img, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn invert_is_an_involution() {
+        let img = synth::still(16, 8, 3, 4);
+        for v in [Variant::SCALAR, Variant::VIS] {
+            let mut sink = CountingSink::new();
+            let out = {
+                let mut p = Program::new(&mut sink);
+                let s = SimImage::from_image(&mut p, &img);
+                let d = SimImage::alloc(&mut p, 16, 8, 3);
+                let dd = SimImage::alloc(&mut p, 16, 8, 3);
+                invert(&mut p, &s, &d, v);
+                invert(&mut p, &d, &dd, v);
+                dd.to_image(&p)
+            };
+            assert_eq!(out, img, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn scaling_scalar_saturates() {
+        let img = synth::still(24, 4, 3, 7);
+        let mut sink = CountingSink::new();
+        let out = {
+            let mut p = Program::new(&mut sink);
+            let s = SimImage::from_image(&mut p, &img);
+            let d = SimImage::alloc(&mut p, 24, 4, 3);
+            scaling(&mut p, &s, &d, 512, 30, Variant::SCALAR); // 2x + 30
+            d.to_image(&p)
+        };
+        for i in 0..out.data().len() {
+            let want = ((img.data()[i] as i32 * 2) + 30).clamp(0, 255) as u8;
+            assert_eq!(out.data()[i], want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn scaling_vis_matches_scalar() {
+        let img = synth::still(40, 6, 3, 3);
+        let mut run = |v: Variant| {
+            let mut sink = CountingSink::new();
+            let out = {
+                let mut p = Program::new(&mut sink);
+                let s = SimImage::from_image(&mut p, &img);
+                let d = SimImage::alloc(&mut p, 40, 6, 3);
+                scaling(&mut p, &s, &d, 307, -12, v); // 1.2x - 12
+                d.to_image(&p)
+            };
+            (out, sink.finish())
+        };
+        let (s, cs) = run(Variant::SCALAR);
+        let (v, cv) = run(Variant::VIS);
+        assert!(s.mean_abs_diff(&v) <= 1.0, "visually identical");
+        assert!(cv.retired * 3 < cs.retired);
+        // Scalar saturation uses data-dependent branches; VIS does not.
+        assert!(cs.cond_branches > cv.cond_branches * 2);
+    }
+
+    #[test]
+    fn lookup_applies_table() {
+        let img = synth::still(16, 4, 1, 5);
+        let mut table = [0u8; 256];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = (255 - i) as u8;
+        }
+        let mut sink = CountingSink::new();
+        let out = {
+            let mut p = Program::new(&mut sink);
+            let s = SimImage::from_image(&mut p, &img);
+            let d = SimImage::alloc(&mut p, 16, 4, 1);
+            lookup(&mut p, &s, &d, &table, Variant::VIS);
+            d.to_image(&p)
+        };
+        for i in 0..out.data().len() {
+            assert_eq!(out.data()[i], 255 - img.data()[i]);
+        }
+        assert_eq!(sink.finish().mix[3], 0, "lookup cannot use VIS");
+    }
+
+    #[test]
+    fn histogram_counts_every_pixel() {
+        let img = synth::still(20, 10, 1, 8);
+        let mut sink = CountingSink::new();
+        let (haddr, bins) = {
+            let mut p = Program::new(&mut sink);
+            let s = SimImage::from_image(&mut p, &img);
+            let h = histogram(&mut p, &s, Variant::SCALAR);
+            let bins: Vec<u32> = (0..256)
+                .map(|i| p.mem().read_u32(h + 4 * i as u64))
+                .collect();
+            (h, bins)
+        };
+        assert!(haddr > 0);
+        let total: u32 = bins.iter().sum();
+        assert_eq!(total, 200, "every pixel counted once");
+        let mut want = [0u32; 256];
+        for &px in img.data() {
+            want[px as usize] += 1;
+        }
+        assert_eq!(&bins[..], &want[..]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Thresholding kernels (paper Table 1).
+//!
+//! * [`thresh`]: double-limit — if `lo[b] <= v <= hi[b]` the destination
+//!   becomes `map[b]`, otherwise the source value passes through.
+//! * [`thresh1`]: single-limit — if `v >= limit[b]` the destination
+//!   becomes `map[b]`.
+//!
+//! The scalar variants use the data-dependent branches the paper calls
+//! out (6% misprediction on thresh); the VIS variants replace them with
+//! partitioned compares and partial stores (0%).
+
+use visim_cpu::SimSink;
+use visim_isa::vis;
+use visim_trace::{Cond, Program, Val, VVal};
+
+use crate::simimg::SimImage;
+use crate::{last_chunk, Variant, PF_DISTANCE};
+
+/// Per-band threshold parameters (up to 4 bands).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreshParams {
+    /// Inclusive lower limits per band.
+    pub lo: [u8; 4],
+    /// Inclusive upper limits per band.
+    pub hi: [u8; 4],
+    /// Replacement values per band.
+    pub map: [u8; 4],
+}
+
+impl ThreshParams {
+    /// A typical chroma-key-ish parameter set.
+    pub fn example() -> Self {
+        ThreshParams {
+            lo: [60, 80, 100, 0],
+            hi: [180, 200, 220, 255],
+            map: [0, 255, 128, 0],
+        }
+    }
+}
+
+/// Byte-phase constant vectors for a `bands`-periodic parameter at a
+/// chunk starting at byte offset `start` (values pre-shifted into the
+/// fexpand `<<4` domain for the 16-bit compare lanes).
+fn lane_vec16(params: &[u8; 4], bands: usize, start: i64, shift: u32) -> u64 {
+    let mut lanes = [0i16; 4];
+    for (k, lane) in lanes.iter_mut().enumerate() {
+        let band = ((start as usize) + k) % bands;
+        *lane = (params[band] as i16) << shift;
+    }
+    vis::pack16(lanes)
+}
+
+/// Byte constant vector for a `bands`-periodic parameter at byte phase
+/// `start`.
+fn lane_vec8(params: &[u8; 4], bands: usize, start: i64) -> u64 {
+    let mut bytes = [0u8; 8];
+    for (k, b) in bytes.iter_mut().enumerate() {
+        *b = params[((start as usize) + k) % bands];
+    }
+    vis::pack8(bytes)
+}
+
+/// Double-limit threshold.
+pub fn thresh<S: SimSink>(
+    p: &mut Program<S>,
+    src: &SimImage,
+    dst: &SimImage,
+    params: &ThreshParams,
+    v: Variant,
+) {
+    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    let bands = src.bands;
+    let n = src.row_bytes() as i64;
+    // Constant vectors per chunk phase (chunk start mod lcm(8, bands)).
+    let phases = if bands % 2 == 0 { 1 } else { bands };
+    let vis_consts: Option<Vec<[VVal; 5]>> = if v.vis {
+        Some(
+            (0..phases)
+                .map(|ph| {
+                    let s = (ph * 8) as i64;
+                    [
+                        p.vli(lane_vec16(&params.lo, bands, s, 4)),
+                        p.vli(lane_vec16(&params.hi, bands, s, 4)),
+                        p.vli(lane_vec16(&params.lo, bands, s + 4, 4)),
+                        p.vli(lane_vec16(&params.hi, bands, s + 4, 4)),
+                        p.vli(lane_vec8(&params.map, bands, s)),
+                    ]
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let mut rs = p.li(src.addr as i64);
+    let mut rd = p.li(dst.addr as i64);
+    p.loop_range(0, src.height as i64, 1, |p, _| {
+        if let Some(consts) = &vis_consts {
+            // Returns (source chunk, in-range byte mask, map vector).
+            let body = |p: &mut Program<S>, i: &Val| -> (VVal, Val, VVal) {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let [lov_l, hiv_l, lov_h, hiv_h, mapv] =
+                    consts[(i.value() / 8) as usize % phases];
+                let x = p.loadv_idx(&rs, i, 0);
+                let xl = p.vexpand_lo(&x);
+                let xh = p.vexpand_hi(&x);
+                let ge_l = p.vcmple16(&lov_l, &xl);
+                let le_l = p.vcmple16(&xl, &hiv_l);
+                let in_l = p.and(&ge_l, &le_l);
+                let ge_h = p.vcmple16(&lov_h, &xh);
+                let le_h = p.vcmple16(&xh, &hiv_h);
+                let in_h = p.and(&ge_h, &le_h);
+                let hi4 = p.shli(&in_h, 4);
+                let mask = p.or(&in_l, &hi4);
+                (x, mask, mapv)
+            };
+            p.loop_range(0, last_chunk(n), 8, |p, i| {
+                let (x, mask, mapv) = body(p, i);
+                p.storev_idx(&rd, i, 0, &x);
+                let cur = p.add(&rd, i);
+                p.partial_store(&cur, 0, &mapv, &mask);
+            });
+            let i = p.li(last_chunk(n));
+            let (x, mask, mapv) = body(p, &i);
+            let cur = p.add(&rd, &i);
+            let end = p.addi(&rd, n - 1);
+            let edge = p.vedge8(&cur, &end);
+            p.partial_store(&cur, 0, &x, &edge);
+            let both = p.and(&mask, &edge);
+            p.partial_store(&cur, 0, &mapv, &both);
+        } else {
+            p.loop_range(0, n, 1, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let band = (i.value() as usize) % bands;
+                let x = p.load_u8_idx(&rs, i, 0);
+                let mut out = x;
+                // Data-dependent double test (hard to predict).
+                if p.bcond_i(Cond::Ge, &x, params.lo[band] as i64, false)
+                    && p.bcond_i(Cond::Le, &x, params.hi[band] as i64, false)
+                {
+                    out = p.li(params.map[band] as i64);
+                }
+                p.store_u8_idx(&rd, i, 0, &out);
+            });
+        }
+        rs = p.addi(&rs, src.stride as i64);
+        rd = p.addi(&rd, dst.stride as i64);
+    });
+}
+
+/// Single-limit threshold: `dst = v >= limit[b] ? map[b] : v`.
+pub fn thresh1<S: SimSink>(
+    p: &mut Program<S>,
+    src: &SimImage,
+    dst: &SimImage,
+    limit: &[u8; 4],
+    map: &[u8; 4],
+    v: Variant,
+) {
+    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    let bands = src.bands;
+    let n = src.row_bytes() as i64;
+    let phases = if bands % 2 == 0 { 1 } else { bands };
+    let vis_consts: Option<Vec<[VVal; 3]>> = if v.vis {
+        Some(
+            (0..phases)
+                .map(|ph| {
+                    let s = (ph * 8) as i64;
+                    [
+                        p.vli(lane_vec16(limit, bands, s, 4)),
+                        p.vli(lane_vec16(limit, bands, s + 4, 4)),
+                        p.vli(lane_vec8(map, bands, s)),
+                    ]
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+    let mut rs = p.li(src.addr as i64);
+    let mut rd = p.li(dst.addr as i64);
+    p.loop_range(0, src.height as i64, 1, |p, _| {
+        if let Some(consts) = &vis_consts {
+            p.loop_range(0, last_chunk(n), 8, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let [limv_l, limv_h, mapv] = consts[(i.value() / 8) as usize % phases];
+                let x = p.loadv_idx(&rs, i, 0);
+                let xl = p.vexpand_lo(&x);
+                let xh = p.vexpand_hi(&x);
+                let ge_l = p.vcmple16(&limv_l, &xl);
+                let ge_h = p.vcmple16(&limv_h, &xh);
+                let hi4 = p.shli(&ge_h, 4);
+                let mask = p.or(&ge_l, &hi4);
+                p.storev_idx(&rd, i, 0, &x);
+                let cur = p.add(&rd, i);
+                p.partial_store(&cur, 0, &mapv, &mask);
+            });
+            // Epilogue with edge mask.
+            let i = p.li(last_chunk(n));
+            let [limv_l, limv_h, mapv] = consts[(i.value() / 8) as usize % phases];
+            let x = p.loadv_idx(&rs, &i, 0);
+            let xl = p.vexpand_lo(&x);
+            let xh = p.vexpand_hi(&x);
+            let ge_l = p.vcmple16(&limv_l, &xl);
+            let ge_h = p.vcmple16(&limv_h, &xh);
+            let hi4 = p.shli(&ge_h, 4);
+            let mask = p.or(&ge_l, &hi4);
+            let cur = p.add(&rd, &i);
+            let end = p.addi(&rd, n - 1);
+            let edge = p.vedge8(&cur, &end);
+            p.partial_store(&cur, 0, &x, &edge);
+            let both = p.and(&mask, &edge);
+            p.partial_store(&cur, 0, &mapv, &both);
+        } else {
+            p.loop_range(0, n, 1, |p, i| {
+                if v.prefetch && i.value() % 64 == 0 {
+                    p.prefetch_idx(&rs, i, PF_DISTANCE);
+                    p.prefetch_idx(&rd, i, PF_DISTANCE);
+                }
+                let band = (i.value() as usize) % bands;
+                let x = p.load_u8_idx(&rs, i, 0);
+                let mut out = x;
+                if p.bcond_i(Cond::Ge, &x, limit[band] as i64, false) {
+                    out = p.li(map[band] as i64);
+                }
+                p.store_u8_idx(&rd, i, 0, &out);
+            });
+        }
+        rs = p.addi(&rs, src.stride as i64);
+        rd = p.addi(&rd, dst.stride as i64);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media_image::synth;
+    use visim_cpu::CountingSink;
+
+    fn run_thresh(bands: usize, v: Variant) -> (media_image::Image, visim_cpu::CpuStats) {
+        let (w, h) = (40, 6);
+        let img = synth::still(w, h, bands, 11);
+        let mut sink = CountingSink::new();
+        let out = {
+            let mut p = Program::new(&mut sink);
+            let s = SimImage::from_image(&mut p, &img);
+            let d = SimImage::alloc(&mut p, w, h, bands);
+            thresh(&mut p, &s, &d, &ThreshParams::example(), v);
+            d.to_image(&p)
+        };
+        (out, sink.finish())
+    }
+
+    #[test]
+    fn scalar_thresh_matches_reference() {
+        let (out, _) = run_thresh(3, Variant::SCALAR);
+        let img = synth::still(40, 6, 3, 11);
+        let pr = ThreshParams::example();
+        for i in 0..out.data().len() {
+            let b = i % 3;
+            let x = img.data()[i];
+            let want = if x >= pr.lo[b] && x <= pr.hi[b] {
+                pr.map[b]
+            } else {
+                x
+            };
+            assert_eq!(out.data()[i], want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn vis_thresh_is_exact_and_branch_free() {
+        let (s, cs) = run_thresh(3, Variant::SCALAR);
+        let (v, cv) = run_thresh(3, Variant::VIS);
+        assert_eq!(s, v, "partitioned compares are exact");
+        assert!(cv.retired * 3 < cs.retired);
+        // The paper: thresh mispredicts drop from ~6% to ~0%.
+        assert!(cs.mispredicts > 0);
+        assert!(
+            (cv.mispredicts as f64) < 0.1 * cs.mispredicts as f64,
+            "VIS removes data-dependent branches: {} vs {}",
+            cv.mispredicts,
+            cs.mispredicts
+        );
+    }
+
+    #[test]
+    fn one_band_thresh() {
+        let (s, _) = run_thresh(1, Variant::SCALAR);
+        let (v, _) = run_thresh(1, Variant::VIS);
+        assert_eq!(s, v);
+    }
+
+    #[test]
+    fn thresh1_matches_reference_both_variants() {
+        let (w, h) = (32, 5);
+        let img = synth::still(w, h, 3, 13);
+        let limit = [100u8, 120, 140, 0];
+        let map = [250u8, 1, 128, 0];
+        let mut run = |v: Variant| {
+            let mut sink = CountingSink::new();
+            let mut p = Program::new(&mut sink);
+            let s = SimImage::from_image(&mut p, &img);
+            let d = SimImage::alloc(&mut p, w, h, 3);
+            thresh1(&mut p, &s, &d, &limit, &map, v);
+            d.to_image(&p)
+        };
+        let sc = run(Variant::SCALAR);
+        let vi = run(Variant::VIS);
+        for i in 0..sc.data().len() {
+            let b = i % 3;
+            let x = img.data()[i];
+            let want = if x >= limit[b] { map[b] } else { x };
+            assert_eq!(sc.data()[i], want, "scalar sample {i}");
+        }
+        assert_eq!(sc, vi);
+    }
+}

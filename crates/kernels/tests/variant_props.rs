@@ -1,0 +1,127 @@
+//! Property tests: scalar and VIS kernel variants must agree on random
+//! images (exactly for the exact kernels, within the paper's
+//! "visually imperceptible" tolerance for the fixed-point ones).
+
+use media_image::Image;
+use media_kernels::{blend, conv, pointwise, reduce, thresh, SimImage, Variant};
+use proptest::prelude::*;
+use visim_cpu::CountingSink;
+use visim_trace::Program;
+
+/// Arbitrary small image geometry + deterministic content.
+fn arb_image(max_w: usize, max_h: usize) -> impl Strategy<Value = Image> {
+    (1usize..max_w, 1usize..max_h, 1usize..4, any::<u64>()).prop_map(|(w, h, bands, seed)| {
+        media_image::synth::still(w + 8, h + 2, bands, seed)
+    })
+}
+
+fn run2<R>(f: impl FnOnce(&mut Program<CountingSink>) -> R) -> R {
+    let mut sink = CountingSink::new();
+    let mut p = Program::new(&mut sink);
+    f(&mut p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn addition_variants_agree(img in arb_image(40, 12), seed2 in any::<u64>()) {
+        let (w, h, bands) = (img.width(), img.height(), img.bands());
+        let other = media_image::synth::still(w, h, bands, seed2);
+        let out = |v: Variant| {
+            run2(|p| {
+                let a = SimImage::from_image(p, &img);
+                let b = SimImage::from_image(p, &other);
+                let d = SimImage::alloc(p, w, h, bands);
+                pointwise::addition(p, &a, &b, &d, v);
+                d.to_image(p)
+            })
+        };
+        prop_assert_eq!(out(Variant::SCALAR), out(Variant::VIS));
+    }
+
+    #[test]
+    fn thresh_variants_agree(img in arb_image(40, 12)) {
+        let (w, h, bands) = (img.width(), img.height(), img.bands());
+        let params = thresh::ThreshParams::example();
+        let out = |v: Variant| {
+            run2(|p| {
+                let a = SimImage::from_image(p, &img);
+                let d = SimImage::alloc(p, w, h, bands);
+                thresh::thresh(p, &a, &d, &params, v);
+                d.to_image(p)
+            })
+        };
+        prop_assert_eq!(out(Variant::SCALAR), out(Variant::VIS));
+    }
+
+    #[test]
+    fn invert_and_copy_variants_agree(img in arb_image(40, 12)) {
+        let (w, h, bands) = (img.width(), img.height(), img.bands());
+        for v in [Variant::SCALAR, Variant::VIS, Variant::VIS_PF] {
+            let (inv, cpy) = run2(|p| {
+                let a = SimImage::from_image(p, &img);
+                let d1 = SimImage::alloc(p, w, h, bands);
+                pointwise::invert(p, &a, &d1, v);
+                let d2 = SimImage::alloc(p, w, h, bands);
+                pointwise::copy(p, &a, &d2, v);
+                (d1.to_image(p), d2.to_image(p))
+            });
+            prop_assert_eq!(&cpy, &img, "copy is identity ({:?})", v);
+            for i in 0..inv.data().len() {
+                prop_assert_eq!(inv.data()[i], 255 - img.data()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn blend_variants_close(img in arb_image(32, 10), s2 in any::<u64>(), s3 in any::<u64>()) {
+        let (w, h, bands) = (img.width(), img.height(), img.bands());
+        let other = media_image::synth::still(w, h, bands, s2);
+        let alpha = media_image::synth::alpha(w, h, bands, s3);
+        let out = |v: Variant| {
+            run2(|p| {
+                let a = SimImage::from_image(p, &img);
+                let b = SimImage::from_image(p, &other);
+                let al = SimImage::from_image(p, &alpha);
+                let d = SimImage::alloc(p, w, h, bands);
+                blend::blend(p, &a, &b, &al, &d, v);
+                d.to_image(p)
+            })
+        };
+        let s = out(Variant::SCALAR);
+        let v = out(Variant::VIS);
+        prop_assert!(s.mean_abs_diff(&v) < 2.0, "diff {}", s.mean_abs_diff(&v));
+    }
+
+    #[test]
+    fn conv_variants_agree(img in arb_image(24, 10)) {
+        let (w, h, bands) = (img.width(), img.height(), img.bands());
+        prop_assume!(w * bands >= 16 && h >= 3);
+        let out = |v: Variant| {
+            run2(|p| {
+                let a = SimImage::from_image(p, &img);
+                let d = SimImage::alloc(p, w, h, bands);
+                conv::conv(p, &a, &d, &conv::SHARPEN_STRONG, v);
+                d.to_image(p)
+            })
+        };
+        prop_assert_eq!(out(Variant::SCALAR), out(Variant::VIS));
+    }
+
+    #[test]
+    fn sad_and_dotprod_are_exact(n4 in 1usize..64, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let n = n4 * 4;
+        let scalar = run2(|p| {
+            let a = reduce::alloc_i16_array(p, n, s1);
+            let b = reduce::alloc_i16_array(p, n, s2);
+            reduce::dotprod(p, a, b, n, Variant::SCALAR)
+        });
+        let vis = run2(|p| {
+            let a = reduce::alloc_i16_array(p, n, s1);
+            let b = reduce::alloc_i16_array(p, n, s2);
+            reduce::dotprod(p, a, b, n, Variant::VIS)
+        });
+        prop_assert_eq!(scalar, vis);
+    }
+}

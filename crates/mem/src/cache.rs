@@ -1,0 +1,246 @@
+//! Set-associative tag array with true-LRU replacement.
+
+/// Outcome of a fill: the victim line (if any) and whether it was dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lookup {
+    /// Line already present (fills only happen after a failed probe, so
+    /// this only occurs on racing fills for the same line).
+    Hit { prefetched: bool },
+    /// Line inserted; the evicted victim is returned.
+    Miss {
+        /// Evicted line address, if a valid line was displaced.
+        victim: Option<u64>,
+        /// The victim was dirty and needs writing back.
+        victim_dirty: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    /// Full line number (address >> line_shift).
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+    /// Set when the line was filled by a software prefetch and not yet
+    /// touched by a demand access (for useful-prefetch accounting).
+    prefetched: bool,
+}
+
+/// A tag-only set-associative cache model.
+#[derive(Debug, Clone)]
+pub(crate) struct TagArray {
+    sets: Vec<Vec<Way>>,
+    line_shift: u32,
+    set_mask: u64,
+    tick: u64,
+}
+
+impl TagArray {
+    pub fn new(sets: usize, assoc: u32, line: u64) -> Self {
+        assert!(sets.is_power_of_two() && line.is_power_of_two());
+        TagArray {
+            sets: vec![vec![Way::default(); assoc as usize]; sets],
+            line_shift: line.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            tick: 0,
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line)
+    }
+
+    /// If `addr`'s line is resident: refresh LRU, optionally mark dirty,
+    /// and return whether this was the first demand touch of a
+    /// prefetched line. `None` on miss (state unchanged).
+    pub fn hit_touch(&mut self, addr: u64, write: bool) -> Option<bool> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let w = self.sets[set]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)?;
+        w.lru = tick;
+        w.dirty |= write;
+        let was_prefetched = w.prefetched;
+        w.prefetched = false;
+        Some(was_prefetched)
+    }
+
+    /// Insert `addr`'s line, evicting the LRU way. Call only after
+    /// [`TagArray::hit_touch`] returned `None`.
+    pub fn fill(&mut self, addr: u64, write: bool, prefetch_fill: bool) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index(addr);
+        let ways = &mut self.sets[set];
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = tick;
+            w.dirty |= write;
+            return Lookup::Hit {
+                prefetched: w.prefetched,
+            };
+        }
+        let victim_ix = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.valid, w.lru))
+            .map(|(i, _)| i)
+            .expect("cache has at least one way");
+        let w = &mut ways[victim_ix];
+        let victim = w.valid.then(|| w.tag << self.line_shift);
+        let victim_dirty = w.valid && w.dirty;
+        *w = Way {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: tick,
+            prefetched: prefetch_fill,
+        };
+        Lookup::Miss {
+            victim,
+            victim_dirty,
+        }
+    }
+
+    /// Mark a resident line dirty without touching LRU (store merged into
+    /// an in-flight fill for the line).
+    pub fn note_pending_store(&mut self, addr: u64) {
+        let (set, tag) = self.index(addr);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.dirty = true;
+        }
+    }
+
+    /// Probe without modifying state (tests and statistics).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr() -> TagArray {
+        // 4 sets, 2-way, 64-byte lines -> 512 bytes.
+        TagArray::new(4, 2, 64)
+    }
+
+    /// hit_touch-then-fill, as the memory system drives it.
+    fn access(a: &mut TagArray, addr: u64, write: bool) -> Option<Lookup> {
+        match a.hit_touch(addr, write) {
+            Some(p) => Some(Lookup::Hit { prefetched: p }),
+            None => Some(a.fill(addr, write, false)),
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut a = arr();
+        assert!(matches!(access(&mut a, 0x1000, false), Some(Lookup::Miss { .. })));
+        assert!(matches!(access(&mut a, 0x1000, false), Some(Lookup::Hit { .. })));
+        assert!(
+            matches!(access(&mut a, 0x1038, false), Some(Lookup::Hit { .. })),
+            "same line"
+        );
+        assert!(a.contains(0x1000));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut a = arr();
+        // Three lines mapping to set 0 (line 64, 4 sets => stride 256).
+        access(&mut a, 0x0000, false);
+        access(&mut a, 0x0100, false);
+        access(&mut a, 0x0000, false); // refresh line 0
+        match access(&mut a, 0x0200, false) {
+            Some(Lookup::Miss { victim, .. }) => assert_eq!(victim, Some(0x0100)),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert!(a.contains(0x0000));
+        assert!(!a.contains(0x0100));
+        assert!(a.contains(0x0200));
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut a = arr();
+        access(&mut a, 0x0000, true); // dirty fill
+        access(&mut a, 0x0100, false);
+        match access(&mut a, 0x0200, false) {
+            Some(Lookup::Miss {
+                victim,
+                victim_dirty,
+            }) => {
+                assert_eq!(victim, Some(0x0000));
+                assert!(victim_dirty);
+            }
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut a = arr();
+        access(&mut a, 0x0000, false);
+        access(&mut a, 0x0000, true); // hit-touch with write
+        access(&mut a, 0x0100, false);
+        assert!(matches!(
+            access(&mut a, 0x0200, false),
+            Some(Lookup::Miss {
+                victim_dirty: true,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn note_pending_store_marks_dirty() {
+        let mut a = arr();
+        access(&mut a, 0x0000, false);
+        a.note_pending_store(0x0000);
+        access(&mut a, 0x0100, false);
+        assert!(matches!(
+            access(&mut a, 0x0200, false),
+            Some(Lookup::Miss {
+                victim_dirty: true,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn prefetch_fill_flag_cleared_on_first_demand_touch() {
+        let mut a = arr();
+        a.fill(0x0000, false, true); // prefetch fill
+        assert_eq!(a.hit_touch(0x0000, false), Some(true));
+        assert_eq!(a.hit_touch(0x0000, false), Some(false), "only first touch");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut a = arr();
+        for i in 0..4u64 {
+            access(&mut a, i * 64, false);
+        }
+        for i in 0..4u64 {
+            assert!(a.contains(i * 64), "set {i}");
+        }
+    }
+
+    #[test]
+    fn invalid_ways_fill_before_eviction() {
+        let mut a = arr();
+        access(&mut a, 0x0000, false);
+        match access(&mut a, 0x0100, false) {
+            Some(Lookup::Miss { victim, .. }) => assert_eq!(victim, None),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert!(a.contains(0x0000) && a.contains(0x0100));
+    }
+}

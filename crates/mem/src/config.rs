@@ -1,0 +1,174 @@
+//! Memory-system configuration (Table 3 of the paper).
+
+/// Parameters of a single cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Set associativity.
+    pub assoc: u32,
+    /// Number of request ports (accesses accepted per cycle in parallel).
+    pub ports: u32,
+    /// Hit latency in cycles (== ns at 1 GHz).
+    pub hit: u64,
+    /// Number of miss-status holding registers.
+    pub mshrs: u32,
+}
+
+impl CacheParams {
+    /// Number of sets for `line_size`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two number of sets.
+    pub fn sets(&self, line_size: u64) -> usize {
+        let sets = self.size / line_size / self.assoc as u64;
+        assert!(sets.is_power_of_two(), "non-power-of-two set count {sets}");
+        sets as usize
+    }
+}
+
+/// Full memory-system configuration.
+///
+/// [`MemConfig::default`] reproduces Table 3: 64-byte lines; 64 KB
+/// two-way L1 with 2 ports, 2 ns hits and 12 MSHRs; 128 KB 4-way off-chip
+/// L2 with one port, pipelined 20 ns hits and 12 MSHRs; up to 8 requests
+/// merged per MSHR; 100 ns total latency for L2 misses; 4-way interleaved
+/// memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Cache line size in bytes (both levels).
+    pub line: u64,
+    /// First-level (on-chip) data cache.
+    pub l1: CacheParams,
+    /// Second-level (off-chip) cache.
+    pub l2: CacheParams,
+    /// Maximum outstanding requests merged into one MSHR.
+    pub mshr_max_merges: u32,
+    /// DRAM portion of an L2 miss: data arrives this many cycles after
+    /// the request wins its memory bank.
+    pub mem_latency: u64,
+    /// Number of interleaved memory banks (consecutive lines map to
+    /// consecutive banks).
+    pub banks: u32,
+    /// Cycles a memory bank stays busy per line transfer. Not given in
+    /// the paper; 40 ns is chosen so that the 4 banks sustain one 64-byte
+    /// line per 10 ns when streaming, comfortably above the demand of one
+    /// core, while still exposing bank conflicts.
+    pub bank_busy: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            line: 64,
+            l1: CacheParams {
+                size: 64 << 10,
+                assoc: 2,
+                ports: 2,
+                hit: 2,
+                mshrs: 12,
+            },
+            l2: CacheParams {
+                size: 128 << 10,
+                assoc: 4,
+                ports: 1,
+                hit: 20,
+                mshrs: 12,
+            },
+            mshr_max_merges: 8,
+            mem_latency: 100,
+            banks: 4,
+            bank_busy: 40,
+        }
+    }
+}
+
+impl MemConfig {
+    /// A configuration with a different L1 size (for the §4.1 L1 sweep).
+    pub fn with_l1_size(mut self, bytes: u64) -> Self {
+        self.l1.size = bytes;
+        self
+    }
+
+    /// A configuration with a different L2 size (for the §4.1 L2 sweep).
+    pub fn with_l2_size(mut self, bytes: u64) -> Self {
+        self.l2.size = bytes;
+        self
+    }
+
+    /// Table 3 as printable `(parameter, value)` rows.
+    pub fn table3(&self) -> Vec<(String, String)> {
+        vec![
+            ("Cache line size".into(), format!("{} bytes", self.line)),
+            ("L1 data cache size (on-chip)".into(), fmt_size(self.l1.size)),
+            ("L1 data cache associativity".into(), format!("{}-way", self.l1.assoc)),
+            ("L1 data cache request ports".into(), self.l1.ports.to_string()),
+            ("L1 data cache hit time".into(), format!("{} ns", self.l1.hit)),
+            ("Number of L1 MSHRs".into(), self.l1.mshrs.to_string()),
+            ("L2 cache size (off-chip)".into(), fmt_size(self.l2.size)),
+            ("L2 cache associativity".into(), format!("{}-way", self.l2.assoc)),
+            ("L2 request ports".into(), self.l2.ports.to_string()),
+            ("L2 hit time (pipelined)".into(), format!("{} ns", self.l2.hit)),
+            ("Number of L2 MSHRs".into(), self.l2.mshrs.to_string()),
+            ("Max. outstanding misses per MSHR".into(), self.mshr_max_merges.to_string()),
+            ("Total memory latency for L2 misses".into(), format!("{} ns", self.l1.hit + self.l2.hit + self.mem_latency)),
+            ("Memory interleaving".into(), format!("{}-way", self.banks)),
+        ]
+    }
+}
+
+fn fmt_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{} MB", bytes >> 20)
+    } else {
+        format!("{} KB", bytes >> 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_3() {
+        let c = MemConfig::default();
+        assert_eq!(c.line, 64);
+        assert_eq!(c.l1.size, 65536);
+        assert_eq!(c.l1.assoc, 2);
+        assert_eq!(c.l1.ports, 2);
+        assert_eq!(c.l1.hit, 2);
+        assert_eq!(c.l1.mshrs, 12);
+        assert_eq!(c.l2.size, 131072);
+        assert_eq!(c.l2.assoc, 4);
+        assert_eq!(c.l2.ports, 1);
+        assert_eq!(c.l2.hit, 20);
+        assert_eq!(c.mshr_max_merges, 8);
+        assert_eq!(c.mem_latency, 100);
+        assert_eq!(c.banks, 4);
+    }
+
+    #[test]
+    fn set_counts() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1.sets(c.line), 512); // 64K / 64 / 2
+        assert_eq!(c.l2.sets(c.line), 512); // 128K / 64 / 4
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let c = MemConfig::default().with_l2_size(2 << 20);
+        assert_eq!(c.l2.size, 2 << 20);
+        assert_eq!(c.l2.sets(c.line), 8192);
+        let c = MemConfig::default().with_l1_size(1 << 10);
+        assert_eq!(c.l1.sets(c.line), 8);
+    }
+
+    #[test]
+    fn table3_mentions_every_parameter() {
+        let rows = MemConfig::default().table3();
+        assert_eq!(rows.len(), 14);
+        assert!(rows.iter().any(|(k, v)| k.contains("L1") && v == "64 KB"));
+        assert!(rows.iter().any(|(_, v)| v == "122 ns"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Memory-hierarchy timing model for the `visim` simulator.
+//!
+//! Reproduces the memory system of Table 3 of Ranganathan, Adve & Jouppi
+//! (ISCA 1999): a two-level non-blocking write-back cache hierarchy with
+//! miss-status-holding registers (MSHRs) that merge requests to the same
+//! line, limited cache ports, a pipelined off-chip L2, and an interleaved
+//! memory system. Timing is expressed in CPU cycles at 1 GHz, so one
+//! cycle equals one nanosecond and the paper's nanosecond parameters are
+//! used verbatim.
+//!
+//! The model is *reservation based*: each contended resource (cache port,
+//! MSHR, memory bank) tracks when it is next free, and an access's
+//! completion time is composed from those reservations. This captures the
+//! queueing and contention effects the paper analyses (MSHR write backup,
+//! limited miss overlap, prefetch resource contention) without a global
+//! event queue.
+//!
+//! # Example
+//!
+//! ```
+//! use visim_mem::{MemConfig, MemSystem, Request, ServiceLevel};
+//! use visim_isa::MemKind;
+//!
+//! let mut mem = MemSystem::new(MemConfig::default());
+//! let r = mem.access(Request::new(0x1000, 8, MemKind::Load), 0).unwrap();
+//! assert_eq!(r.level, ServiceLevel::Memory); // cold miss goes to DRAM
+//! let r2 = mem.access(Request::new(0x1000, 8, MemKind::Load), r.done_at).unwrap();
+//! assert_eq!(r2.level, ServiceLevel::L1);    // now resident
+//! ```
+
+mod cache;
+mod config;
+mod mshr;
+mod stats;
+mod system;
+
+pub use config::{CacheParams, MemConfig};
+pub use stats::MemStats;
+pub use system::{AccessResult, MemSystem, Rejection, Request, ServiceLevel};

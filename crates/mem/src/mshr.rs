@@ -1,0 +1,250 @@
+//! Miss-status holding registers with request merging.
+//!
+//! Each cache level owns a small file of MSHRs. A primary miss allocates
+//! an entry for its line; subsequent accesses to the same line *merge*
+//! into the entry (up to `max_merges` total requests). When no entry is
+//! free, or an entry's merge capacity is exhausted, the access is
+//! rejected and the requester must retry — this is the "MSHR contention"
+//! behaviour the paper traces back to bursts of small writes
+//! (e.g. 64 one-byte pixel stores per 64-byte line).
+
+/// Reason an MSHR request could not be accepted this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MshrReject {
+    /// All MSHRs are occupied by other lines.
+    Full {
+        /// Earliest cycle at which an entry frees up.
+        free_at: u64,
+    },
+    /// The line has an entry but its merge capacity is exhausted.
+    MergesExhausted {
+        /// Cycle at which the entry's fill completes.
+        free_at: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: u64,
+    fill_at: u64,
+    merges: u32,
+    prefetch_only: bool,
+}
+
+/// An MSHR file for one cache level.
+#[derive(Debug, Clone)]
+pub(crate) struct MshrFile {
+    entries: Vec<Entry>,
+    capacity: usize,
+    max_merges: u32,
+    // Occupancy accounting: integral of occupancy over time.
+    occupancy_cycles: Vec<u64>,
+    last_change: u64,
+    peak: u32,
+}
+
+/// Result of offering a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MshrOffer {
+    /// Primary miss: a new entry was allocated; caller must start the
+    /// fill and later confirm its completion time via `set_fill_time`.
+    Primary,
+    /// Secondary miss: merged into an in-flight fill completing at the
+    /// given cycle.
+    Merged {
+        fill_at: u64,
+        /// The in-flight fill was initiated by a prefetch (late prefetch).
+        prefetch_inflight: bool,
+    },
+}
+
+impl MshrFile {
+    pub fn new(capacity: u32, max_merges: u32) -> Self {
+        MshrFile {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            max_merges,
+            occupancy_cycles: vec![0; capacity as usize + 1],
+            last_change: 0,
+            peak: 0,
+        }
+    }
+
+    fn expire(&mut self, now: u64) {
+        self.account(now);
+        self.entries.retain(|e| e.fill_at > now);
+    }
+
+    /// Advance the occupancy integral to `now`, splitting the elapsed
+    /// interval at every fill completion inside it.
+    fn account(&mut self, now: u64) {
+        while now > self.last_change {
+            let next_fill = self
+                .entries
+                .iter()
+                .map(|e| e.fill_at)
+                .filter(|&t| t > self.last_change)
+                .min()
+                .unwrap_or(u64::MAX);
+            let upto = now.min(next_fill);
+            let occ = self
+                .entries
+                .iter()
+                .filter(|e| e.fill_at > self.last_change)
+                .count()
+                .min(self.capacity);
+            self.occupancy_cycles[occ] += upto - self.last_change;
+            self.last_change = upto;
+        }
+    }
+
+    /// Offer a miss for `line` at cycle `now`. `demand` is false for
+    /// prefetch-initiated fills.
+    pub fn offer(&mut self, line: u64, now: u64, demand: bool) -> Result<MshrOffer, MshrReject> {
+        self.expire(now);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            if e.merges >= self.max_merges {
+                return Err(MshrReject::MergesExhausted { free_at: e.fill_at });
+            }
+            e.merges += 1;
+            let was_prefetch = e.prefetch_only;
+            if demand {
+                e.prefetch_only = false;
+            }
+            return Ok(MshrOffer::Merged {
+                fill_at: e.fill_at,
+                prefetch_inflight: was_prefetch,
+            });
+        }
+        if self.entries.len() >= self.capacity {
+            let free_at = self
+                .entries
+                .iter()
+                .map(|e| e.fill_at)
+                .min()
+                .expect("full file is non-empty");
+            return Err(MshrReject::Full { free_at });
+        }
+        self.entries.push(Entry {
+            line,
+            fill_at: u64::MAX, // fixed up by set_fill_time
+            merges: 1,
+            prefetch_only: !demand,
+        });
+        self.peak = self.peak.max(self.entries.len() as u32);
+        Ok(MshrOffer::Primary)
+    }
+
+    /// Record the fill-completion time of the most recent primary
+    /// allocation for `line`.
+    pub fn set_fill_time(&mut self, line: u64, fill_at: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.fill_at = fill_at;
+        }
+    }
+
+    /// True if `line` has an in-flight fill at `now`.
+    pub fn inflight(&mut self, line: u64, now: u64) -> bool {
+        self.expire(now);
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Current number of in-flight entries at `now`.
+    pub fn occupancy(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Time-weighted occupancy histogram: `hist[k]` = cycles spent with
+    /// exactly `k` entries in flight, up to `now`.
+    pub fn occupancy_histogram(&mut self, now: u64) -> Vec<u64> {
+        self.account(now);
+        self.occupancy_cycles.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m = MshrFile::new(2, 3);
+        assert_eq!(m.offer(0x40, 0, true), Ok(MshrOffer::Primary));
+        m.set_fill_time(0x40, 100);
+        match m.offer(0x40, 1, true) {
+            Ok(MshrOffer::Merged { fill_at, .. }) => assert_eq!(fill_at, 100),
+            other => panic!("{other:?}"),
+        }
+        // Third request still merges (3 total), fourth rejected.
+        assert!(matches!(m.offer(0x40, 2, true), Ok(MshrOffer::Merged { .. })));
+        assert_eq!(
+            m.offer(0x40, 3, true),
+            Err(MshrReject::MergesExhausted { free_at: 100 })
+        );
+    }
+
+    #[test]
+    fn full_file_rejects_new_lines() {
+        let mut m = MshrFile::new(2, 8);
+        m.offer(0x40, 0, true).unwrap();
+        m.set_fill_time(0x40, 50);
+        m.offer(0x80, 0, true).unwrap();
+        m.set_fill_time(0x80, 80);
+        assert_eq!(m.offer(0xc0, 1, true), Err(MshrReject::Full { free_at: 50 }));
+        // After the first fill completes there is room again.
+        assert_eq!(m.offer(0xc0, 51, true), Ok(MshrOffer::Primary));
+        assert_eq!(m.occupancy(51), 2);
+    }
+
+    #[test]
+    fn entries_expire_at_fill_time() {
+        let mut m = MshrFile::new(1, 8);
+        m.offer(0x40, 0, true).unwrap();
+        m.set_fill_time(0x40, 10);
+        assert_eq!(m.occupancy(5), 1);
+        assert_eq!(m.occupancy(10), 0);
+        // Same line misses again later: new primary.
+        assert_eq!(m.offer(0x40, 11, true), Ok(MshrOffer::Primary));
+    }
+
+    #[test]
+    fn prefetch_inflight_reported_to_demand_merge() {
+        let mut m = MshrFile::new(2, 8);
+        m.offer(0x40, 0, false).unwrap(); // prefetch
+        m.set_fill_time(0x40, 100);
+        match m.offer(0x40, 5, true) {
+            Ok(MshrOffer::Merged {
+                prefetch_inflight, ..
+            }) => assert!(prefetch_inflight, "late prefetch detected"),
+            other => panic!("{other:?}"),
+        }
+        // A second demand merge no longer reports prefetch.
+        match m.offer(0x40, 6, true) {
+            Ok(MshrOffer::Merged {
+                prefetch_inflight, ..
+            }) => assert!(!prefetch_inflight),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn occupancy_histogram_integrates_time() {
+        let mut m = MshrFile::new(2, 8);
+        m.offer(0x40, 0, true).unwrap();
+        m.set_fill_time(0x40, 10);
+        m.offer(0x80, 5, true).unwrap();
+        m.set_fill_time(0x80, 20);
+        let h = m.occupancy_histogram(20);
+        // 0..5 with 1 entry, 5..10 with 2, 10..20 with 1.
+        assert_eq!(h[1], 5 + 10);
+        assert_eq!(h[2], 5);
+        assert_eq!(m.peak(), 2);
+    }
+
+}

@@ -1,0 +1,94 @@
+//! Memory-system statistics.
+
+/// Counters maintained by [`crate::MemSystem`].
+///
+/// All counts are in accesses (not bytes); times are in cycles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand accesses (loads + stores) offered to the L1.
+    pub l1_accesses: u64,
+    /// Demand accesses that hit in a resident L1 line.
+    pub l1_hits: u64,
+    /// Primary L1 misses (allocated an MSHR and went to L2).
+    pub l1_primary_misses: u64,
+    /// Secondary L1 misses merged into an in-flight MSHR.
+    pub l1_merged_misses: u64,
+    /// Accesses rejected because every L1 MSHR was busy.
+    pub rejects_mshr_full: u64,
+    /// Accesses rejected because the line's MSHR hit its merge limit.
+    pub rejects_merge_limit: u64,
+    /// Requests that reached the L2.
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (went to memory).
+    pub l2_misses: u64,
+    /// Dirty L1 victims written back.
+    pub writebacks_l1: u64,
+    /// Dirty L2 victims written back to memory.
+    pub writebacks_l2: u64,
+    /// Software prefetches accepted (issued a fill or found data).
+    pub prefetches_issued: u64,
+    /// Software prefetch attempts rejected for lack of MSHR resources
+    /// (the requester retries; the paper's §4.2 "resource contention").
+    pub prefetches_rejected: u64,
+    /// Prefetches whose line was already cached (no work done).
+    pub prefetches_unnecessary: u64,
+    /// Demand accesses that found their line prefetched and resident.
+    pub prefetches_useful: u64,
+    /// Demand accesses that merged with a still-in-flight prefetch.
+    pub prefetches_late: u64,
+    /// Block (cache-bypassing) transfers.
+    pub bypass_accesses: u64,
+}
+
+impl MemStats {
+    /// L1 miss ratio over demand accesses (primary + merged misses).
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            return 0.0;
+        }
+        (self.l1_primary_misses + self.l1_merged_misses) as f64 / self.l1_accesses as f64
+    }
+
+    /// L2 local miss ratio.
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            return 0.0;
+        }
+        self.l2_misses as f64 / self.l2_accesses as f64
+    }
+
+    /// Fraction of issued prefetches that arrived too late.
+    pub fn late_prefetch_rate(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            return 0.0;
+        }
+        self.prefetches_late as f64 / self.prefetches_issued as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = MemStats::default();
+        assert_eq!(s.l1_miss_rate(), 0.0);
+        assert_eq!(s.l2_miss_rate(), 0.0);
+        assert_eq!(s.late_prefetch_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_counts_merged_misses() {
+        let s = MemStats {
+            l1_accesses: 10,
+            l1_hits: 6,
+            l1_primary_misses: 1,
+            l1_merged_misses: 3,
+            ..Default::default()
+        };
+        assert!((s.l1_miss_rate() - 0.4).abs() < 1e-12);
+    }
+}

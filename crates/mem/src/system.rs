@@ -1,0 +1,381 @@
+//! The two-level memory system: composition of ports, tag arrays, MSHRs
+//! and interleaved memory banks.
+
+use visim_isa::MemKind;
+
+use crate::cache::{Lookup, TagArray};
+use crate::config::MemConfig;
+use crate::mshr::{MshrFile, MshrOffer, MshrReject};
+use crate::stats::MemStats;
+
+/// Where a request was serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// Resident in the first-level cache.
+    L1,
+    /// First-level miss, second-level hit.
+    L2,
+    /// Missed both caches and went to a memory bank.
+    Memory,
+}
+
+impl ServiceLevel {
+    /// True if the paper's execution-time attribution buckets this access
+    /// under "L1 miss" (anything that left the L1).
+    pub fn is_l1_miss(self) -> bool {
+        !matches!(self, ServiceLevel::L1)
+    }
+}
+
+/// A memory request offered to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Virtual address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u8,
+    /// Load/store/prefetch flavour.
+    pub kind: MemKind,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(addr: u64, size: u8, kind: MemKind) -> Self {
+        Request { addr, size, kind }
+    }
+}
+
+/// Successful access: when the data is available (loads) or the write is
+/// globally performed (stores), and where it was serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Completion cycle.
+    pub done_at: u64,
+    /// Cache level that serviced the request.
+    pub level: ServiceLevel,
+    /// The request merged into an MSHR already in flight.
+    pub merged: bool,
+}
+
+/// The access could not be accepted this cycle (MSHR contention); retry
+/// no earlier than `retry_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejection {
+    /// Earliest cycle at which a retry can succeed.
+    pub retry_at: u64,
+}
+
+/// Round-robin-by-availability port scheduler: each port accepts one
+/// request per cycle.
+#[derive(Debug, Clone)]
+struct Ports {
+    next_free: Vec<u64>,
+}
+
+impl Ports {
+    fn new(n: u32) -> Self {
+        Ports {
+            next_free: vec![0; n.max(1) as usize],
+        }
+    }
+
+    /// Reserve the earliest slot at or after `now`; returns its cycle.
+    fn reserve(&mut self, now: u64) -> u64 {
+        let p = self
+            .next_free
+            .iter_mut()
+            .min_by_key(|t| **t)
+            .expect("at least one port");
+        let start = now.max(*p);
+        *p = start + 1;
+        start
+    }
+}
+
+/// Interleaved memory banks; consecutive lines map to consecutive banks.
+#[derive(Debug, Clone)]
+struct Banks {
+    next_free: Vec<u64>,
+    busy: u64,
+    line_shift: u32,
+}
+
+impl Banks {
+    fn new(n: u32, busy: u64, line: u64) -> Self {
+        Banks {
+            next_free: vec![0; n.max(1) as usize],
+            busy,
+            line_shift: line.trailing_zeros(),
+        }
+    }
+
+    fn index(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) as usize) % self.next_free.len()
+    }
+
+    /// Reserve the bank owning `addr` at or after `now`; returns the
+    /// cycle the transfer starts.
+    fn reserve(&mut self, addr: u64, now: u64) -> u64 {
+        let b = self.index(addr);
+        let start = now.max(self.next_free[b]);
+        self.next_free[b] = start + self.busy;
+        start
+    }
+}
+
+/// The complete memory hierarchy (L1 + L2 + banks) of Table 3.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    cfg: MemConfig,
+    l1: TagArray,
+    l2: TagArray,
+    l1_mshrs: MshrFile,
+    l2_mshrs: MshrFile,
+    l1_ports: Ports,
+    l2_ports: Ports,
+    banks: Banks,
+    stats: MemStats,
+}
+
+impl MemSystem {
+    /// Build a memory system from its configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        let l1 = TagArray::new(cfg.l1.sets(cfg.line), cfg.l1.assoc, cfg.line);
+        let l2 = TagArray::new(cfg.l2.sets(cfg.line), cfg.l2.assoc, cfg.line);
+        MemSystem {
+            l1,
+            l2,
+            l1_mshrs: MshrFile::new(cfg.l1.mshrs, cfg.mshr_max_merges),
+            l2_mshrs: MshrFile::new(cfg.l2.mshrs, cfg.mshr_max_merges),
+            l1_ports: Ports::new(cfg.l1.ports),
+            l2_ports: Ports::new(cfg.l2.ports),
+            banks: Banks::new(cfg.banks, cfg.bank_busy, cfg.line),
+            stats: MemStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Time-weighted L1 MSHR occupancy histogram up to `now`.
+    pub fn mshr_histogram(&mut self, now: u64) -> Vec<u64> {
+        self.l1_mshrs.occupancy_histogram(now)
+    }
+
+    /// Current number of in-flight L1 misses.
+    pub fn inflight_misses(&mut self, now: u64) -> usize {
+        self.l1_mshrs.occupancy(now)
+    }
+
+    /// Highest L1 MSHR occupancy observed so far.
+    pub fn mshr_peak(&self) -> u32 {
+        self.l1_mshrs.peak()
+    }
+
+    /// True when `addr`'s line is resident in the L1 (testing helper).
+    pub fn l1_contains(&self, addr: u64) -> bool {
+        self.l1.contains(addr)
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line - 1)
+    }
+
+    /// Offer one request to the hierarchy at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejection`] when MSHR capacity or the per-line merge
+    /// limit is exhausted; the caller should retry at `retry_at` (demand
+    /// accesses) or drop the request (prefetches — the drop is counted
+    /// here).
+    pub fn access(&mut self, req: Request, now: u64) -> Result<AccessResult, Rejection> {
+        debug_assert!(
+            req.size as u64 <= self.cfg.line
+                && (req.kind.bypasses_cache()
+                    || self.line_of(req.addr) == self.line_of(req.addr + req.size as u64 - 1)),
+            "access must not straddle a cache line: {req:?}"
+        );
+        if req.kind.bypasses_cache() {
+            return Ok(self.bypass(req, now));
+        }
+        let is_store = req.kind.is_store();
+        let is_prefetch = req.kind == MemKind::Prefetch;
+        let line = self.line_of(req.addr);
+        if !is_prefetch {
+            self.stats.l1_accesses += 1;
+        }
+
+        // 1. Merge into an in-flight miss if one exists for this line.
+        if self.l1_mshrs.inflight(line, now) {
+            match self.l1_mshrs.offer(line, now, !is_prefetch) {
+                Ok(MshrOffer::Merged {
+                    fill_at,
+                    prefetch_inflight,
+                }) => {
+                    if is_prefetch {
+                        self.stats.prefetches_unnecessary += 1;
+                        self.stats.prefetches_issued += 1;
+                        return Ok(AccessResult {
+                            done_at: now,
+                            level: ServiceLevel::L1,
+                            merged: true,
+                        });
+                    }
+                    self.stats.l1_merged_misses += 1;
+                    if prefetch_inflight {
+                        self.stats.prefetches_late += 1;
+                    }
+                    if is_store {
+                        self.l1.note_pending_store(line);
+                    }
+                    return Ok(AccessResult {
+                        done_at: fill_at,
+                        level: ServiceLevel::L2, // conservatively beyond-L1
+                        merged: true,
+                    });
+                }
+                Ok(MshrOffer::Primary) => unreachable!("inflight line cannot be primary"),
+                Err(reject) => return Err(self.reject(reject, is_prefetch)),
+            }
+        }
+
+        // 2. L1 port and tag lookup.
+        let t0 = self.l1_ports.reserve(now);
+        if let Some(prefetched) = self.l1.hit_touch(req.addr, is_store) {
+            if is_prefetch {
+                self.stats.prefetches_issued += 1;
+                self.stats.prefetches_unnecessary += 1;
+            } else {
+                self.stats.l1_hits += 1;
+                if prefetched {
+                    self.stats.prefetches_useful += 1;
+                }
+            }
+            return Ok(AccessResult {
+                done_at: t0 + self.cfg.l1.hit,
+                level: ServiceLevel::L1,
+                merged: false,
+            });
+        }
+
+        // 3. Primary miss: allocate an MSHR (may reject).
+        match self.l1_mshrs.offer(line, t0, !is_prefetch) {
+            Ok(MshrOffer::Primary) => {}
+            Ok(_) => unreachable!("no in-flight entry for this line"),
+            Err(reject) => return Err(self.reject(reject, is_prefetch)),
+        }
+        if is_prefetch {
+            self.stats.prefetches_issued += 1;
+        } else {
+            self.stats.l1_primary_misses += 1;
+        }
+
+        // 4. Request travels to L2 after the L1 detects the miss.
+        let (fill_at, level) = self.l2_request(line, t0 + self.cfg.l1.hit);
+        self.l1_mshrs.set_fill_time(line, fill_at);
+
+        // 5. Install in L1 tags; write back a dirty victim to the L2.
+        let fill = self.l1.fill(req.addr, is_store, is_prefetch);
+        if let Lookup::Miss {
+            victim: Some(v),
+            victim_dirty: true,
+        } = fill
+        {
+            self.stats.writebacks_l1 += 1;
+            let t = self.l2_ports.reserve(fill_at);
+            if self.l2.hit_touch(v, true).is_none() {
+                // Non-inclusive hierarchy: a dirty L1 victim absent from
+                // the L2 goes straight to its memory bank.
+                self.banks.reserve(v, t);
+                self.stats.writebacks_l2 += 1;
+            }
+        }
+
+        Ok(AccessResult {
+            done_at: fill_at,
+            level,
+            merged: false,
+        })
+    }
+
+    /// L2 and memory portion of a primary L1 miss; returns the L1 fill
+    /// time and final service level.
+    fn l2_request(&mut self, line: u64, earliest: u64) -> (u64, ServiceLevel) {
+        self.stats.l2_accesses += 1;
+        let mut t1 = self.l2_ports.reserve(earliest);
+
+        // Merge with an in-flight L2 miss for the same line.
+        if self.l2_mshrs.inflight(line, t1) {
+            if let Ok(MshrOffer::Merged { fill_at, .. }) = self.l2_mshrs.offer(line, t1, true) {
+                self.stats.l2_misses += 1;
+                return (fill_at, ServiceLevel::Memory);
+            }
+            // Merge limit hit at the L2: wait for the fill instead.
+        }
+
+        if self.l2.hit_touch(line, false).is_some() {
+            self.stats.l2_hits += 1;
+            return (t1 + self.cfg.l2.hit, ServiceLevel::L2);
+        }
+
+        // L2 miss. Allocate an L2 MSHR, waiting out full conditions.
+        self.stats.l2_misses += 1;
+        loop {
+            match self.l2_mshrs.offer(line, t1, true) {
+                Ok(MshrOffer::Primary) => break,
+                Ok(MshrOffer::Merged { fill_at, .. }) => return (fill_at, ServiceLevel::Memory),
+                Err(MshrReject::Full { free_at })
+                | Err(MshrReject::MergesExhausted { free_at }) => t1 = t1.max(free_at),
+            }
+        }
+        let start = self.banks.reserve(line, t1 + self.cfg.l2.hit);
+        let fill_at = start + self.cfg.mem_latency;
+        self.l2_mshrs.set_fill_time(line, fill_at);
+
+        // Install in L2 tags; dirty victims go to their memory bank.
+        if let Lookup::Miss {
+            victim: Some(v),
+            victim_dirty: true,
+        } = self.l2.fill(line, false, false)
+        {
+            self.stats.writebacks_l2 += 1;
+            self.banks.reserve(v, fill_at);
+        }
+        (fill_at, ServiceLevel::Memory)
+    }
+
+    /// Cache-bypassing block transfer (VIS block load/store).
+    fn bypass(&mut self, req: Request, now: u64) -> AccessResult {
+        self.stats.bypass_accesses += 1;
+        let start = self.banks.reserve(req.addr, now);
+        AccessResult {
+            done_at: start + self.cfg.mem_latency,
+            level: ServiceLevel::Memory,
+            merged: false,
+        }
+    }
+
+    fn reject(&mut self, reject: MshrReject, is_prefetch: bool) -> Rejection {
+        if is_prefetch {
+            self.stats.prefetches_rejected += 1;
+        } else {
+            match reject {
+                MshrReject::Full { .. } => self.stats.rejects_mshr_full += 1,
+                MshrReject::MergesExhausted { .. } => self.stats.rejects_merge_limit += 1,
+            }
+        }
+        let retry_at = match reject {
+            MshrReject::Full { free_at } | MshrReject::MergesExhausted { free_at } => free_at,
+        };
+        Rejection { retry_at }
+    }
+}

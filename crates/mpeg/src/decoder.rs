@@ -1,0 +1,182 @@
+//! The emitted MPEG-2-style decoder (`mpeg-dec`).
+
+use media_image::synth::Yuv420;
+use media_jpeg::bits::BitReaderState;
+use media_jpeg::block::{idct, store_block, SimQuant, VisIdct};
+use visim_cpu::SimSink;
+use visim_trace::Program;
+
+use crate::encoder::{block_geometry, materialize_pred, pred_source, EncodedVideo, Scratch};
+use crate::frame::SimFrame;
+use crate::mb::{inter_quant, intra_quant, MbMode};
+use crate::motion::{mc_copy_block, recon_block};
+use crate::vlc::VideoTables;
+use crate::{FrameType, Variant};
+
+/// Decode a stream produced by [`crate::encode`]; returns frames in
+/// display order.
+pub fn decode<S: SimSink>(p: &mut Program<S>, ev: &EncodedVideo, v: Variant) -> Vec<Yuv420> {
+    // Emitted header parse.
+    let hb = p.li(ev.addr as i64);
+    let m0 = p.load_u8(&hb, 0);
+    let m1 = p.load_u8(&hb, 1);
+    assert_eq!((m0.value(), m1.value()), (b'V' as i64, b'M' as i64));
+    let whi = p.load_u8(&hb, 2);
+    let wlo = p.load_u8(&hb, 3);
+    let t = p.muli(&whi, 256);
+    let wv = p.add(&t, &wlo);
+    let hhi = p.load_u8(&hb, 4);
+    let hlo = p.load_u8(&hb, 5);
+    let t = p.muli(&hhi, 256);
+    let hv = p.add(&t, &hlo);
+    let nf = p.load_u8(&hb, 6);
+    let qs = p.load_u8(&hb, 7);
+    let (w, h) = (wv.value() as usize, hv.value() as usize);
+    let nframes = nf.value() as usize;
+    let qscale = qs.value() as u32;
+
+    let tables = VideoTables::install(p);
+    let iq = SimQuant::install(p, &intra_quant(qscale));
+    let nq = SimQuant::install(p, &inter_quant(qscale));
+    let scratch = Scratch::alloc(p);
+    let vidct = if v.vis { Some(VisIdct::new(p)) } else { None };
+    let mut reader = BitReaderState::new(p, ev.addr + 8);
+
+    let mut ref_old: Option<SimFrame> = None;
+    let mut ref_new: Option<SimFrame> = None;
+    let mut decoded: Vec<SimFrame> = Vec::with_capacity(nframes);
+    let mut ftypes: Vec<FrameType> = Vec::with_capacity(nframes);
+    for _ in 0..nframes {
+        let tb = reader.get(p, 8);
+        let ftype = match tb.value() {
+            0 => FrameType::I,
+            1 => FrameType::P,
+            2 => FrameType::B,
+            other => panic!("corrupt frame type {other}"),
+        };
+        let recon = SimFrame::alloc(p, w, h);
+        let (fwd, bwd) = match ftype {
+            FrameType::I => (None, None),
+            FrameType::P => (ref_new.as_ref(), None),
+            FrameType::B => (ref_old.as_ref(), ref_new.as_ref()),
+        };
+        decode_frame(
+            p, &recon, fwd, bwd, ftype, &tables, &iq, &nq, &scratch, &vidct, &mut reader, v,
+        );
+        if ftype != FrameType::B {
+            ref_old = ref_new;
+            ref_new = Some(recon);
+        }
+        decoded.push(recon);
+        ftypes.push(ftype);
+    }
+
+    // Reorder from encode order back to display order.
+    let disp = display_order(&ftypes);
+    disp.iter().map(|&enc_ix| decoded[enc_ix].to_yuv(p)).collect()
+}
+
+/// Invert the encoder's reordering: given encode-order frame types,
+/// return the encode-order index of each display position. A run of B
+/// frames in encode order displays *before* the reference that
+/// immediately precedes it.
+fn display_order(enc: &[FrameType]) -> Vec<usize> {
+    let mut disp: Vec<usize> = Vec::new();
+    for (e, t) in enc.iter().enumerate() {
+        if *t == FrameType::B {
+            let pos = disp
+                .iter()
+                .rposition(|&ix| enc[ix] != FrameType::B)
+                .unwrap_or(disp.len());
+            disp.insert(pos, e);
+        } else {
+            disp.push(e);
+        }
+    }
+    disp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_order_inverts_encode_order() {
+        use FrameType::*;
+        // Display IBBP encodes as IPBB; inverting recovers 0,2,3,1.
+        assert_eq!(display_order(&[I, P, B, B]), vec![0, 2, 3, 1]);
+        assert_eq!(display_order(&[I, P, P]), vec![0, 1, 2]);
+        assert_eq!(display_order(&[I, P, B]), vec![0, 2, 1]);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_frame<S: SimSink>(
+    p: &mut Program<S>,
+    recon: &SimFrame,
+    fwd: Option<&SimFrame>,
+    bwd: Option<&SimFrame>,
+    ftype: FrameType,
+    tables: &VideoTables,
+    iq: &SimQuant,
+    nq: &SimQuant,
+    scratch: &Scratch,
+    vidct: &Option<VisIdct>,
+    r: &mut BitReaderState,
+    v: Variant,
+) {
+    let (mbw, mbh) = (recon.y.w / 16, recon.y.h / 16);
+    let mut pred_mv = (0i64, 0i64);
+    for mby in 0..mbh {
+        for mbx in 0..mbw {
+            let mut mode = MbMode::Intra;
+            let mut fmv = (0i64, 0i64);
+            let mut bmv = (0i64, 0i64);
+            if ftype != FrameType::I {
+                let mb = r.get(p, 2);
+                mode = MbMode::from_bits(mb.value());
+                if mode.uses_fwd() {
+                    let dx = tables.get_signed(p, r);
+                    let dy = tables.get_signed(p, r);
+                    fmv = (pred_mv.0 + dx.value(), pred_mv.1 + dy.value());
+                    pred_mv = fmv;
+                }
+                if mode.uses_bwd() {
+                    let dx = tables.get_signed(p, r);
+                    let dy = tables.get_signed(p, r);
+                    bmv = (dx.value(), dy.value());
+                }
+                if mode == MbMode::Intra {
+                    pred_mv = (0, 0);
+                }
+            }
+
+            // Materialize fractional / bidirectional predictions.
+            let mat = materialize_pred(p, mode, fwd, bwd, fmv, bmv, mbx, mby, scratch, v);
+
+            for blk in 0..6usize {
+                let (_, rec_plane, bx, by) = block_geometry(recon, recon, mbx, mby, blk);
+                if mode == MbMode::Intra {
+                    let coef = tables.get_block(p, r, iq);
+                    if let Some(ctx) = vidct {
+                        ctx.run(p, &coef, rec_plane, bx, by);
+                    } else {
+                        let px = idct(p, &coef);
+                        store_block(p, rec_plane, bx, by, &px);
+                    }
+                } else {
+                    let coef = tables.get_block(p, r, nq);
+                    let (pred_plane, px_off, py_off) =
+                        pred_source(mode, fwd, bwd, scratch, fmv, bmv, mbx, mby, blk, mat);
+                    if coef.iter().all(|c| c.value() == 0) {
+                        // Uncoded block: pure motion-compensation copy.
+                        mc_copy_block(p, rec_plane, bx, by, &pred_plane, px_off, py_off, v);
+                    } else {
+                        let res = idct(p, &coef);
+                        recon_block(p, rec_plane, bx, by, &pred_plane, px_off, py_off, &res);
+                    }
+                }
+            }
+        }
+    }
+}

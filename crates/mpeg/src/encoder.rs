@@ -1,0 +1,541 @@
+//! The emitted MPEG-2-style encoder (`mpeg-enc`).
+
+use media_image::synth::Yuv420;
+use media_jpeg::bits::BitWriterState;
+use media_jpeg::block::{fdct, idct, load_block, store_block, SimQuant, VisIdct};
+use media_jpeg::SimPlane;
+use visim_cpu::SimSink;
+use visim_trace::{Program, Val};
+
+use crate::frame::SimFrame;
+use crate::mb::{chroma_mv, inter_quant, intra_quant, MbMode};
+use crate::motion::{avg_rect, interp_rect, mc_copy_block, motion_search, recon_block, refine_halfpel, residual_block};
+use crate::vlc::VideoTables;
+use crate::{encode_order, FrameType, Variant};
+
+/// Encoder parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpegParams {
+    /// Full-search motion range in pels (paper: MPEG defaults; scaled
+    /// down here — see DESIGN.md).
+    pub search_range: i64,
+    /// Quantizer scale (8 = the default matrices unscaled).
+    pub qscale: u32,
+    /// Per-pixel SAD threshold below which inter coding is chosen.
+    pub inter_threshold_per_px: i64,
+}
+
+impl Default for MpegParams {
+    fn default() -> Self {
+        MpegParams {
+            search_range: 7,
+            qscale: 8,
+            inter_threshold_per_px: 20,
+        }
+    }
+}
+
+/// An encoded video stream in simulated memory.
+#[derive(Debug, Clone)]
+pub struct EncodedVideo {
+    /// Stream base address.
+    pub addr: u64,
+    /// Stream length in bytes.
+    pub len: usize,
+    /// Luma width.
+    pub width: usize,
+    /// Luma height.
+    pub height: usize,
+    /// Display-order frame types.
+    pub gop: Vec<FrameType>,
+    /// Quantizer scale used.
+    pub qscale: u32,
+}
+
+/// One macroblock-sized set of prediction planes.
+pub(crate) struct ScratchSet {
+    pub y: SimPlane,
+    pub cb: SimPlane,
+    pub cr: SimPlane,
+}
+
+impl ScratchSet {
+    fn alloc<S: SimSink>(p: &mut Program<S>) -> Self {
+        ScratchSet {
+            y: SimPlane::alloc(p, 16, 16),
+            cb: SimPlane::alloc(p, 8, 8),
+            cr: SimPlane::alloc(p, 8, 8),
+        }
+    }
+}
+
+/// Prediction scratch: the final materialized prediction plus the two
+/// temporaries used for half-pel refinement and bidirectional blending.
+pub(crate) struct Scratch {
+    pub pred: ScratchSet,
+    pub a: ScratchSet,
+    pub b: ScratchSet,
+}
+
+impl Scratch {
+    pub fn alloc<S: SimSink>(p: &mut Program<S>) -> Self {
+        Scratch {
+            pred: ScratchSet::alloc(p),
+            a: ScratchSet::alloc(p),
+            b: ScratchSet::alloc(p),
+        }
+    }
+}
+
+/// Encode `frames` (display order) with the I-B-B-P pattern implied by
+/// `gop` (must match `frames.len()`).
+pub fn encode<S: SimSink>(
+    p: &mut Program<S>,
+    frames: &[Yuv420],
+    gop: &[FrameType],
+    params: MpegParams,
+    v: Variant,
+) -> EncodedVideo {
+    assert_eq!(frames.len(), gop.len());
+    let (w, h) = (frames[0].width, frames[0].height);
+    assert!(w % 16 == 0 && h % 16 == 0, "frames must be MB-aligned");
+    let sim_frames: Vec<SimFrame> = frames.iter().map(|f| SimFrame::from_yuv(p, f)).collect();
+
+    let tables = VideoTables::install(p);
+    let iq = SimQuant::install(p, &intra_quant(params.qscale));
+    let nq = SimQuant::install(p, &inter_quant(params.qscale));
+    let scratch = Scratch::alloc(p);
+    let vidct = if v.vis { Some(VisIdct::new(p)) } else { None };
+
+    let cap = w * h * 4 * frames.len() + 4096;
+    let out = p.mem_mut().alloc(cap, 8);
+    let ob = p.li(out as i64);
+    let hdr = [
+        b'V' as i64,
+        b'M' as i64,
+        (w / 256) as i64,
+        (w % 256) as i64,
+        (h / 256) as i64,
+        (h % 256) as i64,
+        frames.len() as i64,
+        params.qscale as i64,
+    ];
+    for (i, b) in hdr.iter().enumerate() {
+        let bv = p.li(*b);
+        p.store_u8(&ob, i as i64, &bv);
+    }
+    let mut writer = BitWriterState::new(p, out + 8);
+
+    let mut ref_old: Option<SimFrame> = None;
+    let mut ref_new: Option<SimFrame> = None;
+    for &di in &encode_order(gop) {
+        let ftype = gop[di];
+        let cur = &sim_frames[di];
+        // Emitted frame header: type byte via the bit writer.
+        let tb = p.li(match ftype {
+            FrameType::I => 0,
+            FrameType::P => 1,
+            FrameType::B => 2,
+        });
+        let eight = p.li(8);
+        writer.put(p, &tb, &eight);
+
+        let recon = SimFrame::alloc(p, w, h);
+        let (fwd, bwd) = match ftype {
+            FrameType::I => (None, None),
+            FrameType::P => (ref_new.as_ref(), None),
+            FrameType::B => (ref_old.as_ref(), ref_new.as_ref()),
+        };
+        encode_frame(
+            p, cur, &recon, fwd, bwd, ftype, &tables, &iq, &nq, &scratch, &vidct, &mut writer,
+            params, v,
+        );
+        if ftype != FrameType::B {
+            ref_old = ref_new;
+            ref_new = Some(recon);
+        }
+    }
+    let end = writer.finish(p);
+    EncodedVideo {
+        addr: out,
+        len: (end - out) as usize,
+        width: w,
+        height: h,
+        gop: gop.to_vec(),
+        qscale: params.qscale,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_frame<S: SimSink>(
+    p: &mut Program<S>,
+    cur: &SimFrame,
+    recon: &SimFrame,
+    fwd: Option<&SimFrame>,
+    bwd: Option<&SimFrame>,
+    ftype: FrameType,
+    tables: &VideoTables,
+    iq: &SimQuant,
+    nq: &SimQuant,
+    scratch: &Scratch,
+    vidct: &Option<VisIdct>,
+    w: &mut BitWriterState,
+    params: MpegParams,
+    v: Variant,
+) {
+    let (mbw, mbh) = (cur.y.w / 16, cur.y.h / 16);
+    let mut pred_mv = (0i64, 0i64);
+    for mby in 0..mbh {
+        for mbx in 0..mbw {
+            // Mode decision via motion search.
+            let mut mode = MbMode::Intra;
+            let mut fmv = (0i64, 0i64);
+            let mut bmv = (0i64, 0i64);
+            if ftype != FrameType::I {
+                let thresh = 256 * params.inter_threshold_per_px;
+                // Full-pel search, then MPEG-2 half-pel refinement.
+                let (fd, fs) = match fwd {
+                    Some(r) => {
+                        let (dx, dy, s) =
+                            motion_search(p, &cur.y, &r.y, mbx, mby, params.search_range, v);
+                        refine_halfpel(p, &cur.y, &r.y, mbx, mby, (dx, dy), s, &scratch.a.y, v)
+                    }
+                    None => ((0, 0), i64::MAX),
+                };
+                let (bd, bs) = match bwd {
+                    Some(r) => {
+                        let (dx, dy, s) =
+                            motion_search(p, &cur.y, &r.y, mbx, mby, params.search_range, v);
+                        refine_halfpel(p, &cur.y, &r.y, mbx, mby, (dx, dy), s, &scratch.a.y, v)
+                    }
+                    None => ((0, 0), i64::MAX),
+                };
+                // Bidirectional candidate: average the two refined
+                // predictions and measure its SAD (the real encoder's
+                // third option).
+                let bi_s = if let (Some(fr), Some(br)) = (fwd, bwd) {
+                    interp_rect(
+                        p,
+                        &fr.y,
+                        (mbx * 32) as i64 + fd.0,
+                        (mby * 32) as i64 + fd.1,
+                        &scratch.a.y,
+                        16,
+                        16,
+                        v,
+                    );
+                    interp_rect(
+                        p,
+                        &br.y,
+                        (mbx * 32) as i64 + bd.0,
+                        (mby * 32) as i64 + bd.1,
+                        &scratch.b.y,
+                        16,
+                        16,
+                        v,
+                    );
+                    avg_rect(
+                        p,
+                        (&scratch.a.y, 0, 0),
+                        (&scratch.b.y, 0, 0),
+                        &scratch.pred.y,
+                        16,
+                        16,
+                        v,
+                    );
+                    crate::motion::sad_16x16(
+                        p,
+                        &cur.y,
+                        &scratch.pred.y,
+                        mbx * 16,
+                        mby * 16,
+                        -((mbx * 16) as i64),
+                        -((mby * 16) as i64),
+                        i64::MAX,
+                        v,
+                    )
+                    .unwrap_or(i64::MAX)
+                } else {
+                    i64::MAX
+                };
+                let best = fs.min(bs).min(bi_s);
+                if best < thresh {
+                    if bi_s <= fs && bi_s <= bs {
+                        mode = MbMode::Bi;
+                        fmv = fd;
+                        bmv = bd;
+                    } else if fs <= bs {
+                        mode = MbMode::Fwd;
+                        fmv = fd;
+                    } else {
+                        mode = MbMode::Bwd;
+                        bmv = bd;
+                    }
+                }
+            }
+
+            // Emit the MB header.
+            if ftype != FrameType::I {
+                let mb = p.li(mode.bits());
+                let two = p.li(2);
+                w.put(p, &mb, &two);
+                if mode.uses_fwd() {
+                    let dx = p.li(fmv.0 - pred_mv.0);
+                    let dy = p.li(fmv.1 - pred_mv.1);
+                    tables.put_signed(p, w, &dx);
+                    tables.put_signed(p, w, &dy);
+                    pred_mv = fmv;
+                }
+                if mode.uses_bwd() {
+                    let dx = p.li(bmv.0);
+                    let dy = p.li(bmv.1);
+                    tables.put_signed(p, w, &dx);
+                    tables.put_signed(p, w, &dy);
+                }
+                if mode == MbMode::Intra {
+                    pred_mv = (0, 0);
+                }
+            }
+
+            // Materialize fractional / bidirectional predictions.
+            let mat = materialize_pred(p, mode, fwd, bwd, fmv, bmv, mbx, mby, scratch, v);
+
+            // Code the six blocks.
+            for blk in 0..6usize {
+                let (cur_plane, rec_plane, bx, by) = block_geometry(cur, recon, mbx, mby, blk);
+                if mode == MbMode::Intra {
+                    let samples = load_block(p, cur_plane, bx, by);
+                    let coef = fdct(p, &samples);
+                    let zz = iq.quantize(p, &coef);
+                    tables.put_block(p, w, &zz);
+                    // Reconstruction: dequantize + IDCT + store.
+                    let raster = dequant_all(p, iq, &zz);
+                    if let Some(ctx) = vidct {
+                        ctx.run(p, &raster, rec_plane, bx, by);
+                    } else {
+                        let px = idct(p, &raster);
+                        store_block(p, rec_plane, bx, by, &px);
+                    }
+                } else {
+                    let (pred_plane, px_off, py_off) =
+                        pred_source(mode, fwd, bwd, scratch, fmv, bmv, mbx, mby, blk, mat);
+                    let res = residual_block(p, cur_plane, bx, by, &pred_plane, px_off, py_off);
+                    let coef = fdct(p, &res);
+                    // MPEG-2 non-intra dead-zone quantization.
+                    let zz = nq.quantize_trunc(p, &coef);
+                    tables.put_block(p, w, &zz);
+                    if zz.iter().all(|l| l.value() == 0) {
+                        // Uncoded block: reconstruction is a pure MC copy.
+                        mc_copy_block(p, rec_plane, bx, by, &pred_plane, px_off, py_off, v);
+                    } else {
+                        let raster = dequant_all(p, nq, &zz);
+                        let rpx = idct(p, &raster);
+                        recon_block(p, rec_plane, bx, by, &pred_plane, px_off, py_off, &rpx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Which plane and block coordinates block `blk` (0-3 luma, 4 Cb, 5 Cr)
+/// of MB `(mbx, mby)` addresses.
+pub(crate) fn block_geometry<'f>(
+    cur: &'f SimFrame,
+    rec: &'f SimFrame,
+    mbx: usize,
+    mby: usize,
+    blk: usize,
+) -> (&'f SimPlane, &'f SimPlane, usize, usize) {
+    match blk {
+        0 => (&cur.y, &rec.y, 2 * mbx, 2 * mby),
+        1 => (&cur.y, &rec.y, 2 * mbx + 1, 2 * mby),
+        2 => (&cur.y, &rec.y, 2 * mbx, 2 * mby + 1),
+        3 => (&cur.y, &rec.y, 2 * mbx + 1, 2 * mby + 1),
+        4 => (&cur.cb, &rec.cb, mbx, mby),
+        5 => (&cur.cr, &rec.cr, mbx, mby),
+        _ => unreachable!("six blocks per MB"),
+    }
+}
+
+/// Materialize the prediction for one inter macroblock when it cannot
+/// be read directly from a reference plane (any half-pel component, or
+/// bidirectional blending). Returns `(luma_materialized,
+/// chroma_materialized)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn materialize_pred<S: SimSink>(
+    p: &mut Program<S>,
+    mode: MbMode,
+    fwd: Option<&SimFrame>,
+    bwd: Option<&SimFrame>,
+    fmv2: (i64, i64),
+    bmv2: (i64, i64),
+    mbx: usize,
+    mby: usize,
+    scratch: &Scratch,
+    v: Variant,
+) -> (bool, bool) {
+    let frac = |mv: (i64, i64)| mv.0 & 1 != 0 || mv.1 & 1 != 0;
+    match mode {
+        MbMode::Intra => (false, false),
+        MbMode::Fwd | MbMode::Bwd => {
+            let (r, mv2) = if mode == MbMode::Fwd {
+                (fwd.expect("fwd ref"), fmv2)
+            } else {
+                (bwd.expect("bwd ref"), bmv2)
+            };
+            let cmv2 = (chroma_mv(mv2.0), chroma_mv(mv2.1));
+            let luma = frac(mv2);
+            let chroma = frac(cmv2);
+            if luma {
+                interp_rect(
+                    p,
+                    &r.y,
+                    (mbx * 32) as i64 + mv2.0,
+                    (mby * 32) as i64 + mv2.1,
+                    &scratch.pred.y,
+                    16,
+                    16,
+                    v,
+                );
+            }
+            if chroma {
+                interp_rect(
+                    p,
+                    &r.cb,
+                    (mbx * 16) as i64 + cmv2.0,
+                    (mby * 16) as i64 + cmv2.1,
+                    &scratch.pred.cb,
+                    8,
+                    8,
+                    v,
+                );
+                interp_rect(
+                    p,
+                    &r.cr,
+                    (mbx * 16) as i64 + cmv2.0,
+                    (mby * 16) as i64 + cmv2.1,
+                    &scratch.pred.cr,
+                    8,
+                    8,
+                    v,
+                );
+            }
+            (luma, chroma)
+        }
+        MbMode::Bi => {
+            let fr = fwd.expect("bi needs fwd");
+            let br = bwd.expect("bi needs bwd");
+            for (r, mv2, set) in [(fr, fmv2, &scratch.a), (br, bmv2, &scratch.b)] {
+                let cmv2 = (chroma_mv(mv2.0), chroma_mv(mv2.1));
+                interp_rect(
+                    p,
+                    &r.y,
+                    (mbx * 32) as i64 + mv2.0,
+                    (mby * 32) as i64 + mv2.1,
+                    &set.y,
+                    16,
+                    16,
+                    v,
+                );
+                interp_rect(
+                    p,
+                    &r.cb,
+                    (mbx * 16) as i64 + cmv2.0,
+                    (mby * 16) as i64 + cmv2.1,
+                    &set.cb,
+                    8,
+                    8,
+                    v,
+                );
+                interp_rect(
+                    p,
+                    &r.cr,
+                    (mbx * 16) as i64 + cmv2.0,
+                    (mby * 16) as i64 + cmv2.1,
+                    &set.cr,
+                    8,
+                    8,
+                    v,
+                );
+            }
+            avg_rect(p, (&scratch.a.y, 0, 0), (&scratch.b.y, 0, 0), &scratch.pred.y, 16, 16, v);
+            avg_rect(p, (&scratch.a.cb, 0, 0), (&scratch.b.cb, 0, 0), &scratch.pred.cb, 8, 8, v);
+            avg_rect(p, (&scratch.a.cr, 0, 0), (&scratch.b.cr, 0, 0), &scratch.pred.cr, 8, 8, v);
+            (true, true)
+        }
+    }
+}
+
+/// Prediction plane and sample offset for block `blk` under `mode`
+/// (motion vectors in half-pel units; `mat` says which planes were
+/// materialized into `scratch.pred` by [`materialize_pred`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pred_source(
+    mode: MbMode,
+    fwd: Option<&SimFrame>,
+    bwd: Option<&SimFrame>,
+    scratch: &Scratch,
+    fmv2: (i64, i64),
+    bmv2: (i64, i64),
+    mbx: usize,
+    mby: usize,
+    blk: usize,
+    mat: (bool, bool),
+) -> (SimPlane, i64, i64) {
+    let luma = blk < 4;
+    let (bxl, byl) = match blk {
+        0 => (0, 0),
+        1 => (8, 0),
+        2 => (0, 8),
+        3 => (8, 8),
+        _ => (0, 0),
+    };
+    let materialized = if luma { mat.0 } else { mat.1 };
+    if materialized {
+        return if luma {
+            (scratch.pred.y, bxl, byl)
+        } else if blk == 4 {
+            (scratch.pred.cb, 0, 0)
+        } else {
+            (scratch.pred.cr, 0, 0)
+        };
+    }
+    // Direct (integer-position) prediction from the reference.
+    let (r, mv2) = match mode {
+        MbMode::Fwd => (fwd.expect("fwd ref"), fmv2),
+        MbMode::Bwd => (bwd.expect("bwd ref"), bmv2),
+        MbMode::Bi => unreachable!("bi predictions are always materialized"),
+        MbMode::Intra => unreachable!("intra has no prediction"),
+    };
+    if luma {
+        (
+            r.y,
+            (mbx * 16) as i64 + mv2.0 / 2 + bxl,
+            (mby * 16) as i64 + mv2.1 / 2 + byl,
+        )
+    } else {
+        let cmv2 = (chroma_mv(mv2.0), chroma_mv(mv2.1));
+        let pl = if blk == 4 { r.cb } else { r.cr };
+        (
+            pl,
+            (mbx * 8) as i64 + cmv2.0 / 2,
+            (mby * 8) as i64 + cmv2.1 / 2,
+        )
+    }
+}
+
+/// Dequantize all 64 zig-zag levels into raster coefficients.
+pub(crate) fn dequant_all<S: SimSink>(
+    p: &mut Program<S>,
+    q: &SimQuant,
+    zz: &[Val],
+) -> Vec<Val> {
+    let zero = p.li(0);
+    let mut raster = vec![zero; 64];
+    for (k, lvl) in zz.iter().enumerate() {
+        let (r, v) = q.dequant_one(p, k, lvl);
+        raster[r] = v;
+    }
+    raster
+}

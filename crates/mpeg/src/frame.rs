@@ -1,0 +1,66 @@
+//! YUV 4:2:0 frames in simulated memory.
+
+use media_image::synth::Yuv420;
+use media_jpeg::SimPlane;
+use visim_cpu::SimSink;
+use visim_trace::Program;
+
+/// A 4:2:0 frame resident in simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct SimFrame {
+    /// Luma plane.
+    pub y: SimPlane,
+    /// Cb plane (half resolution).
+    pub cb: SimPlane,
+    /// Cr plane (half resolution).
+    pub cr: SimPlane,
+}
+
+impl SimFrame {
+    /// Allocate a zeroed frame.
+    pub fn alloc<S: SimSink>(p: &mut Program<S>, w: usize, h: usize) -> Self {
+        SimFrame {
+            y: SimPlane::alloc(p, w, h),
+            cb: SimPlane::alloc(p, w / 2, h / 2),
+            cr: SimPlane::alloc(p, w / 2, h / 2),
+        }
+    }
+
+    /// Copy a host frame into simulated memory (untimed input I/O).
+    pub fn from_yuv<S: SimSink>(p: &mut Program<S>, f: &Yuv420) -> Self {
+        let s = Self::alloc(p, f.width, f.height);
+        p.mem_mut().write_bytes(s.y.addr, &f.y);
+        p.mem_mut().write_bytes(s.cb.addr, &f.u);
+        p.mem_mut().write_bytes(s.cr.addr, &f.v);
+        s
+    }
+
+    /// Copy the frame back out.
+    pub fn to_yuv<S: SimSink>(&self, p: &Program<S>) -> Yuv420 {
+        Yuv420 {
+            width: self.y.w,
+            height: self.y.h,
+            y: self.y.to_vec(p),
+            u: self.cb.to_vec(p),
+            v: self.cr.to_vec(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media_image::synth;
+    use visim_cpu::CountingSink;
+
+    #[test]
+    fn frame_roundtrips() {
+        let f = &synth::video(32, 16, 1, 3)[0];
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let sf = SimFrame::from_yuv(&mut p, f);
+        assert_eq!(&sf.to_yuv(&p), f);
+        assert_eq!(sf.cb.w, 16);
+        assert_eq!(sf.cb.h, 8);
+    }
+}

@@ -1,0 +1,92 @@
+//! Emitter-based MPEG-2-style video codec: the paper's `mpeg-enc` and
+//! `mpeg-dec` benchmarks.
+//!
+//! Follows the structure of the MPEG Software Simulation Group encoder
+//! the paper uses: an I-B-B-P group of pictures over 4:2:0 YUV frames,
+//! full-search block motion estimation on 16×16 macroblocks (the
+//! compute-dominant phase, §2.1.3), forward/backward/bidirectional
+//! prediction for B pictures, the same "islow" DCT/quantization substrate
+//! as the JPEG codec, run/level entropy coding, and a full encoder-side
+//! reconstruction loop so references match the decoder bit-exactly.
+//!
+//! Motion vectors carry half-pel precision with the standard bilinear
+//! interpolation (2-point averages on half-pel rows/columns, 4-point on
+//! the diagonal). Simplifications vs. MPEG-2 proper (documented in
+//! DESIGN.md): a compact private bitstream framing, JPEG-style
+//! canonical Huffman tables for the run/level and motion-vector symbols
+//! (structurally equivalent VLC work), and per-frame rather than
+//! per-slice DC prediction reset.
+//!
+//! The VIS variant uses `pdist` for SAD (the paper's 48-instructions-to-
+//! one observation), packed residual/reconstruction arithmetic, and
+//! `fpack16` saturation; scalar code uses the branchy equivalents.
+
+pub mod frame;
+pub mod mb;
+pub mod motion;
+pub mod vlc;
+
+mod decoder;
+mod encoder;
+
+pub use decoder::decode;
+pub use encoder::{encode, EncodedVideo, MpegParams};
+pub use frame::SimFrame;
+pub use media_kernels::Variant;
+
+/// Picture coding types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Intra-coded.
+    I,
+    /// Forward-predicted.
+    P,
+    /// Bidirectionally predicted.
+    B,
+}
+
+/// The paper's 4-frame I-B-B-P pattern in display order.
+pub fn gop_ibbp() -> Vec<FrameType> {
+    vec![FrameType::I, FrameType::B, FrameType::B, FrameType::P]
+}
+
+/// Convert display order to encode order (references before the B
+/// frames that use them): returns indices into the display sequence.
+pub fn encode_order(gop: &[FrameType]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(gop.len());
+    let mut pending_b = Vec::new();
+    for (i, t) in gop.iter().enumerate() {
+        match t {
+            FrameType::B => pending_b.push(i),
+            _ => {
+                order.push(i);
+                order.append(&mut pending_b);
+            }
+        }
+    }
+    // Trailing Bs (no closing reference) are appended as-is.
+    order.append(&mut pending_b);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibbp_reorders_to_ipbb() {
+        assert_eq!(encode_order(&gop_ibbp()), vec![0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn all_intra_keeps_order() {
+        let gop = vec![FrameType::I, FrameType::I, FrameType::P];
+        assert_eq!(encode_order(&gop), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trailing_b_is_flushed() {
+        let gop = vec![FrameType::I, FrameType::B];
+        assert_eq!(encode_order(&gop), vec![0, 1]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Macroblock-level shared definitions.
+
+use media_dsp::quant::MPEG_INTRA_Q;
+
+/// Macroblock prediction modes (2 bits in the stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbMode {
+    /// Intra-coded.
+    Intra,
+    /// Forward prediction.
+    Fwd,
+    /// Backward prediction.
+    Bwd,
+    /// Bidirectional (averaged) prediction.
+    Bi,
+}
+
+impl MbMode {
+    /// Stream encoding.
+    pub fn bits(self) -> i64 {
+        match self {
+            MbMode::Intra => 0,
+            MbMode::Fwd => 1,
+            MbMode::Bwd => 2,
+            MbMode::Bi => 3,
+        }
+    }
+
+    /// Decode from the 2-bit field.
+    pub fn from_bits(b: i64) -> Self {
+        match b {
+            0 => MbMode::Intra,
+            1 => MbMode::Fwd,
+            2 => MbMode::Bwd,
+            3 => MbMode::Bi,
+            _ => unreachable!("2-bit field"),
+        }
+    }
+
+    /// Does this mode use the forward reference?
+    pub fn uses_fwd(self) -> bool {
+        matches!(self, MbMode::Fwd | MbMode::Bi)
+    }
+
+    /// Does this mode use the backward reference?
+    pub fn uses_bwd(self) -> bool {
+        matches!(self, MbMode::Bwd | MbMode::Bi)
+    }
+}
+
+/// Chroma motion vector: half the luma vector, truncated toward zero
+/// (MPEG-2 full-pel simplification).
+pub fn chroma_mv(mv: i64) -> i64 {
+    mv / 2
+}
+
+/// Intra quantization table scaled by `qscale` (8 == unscaled).
+pub fn intra_quant(qscale: u32) -> [u16; 64] {
+    let mut q = [0u16; 64];
+    for i in 0..64 {
+        q[i] = ((MPEG_INTRA_Q[i] as u32 * qscale + 4) / 8).clamp(1, 255) as u16;
+    }
+    q
+}
+
+/// Inter (non-intra) quantization: the flat 16 matrix scaled by
+/// `qscale`.
+pub fn inter_quant(qscale: u32) -> [u16; 64] {
+    [((16 * qscale + 4) / 8).clamp(1, 255) as u16; 64]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_bits_roundtrip() {
+        for m in [MbMode::Intra, MbMode::Fwd, MbMode::Bwd, MbMode::Bi] {
+            assert_eq!(MbMode::from_bits(m.bits()), m);
+        }
+        assert!(MbMode::Bi.uses_fwd() && MbMode::Bi.uses_bwd());
+        assert!(MbMode::Fwd.uses_fwd() && !MbMode::Fwd.uses_bwd());
+        assert!(!MbMode::Intra.uses_fwd());
+    }
+
+    #[test]
+    fn chroma_mv_truncates_toward_zero() {
+        assert_eq!(chroma_mv(5), 2);
+        assert_eq!(chroma_mv(-5), -2);
+        assert_eq!(chroma_mv(4), 2);
+        assert_eq!(chroma_mv(-1), 0);
+    }
+
+    #[test]
+    fn quant_scaling() {
+        assert_eq!(intra_quant(8), {
+            let mut q = [0u16; 64];
+            for i in 0..64 {
+                q[i] = ((MPEG_INTRA_Q[i] as u32 * 8 + 4) / 8) as u16;
+            }
+            q
+        });
+        assert!(inter_quant(16).iter().all(|&q| q == 32));
+        assert!(intra_quant(1).iter().all(|&q| q >= 1));
+    }
+}

@@ -1,0 +1,199 @@
+//! Variable-length coding for the MPEG-2-style bitstream.
+//!
+//! Uses canonical Huffman tables (the JPEG Annex-K defaults) for the
+//! run/size and category symbols — structurally equivalent VLC work to
+//! the MSSG tables, with the same serial bit-twiddling the paper finds
+//! VIS-inapplicable.
+
+use media_dsp::huffman::{ac_luma, dc_luma};
+use media_jpeg::bits::{BitReaderState, BitWriterState};
+use media_jpeg::block::SimQuant;
+use media_jpeg::huff::{extend, extend_bits, SimCategory, SimHuff};
+use visim_cpu::SimSink;
+use visim_trace::{Cond, Program, Val};
+
+/// Entropy tables for the video codec.
+#[derive(Debug, Clone, Copy)]
+pub struct VideoTables {
+    /// Category-style table (motion vectors, DC).
+    pub dc: SimHuff,
+    /// Run/size table (coefficients).
+    pub ac: SimHuff,
+    /// Magnitude categories.
+    pub cat: SimCategory,
+}
+
+impl VideoTables {
+    /// Install the tables in simulated memory.
+    pub fn install<S: SimSink>(p: &mut Program<S>) -> Self {
+        VideoTables {
+            dc: SimHuff::install(p, &dc_luma()),
+            ac: SimHuff::install(p, &ac_luma()),
+            cat: SimCategory::install(p),
+        }
+    }
+
+    /// Emit a signed value (motion-vector component or DC difference) as
+    /// category + extend bits.
+    pub fn put_signed<S: SimSink>(&self, p: &mut Program<S>, w: &mut BitWriterState, v: &Val) {
+        let (cat, _) = self.cat.of(p, v);
+        self.dc.encode(p, w, &cat);
+        if cat.value() > 0 {
+            let bits = extend_bits(p, v, &cat);
+            w.put(p, &bits, &cat);
+        }
+    }
+
+    /// Emit the decode of a [`VideoTables::put_signed`] value.
+    pub fn get_signed<S: SimSink>(&self, p: &mut Program<S>, r: &mut BitReaderState) -> Val {
+        let cat = self.dc.decode(p, r);
+        let c = cat.value();
+        let bits = r.get(p, c);
+        extend(p, &bits, c)
+    }
+
+    /// Emit run/size coding of 64 zig-zag levels (DC included — inter
+    /// blocks code all coefficients uniformly). Returns true if any
+    /// coefficient was non-zero.
+    pub fn put_block<S: SimSink>(
+        &self,
+        p: &mut Program<S>,
+        w: &mut BitWriterState,
+        levels: &[Val],
+    ) -> bool {
+        let mut run = p.li(0);
+        let mut any = false;
+        let mut pending_zeros = false;
+        for level in levels {
+            if p.bcond_i(Cond::Eq, level, 0, false) {
+                run = p.addi(&run, 1);
+                pending_zeros = true;
+                continue;
+            }
+            while run.value() >= 16 {
+                let zrl = p.li(0xf0);
+                self.ac.encode(p, w, &zrl);
+                run = p.addi(&run, -16);
+            }
+            let (cat, _) = self.cat.of(p, level);
+            let r4 = p.shli(&run, 4);
+            let sym = p.or(&r4, &cat);
+            self.ac.encode(p, w, &sym);
+            let bits = extend_bits(p, level, &cat);
+            w.put(p, &bits, &cat);
+            run = p.li(0);
+            any = true;
+            pending_zeros = false;
+        }
+        if pending_zeros {
+            let eob = p.li(0x00);
+            self.ac.encode(p, w, &eob);
+        }
+        any
+    }
+
+    /// Emit the decode of a [`VideoTables::put_block`] block straight
+    /// into dequantized raster coefficients.
+    pub fn get_block<S: SimSink>(
+        &self,
+        p: &mut Program<S>,
+        r: &mut BitReaderState,
+        q: &SimQuant,
+    ) -> Vec<Val> {
+        let zero = p.li(0);
+        let mut coef = vec![zero; 64];
+        let mut k = 0usize;
+        while k <= 63 {
+            let sym = self.ac.decode(p, r);
+            let run = p.shri(&sym, 4);
+            let size = p.andi(&sym, 15);
+            if size.value() == 0 {
+                if run.value() == 15 {
+                    k += 16; // ZRL
+                    continue;
+                }
+                break; // EOB
+            }
+            k += run.value() as usize;
+            let bits = r.get(p, size.value());
+            let level = extend(p, &bits, size.value());
+            let (raster, val) = q.dequant_one(p, k, &level);
+            coef[raster] = val;
+            k += 1;
+        }
+        coef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use media_dsp::quant::MPEG_INTRA_Q;
+    use visim_trace::Program;
+    use visim_cpu::CountingSink;
+
+    #[test]
+    fn signed_values_roundtrip() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let t = VideoTables::install(&mut p);
+        let buf = p.mem_mut().alloc(512, 8);
+        let mut w = BitWriterState::new(&mut p, buf);
+        let vals = [-700i64, -16, -1, 0, 1, 5, 120, 900];
+        for &v in &vals {
+            let vv = p.li(v);
+            t.put_signed(&mut p, &mut w, &vv);
+        }
+        w.finish(&mut p);
+        let mut r = BitReaderState::new(&mut p, buf);
+        for &v in &vals {
+            assert_eq!(t.get_signed(&mut p, &mut r).value(), v);
+        }
+    }
+
+    #[test]
+    fn blocks_roundtrip_through_quantized_levels() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let t = VideoTables::install(&mut p);
+        let q = SimQuant::install(&mut p, &MPEG_INTRA_Q);
+        let buf = p.mem_mut().alloc(1024, 8);
+        let mut w = BitWriterState::new(&mut p, buf);
+        // A sparse zig-zag level pattern (levels, positions).
+        let mut levels = vec![0i64; 64];
+        levels[0] = 12;
+        levels[1] = -3;
+        levels[20] = 5; // after a long zero run
+        levels[63] = -1; // last position, no EOB needed
+        let lv: Vec<Val> = levels.iter().map(|&x| p.li(x)).collect();
+        let any = t.put_block(&mut p, &mut w, &lv);
+        assert!(any);
+        w.finish(&mut p);
+        let mut r = BitReaderState::new(&mut p, buf);
+        let coef = t.get_block(&mut p, &mut r, &q);
+        for k in 0..64 {
+            let raster = media_dsp::ZIGZAG[k];
+            let want = levels[k] * MPEG_INTRA_Q[raster] as i64;
+            assert_eq!(coef[raster].value(), want, "zz {k}");
+        }
+    }
+
+    #[test]
+    fn all_zero_block_is_just_an_eob() {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let t = VideoTables::install(&mut p);
+        let q = SimQuant::install(&mut p, &MPEG_INTRA_Q);
+        let buf = p.mem_mut().alloc(64, 8);
+        let mut w = BitWriterState::new(&mut p, buf);
+        let zero = p.li(0);
+        let lv = vec![zero; 64];
+        let any = t.put_block(&mut p, &mut w, &lv);
+        assert!(!any);
+        let end = w.finish(&mut p);
+        assert!(end - buf <= 2, "EOB only: {} bytes", end - buf);
+        let mut r = BitReaderState::new(&mut p, buf);
+        let coef = t.get_block(&mut p, &mut r, &q);
+        assert!(coef.iter().all(|c| c.value() == 0));
+    }
+}

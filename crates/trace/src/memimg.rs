@@ -1,0 +1,183 @@
+//! Simulated flat address space with a bump allocator.
+
+/// The workload's simulated memory.
+///
+/// Addresses start at [`MemImage::BASE`]; the backing store grows on
+/// demand. All multi-byte accesses are little-endian (see the lane
+/// convention in `visim_isa::vis`).
+#[derive(Debug, Clone)]
+pub struct MemImage {
+    data: Vec<u8>,
+    next: u64,
+}
+
+impl MemImage {
+    /// Lowest allocatable simulated address (so that "null" is never a
+    /// valid buffer).
+    pub const BASE: u64 = 0x1_0000;
+
+    /// An empty address space.
+    pub fn new() -> Self {
+        MemImage {
+            data: Vec::new(),
+            next: Self::BASE,
+        }
+    }
+
+    /// Allocate `size` bytes aligned to `align` (a power of two);
+    /// returns the simulated address. Memory is zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: usize, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        self.next = addr + size as u64;
+        let need = (self.next - Self::BASE) as usize;
+        if self.data.len() < need {
+            self.data.resize(need, 0);
+        }
+        addr
+    }
+
+    /// Allocate with a guard gap after the previous allocation, so that
+    /// distinct buffers never share a cache line. The paper skews
+    /// concurrent array starting addresses to reduce cache conflicts
+    /// (§2.3.1); callers control placement the same way.
+    pub fn alloc_skewed(&mut self, size: usize, align: u64, skew: u64) -> u64 {
+        self.next += skew;
+        self.alloc(size, align)
+    }
+
+    fn ix(&self, addr: u64, len: usize) -> usize {
+        assert!(
+            addr >= Self::BASE && (addr - Self::BASE) as usize + len <= self.data.len(),
+            "simulated access out of bounds: {addr:#x}+{len}"
+        );
+        (addr - Self::BASE) as usize
+    }
+
+    /// Read `len` bytes at `addr`.
+    pub fn bytes(&self, addr: u64, len: usize) -> &[u8] {
+        let i = self.ix(addr, len);
+        &self.data[i..i + len]
+    }
+
+    /// Overwrite the bytes at `addr` (host-side initialization; emits no
+    /// instructions).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let i = self.ix(addr, bytes.len());
+        self.data[i..i + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Read an unsigned byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.bytes(addr, 1)[0]
+    }
+
+    /// Read a `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.bytes(addr, 2).try_into().expect("len 2"))
+    }
+
+    /// Read a `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.bytes(addr, 4).try_into().expect("len 4"))
+    }
+
+    /// Read a `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.bytes(addr, 8).try_into().expect("len 8"))
+    }
+
+    /// Write a byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.write_bytes(addr, &[v]);
+    }
+
+    /// Write a `u16`.
+    pub fn write_u16(&mut self, addr: u64, v: u16) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Write a `u32`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Write a `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Total bytes allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next - Self::BASE
+    }
+}
+
+impl Default for MemImage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = MemImage::new();
+        let a = m.alloc(3, 1);
+        let b = m.alloc(8, 64);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 3);
+    }
+
+    #[test]
+    fn skewed_alloc_adds_gap() {
+        let mut m = MemImage::new();
+        let a = m.alloc(64, 64);
+        let b = m.alloc_skewed(64, 8, 24);
+        assert!(b >= a + 64 + 24);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = MemImage::new();
+        let a = m.alloc(32, 8);
+        m.write_u8(a, 0xab);
+        m.write_u16(a + 2, 0x1234);
+        m.write_u32(a + 4, 0xdeadbeef);
+        m.write_u64(a + 8, 0x0102030405060708);
+        assert_eq!(m.read_u8(a), 0xab);
+        assert_eq!(m.read_u16(a + 2), 0x1234);
+        assert_eq!(m.read_u32(a + 4), 0xdeadbeef);
+        assert_eq!(m.read_u64(a + 8), 0x0102030405060708);
+    }
+
+    #[test]
+    fn memory_is_zero_initialized() {
+        let mut m = MemImage::new();
+        let a = m.alloc(16, 8);
+        assert_eq!(m.read_u64(a), 0);
+        assert_eq!(m.read_u64(a + 8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let mut m = MemImage::new();
+        let a = m.alloc(8, 8);
+        let _ = m.read_u64(a + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn below_base_read_panics() {
+        let m = MemImage::new();
+        let _ = m.read_u8(0x10);
+    }
+}

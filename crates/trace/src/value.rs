@@ -1,0 +1,88 @@
+//! Value handles pairing functional values with virtual registers.
+
+use visim_isa::Reg;
+
+/// A 64-bit scalar value in a virtual register.
+///
+/// Scalars are stored as `i64`; floating-point values are carried as
+/// `f64` bit patterns (see [`Val::as_f64`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Val {
+    pub(crate) reg: Reg,
+    pub(crate) v: i64,
+}
+
+impl Val {
+    pub(crate) fn new(reg: Reg, v: i64) -> Self {
+        Val { reg, v }
+    }
+
+    /// The functional value.
+    pub fn value(&self) -> i64 {
+        self.v
+    }
+
+    /// The value reinterpreted as an `f64` bit pattern.
+    pub fn as_f64(&self) -> f64 {
+        f64::from_bits(self.v as u64)
+    }
+
+    /// The virtual register holding the value.
+    pub fn reg(&self) -> Reg {
+        self.reg
+    }
+}
+
+/// A 64-bit packed (VIS) value in a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VVal {
+    pub(crate) reg: Reg,
+    pub(crate) v: u64,
+}
+
+impl VVal {
+    pub(crate) fn new(reg: Reg, v: u64) -> Self {
+        VVal { reg, v }
+    }
+
+    /// The packed bits.
+    pub fn bits(&self) -> u64 {
+        self.v
+    }
+
+    /// The packed value as four signed 16-bit lanes.
+    pub fn lanes16(&self) -> [i16; 4] {
+        visim_isa::vis::unpack16(self.v)
+    }
+
+    /// The packed value as eight byte lanes.
+    pub fn lanes8(&self) -> [u8; 8] {
+        visim_isa::vis::unpack8(self.v)
+    }
+
+    /// The virtual register holding the value.
+    pub fn reg(&self) -> Reg {
+        self.reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn val_accessors() {
+        let v = Val::new(Reg(3), -7);
+        assert_eq!(v.value(), -7);
+        assert_eq!(v.reg(), Reg(3));
+        let f = Val::new(Reg(4), 1.5f64.to_bits() as i64);
+        assert_eq!(f.as_f64(), 1.5);
+    }
+
+    #[test]
+    fn vval_lane_views() {
+        let v = VVal::new(Reg(5), visim_isa::vis::pack16([1, -2, 3, -4]));
+        assert_eq!(v.lanes16(), [1, -2, 3, -4]);
+        assert_eq!(v.reg(), Reg(5));
+    }
+}

@@ -1,0 +1,90 @@
+//! A photo-editing pipeline (the paper's image-processing motivation):
+//! decode a JPEG, sharpen it with a 3×3 convolution, intensity-scale
+//! it, re-encode — measuring where the time goes at each stage and how
+//! much of it VIS removes.
+//!
+//! ```text
+//! cargo run --release --example photo_pipeline
+//! ```
+
+use media_jpeg as jpeg;
+use media_kernels::{conv, pointwise, SimImage, Variant};
+use visim_cpu::{CountingSink, CpuConfig, Pipeline, SimSink};
+use visim_mem::MemConfig;
+use visim_trace::Program;
+
+/// Run one stage in a fresh pipeline, returning (instructions, cycles).
+fn staged<F>(variant: Variant, f: F) -> (u64, u64)
+where
+    F: FnOnce(&mut Program<Pipeline>, Variant),
+{
+    let mut pipe = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
+    {
+        let mut p = Program::new(&mut pipe);
+        f(&mut p, variant);
+    }
+    let s = pipe.finish();
+    (s.cpu.retired, s.cycles())
+}
+
+fn main() {
+    let (w, h) = (96, 64);
+    let photo = media_image::synth::still(w, h, 3, 5);
+
+    // Prepare a compressed input once (untimed, like reading a file).
+    let (bytes, meta) = {
+        let mut sink = CountingSink::new();
+        let mut p = Program::new(&mut sink);
+        let s = jpeg::encode(&mut p, &photo, jpeg::EncodeParams::default(), Variant::SCALAR);
+        (p.mem().bytes(s.addr, s.len).to_vec(), s)
+    };
+    println!("input photo: {w}x{h}, {} JPEG bytes\n", bytes.len());
+    println!(
+        "{:<10} {:>13} {:>13} {:>13} {:>13}",
+        "stage", "scalar insts", "scalar cycles", "VIS insts", "VIS cycles"
+    );
+
+    for stage in ["decode", "sharpen", "scale", "encode"] {
+        let mut cells = Vec::new();
+        for variant in [Variant::SCALAR, Variant::VIS] {
+            let bytes = bytes.clone();
+            let (insts, cycles) = staged(variant, |p, v| match stage {
+                "decode" => {
+                    let addr = p.mem_mut().alloc(bytes.len(), 8);
+                    p.mem_mut().write_bytes(addr, &bytes);
+                    let stream = jpeg::JpegStream { addr, ..meta };
+                    let _ = jpeg::decode(p, &stream, v);
+                }
+                "sharpen" => {
+                    let a = SimImage::from_image(p, &photo);
+                    let d = SimImage::alloc(p, w, h, 3);
+                    conv::conv(p, &a, &d, &conv::SHARPEN, v);
+                }
+                "scale" => {
+                    let a = SimImage::from_image(p, &photo);
+                    let d = SimImage::alloc(p, w, h, 3);
+                    pointwise::scaling(p, &a, &d, 307, -12, v);
+                }
+                "encode" => {
+                    let _ = jpeg::encode(p, &photo, jpeg::EncodeParams::default(), v);
+                }
+                _ => unreachable!(),
+            });
+            cells.push((insts, cycles));
+        }
+        println!(
+            "{:<10} {:>13} {:>13} {:>13} {:>13}   ({:.2}x)",
+            stage,
+            cells[0].0,
+            cells[0].1,
+            cells[1].0,
+            cells[1].1,
+            cells[0].1 as f64 / cells[1].1 as f64
+        );
+    }
+    println!(
+        "\nKernels (sharpen/scale) vectorize well; the entropy-coded JPEG \
+         stages barely move —\nexactly the split the paper reports between \
+         the VSDK kernels and cjpeg/djpeg."
+    );
+}

@@ -1,0 +1,75 @@
+//! The paper's motivating scenario (§1): a video-teleconferencing
+//! pipeline — encode an outgoing camera stream, decode an incoming one,
+//! and alpha-blend a logo overlay onto the displayed frames — simulated
+//! end to end on three processor generations, with and without media
+//! ISA extensions.
+//!
+//! ```text
+//! cargo run --release --example teleconference
+//! ```
+
+use media_image::synth;
+use media_kernels::{blend, SimImage, Variant};
+use media_mpeg as mpeg;
+use visim::Arch;
+use visim_cpu::Pipeline;
+use visim_mem::MemConfig;
+use visim_trace::Program;
+
+fn main() {
+    let (w, h) = (48, 32);
+    let outgoing = synth::video(w, h, 4, 11);
+    let incoming = synth::video(w, h, 4, 22);
+    let params = mpeg::MpegParams {
+        search_range: 3,
+        ..Default::default()
+    };
+
+    println!("teleconference frame pipeline ({w}x{h}, 4 frames):\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}",
+        "config", "instructions", "cycles", "speedup"
+    );
+    let mut base_cycles = None;
+    for variant in [Variant::SCALAR, Variant::VIS] {
+        for arch in Arch::all() {
+            let mut pipe = Pipeline::new(arch.cpu(), MemConfig::default());
+            {
+                let mut p = Program::new(&mut pipe);
+                // Outgoing leg: encode the camera feed.
+                let _sent = mpeg::encode(&mut p, &outgoing, &mpeg::gop_ibbp(), params, variant);
+                // Incoming leg: encode (untimed stand-in for the remote
+                // encoder happens here too — kept in-program so both
+                // legs share the address space), then decode.
+                let stream = mpeg::encode(&mut p, &incoming, &mpeg::gop_ibbp(), params, variant);
+                let frames = mpeg::decode(&mut p, &stream, variant);
+                // Display leg: blend a logo onto each decoded luma plane
+                // (treated as a 1-band image).
+                let logo = synth::alpha(w, h, 1, 3);
+                let alpha = synth::alpha(w, h, 1, 4);
+                for f in &frames {
+                    let img = media_image::Image::from_raw(w, h, 1, f.y.clone());
+                    let a = SimImage::from_image(&mut p, &img);
+                    let l = SimImage::from_image(&mut p, &logo);
+                    let al = SimImage::from_image(&mut p, &alpha);
+                    let d = SimImage::alloc(&mut p, w, h, 1);
+                    blend::blend(&mut p, &l, &a, &al, &d, variant);
+                }
+            }
+            let s = pipe.finish();
+            let base = *base_cycles.get_or_insert(s.cycles());
+            println!(
+                "{:<12} {:>14} {:>14} {:>8.2}x",
+                format!("{}{}", if variant.vis { "VIS " } else { "" }, arch.label()),
+                s.cpu.retired,
+                s.cycles(),
+                base as f64 / s.cycles() as f64
+            );
+        }
+    }
+    println!(
+        "\nThe paper's headline: ILP features give 2.3-4.2x, VIS another \
+         1.1-4.2x;\nthe combination makes real-time conferencing plausible \
+         on a general-purpose core."
+    );
+}

@@ -1,0 +1,12 @@
+//! Workspace façade crate: re-exports every `visim` crate so the examples
+//! and integration tests in this repository have a single dependency.
+pub use media_dsp as dsp;
+pub use media_image as image;
+pub use media_jpeg as jpeg;
+pub use media_kernels as kernels;
+pub use media_mpeg as mpeg;
+pub use visim as study;
+pub use visim_cpu as cpu;
+pub use visim_isa as isa;
+pub use visim_mem as mem;
+pub use visim_trace as trace;
