@@ -10,7 +10,12 @@ use visim_bench::{section, size_from_args};
 use visim_cpu::{CpuConfig, Pipeline};
 use visim_mem::MemConfig;
 
-fn run_with(bench: Bench, cpu: CpuConfig, mem: MemConfig, size: &visim::bench::WorkloadSize) -> visim_cpu::Summary {
+fn run_with(
+    bench: Bench,
+    cpu: CpuConfig,
+    mem: MemConfig,
+    size: &visim::bench::WorkloadSize,
+) -> visim_cpu::Summary {
     let mut pipe = Pipeline::new(cpu, mem);
     bench.run(&mut pipe, size, Variant::VIS);
     pipe.finish()
@@ -53,7 +58,10 @@ fn main() {
     }
     print!(
         "{}",
-        report::table(&["benchmark", "win=16", "win=32", "win=64", "win=128"], &rows)
+        report::table(
+            &["benchmark", "win=16", "win=32", "win=64", "win=128"],
+            &rows
+        )
     );
 
     section("ablation: L1 MSHR count (write backup, paper §3.1)");
@@ -72,7 +80,10 @@ fn main() {
     }
     print!(
         "{}",
-        report::table(&["benchmark", "mshr=2", "mshr=4", "mshr=12", "mshr=24"], &rows)
+        report::table(
+            &["benchmark", "mshr=2", "mshr=4", "mshr=12", "mshr=24"],
+            &rows
+        )
     );
 
     section("ablation: branch mispredict penalty");

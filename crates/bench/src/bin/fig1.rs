@@ -2,31 +2,43 @@
 //! benchmarks on {1-way in-order, 4-way in-order, 4-way out-of-order} ×
 //! {without VIS, with VIS}, broken into Busy / FU stall / L1 hit /
 //! L1 miss components.
+//!
+//! A benchmark whose simulation fails becomes an error row; the other
+//! eleven still produce bars and the process exits nonzero with the
+//! partial output preserved under `results/partial/`.
 
 use visim::bench::Bench;
-use visim::experiment::fig1_bench;
+use visim::experiment::try_fig1_bench;
 use visim::report;
-use visim_bench::{section, size_from_args};
+use visim_bench::{size_from_args, Report};
 
 fn main() {
     let size = size_from_args();
-    println!("Figure 1: performance of image and video benchmarks");
-    println!(
+    let mut out = Report::new("fig1");
+    out.line("Figure 1: performance of image and video benchmarks");
+    out.line(format!(
         "(inputs: {}x{} images, {} dotprod elements, {}x{} video)",
         size.image_w, size.image_h, size.dotprod_n, size.video_w, size.video_h
-    );
+    ));
     for bench in Bench::all() {
-        section(bench.name());
-        let bars = fig1_bench(bench, &size);
+        out.section(bench.name());
+        let bars = match try_fig1_bench(bench, &size) {
+            Ok(bars) => bars,
+            Err(e) => {
+                out.fail(bench.name(), &e);
+                continue;
+            }
+        };
         let rows = report::fig1_rows(&bars);
-        print!("{}", report::table(&report::fig1_headers(), &rows));
+        out.push(&report::table(&report::fig1_headers(), &rows));
         // The headline ratios the paper quotes.
         let t = |i: usize| bars[i].summary.cycles() as f64;
-        println!(
+        out.line(format!(
             "ILP speedup (1-way -> ooo): {:.2}x   VIS speedup (ooo): {:.2}x   combined: {:.2}x",
             t(0) / t(2),
             t(2) / t(5),
             t(0) / t(5),
-        );
+        ));
     }
+    out.finish();
 }

@@ -2,19 +2,35 @@
 //! counts, base vs. VIS, split into FU / Branch / Memory / VIS
 //! categories — plus the in-text §3.2.2 statistics (branch
 //! misprediction improvements, VIS rearrangement overhead).
+//!
+//! A benchmark whose run fails becomes an error row; the in-text
+//! statistics are computed over the benchmarks that succeeded.
 
-use visim::experiment::fig2;
+use visim::experiment::try_fig2;
 use visim::report;
-use visim_bench::{section, size_from_args};
+use visim_bench::{size_from_args, Report};
 
 fn main() {
     let size = size_from_args();
-    println!("Figure 2: impact of VIS on dynamic (retired) instruction count");
-    section("instruction mix (percent of the base variant's count)");
-    let rows = fig2(&size);
-    print!("{}", report::table(&report::fig2_headers(), &report::fig2_rows(&rows)));
+    let mut out = Report::new("fig2");
+    out.line("Figure 2: impact of VIS on dynamic (retired) instruction count");
+    out.section("instruction mix (percent of the base variant's count)");
+    let outcomes = try_fig2(&size);
+    let rows: Vec<_> = outcomes
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok().cloned())
+        .collect();
+    out.push(&report::table(
+        &report::fig2_headers(),
+        &report::fig2_rows(&rows),
+    ));
+    for (bench, r) in &outcomes {
+        if let Err(e) = r {
+            out.fail(bench.name(), e);
+        }
+    }
 
-    section("in-text statistics (paper §3.2.2 / §3.2.3)");
+    out.section("in-text statistics (paper §3.2.2 / §3.2.3)");
     let mut overhead_sum = 0.0;
     let mut overhead_n = 0;
     for r in &rows {
@@ -23,17 +39,18 @@ fn main() {
             overhead_n += 1;
         }
     }
-    println!(
+    out.line(format!(
         "average VIS rearrangement/alignment overhead: {:.0}% of VIS instructions (paper: ~41%)",
         100.0 * overhead_sum / overhead_n.max(1) as f64
-    );
+    ));
     for name in ["conv", "thresh", "mpeg-enc"] {
         if let Some(r) = rows.iter().find(|r| r.bench.name() == name) {
-            println!(
+            out.line(format!(
                 "{name}: branch misprediction {:.1}% -> {:.1}% with VIS",
                 100.0 * r.base.mispredict_rate(),
                 100.0 * r.vis.mispredict_rate()
-            );
+            ));
         }
     }
+    out.finish();
 }

@@ -1,29 +1,50 @@
 //! Regenerates **Figure 3**: the effect of software-inserted
 //! prefetching (VIS vs. VIS+PF) on the nine benchmarks with
 //! non-trivial memory stall time.
+//!
+//! A benchmark whose simulation fails becomes an error row; the rest
+//! still produce bars.
 
-use visim::experiment::fig3;
+use visim::experiment::try_fig3;
 use visim::report;
-use visim_bench::{section, size_from_args};
+use visim_bench::{size_from_args, Report};
 
 fn main() {
     let size = size_from_args();
-    println!("Figure 3: effect of software-inserted prefetching (4-way ooo, VIS)");
-    section("normalized execution time");
-    let rows = fig3(&size);
-    print!("{}", report::table(&report::fig3_headers(), &report::fig3_rows(&rows)));
+    let mut out = Report::new("fig3");
+    out.line("Figure 3: effect of software-inserted prefetching (4-way ooo, VIS)");
+    out.section("normalized execution time");
+    let outcomes = try_fig3(&size);
+    let rows: Vec<_> = outcomes
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok().cloned())
+        .collect();
+    out.push(&report::table(
+        &report::fig3_headers(),
+        &report::fig3_rows(&rows),
+    ));
+    for (bench, r) in &outcomes {
+        if let Err(e) = r {
+            out.fail(bench.name(), e);
+        }
+    }
 
     // The paper's claim: with prefetching, every benchmark reverts to
     // being compute-bound.
-    section("compute- vs memory-bound after prefetching");
+    out.section("compute- vs memory-bound after prefetching");
     for r in &rows {
         let bd = r.pf.cpu.breakdown();
         let memfrac = bd.memory() / r.pf.cycles() as f64;
-        println!(
+        out.line(format!(
             "{:<10} memory fraction {:>5.1}%  -> {}",
             r.bench.name(),
             100.0 * memfrac,
-            if memfrac < 0.5 { "compute-bound" } else { "memory-bound" }
-        );
+            if memfrac < 0.5 {
+                "compute-bound"
+            } else {
+                "memory-bound"
+            }
+        ));
     }
+    out.finish();
 }

@@ -4,9 +4,7 @@
 //! family, including the VIS-inapplicable scatter/gather kernels.
 
 use media_image::synth;
-use media_kernels::{
-    blend, conv, pointwise, reduce, simimg::SimImage, thresh, KernelId, Variant,
-};
+use media_kernels::{blend, conv, pointwise, reduce, simimg::SimImage, thresh, KernelId, Variant};
 use visim::report;
 use visim_bench::{section, size_from_args};
 use visim_cpu::{CountingSink, CpuConfig, Pipeline, SimSink, Summary};
@@ -148,7 +146,13 @@ fn main() {
     print!(
         "{}",
         report::table(
-            &["kernel", "in paper figs", "VIS insts %", "VIS speedup", "mem% (VIS)"],
+            &[
+                "kernel",
+                "in paper figs",
+                "VIS insts %",
+                "VIS speedup",
+                "mem% (VIS)"
+            ],
             &rows
         )
     );

@@ -2,20 +2,33 @@
 //! L1 size from 1 KB to 64 KB with the L2 fixed at 128 KB. The paper:
 //! small first-level working sets — 4-16 KB gets within 3% of 64 KB;
 //! the sensitive benchmarks are the table-driven codecs.
+//!
+//! A benchmark whose sweep fails becomes an error row; the rest still
+//! produce curves.
 
 use visim::bench::Bench;
-use visim::experiment::l1_sweep;
+use visim::experiment::try_l1_sweep;
 use visim::report;
-use visim_bench::{section, size_from_args};
+use visim_bench::{size_from_args, Report};
 
 fn main() {
     let size = size_from_args();
     let sizes: [u64; 5] = [1 << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10];
-    println!("Section 4.1: impact of L1 cache size (VIS, 4-way ooo)");
+    let mut out = Report::new("sweep_l1");
+    out.line("Section 4.1: impact of L1 cache size (VIS, 4-way ooo)");
     for bench in Bench::all() {
-        section(bench.name());
-        let points = l1_sweep(bench, &size, &sizes);
-        print!("{}", report::table(&report::sweep_headers(), &report::sweep_rows(&points)));
+        out.section(bench.name());
+        let points = match try_l1_sweep(bench, &size, &sizes) {
+            Ok(points) => points,
+            Err(e) => {
+                out.fail(bench.name(), &e);
+                continue;
+            }
+        };
+        out.push(&report::table(
+            &report::sweep_headers(),
+            &report::sweep_rows(&points),
+        ));
         let worst = points
             .iter()
             .map(|pt| pt.summary.cycles())
@@ -26,6 +39,7 @@ fn main() {
             .map(|pt| pt.summary.cycles())
             .min()
             .unwrap_or(1) as f64;
-        println!("1K-vs-64K spread: {:.2}x", worst / best);
+        out.line(format!("1K-vs-64K spread: {:.2}x", worst / best));
     }
+    out.finish();
 }

@@ -2,28 +2,42 @@
 //! L2 size with the L1 fixed at 64 KB. The paper: no impact on the six
 //! kernels and the non-progressive JPEG codecs; ≤1.2X for the
 //! progressive codecs and MPEG once the display-sized working set fits.
+//!
+//! A benchmark whose sweep fails becomes an error row; the rest still
+//! produce curves.
 
 use visim::bench::Bench;
-use visim::experiment::l2_sweep;
+use visim::experiment::try_l2_sweep;
 use visim::report;
-use visim_bench::{section, size_from_args};
+use visim_bench::{size_from_args, Report};
 
 fn main() {
     let size = size_from_args();
     // The study geometry is 1/16 the paper's pixel count, so the sweep
     // covers proportionally smaller caches plus the paper's 2M corner.
     let sizes: [u64; 5] = [128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
-    println!("Section 4.1: impact of L2 cache size (VIS, 4-way ooo)");
+    let mut out = Report::new("sweep_l2");
+    out.line("Section 4.1: impact of L2 cache size (VIS, 4-way ooo)");
     for bench in Bench::all() {
-        section(bench.name());
-        let points = l2_sweep(bench, &size, &sizes);
-        print!("{}", report::table(&report::sweep_headers(), &report::sweep_rows(&points)));
+        out.section(bench.name());
+        let points = match try_l2_sweep(bench, &size, &sizes) {
+            Ok(points) => points,
+            Err(e) => {
+                out.fail(bench.name(), &e);
+                continue;
+            }
+        };
+        out.push(&report::table(
+            &report::sweep_headers(),
+            &report::sweep_rows(&points),
+        ));
         let base = points[0].summary.cycles() as f64;
         let best = points
             .iter()
             .map(|pt| pt.summary.cycles())
             .min()
             .unwrap_or(1) as f64;
-        println!("max benefit from larger L2: {:.2}x", base / best);
+        out.line(format!("max benefit from larger L2: {:.2}x", base / best));
     }
+    out.finish();
 }

@@ -1,58 +1,9 @@
 //! Regenerates the paper's descriptive **Tables 1-4**: the benchmark
 //! suite, the processor parameters, the memory-system parameters, and
-//! the VIS instruction classification.
-
-use visim::bench::Bench;
-use visim::report;
-use visim_bench::section;
-use visim_cpu::CpuConfig;
-use visim_isa::Op;
-use visim_mem::MemConfig;
+//! the VIS instruction classification. The rendering itself lives in
+//! `visim::report::tables_text` so the golden-snapshot test can pin it
+//! against `results/tables.txt`.
 
 fn main() {
-    section("Table 1: benchmark summary");
-    let rows: Vec<Vec<String>> = Bench::all()
-        .into_iter()
-        .map(|b| vec![b.name().to_string(), b.description().to_string()])
-        .collect();
-    print!("{}", report::table(&["benchmark", "description"], &rows));
-
-    section("Table 2: default processor parameters");
-    let rows: Vec<Vec<String>> = CpuConfig::ooo_4way()
-        .table2()
-        .into_iter()
-        .map(|(k, v)| vec![k, v])
-        .collect();
-    print!("{}", report::table(&["parameter", "value"], &rows));
-
-    section("Table 3: default memory system parameters");
-    let rows: Vec<Vec<String>> = MemConfig::default()
-        .table3()
-        .into_iter()
-        .map(|(k, v)| vec![k, v])
-        .collect();
-    print!("{}", report::table(&["parameter", "value"], &rows));
-
-    section("Table 4: classification of VIS instructions");
-    let rows: Vec<Vec<String>> = Op::all()
-        .iter()
-        .filter_map(|op| {
-            op.vis_class().map(|class| {
-                vec![
-                    format!("{op:?}"),
-                    class.to_string(),
-                    format!("{:?}", op.fu()),
-                    if op.is_vis_overhead() {
-                        "rearrangement overhead".into()
-                    } else {
-                        String::new()
-                    },
-                ]
-            })
-        })
-        .collect();
-    print!(
-        "{}",
-        report::table(&["operation", "class (Table 4)", "unit", "notes"], &rows)
-    );
+    print!("{}", visim::report::tables_text());
 }

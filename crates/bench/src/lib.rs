@@ -8,8 +8,18 @@
 //!
 //! `study` (the default) is the scaled-down geometry documented in
 //! DESIGN.md; `paper` is the full 1024×640 / 352×240 geometry (slow).
+//!
+//! The simulation binaries degrade gracefully: a benchmark whose
+//! simulation fails (workload panic, invariant violation, watchdog
+//! abort — see `visim_util::SimError`) becomes an error row while the
+//! remaining benchmarks still produce bars. On failure the partial
+//! output is also written to `results/partial/<name>.txt` and the
+//! process exits nonzero.
+
+use std::io::Write as _;
 
 use visim::bench::WorkloadSize;
+use visim_util::SimError;
 
 /// Parse the common size argument (defaults to `study`).
 pub fn size_from_args() -> WorkloadSize {
@@ -29,6 +39,82 @@ pub fn section(title: &str) {
     println!("\n=== {title} ===\n");
 }
 
+/// Accumulating report writer for the simulation binaries.
+///
+/// Mirrors everything to stdout (so redirecting a healthy run into
+/// `results/<name>.txt` keeps working unchanged) while buffering the
+/// text and recording failures; [`Report::finish`] turns failures into
+/// a partial-results file and a nonzero exit.
+pub struct Report {
+    name: &'static str,
+    buf: String,
+    failures: Vec<(String, SimError)>,
+}
+
+impl Report {
+    /// A report for the binary named `name` (used for the partial file).
+    pub fn new(name: &'static str) -> Self {
+        Report {
+            name,
+            buf: String::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Append one line (adds the newline).
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        println!("{}", s.as_ref());
+        self.buf.push_str(s.as_ref());
+        self.buf.push('\n');
+    }
+
+    /// Append pre-formatted text verbatim (tables end with their own
+    /// newline).
+    pub fn push(&mut self, s: &str) {
+        print!("{s}");
+        self.buf.push_str(s);
+    }
+
+    /// Append a titled section, in the same format as [`section`].
+    pub fn section(&mut self, title: &str) {
+        self.line(format!("\n=== {title} ===\n"));
+    }
+
+    /// Record a failed unit of work (one benchmark, usually) and emit
+    /// its error row.
+    pub fn fail(&mut self, label: &str, err: &SimError) {
+        self.line(format!("{label}: ERROR: {err}"));
+        self.failures.push((label.to_string(), err.clone()));
+    }
+
+    /// Number of failures recorded so far.
+    pub fn failure_count(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Finish the run: exit 0 when everything succeeded; otherwise
+    /// write the partial output to `results/partial/<name>.txt`,
+    /// summarize the failures on stderr, and exit 1.
+    pub fn finish(self) -> ! {
+        if self.failures.is_empty() {
+            std::process::exit(0);
+        }
+        let path = format!("results/partial/{}.txt", self.name);
+        match std::fs::create_dir_all("results/partial").and_then(|()| {
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(self.buf.as_bytes())
+        }) {
+            Ok(()) => eprintln!("partial results written to {path}"),
+            Err(e) => eprintln!("could not write partial results to {path}: {e}"),
+        }
+        eprintln!("{}: {} of the runs failed:", self.name, self.failures.len());
+        for (label, err) in &self.failures {
+            eprintln!("  {label}: {err}");
+        }
+        std::process::exit(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +126,22 @@ mod tests {
         // the recognized names.
         let s = WorkloadSize::study();
         assert_eq!(s.image_w, 256);
+    }
+
+    #[test]
+    fn report_accumulates_failures() {
+        let mut r = Report::new("test");
+        r.line("hello");
+        r.push("table\n");
+        assert_eq!(r.failure_count(), 0);
+        r.fail(
+            "blend",
+            &SimError::Workload {
+                bench: "blend".into(),
+                detail: "injected".into(),
+            },
+        );
+        assert_eq!(r.failure_count(), 1);
+        assert!(r.buf.contains("blend: ERROR:"), "{}", r.buf);
     }
 }

@@ -1,0 +1,66 @@
+//! End-to-end acceptance test for graceful degradation: a deliberately
+//! failing benchmark must not take down the `fig1` binary — the other
+//! eleven benchmarks still produce bars, the failure becomes an error
+//! row, the partial output lands under `results/partial/`, and the
+//! process exits nonzero.
+
+use std::process::Command;
+
+#[test]
+fn fig1_survives_an_injected_benchmark_failure() {
+    let dir = std::env::temp_dir().join(format!("visim-degrade-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_fig1"))
+        .arg("tiny")
+        .env("VISIM_FAIL_BENCH", "blend")
+        .current_dir(&dir)
+        .output()
+        .expect("fig1 runs");
+
+    assert!(!out.status.success(), "a failed benchmark exits nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    // The injected benchmark became an error row...
+    assert!(
+        stdout.contains("blend: ERROR:") && stdout.contains("VISIM_FAIL_BENCH"),
+        "error row present:\n{stdout}"
+    );
+    // ...while the other eleven still produced all six bars.
+    for bench in [
+        "addition", "conv", "dotprod", "scaling", "thresh", "cjpeg", "djpeg", "cjpeg-np",
+        "djpeg-np", "mpeg-enc", "mpeg-dec",
+    ] {
+        let section = format!("=== {bench} ===");
+        let idx = stdout
+            .find(&section)
+            .unwrap_or_else(|| panic!("{section} missing"));
+        assert!(
+            stdout[idx..].contains("VIS 4-way ooo"),
+            "{bench} produced bars"
+        );
+    }
+
+    // Partial results preserved for the healthy benchmarks.
+    let partial = dir.join("results/partial/fig1.txt");
+    assert!(stderr.contains("partial results"), "{stderr}");
+    let contents = std::fs::read_to_string(&partial).expect("partial file written");
+    assert!(contents.contains("blend: ERROR:"));
+    assert!(contents.contains("=== mpeg-dec ==="));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fig1_exits_zero_when_everything_succeeds() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig1"))
+        .arg("tiny")
+        .env_remove("VISIM_FAIL_BENCH")
+        .output()
+        .expect("fig1 runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("ERROR:"));
+    assert!(stdout.contains("=== mpeg-dec ==="));
+}

@@ -263,8 +263,7 @@ impl Bench {
                 let (bytes, meta) = {
                     let mut aux = CountingSink::new();
                     let mut ap = Program::new(&mut aux);
-                    let frames =
-                        synth::video(size.video_w, size.video_h, size.frames, size.seed);
+                    let frames = synth::video(size.video_w, size.video_h, size.frames, size.seed);
                     let gop = default_gop(size.frames);
                     let ev = mpeg::encode(&mut ap, &frames, &gop, size.mpeg, Variant::SCALAR);
                     (ap.mem().bytes(ev.addr, ev.len).to_vec(), ev)

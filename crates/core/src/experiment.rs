@@ -1,11 +1,66 @@
 //! Experiment runners for every figure and table of the paper.
+//!
+//! Each runner comes in two flavours: a `try_*` form returning
+//! `Result<_, SimError>` so the figure binaries can degrade gracefully
+//! (one wedged or panicking benchmark becomes an error row, the rest
+//! still produce bars), and the original panicking form for callers
+//! that treat any failure as fatal.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use media_kernels::Variant;
 use visim_cpu::{CountingSink, CpuStats, Pipeline, Summary};
 use visim_mem::MemConfig;
+use visim_util::SimError;
 
 use crate::bench::{Bench, WorkloadSize};
 use crate::config::Arch;
+
+/// Environment variable naming a benchmark that must fail: fault
+/// injection for exercising the degraded paths end to end.
+pub const FAIL_BENCH_ENV: &str = "VISIM_FAIL_BENCH";
+
+fn injected_fault(bench: Bench) -> Result<(), SimError> {
+    if std::env::var(FAIL_BENCH_ENV).as_deref() == Ok(bench.name()) {
+        return Err(SimError::Workload {
+            bench: bench.name().to_string(),
+            detail: format!("fault injected via {FAIL_BENCH_ENV}"),
+        });
+    }
+    Ok(())
+}
+
+/// Run `f`, converting a workload panic into `SimError::Workload`.
+fn catch_workload<R>(bench: Bench, f: impl FnOnce() -> R) -> Result<R, SimError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        SimError::Workload {
+            bench: bench.name().to_string(),
+            detail,
+        }
+    })
+}
+
+/// Run one benchmark through the detailed timing model, surfacing
+/// workload panics, invariant violations, and watchdog aborts as errors.
+pub fn try_run_timed(
+    bench: Bench,
+    arch: Arch,
+    mem: Option<MemConfig>,
+    size: &WorkloadSize,
+    variant: Variant,
+) -> Result<Summary, SimError> {
+    injected_fault(bench)?;
+    let mut pipe = Pipeline::new(arch.cpu(), mem.unwrap_or_default());
+    catch_workload(bench, || bench.run(&mut pipe, size, variant))?;
+    pipe.try_finish()
+}
 
 /// Run one benchmark through the detailed timing model.
 pub fn run_timed(
@@ -15,17 +70,28 @@ pub fn run_timed(
     size: &WorkloadSize,
     variant: Variant,
 ) -> Summary {
-    let mut pipe = Pipeline::new(arch.cpu(), mem.unwrap_or_default());
-    bench.run(&mut pipe, size, variant);
-    pipe.finish()
+    try_run_timed(bench, arch, mem, size, variant)
+        .unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
+}
+
+/// Run one benchmark through the functional counter (fast; used for the
+/// instruction-mix experiments), surfacing failures as errors.
+pub fn try_run_counted(
+    bench: Bench,
+    size: &WorkloadSize,
+    variant: Variant,
+) -> Result<CpuStats, SimError> {
+    injected_fault(bench)?;
+    let mut sink = CountingSink::new();
+    catch_workload(bench, || bench.run(&mut sink, size, variant))?;
+    Ok(sink.finish())
 }
 
 /// Run one benchmark through the functional counter (fast; used for the
 /// instruction-mix experiments).
 pub fn run_counted(bench: Bench, size: &WorkloadSize, variant: Variant) -> CpuStats {
-    let mut sink = CountingSink::new();
-    bench.run(&mut sink, size, variant);
-    sink.finish()
+    try_run_counted(bench, size, variant)
+        .unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
 }
 
 /// One bar of Figure 1.
@@ -40,20 +106,22 @@ pub struct Fig1Bar {
 }
 
 /// Figure 1 for one benchmark: six bars (3 architectures × {base, VIS}).
-pub fn fig1_bench(bench: Bench, size: &WorkloadSize) -> Vec<Fig1Bar> {
+/// Fails on the first bar whose simulation fails.
+pub fn try_fig1_bench(bench: Bench, size: &WorkloadSize) -> Result<Vec<Fig1Bar>, SimError> {
     let mut bars = Vec::with_capacity(6);
     for vis in [false, true] {
         let variant = if vis { Variant::VIS } else { Variant::SCALAR };
         for arch in Arch::all() {
-            let summary = run_timed(bench, arch, None, size, variant);
-            bars.push(Fig1Bar {
-                arch,
-                vis,
-                summary,
-            });
+            let summary = try_run_timed(bench, arch, None, size, variant)?;
+            bars.push(Fig1Bar { arch, vis, summary });
         }
     }
-    bars
+    Ok(bars)
+}
+
+/// Figure 1 for one benchmark: six bars (3 architectures × {base, VIS}).
+pub fn fig1_bench(bench: Bench, size: &WorkloadSize) -> Vec<Fig1Bar> {
+    try_fig1_bench(bench, size).unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
 }
 
 /// One pair of Figure 2 bars: base and VIS instruction mixes.
@@ -67,15 +135,29 @@ pub struct Fig2Row {
     pub vis: CpuStats,
 }
 
-/// Figure 2: dynamic (retired) instruction counts, base vs. VIS.
-pub fn fig2(size: &WorkloadSize) -> Vec<Fig2Row> {
+/// Figure 2: dynamic (retired) instruction counts, base vs. VIS, with
+/// per-benchmark failures reported instead of aborting the figure.
+pub fn try_fig2(size: &WorkloadSize) -> Vec<(Bench, Result<Fig2Row, SimError>)> {
     Bench::all()
         .into_iter()
-        .map(|bench| Fig2Row {
-            bench,
-            base: run_counted(bench, size, Variant::SCALAR),
-            vis: run_counted(bench, size, Variant::VIS),
+        .map(|bench| {
+            let row = try_run_counted(bench, size, Variant::SCALAR).and_then(|base| {
+                Ok(Fig2Row {
+                    bench,
+                    base,
+                    vis: try_run_counted(bench, size, Variant::VIS)?,
+                })
+            });
+            (bench, row)
         })
+        .collect()
+}
+
+/// Figure 2: dynamic (retired) instruction counts, base vs. VIS.
+pub fn fig2(size: &WorkloadSize) -> Vec<Fig2Row> {
+    try_fig2(size)
+        .into_iter()
+        .map(|(bench, row)| row.unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}")))
         .collect()
 }
 
@@ -90,15 +172,29 @@ pub struct Fig3Row {
     pub pf: Summary,
 }
 
-/// Figure 3: software prefetching on the benchmarks with memory stall.
-pub fn fig3(size: &WorkloadSize) -> Vec<Fig3Row> {
+/// Figure 3: software prefetching on the benchmarks with memory stall,
+/// with per-benchmark failures reported instead of aborting the figure.
+pub fn try_fig3(size: &WorkloadSize) -> Vec<(Bench, Result<Fig3Row, SimError>)> {
     Bench::prefetch_set()
         .into_iter()
-        .map(|bench| Fig3Row {
-            bench,
-            vis: run_timed(bench, Arch::Ooo4, None, size, Variant::VIS),
-            pf: run_timed(bench, Arch::Ooo4, None, size, Variant::VIS_PF),
+        .map(|bench| {
+            let row = try_run_timed(bench, Arch::Ooo4, None, size, Variant::VIS).and_then(|vis| {
+                Ok(Fig3Row {
+                    bench,
+                    vis,
+                    pf: try_run_timed(bench, Arch::Ooo4, None, size, Variant::VIS_PF)?,
+                })
+            });
+            (bench, row)
         })
+        .collect()
+}
+
+/// Figure 3: software prefetching on the benchmarks with memory stall.
+pub fn fig3(size: &WorkloadSize) -> Vec<Fig3Row> {
+    try_fig3(size)
+        .into_iter()
+        .map(|(bench, row)| row.unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}")))
         .collect()
 }
 
@@ -111,38 +207,64 @@ pub struct SweepPoint {
     pub summary: Summary,
 }
 
-/// §4.1 L2 sweep: vary the L2 size with the L1 fixed.
-pub fn l2_sweep(bench: Bench, size: &WorkloadSize, l2_sizes: &[u64]) -> Vec<SweepPoint> {
+/// §4.1 L2 sweep: vary the L2 size with the L1 fixed. Fails on the
+/// first sweep point whose simulation fails.
+pub fn try_l2_sweep(
+    bench: Bench,
+    size: &WorkloadSize,
+    l2_sizes: &[u64],
+) -> Result<Vec<SweepPoint>, SimError> {
     l2_sizes
         .iter()
-        .map(|&bytes| SweepPoint {
-            bytes,
-            summary: run_timed(
-                bench,
-                Arch::Ooo4,
-                Some(MemConfig::default().with_l2_size(bytes)),
-                size,
-                Variant::VIS,
-            ),
+        .map(|&bytes| {
+            Ok(SweepPoint {
+                bytes,
+                summary: try_run_timed(
+                    bench,
+                    Arch::Ooo4,
+                    Some(MemConfig::default().with_l2_size(bytes)),
+                    size,
+                    Variant::VIS,
+                )?,
+            })
+        })
+        .collect()
+}
+
+/// §4.1 L2 sweep: vary the L2 size with the L1 fixed.
+pub fn l2_sweep(bench: Bench, size: &WorkloadSize, l2_sizes: &[u64]) -> Vec<SweepPoint> {
+    try_l2_sweep(bench, size, l2_sizes)
+        .unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
+}
+
+/// §4.1 L1 sweep: vary the L1 size with the L2 fixed. Fails on the
+/// first sweep point whose simulation fails.
+pub fn try_l1_sweep(
+    bench: Bench,
+    size: &WorkloadSize,
+    l1_sizes: &[u64],
+) -> Result<Vec<SweepPoint>, SimError> {
+    l1_sizes
+        .iter()
+        .map(|&bytes| {
+            Ok(SweepPoint {
+                bytes,
+                summary: try_run_timed(
+                    bench,
+                    Arch::Ooo4,
+                    Some(MemConfig::default().with_l1_size(bytes)),
+                    size,
+                    Variant::VIS,
+                )?,
+            })
         })
         .collect()
 }
 
 /// §4.1 L1 sweep: vary the L1 size with the L2 fixed.
 pub fn l1_sweep(bench: Bench, size: &WorkloadSize, l1_sizes: &[u64]) -> Vec<SweepPoint> {
-    l1_sizes
-        .iter()
-        .map(|&bytes| SweepPoint {
-            bytes,
-            summary: run_timed(
-                bench,
-                Arch::Ooo4,
-                Some(MemConfig::default().with_l1_size(bytes)),
-                size,
-                Variant::VIS,
-            ),
-        })
-        .collect()
+    try_l1_sweep(bench, size, l1_sizes)
+        .unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
 }
 
 #[cfg(test)]
@@ -168,7 +290,13 @@ mod tests {
 
     #[test]
     fn ooo_beats_inorder_on_a_kernel() {
-        let io = run_timed(Bench::Scaling, Arch::InOrder1, None, &tiny(), Variant::SCALAR);
+        let io = run_timed(
+            Bench::Scaling,
+            Arch::InOrder1,
+            None,
+            &tiny(),
+            Variant::SCALAR,
+        );
         let ooo = run_timed(Bench::Scaling, Arch::Ooo4, None, &tiny(), Variant::SCALAR);
         let speedup = io.cycles() as f64 / ooo.cycles() as f64;
         assert!(speedup > 1.5, "ILP speedup {speedup:.2}");

@@ -68,7 +68,14 @@ pub fn fig1_rows(bars: &[Fig1Bar]) -> Vec<Vec<String>> {
 
 /// Figure 1 table headers.
 pub fn fig1_headers() -> [&'static str; 6] {
-    ["config", "norm time", "busy", "fu stall", "l1 hit", "l1 miss"]
+    [
+        "config",
+        "norm time",
+        "busy",
+        "fu stall",
+        "l1 hit",
+        "l1 miss",
+    ]
 }
 
 /// Figure 2 rows: normalized dynamic instruction counts by category.
@@ -168,6 +175,69 @@ pub fn sweep_rows(points: &[SweepPoint]) -> Vec<Vec<String>> {
 /// Sweep table headers.
 pub fn sweep_headers() -> [&'static str; 4] {
     ["size", "norm time", "mem stall %", "l1 miss %"]
+}
+
+/// The paper's descriptive Tables 1-4 as one text document — exactly
+/// what the `tables` binary prints and `results/tables.txt` commits.
+/// Pure configuration rendering (no simulation), so it is also the
+/// golden-snapshot surface for the table formats.
+pub fn tables_text() -> String {
+    use crate::bench::Bench;
+    use visim_cpu::CpuConfig;
+    use visim_isa::Op;
+    use visim_mem::MemConfig;
+
+    let mut out = String::new();
+    let section = |out: &mut String, title: &str| {
+        out.push_str(&format!("\n=== {title} ===\n\n"));
+    };
+
+    section(&mut out, "Table 1: benchmark summary");
+    let rows: Vec<Vec<String>> = Bench::all()
+        .into_iter()
+        .map(|b| vec![b.name().to_string(), b.description().to_string()])
+        .collect();
+    out.push_str(&table(&["benchmark", "description"], &rows));
+
+    section(&mut out, "Table 2: default processor parameters");
+    let rows: Vec<Vec<String>> = CpuConfig::ooo_4way()
+        .table2()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    out.push_str(&table(&["parameter", "value"], &rows));
+
+    section(&mut out, "Table 3: default memory system parameters");
+    let rows: Vec<Vec<String>> = MemConfig::default()
+        .table3()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    out.push_str(&table(&["parameter", "value"], &rows));
+
+    section(&mut out, "Table 4: classification of VIS instructions");
+    let rows: Vec<Vec<String>> = Op::all()
+        .iter()
+        .filter_map(|op| {
+            op.vis_class().map(|class| {
+                vec![
+                    format!("{op:?}"),
+                    class.to_string(),
+                    format!("{:?}", op.fu()),
+                    if op.is_vis_overhead() {
+                        "rearrangement overhead".into()
+                    } else {
+                        String::new()
+                    },
+                ]
+            })
+        })
+        .collect();
+    out.push_str(&table(
+        &["operation", "class (Table 4)", "unit", "notes"],
+        &rows,
+    ));
+    out
 }
 
 #[cfg(test)]

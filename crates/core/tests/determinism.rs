@@ -1,0 +1,41 @@
+//! Determinism regression: the whole stack — synthetic inputs, codec
+//! emission, and the timing model — must be bit-reproducible, or the
+//! committed `results/` files stop being regenerable.
+
+use visim::bench::{Bench, WorkloadSize};
+use visim::experiment::try_fig1_bench;
+use visim::report;
+
+fn tiny() -> WorkloadSize {
+    let mut s = WorkloadSize::tiny();
+    s.image_w = 32;
+    s.image_h = 32;
+    s.dotprod_n = 512;
+    s
+}
+
+#[test]
+fn fig1_is_byte_identical_across_runs() {
+    // One kernel and one codec cover both emission paths without
+    // running the full 12-benchmark figure twice.
+    for bench in [Bench::Addition, Bench::CjpegNp] {
+        let a = try_fig1_bench(bench, &tiny()).expect("first run");
+        let b = try_fig1_bench(bench, &tiny()).expect("second run");
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arch, y.arch);
+            assert_eq!(x.vis, y.vis);
+            assert_eq!(
+                x.summary.cycles(),
+                y.summary.cycles(),
+                "{bench:?} {:?} vis={} cycle count drifted",
+                x.arch,
+                x.vis
+            );
+            assert_eq!(x.summary.cpu.retired, y.summary.cpu.retired);
+        }
+        // The rendered rows (everything the figure file contains) match
+        // byte for byte.
+        assert_eq!(report::fig1_rows(&a), report::fig1_rows(&b));
+    }
+}

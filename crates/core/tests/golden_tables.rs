@@ -1,0 +1,32 @@
+//! Golden-snapshot test: the descriptive tables are pure configuration
+//! rendering, so their text must match the committed
+//! `results/tables.txt` byte-for-byte. A diff here means either an
+//! intentional parameter/format change (regenerate the file with
+//! `cargo run --release -p visim-bench --bin tables > results/tables.txt`)
+//! or an accidental drift in a default — both worth a human look.
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn tables_text_matches_committed_snapshot() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/tables.txt");
+    let golden =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let current = visim::report::tables_text();
+    if current != golden {
+        // Locate the first differing line for a readable failure.
+        let mut gl = golden.lines();
+        for (n, cur) in current.lines().enumerate() {
+            let gold = gl.next().unwrap_or("<missing line>");
+            assert_eq!(
+                cur,
+                gold,
+                "tables output drifted from results/tables.txt at line {} — \
+                 if intentional, regenerate the snapshot",
+                n + 1
+            );
+        }
+        panic!("tables output drifted from results/tables.txt (length mismatch)");
+    }
+}

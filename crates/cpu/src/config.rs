@@ -76,6 +76,13 @@ pub struct CpuConfig {
     /// model with blocking loads" of the related work the paper
     /// contrasts against, §5). Off on every paper configuration.
     pub blocking_loads: bool,
+    /// Watchdog cycle budget: the simulation aborts with
+    /// `SimError::CycleBudget` (instead of hanging) when no pipeline
+    /// state changes for this many consecutive cycles while work is
+    /// still pending. Any legitimate stall resolves within a few
+    /// hundred cycles (the longest memory latency plus queueing), so
+    /// the default only ever fires on a wedged model.
+    pub watchdog_cycles: u64,
 }
 
 impl CpuConfig {
@@ -94,6 +101,7 @@ impl CpuConfig {
             fu: FuCounts::default(),
             lat: LatencyTable::default(),
             blocking_loads: false,
+            watchdog_cycles: 1_000_000,
         }
     }
 
@@ -134,13 +142,22 @@ impl CpuConfig {
                 "Bimodal agree predictor size".into(),
                 format!("{}K", self.predictor_entries / 1024),
             ),
-            ("Return-address stack size".into(), self.ras_entries.to_string()),
-            ("Taken branches per cycle".into(), self.taken_per_cycle.to_string()),
+            (
+                "Return-address stack size".into(),
+                self.ras_entries.to_string(),
+            ),
+            (
+                "Taken branches per cycle".into(),
+                self.taken_per_cycle.to_string(),
+            ),
             (
                 "Simultaneous speculated branches".into(),
                 self.max_spec_branches.to_string(),
             ),
-            ("Integer arithmetic units".into(), self.fu.int_alu.to_string()),
+            (
+                "Integer arithmetic units".into(),
+                self.fu.int_alu.to_string(),
+            ),
             ("Floating-point units".into(), self.fu.fp.to_string()),
             ("Address generation units".into(), self.fu.agu.to_string()),
             ("VIS multipliers".into(), self.fu.vis_mul.to_string()),

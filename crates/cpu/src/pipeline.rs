@@ -12,6 +12,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use visim_isa::{BranchKind, Inst, MemKind, MemRef, Reg};
 use visim_mem::{MemConfig, MemStats, MemSystem, Request, ServiceLevel};
+use visim_util::SimError;
 
 use crate::config::{CpuConfig, IssuePolicy};
 use crate::fu::FuPool;
@@ -120,6 +121,12 @@ pub struct Pipeline {
     /// With `blocking_loads`, no instruction issues before this cycle.
     issue_blocked_until: u64,
     stats: CpuStats,
+    /// Cycle at which the pipeline state last changed (watchdog anchor).
+    last_progress: u64,
+    /// First failure observed: watchdog wedge, model invariant, or a
+    /// fault propagated from the memory system. Once set the simulation
+    /// stops advancing and `try_finish` reports it.
+    fault: Option<SimError>,
 }
 
 impl Pipeline {
@@ -147,26 +154,59 @@ impl Pipeline {
             store_buffer: VecDeque::new(),
             issue_blocked_until: 0,
             stats,
+            last_progress: 0,
+            fault: None,
             mem: MemSystem::new(mem_cfg),
             cfg,
         }
     }
 
-    /// Run the simulation to completion and return the statistics.
-    pub fn finish(mut self) -> Summary {
-        while !self.fetch_q.is_empty()
+    fn work_pending(&self) -> bool {
+        !self.fetch_q.is_empty()
             || !self.window.is_empty()
             || !self.store_buffer.is_empty()
             || !self.inflight_loads.is_empty()
-        {
+    }
+
+    /// Run the simulation to completion and return the statistics, or
+    /// the failure that stopped it: a watchdog-detected wedge
+    /// ([`SimError::CycleBudget`]) or a violated model invariant
+    /// ([`SimError::Invariant`], from this pipeline or the memory
+    /// system).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] observed; the simulation stops at
+    /// that point instead of hanging or corrupting statistics.
+    pub fn try_finish(mut self) -> Result<Summary, SimError> {
+        while self.fault.is_none() && self.work_pending() {
             self.cycle();
         }
+        if let Some(fault) = self.fault {
+            return Err(fault);
+        }
         let hist = self.mem.mshr_histogram(self.now);
-        Summary {
+        Ok(Summary {
             cpu: self.stats,
             mem: self.mem.stats().clone(),
             mshr_histogram: hist,
-        }
+        })
+    }
+
+    /// Run the simulation to completion and return the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a simulation fault; use [`Pipeline::try_finish`] in
+    /// study runs that must degrade gracefully.
+    pub fn finish(self) -> Summary {
+        self.try_finish()
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// The first failure observed so far, if any.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_ref()
     }
 
     /// The processor configuration.
@@ -178,7 +218,59 @@ impl Pipeline {
         self.inflight_loads.len() + self.store_buffer.len()
     }
 
+    fn record_fault(&mut self, fault: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
+    /// Occupancy/depth fingerprint: unchanged across a cycle means the
+    /// machine made no externally-visible progress that cycle.
+    fn progress_signature(&self) -> (u64, usize, usize, usize, usize) {
+        (
+            self.head_seq,
+            self.window.len(),
+            self.fetch_q.len(),
+            self.store_buffer.len(),
+            self.inflight_loads.len(),
+        )
+    }
+
+    /// State dump attached to a watchdog abort (DESIGN.md-level detail:
+    /// enough to localize a wedged model without rerunning).
+    fn wedge_diagnostic(&self) -> String {
+        let oldest = match self.window.front() {
+            Some(s) => format!(
+                "seq {} op {:?} pc {:#x} issued={} done_at={} mem_blocked={} retry_at={} resolved={}",
+                self.head_seq,
+                s.inst.op,
+                s.inst.pc,
+                s.issued,
+                s.done_at,
+                s.mem_blocked,
+                s.mem_retry_at,
+                s.resolved
+            ),
+            None => "none".into(),
+        };
+        format!(
+            "window {}/{} fetch_q {} store_buffer {} inflight_loads {} \
+             issue_frontier {} fetch_resume_at {} unresolved_branches {} \
+             issue_blocked_until {}; oldest un-retired: {oldest}",
+            self.window.len(),
+            self.cfg.window,
+            self.fetch_q.len(),
+            self.store_buffer.len(),
+            self.inflight_loads.len(),
+            self.issue_frontier,
+            self.fetch_resume_at,
+            self.unresolved_branches,
+            self.issue_blocked_until
+        )
+    }
+
     fn cycle(&mut self) {
+        let sig = self.progress_signature();
         let now = self.now;
         self.inflight_loads.retain(|&t| t > now);
         self.resolve_branches();
@@ -187,6 +279,31 @@ impl Pipeline {
         self.dispatch();
         self.drain_stores();
         self.stats.account_cycle(retired, stall);
+        // Fault propagation and the cycle-budget watchdog. A wedged
+        // model (an instruction that can never retire) would otherwise
+        // spin this loop forever; a violated memory-model invariant
+        // would silently corrupt the statistics.
+        if let Some(fault) = self.mem.take_fault() {
+            self.record_fault(fault);
+        }
+        if self.mem_queue_used() > self.cfg.mem_queue as usize {
+            self.record_fault(SimError::Invariant {
+                model: "pipeline",
+                detail: format!(
+                    "memory queue oversubscribed: {} in flight, capacity {}",
+                    self.mem_queue_used(),
+                    self.cfg.mem_queue
+                ),
+            });
+        }
+        if self.progress_signature() != sig {
+            self.last_progress = self.now;
+        } else if self.now - self.last_progress > self.cfg.watchdog_cycles && self.work_pending() {
+            self.record_fault(SimError::CycleBudget {
+                cycle: self.now,
+                diagnostic: self.wedge_diagnostic(),
+            });
+        }
         self.now += 1;
     }
 
@@ -289,8 +406,7 @@ impl Pipeline {
             return;
         }
         // Slots before `issue_frontier` are all issued already.
-        while self.issue_frontier < self.window.len() && self.window[self.issue_frontier].issued
-        {
+        while self.issue_frontier < self.window.len() && self.window[self.issue_frontier].issued {
             self.issue_frontier += 1;
         }
         for i in self.issue_frontier..self.window.len() {
@@ -402,11 +518,18 @@ impl Pipeline {
                 let prev = self.produced.insert(inst.dst, seq);
                 // The emitter allocates SSA-style registers; an in-flight
                 // duplicate destination would corrupt the scoreboard.
-                debug_assert!(
-                    prev.is_none(),
-                    "destination register {:?} reused while in flight",
-                    inst.dst
-                );
+                // Checked in release builds so a corrupted emitter stream
+                // fails a study run loudly instead of producing garbage
+                // cycle counts.
+                if prev.is_some() {
+                    self.record_fault(SimError::Invariant {
+                        model: "pipeline",
+                        detail: format!(
+                            "destination register {:?} reused while in flight at pc {:#x} (seq {seq})",
+                            inst.dst, inst.pc
+                        ),
+                    });
+                }
             }
             if let Some(b) = inst.branch {
                 self.unresolved_branches += 1;
@@ -479,7 +602,11 @@ impl Pipeline {
 impl SimSink for Pipeline {
     fn push(&mut self, inst: Inst) {
         self.fetch_q.push_back(inst);
-        while self.fetch_q.len() > self.fetch_cap {
+        // Once faulted, stop simulating: the workload keeps pushing (it
+        // cannot observe the failure mid-emit), instructions accumulate
+        // in the unbounded fetch queue, and `try_finish` reports the
+        // fault.
+        while self.fetch_q.len() > self.fetch_cap && self.fault.is_none() {
             self.cycle();
         }
     }

@@ -87,7 +87,12 @@ mod tests {
     fn counts_mix_and_branches() {
         let mut s = CountingSink::new();
         s.push(Inst::compute(Op::IntAlu, 1, Reg(1), [Reg::NONE; 3]));
-        s.push(Inst::compute(Op::VisAdd, 2, Reg(2), [Reg(1), Reg::NONE, Reg::NONE]));
+        s.push(Inst::compute(
+            Op::VisAdd,
+            2,
+            Reg(2),
+            [Reg(1), Reg::NONE, Reg::NONE],
+        ));
         // A loop branch taken 100 times then falling through once.
         for i in 0..101 {
             s.push(Inst::control(

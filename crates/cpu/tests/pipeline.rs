@@ -134,10 +134,7 @@ fn dependent_chain_defeats_width() {
         four.cycles()
     );
     let b = four.cpu.breakdown();
-    assert!(
-        b.fu_stall > b.busy,
-        "stalls dominate a serial chain: {b:?}"
-    );
+    assert!(b.fu_stall > b.busy, "stalls dominate a serial chain: {b:?}");
 }
 
 #[test]
@@ -238,8 +235,16 @@ fn mispredicted_branches_cost_cycles() {
     }
     let sh = hard.run(CpuConfig::ooo_4way());
     let se = easy.run(CpuConfig::ooo_4way());
-    assert!(sh.cpu.mispredict_rate() > 0.3, "{}", sh.cpu.mispredict_rate());
-    assert!(se.cpu.mispredict_rate() < 0.05, "{}", se.cpu.mispredict_rate());
+    assert!(
+        sh.cpu.mispredict_rate() > 0.3,
+        "{}",
+        sh.cpu.mispredict_rate()
+    );
+    assert!(
+        se.cpu.mispredict_rate() < 0.05,
+        "{}",
+        se.cpu.mispredict_rate()
+    );
     assert!(
         sh.cycles() > se.cycles() * 2,
         "mispredicts are expensive: {} vs {}",
@@ -468,7 +473,12 @@ fn return_address_stack_predicts_call_ret_pairs() {
     }
     let sq = q.run(CpuConfig::ooo_4way());
     assert_eq!(sq.cpu.ras_mispredicts, 50);
-    assert!(sq.cycles() > s.cycles(), "{} vs {}", sq.cycles(), s.cycles());
+    assert!(
+        sq.cycles() > s.cycles(),
+        "{} vs {}",
+        sq.cycles(),
+        s.cycles()
+    );
 }
 
 #[test]
@@ -514,5 +524,107 @@ fn blocking_loads_model_is_strictly_slower() {
         bl.cycles(),
         nb.cycles()
     );
-    assert!(bl.cycles() >= 200 * 100, "near serial miss latency: {}", bl.cycles());
+    assert!(
+        bl.cycles() >= 200 * 100,
+        "near serial miss latency: {}",
+        bl.cycles()
+    );
+}
+
+#[test]
+fn watchdog_terminates_a_wedged_pipeline_with_a_diagnostic() {
+    // A self-referential instruction (reads its own destination) can
+    // never see its source become ready: the scoreboard marks the
+    // register in flight at dispatch, so issue blocks forever. Without
+    // the watchdog this hangs retirement — exactly the "wedged model"
+    // failure mode the harness must survive.
+    let mut cfg = CpuConfig::ooo_4way();
+    cfg.watchdog_cycles = 2_000;
+    let mut p = Pipeline::new(cfg, MemConfig::default());
+    p.push(Inst::compute(Op::IntAlu, 0x100, Reg(1), [Reg::NONE; 3]));
+    p.push(Inst::compute(
+        Op::IntAlu,
+        0x104,
+        Reg(7),
+        [Reg(7), Reg::NONE, Reg::NONE],
+    ));
+    p.push(Inst::compute(Op::IntAlu, 0x108, Reg(2), [Reg::NONE; 3]));
+    match p.try_finish() {
+        Err(visim_util::SimError::CycleBudget { cycle, diagnostic }) => {
+            assert!(cycle >= 2_000, "watchdog respected the budget: {cycle}");
+            // The dump must localize the wedge: occupancy, queue depth,
+            // and the oldest un-retired instruction.
+            assert!(diagnostic.contains("window"), "{diagnostic}");
+            assert!(diagnostic.contains("fetch_q"), "{diagnostic}");
+            assert!(diagnostic.contains("oldest un-retired"), "{diagnostic}");
+            assert!(diagnostic.contains("issued=false"), "{diagnostic}");
+        }
+        other => panic!("expected CycleBudget, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_does_not_fire_on_legitimate_long_stalls() {
+    // A dependent chain through the slowest units plus cache misses:
+    // slow, but always making progress.
+    let mut cfg = CpuConfig::ooo_4way();
+    cfg.watchdog_cycles = 2_000;
+    let mut p = Prog::new();
+    let mut last = p.load(0x4_0000);
+    for i in 0..64 {
+        last = p.op(Op::FpDiv, [last, Reg::NONE, Reg::NONE]);
+        let l = p.load(0x8_0000 + i * 4096);
+        last = p.alu([last, l, Reg::NONE]);
+    }
+    let s = p.run(cfg);
+    assert_eq!(s.cpu.retired, 64 * 2 + 64 + 1);
+}
+
+#[test]
+fn inflight_destination_reuse_is_a_release_mode_invariant() {
+    // Two instructions writing the same register while the first is
+    // still in flight: a corrupted emitter stream. The long-latency
+    // first write guarantees the overlap.
+    let mut p = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
+    p.push(Inst::compute(Op::FpDiv, 0x100, Reg(3), [Reg::NONE; 3]));
+    p.push(Inst::compute(Op::IntAlu, 0x104, Reg(3), [Reg::NONE; 3]));
+    match p.try_finish() {
+        Err(visim_util::SimError::Invariant { model, detail }) => {
+            assert_eq!(model, "pipeline");
+            assert!(detail.contains("reused while in flight"), "{detail}");
+        }
+        other => panic!("expected Invariant, got {other:?}"),
+    }
+}
+
+#[test]
+fn straddling_access_faults_the_run_in_release_mode() {
+    // Emit a load that crosses a cache-line boundary straight into the
+    // memory system wrapper: the memory model records the invariant
+    // violation and the pipeline surfaces it.
+    let mut p = Prog::new();
+    let d = p.reg();
+    let pc = p.pc();
+    p.insts.push(Inst::memory(
+        Op::Load,
+        pc,
+        d,
+        [Reg::NONE; 3],
+        MemRef {
+            addr: 0x1_003c, // 4 bytes below a 64-byte boundary
+            size: 8,
+            kind: MemKind::Load,
+        },
+    ));
+    let mut pipe = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
+    for &i in &p.insts {
+        pipe.push(i);
+    }
+    match pipe.try_finish() {
+        Err(visim_util::SimError::Invariant { model, detail }) => {
+            assert_eq!(model, "mem");
+            assert!(detail.contains("straddle"), "{detail}");
+        }
+        other => panic!("expected mem Invariant, got {other:?}"),
+    }
 }

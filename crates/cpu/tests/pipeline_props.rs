@@ -2,10 +2,11 @@
 //! streams, the simulation must terminate, retire everything exactly
 //! once, account every cycle, and replay deterministically.
 
-use proptest::prelude::*;
 use visim_cpu::{CpuConfig, Pipeline, SimSink};
 use visim_isa::{BranchInfo, Inst, MemKind, MemRef, Op, Reg};
 use visim_mem::MemConfig;
+use visim_util::prop::{self, Config, Shrink};
+use visim_util::{prop_assert, prop_assert_eq, Rng};
 
 /// A compact generator-friendly instruction description.
 #[derive(Debug, Clone, Copy)]
@@ -21,19 +22,25 @@ enum Gen {
     Branch { taken: bool, backward: bool },
 }
 
-fn arb_gen() -> impl Strategy<Value = Gen> {
-    prop_oneof![
-        any::<bool>().prop_map(|dep| Gen::Alu { dep }),
-        Just(Gen::Mul),
-        Just(Gen::Fp),
-        Just(Gen::Div),
-        (0u8..6).prop_map(Gen::Vis),
-        any::<u16>().prop_map(|addr| Gen::Load { addr }),
-        any::<u16>().prop_map(|addr| Gen::Store { addr }),
-        any::<u16>().prop_map(|addr| Gen::Prefetch { addr }),
-        (any::<bool>(), any::<bool>())
-            .prop_map(|(taken, backward)| Gen::Branch { taken, backward }),
-    ]
+// No value-level candidates: streams shrink structurally (the Vec
+// harness drops and halves elements).
+impl Shrink for Gen {}
+
+fn arb_gen(rng: &mut Rng) -> Gen {
+    match rng.gen_range(0u32..9) {
+        0 => Gen::Alu { dep: rng.bool() },
+        1 => Gen::Mul,
+        2 => Gen::Fp,
+        3 => Gen::Div,
+        4 => Gen::Vis(rng.gen_range(0u8..6)),
+        5 => Gen::Load { addr: rng.u16() },
+        6 => Gen::Store { addr: rng.u16() },
+        7 => Gen::Prefetch { addr: rng.u16() },
+        _ => Gen::Branch {
+            taken: rng.bool(),
+            backward: rng.bool(),
+        },
+    }
 }
 
 fn materialize(gens: &[Gen]) -> Vec<Inst> {
@@ -53,7 +60,12 @@ fn materialize(gens: &[Gen]) -> Vec<Inst> {
                 let src = if dep { last } else { Reg::NONE };
                 Inst::compute(Op::IntAlu, pc, d, [src, Reg::NONE, Reg::NONE])
             }
-            Gen::Mul => Inst::compute(Op::IntMul, pc, fresh(&mut reg), [last, Reg::NONE, Reg::NONE]),
+            Gen::Mul => Inst::compute(
+                Op::IntMul,
+                pc,
+                fresh(&mut reg),
+                [last, Reg::NONE, Reg::NONE],
+            ),
             Gen::Fp => Inst::compute(Op::FpOp, pc, fresh(&mut reg), [Reg::NONE; 3]),
             Gen::Div => Inst::compute(Op::FpDiv, pc, fresh(&mut reg), [Reg::NONE; 3]),
             Gen::Vis(k) => {
@@ -123,45 +135,73 @@ fn run(insts: &[Inst], cfg: CpuConfig) -> visim_cpu::Summary {
     p.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn random_streams_retire_everything() {
+    prop::check(
+        Config::cases(48),
+        |rng| rng.vec(1..400, arb_gen),
+        |gens: &Vec<Gen>| {
+            if gens.is_empty() {
+                return Ok(());
+            }
+            let insts = materialize(gens);
+            for cfg in [
+                CpuConfig::inorder_1way(),
+                CpuConfig::inorder_4way(),
+                CpuConfig::ooo_4way(),
+            ] {
+                let s = run(&insts, cfg);
+                prop_assert_eq!(s.cpu.retired, insts.len() as u64);
+                let b = s.cpu.breakdown();
+                prop_assert!(
+                    (b.total() - s.cycles() as f64).abs() < 1e-6,
+                    "attribution covers every cycle"
+                );
+                prop_assert!(
+                    s.cycles() >= (insts.len() as u64).div_ceil(4),
+                    "cannot beat the retire width"
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn random_streams_retire_everything(gens in prop::collection::vec(arb_gen(), 1..400)) {
-        let insts = materialize(&gens);
-        for cfg in [CpuConfig::inorder_1way(), CpuConfig::inorder_4way(), CpuConfig::ooo_4way()] {
-            let s = run(&insts, cfg);
-            prop_assert_eq!(s.cpu.retired, insts.len() as u64);
-            let b = s.cpu.breakdown();
-            prop_assert!((b.total() - s.cycles() as f64).abs() < 1e-6,
-                "attribution covers every cycle");
-            prop_assert!(s.cycles() >= (insts.len() as u64).div_ceil(4),
-                "cannot beat the retire width");
-        }
-    }
+#[test]
+fn replay_is_deterministic() {
+    prop::check(
+        Config::cases(48),
+        |rng| rng.vec(1..200, arb_gen),
+        |gens: &Vec<Gen>| {
+            let insts = materialize(gens);
+            let a = run(&insts, CpuConfig::ooo_4way());
+            let b = run(&insts, CpuConfig::ooo_4way());
+            prop_assert_eq!(a.cycles(), b.cycles());
+            prop_assert_eq!(a.mem, b.mem);
+            prop_assert_eq!(a.cpu.mispredicts, b.cpu.mispredicts);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn replay_is_deterministic(gens in prop::collection::vec(arb_gen(), 1..200)) {
-        let insts = materialize(&gens);
-        let a = run(&insts, CpuConfig::ooo_4way());
-        let b = run(&insts, CpuConfig::ooo_4way());
-        prop_assert_eq!(a.cycles(), b.cycles());
-        prop_assert_eq!(a.mem, b.mem);
-        prop_assert_eq!(a.cpu.mispredicts, b.cpu.mispredicts);
-    }
-
-    #[test]
-    fn ooo_never_loses_to_inorder(gens in prop::collection::vec(arb_gen(), 1..300)) {
-        let insts = materialize(&gens);
-        let io = run(&insts, CpuConfig::inorder_4way());
-        let ooo = run(&insts, CpuConfig::ooo_4way());
-        // Same width, strictly more scheduling freedom: allow a tiny
-        // tolerance for edge effects at the end of the stream.
-        prop_assert!(
-            ooo.cycles() <= io.cycles() + 4,
-            "ooo {} vs inorder {}",
-            ooo.cycles(),
-            io.cycles()
-        );
-    }
+#[test]
+fn ooo_never_loses_to_inorder() {
+    prop::check(
+        Config::cases(48),
+        |rng| rng.vec(1..300, arb_gen),
+        |gens: &Vec<Gen>| {
+            let insts = materialize(gens);
+            let io = run(&insts, CpuConfig::inorder_4way());
+            let ooo = run(&insts, CpuConfig::ooo_4way());
+            // Same width, strictly more scheduling freedom: allow a tiny
+            // tolerance for edge effects at the end of the stream.
+            prop_assert!(
+                ooo.cycles() <= io.cycles() + 4,
+                "ooo {} vs inorder {}",
+                ooo.cycles(),
+                io.cycles()
+            );
+            Ok(())
+        },
+    );
 }

@@ -12,6 +12,17 @@ pub enum DecodePpmError {
     Io(io::Error),
     /// The stream is not a valid P5/P6 file.
     Malformed(&'static str),
+    /// The header's `width × height × bands` does not fit in memory
+    /// (hostile headers must fail cleanly, not wrap or abort).
+    Oversized {
+        /// Claimed width.
+        width: usize,
+        /// Claimed height.
+        height: usize,
+    },
+    /// The header's maxval is 0 or above the 8-bit range this decoder
+    /// supports.
+    UnsupportedMaxval(usize),
 }
 
 impl fmt::Display for DecodePpmError {
@@ -19,6 +30,12 @@ impl fmt::Display for DecodePpmError {
         match self {
             DecodePpmError::Io(e) => write!(f, "i/o error reading ppm: {e}"),
             DecodePpmError::Malformed(m) => write!(f, "malformed ppm: {m}"),
+            DecodePpmError::Oversized { width, height } => {
+                write!(f, "ppm header claims an oversized image: {width}x{height}")
+            }
+            DecodePpmError::UnsupportedMaxval(v) => {
+                write!(f, "ppm maxval {v} unsupported (must be 1..=255)")
+            }
         }
     }
 }
@@ -101,12 +118,21 @@ pub fn read<R: Read>(mut r: R) -> Result<Image, DecodePpmError> {
     let width = parse(token(&buf, &mut pos)?)?;
     let height = parse(token(&buf, &mut pos)?)?;
     let maxval = parse(token(&buf, &mut pos)?)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(DecodePpmError::UnsupportedMaxval(maxval));
+    }
     if maxval != 255 {
         return Err(DecodePpmError::Malformed("only maxval 255 supported"));
     }
     pos += 1; // single whitespace after maxval
-    let need = width * height * bands;
-    if buf.len() < pos + need {
+              // A hostile header can claim dimensions whose product overflows;
+              // checked arithmetic turns that into a clean error. Anything larger
+              // than the remaining payload is rejected before allocation.
+    let need = width
+        .checked_mul(height)
+        .and_then(|px| px.checked_mul(bands))
+        .ok_or(DecodePpmError::Oversized { width, height })?;
+    if buf.len().saturating_sub(pos) < need {
         return Err(DecodePpmError::Malformed("truncated pixel data"));
     }
     Ok(Image::from_raw(
@@ -152,6 +178,42 @@ mod tests {
         assert!(read(&b"JUNK"[..]).is_err());
         assert!(read(&b"P6\n2 2\n255\n\x01"[..]).is_err(), "truncated");
         assert!(read(&b"P6\n2 2\n65535\n"[..]).is_err(), "16-bit maxval");
+    }
+
+    #[test]
+    fn hostile_dimension_overflow_is_rejected() {
+        // width * height * 3 overflows usize; must fail cleanly rather
+        // than wrap into a tiny (or huge) allocation.
+        let big = usize::MAX / 2;
+        let hdr = format!("P6\n{big} {big}\n255\n");
+        match read(hdr.as_bytes()) {
+            Err(DecodePpmError::Oversized { width, height }) => {
+                assert_eq!(width, big);
+                assert_eq!(height, big);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // Large but non-overflowing claims fall through to the payload
+        // length check.
+        assert!(matches!(
+            read(&b"P6\n1000000 1000000\n255\n\x00"[..]),
+            Err(DecodePpmError::Malformed("truncated pixel data"))
+        ));
+    }
+
+    #[test]
+    fn hostile_maxval_is_rejected() {
+        assert!(matches!(
+            read(&b"P5\n2 2\n0\n\x01\x02\x03\x04"[..]),
+            Err(DecodePpmError::UnsupportedMaxval(0))
+        ));
+        assert!(matches!(
+            read(&b"P5\n2 2\n65535\n\x01\x02\x03\x04"[..]),
+            Err(DecodePpmError::UnsupportedMaxval(65535))
+        ));
+        // In-range but unsupported scaling still errors (paper inputs
+        // are always 8-bit full-range).
+        assert!(read(&b"P5\n2 2\n100\n\x01\x02\x03\x04"[..]).is_err());
     }
 
     #[test]

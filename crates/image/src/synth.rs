@@ -1,8 +1,7 @@
 //! Deterministic synthetic inputs standing in for the paper's images and
 //! video (see DESIGN.md, substitution #2).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use visim_util::Rng;
 
 use crate::Image;
 
@@ -10,14 +9,14 @@ use crate::Image;
 /// structured edges (rectangles and a disc), and seeded high-frequency
 /// noise. Deterministic in `seed`.
 pub fn still(width: usize, height: usize, bands: usize, seed: u64) -> Image {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_1234);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5eed_1234);
     let mut img = Image::new(width, height, bands);
     // Random per-band gradient directions and phases.
     let mut params = Vec::new();
     for _ in 0..bands {
         params.push((
-            rng.gen_range(0.3..1.7),  // x frequency scale
-            rng.gen_range(0.3..1.7),  // y frequency scale
+            rng.gen_range(0.3..1.7),                   // x frequency scale
+            rng.gen_range(0.3..1.7),                   // y frequency scale
             rng.gen_range(0.0..std::f64::consts::TAU), // phase
             rng.gen_range(60.0..120.0f64),
         ));
@@ -42,7 +41,10 @@ pub fn still(width: usize, height: usize, bands: usize, seed: u64) -> Image {
                 let u = x as f64 / width.max(1) as f64;
                 let v = y as f64 / height.max(1) as f64;
                 let mut val = 128.0
-                    + amp * 0.5 * ((u * fx * std::f64::consts::TAU + ph).sin() + (v * fy * std::f64::consts::TAU).cos());
+                    + amp
+                        * 0.5
+                        * ((u * fx * std::f64::consts::TAU + ph).sin()
+                            + (v * fy * std::f64::consts::TAU).cos());
                 for &(x0, y0, w, h, shade) in &rects {
                     if x >= x0 && x < x0 + w && y >= y0 && y < y0 + h {
                         val += shade as f64 * 0.5;
@@ -65,7 +67,7 @@ pub fn still(width: usize, height: usize, bands: usize, seed: u64) -> Image {
 /// noisy regions), used by the blending benchmarks in place of
 /// `winter16.ppm`.
 pub fn alpha(width: usize, height: usize, bands: usize, seed: u64) -> Image {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xa1fa);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xa1fa);
     let mut img = Image::new(width, height, bands);
     for y in 0..height {
         for x in 0..width {
@@ -133,7 +135,7 @@ impl Yuv420 {
 /// opposite way (so motion estimation has real work and occlusion),
 /// standing in for the `mei16v2` bit-stream content.
 pub fn video(width: usize, height: usize, frames: usize, seed: u64) -> Vec<Yuv420> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x71de0);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x71de0);
     // A wrapping background texture bigger than the frame.
     let (tw, th) = (width * 2, height * 2);
     let mut tex = vec![0u8; tw * th];

@@ -552,11 +552,11 @@ mod tests {
 
     #[test]
     fn fpackfix_saturates_32_to_16() {
-        let gsr = Gsr { align: 0, scale: 16 };
-        assert_eq!(
-            fpackfix(gsr, pack32([40000, -40000])),
-            [i16::MAX, i16::MIN]
-        );
+        let gsr = Gsr {
+            align: 0,
+            scale: 16,
+        };
+        assert_eq!(fpackfix(gsr, pack32([40000, -40000])), [i16::MAX, i16::MIN]);
         assert_eq!(fpackfix(gsr, pack32([1234, -1234])), [1234, -1234]);
     }
 

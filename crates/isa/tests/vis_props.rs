@@ -1,157 +1,270 @@
 //! Property-based tests for the VIS packed-operation semantics: every
 //! packed operation must agree with a lane-wise scalar model.
 
-use proptest::prelude::*;
 use visim_isa::vis::{self, Gsr};
+use visim_util::prop::{self, Config};
+use visim_util::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #[test]
-    fn fpadd16_matches_scalar(a in any::<[i16; 4]>(), b in any::<[i16; 4]>()) {
-        let r = vis::unpack16(vis::fpadd16(vis::pack16(a), vis::pack16(b)));
-        for i in 0..4 {
-            prop_assert_eq!(r[i], a[i].wrapping_add(b[i]));
-        }
-    }
-
-    #[test]
-    fn fpsub32_matches_scalar(a in any::<[i32; 2]>(), b in any::<[i32; 2]>()) {
-        let r = vis::unpack32(vis::fpsub32(vis::pack32(a), vis::pack32(b)));
-        for i in 0..2 {
-            prop_assert_eq!(r[i], a[i].wrapping_sub(b[i]));
-        }
-    }
-
-    /// The canonical VIS 16x16 emulation sequence (two 8x16 multiplies and
-    /// one packed add) must equal the truncated Q8 product lane-wise.
-    #[test]
-    fn mul16_emulation_identity(a in any::<[i16; 4]>(), b in any::<[i16; 4]>()) {
-        let ra = vis::pack16(a);
-        let rb = vis::pack16(b);
-        let lhs = vis::unpack16(vis::fpadd16(
-            vis::fmul8sux16(ra, rb),
-            vis::fmul8ulx16(ra, rb),
-        ));
-        for i in 0..4 {
-            let want = ((a[i] as i32 * b[i] as i32) >> 8) as i16;
-            prop_assert_eq!(lhs[i], want);
-        }
-    }
-
-    #[test]
-    fn fpack16_saturates_to_byte_range(lanes in any::<[i16; 4]>(), scale in 0u8..8) {
-        let gsr = Gsr { align: 0, scale };
-        let out = vis::fpack16(gsr, vis::pack16(lanes));
-        for i in 0..4 {
-            let want = (((lanes[i] as i32) << scale) >> 7).clamp(0, 255) as u8;
-            prop_assert_eq!(out[i], want);
-        }
-    }
-
-    /// fexpand followed by fpack16 at scale 3 is the identity on bytes.
-    #[test]
-    fn expand_pack_identity(bytes in any::<[u8; 4]>()) {
-        let gsr = Gsr { align: 0, scale: 3 };
-        prop_assert_eq!(vis::fpack16(gsr, vis::fexpand(bytes)), bytes);
-    }
-
-    /// faligndata with align 0 returns its first operand; align k shifts
-    /// bytes down by k and pulls in k bytes from the second operand.
-    #[test]
-    fn faligndata_window(lo in any::<u64>(), hi in any::<u64>(), k in 0u8..8) {
-        let gsr = Gsr { align: k, scale: 0 };
-        let got = vis::unpack8(vis::faligndata(gsr, lo, hi));
-        let l = vis::unpack8(lo);
-        let h = vis::unpack8(hi);
-        for i in 0..8usize {
-            let j = i + k as usize;
-            let want = if j < 8 { l[j] } else { h[j - 8] };
-            prop_assert_eq!(got[i], want);
-        }
-    }
-
-    /// pdist equals the scalar sum of absolute differences and is
-    /// symmetric in its byte operands.
-    #[test]
-    fn pdist_matches_scalar(a in any::<[u8; 8]>(), b in any::<[u8; 8]>(), acc in 0u64..1 << 40) {
-        let ra = vis::pack8(a);
-        let rb = vis::pack8(b);
-        let want: u64 = (0..8)
-            .map(|i| (a[i] as i32 - b[i] as i32).unsigned_abs() as u64)
-            .sum();
-        prop_assert_eq!(vis::pdist(ra, rb, acc), acc + want);
-        prop_assert_eq!(vis::pdist(ra, rb, 0), vis::pdist(rb, ra, 0));
-    }
-
-    /// Compare masks partition: gt and le are complementary, eq and ne are
-    /// complementary, and eq implies le.
-    #[test]
-    fn compare_mask_laws(a in any::<[i16; 4]>(), b in any::<[i16; 4]>()) {
-        let (ra, rb) = (vis::pack16(a), vis::pack16(b));
-        let gt = vis::fcmpgt16(ra, rb);
-        let le = vis::fcmple16(ra, rb);
-        let eq = vis::fcmpeq16(ra, rb);
-        let ne = vis::fcmpne16(ra, rb);
-        prop_assert_eq!(gt ^ le, 0b1111);
-        prop_assert_eq!(eq ^ ne, 0b1111);
-        prop_assert_eq!(eq & gt, 0);
-    }
-
-    /// A partial store with a full mask writes everything; with an empty
-    /// mask it writes nothing; and masks compose disjointly.
-    #[test]
-    fn partial_store_laws(old in any::<u64>(), new in any::<u64>(), m in any::<u8>()) {
-        prop_assert_eq!(vis::partial_store_merge(old, new, 0xff), new);
-        prop_assert_eq!(vis::partial_store_merge(old, new, 0), old);
-        let once = vis::partial_store_merge(old, new, m);
-        let twice = vis::partial_store_merge(once, new, m);
-        prop_assert_eq!(once, twice, "partial store is idempotent");
-    }
-
-    /// edge8 masks are contiguous runs of set bits and never empty.
-    #[test]
-    fn edge8_is_contiguous(addr in any::<u64>(), len in 1u64..4096) {
-        let end = addr.wrapping_add(len - 1);
-        if end < addr { return Ok(()); } // wrapped: skip
-        let m = vis::edge8(addr, end);
-        prop_assert!(m != 0);
-        // A contiguous run satisfies: m | (m-1) | ... has no "gaps":
-        // x & (x + lowest_set) has the same high bits.
-        let low = m.trailing_zeros();
-        let run = (m as u16) >> low;
-        prop_assert_eq!(run & (run + 1), 0, "mask {:#010b} not contiguous", m);
-    }
-
-    /// Loading eight bytes little-endian and realigning reproduces an
-    /// unaligned load: the memcpy-with-faligndata identity kernels rely
-    /// on this.
-    #[test]
-    fn align_pipeline_equals_unaligned_load(bytes in any::<[u8; 16]>(), k in 0usize..8) {
-        let lo = u64::from_le_bytes(bytes[..8].try_into().unwrap());
-        let hi = u64::from_le_bytes(bytes[8..].try_into().unwrap());
-        let gsr = Gsr { align: k as u8, scale: 0 };
-        let got = vis::faligndata(gsr, lo, hi);
-        let want = u64::from_le_bytes(bytes[k..k + 8].try_into().unwrap());
-        prop_assert_eq!(got, want);
-    }
+fn i16x4(rng: &mut visim_util::Rng) -> [i16; 4] {
+    rng.array(|r| r.i16())
 }
 
-proptest! {
-    /// The widening 16x16 emulation is EXACT: fmuld8sux16 + fmuld8ulx16
-    /// reconstructs the full 32-bit product lane-wise.
-    #[test]
-    fn widening_mul_identity(a in any::<[i16; 4]>(), b in any::<[i16; 4]>()) {
-        let (ra, rb) = (vis::pack16(a), vis::pack16(b));
-        let lo = vis::unpack32(vis::fpadd32(
-            vis::fmuld8sux16_lo(ra, rb),
-            vis::fmuld8ulx16_lo(ra, rb),
-        ));
-        let hi = vis::unpack32(vis::fpadd32(
-            vis::fmuld8sux16_hi(ra, rb),
-            vis::fmuld8ulx16_hi(ra, rb),
-        ));
-        for i in 0..2 {
-            prop_assert_eq!(lo[i], a[i] as i32 * b[i] as i32);
-            prop_assert_eq!(hi[i], a[i + 2] as i32 * b[i + 2] as i32);
-        }
-    }
+#[test]
+fn fpadd16_matches_scalar() {
+    prop::check(
+        Config::default(),
+        |rng| (i16x4(rng), i16x4(rng)),
+        |&(a, b)| {
+            let r = vis::unpack16(vis::fpadd16(vis::pack16(a), vis::pack16(b)));
+            for i in 0..4 {
+                prop_assert_eq!(r[i], a[i].wrapping_add(b[i]));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fpsub32_matches_scalar() {
+    prop::check(
+        Config::default(),
+        |rng| {
+            (
+                rng.array::<2, i32>(|r| r.i32()),
+                rng.array::<2, i32>(|r| r.i32()),
+            )
+        },
+        |&(a, b)| {
+            let r = vis::unpack32(vis::fpsub32(vis::pack32(a), vis::pack32(b)));
+            for i in 0..2 {
+                prop_assert_eq!(r[i], a[i].wrapping_sub(b[i]));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The canonical VIS 16x16 emulation sequence (two 8x16 multiplies and
+/// one packed add) must equal the truncated Q8 product lane-wise.
+#[test]
+fn mul16_emulation_identity() {
+    prop::check(
+        Config::default(),
+        |rng| (i16x4(rng), i16x4(rng)),
+        |&(a, b)| {
+            let ra = vis::pack16(a);
+            let rb = vis::pack16(b);
+            let lhs = vis::unpack16(vis::fpadd16(
+                vis::fmul8sux16(ra, rb),
+                vis::fmul8ulx16(ra, rb),
+            ));
+            for i in 0..4 {
+                let want = ((a[i] as i32 * b[i] as i32) >> 8) as i16;
+                prop_assert_eq!(lhs[i], want);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fpack16_saturates_to_byte_range() {
+    prop::check(
+        Config::default(),
+        |rng| (i16x4(rng), rng.gen_range(0u8..8)),
+        |&(lanes, scale)| {
+            if scale >= 8 {
+                return Ok(()); // out of the generator's range (shrinker artifact)
+            }
+            let gsr = Gsr { align: 0, scale };
+            let out = vis::fpack16(gsr, vis::pack16(lanes));
+            for i in 0..4 {
+                let want = (((lanes[i] as i32) << scale) >> 7).clamp(0, 255) as u8;
+                prop_assert_eq!(out[i], want);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// fexpand followed by fpack16 at scale 3 is the identity on bytes.
+#[test]
+fn expand_pack_identity() {
+    prop::check(
+        Config::default(),
+        |rng| rng.array::<4, u8>(|r| r.u8()),
+        |&bytes| {
+            let gsr = Gsr { align: 0, scale: 3 };
+            prop_assert_eq!(vis::fpack16(gsr, vis::fexpand(bytes)), bytes);
+            Ok(())
+        },
+    );
+}
+
+/// faligndata with align 0 returns its first operand; align k shifts
+/// bytes down by k and pulls in k bytes from the second operand.
+#[test]
+fn faligndata_window() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.u64(), rng.u64(), rng.gen_range(0u8..8)),
+        |&(lo, hi, k)| {
+            if k >= 8 {
+                return Ok(());
+            }
+            let gsr = Gsr { align: k, scale: 0 };
+            let got = vis::unpack8(vis::faligndata(gsr, lo, hi));
+            let l = vis::unpack8(lo);
+            let h = vis::unpack8(hi);
+            for i in 0..8usize {
+                let j = i + k as usize;
+                let want = if j < 8 { l[j] } else { h[j - 8] };
+                prop_assert_eq!(got[i], want);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// pdist equals the scalar sum of absolute differences and is
+/// symmetric in its byte operands.
+#[test]
+fn pdist_matches_scalar() {
+    prop::check(
+        Config::default(),
+        |rng| {
+            (
+                rng.array::<8, u8>(|r| r.u8()),
+                rng.array::<8, u8>(|r| r.u8()),
+                rng.gen_range(0u64..1 << 40),
+            )
+        },
+        |&(a, b, acc)| {
+            let ra = vis::pack8(a);
+            let rb = vis::pack8(b);
+            let want: u64 = (0..8)
+                .map(|i| (a[i] as i32 - b[i] as i32).unsigned_abs() as u64)
+                .sum();
+            prop_assert_eq!(vis::pdist(ra, rb, acc), acc + want);
+            prop_assert_eq!(vis::pdist(ra, rb, 0), vis::pdist(rb, ra, 0));
+            Ok(())
+        },
+    );
+}
+
+/// Compare masks partition: gt and le are complementary, eq and ne are
+/// complementary, and eq implies le.
+#[test]
+fn compare_mask_laws() {
+    prop::check(
+        Config::default(),
+        |rng| (i16x4(rng), i16x4(rng)),
+        |&(a, b)| {
+            let (ra, rb) = (vis::pack16(a), vis::pack16(b));
+            let gt = vis::fcmpgt16(ra, rb);
+            let le = vis::fcmple16(ra, rb);
+            let eq = vis::fcmpeq16(ra, rb);
+            let ne = vis::fcmpne16(ra, rb);
+            prop_assert_eq!(gt ^ le, 0b1111);
+            prop_assert_eq!(eq ^ ne, 0b1111);
+            prop_assert_eq!(eq & gt, 0);
+            Ok(())
+        },
+    );
+}
+
+/// A partial store with a full mask writes everything; with an empty
+/// mask it writes nothing; and masks compose disjointly.
+#[test]
+fn partial_store_laws() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.u64(), rng.u64(), rng.u8()),
+        |&(old, new, m)| {
+            prop_assert_eq!(vis::partial_store_merge(old, new, 0xff), new);
+            prop_assert_eq!(vis::partial_store_merge(old, new, 0), old);
+            let once = vis::partial_store_merge(old, new, m);
+            let twice = vis::partial_store_merge(once, new, m);
+            prop_assert_eq!(once, twice, "partial store is idempotent");
+            Ok(())
+        },
+    );
+}
+
+/// edge8 masks are contiguous runs of set bits and never empty.
+#[test]
+fn edge8_is_contiguous() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.u64(), rng.gen_range(1u64..4096)),
+        |&(addr, len)| {
+            if len == 0 {
+                return Ok(());
+            }
+            let end = addr.wrapping_add(len - 1);
+            if end < addr {
+                return Ok(()); // wrapped: skip
+            }
+            let m = vis::edge8(addr, end);
+            prop_assert!(m != 0);
+            // A contiguous run satisfies: m | (m-1) | ... has no "gaps":
+            // x & (x + lowest_set) has the same high bits.
+            let low = m.trailing_zeros();
+            let run = (m as u16) >> low;
+            prop_assert_eq!(run & (run + 1), 0, "mask {:#010b} not contiguous", m);
+            Ok(())
+        },
+    );
+}
+
+/// Loading eight bytes little-endian and realigning reproduces an
+/// unaligned load: the memcpy-with-faligndata identity kernels rely
+/// on this.
+#[test]
+fn align_pipeline_equals_unaligned_load() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.array::<16, u8>(|r| r.u8()), rng.gen_range(0usize..8)),
+        |&(bytes, k)| {
+            if k >= 8 {
+                return Ok(());
+            }
+            let lo = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            let hi = u64::from_le_bytes(bytes[8..].try_into().unwrap());
+            let gsr = Gsr {
+                align: k as u8,
+                scale: 0,
+            };
+            let got = vis::faligndata(gsr, lo, hi);
+            let want = u64::from_le_bytes(bytes[k..k + 8].try_into().unwrap());
+            prop_assert_eq!(got, want);
+            Ok(())
+        },
+    );
+}
+
+/// The widening 16x16 emulation is EXACT: fmuld8sux16 + fmuld8ulx16
+/// reconstructs the full 32-bit product lane-wise.
+#[test]
+fn widening_mul_identity() {
+    prop::check(
+        Config::default(),
+        |rng| (i16x4(rng), i16x4(rng)),
+        |&(a, b)| {
+            let (ra, rb) = (vis::pack16(a), vis::pack16(b));
+            let lo = vis::unpack32(vis::fpadd32(
+                vis::fmuld8sux16_lo(ra, rb),
+                vis::fmuld8ulx16_lo(ra, rb),
+            ));
+            let hi = vis::unpack32(vis::fpadd32(
+                vis::fmuld8sux16_hi(ra, rb),
+                vis::fmuld8ulx16_hi(ra, rb),
+            ));
+            for i in 0..2 {
+                prop_assert_eq!(lo[i], a[i] as i32 * b[i] as i32);
+                prop_assert_eq!(hi[i], a[i + 2] as i32 * b[i + 2] as i32);
+            }
+            Ok(())
+        },
+    );
 }

@@ -154,8 +154,14 @@ mod tests {
         let mut p = Program::new(&mut sink);
         let buf = p.mem_mut().alloc(256, 8);
         let mut w = BitWriterState::new(&mut p, buf);
-        let fields: Vec<(i64, i64)> =
-            vec![(0b1, 1), (0b0110, 4), (0xabc, 12), (0xff, 8), (0, 3), (0x1f, 5)];
+        let fields: Vec<(i64, i64)> = vec![
+            (0b1, 1),
+            (0b0110, 4),
+            (0xabc, 12),
+            (0xff, 8),
+            (0, 3),
+            (0x1f, 5),
+        ];
         for &(v, n) in &fields {
             let code = p.li(v);
             let len = p.li(n);

@@ -6,7 +6,7 @@
 
 use media_dsp::{ZIGZAG, ZIGZAG_INV};
 use visim_cpu::SimSink;
-use visim_trace::{Cond, Program, Val, VVal};
+use visim_trace::{Cond, Program, VVal, Val};
 
 use crate::color::clamp255;
 use crate::SimPlane;

@@ -14,7 +14,7 @@
 use media_kernels::{SimImage, Variant};
 use visim_cpu::SimSink;
 use visim_isa::vis;
-use visim_trace::{Cond, Program, Val, VVal};
+use visim_trace::{Cond, Program, VVal, Val};
 
 use crate::SimPlane;
 
@@ -53,7 +53,10 @@ fn vmulq8<S: SimSink>(p: &mut Program<S>, a: &VVal, c: &VVal) -> VVal {
 pub fn rgb_to_ycbcr420<S: SimSink>(p: &mut Program<S>, rgb: &SimImage, v: Variant) -> Planes {
     assert_eq!(rgb.bands, 3, "color conversion expects RGB");
     let (w, h) = (rgb.width, rgb.height);
-    assert!(w % 16 == 0 && h % 16 == 0, "4:2:0 MCUs need 16x16 multiples");
+    assert!(
+        w % 16 == 0 && h % 16 == 0,
+        "4:2:0 MCUs need 16x16 multiples"
+    );
     let yp = SimPlane::alloc(p, w, h);
     let cbf = SimPlane::alloc(p, w, h);
     let crf = SimPlane::alloc(p, w, h);
@@ -183,38 +186,34 @@ fn convert_vis<S: SimSink>(
                 let bits = deinterleave_bits(d0.bits(), d1.bits(), d2.bits(), 2);
                 p.vshuffle_composite(&[&d0, &d1, &d2], 4, bits)
             };
-            let channel = |p: &mut Program<S>,
-                               cr_c: &Val,
-                               cg_c: &Val,
-                               cb_c: &Val,
-                               bias: bool|
-             -> VVal {
-                let mut halves = Vec::with_capacity(2);
-                for hi in [false, true] {
-                    let m1 = if hi {
-                        p.vmul8x16au_hi(&r8, cr_c)
-                    } else {
-                        p.vmul8x16au(&r8, cr_c)
-                    };
-                    let m2 = if hi {
-                        p.vmul8x16au_hi(&g8, cg_c)
-                    } else {
-                        p.vmul8x16au(&g8, cg_c)
-                    };
-                    let m3 = if hi {
-                        p.vmul8x16au_hi(&b8, cb_c)
-                    } else {
-                        p.vmul8x16au(&b8, cb_c)
-                    };
-                    let s = p.vadd16(&m1, &m2);
-                    let mut s = p.vadd16(&s, &m3);
-                    if bias {
-                        s = p.vadd16(&s, &k128);
+            let channel =
+                |p: &mut Program<S>, cr_c: &Val, cg_c: &Val, cb_c: &Val, bias: bool| -> VVal {
+                    let mut halves = Vec::with_capacity(2);
+                    for hi in [false, true] {
+                        let m1 = if hi {
+                            p.vmul8x16au_hi(&r8, cr_c)
+                        } else {
+                            p.vmul8x16au(&r8, cr_c)
+                        };
+                        let m2 = if hi {
+                            p.vmul8x16au_hi(&g8, cg_c)
+                        } else {
+                            p.vmul8x16au(&g8, cg_c)
+                        };
+                        let m3 = if hi {
+                            p.vmul8x16au_hi(&b8, cb_c)
+                        } else {
+                            p.vmul8x16au(&b8, cb_c)
+                        };
+                        let s = p.vadd16(&m1, &m2);
+                        let mut s = p.vadd16(&s, &m3);
+                        if bias {
+                            s = p.vadd16(&s, &k128);
+                        }
+                        halves.push(s);
                     }
-                    halves.push(s);
-                }
-                p.vpack16_pair(&halves[0], &halves[1])
-            };
+                    p.vpack16_pair(&halves[0], &halves[1])
+                };
             let y8 = channel(p, &cyr, &cyg, &cyb, false);
             p.storev_idx(&ry, px, 0, &y8);
             let cb8 = channel(p, &cbr, &cbg, &cbb, true);
@@ -240,8 +239,8 @@ pub fn decimate<S: SimSink>(p: &mut Program<S>, full: &SimPlane, half: &SimPlane
     let wout = half.w as i64;
     if v.vis {
         p.set_gsr_scale(1); // lanes hold 4*out*16; (v<<1)>>7 = v>>6
-        // Latch a 2-byte (one-lane) shift in the GSR for the horizontal
-        // pair adds.
+                            // Latch a 2-byte (one-lane) shift in the GSR for the horizontal
+                            // pair adds.
         let two = p.li(2);
         p.valignaddr(&two, 0);
     }
@@ -423,13 +422,11 @@ pub fn ycbcr_to_rgb<S: SimSink>(
                 chans.push(p.vpack16_pair(&halves_b[0], &halves_b[1]));
                 // Interleave 3 channel chunks into 24 bytes (MediaLib
                 // merge sequence: 4 ops per output chunk).
-                let bytes =
-                    interleave_bits(chans[0].bits(), chans[1].bits(), chans[2].bits());
+                let bytes = interleave_bits(chans[0].bits(), chans[1].bits(), chans[2].bits());
                 let o = px.value() * 3;
                 for (k, chunk) in bytes.chunks_exact(8).enumerate() {
                     let bits = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
-                    let c =
-                        p.vshuffle_composite(&[&chans[0], &chans[1], &chans[2]], 4, bits);
+                    let c = p.vshuffle_composite(&[&chans[0], &chans[1], &chans[2]], 4, bits);
                     p.storev(&ro, o + 8 * k as i64, &c);
                 }
             });

@@ -178,9 +178,8 @@ pub fn encode_sim<S: SimSink>(
                     let dc = p.load_i16(&base, 0);
                     pred = encode_dc(p, &mut writer, &tables, chan, &dc, &pred);
                 } else {
-                    let levels: Vec<Val> = (ss..=se)
-                        .map(|k| p.load_i16(&base, 2 * k as i64))
-                        .collect();
+                    let levels: Vec<Val> =
+                        (ss..=se).map(|k| p.load_i16(&base, 2 * k as i64)).collect();
                     encode_ac_band(p, &mut writer, &tables, chan, &levels);
                 }
             }

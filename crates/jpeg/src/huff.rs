@@ -56,12 +56,7 @@ impl SimHuff {
     }
 
     /// Emit the encoding of `sym` into `w` and return the code length.
-    pub fn encode<S: SimSink>(
-        &self,
-        p: &mut Program<S>,
-        w: &mut BitWriterState,
-        sym: &Val,
-    ) -> Val {
+    pub fn encode<S: SimSink>(&self, p: &mut Program<S>, w: &mut BitWriterState, sym: &Val) -> Val {
         let cbase = p.li(self.code as i64);
         let lbase = p.li(self.len as i64);
         let ix2 = p.shli(sym, 1);

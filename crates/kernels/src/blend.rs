@@ -20,7 +20,10 @@ pub fn blend<S: SimSink>(
     v: Variant,
 ) {
     for img in [src2, alpha, dst] {
-        assert_eq!((src1.width, src1.height, src1.bands), (img.width, img.height, img.bands));
+        assert_eq!(
+            (src1.width, src1.height, src1.bands),
+            (img.width, img.height, img.bands)
+        );
     }
     let n = src1.row_bytes() as i64;
     let vis_consts = if v.vis {
@@ -131,7 +134,11 @@ mod tests {
         let s2 = synth::still(40, 6, 3, 2);
         let al = synth::alpha(40, 6, 3, 3);
         for i in 0..out.data().len() {
-            let (a, x, y) = (al.data()[i] as u32, s1.data()[i] as u32, s2.data()[i] as u32);
+            let (a, x, y) = (
+                al.data()[i] as u32,
+                s1.data()[i] as u32,
+                s2.data()[i] as u32,
+            );
             let t = a * x + (255 - a) * y;
             let want = ((t * 257 + 32768) >> 16) as u8;
             assert_eq!(out.data()[i], want, "sample {i}");

@@ -35,7 +35,10 @@ pub fn conv<S: SimSink>(
     kernel: &Kernel3x3,
     v: Variant,
 ) {
-    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     assert!(src.height >= 3 && src.row_bytes() >= 16, "image too small");
     let bands = src.bands as i64;
     let n = src.row_bytes() as i64;
@@ -167,8 +170,14 @@ pub fn convsep<S: SimSink>(
     dst: &SimImage,
     v: Variant,
 ) {
-    assert_eq!((src.width, src.height, src.bands), (tmp.width, tmp.height, tmp.bands));
-    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (tmp.width, tmp.height, tmp.bands)
+    );
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     pass(p, src, tmp, src.bands as i64, false, v); // horizontal: ±bands
     pass(p, tmp, dst, src.stride as i64, true, v); // vertical: ±stride
 }
@@ -366,8 +375,8 @@ mod tests {
                     let mut acc = 0i32;
                     for ky in 0..3 {
                         for kx in 0..3 {
-                            acc += img.get(x + kx - 1, y + ky - 1, b) as i32
-                                * k[ky * 3 + kx] as i32;
+                            acc +=
+                                img.get(x + kx - 1, y + ky - 1, b) as i32 * k[ky * 3 + kx] as i32;
                         }
                     }
                     out.set(x, y, b, acc.clamp(0, 255) as u8);

@@ -107,8 +107,8 @@ impl KernelId {
     pub fn all() -> &'static [KernelId] {
         use KernelId::*;
         &[
-            Addition, Blend, Blend1, Conv, ConvSep, Copy, Dotprod, Invert, Lookup, Histogram,
-            Sad, Scaling, Thresh, Thresh1,
+            Addition, Blend, Blend1, Conv, ConvSep, Copy, Dotprod, Invert, Lookup, Histogram, Sad,
+            Scaling, Thresh, Thresh1,
         ]
     }
 

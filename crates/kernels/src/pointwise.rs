@@ -19,7 +19,10 @@ pub fn addition<S: SimSink>(
     v: Variant,
 ) {
     assert_eq!((a.width, a.height, a.bands), (b.width, b.height, b.bands));
-    assert_eq!((a.width, a.height, a.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (a.width, a.height, a.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     let n = a.row_bytes() as i64;
     if v.vis {
         // expand gives v<<4; pack at scale 2 yields ((a+b)<<4 <<2)>>7.
@@ -85,7 +88,10 @@ pub fn addition<S: SimSink>(
 
 /// `copy`: image copy.
 pub fn copy<S: SimSink>(p: &mut Program<S>, src: &SimImage, dst: &SimImage, v: Variant) {
-    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     let n = src.row_bytes() as i64;
     let mut rs = p.li(src.addr as i64);
     let mut rd = p.li(dst.addr as i64);
@@ -122,7 +128,10 @@ pub fn copy<S: SimSink>(p: &mut Program<S>, src: &SimImage, dst: &SimImage, v: V
 
 /// `invert`: photographic negative, `dst = 255 - src`.
 pub fn invert<S: SimSink>(p: &mut Program<S>, src: &SimImage, dst: &SimImage, v: Variant) {
-    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     let n = src.row_bytes() as i64;
     let ones = if v.vis { Some(p.vli(u64::MAX)) } else { None };
     let mut rs = p.li(src.addr as i64);
@@ -172,7 +181,10 @@ pub fn scaling<S: SimSink>(
     offset: i16,
     v: Variant,
 ) {
-    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     assert!(scale_q8 >= 0, "negative scales not supported");
     let n = src.row_bytes() as i64;
     let vis_state = if v.vis {
@@ -246,7 +258,10 @@ pub fn lookup<S: SimSink>(
     table: &[u8; 256],
     v: Variant,
 ) {
-    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     let n = src.row_bytes() as i64;
     let taddr = p.mem_mut().alloc(256, 8);
     p.mem_mut().write_bytes(taddr, table);

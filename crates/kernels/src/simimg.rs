@@ -65,7 +65,8 @@ impl SimImage {
         let mut data = Vec::with_capacity(row_bytes * self.height);
         for y in 0..self.height {
             data.extend_from_slice(
-                p.mem().bytes(self.addr + (y * self.stride) as u64, row_bytes),
+                p.mem()
+                    .bytes(self.addr + (y * self.stride) as u64, row_bytes),
             );
         }
         Image::from_raw(self.width, self.height, self.bands, data)

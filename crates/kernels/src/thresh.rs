@@ -11,7 +11,7 @@
 
 use visim_cpu::SimSink;
 use visim_isa::vis;
-use visim_trace::{Cond, Program, Val, VVal};
+use visim_trace::{Cond, Program, VVal, Val};
 
 use crate::simimg::SimImage;
 use crate::{last_chunk, Variant, PF_DISTANCE};
@@ -68,7 +68,10 @@ pub fn thresh<S: SimSink>(
     params: &ThreshParams,
     v: Variant,
 ) {
-    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     let bands = src.bands;
     let n = src.row_bytes() as i64;
     // Constant vectors per chunk phase (chunk start mod lcm(8, bands)).
@@ -101,8 +104,7 @@ pub fn thresh<S: SimSink>(
                     p.prefetch_idx(&rs, i, PF_DISTANCE);
                     p.prefetch_idx(&rd, i, PF_DISTANCE);
                 }
-                let [lov_l, hiv_l, lov_h, hiv_h, mapv] =
-                    consts[(i.value() / 8) as usize % phases];
+                let [lov_l, hiv_l, lov_h, hiv_h, mapv] = consts[(i.value() / 8) as usize % phases];
                 let x = p.loadv_idx(&rs, i, 0);
                 let xl = p.vexpand_lo(&x);
                 let xh = p.vexpand_hi(&x);
@@ -162,7 +164,10 @@ pub fn thresh1<S: SimSink>(
     map: &[u8; 4],
     v: Variant,
 ) {
-    assert_eq!((src.width, src.height, src.bands), (dst.width, dst.height, dst.bands));
+    assert_eq!(
+        (src.width, src.height, src.bands),
+        (dst.width, dst.height, dst.bands)
+    );
     let bands = src.bands;
     let n = src.row_bytes() as i64;
     let phases = if bands % 2 == 0 { 1 } else { bands };

@@ -2,17 +2,22 @@
 //! images (exactly for the exact kernels, within the paper's
 //! "visually imperceptible" tolerance for the fixed-point ones).
 
-use media_image::Image;
 use media_kernels::{blend, conv, pointwise, reduce, thresh, SimImage, Variant};
-use proptest::prelude::*;
 use visim_cpu::CountingSink;
 use visim_trace::Program;
+use visim_util::prop::{self, Config};
+use visim_util::{prop_assert, prop_assert_eq, Rng};
 
-/// Arbitrary small image geometry + deterministic content.
-fn arb_image(max_w: usize, max_h: usize) -> impl Strategy<Value = Image> {
-    (1usize..max_w, 1usize..max_h, 1usize..4, any::<u64>()).prop_map(|(w, h, bands, seed)| {
-        media_image::synth::still(w + 8, h + 2, bands, seed)
-    })
+/// Arbitrary small image geometry + deterministic content seed. The
+/// image itself is built inside the property so shrinking operates on
+/// the plain parameters.
+fn arb_geom(rng: &mut Rng, max_w: usize, max_h: usize) -> (usize, usize, usize, u64) {
+    (
+        rng.gen_range(1..max_w) + 8,
+        rng.gen_range(1..max_h) + 2,
+        rng.gen_range(1usize..4),
+        rng.u64(),
+    )
 }
 
 fn run2<R>(f: impl FnOnce(&mut Program<CountingSink>) -> R) -> R {
@@ -21,107 +26,162 @@ fn run2<R>(f: impl FnOnce(&mut Program<CountingSink>) -> R) -> R {
     f(&mut p)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn addition_variants_agree(img in arb_image(40, 12), seed2 in any::<u64>()) {
-        let (w, h, bands) = (img.width(), img.height(), img.bands());
-        let other = media_image::synth::still(w, h, bands, seed2);
-        let out = |v: Variant| {
-            run2(|p| {
-                let a = SimImage::from_image(p, &img);
-                let b = SimImage::from_image(p, &other);
-                let d = SimImage::alloc(p, w, h, bands);
-                pointwise::addition(p, &a, &b, &d, v);
-                d.to_image(p)
-            })
-        };
-        prop_assert_eq!(out(Variant::SCALAR), out(Variant::VIS));
-    }
-
-    #[test]
-    fn thresh_variants_agree(img in arb_image(40, 12)) {
-        let (w, h, bands) = (img.width(), img.height(), img.bands());
-        let params = thresh::ThreshParams::example();
-        let out = |v: Variant| {
-            run2(|p| {
-                let a = SimImage::from_image(p, &img);
-                let d = SimImage::alloc(p, w, h, bands);
-                thresh::thresh(p, &a, &d, &params, v);
-                d.to_image(p)
-            })
-        };
-        prop_assert_eq!(out(Variant::SCALAR), out(Variant::VIS));
-    }
-
-    #[test]
-    fn invert_and_copy_variants_agree(img in arb_image(40, 12)) {
-        let (w, h, bands) = (img.width(), img.height(), img.bands());
-        for v in [Variant::SCALAR, Variant::VIS, Variant::VIS_PF] {
-            let (inv, cpy) = run2(|p| {
-                let a = SimImage::from_image(p, &img);
-                let d1 = SimImage::alloc(p, w, h, bands);
-                pointwise::invert(p, &a, &d1, v);
-                let d2 = SimImage::alloc(p, w, h, bands);
-                pointwise::copy(p, &a, &d2, v);
-                (d1.to_image(p), d2.to_image(p))
-            });
-            prop_assert_eq!(&cpy, &img, "copy is identity ({:?})", v);
-            for i in 0..inv.data().len() {
-                prop_assert_eq!(inv.data()[i], 255 - img.data()[i]);
+#[test]
+fn addition_variants_agree() {
+    prop::check(
+        Config::cases(24),
+        |rng| (arb_geom(rng, 40, 12), rng.u64()),
+        |&((w, h, bands, seed), seed2)| {
+            if w == 0 || h == 0 || bands == 0 {
+                return Ok(());
             }
-        }
-    }
+            let img = media_image::synth::still(w, h, bands, seed);
+            let other = media_image::synth::still(w, h, bands, seed2);
+            let out = |v: Variant| {
+                run2(|p| {
+                    let a = SimImage::from_image(p, &img);
+                    let b = SimImage::from_image(p, &other);
+                    let d = SimImage::alloc(p, w, h, bands);
+                    pointwise::addition(p, &a, &b, &d, v);
+                    d.to_image(p)
+                })
+            };
+            prop_assert!(out(Variant::SCALAR) == out(Variant::VIS), "variants differ");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn blend_variants_close(img in arb_image(32, 10), s2 in any::<u64>(), s3 in any::<u64>()) {
-        let (w, h, bands) = (img.width(), img.height(), img.bands());
-        let other = media_image::synth::still(w, h, bands, s2);
-        let alpha = media_image::synth::alpha(w, h, bands, s3);
-        let out = |v: Variant| {
-            run2(|p| {
-                let a = SimImage::from_image(p, &img);
-                let b = SimImage::from_image(p, &other);
-                let al = SimImage::from_image(p, &alpha);
-                let d = SimImage::alloc(p, w, h, bands);
-                blend::blend(p, &a, &b, &al, &d, v);
-                d.to_image(p)
-            })
-        };
-        let s = out(Variant::SCALAR);
-        let v = out(Variant::VIS);
-        prop_assert!(s.mean_abs_diff(&v) < 2.0, "diff {}", s.mean_abs_diff(&v));
-    }
+#[test]
+fn thresh_variants_agree() {
+    prop::check(
+        Config::cases(24),
+        |rng| arb_geom(rng, 40, 12),
+        |&(w, h, bands, seed)| {
+            if w == 0 || h == 0 || bands == 0 {
+                return Ok(());
+            }
+            let img = media_image::synth::still(w, h, bands, seed);
+            let params = thresh::ThreshParams::example();
+            let out = |v: Variant| {
+                run2(|p| {
+                    let a = SimImage::from_image(p, &img);
+                    let d = SimImage::alloc(p, w, h, bands);
+                    thresh::thresh(p, &a, &d, &params, v);
+                    d.to_image(p)
+                })
+            };
+            prop_assert!(out(Variant::SCALAR) == out(Variant::VIS), "variants differ");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn conv_variants_agree(img in arb_image(24, 10)) {
-        let (w, h, bands) = (img.width(), img.height(), img.bands());
-        prop_assume!(w * bands >= 16 && h >= 3);
-        let out = |v: Variant| {
-            run2(|p| {
-                let a = SimImage::from_image(p, &img);
-                let d = SimImage::alloc(p, w, h, bands);
-                conv::conv(p, &a, &d, &conv::SHARPEN_STRONG, v);
-                d.to_image(p)
-            })
-        };
-        prop_assert_eq!(out(Variant::SCALAR), out(Variant::VIS));
-    }
+#[test]
+fn invert_and_copy_variants_agree() {
+    prop::check(
+        Config::cases(24),
+        |rng| arb_geom(rng, 40, 12),
+        |&(w, h, bands, seed)| {
+            if w == 0 || h == 0 || bands == 0 {
+                return Ok(());
+            }
+            let img = media_image::synth::still(w, h, bands, seed);
+            for v in [Variant::SCALAR, Variant::VIS, Variant::VIS_PF] {
+                let (inv, cpy) = run2(|p| {
+                    let a = SimImage::from_image(p, &img);
+                    let d1 = SimImage::alloc(p, w, h, bands);
+                    pointwise::invert(p, &a, &d1, v);
+                    let d2 = SimImage::alloc(p, w, h, bands);
+                    pointwise::copy(p, &a, &d2, v);
+                    (d1.to_image(p), d2.to_image(p))
+                });
+                prop_assert!(cpy == img, "copy is identity ({:?})", v);
+                for i in 0..inv.data().len() {
+                    prop_assert_eq!(inv.data()[i], 255 - img.data()[i]);
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sad_and_dotprod_are_exact(n4 in 1usize..64, s1 in any::<u64>(), s2 in any::<u64>()) {
-        let n = n4 * 4;
-        let scalar = run2(|p| {
-            let a = reduce::alloc_i16_array(p, n, s1);
-            let b = reduce::alloc_i16_array(p, n, s2);
-            reduce::dotprod(p, a, b, n, Variant::SCALAR)
-        });
-        let vis = run2(|p| {
-            let a = reduce::alloc_i16_array(p, n, s1);
-            let b = reduce::alloc_i16_array(p, n, s2);
-            reduce::dotprod(p, a, b, n, Variant::VIS)
-        });
-        prop_assert_eq!(scalar, vis);
-    }
+#[test]
+fn blend_variants_close() {
+    prop::check(
+        Config::cases(24),
+        |rng| (arb_geom(rng, 32, 10), rng.u64(), rng.u64()),
+        |&((w, h, bands, seed), s2, s3)| {
+            if w == 0 || h == 0 || bands == 0 {
+                return Ok(());
+            }
+            let img = media_image::synth::still(w, h, bands, seed);
+            let other = media_image::synth::still(w, h, bands, s2);
+            let alpha = media_image::synth::alpha(w, h, bands, s3);
+            let out = |v: Variant| {
+                run2(|p| {
+                    let a = SimImage::from_image(p, &img);
+                    let b = SimImage::from_image(p, &other);
+                    let al = SimImage::from_image(p, &alpha);
+                    let d = SimImage::alloc(p, w, h, bands);
+                    blend::blend(p, &a, &b, &al, &d, v);
+                    d.to_image(p)
+                })
+            };
+            let s = out(Variant::SCALAR);
+            let v = out(Variant::VIS);
+            prop_assert!(s.mean_abs_diff(&v) < 2.0, "diff {}", s.mean_abs_diff(&v));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn conv_variants_agree() {
+    prop::check(
+        Config::cases(24),
+        |rng| arb_geom(rng, 24, 10),
+        |&(w, h, bands, seed)| {
+            if w == 0 || h == 0 || bands == 0 || w * bands < 16 || h < 3 {
+                return Ok(());
+            }
+            let img = media_image::synth::still(w, h, bands, seed);
+            let out = |v: Variant| {
+                run2(|p| {
+                    let a = SimImage::from_image(p, &img);
+                    let d = SimImage::alloc(p, w, h, bands);
+                    conv::conv(p, &a, &d, &conv::SHARPEN_STRONG, v);
+                    d.to_image(p)
+                })
+            };
+            prop_assert!(out(Variant::SCALAR) == out(Variant::VIS), "variants differ");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sad_and_dotprod_are_exact() {
+    prop::check(
+        Config::cases(24),
+        |rng| (rng.gen_range(1usize..64), rng.u64(), rng.u64()),
+        |&(n4, s1, s2)| {
+            if n4 == 0 {
+                return Ok(());
+            }
+            let n = n4 * 4;
+            let scalar = run2(|p| {
+                let a = reduce::alloc_i16_array(p, n, s1);
+                let b = reduce::alloc_i16_array(p, n, s2);
+                reduce::dotprod(p, a, b, n, Variant::SCALAR)
+            });
+            let vis = run2(|p| {
+                let a = reduce::alloc_i16_array(p, n, s1);
+                let b = reduce::alloc_i16_array(p, n, s2);
+                reduce::dotprod(p, a, b, n, Variant::VIS)
+            });
+            prop_assert_eq!(scalar, vis);
+            Ok(())
+        },
+    );
 }

@@ -142,8 +142,14 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut a = arr();
-        assert!(matches!(access(&mut a, 0x1000, false), Some(Lookup::Miss { .. })));
-        assert!(matches!(access(&mut a, 0x1000, false), Some(Lookup::Hit { .. })));
+        assert!(matches!(
+            access(&mut a, 0x1000, false),
+            Some(Lookup::Miss { .. })
+        ));
+        assert!(matches!(
+            access(&mut a, 0x1000, false),
+            Some(Lookup::Hit { .. })
+        ));
         assert!(
             matches!(access(&mut a, 0x1038, false), Some(Lookup::Hit { .. })),
             "same line"

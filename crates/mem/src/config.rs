@@ -101,18 +101,42 @@ impl MemConfig {
     pub fn table3(&self) -> Vec<(String, String)> {
         vec![
             ("Cache line size".into(), format!("{} bytes", self.line)),
-            ("L1 data cache size (on-chip)".into(), fmt_size(self.l1.size)),
-            ("L1 data cache associativity".into(), format!("{}-way", self.l1.assoc)),
-            ("L1 data cache request ports".into(), self.l1.ports.to_string()),
-            ("L1 data cache hit time".into(), format!("{} ns", self.l1.hit)),
+            (
+                "L1 data cache size (on-chip)".into(),
+                fmt_size(self.l1.size),
+            ),
+            (
+                "L1 data cache associativity".into(),
+                format!("{}-way", self.l1.assoc),
+            ),
+            (
+                "L1 data cache request ports".into(),
+                self.l1.ports.to_string(),
+            ),
+            (
+                "L1 data cache hit time".into(),
+                format!("{} ns", self.l1.hit),
+            ),
             ("Number of L1 MSHRs".into(), self.l1.mshrs.to_string()),
             ("L2 cache size (off-chip)".into(), fmt_size(self.l2.size)),
-            ("L2 cache associativity".into(), format!("{}-way", self.l2.assoc)),
+            (
+                "L2 cache associativity".into(),
+                format!("{}-way", self.l2.assoc),
+            ),
             ("L2 request ports".into(), self.l2.ports.to_string()),
-            ("L2 hit time (pipelined)".into(), format!("{} ns", self.l2.hit)),
+            (
+                "L2 hit time (pipelined)".into(),
+                format!("{} ns", self.l2.hit),
+            ),
             ("Number of L2 MSHRs".into(), self.l2.mshrs.to_string()),
-            ("Max. outstanding misses per MSHR".into(), self.mshr_max_merges.to_string()),
-            ("Total memory latency for L2 misses".into(), format!("{} ns", self.l1.hit + self.l2.hit + self.mem_latency)),
+            (
+                "Max. outstanding misses per MSHR".into(),
+                self.mshr_max_merges.to_string(),
+            ),
+            (
+                "Total memory latency for L2 misses".into(),
+                format!("{} ns", self.l1.hit + self.l2.hit + self.mem_latency),
+            ),
             ("Memory interleaving".into(), format!("{}-way", self.banks)),
         ]
     }

@@ -41,6 +41,9 @@ pub(crate) struct MshrFile {
     occupancy_cycles: Vec<u64>,
     last_change: u64,
     peak: u32,
+    /// First release-mode invariant violation observed (polled by the
+    /// owning `MemSystem` and surfaced as a `SimError::Invariant`).
+    violation: Option<String>,
 }
 
 /// Result of offering a miss to the MSHR file.
@@ -67,7 +70,19 @@ impl MshrFile {
             occupancy_cycles: vec![0; capacity as usize + 1],
             last_change: 0,
             peak: 0,
+            violation: None,
         }
+    }
+
+    fn record_violation(&mut self, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(detail);
+        }
+    }
+
+    /// Take the first invariant violation observed, if any.
+    pub fn take_violation(&mut self) -> Option<String> {
+        self.violation.take()
     }
 
     fn expire(&mut self, now: u64) {
@@ -131,6 +146,13 @@ impl MshrFile {
             merges: 1,
             prefetch_only: !demand,
         });
+        if self.entries.len() > self.capacity {
+            self.record_violation(format!(
+                "occupancy {} exceeds capacity {} after allocating line {line:#x}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
         self.peak = self.peak.max(self.entries.len() as u32);
         Ok(MshrOffer::Primary)
     }
@@ -138,8 +160,13 @@ impl MshrFile {
     /// Record the fill-completion time of the most recent primary
     /// allocation for `line`.
     pub fn set_fill_time(&mut self, line: u64, fill_at: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
-            e.fill_at = fill_at;
+        match self.entries.iter_mut().find(|e| e.line == line) {
+            Some(e) => e.fill_at = fill_at,
+            // A fill-time report for a line with no entry means the
+            // caller's allocation bookkeeping is corrupted.
+            None => self.record_violation(format!(
+                "set_fill_time({line:#x}, {fill_at}) but no MSHR entry holds that line"
+            )),
         }
     }
 
@@ -182,7 +209,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Third request still merges (3 total), fourth rejected.
-        assert!(matches!(m.offer(0x40, 2, true), Ok(MshrOffer::Merged { .. })));
+        assert!(matches!(
+            m.offer(0x40, 2, true),
+            Ok(MshrOffer::Merged { .. })
+        ));
         assert_eq!(
             m.offer(0x40, 3, true),
             Err(MshrReject::MergesExhausted { free_at: 100 })
@@ -196,7 +226,10 @@ mod tests {
         m.set_fill_time(0x40, 50);
         m.offer(0x80, 0, true).unwrap();
         m.set_fill_time(0x80, 80);
-        assert_eq!(m.offer(0xc0, 1, true), Err(MshrReject::Full { free_at: 50 }));
+        assert_eq!(
+            m.offer(0xc0, 1, true),
+            Err(MshrReject::Full { free_at: 50 })
+        );
         // After the first fill completes there is room again.
         assert_eq!(m.offer(0xc0, 51, true), Ok(MshrOffer::Primary));
         assert_eq!(m.occupancy(51), 2);
@@ -234,6 +267,20 @@ mod tests {
     }
 
     #[test]
+    fn stale_fill_time_is_an_invariant_violation() {
+        let mut m = MshrFile::new(2, 8);
+        m.offer(0x40, 0, true).unwrap();
+        m.set_fill_time(0x40, 10);
+        assert!(m.take_violation().is_none());
+        // Reporting a fill for a line that holds no entry is a model bug
+        // and must be caught in release builds.
+        m.set_fill_time(0x1c0, 30);
+        let v = m.take_violation().expect("violation recorded");
+        assert!(v.contains("0x1c0"), "{v}");
+        assert!(m.take_violation().is_none(), "violation is taken once");
+    }
+
+    #[test]
     fn occupancy_histogram_integrates_time() {
         let mut m = MshrFile::new(2, 8);
         m.offer(0x40, 0, true).unwrap();
@@ -246,5 +293,4 @@ mod tests {
         assert_eq!(h[2], 5);
         assert_eq!(m.peak(), 2);
     }
-
 }

@@ -2,6 +2,7 @@
 //! and interleaved memory banks.
 
 use visim_isa::MemKind;
+use visim_util::SimError;
 
 use crate::cache::{Lookup, TagArray};
 use crate::config::MemConfig;
@@ -135,6 +136,9 @@ pub struct MemSystem {
     l2_ports: Ports,
     banks: Banks,
     stats: MemStats,
+    /// First invariant violation observed (release-mode checks; the
+    /// pipeline polls this every cycle and aborts the study run).
+    fault: Option<SimError>,
 }
 
 impl MemSystem {
@@ -151,8 +155,32 @@ impl MemSystem {
             l2_ports: Ports::new(cfg.l2.ports),
             banks: Banks::new(cfg.banks, cfg.bank_busy, cfg.line),
             stats: MemStats::default(),
+            fault: None,
             cfg,
         }
+    }
+
+    fn record_fault(&mut self, model: &'static str, detail: String) {
+        if self.fault.is_none() {
+            self.fault = Some(SimError::Invariant { model, detail });
+        }
+    }
+
+    /// The first invariant violation observed, if any.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_ref()
+    }
+
+    /// Take the first invariant violation observed, if any. The caller
+    /// (normally the pipeline) converts it into a failed simulation.
+    pub fn take_fault(&mut self) -> Option<SimError> {
+        if let Some(v) = self.l1_mshrs.take_violation() {
+            self.record_fault("mshr", format!("L1 {v}"));
+        }
+        if let Some(v) = self.l2_mshrs.take_violation() {
+            self.record_fault("mshr", format!("L2 {v}"));
+        }
+        self.fault.take()
     }
 
     /// The configuration this system was built with.
@@ -198,12 +226,22 @@ impl MemSystem {
     /// accesses) or drop the request (prefetches — the drop is counted
     /// here).
     pub fn access(&mut self, req: Request, now: u64) -> Result<AccessResult, Rejection> {
-        debug_assert!(
-            req.size as u64 <= self.cfg.line
-                && (req.kind.bypasses_cache()
-                    || self.line_of(req.addr) == self.line_of(req.addr + req.size as u64 - 1)),
-            "access must not straddle a cache line: {req:?}"
-        );
+        // Release-mode invariant (was a debug_assert): a hostile or
+        // corrupted emitter stream must fail the study run loudly, not
+        // silently account a line-straddling access to one line.
+        let well_formed = req.size > 0
+            && req.size as u64 <= self.cfg.line
+            && (req.kind.bypasses_cache()
+                || req
+                    .addr
+                    .checked_add(req.size as u64 - 1)
+                    .is_some_and(|end| self.line_of(req.addr) == self.line_of(end)));
+        if !well_formed {
+            self.record_fault(
+                "mem",
+                format!("access must not straddle a cache line: {req:?}"),
+            );
+        }
         if req.kind.bypasses_cache() {
             return Ok(self.bypass(req, now));
         }

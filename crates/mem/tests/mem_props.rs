@@ -1,8 +1,9 @@
 //! Property tests on memory-system invariants.
 
-use proptest::prelude::*;
 use visim_isa::MemKind;
 use visim_mem::{MemConfig, MemSystem, Request, ServiceLevel};
+use visim_util::prop::{self, Config};
+use visim_util::{prop_assert, prop_assert_eq};
 
 fn small_config() -> MemConfig {
     let mut c = MemConfig::default();
@@ -12,86 +13,119 @@ fn small_config() -> MemConfig {
     c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every accepted demand access is classified exactly once, and
-    /// completion times never precede the request.
-    #[test]
-    fn accounting_is_exhaustive(addrs in prop::collection::vec(0u64..1 << 16, 1..200)) {
-        let mut m = MemSystem::new(small_config());
-        let mut t = 0u64;
-        let mut accepted = 0u64;
-        for (i, &a) in addrs.iter().enumerate() {
-            let kind = if i % 3 == 0 { MemKind::Store } else { MemKind::Load };
-            match m.access(Request::new(a * 8, 8, kind), t) {
-                Ok(r) => {
-                    accepted += 1;
-                    prop_assert!(r.done_at >= t);
-                }
-                Err(rej) => {
-                    prop_assert!(rej.retry_at > t);
-                    t = rej.retry_at;
-                    // Retry must eventually succeed.
-                    let r = m.access(Request::new(a * 8, 8, kind), t);
-                    if r.is_ok() {
-                        accepted += 1;
-                    }
-                }
+/// Every accepted demand access is classified exactly once, and
+/// completion times never precede the request.
+#[test]
+fn accounting_is_exhaustive() {
+    prop::check(
+        Config::cases(64),
+        |rng| rng.vec(1..200, |r| r.gen_range(0u64..1 << 16)),
+        |addrs: &Vec<u64>| {
+            if addrs.is_empty() {
+                return Ok(());
             }
-            t += 1;
-        }
-        let s = m.stats();
-        prop_assert_eq!(
-            s.l1_hits + s.l1_primary_misses + s.l1_merged_misses,
-            accepted
-        );
-    }
-
-    /// Repeating the same access after its fill is always an L1 hit.
-    #[test]
-    fn second_touch_hits(addr in 0u64..1 << 20) {
-        let mut m = MemSystem::new(MemConfig::default());
-        let addr = addr & !7;
-        let r1 = m.access(Request::new(addr, 8, MemKind::Load), 0).unwrap();
-        let r2 = m.access(Request::new(addr, 8, MemKind::Load), r1.done_at + 1).unwrap();
-        prop_assert_eq!(r2.level, ServiceLevel::L1);
-        prop_assert!(r2.done_at <= r1.done_at + 1 + 2);
-    }
-
-    /// Determinism: the same access sequence gives identical stats.
-    #[test]
-    fn deterministic_replay(addrs in prop::collection::vec(0u64..1 << 14, 1..100)) {
-        let run = || {
             let mut m = MemSystem::new(small_config());
             let mut t = 0u64;
-            for &a in &addrs {
-                match m.access(Request::new(a * 16, 8, MemKind::Load), t) {
-                    Ok(r) => t = t.max(r.done_at / 8),
-                    Err(rej) => t = rej.retry_at,
+            let mut accepted = 0u64;
+            for (i, &a) in addrs.iter().enumerate() {
+                let kind = if i % 3 == 0 {
+                    MemKind::Store
+                } else {
+                    MemKind::Load
+                };
+                match m.access(Request::new(a * 8, 8, kind), t) {
+                    Ok(r) => {
+                        accepted += 1;
+                        prop_assert!(r.done_at >= t);
+                    }
+                    Err(rej) => {
+                        prop_assert!(rej.retry_at > t);
+                        t = rej.retry_at;
+                        // Retry must eventually succeed.
+                        let r = m.access(Request::new(a * 8, 8, kind), t);
+                        if r.is_ok() {
+                            accepted += 1;
+                        }
+                    }
                 }
                 t += 1;
             }
-            (m.stats().clone(), m.mshr_peak())
-        };
-        prop_assert_eq!(run(), run());
-    }
+            let s = m.stats();
+            prop_assert_eq!(
+                s.l1_hits + s.l1_primary_misses + s.l1_merged_misses,
+                accepted
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// The MSHR occupancy histogram always integrates to elapsed time
-    /// and never exceeds capacity.
-    #[test]
-    fn histogram_is_a_partition(addrs in prop::collection::vec(0u64..1 << 14, 1..100)) {
-        let mut m = MemSystem::new(small_config());
-        let mut t = 0u64;
-        for &a in &addrs {
-            if let Ok(r) = m.access(Request::new(a * 64, 8, MemKind::Load), t) {
-                t = t.max(r.done_at.saturating_sub(100));
+/// Repeating the same access after its fill is always an L1 hit.
+#[test]
+fn second_touch_hits() {
+    prop::check(
+        Config::default(),
+        |rng| rng.gen_range(0u64..1 << 20),
+        |&addr| {
+            let mut m = MemSystem::new(MemConfig::default());
+            let addr = addr & !7;
+            let r1 = m.access(Request::new(addr, 8, MemKind::Load), 0).unwrap();
+            let r2 = m
+                .access(Request::new(addr, 8, MemKind::Load), r1.done_at + 1)
+                .unwrap();
+            prop_assert_eq!(r2.level, ServiceLevel::L1);
+            prop_assert!(r2.done_at <= r1.done_at + 1 + 2);
+            Ok(())
+        },
+    );
+}
+
+/// Determinism: the same access sequence gives identical stats.
+#[test]
+fn deterministic_replay() {
+    prop::check(
+        Config::cases(64),
+        |rng| rng.vec(1..100, |r| r.gen_range(0u64..1 << 14)),
+        |addrs: &Vec<u64>| {
+            let run = || {
+                let mut m = MemSystem::new(small_config());
+                let mut t = 0u64;
+                for &a in addrs {
+                    match m.access(Request::new(a * 16, 8, MemKind::Load), t) {
+                        Ok(r) => t = t.max(r.done_at / 8),
+                        Err(rej) => t = rej.retry_at,
+                    }
+                    t += 1;
+                }
+                (m.stats().clone(), m.mshr_peak())
+            };
+            prop_assert_eq!(run(), run());
+            Ok(())
+        },
+    );
+}
+
+/// The MSHR occupancy histogram always integrates to elapsed time
+/// and never exceeds capacity.
+#[test]
+fn histogram_is_a_partition() {
+    prop::check(
+        Config::cases(64),
+        |rng| rng.vec(1..100, |r| r.gen_range(0u64..1 << 14)),
+        |addrs: &Vec<u64>| {
+            let mut m = MemSystem::new(small_config());
+            let mut t = 0u64;
+            for &a in addrs {
+                if let Ok(r) = m.access(Request::new(a * 64, 8, MemKind::Load), t) {
+                    t = t.max(r.done_at.saturating_sub(100));
+                }
+                t += 3;
             }
-            t += 3;
-        }
-        let hist = m.mshr_histogram(t + 1);
-        prop_assert_eq!(hist.len(), 4 + 1, "capacity bins + zero");
-        prop_assert_eq!(hist.iter().sum::<u64>(), t + 1);
-        prop_assert!(m.mshr_peak() <= 4);
-    }
+            let hist = m.mshr_histogram(t + 1);
+            prop_assert_eq!(hist.len(), 4 + 1, "capacity bins + zero");
+            prop_assert_eq!(hist.iter().sum::<u64>(), t + 1);
+            prop_assert!(m.mshr_peak() <= 4);
+            Ok(())
+        },
+    );
 }

@@ -61,7 +61,18 @@ pub fn decode<S: SimSink>(p: &mut Program<S>, ev: &EncodedVideo, v: Variant) -> 
             FrameType::B => (ref_old.as_ref(), ref_new.as_ref()),
         };
         decode_frame(
-            p, &recon, fwd, bwd, ftype, &tables, &iq, &nq, &scratch, &vidct, &mut reader, v,
+            p,
+            &recon,
+            fwd,
+            bwd,
+            ftype,
+            &tables,
+            &iq,
+            &nq,
+            &scratch,
+            &vidct,
+            &mut reader,
+            v,
         );
         if ftype != FrameType::B {
             ref_old = ref_new;
@@ -73,7 +84,9 @@ pub fn decode<S: SimSink>(p: &mut Program<S>, ev: &EncodedVideo, v: Variant) -> 
 
     // Reorder from encode order back to display order.
     let disp = display_order(&ftypes);
-    disp.iter().map(|&enc_ix| decoded[enc_ix].to_yuv(p)).collect()
+    disp.iter()
+        .map(|&enc_ix| decoded[enc_ix].to_yuv(p))
+        .collect()
 }
 
 /// Invert the encoder's reordering: given encode-order frame types,

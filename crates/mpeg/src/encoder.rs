@@ -9,7 +9,10 @@ use visim_trace::{Program, Val};
 
 use crate::frame::SimFrame;
 use crate::mb::{chroma_mv, inter_quant, intra_quant, MbMode};
-use crate::motion::{avg_rect, interp_rect, mc_copy_block, motion_search, recon_block, refine_halfpel, residual_block};
+use crate::motion::{
+    avg_rect, interp_rect, mc_copy_block, motion_search, recon_block, refine_halfpel,
+    residual_block,
+};
 use crate::vlc::VideoTables;
 use crate::{encode_order, FrameType, Variant};
 
@@ -147,8 +150,20 @@ pub fn encode<S: SimSink>(
             FrameType::B => (ref_old.as_ref(), ref_new.as_ref()),
         };
         encode_frame(
-            p, cur, &recon, fwd, bwd, ftype, &tables, &iq, &nq, &scratch, &vidct, &mut writer,
-            params, v,
+            p,
+            cur,
+            &recon,
+            fwd,
+            bwd,
+            ftype,
+            &tables,
+            &iq,
+            &nq,
+            &scratch,
+            &vidct,
+            &mut writer,
+            params,
+            v,
         );
         if ftype != FrameType::B {
             ref_old = ref_new;
@@ -459,9 +474,33 @@ pub(crate) fn materialize_pred<S: SimSink>(
                     v,
                 );
             }
-            avg_rect(p, (&scratch.a.y, 0, 0), (&scratch.b.y, 0, 0), &scratch.pred.y, 16, 16, v);
-            avg_rect(p, (&scratch.a.cb, 0, 0), (&scratch.b.cb, 0, 0), &scratch.pred.cb, 8, 8, v);
-            avg_rect(p, (&scratch.a.cr, 0, 0), (&scratch.b.cr, 0, 0), &scratch.pred.cr, 8, 8, v);
+            avg_rect(
+                p,
+                (&scratch.a.y, 0, 0),
+                (&scratch.b.y, 0, 0),
+                &scratch.pred.y,
+                16,
+                16,
+                v,
+            );
+            avg_rect(
+                p,
+                (&scratch.a.cb, 0, 0),
+                (&scratch.b.cb, 0, 0),
+                &scratch.pred.cb,
+                8,
+                8,
+                v,
+            );
+            avg_rect(
+                p,
+                (&scratch.a.cr, 0, 0),
+                (&scratch.b.cr, 0, 0),
+                &scratch.pred.cr,
+                8,
+                8,
+                v,
+            );
             (true, true)
         }
     }
@@ -526,11 +565,7 @@ pub(crate) fn pred_source(
 }
 
 /// Dequantize all 64 zig-zag levels into raster coefficients.
-pub(crate) fn dequant_all<S: SimSink>(
-    p: &mut Program<S>,
-    q: &SimQuant,
-    zz: &[Val],
-) -> Vec<Val> {
+pub(crate) fn dequant_all<S: SimSink>(p: &mut Program<S>, q: &SimQuant, zz: &[Val]) -> Vec<Val> {
     let zero = p.li(0);
     let mut raster = vec![zero; 64];
     for (k, lvl) in zz.iter().enumerate() {

@@ -27,9 +27,7 @@ pub fn sad_16x16<S: SimSink>(
     v: Variant,
 ) -> Option<i64> {
     let cbase = p.li(cur.row(my) as i64 + mx as i64);
-    let rbase = p.li(
-        refp.row((my as i64 + dy) as usize) as i64 + mx as i64 + dx,
-    );
+    let rbase = p.li(refp.row((my as i64 + dy) as usize) as i64 + mx as i64 + dx);
     let bestv = p.li(best);
     let mut acc = p.li(0);
     let wc = cur.w as i64;
@@ -319,15 +317,7 @@ mod tests {
             let f0 = SimFrame::from_yuv(&mut p, &frames[0]);
             let f1 = SimFrame::from_yuv(&mut p, &frames[1]);
             let scratch = SimPlane::alloc(&mut p, 16, 16);
-            avg_rect(
-                &mut p,
-                (&f0.y, 3, 1),
-                (&f1.y, 0, 0),
-                &scratch,
-                16,
-                16,
-                v,
-            );
+            avg_rect(&mut p, (&f0.y, 3, 1), (&f1.y, 0, 0), &scratch, 16, 16, v);
             let out = scratch.to_vec(&p);
             for r in 0..16 {
                 for c in 0..16 {
@@ -523,17 +513,7 @@ pub fn refine_halfpel<S: SimSink>(
                 continue;
             }
             interp_rect(p, refp, x2, y2, tmp, 16, 16, v);
-            if let Some(s) = sad_16x16(
-                p,
-                cur,
-                tmp,
-                mx as usize,
-                my as usize,
-                -mx,
-                -my,
-                best.1,
-                v,
-            ) {
+            if let Some(s) = sad_16x16(p, cur, tmp, mx as usize, my as usize, -mx, -my, best.1, v) {
                 if s < best.1 {
                     best = (mv2, s);
                 }
@@ -573,8 +553,7 @@ mod halfpel_tests {
                             (1, 0) => (s(bx, by) + s(bx + 1, by) + 1) / 2,
                             (0, 1) => (s(bx, by) + s(bx, by + 1) + 1) / 2,
                             _ => {
-                                (s(bx, by) + s(bx + 1, by) + s(bx, by + 1) + s(bx + 1, by + 1)
-                                    + 2)
+                                (s(bx, by) + s(bx + 1, by) + s(bx, by + 1) + s(bx + 1, by + 1) + 2)
                                     / 4
                             }
                         };

@@ -129,8 +129,8 @@ impl VideoTables {
 mod tests {
     use super::*;
     use media_dsp::quant::MPEG_INTRA_Q;
-    use visim_trace::Program;
     use visim_cpu::CountingSink;
+    use visim_trace::Program;
 
     #[test]
     fn signed_values_roundtrip() {

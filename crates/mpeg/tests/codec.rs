@@ -7,7 +7,14 @@ use media_mpeg::{decode, encode, gop_ibbp, FrameType, MpegParams, Variant};
 use visim_cpu::{CountingSink, CpuStats};
 use visim_trace::Program;
 
-fn roundtrip(v: Variant) -> (Vec<media_image::synth::Yuv420>, Vec<media_image::synth::Yuv420>, usize, CpuStats) {
+fn roundtrip(
+    v: Variant,
+) -> (
+    Vec<media_image::synth::Yuv420>,
+    Vec<media_image::synth::Yuv420>,
+    usize,
+    CpuStats,
+) {
     let frames = synth::video(48, 32, 4, 3);
     let mut sink = CountingSink::new();
     let (out, len) = {
@@ -36,7 +43,13 @@ fn inter_frames_compress_better_than_intra() {
     let frames = synth::video(48, 32, 4, 3);
     let mut sink = CountingSink::new();
     let mut p = Program::new(&mut sink);
-    let ibbp = encode(&mut p, &frames, &gop_ibbp(), MpegParams::default(), Variant::SCALAR);
+    let ibbp = encode(
+        &mut p,
+        &frames,
+        &gop_ibbp(),
+        MpegParams::default(),
+        Variant::SCALAR,
+    );
     let all_i = encode(
         &mut p,
         &frames,
@@ -87,7 +100,13 @@ fn scalar_stream_decodes_equivalently_under_vis_decoder() {
     let frames = synth::video(48, 32, 4, 7);
     let mut sink = CountingSink::new();
     let mut p = Program::new(&mut sink);
-    let ev = encode(&mut p, &frames, &gop_ibbp(), MpegParams::default(), Variant::SCALAR);
+    let ev = encode(
+        &mut p,
+        &frames,
+        &gop_ibbp(),
+        MpegParams::default(),
+        Variant::SCALAR,
+    );
     let a = decode(&mut p, &ev, Variant::SCALAR);
     let b = decode(&mut p, &ev, Variant::VIS);
     for (fa, fb) in a.iter().zip(&b) {
@@ -103,7 +122,13 @@ fn still_video_makes_p_and_b_frames_nearly_free() {
     let frames = vec![f.clone(), f.clone(), f.clone(), f];
     let mut sink = CountingSink::new();
     let mut p = Program::new(&mut sink);
-    let ev = encode(&mut p, &frames, &gop_ibbp(), MpegParams::default(), Variant::SCALAR);
+    let ev = encode(
+        &mut p,
+        &frames,
+        &gop_ibbp(),
+        MpegParams::default(),
+        Variant::SCALAR,
+    );
     let only_i = encode(
         &mut p,
         &frames[..1],

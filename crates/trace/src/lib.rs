@@ -38,4 +38,4 @@ mod value;
 
 pub use memimg::MemImage;
 pub use program::{Cond, Program};
-pub use value::{Val, VVal};
+pub use value::{VVal, Val};

@@ -7,7 +7,7 @@ use visim_isa::vis::{self, Gsr};
 use visim_isa::{BranchInfo, BranchKind, Inst, MemKind, MemRef, Op, Reg};
 
 use crate::memimg::MemImage;
-use crate::value::{Val, VVal};
+use crate::value::{VVal, Val};
 
 /// Comparison conditions for [`Program::bcond`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,35 +150,60 @@ impl<'s, S: SimSink> Program<'s, S> {
     #[track_caller]
     pub fn add(&mut self, a: &Val, b: &Val) -> Val {
         let pc = caller_pc!();
-        self.compute(Op::IntAlu, pc, [a.reg, b.reg, Reg::NONE], a.v.wrapping_add(b.v))
+        self.compute(
+            Op::IntAlu,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            a.v.wrapping_add(b.v),
+        )
     }
 
     /// `a + imm` (immediate folds into the instruction).
     #[track_caller]
     pub fn addi(&mut self, a: &Val, imm: i64) -> Val {
         let pc = caller_pc!();
-        self.compute(Op::IntAlu, pc, [a.reg, Reg::NONE, Reg::NONE], a.v.wrapping_add(imm))
+        self.compute(
+            Op::IntAlu,
+            pc,
+            [a.reg, Reg::NONE, Reg::NONE],
+            a.v.wrapping_add(imm),
+        )
     }
 
     /// `a - b`.
     #[track_caller]
     pub fn sub(&mut self, a: &Val, b: &Val) -> Val {
         let pc = caller_pc!();
-        self.compute(Op::IntAlu, pc, [a.reg, b.reg, Reg::NONE], a.v.wrapping_sub(b.v))
+        self.compute(
+            Op::IntAlu,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            a.v.wrapping_sub(b.v),
+        )
     }
 
     /// `a * b` (integer multiply, 7 cycles).
     #[track_caller]
     pub fn mul(&mut self, a: &Val, b: &Val) -> Val {
         let pc = caller_pc!();
-        self.compute(Op::IntMul, pc, [a.reg, b.reg, Reg::NONE], a.v.wrapping_mul(b.v))
+        self.compute(
+            Op::IntMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            a.v.wrapping_mul(b.v),
+        )
     }
 
     /// `a * imm`.
     #[track_caller]
     pub fn muli(&mut self, a: &Val, imm: i64) -> Val {
         let pc = caller_pc!();
-        self.compute(Op::IntMul, pc, [a.reg, Reg::NONE, Reg::NONE], a.v.wrapping_mul(imm))
+        self.compute(
+            Op::IntMul,
+            pc,
+            [a.reg, Reg::NONE, Reg::NONE],
+            a.v.wrapping_mul(imm),
+        )
     }
 
     /// `a / b` (integer divide, 12 cycles).
@@ -231,7 +256,12 @@ impl<'s, S: SimSink> Program<'s, S> {
     #[track_caller]
     pub fn shli(&mut self, a: &Val, imm: u32) -> Val {
         let pc = caller_pc!();
-        self.compute(Op::IntAlu, pc, [a.reg, Reg::NONE, Reg::NONE], a.v.wrapping_shl(imm))
+        self.compute(
+            Op::IntAlu,
+            pc,
+            [a.reg, Reg::NONE, Reg::NONE],
+            a.v.wrapping_shl(imm),
+        )
     }
 
     /// Logical `a >> imm` (on the low 64 bits).
@@ -266,7 +296,12 @@ impl<'s, S: SimSink> Program<'s, S> {
     #[track_caller]
     pub fn srai(&mut self, a: &Val, imm: u32) -> Val {
         let pc = caller_pc!();
-        self.compute(Op::IntAlu, pc, [a.reg, Reg::NONE, Reg::NONE], a.v.wrapping_shr(imm))
+        self.compute(
+            Op::IntAlu,
+            pc,
+            [a.reg, Reg::NONE, Reg::NONE],
+            a.v.wrapping_shr(imm),
+        )
     }
 
     /// Conditional move: returns `t` if `c` is non-zero else `f`
@@ -333,7 +368,12 @@ impl<'s, S: SimSink> Program<'s, S> {
     #[track_caller]
     pub fn f2i(&mut self, a: &Val) -> Val {
         let pc = caller_pc!();
-        self.compute(Op::FpConv, pc, [a.reg, Reg::NONE, Reg::NONE], a.as_f64() as i64)
+        self.compute(
+            Op::FpConv,
+            pc,
+            [a.reg, Reg::NONE, Reg::NONE],
+            a.as_f64() as i64,
+        )
     }
 
     // -----------------------------------------------------------------
@@ -471,7 +511,12 @@ impl<'s, S: SimSink> Program<'s, S> {
         ));
         while i.v < end {
             body(self, &i);
-            i = self.compute(Op::IntAlu, pc ^ 4, [i.reg, Reg::NONE, Reg::NONE], i.v + step);
+            i = self.compute(
+                Op::IntAlu,
+                pc ^ 4,
+                [i.reg, Reg::NONE, Reg::NONE],
+                i.v + step,
+            );
             let cc = self.compute(Op::IntAlu, pc ^ 5, [i.reg, Reg::NONE, Reg::NONE], 0);
             self.emit(Inst::control(
                 Op::Branch,
@@ -508,7 +553,12 @@ impl<'s, S: SimSink> Program<'s, S> {
         let mut ptr = *start;
         while ptr.v < end {
             body(self, &ptr);
-            ptr = self.compute(Op::IntAlu, pc ^ 4, [ptr.reg, Reg::NONE, Reg::NONE], ptr.v + step);
+            ptr = self.compute(
+                Op::IntAlu,
+                pc ^ 4,
+                [ptr.reg, Reg::NONE, Reg::NONE],
+                ptr.v + step,
+            );
             let cc = self.compute(Op::IntAlu, pc ^ 5, [ptr.reg, Reg::NONE, Reg::NONE], 0);
             self.emit(Inst::control(
                 Op::Branch,
@@ -963,28 +1013,48 @@ impl<'s, S: SimSink> Program<'s, S> {
     #[track_caller]
     pub fn vadd16(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisAdd, pc, [a.reg, b.reg, Reg::NONE], vis::fpadd16(a.v, b.v))
+        self.compute_v(
+            Op::VisAdd,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fpadd16(a.v, b.v),
+        )
     }
 
     /// `fpsub16`.
     #[track_caller]
     pub fn vsub16(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisAdd, pc, [a.reg, b.reg, Reg::NONE], vis::fpsub16(a.v, b.v))
+        self.compute_v(
+            Op::VisAdd,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fpsub16(a.v, b.v),
+        )
     }
 
     /// `fpadd32`.
     #[track_caller]
     pub fn vadd32(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisAdd, pc, [a.reg, b.reg, Reg::NONE], vis::fpadd32(a.v, b.v))
+        self.compute_v(
+            Op::VisAdd,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fpadd32(a.v, b.v),
+        )
     }
 
     /// `fpsub32`.
     #[track_caller]
     pub fn vsub32(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisAdd, pc, [a.reg, b.reg, Reg::NONE], vis::fpsub32(a.v, b.v))
+        self.compute_v(
+            Op::VisAdd,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fpsub32(a.v, b.v),
+        )
     }
 
     /// `fand`.
@@ -1019,14 +1089,24 @@ impl<'s, S: SimSink> Program<'s, S> {
     #[track_caller]
     pub fn vmul8x16(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisMul, pc, [a.reg, b.reg, Reg::NONE], vis::fmul8x16(a.v, b.v))
+        self.compute_v(
+            Op::VisMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fmul8x16(a.v, b.v),
+        )
     }
 
     /// `fmul8x16` reading its pixels from the upper four bytes of `a`.
     #[track_caller]
     pub fn vmul8x16_hi(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisMul, pc, [a.reg, b.reg, Reg::NONE], vis::fmul8x16_hi(a.v, b.v))
+        self.compute_v(
+            Op::VisMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fmul8x16_hi(a.v, b.v),
+        )
     }
 
     /// `fmul8x16au`: four low bytes of `a` times the scalar coefficient
@@ -1058,42 +1138,72 @@ impl<'s, S: SimSink> Program<'s, S> {
     #[track_caller]
     pub fn vmul8sux16(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisMul, pc, [a.reg, b.reg, Reg::NONE], vis::fmul8sux16(a.v, b.v))
+        self.compute_v(
+            Op::VisMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fmul8sux16(a.v, b.v),
+        )
     }
 
     /// `fmul8ulx16`.
     #[track_caller]
     pub fn vmul8ulx16(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisMul, pc, [a.reg, b.reg, Reg::NONE], vis::fmul8ulx16(a.v, b.v))
+        self.compute_v(
+            Op::VisMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fmul8ulx16(a.v, b.v),
+        )
     }
 
     /// `fmuld8sux16` on lanes 0-1: widening multiply (upper-byte part).
     #[track_caller]
     pub fn vmuld_sux_lo(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisMul, pc, [a.reg, b.reg, Reg::NONE], vis::fmuld8sux16_lo(a.v, b.v))
+        self.compute_v(
+            Op::VisMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fmuld8sux16_lo(a.v, b.v),
+        )
     }
 
     /// `fmuld8ulx16` on lanes 0-1: widening multiply (lower-byte part).
     #[track_caller]
     pub fn vmuld_ulx_lo(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisMul, pc, [a.reg, b.reg, Reg::NONE], vis::fmuld8ulx16_lo(a.v, b.v))
+        self.compute_v(
+            Op::VisMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fmuld8ulx16_lo(a.v, b.v),
+        )
     }
 
     /// `fmuld8sux16` on lanes 2-3.
     #[track_caller]
     pub fn vmuld_sux_hi(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisMul, pc, [a.reg, b.reg, Reg::NONE], vis::fmuld8sux16_hi(a.v, b.v))
+        self.compute_v(
+            Op::VisMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fmuld8sux16_hi(a.v, b.v),
+        )
     }
 
     /// `fmuld8ulx16` on lanes 2-3.
     #[track_caller]
     pub fn vmuld_ulx_hi(&mut self, a: &VVal, b: &VVal) -> VVal {
         let pc = caller_pc!();
-        self.compute_v(Op::VisMul, pc, [a.reg, b.reg, Reg::NONE], vis::fmuld8ulx16_hi(a.v, b.v))
+        self.compute_v(
+            Op::VisMul,
+            pc,
+            [a.reg, b.reg, Reg::NONE],
+            vis::fmuld8ulx16_hi(a.v, b.v),
+        )
     }
 
     /// Set the GSR packing scale factor (one GSR-write instruction).
@@ -1206,7 +1316,12 @@ impl<'s, S: SimSink> Program<'s, S> {
         let (aligned, k) = vis::falignaddr(base.v as u64, off);
         self.gsr.align = k;
         let dst = self.fresh();
-        self.emit(Inst::compute(Op::VisAlign, pc, dst, [base.reg, Reg::NONE, Reg::NONE]));
+        self.emit(Inst::compute(
+            Op::VisAlign,
+            pc,
+            dst,
+            [base.reg, Reg::NONE, Reg::NONE],
+        ));
         self.gsr_reg = dst;
         Val::new(dst, aligned as i64)
     }
@@ -1257,7 +1372,9 @@ mod tests {
     use super::*;
     use visim_cpu::CountingSink;
 
-    fn with_program<R>(f: impl FnOnce(&mut Program<CountingSink>) -> R) -> (R, visim_cpu::CpuStats) {
+    fn with_program<R>(
+        f: impl FnOnce(&mut Program<CountingSink>) -> R,
+    ) -> (R, visim_cpu::CpuStats) {
         let mut sink = CountingSink::new();
         let r = {
             let mut p = Program::new(&mut sink);
@@ -1340,7 +1457,8 @@ mod tests {
     fn vis_pipeline_computes_packed_data() {
         let ((), stats) = with_program(|p| {
             let buf = p.mem_mut().alloc(64, 8);
-            p.mem_mut().write_u64(buf, u64::from_le_bytes([10, 20, 30, 40, 50, 60, 70, 80]));
+            p.mem_mut()
+                .write_u64(buf, u64::from_le_bytes([10, 20, 30, 40, 50, 60, 70, 80]));
             let base = p.li(buf as i64);
             let pix = p.loadv(&base, 0);
             let lo = p.vexpand_lo(&pix);

@@ -1,119 +1,170 @@
 //! Property tests for the emitter: functional correctness of the
 //! scalar ALU semantics, memory round-trips, and loop trip counts.
 
-use proptest::prelude::*;
 use visim_cpu::CountingSink;
 use visim_trace::{Cond, Program};
+use visim_util::prop::{self, Config};
+use visim_util::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #[test]
-    fn alu_ops_match_host_arithmetic(a in any::<i32>(), b in any::<i32>()) {
-        let (a, b) = (a as i64, b as i64);
-        let mut sink = CountingSink::new();
-        let mut p = Program::new(&mut sink);
-        let va = p.li(a);
-        let vb = p.li(b);
-        prop_assert_eq!(p.add(&va, &vb).value(), a.wrapping_add(b));
-        prop_assert_eq!(p.sub(&va, &vb).value(), a.wrapping_sub(b));
-        prop_assert_eq!(p.mul(&va, &vb).value(), a.wrapping_mul(b));
-        prop_assert_eq!(p.and(&va, &vb).value(), a & b);
-        prop_assert_eq!(p.or(&va, &vb).value(), a | b);
-        prop_assert_eq!(p.xor(&va, &vb).value(), a ^ b);
-        if b != 0 {
-            prop_assert_eq!(p.div(&va, &vb).value(), a / b);
-        }
-    }
-
-    #[test]
-    fn shifts_match_host(a in any::<i64>(), s in 0u32..63) {
-        let mut sink = CountingSink::new();
-        let mut p = Program::new(&mut sink);
-        let va = p.li(a);
-        prop_assert_eq!(p.shli(&va, s).value(), a.wrapping_shl(s));
-        prop_assert_eq!(p.srai(&va, s).value(), a.wrapping_shr(s));
-        prop_assert_eq!(p.shri(&va, s).value(), ((a as u64) >> s) as i64);
-        let vs = p.li(s as i64);
-        prop_assert_eq!(p.shl(&va, &vs).value(), a.wrapping_shl(s));
-        prop_assert_eq!(p.shr(&va, &vs).value(), ((a as u64) >> s) as i64);
-    }
-
-    #[test]
-    fn memory_roundtrips_all_widths(v in any::<u64>(), off in 0i64..56) {
-        let mut sink = CountingSink::new();
-        let mut p = Program::new(&mut sink);
-        let buf = p.mem_mut().alloc(64, 8);
-        let base = p.li(buf as i64);
-        let val = p.li(v as i64);
-        p.store_u8(&base, off, &val);
-        prop_assert_eq!(p.load_u8(&base, off).value(), (v & 0xff) as i64);
-        let off2 = off & !1;
-        p.store_u16(&base, off2, &val);
-        prop_assert_eq!(
-            p.load_u16(&base, off2).value(),
-            (v & 0xffff) as i64
-        );
-        prop_assert_eq!(
-            p.load_i16(&base, off2).value(),
-            v as u16 as i16 as i64
-        );
-        let off4 = off & !3;
-        p.store_u32(&base, off4, &val);
-        prop_assert_eq!(
-            p.load_i32(&base, off4).value(),
-            v as u32 as i32 as i64
-        );
-        let off8 = off & !7;
-        p.store_u64(&base, off8, &val);
-        prop_assert_eq!(p.load_u64(&base, off8).value(), v as i64);
-    }
-
-    #[test]
-    fn loop_range_trip_count(start in -50i64..50, len in 0i64..60, step in 1i64..7) {
-        let mut sink = CountingSink::new();
-        let mut p = Program::new(&mut sink);
-        let end = start + len;
-        let mut trips = 0u64;
-        let mut last = None;
-        p.loop_range(start, end, step, |_, i| {
-            trips += 1;
-            last = Some(i.value());
-        });
-        let want = if len <= 0 { 0 } else { (len as u64).div_ceil(step as u64) };
-        prop_assert_eq!(trips, want);
-        if let Some(l) = last {
-            prop_assert!(l < end && l >= start);
-            prop_assert_eq!((l - start) % step, 0);
-        }
-    }
-
-    #[test]
-    fn conditions_match_host(a in any::<i32>(), b in any::<i32>()) {
-        let (a, b) = (a as i64, b as i64);
-        let mut sink = CountingSink::new();
-        let mut p = Program::new(&mut sink);
-        let va = p.li(a);
-        let vb = p.li(b);
-        prop_assert_eq!(p.bcond(Cond::Lt, &va, &vb, false), a < b);
-        prop_assert_eq!(p.bcond(Cond::Le, &va, &vb, false), a <= b);
-        prop_assert_eq!(p.bcond(Cond::Gt, &va, &vb, false), a > b);
-        prop_assert_eq!(p.bcond(Cond::Ge, &va, &vb, false), a >= b);
-        prop_assert_eq!(p.bcond(Cond::Eq, &va, &vb, false), a == b);
-        prop_assert_eq!(p.bcond(Cond::Ne, &va, &vb, false), a != b);
-        prop_assert_eq!(p.bcond_i(Cond::Lt, &va, b, false), a < b);
-    }
-
-    /// The emitted select must be branch-free and equal the ternary.
-    #[test]
-    fn select_is_ternary(c in any::<i64>(), t in any::<i64>(), f in any::<i64>()) {
-        let mut sink = CountingSink::new();
-        let got = {
+#[test]
+fn alu_ops_match_host_arithmetic() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.i32(), rng.i32()),
+        |&(a, b)| {
+            let (a, b) = (a as i64, b as i64);
+            let mut sink = CountingSink::new();
             let mut p = Program::new(&mut sink);
-            let vc = p.li(c);
-            let vt = p.li(t);
-            let vf = p.li(f);
-            p.select(&vc, &vt, &vf).value()
-        };
-        prop_assert_eq!(got, if c != 0 { t } else { f });
-        prop_assert_eq!(sink.stats().cond_branches, 0);
-    }
+            let va = p.li(a);
+            let vb = p.li(b);
+            prop_assert_eq!(p.add(&va, &vb).value(), a.wrapping_add(b));
+            prop_assert_eq!(p.sub(&va, &vb).value(), a.wrapping_sub(b));
+            prop_assert_eq!(p.mul(&va, &vb).value(), a.wrapping_mul(b));
+            prop_assert_eq!(p.and(&va, &vb).value(), a & b);
+            prop_assert_eq!(p.or(&va, &vb).value(), a | b);
+            prop_assert_eq!(p.xor(&va, &vb).value(), a ^ b);
+            if b != 0 {
+                prop_assert_eq!(p.div(&va, &vb).value(), a / b);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn shifts_match_host() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.i64(), rng.gen_range(0u32..63)),
+        |&(a, s)| {
+            if s >= 63 {
+                return Ok(());
+            }
+            let mut sink = CountingSink::new();
+            let mut p = Program::new(&mut sink);
+            let va = p.li(a);
+            prop_assert_eq!(p.shli(&va, s).value(), a.wrapping_shl(s));
+            prop_assert_eq!(p.srai(&va, s).value(), a.wrapping_shr(s));
+            prop_assert_eq!(p.shri(&va, s).value(), ((a as u64) >> s) as i64);
+            let vs = p.li(s as i64);
+            prop_assert_eq!(p.shl(&va, &vs).value(), a.wrapping_shl(s));
+            prop_assert_eq!(p.shr(&va, &vs).value(), ((a as u64) >> s) as i64);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn memory_roundtrips_all_widths() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.u64(), rng.gen_range(0i64..56)),
+        |&(v, off)| {
+            if !(0..56).contains(&off) {
+                return Ok(());
+            }
+            let mut sink = CountingSink::new();
+            let mut p = Program::new(&mut sink);
+            let buf = p.mem_mut().alloc(64, 8);
+            let base = p.li(buf as i64);
+            let val = p.li(v as i64);
+            p.store_u8(&base, off, &val);
+            prop_assert_eq!(p.load_u8(&base, off).value(), (v & 0xff) as i64);
+            let off2 = off & !1;
+            p.store_u16(&base, off2, &val);
+            prop_assert_eq!(p.load_u16(&base, off2).value(), (v & 0xffff) as i64);
+            prop_assert_eq!(p.load_i16(&base, off2).value(), v as u16 as i16 as i64);
+            let off4 = off & !3;
+            p.store_u32(&base, off4, &val);
+            prop_assert_eq!(p.load_i32(&base, off4).value(), v as u32 as i32 as i64);
+            let off8 = off & !7;
+            p.store_u64(&base, off8, &val);
+            prop_assert_eq!(p.load_u64(&base, off8).value(), v as i64);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn loop_range_trip_count() {
+    prop::check(
+        Config::default(),
+        |rng| {
+            (
+                rng.gen_range(-50i64..50),
+                rng.gen_range(0i64..60),
+                rng.gen_range(1i64..7),
+            )
+        },
+        |&(start, len, step)| {
+            if step < 1 || len < 0 {
+                return Ok(());
+            }
+            let mut sink = CountingSink::new();
+            let mut p = Program::new(&mut sink);
+            let end = start + len;
+            let mut trips = 0u64;
+            let mut last = None;
+            p.loop_range(start, end, step, |_, i| {
+                trips += 1;
+                last = Some(i.value());
+            });
+            let want = if len <= 0 {
+                0
+            } else {
+                (len as u64).div_ceil(step as u64)
+            };
+            prop_assert_eq!(trips, want);
+            if let Some(l) = last {
+                prop_assert!(l < end && l >= start);
+                prop_assert_eq!((l - start) % step, 0);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn conditions_match_host() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.i32(), rng.i32()),
+        |&(a, b)| {
+            let (a, b) = (a as i64, b as i64);
+            let mut sink = CountingSink::new();
+            let mut p = Program::new(&mut sink);
+            let va = p.li(a);
+            let vb = p.li(b);
+            prop_assert_eq!(p.bcond(Cond::Lt, &va, &vb, false), a < b);
+            prop_assert_eq!(p.bcond(Cond::Le, &va, &vb, false), a <= b);
+            prop_assert_eq!(p.bcond(Cond::Gt, &va, &vb, false), a > b);
+            prop_assert_eq!(p.bcond(Cond::Ge, &va, &vb, false), a >= b);
+            prop_assert_eq!(p.bcond(Cond::Eq, &va, &vb, false), a == b);
+            prop_assert_eq!(p.bcond(Cond::Ne, &va, &vb, false), a != b);
+            prop_assert_eq!(p.bcond_i(Cond::Lt, &va, b, false), a < b);
+            Ok(())
+        },
+    );
+}
+
+/// The emitted select must be branch-free and equal the ternary.
+#[test]
+fn select_is_ternary() {
+    prop::check(
+        Config::default(),
+        |rng| (rng.i64(), rng.i64(), rng.i64()),
+        |&(c, t, f)| {
+            let mut sink = CountingSink::new();
+            let got = {
+                let mut p = Program::new(&mut sink);
+                let vc = p.li(c);
+                let vt = p.li(t);
+                let vf = p.li(f);
+                p.select(&vc, &vt, &vf).value()
+            };
+            prop_assert_eq!(got, if c != 0 { t } else { f });
+            prop_assert_eq!(sink.stats().cond_branches, 0);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,102 @@
+//! A wall-clock microbenchmark runner (the workspace's `criterion`
+//! substitute) for `harness = false` bench targets.
+//!
+//! Each benchmark is auto-calibrated to a target measurement time, then
+//! sampled in batches; the report prints mean, min and max ns/iter. The
+//! point is regression *visibility* with zero dependencies, not
+//! statistical rigour — EXPERIMENTS.md records indicative numbers only.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runner state: prints a header once and a row per benchmark.
+#[derive(Debug)]
+pub struct Runner {
+    target: Duration,
+    samples: u32,
+    printed_header: bool,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner with the default budget (`VISIM_BENCH_MS` overrides the
+    /// per-benchmark measurement time; default 300 ms, 12 samples).
+    pub fn new() -> Self {
+        let ms = std::env::var("VISIM_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Runner {
+            target: Duration::from_millis(ms),
+            samples: 12,
+            printed_header: false,
+        }
+    }
+
+    /// Measure `f`, printing one result row.
+    pub fn bench_function<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if !self.printed_header {
+            self.printed_header = true;
+            println!(
+                "{:<28} {:>14} {:>14} {:>14}  (ns/iter)",
+                "benchmark", "mean", "min", "max"
+            );
+        }
+        // Calibrate: how many iterations fill one sample's time slice?
+        let slice = self.target / self.samples;
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= slice || iters_per_sample >= 1 << 30 {
+                break;
+            }
+            // Grow toward the slice, at most 10x per step.
+            let grow = if el.is_zero() {
+                10
+            } else {
+                (slice.as_nanos() / el.as_nanos().max(1)).clamp(2, 10) as u64
+            };
+            iters_per_sample = iters_per_sample.saturating_mul(grow);
+        }
+        // Measure.
+        let mut per_iter = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        println!("{name:<28} {mean:>14.1} {min:>14.1} {max:>14.1}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_measures_something() {
+        std::env::set_var("VISIM_BENCH_MS", "4");
+        let mut r = Runner::new();
+        let mut acc = 0u64;
+        r.bench_function("spin", || {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert!(acc > 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The simulator's typed fault model.
+//!
+//! Model bugs and hostile workloads must terminate a study run with a
+//! diagnosis, never hang it or kill the sibling benchmarks: the pipeline
+//! watchdog, the memory-model invariant checks and the experiment
+//! runners all surface failures as a [`SimError`], and the figure
+//! binaries degrade gracefully (error row + nonzero exit) around it.
+
+use std::fmt;
+
+/// A simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The pipeline watchdog fired: retirement made no progress within
+    /// the configured cycle budget (a wedged model would otherwise spin
+    /// forever). `diagnostic` is the pipeline's state dump.
+    CycleBudget {
+        /// Cycle at which the watchdog gave up.
+        cycle: u64,
+        /// Human-readable dump: window occupancy, fetch-queue depth,
+        /// oldest un-retired instruction, queue states.
+        diagnostic: String,
+    },
+    /// A runtime model invariant was violated (checked in release
+    /// builds, unlike `debug_assert!`).
+    Invariant {
+        /// Which model tripped ("pipeline", "mshr", "mem", ...).
+        model: &'static str,
+        /// What was violated.
+        detail: String,
+    },
+    /// The workload itself failed (panicked or produced invalid data)
+    /// before or while driving the simulator.
+    Workload {
+        /// Benchmark name.
+        bench: String,
+        /// Failure description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleBudget { cycle, diagnostic } => {
+                write!(
+                    f,
+                    "cycle budget exceeded at cycle {cycle}: no retirement progress; {diagnostic}"
+                )
+            }
+            SimError::Invariant { model, detail } => {
+                write!(f, "{model} invariant violated: {detail}")
+            }
+            SimError::Workload { bench, detail } => {
+                write!(f, "workload '{bench}' failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::CycleBudget {
+            cycle: 12_345,
+            diagnostic: "window=64/64 fetch_q=3".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("12345") && s.contains("window=64/64"), "{s}");
+        let e = SimError::Invariant {
+            model: "mshr",
+            detail: "occupancy 13 > capacity 12".into(),
+        };
+        assert!(e.to_string().contains("mshr invariant"), "{e}");
+        let e = SimError::Workload {
+            bench: "cjpeg".into(),
+            detail: "panicked".into(),
+        };
+        assert!(e.to_string().contains("cjpeg"), "{e}");
+    }
+}

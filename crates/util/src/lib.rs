@@ -1,0 +1,25 @@
+//! `visim-util` — zero-dependency substrate utilities for the visim
+//! workspace.
+//!
+//! The workspace builds hermetically (`cargo build --offline` with no
+//! registry access); this crate provides the in-tree replacements for
+//! the three external crates the seed depended on, plus the shared
+//! fault model:
+//!
+//! * [`rng`] — seeded SplitMix64 / xoshiro256** PRNG (replaces `rand`)
+//!   for the deterministic synthetic inputs;
+//! * [`prop`] — a property-testing harness with closure generators and
+//!   iteration-bounded shrinking (replaces `proptest`);
+//! * [`bench`] — a wall-clock microbenchmark runner (replaces
+//!   `criterion`) for `harness = false` bench targets;
+//! * [`error`] — [`SimError`], the typed fault model threaded through
+//!   the pipeline watchdog, the memory-model invariant checks and the
+//!   experiment runners.
+
+pub mod bench;
+pub mod error;
+pub mod prop;
+pub mod rng;
+
+pub use error::SimError;
+pub use rng::Rng;

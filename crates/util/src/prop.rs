@@ -1,0 +1,388 @@
+//! A minimal property-testing harness (the workspace's `proptest`
+//! substitute): closure-based generators, seeded deterministic cases,
+//! and iteration-bounded greedy shrinking.
+//!
+//! # Example
+//!
+//! ```
+//! use visim_util::prop::{self, Config};
+//! use visim_util::prop_assert_eq;
+//!
+//! prop::check(Config::default(), |rng| (rng.i32(), rng.i32()), |&(a, b)| {
+//!     prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Properties return `Result<(), String>`: `Err` is a counterexample
+//! (use the [`crate::prop_assert!`] family), `Ok` passes. A property may
+//! also `return Ok(())` early to discard inputs it does not cover —
+//! shrinking may walk outside a generator's range, and an early-return
+//! guard keeps those candidates from being reported as counterexamples.
+
+use std::fmt::Debug;
+
+use crate::rng::{splitmix64, Rng};
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of random cases to run (`VISIM_PROP_CASES` overrides).
+    pub cases: u32,
+    /// Base seed; case `i` runs with a seed derived from `seed` and `i`
+    /// (`VISIM_PROP_SEED` overrides, for replaying a failure).
+    pub seed: u64,
+    /// Upper bound on total shrink-candidate evaluations once a case
+    /// fails, so pathological shrink spaces cannot hang the suite.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let env_u64 = |k: &str| std::env::var(k).ok().and_then(|v| v.parse().ok());
+        Config {
+            cases: env_u64("VISIM_PROP_CASES")
+                .map(|c: u64| c as u32)
+                .unwrap_or(64),
+            seed: env_u64("VISIM_PROP_SEED").unwrap_or(0x5eed_cafe_f00d_0001),
+            max_shrink_iters: 512,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with an explicit case count.
+    pub fn cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// A property outcome: `Ok` passes, `Err` carries the failure message.
+pub type PropResult = Result<(), String>;
+
+/// Types the harness knows how to shrink. The default is "no candidates"
+/// so any test-local type participates without extra code (its
+/// containers still shrink structurally).
+pub trait Shrink: Sized + Clone {
+    /// Strictly-simpler candidate values, most aggressive first.
+    fn shrinks(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrinks(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                let x = *self;
+                if x != 0 {
+                    out.push(0);
+                    let half = x / 2;
+                    if half != 0 && half != x {
+                        out.push(half);
+                    }
+                    if x > 0 {
+                        out.push(x - 1);
+                    } else {
+                        out.push(x + 1);
+                    }
+                    out.dedup();
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrinks(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrinks(&self) -> Vec<Self> {
+        let x = *self;
+        if x == 0.0 || !x.is_finite() {
+            return Vec::new();
+        }
+        vec![0.0, x / 2.0, x.trunc()]
+    }
+}
+
+impl<T: Shrink, const N: usize> Shrink for [T; N] {
+    fn shrinks(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..N {
+            for cand in self[i].shrinks() {
+                let mut next = self.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink> Shrink for Vec<T> {
+    fn shrinks(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        // Structural shrinks first: halves, then single-element drops.
+        if n > 0 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+            for i in 0..n.min(16) {
+                let mut next = self.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        // Element shrinks on a bounded prefix.
+        for i in 0..n.min(8) {
+            for cand in self[i].shrinks() {
+                let mut next = self.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink),+> Shrink for ($($name,)+) {
+            fn shrinks(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrinks() {
+                        let mut next = self.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_shrink_tuple!(A: 0);
+impl_shrink_tuple!(A: 0, B: 1);
+impl_shrink_tuple!(A: 0, B: 1, C: 2);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Run `prop` against `cfg.cases` inputs drawn from `gen`; on failure,
+/// shrink greedily (bounded by `cfg.max_shrink_iters` candidate
+/// evaluations) and panic with the minimal counterexample.
+pub fn check<T, G, P>(cfg: Config, gen: G, prop: P)
+where
+    T: Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    for case in 0..cfg.cases {
+        let mut state = cfg.seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = Rng::seed_from_u64(splitmix64(&mut state));
+        let input = gen(&mut rng);
+        if let Err(msg) = prop(&input) {
+            let (min, min_msg, iters) = shrink_loop(input, msg, &prop, cfg.max_shrink_iters);
+            panic!(
+                "property failed (case {case}/{}, seed {:#x}; \
+                 rerun with VISIM_PROP_SEED={}):\n  {}\n\
+                 minimal counterexample after {iters} shrink evaluations:\n  {:?}",
+                cfg.cases, cfg.seed, cfg.seed, min_msg, min
+            );
+        }
+    }
+}
+
+fn shrink_loop<T, P>(start: T, msg: String, prop: &P, budget: u32) -> (T, String, u32)
+where
+    T: Shrink,
+    P: Fn(&T) -> PropResult,
+{
+    let mut cur = start;
+    let mut cur_msg = msg;
+    let mut iters = 0u32;
+    'outer: loop {
+        for cand in cur.shrinks() {
+            if iters >= budget {
+                break 'outer;
+            }
+            iters += 1;
+            if let Err(m) = prop(&cand) {
+                cur = cand;
+                cur_msg = m;
+                continue 'outer; // restart from the simpler input
+            }
+        }
+        break; // no candidate still fails: local minimum
+    }
+    (cur, cur_msg, iters)
+}
+
+/// `assert!` for properties: evaluates to `return Err(..)` on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "{} != {}: {:?} vs {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "{} == {}: both {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            Config::cases(17),
+            |rng| rng.u32(),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        n += counter.get();
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        let failure = std::panic::catch_unwind(|| {
+            check(
+                Config::cases(200),
+                |rng| rng.gen_range(0u32..10_000),
+                |&x| {
+                    prop_assert!(x < 100, "too big: {x}");
+                    Ok(())
+                },
+            );
+        })
+        .unwrap_err();
+        let msg = failure.downcast_ref::<String>().unwrap();
+        // Greedy shrink from any failing value must reach exactly 100.
+        assert!(msg.contains("minimal counterexample"), "{msg}");
+        assert!(msg.contains("100"), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reduces_length() {
+        let failure = std::panic::catch_unwind(|| {
+            check(
+                Config::cases(100),
+                |rng| rng.vec(0..40, |r| r.u8()),
+                |v: &Vec<u8>| {
+                    prop_assert!(v.len() < 3, "len {}", v.len());
+                    Ok(())
+                },
+            );
+        })
+        .unwrap_err();
+        let msg = failure.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("len 3"), "minimal vec has length 3: {msg}");
+    }
+
+    #[test]
+    fn shrink_budget_bounds_work() {
+        // A property that always fails with an enormous shrink space
+        // must still terminate within the iteration budget.
+        let cfg = Config {
+            cases: 1,
+            seed: 1,
+            max_shrink_iters: 50,
+        };
+        let evals = std::cell::Cell::new(0u32);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(
+                cfg,
+                |rng| rng.vec(64..65, |r| r.u64()),
+                |_| {
+                    evals.set(evals.get() + 1);
+                    Err("always".into())
+                },
+            );
+        }));
+        assert!(r.is_err());
+        assert!(evals.get() <= 52, "evaluations bounded: {}", evals.get());
+    }
+
+    #[test]
+    fn tuple_and_array_shrinks_are_componentwise() {
+        let t = (4u8, [2i16, 0, 0, 0]);
+        let cands = t.shrinks();
+        assert!(cands.contains(&(0u8, [2i16, 0, 0, 0])));
+        assert!(cands.contains(&(4u8, [0i16, 0, 0, 0])));
+    }
+}

@@ -1,0 +1,224 @@
+//! A small, fast, seedable PRNG: xoshiro256** seeded through SplitMix64.
+//!
+//! This replaces the `rand` crate for the deterministic synthetic inputs
+//! (DESIGN.md, substitution #2) and for the property-test harness. The
+//! generators are the public-domain reference algorithms of Blackman &
+//! Vigna; determinism in the seed is part of the contract (DESIGN.md §7:
+//! same seed → same inputs → same cycle counts).
+
+/// Advance a SplitMix64 state and return the next output.
+///
+/// Used both to seed [`Rng`] and as a cheap stateless mixer (e.g. to
+/// derive per-case seeds in the property harness).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Build a generator from a 64-bit seed (SplitMix64-expanded, as the
+    /// xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u16`.
+    pub fn u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    /// Uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Uniform `i64`.
+    pub fn i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// Uniform `i32`.
+    pub fn i32(&mut self) -> i32 {
+        self.u32() as i32
+    }
+
+    /// Uniform `i16`.
+    pub fn i16(&mut self) -> i16 {
+        self.u16() as i16
+    }
+
+    /// Uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in a half-open range, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(-1.5..1.5)`. Panics on an empty range.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fixed-size array whose elements come from `f`.
+    pub fn array<const N: usize, T>(&mut self, mut f: impl FnMut(&mut Rng) -> T) -> [T; N] {
+        std::array::from_fn(|_| f(self))
+    }
+
+    /// Vector of `gen_range(len_range)` elements from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len_range: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let n = self.gen_range(len_range);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// Unbiased integer in `[0, n)` (Lemire-style rejection).
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// A half-open range that [`Rng::gen_range`] can sample uniformly.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+impl UniformRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x = r.gen_range(-5i32..7);
+            assert!((-5..7).contains(&x));
+            let y = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&y));
+            let z = r.gen_range(3usize..4);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn range_covers_extremes() {
+        let mut r = Rng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn unit_floats_fill_the_interval() {
+        let mut r = Rng::seed_from_u64(3);
+        let (mut lo, mut hi) = (1.0f64, 0.0f64);
+        for _ in 0..4000 {
+            let v = r.f64_unit();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "observed [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut r = Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = r.vec(1..5, |r| r.u8());
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

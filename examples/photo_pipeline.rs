@@ -35,7 +35,12 @@ fn main() {
     let (bytes, meta) = {
         let mut sink = CountingSink::new();
         let mut p = Program::new(&mut sink);
-        let s = jpeg::encode(&mut p, &photo, jpeg::EncodeParams::default(), Variant::SCALAR);
+        let s = jpeg::encode(
+            &mut p,
+            &photo,
+            jpeg::EncodeParams::default(),
+            Variant::SCALAR,
+        );
         (p.mem().bytes(s.addr, s.len).to_vec(), s)
     };
     println!("input photo: {w}x{h}, {} JPEG bytes\n", bytes.len());

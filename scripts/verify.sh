@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline. This is the gate every change
+# must pass: a hermetic build (no registry access — the workspace has
+# zero third-party dependencies), the complete test suite across all
+# crates, and formatting.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (workspace, offline) =="
+cargo test --workspace --offline -q
+
+echo "== formatting =="
+cargo fmt --check
+
+echo "verify: OK"

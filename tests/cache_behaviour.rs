@@ -45,8 +45,20 @@ fn progressive_jpeg_benefits_from_a_working_set_sized_l2() {
         m.l2.size = l2;
         m
     };
-    let small = run_timed(Bench::Djpeg, Arch::Ooo4, Some(cfg(16 << 10)), &size(), Variant::VIS);
-    let large = run_timed(Bench::Djpeg, Arch::Ooo4, Some(cfg(128 << 10)), &size(), Variant::VIS);
+    let small = run_timed(
+        Bench::Djpeg,
+        Arch::Ooo4,
+        Some(cfg(16 << 10)),
+        &size(),
+        Variant::VIS,
+    );
+    let large = run_timed(
+        Bench::Djpeg,
+        Arch::Ooo4,
+        Some(cfg(128 << 10)),
+        &size(),
+        Variant::VIS,
+    );
     let ratio = small.cycles() as f64 / large.cycles() as f64;
     assert!(
         ratio > 1.005,
@@ -66,8 +78,7 @@ fn small_l1_works_for_kernels_but_hurts_table_driven_codecs() {
     );
 
     let pts = l1_sweep(Bench::DjpegNp, &size(), &[1 << 10, 16 << 10, 64 << 10]);
-    let spread =
-        pts[0].summary.cycles() as f64 / pts.last().unwrap().summary.cycles() as f64;
+    let spread = pts[0].summary.cycles() as f64 / pts.last().unwrap().summary.cycles() as f64;
     assert!(
         spread > 1.02,
         "table-driven codec feels a 1K L1: {spread:.3}"

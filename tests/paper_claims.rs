@@ -54,7 +54,12 @@ fn claim_vis_speedups_range_and_ordering() {
     // §3.2: 1.1x-4.2x on the out-of-order machine; kernels near the
     // top, Huffman-bound JPEG codecs near the bottom.
     let mut speedups = Vec::new();
-    for bench in [Bench::Scaling, Bench::Thresh, Bench::Dotprod, Bench::DjpegNp] {
+    for bench in [
+        Bench::Scaling,
+        Bench::Thresh,
+        Bench::Dotprod,
+        Bench::DjpegNp,
+    ] {
         let s = run_timed(bench, Arch::Ooo4, None, &size(), Variant::SCALAR).cycles();
         let v = run_timed(bench, Arch::Ooo4, None, &size(), Variant::VIS).cycles();
         speedups.push((bench, s as f64 / v as f64));
