@@ -1,134 +1,212 @@
 //! Design-choice ablations beyond the paper's figures (DESIGN.md E12/
 //! E13): issue-width and window scaling, MSHR capacity, and the
 //! mispredict-penalty sensitivity, plus MSHR-occupancy histograms.
+//!
+//! Every (benchmark × configuration) cell is independent, so each
+//! section fans its runs out over the experiment worker pool
+//! (`VISIM_JOBS` workers) and prints from this single thread; the
+//! output is byte-identical for any worker count.
 
 use media_kernels::Variant;
-use visim::bench::Bench;
+use visim::bench::{Bench, WorkloadSize};
 use visim::config::Arch;
+use visim::experiment::run_parallel;
 use visim::report;
 use visim_bench::{section, size_from_args};
-use visim_cpu::{CpuConfig, Pipeline};
+use visim_cpu::{CpuConfig, Pipeline, Summary};
 use visim_mem::MemConfig;
 
-fn run_with(
+/// One simulation cell: a benchmark under an explicit machine config.
+#[derive(Clone)]
+struct Spec {
     bench: Bench,
     cpu: CpuConfig,
     mem: MemConfig,
-    size: &visim::bench::WorkloadSize,
-) -> visim_cpu::Summary {
-    let mut pipe = Pipeline::new(cpu, mem);
-    bench.run(&mut pipe, size, Variant::VIS);
-    pipe.finish()
+    variant: Variant,
+}
+
+impl Spec {
+    fn vis(bench: Bench, cpu: CpuConfig, mem: MemConfig) -> Self {
+        Spec {
+            bench,
+            cpu,
+            mem,
+            variant: Variant::VIS,
+        }
+    }
+}
+
+/// Run every cell on the worker pool, results in input order.
+fn run_all(specs: Vec<Spec>, size: &WorkloadSize) -> Vec<Summary> {
+    run_parallel(
+        specs
+            .into_iter()
+            .map(|spec| {
+                move || {
+                    let mut pipe = Pipeline::new(spec.cpu, spec.mem);
+                    spec.bench.run(&mut pipe, size, spec.variant);
+                    pipe.finish()
+                }
+            })
+            .collect(),
+    )
+}
+
+/// A base-plus-variants section: per benchmark, one baseline run and
+/// one run per sweep value, rendered as ratios against the base.
+fn ratio_section(
+    title: &str,
+    headers: &[&str],
+    benches: &[Bench],
+    size: &WorkloadSize,
+    specs: Vec<Spec>,
+    per_bench: usize,
+) {
+    section(title);
+    let sums = run_all(specs, size);
+    let mut rows = Vec::new();
+    for (bench, chunk) in benches.iter().zip(sums.chunks_exact(per_bench)) {
+        let base = chunk[0].cycles() as f64;
+        let mut row = vec![bench.name().to_string()];
+        for s in &chunk[1..] {
+            row.push(format!("{:.2}x", s.cycles() as f64 / base));
+        }
+        rows.push(row);
+    }
+    print!("{}", report::table(headers, &rows));
 }
 
 fn main() {
     let size = size_from_args();
     let benches = [Bench::Addition, Bench::Conv, Bench::MpegEnc];
 
-    section("ablation: issue width (out-of-order, VIS)");
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for bench in benches {
-        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
-        let mut row = vec![bench.name().to_string()];
+        specs.push(Spec::vis(
+            bench,
+            CpuConfig::ooo_4way(),
+            MemConfig::default(),
+        ));
         for width in [1u32, 2, 4, 8] {
             let mut cfg = CpuConfig::ooo_4way();
             cfg.issue_width = width;
-            let s = run_with(bench, cfg, MemConfig::default(), &size);
-            row.push(format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64));
+            specs.push(Spec::vis(bench, cfg, MemConfig::default()));
         }
-        rows.push(row);
     }
-    print!(
-        "{}",
-        report::table(&["benchmark", "w=1", "w=2", "w=4", "w=8"], &rows)
+    ratio_section(
+        "ablation: issue width (out-of-order, VIS)",
+        &["benchmark", "w=1", "w=2", "w=4", "w=8"],
+        &benches,
+        &size,
+        specs,
+        5,
     );
 
-    section("ablation: instruction window size");
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for bench in benches {
-        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
-        let mut row = vec![bench.name().to_string()];
+        specs.push(Spec::vis(
+            bench,
+            CpuConfig::ooo_4way(),
+            MemConfig::default(),
+        ));
         for window in [16u32, 32, 64, 128] {
             let mut cfg = CpuConfig::ooo_4way();
             cfg.window = window;
-            let s = run_with(bench, cfg, MemConfig::default(), &size);
-            row.push(format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64));
+            specs.push(Spec::vis(bench, cfg, MemConfig::default()));
         }
-        rows.push(row);
     }
-    print!(
-        "{}",
-        report::table(
-            &["benchmark", "win=16", "win=32", "win=64", "win=128"],
-            &rows
-        )
+    ratio_section(
+        "ablation: instruction window size",
+        &["benchmark", "win=16", "win=32", "win=64", "win=128"],
+        &benches,
+        &size,
+        specs,
+        5,
     );
 
-    section("ablation: L1 MSHR count (write backup, paper §3.1)");
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for bench in benches {
-        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
-        let mut row = vec![bench.name().to_string()];
+        specs.push(Spec::vis(
+            bench,
+            CpuConfig::ooo_4way(),
+            MemConfig::default(),
+        ));
         for mshrs in [2u32, 4, 12, 24] {
             let mut mem = MemConfig::default();
             mem.l1.mshrs = mshrs;
             mem.l2.mshrs = mshrs;
-            let s = run_with(bench, CpuConfig::ooo_4way(), mem, &size);
-            row.push(format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64));
+            specs.push(Spec::vis(bench, CpuConfig::ooo_4way(), mem));
         }
-        rows.push(row);
     }
-    print!(
-        "{}",
-        report::table(
-            &["benchmark", "mshr=2", "mshr=4", "mshr=12", "mshr=24"],
-            &rows
-        )
+    ratio_section(
+        "ablation: L1 MSHR count (write backup, paper §3.1)",
+        &["benchmark", "mshr=2", "mshr=4", "mshr=12", "mshr=24"],
+        &benches,
+        &size,
+        specs,
+        5,
     );
 
-    section("ablation: branch mispredict penalty");
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for bench in benches {
-        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
-        let mut row = vec![bench.name().to_string()];
+        specs.push(Spec::vis(
+            bench,
+            CpuConfig::ooo_4way(),
+            MemConfig::default(),
+        ));
         for pen in [0u64, 5, 10, 20] {
             let mut cfg = CpuConfig::ooo_4way();
             cfg.mispredict_penalty = pen;
-            let s = run_with(bench, cfg, MemConfig::default(), &size);
-            row.push(format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64));
+            specs.push(Spec::vis(bench, cfg, MemConfig::default()));
         }
-        rows.push(row);
     }
-    print!(
-        "{}",
-        report::table(&["benchmark", "pen=0", "pen=5", "pen=10", "pen=20"], &rows)
+    ratio_section(
+        "ablation: branch mispredict penalty",
+        &["benchmark", "pen=0", "pen=5", "pen=10", "pen=20"],
+        &benches,
+        &size,
+        specs,
+        5,
     );
 
-    section("ablation: blocking vs non-blocking loads (related work, paper §5)");
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for bench in benches {
-        let base = run_with(bench, CpuConfig::ooo_4way(), MemConfig::default(), &size);
+        specs.push(Spec::vis(
+            bench,
+            CpuConfig::ooo_4way(),
+            MemConfig::default(),
+        ));
         let mut cfg = CpuConfig::ooo_4way();
         cfg.blocking_loads = true;
-        let s = run_with(bench, cfg, MemConfig::default(), &size);
-        rows.push(vec![
-            bench.name().to_string(),
-            format!("{:.2}x", s.cycles() as f64 / base.cycles() as f64),
-        ]);
+        specs.push(Spec::vis(bench, cfg, MemConfig::default()));
     }
-    print!(
-        "{}",
-        report::table(&["benchmark", "blocking-loads slowdown"], &rows)
+    ratio_section(
+        "ablation: blocking vs non-blocking loads (related work, paper §5)",
+        &["benchmark", "blocking-loads slowdown"],
+        &benches,
+        &size,
+        specs,
+        2,
     );
 
     section("MSHR occupancy (paper: >5 in flight under prefetching)");
-    for bench in [Bench::Addition, Bench::Scaling] {
-        for (label, variant) in [("VIS", Variant::VIS), ("VIS+PF", Variant::VIS_PF)] {
-            let s = {
-                let mut pipe = Pipeline::new(Arch::Ooo4.cpu(), MemConfig::default());
-                bench.run(&mut pipe, &size, variant);
-                pipe.finish()
-            };
+    let hist_benches = [Bench::Addition, Bench::Scaling];
+    let variants = [("VIS", Variant::VIS), ("VIS+PF", Variant::VIS_PF)];
+    let mut specs = Vec::new();
+    for bench in hist_benches {
+        for (_, variant) in variants {
+            specs.push(Spec {
+                bench,
+                cpu: Arch::Ooo4.cpu(),
+                mem: MemConfig::default(),
+                variant,
+            });
+        }
+    }
+    let mut sums = run_all(specs, &size).into_iter();
+    for bench in hist_benches {
+        for (label, _) in variants {
+            let s = sums.next().expect("one summary per histogram cell");
             let hist = &s.mshr_histogram;
             let total: u64 = hist.iter().sum();
             let frac_ge5: u64 = hist.iter().skip(5).sum();

@@ -6,9 +6,13 @@
 //! A benchmark whose simulation fails becomes an error row; the other
 //! eleven still produce bars and the process exits nonzero with the
 //! partial output preserved under `results/partial/`.
+//!
+//! The 72 (benchmark × configuration) cells run on the experiment
+//! worker pool (`VISIM_JOBS` workers) and are printed in figure order
+//! from this single thread, so the output is byte-identical for any
+//! worker count.
 
-use visim::bench::Bench;
-use visim::experiment::try_fig1_bench;
+use visim::experiment::try_fig1_all;
 use visim::report;
 use visim_bench::{size_from_args, Report};
 
@@ -20,9 +24,9 @@ fn main() {
         "(inputs: {}x{} images, {} dotprod elements, {}x{} video)",
         size.image_w, size.image_h, size.dotprod_n, size.video_w, size.video_h
     ));
-    for bench in Bench::all() {
+    for (bench, outcome) in try_fig1_all(&size) {
         out.section(bench.name());
-        let bars = match try_fig1_bench(bench, &size) {
+        let bars = match outcome {
             Ok(bars) => bars,
             Err(e) => {
                 out.fail(bench.name(), &e);

@@ -113,36 +113,46 @@ fn timed(k: KernelId, w: usize, h: usize, v: Variant) -> Summary {
 
 fn main() {
     let size = size_from_args();
-    let (w, h) = (size.image_w, size.image_h);
     section("all 14 VSDK kernels: VIS vs scalar (4-way ooo)");
-    let mut rows = Vec::new();
-    for &k in KernelId::all() {
-        let mut counts = Vec::new();
-        for v in [Variant::SCALAR, Variant::VIS] {
-            let mut sink = CountingSink::new();
-            {
-                let mut p = Program::new(&mut sink);
-                drive(&mut p, k, w, h, v);
-            }
-            counts.push(sink.finish().retired);
-        }
-        let ts = timed(k, w, h, Variant::SCALAR);
-        let tv = timed(k, w, h, Variant::VIS);
-        rows.push(vec![
-            k.name().to_string(),
-            if KernelId::reported().contains(&k) {
-                "reported".into()
-            } else {
-                String::new()
-            },
-            format!("{:.1}", 100.0 * counts[1] as f64 / counts[0] as f64),
-            format!("{:.2}x", ts.cycles() as f64 / tv.cycles() as f64),
-            format!(
-                "{:.0}%",
-                100.0 * tv.cpu.breakdown().memory() / tv.cycles() as f64
-            ),
-        ]);
-    }
+    // One job per kernel (each job is two counted and two timed runs),
+    // fanned out over the experiment worker pool; the row order is the
+    // input order, so the table is identical for any worker count.
+    let rows = visim::experiment::run_parallel(
+        KernelId::all()
+            .iter()
+            .map(|&k| {
+                let size = &size;
+                move || {
+                    let (w, h) = (size.image_w, size.image_h);
+                    let mut counts = Vec::new();
+                    for v in [Variant::SCALAR, Variant::VIS] {
+                        let mut sink = CountingSink::new();
+                        {
+                            let mut p = Program::new(&mut sink);
+                            drive(&mut p, k, w, h, v);
+                        }
+                        counts.push(sink.finish().retired);
+                    }
+                    let ts = timed(k, w, h, Variant::SCALAR);
+                    let tv = timed(k, w, h, Variant::VIS);
+                    vec![
+                        k.name().to_string(),
+                        if KernelId::reported().contains(&k) {
+                            "reported".into()
+                        } else {
+                            String::new()
+                        },
+                        format!("{:.1}", 100.0 * counts[1] as f64 / counts[0] as f64),
+                        format!("{:.2}x", ts.cycles() as f64 / tv.cycles() as f64),
+                        format!(
+                            "{:.0}%",
+                            100.0 * tv.cpu.breakdown().memory() / tv.cycles() as f64
+                        ),
+                    ]
+                }
+            })
+            .collect(),
+    );
     print!(
         "{}",
         report::table(

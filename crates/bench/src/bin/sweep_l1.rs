@@ -4,10 +4,11 @@
 //! the sensitive benchmarks are the table-driven codecs.
 //!
 //! A benchmark whose sweep fails becomes an error row; the rest still
-//! produce curves.
+//! produce curves. The 12 × 5 (benchmark × L1 size) cells run on the
+//! experiment worker pool (`VISIM_JOBS` workers); output order is
+//! independent of the worker count.
 
-use visim::bench::Bench;
-use visim::experiment::try_l1_sweep;
+use visim::experiment::try_l1_sweep_all;
 use visim::report;
 use visim_bench::{size_from_args, Report};
 
@@ -16,9 +17,9 @@ fn main() {
     let sizes: [u64; 5] = [1 << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10];
     let mut out = Report::new("sweep_l1");
     out.line("Section 4.1: impact of L1 cache size (VIS, 4-way ooo)");
-    for bench in Bench::all() {
+    for (bench, outcome) in try_l1_sweep_all(&size, &sizes) {
         out.section(bench.name());
-        let points = match try_l1_sweep(bench, &size, &sizes) {
+        let points = match outcome {
             Ok(points) => points,
             Err(e) => {
                 out.fail(bench.name(), &e);

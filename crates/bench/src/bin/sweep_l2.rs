@@ -4,10 +4,11 @@
 //! progressive codecs and MPEG once the display-sized working set fits.
 //!
 //! A benchmark whose sweep fails becomes an error row; the rest still
-//! produce curves.
+//! produce curves. The 12 × 5 (benchmark × L2 size) cells run on the
+//! experiment worker pool (`VISIM_JOBS` workers); output order is
+//! independent of the worker count.
 
-use visim::bench::Bench;
-use visim::experiment::try_l2_sweep;
+use visim::experiment::try_l2_sweep_all;
 use visim::report;
 use visim_bench::{size_from_args, Report};
 
@@ -18,9 +19,9 @@ fn main() {
     let sizes: [u64; 5] = [128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
     let mut out = Report::new("sweep_l2");
     out.line("Section 4.1: impact of L2 cache size (VIS, 4-way ooo)");
-    for bench in Bench::all() {
+    for (bench, outcome) in try_l2_sweep_all(&size, &sizes) {
         out.section(bench.name());
-        let points = match try_l2_sweep(bench, &size, &sizes) {
+        let points = match outcome {
             Ok(points) => points,
             Err(e) => {
                 out.fail(bench.name(), &e);

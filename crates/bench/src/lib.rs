@@ -13,8 +13,15 @@
 //! simulation fails (workload panic, invariant violation, watchdog
 //! abort — see `visim_util::SimError`) becomes an error row while the
 //! remaining benchmarks still produce bars. On failure the partial
-//! output is also written to `results/partial/<name>.txt` and the
-//! process exits nonzero.
+//! output is also written to `results/partial/<name>.txt` (plus one
+//! uniquely-named `<name>.<benchmark>.txt` artifact per failure) and
+//! the process exits nonzero.
+//!
+//! All simulation binaries run their (benchmark × configuration) cells
+//! on the experiment worker pool: `VISIM_JOBS=N` selects the worker
+//! count, `VISIM_JOBS=1` is the serial reference path, and unset (or
+//! `0`) auto-detects one worker per core. Output is byte-identical for
+//! any worker count.
 
 use std::io::Write as _;
 
@@ -49,6 +56,9 @@ pub struct Report {
     name: &'static str,
     buf: String,
     failures: Vec<(String, SimError)>,
+    /// Write per-failure artifacts under `results/partial/` (disabled
+    /// in unit tests so they do not touch the working tree).
+    artifacts: bool,
 }
 
 impl Report {
@@ -58,6 +68,7 @@ impl Report {
             name,
             buf: String::new(),
             failures: Vec::new(),
+            artifacts: true,
         }
     }
 
@@ -81,9 +92,21 @@ impl Report {
     }
 
     /// Record a failed unit of work (one benchmark, usually) and emit
-    /// its error row.
+    /// its error row. Each failure also gets its own uniquely-named
+    /// artifact under `results/partial/` (`<binary>.<benchmark>.txt`),
+    /// so per-benchmark diagnostics never share a file — concurrent
+    /// runs of different binaries cannot interleave inside one.
     pub fn fail(&mut self, label: &str, err: &SimError) {
         self.line(format!("{label}: ERROR: {err}"));
+        if self.artifacts {
+            let detail = format!("{}: {label}: ERROR: {err}\n", self.name);
+            if let Err(e) = write_atomic(
+                &format!("results/partial/{}.{}.txt", self.name, sanitize(label)),
+                detail.as_bytes(),
+            ) {
+                eprintln!("could not write per-benchmark failure artifact: {e}");
+            }
+        }
         self.failures.push((label.to_string(), err.clone()));
     }
 
@@ -95,15 +118,19 @@ impl Report {
     /// Finish the run: exit 0 when everything succeeded; otherwise
     /// write the partial output to `results/partial/<name>.txt`,
     /// summarize the failures on stderr, and exit 1.
+    ///
+    /// The report stream has a single writer by construction — the
+    /// experiment executor fans simulations out over worker threads,
+    /// but every [`Report`] method runs on the main thread after the
+    /// results are reassembled — and the file lands via a write-to-temp
+    /// then atomic-rename, so a concurrently running sibling process
+    /// can never observe (or splice into) a half-written report.
     pub fn finish(self) -> ! {
         if self.failures.is_empty() {
             std::process::exit(0);
         }
         let path = format!("results/partial/{}.txt", self.name);
-        match std::fs::create_dir_all("results/partial").and_then(|()| {
-            let mut f = std::fs::File::create(&path)?;
-            f.write_all(self.buf.as_bytes())
-        }) {
+        match write_atomic(&path, self.buf.as_bytes()) {
             Ok(()) => eprintln!("partial results written to {path}"),
             Err(e) => eprintln!("could not write partial results to {path}: {e}"),
         }
@@ -113,6 +140,35 @@ impl Report {
         }
         std::process::exit(1);
     }
+}
+
+/// Map a benchmark label onto a filename-safe slug.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Write `bytes` to `path` atomically: create `results/partial/`, write
+/// a process-unique temp file, then rename it into place. Readers (and
+/// concurrent writers of the same path) see either the old complete
+/// file or the new complete file, never a mix.
+fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results/partial")?;
+    let tmp = format!("{path}.{}.tmp", std::process::id());
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -131,6 +187,7 @@ mod tests {
     #[test]
     fn report_accumulates_failures() {
         let mut r = Report::new("test");
+        r.artifacts = false; // keep unit tests out of the working tree
         r.line("hello");
         r.push("table\n");
         assert_eq!(r.failure_count(), 0);
@@ -143,5 +200,12 @@ mod tests {
         );
         assert_eq!(r.failure_count(), 1);
         assert!(r.buf.contains("blend: ERROR:"), "{}", r.buf);
+    }
+
+    #[test]
+    fn sanitize_keeps_benchmark_names_and_defangs_the_rest() {
+        assert_eq!(sanitize("mpeg-enc"), "mpeg-enc");
+        assert_eq!(sanitize("cjpeg-np"), "cjpeg-np");
+        assert_eq!(sanitize("../evil name"), "___evil_name");
     }
 }

@@ -5,13 +5,24 @@
 //! (one wedged or panicking benchmark becomes an error row, the rest
 //! still produce bars), and the original panicking form for callers
 //! that treat any failure as fatal.
+//!
+//! # Parallel execution
+//!
+//! The full result set is ~100+ independent cycle-level simulations
+//! (Figure 1 alone is 12 benchmarks × 6 configurations). Every
+//! (benchmark, configuration) cell is a pure function of its inputs, so
+//! the figure-level runners fan the cells out over a worker pool
+//! ([`run_parallel`]) and reassemble the results in deterministic input
+//! order: output is bit-identical for any worker count. `VISIM_JOBS`
+//! selects the worker count (`1` = the serial reference path, no
+//! threads at all; unset/`0` = one worker per available core).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use media_kernels::Variant;
 use visim_cpu::{CountingSink, CpuStats, Pipeline, Summary};
 use visim_mem::MemConfig;
-use visim_util::SimError;
+use visim_util::{pool, SimError};
 
 use crate::bench::{Bench, WorkloadSize};
 use crate::config::Arch;
@@ -19,6 +30,42 @@ use crate::config::Arch;
 /// Environment variable naming a benchmark that must fail: fault
 /// injection for exercising the degraded paths end to end.
 pub const FAIL_BENCH_ENV: &str = "VISIM_FAIL_BENCH";
+
+/// Environment variable selecting the experiment-executor worker count.
+/// `1` forces the serial reference path; `0` or unset auto-detects one
+/// worker per available core.
+pub const JOBS_ENV: &str = "VISIM_JOBS";
+
+/// The configured worker count: `VISIM_JOBS` if set to a positive
+/// integer, otherwise one worker per available core.
+pub fn jobs() -> usize {
+    match std::env::var(JOBS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_jobs(),
+        },
+        Err(_) => default_jobs(),
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run independent experiment jobs on the worker pool ([`jobs`] workers)
+/// and return the results in input order. Each job must be a pure
+/// function of its captures; the result vector is then independent of
+/// the worker count, which is what makes `VISIM_JOBS=1` and
+/// `VISIM_JOBS=8` produce byte-identical figures.
+pub fn run_parallel<T, F>(work: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    pool::run_ordered(jobs(), work)
+}
 
 fn injected_fault(bench: Bench) -> Result<(), SimError> {
     if std::env::var(FAIL_BENCH_ENV).as_deref() == Ok(bench.name()) {
@@ -124,6 +171,51 @@ pub fn fig1_bench(bench: Bench, size: &WorkloadSize) -> Vec<Fig1Bar> {
     try_fig1_bench(bench, size).unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
 }
 
+/// Figure 1 for the whole suite: all 12 benchmarks × 6 bars fanned out
+/// over the worker pool as 72 independent cells and reassembled in
+/// figure order. A benchmark whose first failing bar (in bar order) is
+/// `Err` reports that error, matching [`try_fig1_bench`]'s serial
+/// first-failure semantics, while the other benchmarks keep their bars.
+pub fn try_fig1_all(size: &WorkloadSize) -> Vec<(Bench, Result<Vec<Fig1Bar>, SimError>)> {
+    let mut cells = Vec::new();
+    for bench in Bench::all() {
+        for vis in [false, true] {
+            for arch in Arch::all() {
+                cells.push((bench, vis, arch));
+            }
+        }
+    }
+    let results = run_parallel(
+        cells
+            .iter()
+            .map(|&(bench, vis, arch)| {
+                let variant = if vis { Variant::VIS } else { Variant::SCALAR };
+                move || try_run_timed(bench, arch, None, size, variant)
+            })
+            .collect(),
+    );
+    let mut results = results.into_iter();
+    Bench::all()
+        .into_iter()
+        .map(|bench| {
+            let mut bars = Vec::with_capacity(6);
+            let mut first_err = None;
+            for vis in [false, true] {
+                for arch in Arch::all() {
+                    match results.next().expect("one result per Figure 1 cell") {
+                        Ok(summary) if first_err.is_none() => {
+                            bars.push(Fig1Bar { arch, vis, summary })
+                        }
+                        Err(e) if first_err.is_none() => first_err = Some(e),
+                        _ => {}
+                    }
+                }
+            }
+            (bench, first_err.map_or(Ok(bars), Err))
+        })
+        .collect()
+}
+
 /// One pair of Figure 2 bars: base and VIS instruction mixes.
 #[derive(Debug, Clone)]
 pub struct Fig2Row {
@@ -136,16 +228,34 @@ pub struct Fig2Row {
 }
 
 /// Figure 2: dynamic (retired) instruction counts, base vs. VIS, with
-/// per-benchmark failures reported instead of aborting the figure.
+/// per-benchmark failures reported instead of aborting the figure. The
+/// 12 × 2 counted runs fan out over the worker pool; a failing base
+/// variant masks the VIS result for that benchmark, matching the serial
+/// evaluation order.
 pub fn try_fig2(size: &WorkloadSize) -> Vec<(Bench, Result<Fig2Row, SimError>)> {
+    let mut cells = Vec::new();
+    for bench in Bench::all() {
+        for variant in [Variant::SCALAR, Variant::VIS] {
+            cells.push((bench, variant));
+        }
+    }
+    let mut results = run_parallel(
+        cells
+            .into_iter()
+            .map(|(bench, variant)| move || try_run_counted(bench, size, variant))
+            .collect(),
+    )
+    .into_iter();
     Bench::all()
         .into_iter()
         .map(|bench| {
-            let row = try_run_counted(bench, size, Variant::SCALAR).and_then(|base| {
+            let base = results.next().expect("base result per benchmark");
+            let vis = results.next().expect("VIS result per benchmark");
+            let row = base.and_then(|base| {
                 Ok(Fig2Row {
                     bench,
                     base,
-                    vis: try_run_counted(bench, size, Variant::VIS)?,
+                    vis: vis?,
                 })
             });
             (bench, row)
@@ -174,15 +284,33 @@ pub struct Fig3Row {
 
 /// Figure 3: software prefetching on the benchmarks with memory stall,
 /// with per-benchmark failures reported instead of aborting the figure.
+/// The 9 × 2 timed runs fan out over the worker pool; a failing VIS
+/// baseline masks the prefetch result for that benchmark, matching the
+/// serial evaluation order.
 pub fn try_fig3(size: &WorkloadSize) -> Vec<(Bench, Result<Fig3Row, SimError>)> {
+    let mut cells = Vec::new();
+    for bench in Bench::prefetch_set() {
+        for variant in [Variant::VIS, Variant::VIS_PF] {
+            cells.push((bench, variant));
+        }
+    }
+    let mut results = run_parallel(
+        cells
+            .into_iter()
+            .map(|(bench, variant)| move || try_run_timed(bench, Arch::Ooo4, None, size, variant))
+            .collect(),
+    )
+    .into_iter();
     Bench::prefetch_set()
         .into_iter()
         .map(|bench| {
-            let row = try_run_timed(bench, Arch::Ooo4, None, size, Variant::VIS).and_then(|vis| {
+            let vis = results.next().expect("VIS result per benchmark");
+            let pf = results.next().expect("prefetch result per benchmark");
+            let row = vis.and_then(|vis| {
                 Ok(Fig3Row {
                     bench,
                     vis,
-                    pf: try_run_timed(bench, Arch::Ooo4, None, size, Variant::VIS_PF)?,
+                    pf: pf?,
                 })
             });
             (bench, row)
@@ -267,6 +395,67 @@ pub fn l1_sweep(bench: Bench, size: &WorkloadSize, l1_sizes: &[u64]) -> Vec<Swee
         .unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
 }
 
+/// A whole §4.1 sweep (all 12 benchmarks × every cache size) fanned out
+/// over the worker pool. Per benchmark, the first failing point (in
+/// sweep order) becomes its error, matching the serial sweep runners.
+fn try_sweep_suite(
+    size: &WorkloadSize,
+    sweep_sizes: &[u64],
+    cfg_for: impl Fn(u64) -> MemConfig,
+) -> Vec<(Bench, Result<Vec<SweepPoint>, SimError>)> {
+    let mut cells = Vec::new();
+    for bench in Bench::all() {
+        for &bytes in sweep_sizes {
+            cells.push((bench, bytes, cfg_for(bytes)));
+        }
+    }
+    let mut results = run_parallel(
+        cells
+            .into_iter()
+            .map(|(bench, bytes, cfg)| {
+                move || {
+                    try_run_timed(bench, Arch::Ooo4, Some(cfg), size, Variant::VIS)
+                        .map(|summary| SweepPoint { bytes, summary })
+                }
+            })
+            .collect(),
+    )
+    .into_iter();
+    Bench::all()
+        .into_iter()
+        .map(|bench| {
+            let mut points = Vec::with_capacity(sweep_sizes.len());
+            let mut first_err = None;
+            for _ in sweep_sizes {
+                match results.next().expect("one result per sweep point") {
+                    Ok(pt) if first_err.is_none() => points.push(pt),
+                    Err(e) if first_err.is_none() => first_err = Some(e),
+                    _ => {}
+                }
+            }
+            (bench, first_err.map_or(Ok(points), Err))
+        })
+        .collect()
+}
+
+/// §4.1 L1 sweep over the whole suite, parallel across
+/// (benchmark × L1 size) cells.
+pub fn try_l1_sweep_all(
+    size: &WorkloadSize,
+    l1_sizes: &[u64],
+) -> Vec<(Bench, Result<Vec<SweepPoint>, SimError>)> {
+    try_sweep_suite(size, l1_sizes, |b| MemConfig::default().with_l1_size(b))
+}
+
+/// §4.1 L2 sweep over the whole suite, parallel across
+/// (benchmark × L2 size) cells.
+pub fn try_l2_sweep_all(
+    size: &WorkloadSize,
+    l2_sizes: &[u64],
+) -> Vec<(Bench, Result<Vec<SweepPoint>, SimError>)> {
+    try_sweep_suite(size, l2_sizes, |b| MemConfig::default().with_l2_size(b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +497,28 @@ mod tests {
         let v = run_timed(Bench::Thresh, Arch::Ooo4, None, &tiny(), Variant::VIS);
         let speedup = s.cycles() as f64 / v.cycles() as f64;
         assert!(speedup > 1.5, "VIS speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn fig2_fanout_matches_serial_composition() {
+        let size = tiny();
+        for (bench, row) in try_fig2(&size) {
+            let base = try_run_counted(bench, &size, Variant::SCALAR).unwrap();
+            let vis = try_run_counted(bench, &size, Variant::VIS).unwrap();
+            let r = row.unwrap();
+            assert_eq!(r.base.retired, base.retired, "{bench:?} base");
+            assert_eq!(r.base.mix, base.mix, "{bench:?} base mix");
+            assert_eq!(r.vis.retired, vis.retired, "{bench:?} vis");
+            assert_eq!(r.vis.mix, vis.mix, "{bench:?} vis mix");
+        }
+    }
+
+    #[test]
+    fn jobs_env_parses_positive_integers_only() {
+        // `jobs()` falls back to auto-detect on garbage, so any value it
+        // returns is at least 1 (run_ordered would panic on 0 workers
+        // only via BoundedQueue::new, never from here).
+        assert!(jobs() >= 1);
     }
 
     #[test]

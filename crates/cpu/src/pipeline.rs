@@ -41,6 +41,9 @@ impl Hasher for RegHasher {
     }
 }
 
+/// Sentinel in [`Slot::src_seqs`]: no (remaining) dependency.
+const NO_DEP: u64 = u64::MAX;
+
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     inst: Inst,
@@ -53,6 +56,13 @@ struct Slot {
     mem_retry_at: u64,
     mispredicted: bool,
     resolved: bool,
+    /// Producer sequence numbers of the source registers, resolved once
+    /// at dispatch (register renaming). Sequence numbers are dense
+    /// window indices (`seq - head_seq`), so the per-cycle wake-up check
+    /// is flat array indexing with no hash lookups; entries flip to
+    /// [`NO_DEP`] as producers complete so satisfied dependencies are
+    /// never re-checked.
+    src_seqs: [u64; 3],
 }
 
 impl Slot {
@@ -66,6 +76,7 @@ impl Slot {
             mem_retry_at: 0,
             mispredicted: false,
             resolved: false,
+            src_seqs: [NO_DEP; 3],
         }
     }
 }
@@ -116,6 +127,10 @@ pub struct Pipeline {
     issue_frontier: usize,
     /// Completion times of loads occupying memory-queue slots.
     inflight_loads: Vec<u64>,
+    /// Earliest completion time in `inflight_loads` (`u64::MAX` when
+    /// empty): the per-cycle prune only scans when a load can actually
+    /// have completed, instead of a `retain` sweep every cycle.
+    inflight_min: u64,
     /// Retired stores waiting to be accepted by the L1.
     store_buffer: VecDeque<(Request, u64)>,
     /// With `blocking_loads`, no instruction issues before this cycle.
@@ -151,6 +166,7 @@ impl Pipeline {
             unresolved_seqs: Vec::new(),
             issue_frontier: 0,
             inflight_loads: Vec::new(),
+            inflight_min: u64::MAX,
             store_buffer: VecDeque::new(),
             issue_blocked_until: 0,
             stats,
@@ -272,7 +288,23 @@ impl Pipeline {
     fn cycle(&mut self) {
         let sig = self.progress_signature();
         let now = self.now;
-        self.inflight_loads.retain(|&t| t > now);
+        // Lazy prune: only scan when the earliest deadline has arrived;
+        // completed loads swap-remove out (order is irrelevant, only the
+        // occupancy count matters).
+        if self.inflight_min <= now {
+            let mut min = u64::MAX;
+            let mut i = 0;
+            while i < self.inflight_loads.len() {
+                let t = self.inflight_loads[i];
+                if t <= now {
+                    self.inflight_loads.swap_remove(i);
+                } else {
+                    min = min.min(t);
+                    i += 1;
+                }
+            }
+            self.inflight_min = min;
+        }
         self.resolve_branches();
         let (retired, stall) = self.retire();
         self.issue();
@@ -316,8 +348,12 @@ impl Pipeline {
         let penalty = self.cfg.mispredict_penalty;
         let mut resolved_misp_at = None;
         let mut resolved = 0u32;
-        self.unresolved_seqs.retain(|&seq| {
-            let ix = (seq - head) as usize;
+        // Swap-remove scan: order is irrelevant (at most one mispredicted
+        // branch is ever in flight, since fetch stalls until it resolves).
+        let seqs = &mut self.unresolved_seqs;
+        let mut i = 0;
+        while i < seqs.len() {
+            let ix = (seqs[i] - head) as usize;
             let slot = &mut window[ix];
             if slot.issued && slot.done_at <= now {
                 slot.resolved = true;
@@ -325,11 +361,11 @@ impl Pipeline {
                 if slot.mispredicted {
                     resolved_misp_at = Some(slot.done_at);
                 }
-                false
+                seqs.swap_remove(i);
             } else {
-                true
+                i += 1;
             }
-        });
+        }
         self.unresolved_branches -= resolved;
         if let Some(done_at) = resolved_misp_at {
             self.fetch_resume_at = done_at + penalty;
@@ -385,16 +421,32 @@ impl Pipeline {
         (retired, None)
     }
 
-    /// True when every source register of `inst` is available at `now`.
-    fn sources_ready(&self, inst: &Inst) -> bool {
-        inst.sources().all(|r| match self.produced.get(&r) {
-            None => true, // producer retired (or never in flight)
-            Some(&seq) => {
-                let ix = (seq - self.head_seq) as usize;
-                let p = &self.window[ix];
-                p.issued && p.done_at <= self.now
+    /// True when every producer in the slot's dispatch-time renamed
+    /// dependency list has completed. Satisfied entries flip to
+    /// [`NO_DEP`] in place, so a dependency is checked at most once
+    /// after it completes — no hash lookups on this per-cycle path
+    /// (the `produced` map is only consulted once per instruction, at
+    /// dispatch).
+    fn sources_ready_at(&mut self, i: usize) -> bool {
+        let mut deps = self.window[i].src_seqs;
+        let mut ready = true;
+        for d in deps.iter_mut() {
+            if *d == NO_DEP {
+                continue;
             }
-        })
+            if *d < self.head_seq {
+                *d = NO_DEP; // producer retired
+                continue;
+            }
+            let p = &self.window[(*d - self.head_seq) as usize];
+            if p.issued && p.done_at <= self.now {
+                *d = NO_DEP;
+            } else {
+                ready = false;
+            }
+        }
+        self.window[i].src_seqs = deps;
+        ready
     }
 
     /// Issue ready instructions (program-order scan; the in-order policy
@@ -419,9 +471,9 @@ impl Pipeline {
             let inst = self.window[i].inst;
             let mut blocked = false;
 
-            if !self.sources_ready(&inst) {
-                blocked = true;
-            } else if self.window[i].mem_blocked && now < self.window[i].mem_retry_at {
+            if !self.sources_ready_at(i)
+                || (self.window[i].mem_blocked && now < self.window[i].mem_retry_at)
+            {
                 blocked = true;
             } else if let Some(mem) = inst.mem {
                 blocked = !self.try_issue_mem(i, mem, &inst);
@@ -476,6 +528,7 @@ impl Pipeline {
                 slot.done_at = r.done_at;
                 slot.mem_level = Some(r.level);
                 self.inflight_loads.push(r.done_at);
+                self.inflight_min = self.inflight_min.min(r.done_at);
                 if self.cfg.blocking_loads {
                     self.issue_blocked_until = r.done_at;
                 }
@@ -529,6 +582,20 @@ impl Pipeline {
                             inst.dst, inst.pc
                         ),
                     });
+                }
+            }
+            // Rename: resolve each source register to its producer's
+            // sequence number now, so the issue loop never touches the
+            // register map again for this instruction. The destination
+            // is registered first so a (corrupt, non-SSA) instruction
+            // that reads its own destination still deadlocks against
+            // itself — the watchdog's wedged-model case — exactly as
+            // the issue-time scoreboard lookup did.
+            for (k, r) in inst.srcs.iter().enumerate() {
+                if r.is_some() {
+                    if let Some(&pseq) = self.produced.get(r) {
+                        slot.src_seqs[k] = pseq;
+                    }
                 }
             }
             if let Some(b) = inst.branch {

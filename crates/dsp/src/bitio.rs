@@ -38,7 +38,7 @@ impl BitWriter {
     /// Panics if `n > 24`.
     pub fn put(&mut self, v: u32, n: u32) {
         assert!(n <= 24, "put supports up to 24 bits at a time");
-        self.acc = (self.acc << n) | (v & ((1u32 << n) - 1).max(0));
+        self.acc = (self.acc << n) | (v & ((1u32 << n) - 1));
         self.nbits += n;
         while self.nbits >= 8 {
             let b = (self.acc >> (self.nbits - 8)) as u8;

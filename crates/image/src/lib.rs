@@ -33,7 +33,7 @@ pub struct Image {
 impl Image {
     /// A black image.
     pub fn new(width: usize, height: usize, bands: usize) -> Self {
-        assert!(bands >= 1 && bands <= 4, "1..=4 bands supported");
+        assert!((1..=4).contains(&bands), "1..=4 bands supported");
         Image {
             width,
             height,

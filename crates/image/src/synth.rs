@@ -36,8 +36,7 @@ pub fn still(width: usize, height: usize, bands: usize, seed: u64) -> Image {
 
     for y in 0..height {
         for x in 0..width {
-            for b in 0..bands {
-                let (fx, fy, ph, amp) = params[b];
+            for (b, &(fx, fy, ph, amp)) in params.iter().enumerate().take(bands) {
                 let u = x as f64 / width.max(1) as f64;
                 let v = y as f64 / height.max(1) as f64;
                 let mut val = 128.0
@@ -100,7 +99,10 @@ pub struct Yuv420 {
 impl Yuv420 {
     /// A black frame.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width % 2 == 0 && height % 2 == 0, "4:2:0 needs even dims");
+        assert!(
+            width.is_multiple_of(2) && height.is_multiple_of(2),
+            "4:2:0 needs even dims"
+        );
         Yuv420 {
             width,
             height,

@@ -116,10 +116,10 @@ fn faligndata_window() {
             let got = vis::unpack8(vis::faligndata(gsr, lo, hi));
             let l = vis::unpack8(lo);
             let h = vis::unpack8(hi);
-            for i in 0..8usize {
+            for (i, &g) in got.iter().enumerate() {
                 let j = i + k as usize;
                 let want = if j < 8 { l[j] } else { h[j - 8] };
-                prop_assert_eq!(got[i], want);
+                prop_assert_eq!(g, want);
             }
             Ok(())
         },

@@ -276,8 +276,7 @@ impl SimQuant {
         assert_eq!(coef.len(), 64);
         let tb = p.li(self.table as i64);
         let mut zz = Vec::with_capacity(64);
-        for k in 0..64 {
-            let raster = ZIGZAG[k];
+        for &raster in ZIGZAG.iter() {
             let c = &coef[raster];
             let q = p.load_u16(&tb, 2 * raster as i64);
             let half = p.srai(&q, 1);
@@ -303,8 +302,7 @@ impl SimQuant {
         assert_eq!(coef.len(), 64);
         let tb = p.li(self.table as i64);
         let mut zz = Vec::with_capacity(64);
-        for k in 0..64 {
-            let raster = ZIGZAG[k];
+        for &raster in ZIGZAG.iter() {
             let c = &coef[raster];
             let q = p.load_u16(&tb, 2 * raster as i64);
             let level = if p.bcond_i(Cond::Ge, c, 0, false) {
@@ -416,10 +414,10 @@ mod tests {
         }
         let c = vals(&mut p, &coef);
         let zz = sq.quantize(&mut p, &c);
-        for k in 0..64 {
+        for (k, level) in zz.iter().enumerate() {
             let raster = media_dsp::ZIGZAG[k];
             let want = media_dsp::quant::quantize(coef[raster], LUMA_Q[raster]);
-            assert_eq!(zz[k].value(), want as i64, "zz {k}");
+            assert_eq!(level.value(), want as i64, "zz {k}");
         }
     }
 
@@ -541,15 +539,16 @@ fn vtranspose<S: SimSink>(p: &mut Program<S>, v: &[VVal]) -> PackedBlock {
     assert_eq!(v.len(), 16);
     // Host-side lane matrix.
     let mut m = [[0i16; 8]; 8];
-    for r in 0..8 {
+    for (r, row) in m.iter_mut().enumerate() {
         let lo = v[2 * r].lanes16();
         let hi = v[2 * r + 1].lanes16();
-        for c in 0..4 {
-            m[r][c] = lo[c];
-            m[r][c + 4] = hi[c];
-        }
+        row[..4].copy_from_slice(&lo[..4]);
+        row[4..].copy_from_slice(&hi[..4]);
     }
     let mut out = Vec::with_capacity(16);
+    // `r` walks the columns of `m` (the transpose axis), so there is no
+    // row slice to iterate over.
+    #[allow(clippy::needless_range_loop)]
     for r in 0..8 {
         for half in 0..2 {
             let mut lanes = [0i16; 4];

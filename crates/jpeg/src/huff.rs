@@ -153,8 +153,7 @@ pub fn extend<S: SimSink>(p: &mut Program<S>, bits: &Val, cat: i64) -> Val {
     }
     let half = 1i64 << (cat - 1);
     if p.bcond_i(Cond::Lt, bits, half, false) {
-        let t = p.addi(bits, 1 - (1i64 << cat));
-        t
+        p.addi(bits, 1 - (1i64 << cat))
     } else {
         *bits
     }

@@ -415,7 +415,7 @@ mod tests {
     fn convsep_smooths_towards_reference() {
         let (w, h) = (32, 8);
         let img = synth::still(w, h, 3, 5);
-        let mut run = |v: Variant| {
+        let run = |v: Variant| {
             let mut sink = CountingSink::new();
             let mut p = Program::new(&mut sink);
             let s = SimImage::from_image(&mut p, &img);

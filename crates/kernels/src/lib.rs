@@ -161,9 +161,15 @@ mod tests {
 
     #[test]
     fn variant_constants() {
-        assert!(!Variant::SCALAR.vis && !Variant::SCALAR.prefetch);
-        assert!(Variant::VIS.vis && !Variant::VIS.prefetch);
-        assert!(Variant::VIS_PF.vis && Variant::VIS_PF.prefetch);
-        assert!(!Variant::SCALAR_PF.vis && Variant::SCALAR_PF.prefetch);
+        let cases = [
+            (Variant::SCALAR, false, false),
+            (Variant::VIS, true, false),
+            (Variant::VIS_PF, true, true),
+            (Variant::SCALAR_PF, false, true),
+        ];
+        for (v, vis, prefetch) in cases {
+            assert_eq!(v.vis, vis, "{v:?}");
+            assert_eq!(v.prefetch, prefetch, "{v:?}");
+        }
     }
 }

@@ -427,7 +427,7 @@ mod tests {
     #[test]
     fn scaling_vis_matches_scalar() {
         let img = synth::still(40, 6, 3, 3);
-        let mut run = |v: Variant| {
+        let run = |v: Variant| {
             let mut sink = CountingSink::new();
             let out = {
                 let mut p = Program::new(&mut sink);

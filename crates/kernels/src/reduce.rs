@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn dotprod_vis_is_exact_but_barely_cheaper() {
         let n = 256;
-        let mut run = |v: Variant| {
+        let run = |v: Variant| {
             let mut sink = CountingSink::new();
             let r = {
                 let mut p = Program::new(&mut sink);
@@ -197,7 +197,7 @@ mod tests {
             .zip(b.data())
             .map(|(&x, &y)| (x as i64 - y as i64).abs())
             .sum();
-        let mut run = |v: Variant| {
+        let run = |v: Variant| {
             let mut sink = CountingSink::new();
             let r = {
                 let mut p = Program::new(&mut sink);

@@ -75,7 +75,7 @@ pub fn thresh<S: SimSink>(
     let bands = src.bands;
     let n = src.row_bytes() as i64;
     // Constant vectors per chunk phase (chunk start mod lcm(8, bands)).
-    let phases = if bands % 2 == 0 { 1 } else { bands };
+    let phases = if bands.is_multiple_of(2) { 1 } else { bands };
     let vis_consts: Option<Vec<[VVal; 5]>> = if v.vis {
         Some(
             (0..phases)
@@ -170,7 +170,7 @@ pub fn thresh1<S: SimSink>(
     );
     let bands = src.bands;
     let n = src.row_bytes() as i64;
-    let phases = if bands % 2 == 0 { 1 } else { bands };
+    let phases = if bands.is_multiple_of(2) { 1 } else { bands };
     let vis_consts: Option<Vec<[VVal; 3]>> = if v.vis {
         Some(
             (0..phases)
@@ -310,7 +310,7 @@ mod tests {
         let img = synth::still(w, h, 3, 13);
         let limit = [100u8, 120, 140, 0];
         let map = [250u8, 1, 128, 0];
-        let mut run = |v: Variant| {
+        let run = |v: Variant| {
             let mut sink = CountingSink::new();
             let mut p = Program::new(&mut sink);
             let s = SimImage::from_image(&mut p, &img);

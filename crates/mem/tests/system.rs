@@ -150,7 +150,7 @@ fn bank_conflicts_serialize_same_bank_lines() {
     let r1 = m.access(load(0x0000), 0).unwrap();
     let r2 = m.access(load(4 * 64), 0).unwrap();
     // Two lines in different banks issued together overlap fully.
-    let r3 = m.access(load(1 * 64 + 0x10_0000), 0).unwrap();
+    let r3 = m.access(load(64 + 0x10_0000), 0).unwrap(); // line 1: a different bank
     assert!(r2.done_at > r1.done_at, "same-bank accesses serialize");
     assert!(
         r3.done_at <= r1.done_at + 2,

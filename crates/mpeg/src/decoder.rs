@@ -109,20 +109,6 @@ fn display_order(enc: &[FrameType]) -> Vec<usize> {
     disp
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn display_order_inverts_encode_order() {
-        use FrameType::*;
-        // Display IBBP encodes as IPBB; inverting recovers 0,2,3,1.
-        assert_eq!(display_order(&[I, P, B, B]), vec![0, 2, 3, 1]);
-        assert_eq!(display_order(&[I, P, P]), vec![0, 1, 2]);
-        assert_eq!(display_order(&[I, P, B]), vec![0, 2, 1]);
-    }
-}
-
 #[allow(clippy::too_many_arguments)]
 fn decode_frame<S: SimSink>(
     p: &mut Program<S>,
@@ -191,5 +177,19 @@ fn decode_frame<S: SimSink>(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_order_inverts_encode_order() {
+        use FrameType::*;
+        // Display IBBP encodes as IPBB; inverting recovers 0,2,3,1.
+        assert_eq!(display_order(&[I, P, B, B]), vec![0, 2, 3, 1]);
+        assert_eq!(display_order(&[I, P, P]), vec![0, 1, 2]);
+        assert_eq!(display_order(&[I, P, B]), vec![0, 2, 1]);
     }
 }

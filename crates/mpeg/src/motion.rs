@@ -6,6 +6,11 @@
 //! VIS SAD uses `pdist`, collapsing ~48 instructions into one per eight
 //! pixels.
 
+// The block-copy/interpolation helpers all take the same flat geometry
+// bundle (source plane + x/y + width/height + destination + variant);
+// packing it into a struct would only rename the arguments.
+#![allow(clippy::too_many_arguments)]
+
 use media_jpeg::SimPlane;
 use visim_cpu::SimSink;
 use visim_trace::{Cond, Program, Val};
@@ -124,7 +129,7 @@ pub fn copy_rect<S: SimSink>(
     for row in 0..h {
         let sb = p.li(src.row(sy + row) as i64 + sx as i64);
         let db = p.li(dst.row(dy + row) as i64 + dx as i64);
-        if v.vis && w % 8 == 0 && (src.row(sy + row) + sx as u64) % 8 == 0 {
+        if v.vis && w.is_multiple_of(8) && (src.row(sy + row) + sx as u64).is_multiple_of(8) {
             for c in (0..w).step_by(8) {
                 let x = p.loadv(&sb, c as i64);
                 p.storev(&db, c as i64, &x);
@@ -160,7 +165,7 @@ pub fn avg_rect<S: SimSink>(
         let ab = p.li(a.0.row((a.2 + row as i64) as usize) as i64 + a.1);
         let bb = p.li(b.0.row((b.2 + row as i64) as usize) as i64 + b.1);
         let ob = p.li(out.row(row) as i64);
-        if v.vis && w % 8 == 0 {
+        if v.vis && w.is_multiple_of(8) {
             for c in (0..w as i64).step_by(8) {
                 // Unaligned-safe windowed loads for both references.
                 let aa = p.addi(&ab, c);
@@ -276,7 +281,7 @@ mod tests {
     #[test]
     fn vis_sad_agrees_with_scalar_and_is_cheaper() {
         let frames = synth::video(64, 32, 2, 7);
-        let mut run = |v: Variant| {
+        let run = |v: Variant| {
             let mut sink = CountingSink::new();
             let r = {
                 let mut p = Program::new(&mut sink);
@@ -550,8 +555,8 @@ mod halfpel_tests {
                         let (bx, by) = (x2 / 2 + c, y2 / 2 + r);
                         let want = match (x2 & 1, y2 & 1) {
                             (0, 0) => s(bx, by),
-                            (1, 0) => (s(bx, by) + s(bx + 1, by) + 1) / 2,
-                            (0, 1) => (s(bx, by) + s(bx, by + 1) + 1) / 2,
+                            (1, 0) => (s(bx, by) + s(bx + 1, by)).div_ceil(2),
+                            (0, 1) => (s(bx, by) + s(bx, by + 1)).div_ceil(2),
                             _ => {
                                 (s(bx, by) + s(bx + 1, by) + s(bx, by + 1) + s(bx + 1, by + 1) + 2)
                                     / 4
@@ -579,7 +584,7 @@ mod halfpel_tests {
             for x in 0..63 {
                 let a = f0.y[y * 64 + x] as u32;
                 let b = f0.y[y * 64 + x + 1] as u32;
-                f1.y[y * 64 + x] = ((a + b + 1) / 2) as u8;
+                f1.y[y * 64 + x] = (a + b).div_ceil(2) as u8;
             }
         }
         let mut sink = CountingSink::new();

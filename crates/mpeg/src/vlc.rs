@@ -171,9 +171,9 @@ mod tests {
         w.finish(&mut p);
         let mut r = BitReaderState::new(&mut p, buf);
         let coef = t.get_block(&mut p, &mut r, &q);
-        for k in 0..64 {
+        for (k, &level) in levels.iter().enumerate() {
             let raster = media_dsp::ZIGZAG[k];
-            let want = levels[k] * MPEG_INTRA_Q[raster] as i64;
+            let want = level * MPEG_INTRA_Q[raster] as i64;
             assert_eq!(coef[raster].value(), want, "zz {k}");
         }
     }

@@ -573,6 +573,9 @@ impl<'s, S: SimSink> Program<'s, S> {
     // Memory operations.
     // -----------------------------------------------------------------
 
+    // Internal helper shared by every load shape; the arguments mirror
+    // the fields of the emitted instruction one-to-one.
+    #[allow(clippy::too_many_arguments)]
     fn ld(
         &mut self,
         pc: u64,

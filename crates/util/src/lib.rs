@@ -14,10 +14,13 @@
 //!   `criterion`) for `harness = false` bench targets;
 //! * [`error`] — [`SimError`], the typed fault model threaded through
 //!   the pipeline watchdog, the memory-model invariant checks and the
-//!   experiment runners.
+//!   experiment runners;
+//! * [`pool`] — a scoped worker pool with a bounded job queue (replaces
+//!   `rayon`) for the parallel experiment executor.
 
 pub mod bench;
 pub mod error;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 

@@ -1,0 +1,220 @@
+//! A zero-dependency scoped worker pool with a bounded job queue.
+//!
+//! The experiment layer fans independent simulations out over OS
+//! threads (`std::thread::scope`; the workspace builds hermetically, so
+//! no rayon/crossbeam). Jobs are indexed and results are written back
+//! into their input slot, so [`run_ordered`] returns results in input
+//! order regardless of completion order — callers get bit-identical
+//! output whether one worker or sixteen ran the jobs.
+//!
+//! The queue is bounded (a handful of jobs per worker) so a producer
+//! generating jobs lazily cannot balloon memory ahead of slow workers;
+//! with the job counts in this workspace it simply acts as a fixed
+//! hand-off buffer.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// A blocking bounded MPMC queue (mutex + condvars; no spinning).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    cap: usize,
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be positive");
+        BoundedQueue {
+            cap,
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the queue was closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut st = self.state.lock().expect("queue poisoned");
+        while st.items.len() >= self.cap && !st.closed {
+            st = self.not_full.wait(st).expect("queue poisoned");
+        }
+        if st.closed {
+            return false;
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeue one item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: pending items stay poppable, further pushes are
+    /// rejected, and blocked poppers wake with `None` once drained.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Run every job and return the results **in input order**.
+///
+/// With `workers <= 1` (or fewer than two jobs) the jobs run serially
+/// on the calling thread — this is the `VISIM_JOBS=1` reference path,
+/// with no threads spawned at all. Otherwise `min(workers, jobs)`
+/// scoped threads drain a bounded queue of `(index, job)` pairs and
+/// write each result into its input slot.
+///
+/// # Panics
+///
+/// A panicking job does not abort the process or poison its siblings:
+/// the payload is caught in the worker, every other job still runs, and
+/// the first panic (in input order) is resumed on the calling thread
+/// after the pool drains.
+pub fn run_ordered<T, F>(workers: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let workers = workers.min(jobs.len());
+    let queue: BoundedQueue<(usize, F)> = BoundedQueue::new(workers * 2);
+    let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        let queue = &queue;
+        let slots = &slots;
+        for _ in 0..workers {
+            s.spawn(move || {
+                while let Some((ix, job)) = queue.pop() {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    *slots[ix].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+        for pair in jobs.into_iter().enumerate() {
+            queue.push(pair);
+        }
+        queue.close();
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            match slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool ran every job")
+            {
+                Ok(v) => v,
+                Err(payload) => resume_unwind(payload),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Make early jobs the slowest so completion order is scrambled.
+        let jobs: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    if i < 4 {
+                        std::thread::sleep(std::time::Duration::from_millis(20 - 4 * i as u64));
+                    }
+                    i * i
+                }
+            })
+            .collect();
+        let out = run_ordered(8, jobs);
+        assert_eq!(out, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mk = || {
+            (0..20u64)
+                .map(|i| move || i.wrapping_mul(0x9e37) ^ i)
+                .collect()
+        };
+        assert_eq!(run_ordered::<u64, _>(1, mk()), run_ordered(7, mk()));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..100)
+            .map(|_| || counter.fetch_add(1, Ordering::SeqCst))
+            .collect();
+        let mut out = run_ordered(4, jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        out.sort_unstable();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sibling_jobs_survive_a_panicking_job() {
+        let done = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| {
+                let done = &done;
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("job 3 exploded");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst)
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| run_ordered(4, jobs)));
+        assert!(caught.is_err(), "panic propagates to the caller");
+        assert_eq!(done.load(Ordering::SeqCst), 15, "siblings still ran");
+    }
+
+    #[test]
+    fn queue_rejects_pushes_after_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1));
+        q.close();
+        assert!(!q.push(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+}

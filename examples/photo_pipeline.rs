@@ -9,7 +9,7 @@
 
 use media_jpeg as jpeg;
 use media_kernels::{conv, pointwise, SimImage, Variant};
-use visim_cpu::{CountingSink, CpuConfig, Pipeline, SimSink};
+use visim_cpu::{CountingSink, CpuConfig, Pipeline};
 use visim_mem::MemConfig;
 use visim_trace::Program;
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# End-to-end wall-clock harness for the figure/table binaries: times
+# every binary at the given workload size and emits BENCH_runtime.json,
+# the repo's perf-trajectory baseline (EXPERIMENTS.md records the
+# before/after history).
+#
+# Usage:            scripts/bench.sh
+#   SIZE=tiny       workload size passed to every binary (default study)
+#   VISIM_JOBS=N    worker count for the experiment executor
+#                   (default: auto, one worker per core)
+#   BENCH_OUT=path  output JSON path (default BENCH_runtime.json)
+#
+# A degraded binary (nonzero exit, e.g. under VISIM_FAIL_BENCH) is still
+# timed and recorded with its exit status; the harness itself only fails
+# on build errors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SIZE="${SIZE:-study}"
+OUT="${BENCH_OUT:-BENCH_runtime.json}"
+BINARIES=(fig1 fig2 fig3 sweep_l1 sweep_l2 kernels14 ablation tables)
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+cores=$(nproc 2>/dev/null || echo 1)
+jobs="${VISIM_JOBS:-auto}"
+
+echo "== timing (size=$SIZE, jobs=$jobs, cores=$cores) =="
+rows=""
+total=0
+for bin in "${BINARIES[@]}"; do
+  start=$(date +%s%N)
+  status=0
+  ./target/release/"$bin" "$SIZE" >/dev/null 2>&1 || status=$?
+  end=$(date +%s%N)
+  secs=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
+  total=$(awk -v t="$total" -v s="$secs" 'BEGIN{printf "%.3f", t+s}')
+  printf '%-10s %8ss  (exit %d)\n' "$bin" "$secs" "$status"
+  [ -n "$rows" ] && rows+=$',\n'
+  rows+="    {\"name\": \"$bin\", \"seconds\": $secs, \"exit\": $status}"
+done
+
+cat > "$OUT" <<EOF
+{
+  "schema": "visim-bench-runtime-v1",
+  "size": "$SIZE",
+  "jobs": "$jobs",
+  "host_cores": $cores,
+  "binaries": [
+$rows
+  ],
+  "total_seconds": $total
+}
+EOF
+
+echo "== total ${total}s; wrote $OUT =="

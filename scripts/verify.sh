@@ -14,6 +14,9 @@ cargo build --release --offline
 echo "== tests (workspace, offline) =="
 cargo test --workspace --offline -q
 
+echo "== clippy (workspace, offline) =="
+cargo clippy --workspace --offline -- -D warnings
+
 echo "== formatting =="
 cargo fmt --check
 
