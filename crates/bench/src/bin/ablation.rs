@@ -8,13 +8,15 @@
 //! output is byte-identical for any worker count.
 
 use media_kernels::Variant;
+use visim::artifact;
 use visim::bench::{Bench, WorkloadSize};
 use visim::config::Arch;
 use visim::experiment::run_parallel;
 use visim::report;
-use visim_bench::{section, size_from_args};
+use visim_bench::{labeled_size_from_args, Report};
 use visim_cpu::{CpuConfig, Pipeline, Summary};
 use visim_mem::MemConfig;
+use visim_obs::Json;
 
 /// One simulation cell: a benchmark under an explicit machine config.
 #[derive(Clone)]
@@ -52,9 +54,23 @@ fn run_all(specs: Vec<Spec>, size: &WorkloadSize) -> Vec<Summary> {
     )
 }
 
+/// Cell configuration for one ablation run: which sweep (`section`) and
+/// which point on it (`value`, with `"base"` for the baseline run).
+fn ablation_config(key: &str, value: &str) -> Json {
+    Json::obj(vec![
+        ("figure", Json::from("ablation")),
+        ("section", Json::from(key)),
+        ("value", Json::from(value)),
+    ])
+}
+
 /// A base-plus-variants section: per benchmark, one baseline run and
-/// one run per sweep value, rendered as ratios against the base.
+/// one run per sweep value, rendered as ratios against the base. Every
+/// run also becomes one JSON result cell under the section key.
+#[allow(clippy::too_many_arguments)]
 fn ratio_section(
+    out: &mut Report,
+    key: &str,
     title: &str,
     headers: &[&str],
     benches: &[Bench],
@@ -62,10 +78,18 @@ fn ratio_section(
     specs: Vec<Spec>,
     per_bench: usize,
 ) {
-    section(title);
+    out.section(title);
     let sums = run_all(specs, size);
     let mut rows = Vec::new();
     for (bench, chunk) in benches.iter().zip(sums.chunks_exact(per_bench)) {
+        let values = std::iter::once("base").chain(headers[1..].iter().copied());
+        for (s, value) in chunk.iter().zip(values) {
+            out.cell(artifact::timed_cell(
+                bench.name(),
+                ablation_config(key, value),
+                s,
+            ));
+        }
         let base = chunk[0].cycles() as f64;
         let mut row = vec![bench.name().to_string()];
         for s in &chunk[1..] {
@@ -73,11 +97,12 @@ fn ratio_section(
         }
         rows.push(row);
     }
-    print!("{}", report::table(headers, &rows));
+    out.push(&report::table(headers, &rows));
 }
 
 fn main() {
-    let size = size_from_args();
+    let (size_label, size) = labeled_size_from_args();
+    let mut out = Report::new("ablation", size_label);
     let benches = [Bench::Addition, Bench::Conv, Bench::MpegEnc];
 
     let mut specs = Vec::new();
@@ -94,6 +119,8 @@ fn main() {
         }
     }
     ratio_section(
+        &mut out,
+        "issue-width",
         "ablation: issue width (out-of-order, VIS)",
         &["benchmark", "w=1", "w=2", "w=4", "w=8"],
         &benches,
@@ -116,6 +143,8 @@ fn main() {
         }
     }
     ratio_section(
+        &mut out,
+        "window",
         "ablation: instruction window size",
         &["benchmark", "win=16", "win=32", "win=64", "win=128"],
         &benches,
@@ -139,6 +168,8 @@ fn main() {
         }
     }
     ratio_section(
+        &mut out,
+        "mshr-count",
         "ablation: L1 MSHR count (write backup, paper §3.1)",
         &["benchmark", "mshr=2", "mshr=4", "mshr=12", "mshr=24"],
         &benches,
@@ -161,6 +192,8 @@ fn main() {
         }
     }
     ratio_section(
+        &mut out,
+        "mispredict-penalty",
         "ablation: branch mispredict penalty",
         &["benchmark", "pen=0", "pen=5", "pen=10", "pen=20"],
         &benches,
@@ -181,6 +214,8 @@ fn main() {
         specs.push(Spec::vis(bench, cfg, MemConfig::default()));
     }
     ratio_section(
+        &mut out,
+        "blocking-loads",
         "ablation: blocking vs non-blocking loads (related work, paper §5)",
         &["benchmark", "blocking-loads slowdown"],
         &benches,
@@ -189,7 +224,7 @@ fn main() {
         2,
     );
 
-    section("MSHR occupancy (paper: >5 in flight under prefetching)");
+    out.section("MSHR occupancy (paper: >5 in flight under prefetching)");
     let hist_benches = [Bench::Addition, Bench::Scaling];
     let variants = [("VIS", Variant::VIS), ("VIS+PF", Variant::VIS_PF)];
     let mut specs = Vec::new();
@@ -207,15 +242,21 @@ fn main() {
     for bench in hist_benches {
         for (label, _) in variants {
             let s = sums.next().expect("one summary per histogram cell");
+            out.cell(artifact::timed_cell(
+                bench.name(),
+                ablation_config("mshr-occupancy", label),
+                &s,
+            ));
             let hist = &s.mshr_histogram;
             let total: u64 = hist.iter().sum();
             let frac_ge5: u64 = hist.iter().skip(5).sum();
-            println!(
+            out.line(format!(
                 "{:<10} {:<7} cycles with >=5 outstanding misses: {:>5.1}%",
                 bench.name(),
                 label,
                 100.0 * frac_ge5 as f64 / total.max(1) as f64
-            );
+            ));
         }
     }
+    out.finish();
 }

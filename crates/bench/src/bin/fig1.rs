@@ -12,13 +12,14 @@
 //! from this single thread, so the output is byte-identical for any
 //! worker count.
 
+use visim::artifact;
 use visim::experiment::try_fig1_all;
 use visim::report;
-use visim_bench::{size_from_args, Report};
+use visim_bench::{labeled_size_from_args, Report};
 
 fn main() {
-    let size = size_from_args();
-    let mut out = Report::new("fig1");
+    let (size_label, size) = labeled_size_from_args();
+    let mut out = Report::new("fig1", size_label);
     out.line("Figure 1: performance of image and video benchmarks");
     out.line(format!(
         "(inputs: {}x{} images, {} dotprod elements, {}x{} video)",
@@ -29,10 +30,14 @@ fn main() {
         let bars = match outcome {
             Ok(bars) => bars,
             Err(e) => {
-                out.fail(bench.name(), &e);
+                let cell = artifact::failed_cell(bench.name(), artifact::figure_config("fig1"), &e);
+                out.fail(bench.name(), &e, cell);
                 continue;
             }
         };
+        for bar in &bars {
+            out.cell(artifact::fig1_cell(bench, bar));
+        }
         let rows = report::fig1_rows(&bars);
         out.push(&report::table(&report::fig1_headers(), &rows));
         // The headline ratios the paper quotes.

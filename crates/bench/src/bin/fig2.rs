@@ -6,13 +6,14 @@
 //! A benchmark whose run fails becomes an error row; the in-text
 //! statistics are computed over the benchmarks that succeeded.
 
+use visim::artifact;
 use visim::experiment::try_fig2;
 use visim::report;
-use visim_bench::{size_from_args, Report};
+use visim_bench::{labeled_size_from_args, Report};
 
 fn main() {
-    let size = size_from_args();
-    let mut out = Report::new("fig2");
+    let (size_label, size) = labeled_size_from_args();
+    let mut out = Report::new("fig2", size_label);
     out.line("Figure 2: impact of VIS on dynamic (retired) instruction count");
     out.section("instruction mix (percent of the base variant's count)");
     let outcomes = try_fig2(&size);
@@ -25,8 +26,16 @@ fn main() {
         &report::fig2_rows(&rows),
     ));
     for (bench, r) in &outcomes {
-        if let Err(e) = r {
-            out.fail(bench.name(), e);
+        match r {
+            Ok(row) => {
+                for cell in artifact::fig2_cells(row) {
+                    out.cell(cell);
+                }
+            }
+            Err(e) => {
+                let cell = artifact::failed_cell(bench.name(), artifact::figure_config("fig2"), e);
+                out.fail(bench.name(), e, cell);
+            }
         }
     }
 

@@ -5,13 +5,14 @@
 //! A benchmark whose simulation fails becomes an error row; the rest
 //! still produce bars.
 
+use visim::artifact;
 use visim::experiment::try_fig3;
 use visim::report;
-use visim_bench::{size_from_args, Report};
+use visim_bench::{labeled_size_from_args, Report};
 
 fn main() {
-    let size = size_from_args();
-    let mut out = Report::new("fig3");
+    let (size_label, size) = labeled_size_from_args();
+    let mut out = Report::new("fig3", size_label);
     out.line("Figure 3: effect of software-inserted prefetching (4-way ooo, VIS)");
     out.section("normalized execution time");
     let outcomes = try_fig3(&size);
@@ -24,8 +25,16 @@ fn main() {
         &report::fig3_rows(&rows),
     ));
     for (bench, r) in &outcomes {
-        if let Err(e) = r {
-            out.fail(bench.name(), e);
+        match r {
+            Ok(row) => {
+                for cell in artifact::fig3_cells(row) {
+                    out.cell(cell);
+                }
+            }
+            Err(e) => {
+                let cell = artifact::failed_cell(bench.name(), artifact::figure_config("fig3"), e);
+                out.fail(bench.name(), e, cell);
+            }
         }
     }
 

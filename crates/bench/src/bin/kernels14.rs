@@ -5,10 +5,12 @@
 
 use media_image::synth;
 use media_kernels::{blend, conv, pointwise, reduce, simimg::SimImage, thresh, KernelId, Variant};
+use visim::artifact;
 use visim::report;
-use visim_bench::{section, size_from_args};
+use visim_bench::{labeled_size_from_args, Report};
 use visim_cpu::{CountingSink, CpuConfig, Pipeline, SimSink, Summary};
 use visim_mem::MemConfig;
+use visim_obs::Json;
 use visim_trace::Program;
 
 fn drive<S: SimSink>(p: &mut Program<S>, k: KernelId, w: usize, h: usize, v: Variant) {
@@ -111,63 +113,85 @@ fn timed(k: KernelId, w: usize, h: usize, v: Variant) -> Summary {
     pipe.finish()
 }
 
+/// Cell configuration for this binary's runs.
+fn config(timed: bool, variant: &str) -> Json {
+    Json::obj(vec![
+        ("figure", Json::from("kernels14")),
+        ("timed", Json::from(timed)),
+        ("variant", Json::from(variant)),
+    ])
+}
+
 fn main() {
-    let size = size_from_args();
-    section("all 14 VSDK kernels: VIS vs scalar (4-way ooo)");
+    let (size_label, size) = labeled_size_from_args();
+    let mut out = Report::new("kernels14", size_label);
+    out.section("all 14 VSDK kernels: VIS vs scalar (4-way ooo)");
     // One job per kernel (each job is two counted and two timed runs),
     // fanned out over the experiment worker pool; the row order is the
     // input order, so the table is identical for any worker count.
-    let rows = visim::experiment::run_parallel(
+    let results = visim::experiment::run_parallel(
         KernelId::all()
             .iter()
             .map(|&k| {
                 let size = &size;
                 move || {
                     let (w, h) = (size.image_w, size.image_h);
-                    let mut counts = Vec::new();
+                    let mut counted = Vec::new();
                     for v in [Variant::SCALAR, Variant::VIS] {
                         let mut sink = CountingSink::new();
                         {
                             let mut p = Program::new(&mut sink);
                             drive(&mut p, k, w, h, v);
                         }
-                        counts.push(sink.finish().retired);
+                        counted.push(sink.finish());
                     }
+                    let vis = counted.pop().expect("VIS counts");
+                    let base = counted.pop().expect("scalar counts");
                     let ts = timed(k, w, h, Variant::SCALAR);
                     let tv = timed(k, w, h, Variant::VIS);
-                    vec![
-                        k.name().to_string(),
-                        if KernelId::reported().contains(&k) {
-                            "reported".into()
-                        } else {
-                            String::new()
-                        },
-                        format!("{:.1}", 100.0 * counts[1] as f64 / counts[0] as f64),
-                        format!("{:.2}x", ts.cycles() as f64 / tv.cycles() as f64),
-                        format!(
-                            "{:.0}%",
-                            100.0 * tv.cpu.breakdown().memory() / tv.cycles() as f64
-                        ),
-                    ]
+                    (base, vis, ts, tv)
                 }
             })
             .collect(),
     );
-    print!(
-        "{}",
-        report::table(
-            &[
-                "kernel",
-                "in paper figs",
-                "VIS insts %",
-                "VIS speedup",
-                "mem% (VIS)"
-            ],
-            &rows
-        )
-    );
-    println!(
+    let mut rows = Vec::new();
+    for (&k, (base, vis, ts, tv)) in KernelId::all().iter().zip(&results) {
+        out.cell(artifact::counted_cell(
+            k.name(),
+            config(false, "base"),
+            base,
+        ));
+        out.cell(artifact::counted_cell(k.name(), config(false, "vis"), vis));
+        out.cell(artifact::timed_cell(k.name(), config(true, "base"), ts));
+        out.cell(artifact::timed_cell(k.name(), config(true, "vis"), tv));
+        rows.push(vec![
+            k.name().to_string(),
+            if KernelId::reported().contains(&k) {
+                "reported".into()
+            } else {
+                String::new()
+            },
+            format!("{:.1}", 100.0 * vis.retired as f64 / base.retired as f64),
+            format!("{:.2}x", ts.cycles() as f64 / tv.cycles() as f64),
+            format!(
+                "{:.0}%",
+                100.0 * tv.cpu.breakdown().memory() / tv.cycles() as f64
+            ),
+        ]);
+    }
+    out.push(&report::table(
+        &[
+            "kernel",
+            "in paper figs",
+            "VIS insts %",
+            "VIS speedup",
+            "mem% (VIS)",
+        ],
+        &rows,
+    ));
+    out.line(
         "\nlookup and histogram are the VIS-inapplicable scatter/gather cases \
-         (§3.2.3);\ncopy is bandwidth-bound in both variants."
+         (§3.2.3);\ncopy is bandwidth-bound in both variants.",
     );
+    out.finish();
 }

@@ -8,26 +8,32 @@
 //! experiment worker pool (`VISIM_JOBS` workers); output order is
 //! independent of the worker count.
 
+use visim::artifact;
 use visim::experiment::try_l2_sweep_all;
 use visim::report;
-use visim_bench::{size_from_args, Report};
+use visim_bench::{labeled_size_from_args, Report};
 
 fn main() {
-    let size = size_from_args();
+    let (size_label, size) = labeled_size_from_args();
     // The study geometry is 1/16 the paper's pixel count, so the sweep
     // covers proportionally smaller caches plus the paper's 2M corner.
     let sizes: [u64; 5] = [128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
-    let mut out = Report::new("sweep_l2");
+    let mut out = Report::new("sweep_l2", size_label);
     out.line("Section 4.1: impact of L2 cache size (VIS, 4-way ooo)");
     for (bench, outcome) in try_l2_sweep_all(&size, &sizes) {
         out.section(bench.name());
         let points = match outcome {
             Ok(points) => points,
             Err(e) => {
-                out.fail(bench.name(), &e);
+                let cell =
+                    artifact::failed_cell(bench.name(), artifact::figure_config("sweep_l2"), &e);
+                out.fail(bench.name(), &e, cell);
                 continue;
             }
         };
+        for pt in &points {
+            out.cell(artifact::sweep_cell(bench, "l2", pt));
+        }
         out.push(&report::table(
             &report::sweep_headers(),
             &report::sweep_rows(&points),

@@ -3,7 +3,16 @@
 //! the VIS instruction classification. The rendering itself lives in
 //! `visim::report::tables_text` so the golden-snapshot test can pin it
 //! against `results/tables.txt`.
+//!
+//! The tables are static (no simulation), so the JSON artifact under
+//! `results/json/tables.json` has no cells — it still records the git
+//! revision and wall clock for provenance.
+
+use visim_bench::{labeled_size_from_args, Report};
 
 fn main() {
-    print!("{}", visim::report::tables_text());
+    let (size_label, _) = labeled_size_from_args();
+    let mut out = Report::new("tables", size_label);
+    out.push(&visim::report::tables_text());
+    out.finish();
 }

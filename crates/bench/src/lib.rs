@@ -24,21 +24,31 @@
 //! any worker count.
 
 use std::io::Write as _;
+use std::time::Instant;
 
 use visim::bench::WorkloadSize;
+use visim_obs::schema::{self, ResultsDoc};
+use visim_obs::Json;
 use visim_util::SimError;
 
-/// Parse the common size argument (defaults to `study`).
-pub fn size_from_args() -> WorkloadSize {
+/// Parse the common size argument (defaults to `study`), returning the
+/// size label alongside the geometry (the label goes into the JSON
+/// artifact's `"size"` member).
+pub fn labeled_size_from_args() -> (&'static str, WorkloadSize) {
     match std::env::args().nth(1).as_deref() {
-        Some("tiny") => WorkloadSize::tiny(),
-        Some("paper") => WorkloadSize::paper(),
-        Some("study") | None => WorkloadSize::study(),
+        Some("tiny") => ("tiny", WorkloadSize::tiny()),
+        Some("paper") => ("paper", WorkloadSize::paper()),
+        Some("study") | None => ("study", WorkloadSize::study()),
         Some(other) => {
             eprintln!("unknown size '{other}', expected tiny|study|paper");
             std::process::exit(2);
         }
     }
+}
+
+/// Parse the common size argument (defaults to `study`).
+pub fn size_from_args() -> WorkloadSize {
+    labeled_size_from_args().1
 }
 
 /// Print a titled section.
@@ -52,23 +62,36 @@ pub fn section(title: &str) {
 /// `results/<name>.txt` keeps working unchanged) while buffering the
 /// text and recording failures; [`Report::finish`] turns failures into
 /// a partial-results file and a nonzero exit.
+///
+/// Alongside the text stream, the report accumulates a
+/// `visim-results-v1` document ([`Report::cell`]) that [`Report::finish`]
+/// writes to `results/json/<name>.json` — the machine-readable twin of
+/// the text output, carrying the full per-cell simulation payload plus
+/// run-level metrics (worker-pool timings, wall clock, git revision).
+/// Wall-clock data lives only in the JSON artifact, never in the text
+/// stream, which stays byte-identical across runs and worker counts.
 pub struct Report {
     name: &'static str,
     buf: String,
     failures: Vec<(String, SimError)>,
-    /// Write per-failure artifacts under `results/partial/` (disabled
-    /// in unit tests so they do not touch the working tree).
+    /// Write artifacts under `results/` (disabled in unit tests so they
+    /// do not touch the working tree).
     artifacts: bool,
+    doc: ResultsDoc,
+    started: Instant,
 }
 
 impl Report {
-    /// A report for the binary named `name` (used for the partial file).
-    pub fn new(name: &'static str) -> Self {
+    /// A report for the binary named `name` (used for the partial file
+    /// and the JSON artifact) at workload size `size_label`.
+    pub fn new(name: &'static str, size_label: &str) -> Self {
         Report {
             name,
             buf: String::new(),
             failures: Vec::new(),
             artifacts: true,
+            doc: ResultsDoc::new(name, size_label, visim::experiment::jobs()),
+            started: Instant::now(),
         }
     }
 
@@ -91,12 +114,26 @@ impl Report {
         self.line(format!("\n=== {title} ===\n"));
     }
 
+    /// Append one machine-readable result cell to the JSON document
+    /// (see `visim::artifact` for the cell builders).
+    pub fn cell(&mut self, cell: Json) {
+        self.doc.push_cell(cell);
+    }
+
+    /// Number of cells recorded so far.
+    pub fn cell_count(&self) -> usize {
+        self.doc.cell_count()
+    }
+
     /// Record a failed unit of work (one benchmark, usually) and emit
-    /// its error row. Each failure also gets its own uniquely-named
-    /// artifact under `results/partial/` (`<binary>.<benchmark>.txt`),
-    /// so per-benchmark diagnostics never share a file — concurrent
-    /// runs of different binaries cannot interleave inside one.
-    pub fn fail(&mut self, label: &str, err: &SimError) {
+    /// its error row. `cell` is the matching `"status": "failed"`
+    /// result cell; it joins the JSON document and is also written as
+    /// `results/partial/<binary>.<benchmark>.json`. Each failure also
+    /// gets its own uniquely-named text artifact under
+    /// `results/partial/` (`<binary>.<benchmark>.txt`), so
+    /// per-benchmark diagnostics never share a file — concurrent runs
+    /// of different binaries cannot interleave inside one.
+    pub fn fail(&mut self, label: &str, err: &SimError, cell: Json) {
         self.line(format!("{label}: ERROR: {err}"));
         if self.artifacts {
             let detail = format!("{}: {label}: ERROR: {err}\n", self.name);
@@ -106,7 +143,21 @@ impl Report {
             ) {
                 eprintln!("could not write per-benchmark failure artifact: {e}");
             }
+            let artifact = Json::obj(vec![
+                ("schema", Json::from(schema::RESULTS_SCHEMA)),
+                ("name", Json::from(self.name)),
+                ("cell", cell.clone()),
+            ]);
+            let mut text = artifact.to_pretty();
+            text.push('\n');
+            if let Err(e) = write_atomic(
+                &format!("results/partial/{}.{}.json", self.name, sanitize(label)),
+                text.as_bytes(),
+            ) {
+                eprintln!("could not write per-benchmark failure JSON artifact: {e}");
+            }
         }
+        self.doc.push_cell(cell);
         self.failures.push((label.to_string(), err.clone()));
     }
 
@@ -115,9 +166,10 @@ impl Report {
         self.failures.len()
     }
 
-    /// Finish the run: exit 0 when everything succeeded; otherwise
-    /// write the partial output to `results/partial/<name>.txt`,
-    /// summarize the failures on stderr, and exit 1.
+    /// Finish the run: write the JSON artifact, then exit 0 when
+    /// everything succeeded; otherwise write the partial output to
+    /// `results/partial/<name>.txt`, summarize the failures on stderr,
+    /// and exit 1.
     ///
     /// The report stream has a single writer by construction — the
     /// experiment executor fans simulations out over worker threads,
@@ -125,7 +177,25 @@ impl Report {
     /// results are reassembled — and the file lands via a write-to-temp
     /// then atomic-rename, so a concurrently running sibling process
     /// can never observe (or splice into) a half-written report.
-    pub fn finish(self) -> ! {
+    pub fn finish(mut self) -> ! {
+        // Drain the pool observability accumulated by every
+        // run_parallel call into the document, then write it — failed
+        // cells included, so a degraded run still leaves a usable
+        // machine-readable record.
+        self.doc
+            .metrics
+            .merge(&visim::experiment::drain_pool_metrics());
+        if self.artifacts {
+            let json_path = format!("results/json/{}.json", self.name);
+            let mut text = self
+                .doc
+                .to_json(self.started.elapsed().as_secs_f64())
+                .to_pretty();
+            text.push('\n');
+            if let Err(e) = write_atomic(&json_path, text.as_bytes()) {
+                eprintln!("could not write JSON artifact to {json_path}: {e}");
+            }
+        }
         if self.failures.is_empty() {
             std::process::exit(0);
         }
@@ -156,12 +226,16 @@ fn sanitize(label: &str) -> String {
         .collect()
 }
 
-/// Write `bytes` to `path` atomically: create `results/partial/`, write
-/// a process-unique temp file, then rename it into place. Readers (and
-/// concurrent writers of the same path) see either the old complete
-/// file or the new complete file, never a mix.
+/// Write `bytes` to `path` atomically: create the parent directory,
+/// write a process-unique temp file, then rename it into place. Readers
+/// (and concurrent writers of the same path) see either the old
+/// complete file or the new complete file, never a mix.
 fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
-    std::fs::create_dir_all("results/partial")?;
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     let tmp = format!("{path}.{}.tmp", std::process::id());
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -186,19 +260,23 @@ mod tests {
 
     #[test]
     fn report_accumulates_failures() {
-        let mut r = Report::new("test");
+        let mut r = Report::new("test", "tiny");
         r.artifacts = false; // keep unit tests out of the working tree
         r.line("hello");
         r.push("table\n");
         assert_eq!(r.failure_count(), 0);
-        r.fail(
+        let err = SimError::Workload {
+            bench: "blend".into(),
+            detail: "injected".into(),
+        };
+        let cell = visim::artifact::failed_cell(
             "blend",
-            &SimError::Workload {
-                bench: "blend".into(),
-                detail: "injected".into(),
-            },
+            Json::obj(vec![("figure", Json::from("test"))]),
+            &err,
         );
+        r.fail("blend", &err, cell);
         assert_eq!(r.failure_count(), 1);
+        assert_eq!(r.cell_count(), 1, "failed cell joins the JSON doc");
         assert!(r.buf.contains("blend: ERROR:"), "{}", r.buf);
     }
 

@@ -54,13 +54,19 @@ fn fig1_survives_an_injected_benchmark_failure() {
 
 #[test]
 fn fig1_exits_zero_when_everything_succeeds() {
+    let dir = std::env::temp_dir().join(format!("visim-degrade-ok-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
     let out = Command::new(env!("CARGO_BIN_EXE_fig1"))
         .arg("tiny")
         .env_remove("VISIM_FAIL_BENCH")
+        .current_dir(&dir)
         .output()
         .expect("fig1 runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(!stdout.contains("ERROR:"));
     assert!(stdout.contains("=== mpeg-dec ==="));
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -18,10 +18,12 @@
 //! threads at all; unset/`0` = one worker per available core).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use media_kernels::Variant;
 use visim_cpu::{CountingSink, CpuStats, Pipeline, Summary};
 use visim_mem::MemConfig;
+use visim_obs::Registry;
 use visim_util::{pool, SimError};
 
 use crate::bench::{Bench, WorkloadSize};
@@ -54,17 +56,38 @@ fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Pool observability accumulated across every [`run_parallel`] call in
+/// this process: job wall-clock and queue-wait histograms, queue depth,
+/// run/job counts. Drained by the figure binaries into their JSON
+/// artifacts via [`drain_pool_metrics`].
+static POOL_METRICS: Mutex<Option<Registry>> = Mutex::new(None);
+
+/// Take (and reset) the pool metrics accumulated so far. Returns an
+/// empty registry when no parallel work has run.
+pub fn drain_pool_metrics() -> Registry {
+    POOL_METRICS
+        .lock()
+        .expect("pool metrics lock")
+        .take()
+        .unwrap_or_default()
+}
+
 /// Run independent experiment jobs on the worker pool ([`jobs`] workers)
 /// and return the results in input order. Each job must be a pure
 /// function of its captures; the result vector is then independent of
 /// the worker count, which is what makes `VISIM_JOBS=1` and
-/// `VISIM_JOBS=8` produce byte-identical figures.
+/// `VISIM_JOBS=8` produce byte-identical figures. Per-job wall-clock
+/// and queue timings accumulate into the process-wide pool metrics
+/// ([`drain_pool_metrics`]); they never influence the results.
 pub fn run_parallel<T, F>(work: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    pool::run_ordered(jobs(), work)
+    let (results, stats) = pool::run_ordered_timed(jobs(), work);
+    let mut guard = POOL_METRICS.lock().expect("pool metrics lock");
+    stats.export(guard.get_or_insert_with(Registry::new));
+    results
 }
 
 fn injected_fault(bench: Bench) -> Result<(), SimError> {

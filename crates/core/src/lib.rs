@@ -15,7 +15,9 @@
 //!   Figure 1 (ILP × VIS execution-time breakdowns), Figure 2 (dynamic
 //!   instruction mix), Figure 3 (software prefetching), and the §4.1
 //!   cache-size sweeps;
-//! * [`report`] — plain-text rendering of the results.
+//! * [`report`] — plain-text rendering of the results;
+//! * [`artifact`] — `visim-results-v1` JSON cell builders pairing each
+//!   text row with a machine-readable record (see `visim-obs`).
 //!
 //! # Example
 //!
@@ -30,6 +32,7 @@
 //! println!("addition/VIS: {} cycles", s.cycles());
 //! ```
 
+pub mod artifact;
 pub mod bench;
 pub mod config;
 pub mod experiment;

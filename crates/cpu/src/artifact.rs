@@ -1,0 +1,134 @@
+//! JSON serialization of pipeline results for the `visim-results-v1`
+//! artifact schema (see `visim-obs`).
+//!
+//! The conversions live here rather than in `visim-obs` so the obs
+//! crate stays a dependency-graph leaf: each crate owns the JSON shape
+//! of its own statistics.
+
+use visim_obs::Json;
+
+use crate::pipeline::Summary;
+use crate::stats::{Breakdown, CpuStats};
+
+impl Breakdown {
+    /// The Figure 1 execution-time components plus their total.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("busy", Json::from(self.busy)),
+            ("fu_stall", Json::from(self.fu_stall)),
+            ("l1_hit", Json::from(self.l1_hit)),
+            ("l1_miss", Json::from(self.l1_miss)),
+            ("total", Json::from(self.total())),
+        ])
+    }
+}
+
+impl CpuStats {
+    /// Counters, instruction-category mix, derived rates, and the
+    /// execution-time breakdown.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cycles", Json::from(self.cycles)),
+            ("retired", Json::from(self.retired)),
+            ("ipc", Json::from(self.ipc())),
+            (
+                "mix",
+                Json::obj(vec![
+                    ("fu", Json::from(self.mix[0])),
+                    ("branch", Json::from(self.mix[1])),
+                    ("memory", Json::from(self.mix[2])),
+                    ("vis", Json::from(self.mix[3])),
+                ]),
+            ),
+            ("vis_overhead", Json::from(self.vis_overhead)),
+            (
+                "vis_overhead_fraction",
+                Json::from(self.vis_overhead_fraction()),
+            ),
+            ("cond_branches", Json::from(self.cond_branches)),
+            ("mispredicts", Json::from(self.mispredicts)),
+            ("mispredict_rate", Json::from(self.mispredict_rate())),
+            ("ras_mispredicts", Json::from(self.ras_mispredicts)),
+            ("loads", Json::from(self.loads)),
+            ("stores", Json::from(self.stores)),
+            ("prefetches", Json::from(self.prefetches)),
+            ("breakdown", self.breakdown().to_json()),
+        ])
+    }
+}
+
+impl Summary {
+    /// The full per-run payload: pipeline statistics, memory-system
+    /// statistics, the time-weighted MSHR occupancy histogram, and the
+    /// observability metrics registry.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cpu", self.cpu.to_json()),
+            ("mem", self.mem.to_json()),
+            ("mshr_histogram", Json::from(self.mshr_histogram.clone())),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use visim_mem::MemConfig;
+    use visim_obs::Json;
+
+    use crate::config::CpuConfig;
+    use crate::pipeline::Pipeline;
+    use crate::sink::SimSink;
+    use visim_isa::{Inst, Op, Reg};
+
+    #[test]
+    fn summary_serializes_and_round_trips() {
+        let mut p = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
+        p.push(Inst::compute(Op::IntAlu, 0x10, Reg(1), [Reg::NONE; 3]));
+        p.push(Inst::compute(
+            Op::IntAlu,
+            0x14,
+            Reg(2),
+            [Reg(1), Reg::NONE, Reg::NONE],
+        ));
+        let s = p.finish();
+        let j = s.to_json();
+        assert_eq!(
+            j.get("cpu")
+                .and_then(|c| c.get("retired"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let total = j
+            .get("cpu")
+            .and_then(|c| c.get("breakdown"))
+            .and_then(|b| b.get("total"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((total - s.cpu.cycles as f64).abs() < 1e-9);
+        // Metrics made it into the payload.
+        let counters = j
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .expect("metrics.counters present");
+        assert!(counters.get("cpu.predictor.updates").is_some());
+        // Round-trips through the parser.
+        assert_eq!(Json::parse(&j.to_compact()).unwrap(), j);
+    }
+
+    #[test]
+    fn window_occupancy_histogram_covers_every_cycle() {
+        let mut p = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
+        for i in 0..16u64 {
+            p.push(Inst::compute(
+                Op::IntAlu,
+                0x10 + 4 * i,
+                Reg(1 + i as u32),
+                [Reg::NONE; 3],
+            ));
+        }
+        let s = p.finish();
+        let h = s.metrics.histogram("cpu.window_occupancy").unwrap();
+        assert_eq!(h.count(), s.cpu.cycles, "one sample per simulated cycle");
+    }
+}

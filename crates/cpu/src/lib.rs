@@ -36,6 +36,7 @@
 //! assert_eq!(summary.cpu.retired, 2);
 //! ```
 
+mod artifact;
 mod config;
 mod fu;
 mod pipeline;

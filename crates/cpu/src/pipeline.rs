@@ -12,6 +12,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use visim_isa::{BranchKind, Inst, MemKind, MemRef, Reg};
 use visim_mem::{MemConfig, MemStats, MemSystem, Request, ServiceLevel};
+use visim_obs::{Histogram, Registry};
 use visim_util::SimError;
 
 use crate::config::{CpuConfig, IssuePolicy};
@@ -90,6 +91,10 @@ pub struct Summary {
     pub mem: MemStats,
     /// Time-weighted L1 MSHR occupancy histogram.
     pub mshr_histogram: Vec<u64>,
+    /// Observability metrics accumulated over the run: predictor
+    /// training behaviour, RAS pressure, window occupancy, and the
+    /// memory system's eviction / MSHR-peak counters.
+    pub metrics: Registry,
 }
 
 impl Summary {
@@ -136,6 +141,8 @@ pub struct Pipeline {
     /// With `blocking_loads`, no instruction issues before this cycle.
     issue_blocked_until: u64,
     stats: CpuStats,
+    /// Per-cycle instruction-window occupancy (sampled after dispatch).
+    window_occ: Histogram,
     /// Cycle at which the pipeline state last changed (watchdog anchor).
     last_progress: u64,
     /// First failure observed: watchdog wedge, model invariant, or a
@@ -170,6 +177,7 @@ impl Pipeline {
             store_buffer: VecDeque::new(),
             issue_blocked_until: 0,
             stats,
+            window_occ: Histogram::new(&[1, 2, 4, 8, 16, 32, 64, 128]),
             last_progress: 0,
             fault: None,
             mem: MemSystem::new(mem_cfg),
@@ -202,10 +210,20 @@ impl Pipeline {
             return Err(fault);
         }
         let hist = self.mem.mshr_histogram(self.now);
+        let mut metrics = Registry::new();
+        let ps = self.pred.stats();
+        metrics.set("cpu.predictor.updates", ps.updates);
+        metrics.set("cpu.predictor.bias_agreements", ps.bias_agreements);
+        metrics.set("cpu.predictor.flips", ps.flips);
+        metrics.set("cpu.ras.overflows", self.ras.overflows());
+        metrics.set("cpu.ras.underflows", self.ras.underflows());
+        metrics.insert_histogram("cpu.window_occupancy", self.window_occ.clone());
+        self.mem.export_metrics(&mut metrics);
         Ok(Summary {
             cpu: self.stats,
             mem: self.mem.stats().clone(),
             mshr_histogram: hist,
+            metrics,
         })
     }
 
@@ -311,6 +329,7 @@ impl Pipeline {
         self.dispatch();
         self.drain_stores();
         self.stats.account_cycle(retired, stall);
+        self.window_occ.observe(self.window.len() as u64);
         // Fault propagation and the cycle-budget watchdog. A wedged
         // model (an instruction that can never retire) would otherwise
         // spin this loop forever; a violated memory-model invariant

@@ -11,11 +11,38 @@
 //! deviations — matching the paper's observation that the hard cases are
 //! data-dependent branches (saturation, thresholding).
 
+/// Observability counters for [`AgreePredictor`]: how often training
+/// found the outcome agreeing with the static bias, and how often the
+/// 2-bit counter had to flip its agree/disagree decision (a proxy for
+/// the data-dependent branches the paper calls out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Training updates observed.
+    pub updates: u64,
+    /// Updates whose outcome agreed with the static bias.
+    pub bias_agreements: u64,
+    /// Updates that moved a counter across the agree/disagree threshold.
+    pub flips: u64,
+}
+
+impl PredictorStats {
+    /// Fraction of updates agreeing with the static bias (1.0 when no
+    /// updates were observed — an untrained predictor is all bias).
+    pub fn bias_agreement_rate(&self) -> f64 {
+        if self.updates == 0 {
+            1.0
+        } else {
+            self.bias_agreements as f64 / self.updates as f64
+        }
+    }
+}
+
 /// Bimodal agree predictor with 2-bit saturating agree counters.
 #[derive(Debug, Clone)]
 pub struct AgreePredictor {
     counters: Vec<u8>,
     mask: u64,
+    stats: PredictorStats,
 }
 
 impl AgreePredictor {
@@ -26,7 +53,13 @@ impl AgreePredictor {
         AgreePredictor {
             counters: vec![2; n as usize],
             mask: (n - 1) as u64,
+            stats: PredictorStats::default(),
         }
+    }
+
+    /// Observability counters accumulated by training.
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -52,11 +85,15 @@ impl AgreePredictor {
         let agreed = taken == Self::bias(backward);
         let ix = self.index(pc);
         let c = &mut self.counters[ix];
+        let before = *c >= 2;
         if agreed {
             *c = (*c + 1).min(3);
         } else {
             *c = c.saturating_sub(1);
         }
+        self.stats.updates += 1;
+        self.stats.bias_agreements += agreed as u64;
+        self.stats.flips += ((*c >= 2) != before) as u64;
     }
 }
 
@@ -67,6 +104,10 @@ impl AgreePredictor {
 pub struct ReturnAddressStack {
     stack: Vec<u64>,
     cap: usize,
+    /// Pushes that displaced the oldest entry (call depth > capacity).
+    overflows: u64,
+    /// Pops from an empty stack (guaranteed mispredictions).
+    underflows: u64,
 }
 
 impl ReturnAddressStack {
@@ -75,6 +116,8 @@ impl ReturnAddressStack {
         ReturnAddressStack {
             stack: Vec::with_capacity(entries as usize),
             cap: entries.max(1) as usize,
+            overflows: 0,
+            underflows: 0,
         }
     }
 
@@ -82,6 +125,7 @@ impl ReturnAddressStack {
     pub fn push(&mut self, target: u64) {
         if self.stack.len() == self.cap {
             self.stack.remove(0); // oldest entry falls off the bottom
+            self.overflows += 1;
         }
         self.stack.push(target);
     }
@@ -91,8 +135,21 @@ impl ReturnAddressStack {
     pub fn pop_matches(&mut self, target: u64) -> bool {
         match self.stack.pop() {
             Some(t) => t == target,
-            None => false,
+            None => {
+                self.underflows += 1;
+                false
+            }
         }
+    }
+
+    /// Pushes that lost the oldest entry to capacity.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Pops that found the stack empty.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
     }
 }
 
@@ -138,6 +195,34 @@ mod tests {
         p.update(0x1000, false, true);
         // Another site keeps its default behaviour.
         assert!(!p.predict(0x2004, false));
+    }
+
+    #[test]
+    fn predictor_stats_count_training_behaviour() {
+        let mut p = AgreePredictor::new(64);
+        assert_eq!(p.stats(), PredictorStats::default());
+        p.update(0x10, true, true); // agrees with bias
+        p.update(0x10, true, false); // disagrees
+        p.update(0x10, true, false); // disagrees; counter crosses 2 -> 1
+        let s = p.stats();
+        assert_eq!(s.updates, 3);
+        assert_eq!(s.bias_agreements, 1);
+        assert_eq!(s.flips, 1, "weakly-agree flipped to disagree once");
+        assert!((s.bias_agreement_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(PredictorStats::default().bias_agreement_rate(), 1.0);
+    }
+
+    #[test]
+    fn ras_counts_overflow_and_underflow() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.overflows(), 1);
+        r.pop_matches(3);
+        r.pop_matches(2);
+        r.pop_matches(1);
+        assert_eq!(r.underflows(), 1);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub(crate) struct TagArray {
     assoc: usize,
     line_shift: u32,
     set_mask: u64,
+    /// Valid lines displaced by fills (capacity/conflict evictions).
+    evictions: u64,
+    /// The subset of `evictions` that displaced a dirty line.
+    dirty_evictions: u64,
 }
 
 impl TagArray {
@@ -52,7 +56,19 @@ impl TagArray {
             assoc: assoc as usize,
             line_shift: line.trailing_zeros(),
             set_mask: sets as u64 - 1,
+            evictions: 0,
+            dirty_evictions: 0,
         }
+    }
+
+    /// Valid lines displaced by fills so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Dirty lines displaced by fills so far.
+    pub fn dirty_evictions(&self) -> u64 {
+        self.dirty_evictions
     }
 
     fn index(&self, addr: u64) -> (usize, u64) {
@@ -91,6 +107,8 @@ impl TagArray {
         }
         let (victim, victim_dirty) = if ways.len() == self.assoc {
             let v = ways.pop().expect("assoc >= 1");
+            self.evictions += 1;
+            self.dirty_evictions += v.dirty as u64;
             (Some(v.tag << self.line_shift), v.dirty)
         } else {
             (None, false)
@@ -191,6 +209,28 @@ mod tests {
             }
             other => panic!("expected miss, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn eviction_counters_track_displaced_lines() {
+        let mut a = arr();
+        assert_eq!(a.evictions(), 0);
+        // Fill one set past its associativity; writes make victims dirty.
+        let mut dirty_expected = 0;
+        for i in 0..6u64 {
+            let write = i % 2 == 0;
+            let addr = i * 0x1000; // same set, distinct tags (64 sets * 64B lines)
+            if access(&mut a, addr, write).is_none() {
+                a.fill(addr, write, false);
+            }
+            if i >= 2 {
+                // assoc-2 test array: every fill past the second evicts,
+                // and victims alternate dirty/clean.
+                dirty_expected += (i % 2 == 0) as u64;
+            }
+        }
+        assert_eq!(a.evictions(), 4);
+        assert_eq!(a.dirty_evictions(), dirty_expected);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Memory-system statistics.
 
+use visim_obs::Json;
+
 /// Counters maintained by [`crate::MemSystem`].
 ///
 /// All counts are in accesses (not bytes); times are in cycles.
@@ -66,6 +68,36 @@ impl MemStats {
         }
         self.prefetches_late as f64 / self.prefetches_issued as f64
     }
+
+    /// Serialize every counter plus the derived rates for the
+    /// `visim-results-v1` cell payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("l1_accesses", Json::from(self.l1_accesses)),
+            ("l1_hits", Json::from(self.l1_hits)),
+            ("l1_primary_misses", Json::from(self.l1_primary_misses)),
+            ("l1_merged_misses", Json::from(self.l1_merged_misses)),
+            ("rejects_mshr_full", Json::from(self.rejects_mshr_full)),
+            ("rejects_merge_limit", Json::from(self.rejects_merge_limit)),
+            ("l2_accesses", Json::from(self.l2_accesses)),
+            ("l2_hits", Json::from(self.l2_hits)),
+            ("l2_misses", Json::from(self.l2_misses)),
+            ("writebacks_l1", Json::from(self.writebacks_l1)),
+            ("writebacks_l2", Json::from(self.writebacks_l2)),
+            ("prefetches_issued", Json::from(self.prefetches_issued)),
+            ("prefetches_rejected", Json::from(self.prefetches_rejected)),
+            (
+                "prefetches_unnecessary",
+                Json::from(self.prefetches_unnecessary),
+            ),
+            ("prefetches_useful", Json::from(self.prefetches_useful)),
+            ("prefetches_late", Json::from(self.prefetches_late)),
+            ("bypass_accesses", Json::from(self.bypass_accesses)),
+            ("l1_miss_rate", Json::from(self.l1_miss_rate())),
+            ("l2_miss_rate", Json::from(self.l2_miss_rate())),
+            ("late_prefetch_rate", Json::from(self.late_prefetch_rate())),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +110,23 @@ mod tests {
         assert_eq!(s.l1_miss_rate(), 0.0);
         assert_eq!(s.l2_miss_rate(), 0.0);
         assert_eq!(s.late_prefetch_rate(), 0.0);
+    }
+
+    #[test]
+    fn to_json_carries_counters_and_rates() {
+        let s = MemStats {
+            l1_accesses: 10,
+            l1_hits: 6,
+            l1_primary_misses: 1,
+            l1_merged_misses: 3,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("l1_accesses").and_then(Json::as_u64), Some(10));
+        let rate = j.get("l1_miss_rate").and_then(Json::as_f64).unwrap();
+        assert!((rate - 0.4).abs() < 1e-12);
+        // Round-trips through the parser.
+        assert_eq!(Json::parse(&j.to_compact()).unwrap(), j);
     }
 
     #[test]

@@ -208,6 +208,19 @@ impl MemSystem {
         self.l1_mshrs.peak()
     }
 
+    /// Export the memory-side observability counters that the
+    /// [`MemStats`] struct does not carry — eviction activity from the
+    /// tag arrays and the MSHR occupancy peaks — into a metrics
+    /// registry (`mem.*` namespace).
+    pub fn export_metrics(&self, reg: &mut visim_obs::Registry) {
+        reg.set("mem.l1_evictions", self.l1.evictions());
+        reg.set("mem.l1_dirty_evictions", self.l1.dirty_evictions());
+        reg.set("mem.l2_evictions", self.l2.evictions());
+        reg.set("mem.l2_dirty_evictions", self.l2.dirty_evictions());
+        reg.set("mem.l1_mshr_peak", self.l1_mshrs.peak() as u64);
+        reg.set("mem.l2_mshr_peak", self.l2_mshrs.peak() as u64);
+    }
+
     /// True when `addr`'s line is resident in the L1 (testing helper).
     pub fn l1_contains(&self, addr: u64) -> bool {
         self.l1.contains(addr)

@@ -1,0 +1,28 @@
+//! `visim-obs` — observability substrate for the visim workspace.
+//!
+//! The workspace builds hermetically (no registry access), so this
+//! crate provides the std-only machinery a metrics/eval harness would
+//! normally pull from serde + prometheus:
+//!
+//! * [`json`] — a JSON value model with an emitter (compact and
+//!   pretty) and a recursive-descent parser, so the figure binaries can
+//!   write machine-readable artifacts and the `validate` gate can read
+//!   them back without third-party crates;
+//! * [`metrics`] — a lightweight registry of named counters and
+//!   fixed-bucket histograms, threaded through the pipeline, the memory
+//!   system, and the experiment worker pool, and drained into the JSON
+//!   artifacts;
+//! * [`schema`] — the versioned result schemas (`visim-results-v1`,
+//!   `visim-bench-runtime-v2`): one place that names and versions every
+//!   machine-readable output format the repo produces.
+//!
+//! This crate sits at the bottom of the dependency graph (it depends on
+//! nothing, not even `visim-util`) so every other crate can report into
+//! it.
+
+pub mod json;
+pub mod metrics;
+pub mod schema;
+
+pub use json::Json;
+pub use metrics::{Histogram, Registry};

@@ -1,0 +1,308 @@
+//! A lightweight metrics registry: named monotonic counters and
+//! fixed-bucket histograms.
+//!
+//! The simulator cores (pipeline, predictor, cache, MSHR) and the
+//! experiment worker pool record into a [`Registry`], and the figure
+//! binaries drain it into their JSON artifacts. Storage is ordered
+//! (`BTreeMap`) so the serialized form is deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket `i` counts samples `<= bounds[i]`; one implicit overflow
+/// bucket counts the rest. Sum/count/min/max are tracked exactly, so
+/// `mean()` is exact even when the buckets are coarse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds (plus the
+    /// implicit overflow bucket).
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Exponential bounds `start, start*2, ...` with `n` buckets —
+    /// the default shape for latency-style metrics.
+    pub fn exponential(start: u64, n: usize) -> Self {
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start.max(1);
+        for _ in 0..n {
+            bounds.push(b);
+            b = b.saturating_mul(2);
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        let ix = self.bounds.partition_point(|&b| b < value);
+        self.counts[ix] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Fold another histogram into this one. The bucket layouts must
+    /// match (same bounds); merging is used when per-worker or per-run
+    /// histograms are combined into one artifact.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram layouts must match");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Serialize: bounds, per-bucket counts (last = overflow), and the
+    /// exact aggregates.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bounds", Json::from(self.bounds.clone())),
+            ("counts", Json::from(self.counts.clone())),
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("min", Json::from(self.min())),
+            ("max", Json::from(self.max())),
+            ("mean", Json::from(self.mean())),
+        ])
+    }
+}
+
+/// Named counters + histograms with deterministic iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `by` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set counter `name` to exactly `value` (for snapshot-style stats
+    /// exported once at the end of a run).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record `value` into histogram `name`, creating it with the given
+    /// layout on first use.
+    pub fn observe_with(&mut self, name: &str, value: u64, mk: impl FnOnce() -> Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(mk)
+            .observe(value);
+    }
+
+    /// Record `value` into histogram `name` (default exponential
+    /// microsecond-style layout on first use).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.observe_with(name, value, || Histogram::exponential(1, 24));
+    }
+
+    /// Insert (replacing) a pre-built histogram under `name`.
+    pub fn insert_histogram(&mut self, name: &str, hist: Histogram) {
+        self.histograms.insert(name.to_string(), hist);
+    }
+
+    /// Fold a pre-built histogram into `name` (adopting it when
+    /// absent). The layouts must match, as in [`Histogram::merge`].
+    pub fn merge_histogram(&mut self, name: &str, hist: &Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(mine) => mine.merge(hist),
+            None => {
+                self.histograms.insert(name.to_string(), hist.clone());
+            }
+        }
+    }
+
+    /// The histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold `other` into this registry: counters add, histograms merge
+    /// (or are adopted when absent here).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Serialize as `{"counters": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_aggregates() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.min(), 1);
+        assert!((h.mean() - 5122.0 / 5.0).abs() < 1e-9);
+        let j = h.to_json();
+        assert_eq!(
+            j.get("counts").unwrap(),
+            &Json::from(vec![2u64, 2, 0, 1]),
+            "<=10: {{1,10}}, <=100: {{11,100}}, <=1000: none, overflow: 5000"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::exponential(1, 8);
+        let mut b = Histogram::exponential(1, 8);
+        a.observe(3);
+        b.observe(200);
+        b.observe(1);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 200);
+        assert_eq!(a.min(), 1);
+    }
+
+    #[test]
+    fn registry_counters_and_merge() {
+        let mut r = Registry::new();
+        r.add("pool.jobs", 2);
+        r.add("pool.jobs", 3);
+        r.observe("lat", 7);
+        let mut other = Registry::new();
+        other.add("pool.jobs", 10);
+        other.observe("lat", 9);
+        other.observe("other", 1);
+        r.merge(&other);
+        assert_eq!(r.counter("pool.jobs"), 15);
+        assert_eq!(r.histogram("lat").unwrap().count(), 2);
+        assert_eq!(r.histogram("other").unwrap().count(), 1);
+        assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn empty_aggregates_are_zero_not_sentinel() {
+        let h = Histogram::exponential(1, 4);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let j = h.to_json();
+        assert_eq!(j.get("min").unwrap(), &Json::U64(0));
+    }
+
+    #[test]
+    fn registry_serializes_deterministically() {
+        let mut r = Registry::new();
+        r.add("z", 1);
+        r.add("a", 2);
+        let text = r.to_json().to_compact();
+        // BTreeMap order: "a" before "z" regardless of insertion order.
+        assert!(text.find("\"a\"").unwrap() < text.find("\"z\"").unwrap());
+    }
+}

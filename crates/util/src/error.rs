@@ -39,6 +39,18 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// The variant name, as recorded in failure artifacts
+    /// (`"error_kind"` in the `visim-results-v1` schema).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::CycleBudget { .. } => "CycleBudget",
+            SimError::Invariant { .. } => "Invariant",
+            SimError::Workload { .. } => "Workload",
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -82,5 +94,19 @@ mod tests {
             detail: "panicked".into(),
         };
         assert!(e.to_string().contains("cjpeg"), "{e}");
+    }
+
+    #[test]
+    fn kind_names_the_variant() {
+        let e = SimError::Workload {
+            bench: "cjpeg".into(),
+            detail: "panicked".into(),
+        };
+        assert_eq!(e.kind(), "Workload");
+        let e = SimError::Invariant {
+            model: "mshr",
+            detail: "x".into(),
+        };
+        assert_eq!(e.kind(), "Invariant");
     }
 }

@@ -16,7 +16,10 @@
 //!   the pipeline watchdog, the memory-model invariant checks and the
 //!   experiment runners;
 //! * [`pool`] — a scoped worker pool with a bounded job queue (replaces
-//!   `rayon`) for the parallel experiment executor.
+//!   `rayon`) for the parallel experiment executor; it also records
+//!   per-job queue-wait and run wall-clock plus queue-depth samples,
+//!   exported into a `visim_obs` metrics registry for the JSON result
+//!   artifacts.
 
 pub mod bench;
 pub mod error;

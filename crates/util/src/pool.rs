@@ -15,8 +15,15 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use visim_obs::{Histogram, Registry};
 
 /// A blocking bounded MPMC queue (mutex + condvars; no spinning).
+///
+/// The queue samples its own depth at every push (while the lock is
+/// already held), so the pool can surface a queue-depth histogram in
+/// the observability artifacts without extra synchronization.
 #[derive(Debug)]
 pub struct BoundedQueue<T> {
     cap: usize,
@@ -29,6 +36,8 @@ pub struct BoundedQueue<T> {
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// `depth_counts[d]` = number of pushes that left `d` items queued.
+    depth_counts: Vec<u64>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -40,6 +49,7 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(QueueState {
                 items: VecDeque::with_capacity(cap),
                 closed: false,
+                depth_counts: vec![0; cap + 1],
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -57,9 +67,25 @@ impl<T> BoundedQueue<T> {
             return false;
         }
         st.items.push_back(item);
+        let depth = st.items.len();
+        st.depth_counts[depth] += 1;
         drop(st);
         self.not_empty.notify_one();
         true
+    }
+
+    /// Post-push queue-depth distribution. The bucket layout is fixed
+    /// (powers of two up to 64) so histograms from runs with different
+    /// queue capacities merge cleanly into one registry entry.
+    pub fn depth_histogram(&self) -> Histogram {
+        let st = self.state.lock().expect("queue poisoned");
+        let mut h = Histogram::new(&[1, 2, 4, 8, 16, 32, 64]);
+        for (depth, &n) in st.depth_counts.iter().enumerate() {
+            for _ in 0..n {
+                h.observe(depth as u64);
+            }
+        }
+        h
     }
 
     /// Dequeue one item, blocking while the queue is empty. Returns
@@ -88,13 +114,59 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// Wall-clock observation of one pool job: how long it sat queued
+/// behind slower jobs, and how long it ran.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobTiming {
+    /// Time between enqueue and a worker dequeuing the job (0 on the
+    /// serial path, which has no queue).
+    pub queue_wait_ns: u64,
+    /// Time the job itself ran.
+    pub run_ns: u64,
+}
+
+/// Observability record of one [`run_ordered_timed`] call.
+#[derive(Debug, Clone, Default)]
+pub struct PoolRunStats {
+    /// Worker threads actually used (1 = serial reference path).
+    pub workers: usize,
+    /// Per-job timings, in input order.
+    pub timings: Vec<JobTiming>,
+    /// Post-push queue-depth distribution (empty on the serial path).
+    pub queue_depth: Option<Histogram>,
+}
+
+/// Histogram layout for pool latency metrics: exponential buckets from
+/// 1 µs to ~4.6 min, in nanoseconds.
+fn latency_histogram() -> Histogram {
+    Histogram::exponential(1 << 10, 28)
+}
+
+impl PoolRunStats {
+    /// Fold this run into a metrics registry:
+    ///
+    /// * `pool.runs`, `pool.jobs`, `pool.workers` counters;
+    /// * `pool.queue_wait_ns` and `pool.job_run_ns` histograms (whose
+    ///   serialized form carries exact max/mean);
+    /// * `pool.queue_depth` histogram (parallel runs only).
+    pub fn export(&self, reg: &mut Registry) {
+        reg.add("pool.runs", 1);
+        reg.add("pool.jobs", self.timings.len() as u64);
+        reg.add("pool.workers", self.workers as u64);
+        for t in &self.timings {
+            reg.observe_with("pool.queue_wait_ns", t.queue_wait_ns, latency_histogram);
+            reg.observe_with("pool.job_run_ns", t.run_ns, latency_histogram);
+        }
+        if let Some(depth) = &self.queue_depth {
+            reg.merge_histogram("pool.queue_depth", depth);
+        }
+    }
+}
+
 /// Run every job and return the results **in input order**.
 ///
-/// With `workers <= 1` (or fewer than two jobs) the jobs run serially
-/// on the calling thread — this is the `VISIM_JOBS=1` reference path,
-/// with no threads spawned at all. Otherwise `min(workers, jobs)`
-/// scoped threads drain a bounded queue of `(index, job)` pairs and
-/// write each result into its input slot.
+/// Convenience wrapper over [`run_ordered_timed`] that discards the
+/// timing observations.
 ///
 /// # Panics
 ///
@@ -107,42 +179,105 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    run_ordered_timed(workers, jobs).0
+}
+
+/// Run every job, returning the results **in input order** plus the
+/// per-job wall-clock observations ([`PoolRunStats`]).
+///
+/// With `workers <= 1` (or fewer than two jobs) the jobs run serially
+/// on the calling thread — this is the `VISIM_JOBS=1` reference path,
+/// with no threads spawned at all. Otherwise `min(workers, jobs)`
+/// scoped threads drain a bounded queue of `(index, job)` pairs and
+/// write each result into its input slot. The timing side channel never
+/// influences the results, so output remains bit-identical for any
+/// worker count.
+///
+/// # Panics
+///
+/// Same contract as [`run_ordered`].
+pub fn run_ordered_timed<T, F>(workers: usize, jobs: Vec<F>) -> (Vec<T>, PoolRunStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     if workers <= 1 || jobs.len() <= 1 {
-        return jobs.into_iter().map(|f| f()).collect();
+        let mut timings = Vec::with_capacity(jobs.len());
+        let results = jobs
+            .into_iter()
+            .map(|f| {
+                let started = Instant::now();
+                let out = f();
+                timings.push(JobTiming {
+                    queue_wait_ns: 0,
+                    run_ns: elapsed_ns(started),
+                });
+                out
+            })
+            .collect();
+        return (
+            results,
+            PoolRunStats {
+                workers: 1,
+                timings,
+                queue_depth: None,
+            },
+        );
     }
     let workers = workers.min(jobs.len());
-    let queue: BoundedQueue<(usize, F)> = BoundedQueue::new(workers * 2);
-    let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
-        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let n_jobs = jobs.len();
+    let queue: BoundedQueue<(usize, Instant, F)> = BoundedQueue::new(workers * 2);
+    type Slot<T> = Mutex<Option<(std::thread::Result<T>, JobTiming)>>;
+    let slots: Vec<Slot<T>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         let queue = &queue;
         let slots = &slots;
         for _ in 0..workers {
             s.spawn(move || {
-                while let Some((ix, job)) = queue.pop() {
+                while let Some((ix, queued_at, job)) = queue.pop() {
+                    let queue_wait_ns = elapsed_ns(queued_at);
+                    let started = Instant::now();
                     let result = catch_unwind(AssertUnwindSafe(job));
-                    *slots[ix].lock().expect("result slot poisoned") = Some(result);
+                    let timing = JobTiming {
+                        queue_wait_ns,
+                        run_ns: elapsed_ns(started),
+                    };
+                    *slots[ix].lock().expect("result slot poisoned") = Some((result, timing));
                 }
             });
         }
-        for pair in jobs.into_iter().enumerate() {
-            queue.push(pair);
+        for (ix, job) in jobs.into_iter().enumerate() {
+            queue.push((ix, Instant::now(), job));
         }
         queue.close();
     });
-    slots
+    let mut timings = Vec::with_capacity(n_jobs);
+    let results = slots
         .into_iter()
         .map(|slot| {
-            match slot
+            let (result, timing) = slot
                 .into_inner()
                 .expect("result slot poisoned")
-                .expect("worker pool ran every job")
-            {
+                .expect("worker pool ran every job");
+            timings.push(timing);
+            match result {
                 Ok(v) => v,
                 Err(payload) => resume_unwind(payload),
             }
         })
-        .collect()
+        .collect();
+    (
+        results,
+        PoolRunStats {
+            workers,
+            timings,
+            queue_depth: Some(queue.depth_histogram()),
+        },
+    )
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -206,6 +341,56 @@ mod tests {
         let caught = catch_unwind(AssertUnwindSafe(|| run_ordered(4, jobs)));
         assert!(caught.is_err(), "panic propagates to the caller");
         assert_eq!(done.load(Ordering::SeqCst), 15, "siblings still ran");
+    }
+
+    #[test]
+    fn timed_runs_observe_every_job() {
+        let jobs: Vec<_> = (0..24u64).map(|i| move || i).collect();
+        let (out, stats) = run_ordered_timed(4, jobs);
+        assert_eq!(out, (0..24u64).collect::<Vec<_>>());
+        assert_eq!(stats.timings.len(), 24);
+        assert_eq!(stats.workers, 4);
+        let depth = stats
+            .queue_depth
+            .as_ref()
+            .expect("parallel run has a queue");
+        assert_eq!(depth.count(), 24, "one depth sample per push");
+        let mut reg = Registry::new();
+        stats.export(&mut reg);
+        assert_eq!(reg.counter("pool.jobs"), 24);
+        assert_eq!(reg.counter("pool.runs"), 1);
+        assert_eq!(reg.histogram("pool.job_run_ns").unwrap().count(), 24);
+        assert_eq!(reg.histogram("pool.queue_wait_ns").unwrap().count(), 24);
+    }
+
+    #[test]
+    fn serial_path_times_jobs_without_a_queue() {
+        let jobs: Vec<_> = (0..3u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    i
+                }
+            })
+            .collect();
+        let (out, stats) = run_ordered_timed(1, jobs);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(stats.workers, 1);
+        assert!(stats.queue_depth.is_none(), "no queue on the serial path");
+        assert!(stats.timings.iter().all(|t| t.queue_wait_ns == 0));
+        assert!(stats.timings.iter().all(|t| t.run_ns >= 1_000_000));
+    }
+
+    #[test]
+    fn pool_exports_merge_across_runs() {
+        let mut reg = Registry::new();
+        for _ in 0..2 {
+            let (_, stats) = run_ordered_timed(3, (0..8u64).map(|i| move || i).collect());
+            stats.export(&mut reg);
+        }
+        assert_eq!(reg.counter("pool.runs"), 2);
+        assert_eq!(reg.counter("pool.jobs"), 16);
+        assert_eq!(reg.histogram("pool.queue_depth").unwrap().count(), 16);
     }
 
     #[test]

@@ -20,11 +20,14 @@ SIZE="${SIZE:-study}"
 OUT="${BENCH_OUT:-BENCH_runtime.json}"
 BINARIES=(fig1 fig2 fig3 sweep_l1 sweep_l2 kernels14 ablation tables)
 
-echo "== build (release, offline) =="
-cargo build --release --offline
+echo "== build (release, offline, workspace) =="
+# --workspace: a plain root build only covers the root package and its
+# lib deps; the visim-bench binaries would stay stale.
+cargo build --release --offline --workspace
 
 cores=$(nproc 2>/dev/null || echo 1)
 jobs="${VISIM_JOBS:-auto}"
+git_rev=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 
 echo "== timing (size=$SIZE, jobs=$jobs, cores=$cores) =="
 rows=""
@@ -43,7 +46,8 @@ done
 
 cat > "$OUT" <<EOF
 {
-  "schema": "visim-bench-runtime-v1",
+  "schema": "visim-bench-runtime-v2",
+  "git_rev": "$git_rev",
   "size": "$SIZE",
   "jobs": "$jobs",
   "host_cores": $cores,
@@ -55,3 +59,8 @@ $rows
 EOF
 
 echo "== total ${total}s; wrote $OUT =="
+
+# The timing loop above regenerated results/json/ as a side effect, so
+# the fidelity gate runs against exactly what was just measured.
+fidelity=$(./target/release/validate results/json 2>/dev/null | tail -1) || true
+echo "== ${fidelity:-fidelity: validate did not run} =="

@@ -2,14 +2,17 @@
 # Tier-1 verification, fully offline. This is the gate every change
 # must pass: a hermetic build (no registry access — the workspace has
 # zero third-party dependencies), the complete test suite across all
-# crates, and formatting.
+# crates, formatting, and the paper-fidelity gate (a tiny-size run of
+# the figure binaries validated against the paper's tolerance bands).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release, offline) =="
-cargo build --release --offline
+echo "== build (release, offline, workspace) =="
+# --workspace: a plain root build only covers the root package and its
+# lib deps; the visim-bench binaries would stay stale.
+cargo build --release --offline --workspace
 
 echo "== tests (workspace, offline) =="
 cargo test --workspace --offline -q
@@ -19,5 +22,13 @@ cargo clippy --workspace --offline -- -D warnings
 
 echo "== formatting =="
 cargo fmt --check
+
+echo "== paper-fidelity gate (tiny) =="
+fidelity_dir=$(mktemp -d)
+trap 'rm -rf "$fidelity_dir"' EXIT
+for bin in fig1 fig2 fig3; do
+  (cd "$fidelity_dir" && "$OLDPWD/target/release/$bin" tiny >/dev/null)
+done
+./target/release/validate "$fidelity_dir/results/json"
 
 echo "verify: OK"
