@@ -13,7 +13,7 @@ use visim::bench::{Bench, WorkloadSize};
 use visim::config::Arch;
 use visim::experiment::run_parallel;
 use visim::report;
-use visim_bench::{labeled_size_from_args, Report};
+use visim_bench::{parse_size_args, Report};
 use visim_cpu::{CpuConfig, Pipeline, Summary};
 use visim_mem::MemConfig;
 use visim_obs::Json;
@@ -101,7 +101,10 @@ fn ratio_section(
 }
 
 fn main() {
-    let (size_label, size) = labeled_size_from_args();
+    let (size_label, size) = parse_size_args(
+        "ablation",
+        "design-choice ablations: issue width, window, MSHRs, mispredict penalty",
+    );
     let mut out = Report::new("ablation", size_label);
     let benches = [Bench::Addition, Bench::Conv, Bench::MpegEnc];
 

@@ -15,10 +15,13 @@
 use visim::artifact;
 use visim::experiment::try_fig1_all;
 use visim::report;
-use visim_bench::{labeled_size_from_args, Report};
+use visim_bench::{parse_size_args, Report};
 
 fn main() {
-    let (size_label, size) = labeled_size_from_args();
+    let (size_label, size) = parse_size_args(
+        "fig1",
+        "regenerate Figure 1: normalized execution time on 3 architectures x {base, VIS}",
+    );
     let mut out = Report::new("fig1", size_label);
     out.line("Figure 1: performance of image and video benchmarks");
     out.line(format!(

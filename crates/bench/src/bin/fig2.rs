@@ -9,10 +9,13 @@
 use visim::artifact;
 use visim::experiment::try_fig2;
 use visim::report;
-use visim_bench::{labeled_size_from_args, Report};
+use visim_bench::{parse_size_args, Report};
 
 fn main() {
-    let (size_label, size) = labeled_size_from_args();
+    let (size_label, size) = parse_size_args(
+        "fig2",
+        "regenerate Figure 2: dynamic instruction counts, base vs. VIS",
+    );
     let mut out = Report::new("fig2", size_label);
     out.line("Figure 2: impact of VIS on dynamic (retired) instruction count");
     out.section("instruction mix (percent of the base variant's count)");

@@ -8,10 +8,13 @@
 use visim::artifact;
 use visim::experiment::try_fig3;
 use visim::report;
-use visim_bench::{labeled_size_from_args, Report};
+use visim_bench::{parse_size_args, Report};
 
 fn main() {
-    let (size_label, size) = labeled_size_from_args();
+    let (size_label, size) = parse_size_args(
+        "fig3",
+        "regenerate Figure 3: software prefetching (VIS vs. VIS+PF)",
+    );
     let mut out = Report::new("fig3", size_label);
     out.line("Figure 3: effect of software-inserted prefetching (4-way ooo, VIS)");
     out.section("normalized execution time");

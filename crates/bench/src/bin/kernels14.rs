@@ -7,7 +7,7 @@ use media_image::synth;
 use media_kernels::{blend, conv, pointwise, reduce, simimg::SimImage, thresh, KernelId, Variant};
 use visim::artifact;
 use visim::report;
-use visim_bench::{labeled_size_from_args, Report};
+use visim_bench::{parse_size_args, Report};
 use visim_cpu::{CountingSink, CpuConfig, Pipeline, SimSink, Summary};
 use visim_mem::MemConfig;
 use visim_obs::Json;
@@ -123,7 +123,10 @@ fn config(timed: bool, variant: &str) -> Json {
 }
 
 fn main() {
-    let (size_label, size) = labeled_size_from_args();
+    let (size_label, size) = parse_size_args(
+        "kernels14",
+        "appendix: the full 14-kernel VSDK sweep, scalar vs. VIS",
+    );
     let mut out = Report::new("kernels14", size_label);
     out.section("all 14 VSDK kernels: VIS vs scalar (4-way ooo)");
     // One job per kernel (each job is two counted and two timed runs),

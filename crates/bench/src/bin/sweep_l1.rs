@@ -11,10 +11,13 @@
 use visim::artifact;
 use visim::experiment::try_l1_sweep_all;
 use visim::report;
-use visim_bench::{labeled_size_from_args, Report};
+use visim_bench::{parse_size_args, Report};
 
 fn main() {
-    let (size_label, size) = labeled_size_from_args();
+    let (size_label, size) = parse_size_args(
+        "sweep_l1",
+        "regenerate the S4.1 L1 cache-size sweep (L2 fixed)",
+    );
     let sizes: [u64; 5] = [1 << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10];
     let mut out = Report::new("sweep_l1", size_label);
     out.line("Section 4.1: impact of L1 cache size (VIS, 4-way ooo)");

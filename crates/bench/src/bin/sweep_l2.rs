@@ -11,10 +11,13 @@
 use visim::artifact;
 use visim::experiment::try_l2_sweep_all;
 use visim::report;
-use visim_bench::{labeled_size_from_args, Report};
+use visim_bench::{parse_size_args, Report};
 
 fn main() {
-    let (size_label, size) = labeled_size_from_args();
+    let (size_label, size) = parse_size_args(
+        "sweep_l2",
+        "regenerate the S4.1 L2 cache-size sweep (L1 fixed)",
+    );
     // The study geometry is 1/16 the paper's pixel count, so the sweep
     // covers proportionally smaller caches plus the paper's 2M corner.
     let sizes: [u64; 5] = [128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];

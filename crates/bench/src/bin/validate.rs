@@ -21,6 +21,14 @@
 //!   mpeg-enc.
 //! * **Rearrangement overhead** (§3.2.3): ~41% of VIS instructions are
 //!   subword rearrangement / alignment overhead on average.
+//! * **Trace attribution** (`pipetrace.json`): the cycle-level trace's
+//!   per-cycle stall attribution must equal the pipeline's aggregate
+//!   Figure 1 breakdown **exactly** — same integer unit counts and
+//!   `total_units == cycles × width` — for every benchmark × six main
+//!   configurations. Unlike the tolerance bands above this is an
+//!   invariant, not physics: the two attributions are computed by
+//!   independent code paths from the same charging rule, so any
+//!   difference is a tracing bug.
 //!
 //! The bands hold at both `tiny` and `study` workload sizes (measured:
 //! ILP geomean 2.86/2.88, VIS 1.89/2.01, prefetch 1.58/1.96, overhead
@@ -291,9 +299,101 @@ fn check_fig3(gate: &mut Gate, doc: &Json) {
     gate.band("fig3.prefetch.geomean", geomean(&speedups), 1.2, 2.8);
 }
 
+/// `pipetrace.json`: exact equality between the trace-derived and the
+/// aggregate (Figure 1) stall attribution, per cell. Every unit member
+/// must match as a `u64`, and the totals must account for every issue
+/// slot of every cycle (`total_units == cycles * width`).
+fn check_pipetrace(gate: &mut Gate, doc: &Json) {
+    let (ok, failed) = cells(doc);
+    gate.crashes("pipetrace", &failed);
+    gate.claim(
+        "pipetrace.coverage",
+        ok.len() + failed.len() == 72,
+        &format!(
+            "{} cells ({} ok), expected 12 benchmarks x 6 configs = 72",
+            ok.len() + failed.len(),
+            ok.len()
+        ),
+    );
+    const UNIT_MEMBERS: [&str; 7] = [
+        "width",
+        "cycles",
+        "busy_units",
+        "fu_stall_units",
+        "l1_hit_units",
+        "l1_miss_units",
+        "total_units",
+    ];
+    let mut checked = 0usize;
+    let mut bad: Vec<String> = Vec::new();
+    for c in &ok {
+        let bench = c.get("benchmark").and_then(Json::as_str).unwrap_or("?");
+        let arch = config_str(c, "arch").unwrap_or("?");
+        let vis = c
+            .get("config")
+            .and_then(|cfg| cfg.get("vis"))
+            .map(|j| j == &Json::Bool(true))
+            .unwrap_or(false);
+        let label = format!("{bench}/{arch}{}", if vis { "+vis" } else { "" });
+        let (Some(aggregate), Some(trace), Some(cycles)) = (
+            c.get("aggregate"),
+            c.get("trace"),
+            c.get("cycles").and_then(Json::as_u64),
+        ) else {
+            bad.push(format!("{label} (members missing)"));
+            continue;
+        };
+        checked += 1;
+        let field = |obj: &Json, k: &str| obj.get(k).and_then(Json::as_u64);
+        let mut mismatch = UNIT_MEMBERS
+            .iter()
+            .any(|k| field(trace, k).is_none() || field(trace, k) != field(aggregate, k));
+        let width = field(trace, "width").unwrap_or(0);
+        if field(trace, "cycles") != Some(cycles)
+            || field(trace, "total_units") != Some(cycles * width)
+        {
+            mismatch = true;
+        }
+        if mismatch {
+            bad.push(label);
+        }
+    }
+    let detail = if bad.is_empty() {
+        format!("exact (all unit members) for {checked}/{checked} cells")
+    } else {
+        format!(
+            "{} of {} cells disagree: {}",
+            bad.len(),
+            checked + bad.len(),
+            bad.join(", ")
+        )
+    };
+    gate.claim(
+        "pipetrace.trace-vs-aggregate",
+        checked > 0 && bad.is_empty(),
+        &detail,
+    );
+}
+
 type Check = fn(&mut Gate, &Json);
 
 fn main() -> ExitCode {
+    match std::env::args().nth(1).as_deref() {
+        Some("--help") | Some("-h") => {
+            println!(
+                "validate: paper-fidelity gate over the visim-results-v1 JSON artifacts\n\
+                 \n\
+                 Usage: validate [results-dir] [--help]\n\
+                 \n\
+                 Loads fig1.json, fig2.json, fig3.json, and pipetrace.json from the\n\
+                 given directory (default results/json) and checks the paper's headline\n\
+                 claims as tolerance bands, plus the exact trace-vs-aggregate stall\n\
+                 attribution invariant. Exit: 0 ok, 1 drift/crash, 2 missing artifacts."
+            );
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
     let dir = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "results/json".to_string());
@@ -303,6 +403,7 @@ fn main() -> ExitCode {
         ("fig1", check_fig1),
         ("fig2", check_fig2),
         ("fig3", check_fig3),
+        ("pipetrace", check_pipetrace),
     ];
     for (name, check) in docs {
         match load(&dir, name) {

@@ -23,7 +23,8 @@
 //! `0`) auto-detects one worker per core. Output is byte-identical for
 //! any worker count.
 
-use std::io::Write as _;
+use std::io::{IsTerminal as _, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use visim::bench::WorkloadSize;
@@ -31,24 +32,112 @@ use visim_obs::schema::{self, ResultsDoc};
 use visim_obs::Json;
 use visim_util::SimError;
 
-/// Parse the common size argument (defaults to `study`), returning the
-/// size label alongside the geometry (the label goes into the JSON
-/// artifact's `"size"` member).
-pub fn labeled_size_from_args() -> (&'static str, WorkloadSize) {
+/// Environment variable that silences the stderr progress heartbeat
+/// when set to `1` (it is also suppressed whenever stderr is not a
+/// terminal).
+pub const QUIET_ENV: &str = "VISIM_QUIET";
+
+/// The usage text for a figure/table binary named `bin` whose one-line
+/// purpose is `about`.
+pub fn usage(bin: &str, about: &str) -> String {
+    format!(
+        "{bin}: {about}\n\
+         \n\
+         Usage: {bin} [tiny|study|paper] [--help]\n\
+         \n\
+         Sizes:\n\
+         \x20 tiny    smallest inputs; seconds, used by tests and CI\n\
+         \x20 study   scaled-down geometry documented in DESIGN.md (default)\n\
+         \x20 paper   full 1024x640 / 352x240 geometry of the paper (slow)\n\
+         \n\
+         Environment:\n\
+         \x20 VISIM_JOBS   worker count (1 = serial reference path; unset/0 = one per core)\n\
+         \x20 VISIM_QUIET  set to 1 to silence the stderr progress heartbeat\n\
+         \n\
+         Output: text report on stdout, machine-readable twin under results/json/."
+    )
+}
+
+/// Parse the common CLI of a figure/table binary: an optional size
+/// argument (defaults to `study`) plus `--help`/`-h`. Returns the size
+/// label alongside the geometry (the label goes into the JSON
+/// artifact's `"size"` member). Unknown arguments print the usage text
+/// to stderr and exit 2.
+pub fn parse_size_args(bin: &str, about: &str) -> (&'static str, WorkloadSize) {
     match std::env::args().nth(1).as_deref() {
+        Some("--help") | Some("-h") => {
+            println!("{}", usage(bin, about));
+            std::process::exit(0);
+        }
         Some("tiny") => ("tiny", WorkloadSize::tiny()),
         Some("paper") => ("paper", WorkloadSize::paper()),
         Some("study") | None => ("study", WorkloadSize::study()),
         Some(other) => {
             eprintln!("unknown size '{other}', expected tiny|study|paper");
+            eprintln!("\n{}", usage(bin, about));
             std::process::exit(2);
         }
     }
 }
 
-/// Parse the common size argument (defaults to `study`).
-pub fn size_from_args() -> WorkloadSize {
-    labeled_size_from_args().1
+/// Render one heartbeat line: completed cells out of the total, plus a
+/// naive ETA extrapolated from the mean per-cell latency so far.
+pub fn format_heartbeat(label: &str, done: usize, total: usize, elapsed_secs: f64) -> String {
+    let eta = if done > 0 {
+        elapsed_secs / done as f64 * total.saturating_sub(done) as f64
+    } else {
+        0.0
+    };
+    format!("{label}: {done}/{total} cells done, ETA ~{eta:.0}s")
+}
+
+/// Whether the stderr heartbeat should run: stderr must be a terminal
+/// (so redirected/CI runs stay clean) and [`QUIET_ENV`] must not be `1`.
+fn heartbeat_enabled() -> bool {
+    std::env::var(QUIET_ENV).as_deref() != Ok("1") && std::io::stderr().is_terminal()
+}
+
+/// Heartbeat warm-up: no lines in the first couple of seconds, so quick
+/// tiny-size runs stay silent.
+const HEARTBEAT_WARMUP_MS: u64 = 2_000;
+
+/// Heartbeat rate limit: at most one line per second after warm-up.
+const HEARTBEAT_PERIOD_MS: u64 = 1_000;
+
+/// Install the stderr progress heartbeat for the binary named `label`:
+/// after every completed worker-pool cell (and past a short warm-up) it
+/// prints a rate-limited `label: N/M cells done, ETA ~Xs` line. The
+/// observer only sees completion counts, so simulation output is
+/// unaffected; it is a no-op when [`heartbeat_enabled`] says so.
+fn install_heartbeat(label: &'static str) {
+    if !heartbeat_enabled() {
+        return;
+    }
+    let started = Instant::now();
+    let last_ms = AtomicU64::new(0);
+    visim::experiment::set_progress_observer(Some(Box::new(move |done, total, _run_ns| {
+        let elapsed = started.elapsed();
+        let now_ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+        if now_ms < HEARTBEAT_WARMUP_MS {
+            return;
+        }
+        let prev = last_ms.load(Ordering::Relaxed);
+        if done < total && now_ms.saturating_sub(prev) < HEARTBEAT_PERIOD_MS {
+            return;
+        }
+        // One printer per tick: racing workers that lose the exchange
+        // drop their line instead of double-printing.
+        if last_ms
+            .compare_exchange(prev, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        eprintln!(
+            "{}",
+            format_heartbeat(label, done, total, elapsed.as_secs_f64())
+        );
+    })));
 }
 
 /// Print a titled section.
@@ -85,6 +174,7 @@ impl Report {
     /// A report for the binary named `name` (used for the partial file
     /// and the JSON artifact) at workload size `size_label`.
     pub fn new(name: &'static str, size_label: &str) -> Self {
+        install_heartbeat(name);
         Report {
             name,
             buf: String::new(),
@@ -230,7 +320,7 @@ fn sanitize(label: &str) -> String {
 /// write a process-unique temp file, then rename it into place. Readers
 /// (and concurrent writers of the same path) see either the old
 /// complete file or the new complete file, never a mix.
-fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+pub fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -278,6 +368,39 @@ mod tests {
         assert_eq!(r.failure_count(), 1);
         assert_eq!(r.cell_count(), 1, "failed cell joins the JSON doc");
         assert!(r.buf.contains("blend: ERROR:"), "{}", r.buf);
+    }
+
+    #[test]
+    fn heartbeat_lines_report_progress_and_eta() {
+        assert_eq!(
+            format_heartbeat("fig1", 18, 72, 9.0),
+            "fig1: 18/72 cells done, ETA ~27s"
+        );
+        assert_eq!(
+            format_heartbeat("fig1", 72, 72, 30.0),
+            "fig1: 72/72 cells done, ETA ~0s"
+        );
+        // No division by zero before the first completion.
+        assert_eq!(
+            format_heartbeat("fig1", 0, 72, 1.0),
+            "fig1: 0/72 cells done, ETA ~0s"
+        );
+    }
+
+    #[test]
+    fn usage_names_the_binary_and_the_sizes() {
+        let u = usage("fig1", "regenerate Figure 1");
+        assert!(u.starts_with("fig1: regenerate Figure 1"));
+        for needle in [
+            "tiny",
+            "study",
+            "paper",
+            "--help",
+            "VISIM_JOBS",
+            "VISIM_QUIET",
+        ] {
+            assert!(u.contains(needle), "usage misses {needle}: {u}");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! *crashed* cell from a *drifted* one.
 
 use visim_cpu::{CpuStats, Summary};
+use visim_obs::trace::Trace;
 use visim_obs::{schema, Json};
 use visim_util::SimError;
 
@@ -16,15 +17,12 @@ use crate::config::Arch;
 use crate::experiment::{Fig1Bar, Fig2Row, Fig3Row, SweepPoint};
 
 /// The payload shared by every timed (pipeline) cell: headline cycle
-/// count plus the full [`Summary`] serialization.
+/// count plus the full [`Summary`] serialization
+/// ([`Summary::json_members`] keeps the member shape in one place).
 fn timed_payload(s: &Summary) -> Vec<(&'static str, Json)> {
-    vec![
-        ("cycles", Json::from(s.cycles())),
-        ("cpu", s.cpu.to_json()),
-        ("mem", s.mem.to_json()),
-        ("mshr_histogram", Json::from(s.mshr_histogram.clone())),
-        ("metrics", s.metrics.to_json()),
-    ]
+    let mut members = vec![("cycles", Json::from(s.cycles()))];
+    members.extend(s.json_members());
+    members
 }
 
 /// A failed cell for the benchmark (or kernel) named `name` under
@@ -133,6 +131,38 @@ pub fn sweep_cell(bench: Bench, cache: &str, pt: &SweepPoint) -> Json {
 /// caller-chosen benchmark (or kernel) name and configuration members.
 pub fn timed_cell(name: &str, config: Json, summary: &Summary) -> Json {
     schema::ok_cell(name, config, timed_payload(summary))
+}
+
+/// `pipetrace` cell configuration: architecture label + VIS flag.
+pub fn pipetrace_config(arch: Arch, vis: bool) -> Json {
+    Json::obj(vec![
+        ("figure", Json::from("pipetrace")),
+        ("arch", Json::from(arch.label())),
+        ("vis", Json::from(vis)),
+    ])
+}
+
+/// One `pipetrace` attribution cell: the aggregate (Figure 1) and
+/// trace-derived attributions side by side, both in exact integer units
+/// of `1/issue_width` cycles. The `validate` gate checks them equal and
+/// summing to `cycles * width`.
+pub fn pipetrace_cell(
+    bench: Bench,
+    arch: Arch,
+    vis: bool,
+    summary: &Summary,
+    trace: &Trace,
+) -> Json {
+    schema::ok_cell(
+        bench.name(),
+        pipetrace_config(arch, vis),
+        vec![
+            ("cycles", Json::from(summary.cycles())),
+            ("aggregate", summary.cpu.attribution().to_json()),
+            ("trace", trace.attribution.to_json()),
+            ("dropped_events", Json::from(trace.dropped)),
+        ],
+    )
 }
 
 /// A generic counted cell (functional counter, no timing model).

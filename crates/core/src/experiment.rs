@@ -17,12 +17,15 @@
 //! selects the worker count (`1` = the serial reference path, no
 //! threads at all; unset/`0` = one worker per available core).
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 use std::sync::Mutex;
 
 use media_kernels::Variant;
-use visim_cpu::{CountingSink, CpuStats, Pipeline, Summary};
+use visim_cpu::{CountingSink, CpuStats, Pipeline, Summary, Traced};
 use visim_mem::MemConfig;
+use visim_obs::trace::{Trace, TraceRing};
 use visim_obs::Registry;
 use visim_util::{pool, SimError};
 
@@ -62,6 +65,21 @@ fn default_jobs() -> usize {
 /// artifacts via [`drain_pool_metrics`].
 static POOL_METRICS: Mutex<Option<Registry>> = Mutex::new(None);
 
+/// A process-wide progress callback, called as `(done, total, run_ns)`
+/// after every completed [`run_parallel`] job. See
+/// [`set_progress_observer`].
+pub type ProgressObserver = Box<dyn Fn(usize, usize, u64) + Send + Sync>;
+
+static PROGRESS: Mutex<Option<ProgressObserver>> = Mutex::new(None);
+
+/// Install (or, with `None`, remove) the process-wide progress
+/// observer. The figure binaries install a stderr heartbeat here; the
+/// observer only ever sees completion counts and job latencies, so it
+/// cannot influence results.
+pub fn set_progress_observer(obs: Option<ProgressObserver>) {
+    *PROGRESS.lock().expect("progress observer lock") = obs;
+}
+
 /// Take (and reset) the pool metrics accumulated so far. Returns an
 /// empty registry when no parallel work has run.
 pub fn drain_pool_metrics() -> Registry {
@@ -84,7 +102,12 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let (results, stats) = pool::run_ordered_timed(jobs(), work);
+    let observer = |done: usize, total: usize, run_ns: u64| {
+        if let Some(obs) = PROGRESS.lock().expect("progress observer lock").as_ref() {
+            obs(done, total, run_ns);
+        }
+    };
+    let (results, stats) = pool::run_ordered_timed_observed(jobs(), work, Some(&observer));
     let mut guard = POOL_METRICS.lock().expect("pool metrics lock");
     stats.export(guard.get_or_insert_with(Registry::new));
     results
@@ -130,6 +153,35 @@ pub fn try_run_timed(
     let mut pipe = Pipeline::new(arch.cpu(), mem.unwrap_or_default());
     catch_workload(bench, || bench.run(&mut pipe, size, variant))?;
     pipe.try_finish()
+}
+
+/// Run one benchmark through the detailed timing model with
+/// cycle-level tracing attached, returning both the summary and the
+/// recorded [`Trace`]. The caller configures the ring (capacity, cycle
+/// window) before passing it in; the simulation result is identical to
+/// [`try_run_timed`] — tracing only observes.
+pub fn try_run_traced(
+    bench: Bench,
+    arch: Arch,
+    mem: Option<MemConfig>,
+    size: &WorkloadSize,
+    variant: Variant,
+    ring: TraceRing,
+) -> Result<(Summary, Trace), SimError> {
+    injected_fault(bench)?;
+    let ring = Rc::new(RefCell::new(ring));
+    let mut sink = Traced::new(
+        Pipeline::new(arch.cpu(), mem.unwrap_or_default()),
+        ring.clone(),
+    );
+    catch_workload(bench, || bench.run(&mut sink, size, variant))?;
+    let summary = sink.into_inner().try_finish()?;
+    // `try_finish` consumed the pipeline, dropping every clone the
+    // tracer hooks held; this handle is now the sole owner.
+    let ring = Rc::try_unwrap(ring)
+        .expect("pipeline dropped; sole ring owner")
+        .into_inner();
+    Ok((summary, ring.into_trace()))
 }
 
 /// Run one benchmark through the detailed timing model.

@@ -58,16 +58,25 @@ impl CpuStats {
 }
 
 impl Summary {
-    /// The full per-run payload: pipeline statistics, memory-system
-    /// statistics, the time-weighted MSHR occupancy histogram, and the
-    /// observability metrics registry.
-    pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+    /// The members of the per-run payload, in artifact order: pipeline
+    /// statistics, memory-system statistics, the time-weighted MSHR
+    /// occupancy histogram, and the observability metrics registry.
+    ///
+    /// This is the single source for every result cell that embeds a
+    /// summary — `visim`'s cell builders and the `pipetrace` artifacts
+    /// extend these members rather than re-assembling the object.
+    pub fn json_members(&self) -> Vec<(&'static str, Json)> {
+        vec![
             ("cpu", self.cpu.to_json()),
             ("mem", self.mem.to_json()),
             ("mshr_histogram", Json::from(self.mshr_histogram.clone())),
             ("metrics", self.metrics.to_json()),
-        ])
+        ]
+    }
+
+    /// The full per-run payload (see [`Summary::json_members`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj(self.json_members())
     }
 }
 

@@ -47,5 +47,5 @@ mod stats;
 pub use config::{CpuConfig, FuCounts, IssuePolicy};
 pub use pipeline::{Pipeline, Summary};
 pub use predictor::{AgreePredictor, ReturnAddressStack};
-pub use sink::{CountingSink, SimSink};
+pub use sink::{CountingSink, SimSink, TraceSink, Traced};
 pub use stats::{Breakdown, CpuStats, StallClass};

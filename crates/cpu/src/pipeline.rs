@@ -12,13 +12,14 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use visim_isa::{BranchKind, Inst, MemKind, MemRef, Reg};
 use visim_mem::{MemConfig, MemStats, MemSystem, Request, ServiceLevel};
+use visim_obs::trace::{InstSpan, InstantKind, SharedTraceRing};
 use visim_obs::{Histogram, Registry};
 use visim_util::SimError;
 
 use crate::config::{CpuConfig, IssuePolicy};
 use crate::fu::FuPool;
 use crate::predictor::{AgreePredictor, ReturnAddressStack};
-use crate::sink::SimSink;
+use crate::sink::{SimSink, TraceSink};
 use crate::stats::{CpuStats, StallClass};
 
 /// A trivial multiplicative hasher for dense `Reg` keys (the default
@@ -80,6 +81,30 @@ impl Slot {
             src_seqs: [NO_DEP; 3],
         }
     }
+}
+
+/// A span under construction: lifecycle cycles gathered while the
+/// instruction is in flight, completed into an
+/// [`InstSpan`] at retirement.
+#[derive(Debug, Clone, Copy)]
+struct SpanBuild {
+    fetch: u64,
+    dispatch: u64,
+    issue: u64,
+    complete: u64,
+}
+
+/// Tracing state attached to a pipeline (boxed so the untraced
+/// `Pipeline` only grows by one pointer-sized `Option`).
+///
+/// `fetch_cycles` parallels `fetch_q` and `spans` parallels `window`:
+/// entries are pushed and popped at exactly the queue/window push and
+/// pop sites, so a window index is also a span index.
+#[derive(Debug)]
+struct PipeTracer {
+    ring: SharedTraceRing,
+    fetch_cycles: VecDeque<u64>,
+    spans: VecDeque<SpanBuild>,
 }
 
 /// Result of a completed simulation.
@@ -149,6 +174,9 @@ pub struct Pipeline {
     /// fault propagated from the memory system. Once set the simulation
     /// stops advancing and `try_finish` reports it.
     fault: Option<SimError>,
+    /// Cycle-level tracing state; `None` (the default) in normal runs,
+    /// where every hook is one never-taken branch.
+    tracer: Option<Box<PipeTracer>>,
 }
 
 impl Pipeline {
@@ -180,6 +208,7 @@ impl Pipeline {
             window_occ: Histogram::new(&[1, 2, 4, 8, 16, 32, 64, 128]),
             last_progress: 0,
             fault: None,
+            tracer: None,
             mem: MemSystem::new(mem_cfg),
             cfg,
         }
@@ -306,6 +335,12 @@ impl Pipeline {
     fn cycle(&mut self) {
         let sig = self.progress_signature();
         let now = self.now;
+        if let Some(t) = self.tracer.as_mut() {
+            // Keep the shared ring's clock current so hook sites without
+            // their own notion of time (predictor, cache evictions) can
+            // timestamp events.
+            t.ring.borrow_mut().set_now(now);
+        }
         // Lazy prune: only scan when the earliest deadline has arrived;
         // completed loads swap-remove out (order is irrelevant, only the
         // occupancy count matters).
@@ -329,6 +364,13 @@ impl Pipeline {
         self.dispatch();
         self.drain_stores();
         self.stats.account_cycle(retired, stall);
+        if let Some(t) = self.tracer.as_mut() {
+            // Same (retired, stall) inputs as `account_cycle`, so the
+            // ring's attribution equals the aggregate exactly.
+            t.ring
+                .borrow_mut()
+                .sample(retired, stall.map(StallClass::to_trace));
+        }
         self.window_occ.observe(self.window.len() as u64);
         // Fault propagation and the cycle-budget watchdog. A wedged
         // model (an instruction that can never retire) would otherwise
@@ -429,6 +471,19 @@ impl Pipeline {
                 }
             }
             let slot = self.window.pop_front().expect("checked above");
+            if let Some(t) = self.tracer.as_mut() {
+                let sb = t.spans.pop_front().expect("spans parallel window");
+                t.ring.borrow_mut().span(InstSpan {
+                    seq: self.head_seq,
+                    pc: slot.inst.pc,
+                    op: slot.inst.op.name(),
+                    fetch: sb.fetch,
+                    dispatch: sb.dispatch,
+                    issue: sb.issue,
+                    complete: sb.complete,
+                    retire: self.now,
+                });
+            }
             self.head_seq += 1;
             self.issue_frontier = self.issue_frontier.saturating_sub(1);
             if slot.inst.dst.is_some() {
@@ -505,6 +560,11 @@ impl Pipeline {
             }
 
             if self.window[i].issued {
+                if let Some(t) = self.tracer.as_mut() {
+                    let sb = &mut t.spans[i];
+                    sb.issue = now;
+                    sb.complete = self.window[i].done_at;
+                }
                 issued += 1;
                 if self.cfg.blocking_loads && self.issue_blocked_until > now {
                     break; // a blocking load was just issued
@@ -584,6 +644,17 @@ impl Pipeline {
                 }
             }
             let inst = self.fetch_q.pop_front().expect("non-empty");
+            if let Some(t) = self.tracer.as_mut() {
+                // Instructions pushed before the tracer was attached
+                // have no recorded fetch cycle; fall back to now.
+                let fetch = t.fetch_cycles.pop_front().unwrap_or(self.now);
+                t.spans.push_back(SpanBuild {
+                    fetch,
+                    dispatch: self.now,
+                    issue: 0,
+                    complete: 0,
+                });
+            }
             let seq = self.head_seq + self.window.len() as u64;
             let mut slot = Slot::new(inst);
             if inst.dst.is_some() {
@@ -649,6 +720,11 @@ impl Pipeline {
                 }
                 if !correct {
                     slot.mispredicted = true;
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.ring
+                            .borrow_mut()
+                            .instant(InstantKind::BranchMispredict, inst.pc, 0);
+                    }
                     self.window.push_back(slot);
                     // Fetch stalls until this branch resolves.
                     self.fetch_resume_at = u64::MAX;
@@ -688,6 +764,9 @@ impl Pipeline {
 impl SimSink for Pipeline {
     fn push(&mut self, inst: Inst) {
         self.fetch_q.push_back(inst);
+        if let Some(t) = self.tracer.as_mut() {
+            t.fetch_cycles.push_back(self.now);
+        }
         // Once faulted, stop simulating: the workload keeps pushing (it
         // cannot observe the failure mid-emit), instructions accumulate
         // in the unbounded fetch queue, and `try_finish` reports the
@@ -695,5 +774,18 @@ impl SimSink for Pipeline {
         while self.fetch_q.len() > self.fetch_cap && self.fault.is_none() {
             self.cycle();
         }
+    }
+}
+
+impl TraceSink for Pipeline {
+    fn attach_tracer(&mut self, ring: SharedTraceRing) {
+        ring.borrow_mut().set_width(self.cfg.issue_width);
+        self.pred.attach_tracer(ring.clone());
+        self.mem.attach_tracer(ring.clone());
+        self.tracer = Some(Box::new(PipeTracer {
+            ring,
+            fetch_cycles: VecDeque::new(),
+            spans: VecDeque::new(),
+        }));
     }
 }

@@ -11,6 +11,8 @@
 //! deviations — matching the paper's observation that the hard cases are
 //! data-dependent branches (saturation, thresholding).
 
+use visim_obs::trace::{InstantKind, SharedTraceRing};
+
 /// Observability counters for [`AgreePredictor`]: how often training
 /// found the outcome agreeing with the static bias, and how often the
 /// 2-bit counter had to flip its agree/disagree decision (a proxy for
@@ -43,6 +45,9 @@ pub struct AgreePredictor {
     counters: Vec<u8>,
     mask: u64,
     stats: PredictorStats,
+    /// When attached, counter flips emit `PredictorFlip` instants
+    /// (timestamped against the ring's current cycle).
+    tracer: Option<SharedTraceRing>,
 }
 
 impl AgreePredictor {
@@ -54,12 +59,17 @@ impl AgreePredictor {
             counters: vec![2; n as usize],
             mask: (n - 1) as u64,
             stats: PredictorStats::default(),
+            tracer: None,
         }
     }
 
     /// Observability counters accumulated by training.
     pub fn stats(&self) -> PredictorStats {
         self.stats
+    }
+
+    pub(crate) fn attach_tracer(&mut self, ring: SharedTraceRing) {
+        self.tracer = Some(ring);
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -93,7 +103,13 @@ impl AgreePredictor {
         }
         self.stats.updates += 1;
         self.stats.bias_agreements += agreed as u64;
-        self.stats.flips += ((*c >= 2) != before) as u64;
+        let flipped = (*c >= 2) != before;
+        self.stats.flips += flipped as u64;
+        if flipped {
+            if let Some(ring) = &self.tracer {
+                ring.borrow_mut().instant(InstantKind::PredictorFlip, pc, 0);
+            }
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Execution statistics and the paper's execution-time attribution.
 
 use visim_isa::{InstCat, Op};
+use visim_obs::trace::{Attribution, TraceStall};
 
 /// Where a lost retirement slot is charged (paper §2.3.4 / Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -13,6 +14,17 @@ pub enum StallClass {
     L1Hit,
     /// Waiting on an access that left the L1.
     L1Miss,
+}
+
+impl StallClass {
+    /// The trace-layer stall class with the same charging meaning.
+    pub fn to_trace(self) -> TraceStall {
+        match self {
+            StallClass::FuStall => TraceStall::FuStall,
+            StallClass::L1Hit => TraceStall::L1Hit,
+            StallClass::L1Miss => TraceStall::L1Miss,
+        }
+    }
 }
 
 /// Execution-time breakdown in cycles, as plotted in Figure 1.
@@ -122,6 +134,21 @@ impl CpuStats {
             Op::Store => self.stores += 1,
             Op::Prefetch => self.prefetches += 1,
             _ => {}
+        }
+    }
+
+    /// The exact integer attribution (units of `1/issue_width` cycles)
+    /// behind [`CpuStats::breakdown`]. A trace ring fed the same
+    /// per-cycle samples accumulates an equal value — the
+    /// trace-vs-aggregate invariant the `validate` gate checks.
+    pub fn attribution(&self) -> Attribution {
+        Attribution {
+            width: self.width,
+            cycles: self.cycles,
+            busy_units: self.busy_units,
+            fu_stall_units: self.fu_stall_units,
+            l1_hit_units: self.l1_hit_units,
+            l1_miss_units: self.l1_miss_units,
         }
     }
 

@@ -230,6 +230,39 @@ impl Op {
         self.category() == InstCat::Branch
     }
 
+    /// Stable lowercase name, used as the event label in pipeline
+    /// traces and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::IntAlu => "int_alu",
+            Op::IntMul => "int_mul",
+            Op::IntDiv => "int_div",
+            Op::FpOp => "fp_op",
+            Op::FpMove => "fp_move",
+            Op::FpConv => "fp_conv",
+            Op::FpDiv => "fp_div",
+            Op::Branch => "branch",
+            Op::Jump => "jump",
+            Op::Call => "call",
+            Op::Ret => "ret",
+            Op::Load => "load",
+            Op::Store => "store",
+            Op::Prefetch => "prefetch",
+            Op::VisAdd => "vis_add",
+            Op::VisLogic => "vis_logic",
+            Op::VisAlign => "vis_align",
+            Op::VisEdge => "vis_edge",
+            Op::VisCmp => "vis_cmp",
+            Op::VisMul => "vis_mul",
+            Op::VisPack => "vis_pack",
+            Op::VisExpand => "vis_expand",
+            Op::VisMerge => "vis_merge",
+            Op::VisPdist => "vis_pdist",
+            Op::VisArray => "vis_array",
+            Op::VisGsr => "vis_gsr",
+        }
+    }
+
     /// All operation kinds, for table generation and exhaustive tests.
     pub fn all() -> &'static [Op] {
         use Op::*;

@@ -1,5 +1,7 @@
 //! Set-associative tag array with true-LRU replacement.
 
+use visim_obs::trace::{InstantKind, SharedTraceRing};
+
 /// Outcome of a fill: the victim line (if any) and whether it was dirty.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Lookup {
@@ -45,6 +47,9 @@ pub(crate) struct TagArray {
     evictions: u64,
     /// The subset of `evictions` that displaced a dirty line.
     dirty_evictions: u64,
+    /// Trace ring plus this array's cache level (1 = L1, 2 = L2);
+    /// evictions emit instants when attached.
+    tracer: Option<(SharedTraceRing, u8)>,
 }
 
 impl TagArray {
@@ -58,7 +63,12 @@ impl TagArray {
             set_mask: sets as u64 - 1,
             evictions: 0,
             dirty_evictions: 0,
+            tracer: None,
         }
+    }
+
+    pub fn attach_tracer(&mut self, ring: SharedTraceRing, level: u8) {
+        self.tracer = Some((ring, level));
     }
 
     /// Valid lines displaced by fills so far.
@@ -109,7 +119,14 @@ impl TagArray {
             let v = ways.pop().expect("assoc >= 1");
             self.evictions += 1;
             self.dirty_evictions += v.dirty as u64;
-            (Some(v.tag << self.line_shift), v.dirty)
+            let victim_addr = v.tag << self.line_shift;
+            if let Some((ring, level)) = &self.tracer {
+                // Timestamped against the ring's pipeline-maintained
+                // clock (the tag array has no cycle of its own).
+                ring.borrow_mut()
+                    .instant(InstantKind::CacheEvict, victim_addr, *level);
+            }
+            (Some(victim_addr), v.dirty)
         } else {
             (None, false)
         };

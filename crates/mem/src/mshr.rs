@@ -8,6 +8,8 @@
 //! behaviour the paper traces back to bursts of small writes
 //! (e.g. 64 one-byte pixel stores per 64-byte line).
 
+use visim_obs::trace::{InstantKind, SharedTraceRing};
+
 /// Reason an MSHR request could not be accepted this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum MshrReject {
@@ -44,6 +46,9 @@ pub(crate) struct MshrFile {
     /// First release-mode invariant violation observed (polled by the
     /// owning `MemSystem` and surfaced as a `SimError::Invariant`).
     violation: Option<String>,
+    /// Trace ring plus the cache level this file belongs to (1 = L1,
+    /// 2 = L2); allocations and drains emit instants when attached.
+    tracer: Option<(SharedTraceRing, u8)>,
 }
 
 /// Result of offering a miss to the MSHR file.
@@ -71,7 +76,12 @@ impl MshrFile {
             last_change: 0,
             peak: 0,
             violation: None,
+            tracer: None,
         }
+    }
+
+    pub fn attach_tracer(&mut self, ring: SharedTraceRing, level: u8) {
+        self.tracer = Some((ring, level));
     }
 
     fn record_violation(&mut self, detail: String) {
@@ -87,6 +97,12 @@ impl MshrFile {
 
     fn expire(&mut self, now: u64) {
         self.account(now);
+        if let Some((ring, level)) = &self.tracer {
+            let mut ring = ring.borrow_mut();
+            for e in self.entries.iter().filter(|e| e.fill_at <= now) {
+                ring.instant_at(e.fill_at, InstantKind::MshrDrain, e.line, *level);
+            }
+        }
         self.entries.retain(|e| e.fill_at > now);
     }
 
@@ -146,6 +162,10 @@ impl MshrFile {
             merges: 1,
             prefetch_only: !demand,
         });
+        if let Some((ring, level)) = &self.tracer {
+            ring.borrow_mut()
+                .instant_at(now, InstantKind::MshrAlloc, line, *level);
+        }
         if self.entries.len() > self.capacity {
             self.record_violation(format!(
                 "occupancy {} exceeds capacity {} after allocating line {line:#x}",

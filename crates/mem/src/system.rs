@@ -2,6 +2,7 @@
 //! and interleaved memory banks.
 
 use visim_isa::MemKind;
+use visim_obs::trace::{InstantKind, SharedTraceRing};
 use visim_util::SimError;
 
 use crate::cache::{Lookup, TagArray};
@@ -25,6 +26,15 @@ impl ServiceLevel {
     /// under "L1 miss" (anything that left the L1).
     pub fn is_l1_miss(self) -> bool {
         !matches!(self, ServiceLevel::L1)
+    }
+
+    /// Numeric level used in trace events (1 = L1, 2 = L2, 3 = memory).
+    fn trace_level(self) -> u8 {
+        match self {
+            ServiceLevel::L1 => 1,
+            ServiceLevel::L2 => 2,
+            ServiceLevel::Memory => 3,
+        }
     }
 }
 
@@ -139,6 +149,9 @@ pub struct MemSystem {
     /// First invariant violation observed (release-mode checks; the
     /// pipeline polls this every cycle and aborts the study run).
     fault: Option<SimError>,
+    /// Shared trace ring (hit/miss/prefetch instants); the tag arrays
+    /// and MSHR files hold their own clones.
+    tracer: Option<SharedTraceRing>,
 }
 
 impl MemSystem {
@@ -156,7 +169,25 @@ impl MemSystem {
             banks: Banks::new(cfg.banks, cfg.bank_busy, cfg.line),
             stats: MemStats::default(),
             fault: None,
+            tracer: None,
             cfg,
+        }
+    }
+
+    /// Attach a trace ring: cache hits/misses, evictions, MSHR
+    /// allocate/drain, and prefetch issues emit instant events from now
+    /// on. Untraced systems never take this path.
+    pub fn attach_tracer(&mut self, ring: SharedTraceRing) {
+        self.l1.attach_tracer(ring.clone(), 1);
+        self.l2.attach_tracer(ring.clone(), 2);
+        self.l1_mshrs.attach_tracer(ring.clone(), 1);
+        self.l2_mshrs.attach_tracer(ring.clone(), 2);
+        self.tracer = Some(ring);
+    }
+
+    fn trace_instant(&self, cycle: u64, kind: InstantKind, addr: u64, level: u8) {
+        if let Some(ring) = &self.tracer {
+            ring.borrow_mut().instant_at(cycle, kind, addr, level);
         }
     }
 
@@ -261,7 +292,9 @@ impl MemSystem {
         let is_store = req.kind.is_store();
         let is_prefetch = req.kind == MemKind::Prefetch;
         let line = self.line_of(req.addr);
-        if !is_prefetch {
+        if is_prefetch {
+            self.trace_instant(now, InstantKind::PrefetchIssue, req.addr, 0);
+        } else {
             self.stats.l1_accesses += 1;
         }
 
@@ -282,6 +315,12 @@ impl MemSystem {
                         });
                     }
                     self.stats.l1_merged_misses += 1;
+                    self.trace_instant(
+                        now,
+                        InstantKind::L1Miss,
+                        req.addr,
+                        ServiceLevel::L2.trace_level(),
+                    );
                     if prefetch_inflight {
                         self.stats.prefetches_late += 1;
                     }
@@ -307,6 +346,7 @@ impl MemSystem {
                 self.stats.prefetches_unnecessary += 1;
             } else {
                 self.stats.l1_hits += 1;
+                self.trace_instant(t0, InstantKind::L1Hit, req.addr, 1);
                 if prefetched {
                     self.stats.prefetches_useful += 1;
                 }
@@ -333,6 +373,9 @@ impl MemSystem {
         // 4. Request travels to L2 after the L1 detects the miss.
         let (fill_at, level) = self.l2_request(line, t0 + self.cfg.l1.hit);
         self.l1_mshrs.set_fill_time(line, fill_at);
+        if !is_prefetch {
+            self.trace_instant(t0, InstantKind::L1Miss, req.addr, level.trace_level());
+        }
 
         // 5. Install in L1 tags; write back a dirty victim to the L2.
         let fill = self.l1.fill(req.addr, is_store, is_prefetch);

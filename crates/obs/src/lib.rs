@@ -13,8 +13,13 @@
 //!   system, and the experiment worker pool, and drained into the JSON
 //!   artifacts;
 //! * [`schema`] — the versioned result schemas (`visim-results-v1`,
-//!   `visim-bench-runtime-v2`): one place that names and versions every
-//!   machine-readable output format the repo produces.
+//!   `visim-bench-runtime-v2`, `visim-trace-v1`): one place that names
+//!   and versions every machine-readable output format the repo
+//!   produces;
+//! * [`trace`] — cycle-level event tracing: a bounded ring of
+//!   instruction lifecycle spans, instant events, and per-cycle
+//!   stall-cause samples, with a Chrome trace-event / Perfetto JSON
+//!   exporter and an exact Figure 1-style attribution accumulator.
 //!
 //! This crate sits at the bottom of the dependency graph (it depends on
 //! nothing, not even `visim-util`) so every other crate can report into
@@ -23,6 +28,7 @@
 pub mod json;
 pub mod metrics;
 pub mod schema;
+pub mod trace;
 
 pub use json::Json;
 pub use metrics::{Histogram, Registry};

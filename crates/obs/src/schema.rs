@@ -8,7 +8,10 @@
 //!   artifacts under `results/partial/<name>.<benchmark>.json`;
 //! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v2`) — the
 //!   wall-clock harness output `BENCH_runtime.json` written by
-//!   `scripts/bench.sh` (v2 added `git_rev` and the fidelity summary).
+//!   `scripts/bench.sh` (v2 added `git_rev` and the fidelity summary);
+//! * [`TRACE_SCHEMA`] (`visim-trace-v1`) — the Chrome trace-event /
+//!   Perfetto files under `results/trace/` written by `pipetrace`
+//!   (schema tag carried in the file's `otherData`).
 //!
 //! # `visim-results-v1`
 //!
@@ -38,6 +41,9 @@ pub const RESULTS_SCHEMA: &str = "visim-results-v1";
 
 /// Schema tag for `BENCH_runtime.json` (`scripts/bench.sh`).
 pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v2";
+
+/// Schema tag for the Chrome trace-event files written by `pipetrace`.
+pub const TRACE_SCHEMA: &str = "visim-trace-v1";
 
 /// Cell status: the simulation completed and its payload is present.
 pub const STATUS_OK: &str = "ok";

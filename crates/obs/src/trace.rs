@@ -1,0 +1,792 @@
+//! Cycle-level event tracing for the pipeline simulator.
+//!
+//! The paper's headline result (Figure 1) is a per-cycle *attribution*
+//! of execution time to Busy / FU stall / L1 hit / L1 miss. The
+//! aggregate counters in `visim-cpu` produce the bars, but give no way
+//! to see, for any given cycle or instruction, *why* time landed in a
+//! bucket. This module is the event-level complement:
+//!
+//! * [`InstSpan`] — one retired instruction's lifecycle
+//!   (fetch → dispatch → issue → complete → retire), recorded as a
+//!   whole at retirement so ring-buffer eviction can never orphan half
+//!   a span;
+//! * [`InstantEvent`] — point events: branch mispredicts, predictor
+//!   counter flips, cache hits/misses/evictions, MSHR allocate/drain,
+//!   prefetch issue;
+//! * [`CycleSample`] — the per-cycle retire count and stall class, the
+//!   exact inputs of the paper's §2.3.4 attribution rule.
+//!
+//! Events land in a bounded [`TraceRing`]; when it is full the oldest
+//! event is dropped (and counted). The per-cycle [`Attribution`] and
+//! the per-kind instant totals accumulate *before* any eviction, so the
+//! trace-derived attribution stays exact even when the ring overflows —
+//! that exactness is what the `validate` gate's trace-vs-aggregate
+//! invariant checks.
+//!
+//! [`Trace::chrome_trace`] exports the ring as Chrome trace-event JSON
+//! (the format Perfetto and `chrome://tracing` load): one timeline lane
+//! per concurrently-live instruction, instant tracks per event family,
+//! and an `attribution` counter track. One simulated cycle maps to one
+//! microsecond of trace time.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::json::Json;
+
+/// Stall class of a lost retirement slot, mirroring the pipeline's
+/// attribution classes (paper §2.3.4 / Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceStall {
+    /// Waiting on computation (operands, functional units, branch
+    /// recovery, empty window).
+    FuStall,
+    /// Waiting on the memory system but within the L1.
+    L1Hit,
+    /// Waiting on an access that left the L1.
+    L1Miss,
+}
+
+impl TraceStall {
+    /// Stable artifact name of the class.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStall::FuStall => "fu_stall",
+            TraceStall::L1Hit => "l1_hit",
+            TraceStall::L1Miss => "l1_miss",
+        }
+    }
+}
+
+/// Kind of a point event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstantKind {
+    /// A conditional or return branch was mispredicted at dispatch.
+    BranchMispredict,
+    /// A predictor counter crossed the agree/disagree threshold.
+    PredictorFlip,
+    /// A demand access hit in the L1.
+    L1Hit,
+    /// A demand access left the L1 (primary or merged miss); `level`
+    /// carries where it was finally serviced.
+    L1Miss,
+    /// A valid line was displaced from the cache named by `level`.
+    CacheEvict,
+    /// A primary miss allocated an MSHR at the level named by `level`.
+    MshrAlloc,
+    /// An MSHR entry's fill completed and the entry drained.
+    MshrDrain,
+    /// A software prefetch entered the memory system.
+    PrefetchIssue,
+}
+
+impl InstantKind {
+    /// Number of instant kinds (size of per-kind count arrays).
+    pub const COUNT: usize = 8;
+
+    /// Every kind, in a stable report order.
+    pub const ALL: [InstantKind; InstantKind::COUNT] = [
+        InstantKind::BranchMispredict,
+        InstantKind::PredictorFlip,
+        InstantKind::L1Hit,
+        InstantKind::L1Miss,
+        InstantKind::CacheEvict,
+        InstantKind::MshrAlloc,
+        InstantKind::MshrDrain,
+        InstantKind::PrefetchIssue,
+    ];
+
+    /// Stable artifact name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstantKind::BranchMispredict => "branch_mispredict",
+            InstantKind::PredictorFlip => "predictor_flip",
+            InstantKind::L1Hit => "l1_hit",
+            InstantKind::L1Miss => "l1_miss",
+            InstantKind::CacheEvict => "cache_evict",
+            InstantKind::MshrAlloc => "mshr_alloc",
+            InstantKind::MshrDrain => "mshr_drain",
+            InstantKind::PrefetchIssue => "prefetch_issue",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            InstantKind::BranchMispredict => 0,
+            InstantKind::PredictorFlip => 1,
+            InstantKind::L1Hit => 2,
+            InstantKind::L1Miss => 3,
+            InstantKind::CacheEvict => 4,
+            InstantKind::MshrAlloc => 5,
+            InstantKind::MshrDrain => 6,
+            InstantKind::PrefetchIssue => 7,
+        }
+    }
+
+    /// Timeline track this kind renders on: `(tid, track name)`. The
+    /// tids sit *below* [`SPAN_TID0`]: span lanes grow upward without
+    /// bound (one per concurrently in-flight instruction), so any fixed
+    /// tid above the lane base could collide with a lane.
+    fn track(self) -> (u64, &'static str) {
+        match self {
+            InstantKind::BranchMispredict | InstantKind::PredictorFlip => (2, "branch"),
+            InstantKind::L1Hit | InstantKind::L1Miss | InstantKind::CacheEvict => (3, "cache"),
+            InstantKind::MshrAlloc | InstantKind::MshrDrain => (4, "mshr"),
+            InstantKind::PrefetchIssue => (5, "prefetch"),
+        }
+    }
+}
+
+/// One retired instruction's lifecycle, in cycles.
+///
+/// Recorded as a unit at retirement: a span in the ring is always
+/// complete, so eviction preserves begin/end pairing by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstSpan {
+    /// Retirement sequence number (dense program order).
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Operation name (see `visim_isa::Op::name`).
+    pub op: &'static str,
+    /// Cycle the instruction entered the fetch queue.
+    pub fetch: u64,
+    /// Cycle it moved into the instruction window.
+    pub dispatch: u64,
+    /// Cycle it issued to a functional unit or the memory system.
+    pub issue: u64,
+    /// Cycle its result (or memory fill) completed.
+    pub complete: u64,
+    /// Cycle it retired.
+    pub retire: u64,
+}
+
+/// A point event at one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstantEvent {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: InstantKind,
+    /// Event argument: an address or line for memory events, the branch
+    /// PC for predictor events.
+    pub addr: u64,
+    /// Cache level, where meaningful: 1 = L1, 2 = L2, 3 = memory,
+    /// 0 = not applicable.
+    pub level: u8,
+}
+
+/// One cycle's retirement outcome: the inputs of the paper's
+/// attribution rule (§2.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleSample {
+    /// The cycle sampled.
+    pub cycle: u64,
+    /// Instructions retired this cycle.
+    pub retired: u32,
+    /// Stall class of the first non-retiring instruction (`None` when
+    /// the full retire width was used).
+    pub stall: Option<TraceStall>,
+}
+
+/// Any event in the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A retired instruction's lifecycle.
+    Span(InstSpan),
+    /// A point event.
+    Instant(InstantEvent),
+    /// A per-cycle stall-cause sample.
+    Sample(CycleSample),
+}
+
+/// Exact execution-time attribution in units of `1/width` cycles —
+/// the integer form of the Figure 1 breakdown, accumulated from
+/// per-cycle samples with the same charging rule as
+/// `visim_cpu::CpuStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Attribution {
+    /// Retire width (units per cycle).
+    pub width: u64,
+    /// Cycles sampled.
+    pub cycles: u64,
+    /// Units spent retiring instructions.
+    pub busy_units: u64,
+    /// Units lost to computation stalls.
+    pub fu_stall_units: u64,
+    /// Units lost to memory stalls within the L1.
+    pub l1_hit_units: u64,
+    /// Units lost to stalls beyond the L1.
+    pub l1_miss_units: u64,
+}
+
+impl Attribution {
+    /// Apply one cycle with the paper's charging rule: `retired` slots
+    /// are busy, the remaining `width - retired` are charged to the
+    /// stall class of the first non-retiring instruction.
+    pub fn account(&mut self, retired: u32, stall: Option<TraceStall>) {
+        self.cycles += 1;
+        self.busy_units += retired as u64;
+        let lost = self.width.saturating_sub(retired as u64);
+        if lost == 0 {
+            return;
+        }
+        match stall.unwrap_or(TraceStall::FuStall) {
+            TraceStall::FuStall => self.fu_stall_units += lost,
+            TraceStall::L1Hit => self.l1_hit_units += lost,
+            TraceStall::L1Miss => self.l1_miss_units += lost,
+        }
+    }
+
+    /// Total units across every class; equals `cycles * width` exactly
+    /// when every cycle was sampled.
+    pub fn total_units(&self) -> u64 {
+        self.busy_units + self.fu_stall_units + self.l1_hit_units + self.l1_miss_units
+    }
+
+    /// Serialize for the `pipetrace` artifact cells.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("width", Json::from(self.width)),
+            ("cycles", Json::from(self.cycles)),
+            ("busy_units", Json::from(self.busy_units)),
+            ("fu_stall_units", Json::from(self.fu_stall_units)),
+            ("l1_hit_units", Json::from(self.l1_hit_units)),
+            ("l1_miss_units", Json::from(self.l1_miss_units)),
+            ("total_units", Json::from(self.total_units())),
+        ])
+    }
+}
+
+/// A trace ring shared by the pipeline, predictor, and memory system of
+/// one simulation (they are created and dropped together on one
+/// thread, so plain `Rc<RefCell<_>>` suffices; the extracted [`Trace`]
+/// is ordinary owned data again).
+pub type SharedTraceRing = Rc<RefCell<TraceRing>>;
+
+/// Bounded event ring with exact pre-eviction aggregates.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    /// Half-open cycle window `[start, end)` restricting which events
+    /// are *stored*; aggregates always cover the whole run.
+    window: Option<(u64, u64)>,
+    now: u64,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    attr: Attribution,
+    instant_counts: [u64; InstantKind::COUNT],
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` events (`cap = 0` keeps aggregates
+    /// only).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap,
+            window: None,
+            now: 0,
+            events: VecDeque::new(),
+            dropped: 0,
+            attr: Attribution::default(),
+            instant_counts: [0; InstantKind::COUNT],
+        }
+    }
+
+    /// Convenience: a shareable ring.
+    pub fn shared(cap: usize) -> SharedTraceRing {
+        Rc::new(RefCell::new(TraceRing::new(cap)))
+    }
+
+    /// Set the retire width used by the attribution accumulator (the
+    /// pipeline calls this when the ring is attached).
+    pub fn set_width(&mut self, width: u32) {
+        self.attr.width = width as u64;
+    }
+
+    /// Restrict stored events to cycles in `[start, end)`. Spans are
+    /// kept if any part of their lifetime overlaps the window.
+    pub fn set_window(&mut self, start: u64, end: u64) {
+        self.window = Some((start, end));
+    }
+
+    /// Advance the ring's notion of the current cycle (the pipeline
+    /// calls this at the top of every cycle, so hook sites without
+    /// their own clock — predictor updates, cache evictions — can
+    /// timestamp against it).
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// The current cycle, as last set by the pipeline.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn in_window(&self, cycle: u64) -> bool {
+        match self.window {
+            Some((start, end)) => cycle >= start && cycle < end,
+            None => true,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Record a completed instruction lifecycle.
+    pub fn span(&mut self, span: InstSpan) {
+        let keep = match self.window {
+            Some((start, end)) => span.fetch < end && span.retire >= start,
+            None => true,
+        };
+        if keep {
+            self.push(TraceEvent::Span(span));
+        }
+    }
+
+    /// Record a point event at the current cycle.
+    pub fn instant(&mut self, kind: InstantKind, addr: u64, level: u8) {
+        self.instant_at(self.now, kind, addr, level);
+    }
+
+    /// Record a point event at an explicit cycle (memory-system events
+    /// are often timestamped in the future, e.g. an MSHR drain at its
+    /// fill time).
+    pub fn instant_at(&mut self, cycle: u64, kind: InstantKind, addr: u64, level: u8) {
+        self.instant_counts[kind.index()] += 1;
+        if self.in_window(cycle) {
+            self.push(TraceEvent::Instant(InstantEvent {
+                cycle,
+                kind,
+                addr,
+                level,
+            }));
+        }
+    }
+
+    /// Record the current cycle's retirement outcome. Always feeds the
+    /// exact [`Attribution`], regardless of the ring capacity or cycle
+    /// window.
+    pub fn sample(&mut self, retired: u32, stall: Option<TraceStall>) {
+        self.attr.account(retired, stall);
+        if self.in_window(self.now) {
+            self.push(TraceEvent::Sample(CycleSample {
+                cycle: self.now,
+                retired,
+                stall,
+            }));
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped (ring overflow or zero capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The exact attribution accumulated so far.
+    pub fn attribution(&self) -> Attribution {
+        self.attr
+    }
+
+    /// Extract the recorded trace (plain owned data, `Send`).
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            events: self.events.into(),
+            dropped: self.dropped,
+            attribution: self.attr,
+            instant_counts: self.instant_counts,
+        }
+    }
+}
+
+/// A finished trace extracted from a [`TraceRing`].
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Retained events, in record order.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped by ring eviction.
+    pub dropped: u64,
+    /// Exact per-class attribution over *all* sampled cycles (immune to
+    /// eviction and cycle windows).
+    pub attribution: Attribution,
+    /// Total occurrences per instant kind, indexed like
+    /// [`InstantKind::ALL`] (also immune to eviction).
+    pub instant_counts: [u64; InstantKind::COUNT],
+}
+
+impl Trace {
+    /// Total occurrences of one instant kind over the whole run.
+    pub fn instant_count(&self, kind: InstantKind) -> u64 {
+        self.instant_counts[kind.index()]
+    }
+
+    /// Export as Chrome trace-event JSON (the format Perfetto and
+    /// `chrome://tracing` load), with `meta` merged into `otherData`.
+    ///
+    /// Instruction spans are laid out on the fewest timeline lanes such
+    /// that spans on a lane never overlap, so every lane's begin/end
+    /// events are strictly alternating and balanced; instants render on
+    /// per-family tracks and per-cycle samples become an `attribution`
+    /// counter track. One cycle maps to one microsecond.
+    pub fn chrome_trace(&self, meta: Vec<(&str, Json)>) -> Json {
+        let mut spans: Vec<&InstSpan> = Vec::new();
+        let mut instants: Vec<&InstantEvent> = Vec::new();
+        let mut samples: Vec<&CycleSample> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Span(s) => spans.push(s),
+                TraceEvent::Instant(i) => instants.push(i),
+                TraceEvent::Sample(c) => samples.push(c),
+            }
+        }
+        spans.sort_by_key(|s| (s.fetch, s.seq));
+        instants.sort_by_key(|i| i.cycle);
+
+        // Greedy lane assignment: each span takes the first lane free
+        // at its fetch cycle and holds it through retirement, so spans
+        // on one lane are disjoint and strictly ordered.
+        let mut lane_free: Vec<u64> = Vec::new();
+        let mut placed: Vec<(u64, &InstSpan)> = Vec::with_capacity(spans.len());
+        for s in spans {
+            let lane = match lane_free.iter().position(|&free| free <= s.fetch) {
+                Some(ix) => ix,
+                None => {
+                    lane_free.push(0);
+                    lane_free.len() - 1
+                }
+            };
+            lane_free[lane] = s.retire + 1;
+            placed.push((SPAN_TID0 + lane as u64, s));
+        }
+
+        let mut events: Vec<Json> = Vec::new();
+        events.push(meta_event("process_name", 0, "visim pipeline"));
+        for lane in 0..lane_free.len() {
+            events.push(meta_event(
+                "thread_name",
+                SPAN_TID0 + lane as u64,
+                &format!("inst lane {lane}"),
+            ));
+        }
+        let mut named_tracks: Vec<u64> = Vec::new();
+        for i in &instants {
+            let (tid, name) = i.kind.track();
+            if !named_tracks.contains(&tid) {
+                named_tracks.push(tid);
+                events.push(meta_event("thread_name", tid, name));
+            }
+        }
+        for (tid, s) in &placed {
+            events.push(Json::obj(vec![
+                ("name", Json::from(s.op)),
+                ("cat", Json::from("inst")),
+                ("ph", Json::from("B")),
+                ("ts", Json::from(s.fetch)),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(*tid)),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("seq", Json::from(s.seq)),
+                        ("pc", Json::from(format!("{:#x}", s.pc))),
+                        ("dispatch", Json::from(s.dispatch)),
+                        ("issue", Json::from(s.issue)),
+                        ("complete", Json::from(s.complete)),
+                    ]),
+                ),
+            ]));
+            events.push(Json::obj(vec![
+                ("ph", Json::from("E")),
+                ("ts", Json::from(s.retire)),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(*tid)),
+            ]));
+        }
+        for i in &instants {
+            let (tid, _) = i.kind.track();
+            events.push(Json::obj(vec![
+                ("name", Json::from(i.kind.name())),
+                ("cat", Json::from("instant")),
+                ("ph", Json::from("i")),
+                ("s", Json::from("t")),
+                ("ts", Json::from(i.cycle)),
+                ("pid", Json::from(1u64)),
+                ("tid", Json::from(tid)),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("addr", Json::from(format!("{:#x}", i.addr))),
+                        ("level", Json::from(i.level as u64)),
+                    ]),
+                ),
+            ]));
+        }
+        let width = self.attribution.width;
+        for c in &samples {
+            let lost = width.saturating_sub(c.retired as u64);
+            let charge = |class| match c.stall {
+                Some(s) if s == class => lost,
+                None | Some(_) => 0,
+            };
+            events.push(Json::obj(vec![
+                ("name", Json::from("attribution")),
+                ("ph", Json::from("C")),
+                ("ts", Json::from(c.cycle)),
+                ("pid", Json::from(1u64)),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("busy", Json::from(c.retired as u64)),
+                        ("fu_stall", Json::from(charge(TraceStall::FuStall))),
+                        ("l1_hit", Json::from(charge(TraceStall::L1Hit))),
+                        ("l1_miss", Json::from(charge(TraceStall::L1Miss))),
+                    ]),
+                ),
+            ]));
+        }
+
+        let mut other: Vec<(&str, Json)> = vec![
+            ("schema", Json::from(crate::schema::TRACE_SCHEMA)),
+            ("clock", Json::from("1 cycle = 1us")),
+        ];
+        other.extend(meta);
+        other.push(("dropped_events", Json::from(self.dropped)));
+        other.push(("attribution", self.attribution.to_json()));
+        let mut counts = Vec::with_capacity(InstantKind::COUNT);
+        for kind in InstantKind::ALL {
+            counts.push((kind.name(), Json::from(self.instant_count(kind))));
+        }
+        other.push(("instant_counts", Json::obj(counts)));
+
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::from("ms")),
+            ("otherData", Json::obj(other)),
+        ])
+    }
+}
+
+/// First timeline lane tid. Instant tracks use fixed tids 2-5 (below
+/// this base), lane tids grow upward from here, one per concurrently
+/// in-flight instruction.
+const SPAN_TID0: u64 = 10;
+
+fn meta_event(name: &str, tid: u64, value: &str) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(name)),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(1u64)),
+        ("tid", Json::from(tid)),
+        ("args", Json::obj(vec![("name", Json::from(value))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(seq: u64, fetch: u64, retire: u64) -> InstSpan {
+        InstSpan {
+            seq,
+            pc: 0x1000 + 4 * seq,
+            op: "int_alu",
+            fetch,
+            dispatch: fetch + 1,
+            issue: fetch + 1,
+            complete: retire,
+            retire,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = TraceRing::new(2);
+        r.set_width(4);
+        r.span(span(0, 0, 3));
+        r.span(span(1, 1, 4));
+        r.span(span(2, 2, 5));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        let t = r.into_trace();
+        match t.events[0] {
+            TraceEvent::Span(s) => assert_eq!(s.seq, 1, "oldest span evicted"),
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribution_survives_eviction_and_matches_charging_rule() {
+        let mut r = TraceRing::new(1);
+        r.set_width(4);
+        r.set_now(0);
+        r.sample(4, None);
+        r.set_now(1);
+        r.sample(2, Some(TraceStall::L1Miss));
+        r.set_now(2);
+        r.sample(0, Some(TraceStall::L1Hit));
+        r.set_now(3);
+        r.sample(1, None); // lost slots with no stall charge to FuStall
+        let a = r.attribution();
+        assert_eq!(a.cycles, 4);
+        assert_eq!(a.busy_units, 7);
+        assert_eq!(a.l1_miss_units, 2);
+        assert_eq!(a.l1_hit_units, 4);
+        assert_eq!(a.fu_stall_units, 3);
+        assert_eq!(a.total_units(), 16);
+        assert_eq!(a.total_units(), a.cycles * a.width);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_aggregates_only() {
+        let mut r = TraceRing::new(0);
+        r.set_width(1);
+        r.sample(1, None);
+        r.instant(InstantKind::L1Hit, 0x40, 1);
+        assert_eq!(r.len(), 0);
+        let t = r.into_trace();
+        assert_eq!(t.attribution.cycles, 1);
+        assert_eq!(t.instant_count(InstantKind::L1Hit), 1);
+        assert!(t.dropped > 0);
+    }
+
+    #[test]
+    fn cycle_window_filters_events_not_aggregates() {
+        let mut r = TraceRing::new(64);
+        r.set_width(1);
+        r.set_window(10, 20);
+        r.span(span(0, 0, 5)); // entirely before the window
+        r.span(span(1, 8, 12)); // overlaps
+        for cycle in 0..30 {
+            r.set_now(cycle);
+            r.sample(0, Some(TraceStall::FuStall));
+            r.instant(InstantKind::L1Miss, 0x80, 2);
+        }
+        let t = r.into_trace();
+        let spans = t
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Span(_)))
+            .count();
+        let samples = t
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Sample(_)))
+            .count();
+        assert_eq!(spans, 1, "only the overlapping span is stored");
+        assert_eq!(samples, 10, "samples stored inside [10, 20) only");
+        assert_eq!(t.attribution.cycles, 30, "aggregates cover every cycle");
+        assert_eq!(t.instant_count(InstantKind::L1Miss), 30);
+    }
+
+    /// Per-tid begin/end balance and ordering of an exported trace:
+    /// every `B` has a matching `E` on the same tid, and timestamps on
+    /// each tid never go backwards.
+    pub(crate) fn check_chrome_invariants(doc: &Json) {
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::elements)
+            .expect("traceEvents array");
+        let mut per_tid: Vec<(u64, i64, u64)> = Vec::new(); // (tid, depth, last_ts)
+        for ev in events {
+            let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+            if ph == "M" || ph == "C" {
+                continue;
+            }
+            let tid = ev.get("tid").and_then(Json::as_u64).expect("tid");
+            let ts = ev.get("ts").and_then(Json::as_u64).expect("ts");
+            let entry = match per_tid.iter_mut().find(|(t, _, _)| *t == tid) {
+                Some(e) => e,
+                None => {
+                    per_tid.push((tid, 0, 0));
+                    per_tid.last_mut().expect("just pushed")
+                }
+            };
+            assert!(ts >= entry.2, "tid {tid}: ts {ts} < {}", entry.2);
+            entry.2 = ts;
+            match ph {
+                "B" => entry.1 += 1,
+                "E" => {
+                    entry.1 -= 1;
+                    assert!(entry.1 >= 0, "tid {tid}: E without B");
+                }
+                "i" => {}
+                other => panic!("unexpected ph {other}"),
+            }
+        }
+        for (tid, depth, _) in per_tid {
+            assert_eq!(depth, 0, "tid {tid}: unbalanced B/E");
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_balanced_and_parses() {
+        let mut r = TraceRing::new(256);
+        r.set_width(4);
+        // Overlapping spans force multiple lanes.
+        r.span(span(0, 0, 10));
+        r.span(span(1, 2, 6));
+        r.span(span(2, 3, 12));
+        r.span(span(3, 11, 15));
+        r.instant_at(4, InstantKind::BranchMispredict, 0x1004, 0);
+        r.instant_at(2, InstantKind::MshrAlloc, 0x40, 1);
+        r.set_now(5);
+        r.sample(2, Some(TraceStall::L1Miss));
+        let t = r.into_trace();
+        let doc = t.chrome_trace(vec![("benchmark", Json::from("unit"))]);
+        check_chrome_invariants(&doc);
+        // Round-trips through the shared JSON parser.
+        let reparsed = Json::parse(&doc.to_compact()).expect("valid JSON");
+        assert_eq!(reparsed, doc);
+        let other = doc.get("otherData").expect("otherData");
+        assert_eq!(
+            other.get("schema").and_then(Json::as_str),
+            Some(crate::schema::TRACE_SCHEMA)
+        );
+        assert_eq!(other.get("benchmark").and_then(Json::as_str), Some("unit"));
+        assert_eq!(
+            other
+                .get("instant_counts")
+                .and_then(|c| c.get("mshr_alloc"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn lanes_reuse_after_retirement() {
+        let mut r = TraceRing::new(64);
+        r.set_width(1);
+        // Strictly sequential spans must share one lane.
+        r.span(span(0, 0, 4));
+        r.span(span(1, 5, 9));
+        r.span(span(2, 10, 14));
+        let doc = r.into_trace().chrome_trace(vec![]);
+        let events = doc.get("traceEvents").and_then(Json::elements).unwrap();
+        let lanes: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .map(|e| e.get("tid").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(lanes, vec![SPAN_TID0; 3]);
+    }
+}

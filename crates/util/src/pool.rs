@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
@@ -185,13 +186,8 @@ where
 /// Run every job, returning the results **in input order** plus the
 /// per-job wall-clock observations ([`PoolRunStats`]).
 ///
-/// With `workers <= 1` (or fewer than two jobs) the jobs run serially
-/// on the calling thread — this is the `VISIM_JOBS=1` reference path,
-/// with no threads spawned at all. Otherwise `min(workers, jobs)`
-/// scoped threads drain a bounded queue of `(index, job)` pairs and
-/// write each result into its input slot. The timing side channel never
-/// influences the results, so output remains bit-identical for any
-/// worker count.
+/// Convenience wrapper over [`run_ordered_timed_observed`] with no
+/// progress observer.
 ///
 /// # Panics
 ///
@@ -201,17 +197,57 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    if workers <= 1 || jobs.len() <= 1 {
-        let mut timings = Vec::with_capacity(jobs.len());
+    run_ordered_timed_observed(workers, jobs, None)
+}
+
+/// A per-job-completion progress callback: `(done, total, run_ns)`.
+/// `done` counts completed jobs (1-based, monotone per observer call but
+/// calls from different workers may interleave), `total` is the job
+/// count, `run_ns` is how long the just-finished job ran.
+pub type ProgressFn<'a> = &'a (dyn Fn(usize, usize, u64) + Sync);
+
+/// Run every job, returning the results **in input order** plus the
+/// per-job wall-clock observations ([`PoolRunStats`]), invoking
+/// `observer` after each job completes.
+///
+/// With `workers <= 1` (or fewer than two jobs) the jobs run serially
+/// on the calling thread — this is the `VISIM_JOBS=1` reference path,
+/// with no threads spawned at all. Otherwise `min(workers, jobs)`
+/// scoped threads drain a bounded queue of `(index, job)` pairs and
+/// write each result into its input slot. Neither the timing side
+/// channel nor the observer ever influences the results, so output
+/// remains bit-identical for any worker count and any observer.
+///
+/// # Panics
+///
+/// Same contract as [`run_ordered`]. The observer is invoked even for
+/// jobs that panicked (their completion still counts toward `done`).
+pub fn run_ordered_timed_observed<T, F>(
+    workers: usize,
+    jobs: Vec<F>,
+    observer: Option<ProgressFn<'_>>,
+) -> (Vec<T>, PoolRunStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n_jobs = jobs.len();
+    if workers <= 1 || n_jobs <= 1 {
+        let mut timings = Vec::with_capacity(n_jobs);
         let results = jobs
             .into_iter()
-            .map(|f| {
+            .enumerate()
+            .map(|(ix, f)| {
                 let started = Instant::now();
                 let out = f();
+                let run_ns = elapsed_ns(started);
                 timings.push(JobTiming {
                     queue_wait_ns: 0,
-                    run_ns: elapsed_ns(started),
+                    run_ns,
                 });
+                if let Some(obs) = observer {
+                    obs(ix + 1, n_jobs, run_ns);
+                }
                 out
             })
             .collect();
@@ -224,14 +260,15 @@ where
             },
         );
     }
-    let workers = workers.min(jobs.len());
-    let n_jobs = jobs.len();
+    let workers = workers.min(n_jobs);
     let queue: BoundedQueue<(usize, Instant, F)> = BoundedQueue::new(workers * 2);
     type Slot<T> = Mutex<Option<(std::thread::Result<T>, JobTiming)>>;
     let slots: Vec<Slot<T>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
     std::thread::scope(|s| {
         let queue = &queue;
         let slots = &slots;
+        let done = &done;
         for _ in 0..workers {
             s.spawn(move || {
                 while let Some((ix, queued_at, job)) = queue.pop() {
@@ -243,6 +280,10 @@ where
                         run_ns: elapsed_ns(started),
                     };
                     *slots[ix].lock().expect("result slot poisoned") = Some((result, timing));
+                    if let Some(obs) = observer {
+                        let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
+                        obs(finished, n_jobs, timing.run_ns);
+                    }
                 }
             });
         }
@@ -391,6 +432,27 @@ mod tests {
         assert_eq!(reg.counter("pool.runs"), 2);
         assert_eq!(reg.counter("pool.jobs"), 16);
         assert_eq!(reg.histogram("pool.queue_depth").unwrap().count(), 16);
+    }
+
+    #[test]
+    fn observer_sees_every_completion() {
+        for workers in [1, 4] {
+            let calls = Mutex::new(Vec::new());
+            let obs = |done: usize, total: usize, _run_ns: u64| {
+                calls.lock().unwrap().push((done, total));
+            };
+            let jobs: Vec<_> = (0..12u64).map(|i| move || i * 3).collect();
+            let (out, _) = run_ordered_timed_observed(workers, jobs, Some(&obs));
+            assert_eq!(out, (0..12u64).map(|i| i * 3).collect::<Vec<_>>());
+            let mut seen = calls.into_inner().unwrap();
+            assert!(seen.iter().all(|&(_, total)| total == 12));
+            seen.sort_unstable();
+            assert_eq!(
+                seen.iter().map(|&(done, _)| done).collect::<Vec<_>>(),
+                (1..=12).collect::<Vec<_>>(),
+                "each completion count reported exactly once"
+            );
+        }
     }
 
     #[test]

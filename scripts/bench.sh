@@ -62,5 +62,8 @@ echo "== total ${total}s; wrote $OUT =="
 
 # The timing loop above regenerated results/json/ as a side effect, so
 # the fidelity gate runs against exactly what was just measured.
+# pipetrace is not part of the timed 8-binary baseline, but validate
+# checks its trace-vs-aggregate artifact, so refresh it first.
+./target/release/pipetrace --attribution "$SIZE" >/dev/null 2>&1 || true
 fidelity=$(./target/release/validate results/json 2>/dev/null | tail -1) || true
 echo "== ${fidelity:-fidelity: validate did not run} =="

@@ -29,6 +29,17 @@ trap 'rm -rf "$fidelity_dir"' EXIT
 for bin in fig1 fig2 fig3; do
   (cd "$fidelity_dir" && "$OLDPWD/target/release/$bin" tiny >/dev/null)
 done
+
+echo "== pipeline-trace gate (tiny) =="
+# Single-run mode: emits the Chrome trace-event file, round-trips it
+# through the visim-obs JSON parser (B/E balance included), and checks
+# the trace-derived stall attribution against the Figure 1 aggregate —
+# the binary exits nonzero if any of that fails.
+(cd "$fidelity_dir" && "$OLDPWD/target/release/pipetrace" blend ooo-vis tiny >/dev/null)
+test -s "$fidelity_dir/results/trace/blend.ooo-vis.trace.json"
+# Matrix mode: every benchmark x config, aggregates only; validate then
+# re-checks the trace-vs-aggregate invariant from the JSON artifact.
+(cd "$fidelity_dir" && "$OLDPWD/target/release/pipetrace" --attribution tiny >/dev/null)
 ./target/release/validate "$fidelity_dir/results/json"
 
 echo "verify: OK"
