@@ -11,10 +11,10 @@ use media_kernels::Variant;
 use visim::artifact;
 use visim::bench::{Bench, WorkloadSize};
 use visim::config::Arch;
-use visim::experiment::run_parallel;
+use visim::experiment::{run_parallel, run_timed_cfg};
 use visim::report;
 use visim_bench::{parse_size_args, Report};
-use visim_cpu::{CpuConfig, Pipeline, Summary};
+use visim_cpu::{CpuConfig, Summary};
 use visim_mem::MemConfig;
 use visim_obs::Json;
 
@@ -38,18 +38,15 @@ impl Spec {
     }
 }
 
-/// Run every cell on the worker pool, results in input order.
+/// Run every cell on the worker pool, results in input order. Cells
+/// route through the shared experiment runner, so an ablation sweep
+/// records each (benchmark, variant) stream once and replays it for
+/// every machine configuration on the sweep.
 fn run_all(specs: Vec<Spec>, size: &WorkloadSize) -> Vec<Summary> {
     run_parallel(
         specs
             .into_iter()
-            .map(|spec| {
-                move || {
-                    let mut pipe = Pipeline::new(spec.cpu, spec.mem);
-                    spec.bench.run(&mut pipe, size, spec.variant);
-                    pipe.finish()
-                }
-            })
+            .map(|spec| move || run_timed_cfg(spec.bench, spec.cpu, spec.mem, size, spec.variant))
             .collect(),
     )
 }

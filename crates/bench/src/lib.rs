@@ -43,41 +43,67 @@ pub fn usage(bin: &str, about: &str) -> String {
     format!(
         "{bin}: {about}\n\
          \n\
-         Usage: {bin} [tiny|study|paper] [--help]\n\
+         Usage: {bin} [tiny|study|paper] [--no-trace-cache] [--trace-cache-mb N] [--help]\n\
          \n\
          Sizes:\n\
          \x20 tiny    smallest inputs; seconds, used by tests and CI\n\
          \x20 study   scaled-down geometry documented in DESIGN.md (default)\n\
          \x20 paper   full 1024x640 / 352x240 geometry of the paper (slow)\n\
          \n\
+         Trace cache (results are byte-identical with it on or off):\n\
+         \x20 --no-trace-cache     emit every cell directly; no record/replay\n\
+         \x20 --trace-cache-mb N   resident trace budget in MB (default 1024)\n\
+         \n\
          Environment:\n\
-         \x20 VISIM_JOBS   worker count (1 = serial reference path; unset/0 = one per core)\n\
-         \x20 VISIM_QUIET  set to 1 to silence the stderr progress heartbeat\n\
+         \x20 VISIM_JOBS            worker count (1 = serial reference path; unset/0 = one per core)\n\
+         \x20 VISIM_QUIET           set to 1 to silence the stderr progress heartbeat\n\
+         \x20 VISIM_NO_TRACE_CACHE  set to 1 to disable the trace cache (same as the flag)\n\
+         \x20 VISIM_TRACE_MB        resident trace budget in MB (flag takes precedence)\n\
+         \x20 VISIM_TRACE_DIR       directory for the on-disk trace spill (unset = memory only)\n\
          \n\
          Output: text report on stdout, machine-readable twin under results/json/."
     )
 }
 
 /// Parse the common CLI of a figure/table binary: an optional size
-/// argument (defaults to `study`) plus `--help`/`-h`. Returns the size
-/// label alongside the geometry (the label goes into the JSON
-/// artifact's `"size"` member). Unknown arguments print the usage text
-/// to stderr and exit 2.
+/// argument (defaults to `study`), the trace-cache flags
+/// (`--no-trace-cache`, `--trace-cache-mb N` — applied to the
+/// process-wide [`visim::trace_cache`] before any simulation runs),
+/// plus `--help`/`-h`. Returns the size label alongside the geometry
+/// (the label goes into the JSON artifact's `"size"` member). Unknown
+/// or malformed arguments print the usage text to stderr and exit 2.
 pub fn parse_size_args(bin: &str, about: &str) -> (&'static str, WorkloadSize) {
-    match std::env::args().nth(1).as_deref() {
-        Some("--help") | Some("-h") => {
-            println!("{}", usage(bin, about));
-            std::process::exit(0);
-        }
-        Some("tiny") => ("tiny", WorkloadSize::tiny()),
-        Some("paper") => ("paper", WorkloadSize::paper()),
-        Some("study") | None => ("study", WorkloadSize::study()),
-        Some(other) => {
-            eprintln!("unknown size '{other}', expected tiny|study|paper");
-            eprintln!("\n{}", usage(bin, about));
-            std::process::exit(2);
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        eprintln!("\n{}", usage(bin, about));
+        std::process::exit(2);
+    };
+    let mut picked: Option<(&'static str, WorkloadSize)> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage(bin, about));
+                std::process::exit(0);
+            }
+            "--no-trace-cache" => visim::trace_cache::set_cli_disabled(),
+            "--trace-cache-mb" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(mb) if mb >= 1 => visim::trace_cache::set_cli_budget_mb(mb),
+                _ => bad("--trace-cache-mb expects a positive integer (megabytes)".into()),
+            },
+            "tiny" | "study" | "paper" if picked.is_none() => {
+                picked = Some(match arg.as_str() {
+                    "tiny" => ("tiny", WorkloadSize::tiny()),
+                    "paper" => ("paper", WorkloadSize::paper()),
+                    _ => ("study", WorkloadSize::study()),
+                });
+            }
+            other => bad(format!(
+                "unknown argument '{other}', expected tiny|study|paper or a --flag"
+            )),
         }
     }
+    picked.unwrap_or(("study", WorkloadSize::study()))
 }
 
 /// Render one heartbeat line: completed cells out of the total, plus a
@@ -396,8 +422,13 @@ mod tests {
             "study",
             "paper",
             "--help",
+            "--no-trace-cache",
+            "--trace-cache-mb",
             "VISIM_JOBS",
             "VISIM_QUIET",
+            "VISIM_NO_TRACE_CACHE",
+            "VISIM_TRACE_MB",
+            "VISIM_TRACE_DIR",
         ] {
             assert!(u.contains(needle), "usage misses {needle}: {u}");
         }

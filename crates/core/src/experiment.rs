@@ -20,17 +20,20 @@
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use media_kernels::Variant;
-use visim_cpu::{CountingSink, CpuStats, Pipeline, Summary, Traced};
+use visim_cpu::{CountingSink, CpuConfig, CpuStats, Pipeline, SimSink, Summary, Traced};
 use visim_mem::MemConfig;
 use visim_obs::trace::{Trace, TraceRing};
 use visim_obs::Registry;
+use visim_trace::{Recorded, Recorder};
 use visim_util::{pool, SimError};
 
 use crate::bench::{Bench, WorkloadSize};
 use crate::config::Arch;
+use crate::trace_cache;
 
 /// Environment variable naming a benchmark that must fail: fault
 /// injection for exercising the degraded paths end to end.
@@ -80,14 +83,17 @@ pub fn set_progress_observer(obs: Option<ProgressObserver>) {
     *PROGRESS.lock().expect("progress observer lock") = obs;
 }
 
-/// Take (and reset) the pool metrics accumulated so far. Returns an
-/// empty registry when no parallel work has run.
+/// Take (and reset) the pool metrics accumulated so far, merged with a
+/// snapshot of the trace-cache counters (`trace_cache.*`). Returns the
+/// cache snapshot alone when no parallel work has run.
 pub fn drain_pool_metrics() -> Registry {
-    POOL_METRICS
+    let mut reg = POOL_METRICS
         .lock()
         .expect("pool metrics lock")
         .take()
-        .unwrap_or_default()
+        .unwrap_or_default();
+    trace_cache::export_metrics(&mut reg);
+    reg
 }
 
 /// Run independent experiment jobs on the worker pool ([`jobs`] workers)
@@ -140,6 +146,89 @@ fn catch_workload<R>(bench: Bench, f: impl FnOnce() -> R) -> Result<R, SimError>
     })
 }
 
+/// The dynamic instruction stream a timed cell will feed its pipeline.
+enum Stream {
+    /// A recorded stream (fresh capture or cache hit) to replay.
+    Replay { rec: Arc<Recorded>, cache_hit: bool },
+    /// No usable recording (cache disabled, or the stream outgrew the
+    /// capture budget): emit directly into the pipeline as before.
+    Direct,
+}
+
+/// Obtain the cell's instruction stream, consulting and feeding the
+/// process-wide [`trace_cache`]. The stream depends only on
+/// (benchmark, size, variant) — never on the machine configuration —
+/// which is what lets one capture serve every architecture and cache
+/// size. On a miss, the stream is captured through a pure
+/// [`Recorder`] (no timing model attached); emission faults surface
+/// here exactly as they would on the direct path, because emission is
+/// deterministic.
+fn obtain_stream(bench: Bench, size: &WorkloadSize, variant: Variant) -> Result<Stream, SimError> {
+    let Some(key) = trace_cache::key_for(bench.name(), size, variant) else {
+        return Ok(Stream::Direct);
+    };
+    if let Some(rec) = trace_cache::lookup(&key) {
+        return Ok(Stream::Replay {
+            rec,
+            cache_hit: true,
+        });
+    }
+    let mut recorder = Recorder::new(trace_cache::budget_bytes());
+    catch_workload(bench, || bench.run(&mut recorder, size, variant))?;
+    match recorder.finish() {
+        Some(rec) => {
+            let rec = Arc::new(rec);
+            trace_cache::store(&key, &rec);
+            Ok(Stream::Replay {
+                rec,
+                cache_hit: false,
+            })
+        }
+        // Over the capture budget: this cell re-emits directly. Slower,
+        // never wrong.
+        None => Ok(Stream::Direct),
+    }
+}
+
+/// Feed `stream` into `sink` (replaying the recording, or emitting
+/// directly), and stamp the per-cell observability counters into
+/// `metrics` afterwards via [`stamp_cell_metrics`].
+fn feed<S: SimSink>(
+    bench: Bench,
+    size: &WorkloadSize,
+    variant: Variant,
+    stream: &Stream,
+    sink: &mut S,
+) -> Result<(), SimError> {
+    match stream {
+        Stream::Replay { rec, .. } => catch_workload(bench, || rec.replay(sink)),
+        Stream::Direct => catch_workload(bench, || bench.run(sink, size, variant)),
+    }
+}
+
+/// Record how a cell obtained and consumed its stream:
+/// `cell.emit_micros` is the time to *obtain* it (recording on a miss,
+/// near zero on a hit), `cell.simulate_micros` the time to feed the
+/// pipeline (pure replay, or combined emission+simulation on the
+/// direct path), `cell.trace_replay`/`cell.trace_cache_hit` are 0/1
+/// flags. All four are wall-clock observability — scrubbed, never
+/// compared, in equivalence tests.
+fn stamp_cell_metrics(
+    metrics: &mut Registry,
+    emit: std::time::Duration,
+    simulate: std::time::Duration,
+    stream: &Stream,
+) {
+    let (replayed, hit) = match stream {
+        Stream::Replay { cache_hit, .. } => (1, u64::from(*cache_hit)),
+        Stream::Direct => (0, 0),
+    };
+    metrics.set("cell.emit_micros", emit.as_micros() as u64);
+    metrics.set("cell.simulate_micros", simulate.as_micros() as u64);
+    metrics.set("cell.trace_replay", replayed);
+    metrics.set("cell.trace_cache_hit", hit);
+}
+
 /// Run one benchmark through the detailed timing model, surfacing
 /// workload panics, invariant violations, and watchdog aborts as errors.
 pub fn try_run_timed(
@@ -149,10 +238,30 @@ pub fn try_run_timed(
     size: &WorkloadSize,
     variant: Variant,
 ) -> Result<Summary, SimError> {
+    try_run_timed_cfg(bench, arch.cpu(), mem.unwrap_or_default(), size, variant)
+}
+
+/// [`try_run_timed`] with explicit machine parameters instead of a
+/// named [`Arch`] — the ablation binary's entry point. Replays the
+/// shared recorded stream when the trace cache has it; the result is
+/// byte-identical to direct emission either way.
+pub fn try_run_timed_cfg(
+    bench: Bench,
+    cpu: CpuConfig,
+    mem: MemConfig,
+    size: &WorkloadSize,
+    variant: Variant,
+) -> Result<Summary, SimError> {
     injected_fault(bench)?;
-    let mut pipe = Pipeline::new(arch.cpu(), mem.unwrap_or_default());
-    catch_workload(bench, || bench.run(&mut pipe, size, variant))?;
-    pipe.try_finish()
+    let t0 = Instant::now();
+    let stream = obtain_stream(bench, size, variant)?;
+    let emit = t0.elapsed();
+    let t1 = Instant::now();
+    let mut pipe = Pipeline::new(cpu, mem);
+    feed(bench, size, variant, &stream, &mut pipe)?;
+    let mut summary = pipe.try_finish()?;
+    stamp_cell_metrics(&mut summary.metrics, emit, t1.elapsed(), &stream);
+    Ok(summary)
 }
 
 /// Run one benchmark through the detailed timing model with
@@ -169,13 +278,18 @@ pub fn try_run_traced(
     ring: TraceRing,
 ) -> Result<(Summary, Trace), SimError> {
     injected_fault(bench)?;
+    let t0 = Instant::now();
+    let stream = obtain_stream(bench, size, variant)?;
+    let emit = t0.elapsed();
+    let t1 = Instant::now();
     let ring = Rc::new(RefCell::new(ring));
     let mut sink = Traced::new(
         Pipeline::new(arch.cpu(), mem.unwrap_or_default()),
         ring.clone(),
     );
-    catch_workload(bench, || bench.run(&mut sink, size, variant))?;
-    let summary = sink.into_inner().try_finish()?;
+    feed(bench, size, variant, &stream, &mut sink)?;
+    let mut summary = sink.into_inner().try_finish()?;
+    stamp_cell_metrics(&mut summary.metrics, emit, t1.elapsed(), &stream);
     // `try_finish` consumed the pipeline, dropping every clone the
     // tracer hooks held; this handle is now the sole owner.
     let ring = Rc::try_unwrap(ring)
@@ -193,6 +307,19 @@ pub fn run_timed(
     variant: Variant,
 ) -> Summary {
     try_run_timed(bench, arch, mem, size, variant)
+        .unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
+}
+
+/// Panicking form of [`try_run_timed_cfg`], for callers that treat any
+/// failure as fatal.
+pub fn run_timed_cfg(
+    bench: Bench,
+    cpu: CpuConfig,
+    mem: MemConfig,
+    size: &WorkloadSize,
+    variant: Variant,
+) -> Summary {
+    try_run_timed_cfg(bench, cpu, mem, size, variant)
         .unwrap_or_else(|e| panic!("{bench}: simulation failed: {e}"))
 }
 
@@ -572,6 +699,49 @@ mod tests {
         let v = run_timed(Bench::Thresh, Arch::Ooo4, None, &tiny(), Variant::VIS);
         let speedup = s.cycles() as f64 / v.cycles() as f64;
         assert!(speedup > 1.5, "VIS speedup {speedup:.2}");
+    }
+
+    /// The load-bearing tentpole invariant: a replayed stream drives
+    /// the pipeline to the *exact* state direct emission does — every
+    /// counter, breakdown and histogram, not just final cycles. Run
+    /// twice so both the cold (record→replay) and warm (cache-hit
+    /// replay) paths are checked against the direct reference.
+    #[test]
+    fn replay_matches_direct_emission_exactly() {
+        let size = tiny();
+        for pass in ["cold", "warm"] {
+            let r = try_run_timed(Bench::Blend, Arch::Ooo4, None, &size, Variant::VIS).unwrap();
+            let mut pipe = Pipeline::new(Arch::Ooo4.cpu(), MemConfig::default());
+            Bench::Blend.run(&mut pipe, &size, Variant::VIS);
+            let d = pipe.try_finish().unwrap();
+            assert_eq!(
+                format!("{:?}", r.cpu),
+                format!("{:?}", d.cpu),
+                "{pass}: cpu stats diverge under replay"
+            );
+            assert_eq!(r.mem, d.mem, "{pass}: mem stats diverge under replay");
+            assert_eq!(
+                r.mshr_histogram, d.mshr_histogram,
+                "{pass}: MSHR histogram diverges under replay"
+            );
+        }
+    }
+
+    #[test]
+    fn cfg_runner_matches_arch_runner() {
+        let size = tiny();
+        let a =
+            try_run_timed(Bench::Scaling, Arch::InOrder4, None, &size, Variant::SCALAR).unwrap();
+        let b = try_run_timed_cfg(
+            Bench::Scaling,
+            Arch::InOrder4.cpu(),
+            MemConfig::default(),
+            &size,
+            Variant::SCALAR,
+        )
+        .unwrap();
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.mem, b.mem);
     }
 
     #[test]

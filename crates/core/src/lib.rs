@@ -16,6 +16,9 @@
 //!   instruction mix), Figure 3 (software prefetching), and the §4.1
 //!   cache-size sweeps;
 //! * [`report`] — plain-text rendering of the results;
+//! * [`trace_cache`] — the record-once/replay-many stream cache the
+//!   runners use to avoid re-emitting the same dynamic instruction
+//!   stream for every machine configuration;
 //! * [`artifact`] — `visim-results-v1` JSON cell builders pairing each
 //!   text row with a machine-readable record (see `visim-obs`).
 //!
@@ -37,6 +40,7 @@ pub mod bench;
 pub mod config;
 pub mod experiment;
 pub mod report;
+pub mod trace_cache;
 
 pub use bench::{Bench, WorkloadSize};
 pub use config::Arch;

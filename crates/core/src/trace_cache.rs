@@ -1,0 +1,369 @@
+//! Process-wide cache of recorded instruction streams.
+//!
+//! A dynamic instruction stream is a pure function of (benchmark,
+//! workload size, code variant) — the machine configuration only
+//! *consumes* it. The experiment runners therefore record each stream
+//! once (`visim_trace::Recorder`) and replay it into every pipeline
+//! configuration that needs it; this module is the shared, keyed store
+//! that makes the "once" hold across cells, figure sections, and — via
+//! an optional on-disk spill — across processes.
+//!
+//! * **Keying.** [`key_for`] derives `"<bench>.<variant bits>.<fnv1a64
+//!   of the workload geometry's Debug form>"`. Anything that can change
+//!   the emitted stream is in the key; anything that cannot (arch,
+//!   cache sizes, tracing) is not.
+//! * **Budget.** The resident set is LRU-bounded by `VISIM_TRACE_MB`
+//!   (default 1024 MB; `--trace-cache-mb` overrides). The same budget
+//!   caps a single capture: a stream that outgrows it poisons its
+//!   recorder and the cell falls back to direct emission.
+//! * **Opt-out.** `VISIM_NO_TRACE_CACHE=1` (or `--no-trace-cache`)
+//!   disables the cache entirely; every cell then emits directly, and
+//!   output must be byte-identical either way.
+//! * **Disk spill.** When `VISIM_TRACE_DIR` names a directory, stores
+//!   also write `<dir>/<key>.vtrc` (versioned + checksummed, see
+//!   `visim_trace::Recorded::encode`) and lookups fall back to it, so a
+//!   second process starts warm. A file that fails validation is
+//!   deleted and re-recorded — corruption degrades to a cache miss,
+//!   never to a wrong result.
+//!
+//! Results never depend on cache state: a replayed stream pushes
+//! bit-identical `Inst` values in the original order, so hit, miss,
+//! and disabled paths produce byte-identical simulations. Only the
+//! wall-clock observability (`cell.*` and `trace_cache.*` counters in
+//! the JSON artifacts) reflects which path ran.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use media_kernels::Variant;
+use visim_obs::Registry;
+use visim_trace::Recorded;
+use visim_util::fnv1a64;
+
+use crate::bench::WorkloadSize;
+
+/// Resident-set budget in megabytes (default 1024).
+pub const TRACE_MB_ENV: &str = "VISIM_TRACE_MB";
+/// Set to `1` to disable the trace cache (every cell emits directly).
+pub const NO_TRACE_CACHE_ENV: &str = "VISIM_NO_TRACE_CACHE";
+/// Directory for the on-disk spill; unset means memory-only.
+pub const TRACE_DIR_ENV: &str = "VISIM_TRACE_DIR";
+
+const DEFAULT_BUDGET_MB: u64 = 1024;
+
+// CLI overrides, set by the binaries' shared arg parser before any
+// simulation runs (they take precedence over the environment).
+static CLI_DISABLE: AtomicBool = AtomicBool::new(false);
+static CLI_BUDGET_MB: AtomicU64 = AtomicU64::new(0); // 0 = unset
+
+/// Disable the cache for this process (the `--no-trace-cache` flag).
+pub fn set_cli_disabled() {
+    CLI_DISABLE.store(true, Ordering::Relaxed);
+}
+
+/// Override the resident budget (the `--trace-cache-mb N` flag).
+pub fn set_cli_budget_mb(mb: u64) {
+    CLI_BUDGET_MB.store(mb.max(1), Ordering::Relaxed);
+}
+
+/// True when recording/replay may be used at all.
+pub fn enabled() -> bool {
+    !CLI_DISABLE.load(Ordering::Relaxed) && std::env::var(NO_TRACE_CACHE_ENV).as_deref() != Ok("1")
+}
+
+/// The resident budget in bytes (also the per-capture poison limit).
+pub fn budget_bytes() -> usize {
+    let mb = match CLI_BUDGET_MB.load(Ordering::Relaxed) {
+        0 => std::env::var(TRACE_MB_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(DEFAULT_BUDGET_MB),
+        cli => cli,
+    };
+    usize::try_from(mb.saturating_mul(1 << 20)).unwrap_or(usize::MAX)
+}
+
+fn disk_dir() -> Option<String> {
+    std::env::var(TRACE_DIR_ENV).ok().filter(|d| !d.is_empty())
+}
+
+/// The cache key for a cell, or `None` when the cache is disabled.
+/// Everything the emitted stream depends on is folded in: benchmark,
+/// variant bits, and the full workload geometry (seed included).
+pub fn key_for(bench: &str, size: &WorkloadSize, variant: Variant) -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    Some(format!(
+        "{bench}.{}{}.{:016x}",
+        if variant.vis { 'v' } else { 's' },
+        if variant.prefetch { 'p' } else { '-' },
+        fnv1a64(format!("{size:?}").as_bytes())
+    ))
+}
+
+// Observability counters (process-wide, exported into the JSON
+// artifacts next to the worker-pool metrics).
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static DISK_LOADS: AtomicU64 = AtomicU64::new(0);
+static DISK_STORES: AtomicU64 = AtomicU64::new(0);
+static DISK_PURGED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the cache counters into `reg` (`trace_cache.*` namespace).
+pub fn export_metrics(reg: &mut Registry) {
+    reg.set("trace_cache.hits", HITS.load(Ordering::Relaxed));
+    reg.set("trace_cache.misses", MISSES.load(Ordering::Relaxed));
+    reg.set("trace_cache.evictions", EVICTIONS.load(Ordering::Relaxed));
+    reg.set("trace_cache.disk_loads", DISK_LOADS.load(Ordering::Relaxed));
+    reg.set(
+        "trace_cache.disk_stores",
+        DISK_STORES.load(Ordering::Relaxed),
+    );
+    reg.set(
+        "trace_cache.disk_purged",
+        DISK_PURGED.load(Ordering::Relaxed),
+    );
+    let (bytes, entries) = {
+        let lru = state().lock().expect("trace cache lock");
+        (lru.bytes as u64, lru.order.len() as u64)
+    };
+    reg.set("trace_cache.resident_bytes", bytes);
+    reg.set("trace_cache.resident_entries", entries);
+}
+
+/// The resident store: keyed `Arc<Recorded>` with least-recently-used
+/// eviction on a byte budget. `order` holds keys from cold (front) to
+/// hot (back).
+#[derive(Default)]
+struct Lru {
+    map: HashMap<String, Arc<Recorded>>,
+    order: Vec<String>,
+    bytes: usize,
+}
+
+impl Lru {
+    fn touch(&mut self, id: &str) {
+        if let Some(pos) = self.order.iter().position(|k| k == id) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    fn lookup(&mut self, id: &str) -> Option<Arc<Recorded>> {
+        let rec = self.map.get(id).cloned()?;
+        self.touch(id);
+        Some(rec)
+    }
+
+    /// Insert under `id`, evicting cold entries until the budget holds.
+    /// A stream bigger than the whole budget is not kept resident at
+    /// all (the caller still owns its `Arc` for the current cell).
+    /// Returns the number of evictions.
+    fn insert(&mut self, id: String, rec: Arc<Recorded>, budget: usize) -> u64 {
+        let bytes = rec.approx_bytes();
+        if bytes > budget {
+            return 0;
+        }
+        if let Some(old) = self.map.remove(&id) {
+            self.bytes -= old.approx_bytes();
+            self.order.retain(|k| k != &id);
+        }
+        let mut evicted = 0;
+        while self.bytes + bytes > budget {
+            let cold = self.order.remove(0);
+            let old = self.map.remove(&cold).expect("order tracks map");
+            self.bytes -= old.approx_bytes();
+            evicted += 1;
+        }
+        self.bytes += bytes;
+        self.map.insert(id.clone(), rec);
+        self.order.push(id);
+        evicted
+    }
+}
+
+fn state() -> &'static Mutex<Lru> {
+    static STATE: std::sync::OnceLock<Mutex<Lru>> = std::sync::OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(Lru::default()))
+}
+
+/// Look up a stream: resident store first, then the on-disk spill.
+/// Counts one hit or one miss.
+pub fn lookup(id: &str) -> Option<Arc<Recorded>> {
+    if let Some(rec) = state().lock().expect("trace cache lock").lookup(id) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Some(rec);
+    }
+    if let Some(dir) = disk_dir() {
+        if let Some(rec) = disk_load(&dir, id) {
+            let rec = Arc::new(rec);
+            let evicted = state().lock().expect("trace cache lock").insert(
+                id.to_string(),
+                rec.clone(),
+                budget_bytes(),
+            );
+            EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+            HITS.fetch_add(1, Ordering::Relaxed);
+            DISK_LOADS.fetch_add(1, Ordering::Relaxed);
+            return Some(rec);
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+/// Store a freshly captured stream: into the resident LRU and, when
+/// `VISIM_TRACE_DIR` is set, onto disk.
+pub fn store(id: &str, rec: &Arc<Recorded>) {
+    let evicted = state().lock().expect("trace cache lock").insert(
+        id.to_string(),
+        rec.clone(),
+        budget_bytes(),
+    );
+    EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    if let Some(dir) = disk_dir() {
+        if disk_store(&dir, id, rec).is_ok() {
+            DISK_STORES.fetch_add(1, Ordering::Relaxed);
+        }
+        // A failed spill (full disk, permissions) is silently a
+        // memory-only cache — never a simulation failure.
+    }
+}
+
+fn disk_path(dir: &str, id: &str) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("{id}.vtrc"))
+}
+
+/// Load and validate `<dir>/<id>.vtrc`. Any failure (missing file,
+/// bad magic/version/key, checksum mismatch) returns `None`; a file
+/// that exists but fails validation is *purged* so the slot is
+/// re-recorded cleanly instead of erroring on every run.
+fn disk_load(dir: &str, id: &str) -> Option<Recorded> {
+    let path = disk_path(dir, id);
+    let bytes = std::fs::read(&path).ok()?;
+    match Recorded::decode(&bytes, id) {
+        Ok(rec) => Some(rec),
+        Err(reason) => {
+            if std::fs::remove_file(&path).is_ok() {
+                DISK_PURGED.fetch_add(1, Ordering::Relaxed);
+                eprintln!("trace cache: purged stale {} ({reason})", path.display());
+            }
+            None
+        }
+    }
+}
+
+/// Write `<dir>/<id>.vtrc` atomically (temp file + rename), so a
+/// concurrent reader sees either the complete old file or the complete
+/// new one.
+fn disk_store(dir: &str, id: &str, rec: &Recorded) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = disk_path(dir, id);
+    let tmp = path.with_extension(format!("vtrc.{}.tmp", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&rec.encode(id))?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visim_isa::{Inst, Op, Reg};
+
+    fn stream_of(n: u32) -> Arc<Recorded> {
+        let mut rec = Recorded::new();
+        for i in 0..n {
+            rec.push(Inst::compute(Op::IntAlu, i as u64, Reg(i), [Reg::NONE; 3]));
+        }
+        Arc::new(rec)
+    }
+
+    #[test]
+    fn lru_evicts_coldest_first_and_tracks_bytes() {
+        let mut lru = Lru::default();
+        let one = stream_of(10).approx_bytes();
+        let budget = 3 * one;
+        assert_eq!(lru.insert("a".into(), stream_of(10), budget), 0);
+        assert_eq!(lru.insert("b".into(), stream_of(10), budget), 0);
+        assert_eq!(lru.insert("c".into(), stream_of(10), budget), 0);
+        // Touch "a" so "b" is now the coldest.
+        assert!(lru.lookup("a").is_some());
+        assert_eq!(lru.insert("d".into(), stream_of(10), budget), 1);
+        assert!(lru.lookup("b").is_none(), "coldest entry evicted");
+        assert!(lru.lookup("a").is_some());
+        assert!(lru.lookup("c").is_some());
+        assert!(lru.lookup("d").is_some());
+        assert_eq!(lru.bytes, 3 * one);
+    }
+
+    #[test]
+    fn lru_skips_entries_bigger_than_the_whole_budget() {
+        let mut lru = Lru::default();
+        let big = stream_of(1000);
+        assert_eq!(lru.insert("big".into(), big.clone(), 16), 0);
+        assert!(lru.lookup("big").is_none());
+        assert_eq!(lru.bytes, 0);
+    }
+
+    #[test]
+    fn lru_reinsert_replaces_in_place() {
+        let mut lru = Lru::default();
+        let budget = 10 * stream_of(10).approx_bytes();
+        lru.insert("a".into(), stream_of(10), budget);
+        lru.insert("a".into(), stream_of(20), budget);
+        assert_eq!(lru.bytes, stream_of(20).approx_bytes());
+        assert_eq!(lru.order.len(), 1);
+        assert_eq!(lru.lookup("a").unwrap().len(), 20);
+    }
+
+    #[test]
+    fn disk_round_trip_and_corruption_purge() {
+        let dir = std::env::temp_dir().join(format!("visim-tc-test-{}", std::process::id()));
+        let dir = dir.to_str().unwrap().to_string();
+        let rec = stream_of(50);
+        disk_store(&dir, "k1", &rec).expect("spill");
+        let back = disk_load(&dir, "k1").expect("reload");
+        assert_eq!(back.len(), 50);
+        // Wrong id: validation fails and the (misnamed) file is purged.
+        std::fs::rename(disk_path(&dir, "k1"), disk_path(&dir, "k2")).unwrap();
+        assert!(disk_load(&dir, "k2").is_none());
+        assert!(!disk_path(&dir, "k2").exists(), "invalid file purged");
+        // Corrupt bytes: same treatment.
+        disk_store(&dir, "k3", &rec).expect("spill");
+        let p = disk_path(&dir, "k3");
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(disk_load(&dir, "k3").is_none());
+        assert!(!p.exists(), "corrupt file purged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keys_separate_benchmarks_variants_and_sizes() {
+        let s1 = WorkloadSize::tiny();
+        let mut s2 = WorkloadSize::tiny();
+        s2.seed += 1;
+        let k = |b: &str, s: &WorkloadSize, v: Variant| key_for(b, s, v).unwrap();
+        assert_ne!(
+            k("conv", &s1, Variant::VIS),
+            k("conv", &s1, Variant::SCALAR)
+        );
+        assert_ne!(
+            k("conv", &s1, Variant::VIS),
+            k("conv", &s1, Variant::VIS_PF)
+        );
+        assert_ne!(k("conv", &s1, Variant::VIS), k("blend", &s1, Variant::VIS));
+        assert_ne!(k("conv", &s1, Variant::VIS), k("conv", &s2, Variant::VIS));
+        assert_eq!(k("conv", &s1, Variant::VIS), k("conv", &s1, Variant::VIS));
+    }
+}

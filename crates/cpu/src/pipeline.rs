@@ -7,10 +7,9 @@
 //! retire → issue → dispatch → drain stores. Dispatch after issue gives
 //! every instruction a one-cycle decode stage.
 
-use std::collections::{HashMap, VecDeque};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::collections::VecDeque;
 
-use visim_isa::{BranchKind, Inst, MemKind, MemRef, Reg};
+use visim_isa::{BranchKind, Inst, MemKind, MemRef};
 use visim_mem::{MemConfig, MemStats, MemSystem, Request, ServiceLevel};
 use visim_obs::trace::{InstSpan, InstantKind, SharedTraceRing};
 use visim_obs::{Histogram, Registry};
@@ -22,24 +21,71 @@ use crate::predictor::{AgreePredictor, ReturnAddressStack};
 use crate::sink::{SimSink, TraceSink};
 use crate::stats::{CpuStats, StallClass};
 
-/// A trivial multiplicative hasher for dense `Reg` keys (the default
-/// SipHash dominates the simulation profile otherwise).
-#[derive(Debug, Default)]
-struct RegHasher(u64);
+/// In-flight producer map: register number → producer sequence number.
+///
+/// Direct-mapped on the low byte of the register number. The emitter
+/// allocates SSA-style registers from a counter and at most `window`
+/// (≤ 128) producers are in flight, so live registers span fewer than
+/// 256 consecutive numbers and never collide — every operation is one
+/// array access. Arbitrary (non-emitter) streams stay exactly correct
+/// through the `overflow` list, which holds entries whose home slot is
+/// taken by a different register.
+#[derive(Debug)]
+struct RegMap {
+    slots: Box<[(u32, u64); 256]>,
+    overflow: Vec<(u32, u64)>,
+}
 
-impl Hasher for RegHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
+/// Empty-slot marker; valid keys never equal it because [`Reg::NONE`]
+/// (`u32::MAX`) is filtered out before every map operation.
+const REG_EMPTY: u32 = u32::MAX;
 
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+impl RegMap {
+    fn new() -> Self {
+        RegMap {
+            slots: Box::new([(REG_EMPTY, 0); 256]),
+            overflow: Vec::new(),
         }
     }
 
-    fn write_u32(&mut self, v: u32) {
-        self.0 = (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16;
+    /// Same contract as `HashMap::insert`: records `reg → seq` and
+    /// returns the previously mapped sequence number, if any.
+    fn insert(&mut self, reg: u32, seq: u64) -> Option<u64> {
+        let slot = &mut self.slots[(reg & 255) as usize];
+        if slot.0 == reg {
+            return Some(std::mem::replace(&mut slot.1, seq));
+        }
+        if let Some(e) = self.overflow.iter_mut().find(|e| e.0 == reg) {
+            return Some(std::mem::replace(&mut e.1, seq));
+        }
+        if slot.0 == REG_EMPTY {
+            *slot = (reg, seq);
+        } else {
+            self.overflow.push((reg, seq));
+        }
+        None
+    }
+
+    fn get(&self, reg: u32) -> Option<u64> {
+        let slot = self.slots[(reg & 255) as usize];
+        if slot.0 == reg {
+            return Some(slot.1);
+        }
+        if self.overflow.is_empty() {
+            return None;
+        }
+        self.overflow.iter().find(|e| e.0 == reg).map(|e| e.1)
+    }
+
+    fn remove(&mut self, reg: u32) {
+        let slot = &mut self.slots[(reg & 255) as usize];
+        if slot.0 == reg {
+            slot.0 = REG_EMPTY;
+            return;
+        }
+        if let Some(i) = self.overflow.iter().position(|e| e.0 == reg) {
+            self.overflow.swap_remove(i);
+        }
     }
 }
 
@@ -65,6 +111,12 @@ struct Slot {
     /// [`NO_DEP`] as producers complete so satisfied dependencies are
     /// never re-checked.
     src_seqs: [u64; 3],
+    /// Lower bound on the next cycle this (unissued) slot could issue.
+    /// Derived only from immutable facts — an issued producer's
+    /// `done_at` never changes and an instruction never completes the
+    /// cycle it issues — so skipping the slot while `now < wake_at`
+    /// cannot change any issue cycle.
+    wake_at: u64,
 }
 
 impl Slot {
@@ -79,6 +131,7 @@ impl Slot {
             mispredicted: false,
             resolved: false,
             src_seqs: [NO_DEP; 3],
+            wake_at: 0,
         }
     }
 }
@@ -144,7 +197,7 @@ pub struct Pipeline {
     window: VecDeque<Slot>,
     /// Producer sequence number for every register whose producer has not
     /// retired yet; a missing entry means the value is available.
-    produced: HashMap<Reg, u64, BuildHasherDefault<RegHasher>>,
+    produced: RegMap,
     head_seq: u64,
     now: u64,
     /// Cycle at which the front end may dispatch again (`u64::MAX` while
@@ -153,8 +206,21 @@ pub struct Pipeline {
     unresolved_branches: u32,
     /// Sequence numbers of dispatched-but-unresolved branches.
     unresolved_seqs: Vec<u64>,
-    /// Window index below which every slot has issued.
-    issue_frontier: usize,
+    /// Earliest cycle any unresolved branch can complete (the minimum
+    /// `done_at` over the issued ones; `u64::MAX` when none is issued —
+    /// an unissued branch cannot resolve, and issuing one lowers the
+    /// bound). The per-cycle resolution scan is skipped until then.
+    resolve_check_at: u64,
+    /// Sequence numbers of the unissued window slots, in program order:
+    /// the issue scan walks only these instead of the whole window.
+    unissued_seqs: Vec<u64>,
+    /// Lower bound on the next cycle any unissued slot could issue (the
+    /// minimum of their [`Slot::wake_at`] bounds as of the last scan).
+    /// While `now < issue_scan_at` the per-cycle issue scan is skipped
+    /// entirely: during a long memory stall the window is full of
+    /// instructions waiting on an in-flight load's immutable `done_at`,
+    /// and walking them every cycle dominated the simulation profile.
+    issue_scan_at: u64,
     /// Completion times of loads occupying memory-queue slots.
     inflight_loads: Vec<u64>,
     /// Earliest completion time in `inflight_loads` (`u64::MAX` when
@@ -193,13 +259,15 @@ impl Pipeline {
             ras,
             fetch_q: VecDeque::new(),
             window: VecDeque::with_capacity(cfg.window as usize),
-            produced: HashMap::default(),
+            produced: RegMap::new(),
             head_seq: 0,
             now: 0,
             fetch_resume_at: 0,
             unresolved_branches: 0,
             unresolved_seqs: Vec::new(),
-            issue_frontier: 0,
+            resolve_check_at: u64::MAX,
+            unissued_seqs: Vec::new(),
+            issue_scan_at: 0,
             inflight_loads: Vec::new(),
             inflight_min: u64::MAX,
             store_buffer: VecDeque::new(),
@@ -318,21 +386,120 @@ impl Pipeline {
         };
         format!(
             "window {}/{} fetch_q {} store_buffer {} inflight_loads {} \
-             issue_frontier {} fetch_resume_at {} unresolved_branches {} \
+             unissued {} fetch_resume_at {} unresolved_branches {} \
              issue_blocked_until {}; oldest un-retired: {oldest}",
             self.window.len(),
             self.cfg.window,
             self.fetch_q.len(),
             self.store_buffer.len(),
             self.inflight_loads.len(),
-            self.issue_frontier,
+            self.unissued_seqs.len(),
             self.fetch_resume_at,
             self.unresolved_branches,
             self.issue_blocked_until
         )
     }
 
+    /// Fast-forward over cycles in which every pipeline stage is a
+    /// provable no-op, accounting them in bulk.
+    ///
+    /// Each stage is already guarded by a lower bound on the next cycle
+    /// it can act (`inflight_min`, `resolve_check_at`, `issue_scan_at`,
+    /// the front slot's `done_at`, `fetch_resume_at`, the store buffer's
+    /// retry time). When *all* of those bounds lie in the future, the
+    /// intervening cycles only run the per-cycle accounting — the same
+    /// `(0, stall)` attribution and window occupancy every time, because
+    /// no stage mutates any state they read — so they can be added in
+    /// one step. The skip stops at the earliest bound (clamped to the
+    /// watchdog deadline so a wedged model still faults at the exact
+    /// same cycle), which keeps every statistic, fault, and text output
+    /// byte-identical to the cycle-by-cycle loop.
+    fn idle_skip(&mut self) {
+        if self.tracer.is_some() {
+            return; // traced runs sample the ring every cycle
+        }
+        let now = self.now;
+        if self.inflight_min <= now || self.resolve_check_at <= now {
+            return;
+        }
+        let mut next = self.inflight_min.min(self.resolve_check_at);
+        // Retire: blocked on the front slot; its stall classification is
+        // constant while no other stage acts.
+        let stall = match self.window.front() {
+            Some(s) if !s.issued => {
+                if s.inst.op.is_mem() && s.mem_blocked {
+                    StallClass::L1Hit
+                } else {
+                    StallClass::FuStall
+                }
+            }
+            Some(s) => {
+                if s.done_at <= now {
+                    return; // retires this cycle
+                }
+                next = next.min(s.done_at);
+                match s.mem_level {
+                    Some(level) if level.is_l1_miss() => StallClass::L1Miss,
+                    Some(_) => StallClass::L1Hit,
+                    None if s.inst.op.is_mem() => StallClass::L1Hit,
+                    None => StallClass::FuStall,
+                }
+            }
+            None => StallClass::FuStall,
+        };
+        // Issue.
+        if !self.unissued_seqs.is_empty() {
+            let mut eligible_at = self.issue_scan_at;
+            if self.cfg.blocking_loads {
+                eligible_at = eligible_at.max(self.issue_blocked_until);
+            }
+            if eligible_at <= now {
+                return;
+            }
+            next = next.min(eligible_at);
+        }
+        // Dispatch.
+        if !self.fetch_q.is_empty() && self.window.len() < self.cfg.window as usize {
+            if self.fetch_resume_at > now {
+                next = next.min(self.fetch_resume_at);
+            } else if let Some(b) = self.fetch_q.front().and_then(|i| i.branch) {
+                if self.unresolved_branches >= self.cfg.max_spec_branches {
+                    // Blocked until a branch resolves; resolution is
+                    // bounded by the resolve/issue bounds above.
+                } else if b.taken && self.cfg.taken_per_cycle == 0 {
+                    // Permanently blocked: only the watchdog ends this.
+                } else {
+                    return; // dispatches this cycle
+                }
+            } else {
+                return; // dispatches this cycle
+            }
+        }
+        // Stores.
+        if let Some(&(_, retry_at)) = self.store_buffer.front() {
+            if retry_at <= now {
+                return;
+            }
+            next = next.min(retry_at);
+        }
+        // Let the watchdog cycle itself run normally so a wedge faults
+        // at the exact cycle the unskipped loop would report.
+        next = next.min(
+            self.last_progress
+                .saturating_add(self.cfg.watchdog_cycles)
+                .saturating_add(1),
+        );
+        if next <= now {
+            return;
+        }
+        let n = next - now;
+        self.stats.account_idle(n, stall);
+        self.window_occ.observe_n(self.window.len() as u64, n);
+        self.now = next;
+    }
+
     fn cycle(&mut self) {
+        self.idle_skip();
         let sig = self.progress_signature();
         let now = self.now;
         if let Some(t) = self.tracer.as_mut() {
@@ -401,14 +568,20 @@ impl Pipeline {
     }
 
     /// Mark completed branches resolved; a resolved misprediction
-    /// re-opens the front end after the refill penalty.
+    /// re-opens the front end after the refill penalty. Skipped until
+    /// [`Pipeline::resolve_check_at`] — a branch resolves exactly at its
+    /// issued `done_at`, so scanning earlier can never find one.
     fn resolve_branches(&mut self) {
         let now = self.now;
+        if now < self.resolve_check_at {
+            return;
+        }
         let head = self.head_seq;
         let window = &mut self.window;
         let penalty = self.cfg.mispredict_penalty;
         let mut resolved_misp_at = None;
         let mut resolved = 0u32;
+        let mut next_check = u64::MAX;
         // Swap-remove scan: order is irrelevant (at most one mispredicted
         // branch is ever in flight, since fetch stalls until it resolves).
         let seqs = &mut self.unresolved_seqs;
@@ -424,9 +597,13 @@ impl Pipeline {
                 }
                 seqs.swap_remove(i);
             } else {
+                if slot.issued {
+                    next_check = next_check.min(slot.done_at);
+                }
                 i += 1;
             }
         }
+        self.resolve_check_at = next_check;
         self.unresolved_branches -= resolved;
         if let Some(done_at) = resolved_misp_at {
             self.fetch_resume_at = done_at + penalty;
@@ -485,9 +662,8 @@ impl Pipeline {
                 });
             }
             self.head_seq += 1;
-            self.issue_frontier = self.issue_frontier.saturating_sub(1);
             if slot.inst.dst.is_some() {
-                self.produced.remove(&slot.inst.dst);
+                self.produced.remove(slot.inst.dst.0);
             }
             self.stats.note_retired(slot.inst.op);
             retired += 1;
@@ -496,14 +672,18 @@ impl Pipeline {
     }
 
     /// True when every producer in the slot's dispatch-time renamed
-    /// dependency list has completed. Satisfied entries flip to
-    /// [`NO_DEP`] in place, so a dependency is checked at most once
-    /// after it completes — no hash lookups on this per-cycle path
+    /// dependency list has completed, plus a lower bound on the cycle
+    /// the sources can all be ready (meaningful only when not ready):
+    /// an issued producer completes exactly at its immutable `done_at`,
+    /// an unissued one no earlier than next cycle. Satisfied entries
+    /// flip to [`NO_DEP`] in place, so a dependency is checked at most
+    /// once after it completes — no hash lookups on this per-cycle path
     /// (the `produced` map is only consulted once per instruction, at
     /// dispatch).
-    fn sources_ready_at(&mut self, i: usize) -> bool {
+    fn sources_ready_at(&mut self, i: usize) -> (bool, u64) {
         let mut deps = self.window[i].src_seqs;
         let mut ready = true;
+        let mut bound = 0u64;
         for d in deps.iter_mut() {
             if *d == NO_DEP {
                 continue;
@@ -517,37 +697,76 @@ impl Pipeline {
                 *d = NO_DEP;
             } else {
                 ready = false;
+                // An issued producer completes exactly at its immutable
+                // `done_at`; an unissued one cannot issue before its own
+                // `wake_at` (a sound lower bound, inductively), so its
+                // value exists no earlier than that — this propagates
+                // wake-up bounds down dependence chains, letting a whole
+                // chain behind a cache miss sleep until the fill.
+                bound = bound.max(if p.issued {
+                    p.done_at
+                } else {
+                    p.wake_at.max(self.now + 1)
+                });
             }
         }
         self.window[i].src_seqs = deps;
-        ready
+        (ready, bound)
     }
 
     /// Issue ready instructions (program-order scan; the in-order policy
     /// stops at the first unissued instruction that cannot go).
+    ///
+    /// Every blocked slot records a `wake_at` lower bound and the scan
+    /// itself is gated on `issue_scan_at` (the minimum of those bounds):
+    /// both derive only from immutable completion times and
+    /// next-cycle-at-the-earliest conservatism, so the cycle at which
+    /// each instruction actually issues — and every observable statistic
+    /// — is identical to the exhaustive per-cycle scan.
     fn issue(&mut self) {
         let mut issued = 0;
         let now = self.now;
         if self.cfg.blocking_loads && now < self.issue_blocked_until {
             return;
         }
-        // Slots before `issue_frontier` are all issued already.
-        while self.issue_frontier < self.window.len() && self.window[self.issue_frontier].issued {
-            self.issue_frontier += 1;
+        if self.unissued_seqs.is_empty() || now < self.issue_scan_at {
+            return; // provably nothing can issue this cycle
         }
-        for i in self.issue_frontier..self.window.len() {
+        // The scan walks only the unissued slots, in program order,
+        // compacting issued entries out of the list in place. Taken out
+        // of `self` for the duration to keep the borrow checker happy.
+        let mut seqs = std::mem::take(&mut self.unissued_seqs);
+        // Rebuilt during the scan; any early exit that leaves unissued
+        // slots unexamined must clamp it to `now + 1`.
+        let mut next_scan = u64::MAX;
+        let mut keep = 0; // entries [0, keep) stay unissued
+        let mut r = 0;
+        while r < seqs.len() {
             if issued >= self.cfg.issue_width {
+                next_scan = next_scan.min(now + 1);
                 break;
             }
-            if self.window[i].issued {
+            let seq = seqs[r];
+            let i = (seq - self.head_seq) as usize;
+            if now < self.window[i].wake_at {
+                // Cannot issue yet (bound argument above); skip without
+                // touching dependence or memory state. Flipping satisfied
+                // deps to NO_DEP merely happens later, which no statistic
+                // observes.
+                next_scan = next_scan.min(self.window[i].wake_at);
+                if self.cfg.policy == IssuePolicy::InOrder {
+                    break; // later slots cannot issue before this one
+                }
+                seqs[keep] = seq;
+                keep += 1;
+                r += 1;
                 continue;
             }
             let inst = self.window[i].inst;
             let mut blocked = false;
 
-            if !self.sources_ready_at(i)
-                || (self.window[i].mem_blocked && now < self.window[i].mem_retry_at)
-            {
+            let (ready, dep_bound) = self.sources_ready_at(i);
+            if !ready || (self.window[i].mem_blocked && now < self.window[i].mem_retry_at) {
                 blocked = true;
             } else if let Some(mem) = inst.mem {
                 blocked = !self.try_issue_mem(i, mem, &inst);
@@ -565,17 +784,45 @@ impl Pipeline {
                     sb.issue = now;
                     sb.complete = self.window[i].done_at;
                 }
+                if inst.branch.is_some() {
+                    // An unresolved branch just gained a completion time.
+                    self.resolve_check_at = self.resolve_check_at.min(self.window[i].done_at);
+                }
                 issued += 1;
+                r += 1; // drops this entry from the unissued list
                 if self.cfg.blocking_loads && self.issue_blocked_until > now {
+                    next_scan = next_scan.min(now + 1);
                     break; // a blocking load was just issued
                 }
             } else {
                 debug_assert!(blocked);
+                // Memory contention carries its own retry bound; a busy
+                // functional unit (or a structural reject) may clear next
+                // cycle.
+                let slot = &mut self.window[i];
+                let mem_bound = if slot.mem_blocked {
+                    slot.mem_retry_at
+                } else {
+                    0
+                };
+                slot.wake_at = dep_bound.max(mem_bound).max(now + 1);
+                next_scan = next_scan.min(slot.wake_at);
+                seqs[keep] = seq;
+                keep += 1;
+                r += 1;
                 if self.cfg.policy == IssuePolicy::InOrder {
                     break; // strict program-order issue
                 }
             }
         }
+        // Close the gap between the compacted prefix and the unexamined
+        // tail left by an early exit.
+        if keep < r {
+            seqs.copy_within(r.., keep);
+        }
+        seqs.truncate(keep + (seqs.len() - r));
+        self.unissued_seqs = seqs;
+        self.issue_scan_at = next_scan;
     }
 
     /// Issue the memory instruction in window slot `i`. Returns false
@@ -658,7 +905,7 @@ impl Pipeline {
             let seq = self.head_seq + self.window.len() as u64;
             let mut slot = Slot::new(inst);
             if inst.dst.is_some() {
-                let prev = self.produced.insert(inst.dst, seq);
+                let prev = self.produced.insert(inst.dst.0, seq);
                 // The emitter allocates SSA-style registers; an in-flight
                 // duplicate destination would corrupt the scoreboard.
                 // Checked in release builds so a corrupted emitter stream
@@ -683,7 +930,7 @@ impl Pipeline {
             // the issue-time scoreboard lookup did.
             for (k, r) in inst.srcs.iter().enumerate() {
                 if r.is_some() {
-                    if let Some(&pseq) = self.produced.get(r) {
+                    if let Some(pseq) = self.produced.get(r.0) {
                         slot.src_seqs[k] = pseq;
                     }
                 }
@@ -726,12 +973,16 @@ impl Pipeline {
                             .instant(InstantKind::BranchMispredict, inst.pc, 0);
                     }
                     self.window.push_back(slot);
+                    self.unissued_seqs.push(seq);
+                    self.issue_scan_at = 0;
                     // Fetch stalls until this branch resolves.
                     self.fetch_resume_at = u64::MAX;
                     return;
                 }
             }
             self.window.push_back(slot);
+            self.unissued_seqs.push(seq);
+            self.issue_scan_at = 0;
             dispatched += 1;
         }
     }

@@ -117,6 +117,18 @@ impl CpuStats {
         }
     }
 
+    /// Account `n` consecutive cycles that retire nothing and share one
+    /// stall class — exactly `n` calls to `account_cycle(0, stall)`.
+    pub(crate) fn account_idle(&mut self, n: u64, stall: StallClass) {
+        self.cycles += n;
+        let lost = self.width * n;
+        match stall {
+            StallClass::FuStall => self.fu_stall_units += lost,
+            StallClass::L1Hit => self.l1_hit_units += lost,
+            StallClass::L1Miss => self.l1_miss_units += lost,
+        }
+    }
+
     pub(crate) fn note_retired(&mut self, op: Op) {
         self.retired += 1;
         let ix = match op.category() {

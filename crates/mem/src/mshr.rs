@@ -42,6 +42,16 @@ pub(crate) struct MshrFile {
     // Occupancy accounting: integral of occupancy over time.
     occupancy_cycles: Vec<u64>,
     last_change: u64,
+    /// Number of *live* entries — fills completing after `last_change`.
+    /// (Entries whose fill already completed linger until the next
+    /// `expire` retains them away.)
+    live_count: usize,
+    /// Earliest fill completion among the live entries (`u64::MAX` when
+    /// none): the accounting and expiry fast paths skip their entry
+    /// scans entirely until a fill can actually have completed. A bound
+    /// that is transiently too low only splits an interval where nothing
+    /// changes, which leaves the integral identical.
+    next_live_fill: u64,
     peak: u32,
     /// First release-mode invariant violation observed (polled by the
     /// owning `MemSystem` and surfaced as a `SimError::Invariant`).
@@ -74,6 +84,8 @@ impl MshrFile {
             max_merges,
             occupancy_cycles: vec![0; capacity as usize + 1],
             last_change: 0,
+            live_count: 0,
+            next_live_fill: u64::MAX,
             peak: 0,
             violation: None,
             tracer: None,
@@ -97,6 +109,9 @@ impl MshrFile {
 
     fn expire(&mut self, now: u64) {
         self.account(now);
+        if self.live_count == self.entries.len() {
+            return; // every fill is still in the future; nothing to drain
+        }
         if let Some((ring, level)) = &self.tracer {
             let mut ring = ring.borrow_mut();
             for e in self.entries.iter().filter(|e| e.fill_at <= now) {
@@ -104,28 +119,42 @@ impl MshrFile {
             }
         }
         self.entries.retain(|e| e.fill_at > now);
+        // The retained set is exactly the live set (`account` advanced
+        // `last_change` to `now`).
+        debug_assert_eq!(self.entries.len(), self.live_count);
     }
 
     /// Advance the occupancy integral to `now`, splitting the elapsed
-    /// interval at every fill completion inside it.
+    /// interval at every fill completion inside it. The common case —
+    /// no fill completes before `now` — is O(1) via the cached live-set
+    /// aggregates; only an actual completion rescans the entries.
     fn account(&mut self, now: u64) {
         while now > self.last_change {
-            let next_fill = self
-                .entries
-                .iter()
-                .map(|e| e.fill_at)
-                .filter(|&t| t > self.last_change)
-                .min()
-                .unwrap_or(u64::MAX);
-            let upto = now.min(next_fill);
-            let occ = self
-                .entries
-                .iter()
-                .filter(|e| e.fill_at > self.last_change)
-                .count()
-                .min(self.capacity);
+            if self.next_live_fill > now {
+                // Constant occupancy across the whole elapsed interval
+                // (strict: a fill at exactly `now` leaves the live set
+                // once `last_change` reaches it).
+                let occ = self.live_count.min(self.capacity);
+                self.occupancy_cycles[occ] += now - self.last_change;
+                self.last_change = now;
+                return;
+            }
+            // A fill completes inside the interval: account up to it,
+            // then rebuild the live-set aggregates.
+            let upto = self.next_live_fill;
+            let occ = self.live_count.min(self.capacity);
             self.occupancy_cycles[occ] += upto - self.last_change;
             self.last_change = upto;
+            let mut cnt = 0;
+            let mut nf = u64::MAX;
+            for e in &self.entries {
+                if e.fill_at > self.last_change {
+                    cnt += 1;
+                    nf = nf.min(e.fill_at);
+                }
+            }
+            self.live_count = cnt;
+            self.next_live_fill = nf;
         }
     }
 
@@ -162,6 +191,7 @@ impl MshrFile {
             merges: 1,
             prefetch_only: !demand,
         });
+        self.live_count += 1; // fill pending: live by construction
         if let Some((ring, level)) = &self.tracer {
             ring.borrow_mut()
                 .instant_at(now, InstantKind::MshrAlloc, line, *level);
@@ -181,7 +211,21 @@ impl MshrFile {
     /// allocation for `line`.
     pub fn set_fill_time(&mut self, line: u64, fill_at: u64) {
         match self.entries.iter_mut().find(|e| e.line == line) {
-            Some(e) => e.fill_at = fill_at,
+            Some(e) => {
+                let was_live = e.fill_at > self.last_change;
+                e.fill_at = fill_at;
+                if fill_at > self.last_change {
+                    if !was_live {
+                        self.live_count += 1;
+                    }
+                    self.next_live_fill = self.next_live_fill.min(fill_at);
+                } else if was_live {
+                    // Fill reported in the already-accounted past; the
+                    // stale `next_live_fill` bound only causes a no-op
+                    // interval split.
+                    self.live_count -= 1;
+                }
+            }
             // A fill-time report for a line with no entry means the
             // caller's allocation bookkeeping is corrupted.
             None => self.record_violation(format!(

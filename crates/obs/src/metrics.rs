@@ -54,10 +54,19 @@ impl Histogram {
 
     /// Record one sample.
     pub fn observe(&mut self, value: u64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Record `n` identical samples at once; equivalent to (and exactly
+    /// the same aggregates as) `n` calls to [`Histogram::observe`].
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let ix = self.bounds.partition_point(|&b| b < value);
-        self.counts[ix] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        self.counts[ix] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }

@@ -6,9 +6,11 @@
 //! * [`RESULTS_SCHEMA`] (`visim-results-v1`) — the per-binary result
 //!   documents under `results/json/<name>.json` and the per-failure
 //!   artifacts under `results/partial/<name>.<benchmark>.json`;
-//! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v2`) — the
+//! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v3`) — the
 //!   wall-clock harness output `BENCH_runtime.json` written by
-//!   `scripts/bench.sh` (v2 added `git_rev` and the fidelity summary);
+//!   `scripts/bench.sh` (v2 added `git_rev` and the fidelity summary;
+//!   v3 added the warm-trace-cache second pass: per-binary
+//!   `seconds_warm`/`exit_warm` and the `total_seconds_warm` total);
 //! * [`TRACE_SCHEMA`] (`visim-trace-v1`) — the Chrome trace-event /
 //!   Perfetto files under `results/trace/` written by `pipetrace`
 //!   (schema tag carried in the file's `otherData`).
@@ -40,7 +42,7 @@ use crate::metrics::Registry;
 pub const RESULTS_SCHEMA: &str = "visim-results-v1";
 
 /// Schema tag for `BENCH_runtime.json` (`scripts/bench.sh`).
-pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v2";
+pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v3";
 
 /// Schema tag for the Chrome trace-event files written by `pipetrace`.
 pub const TRACE_SCHEMA: &str = "visim-trace-v1";

@@ -34,8 +34,10 @@
 
 mod memimg;
 mod program;
+mod record;
 mod value;
 
 pub use memimg::MemImage;
 pub use program::{Cond, Program};
+pub use record::{Recorded, Recorder, TRACE_FORMAT_VERSION};
 pub use value::{VVal, Val};

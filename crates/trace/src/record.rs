@@ -1,0 +1,595 @@
+//! Record-once / replay-many trace capture.
+//!
+//! Functional emission (running a workload through [`Program`] to
+//! produce its dynamic instruction stream) and timing simulation
+//! (feeding that stream to a pipeline model) are independent phases:
+//! the stream depends only on the benchmark, its input geometry, and
+//! the code variant — never on the machine configuration consuming it.
+//! The experiment runners exploit that by capturing each distinct
+//! stream once into a [`Recorded`] buffer and replaying it into every
+//! (architecture × cache) configuration that needs it, skipping the
+//! per-instruction register-value computation, address arithmetic, and
+//! emitter bookkeeping on all but the first run.
+//!
+//! [`Recorded`] stores every [`Inst`] *verbatim*, in struct-of-arrays
+//! form (per-field flat vectors, with side tables for the optional
+//! memory and branch payloads). Replay therefore pushes bit-identical
+//! `Inst` values in the original order, which is what makes
+//! replay-vs-direct byte-identity hold by construction: the pipeline
+//! cannot distinguish the two paths.
+//!
+//! The buffer also round-trips through a versioned, checksummed binary
+//! encoding ([`Recorded::encode`] / [`Recorded::decode`]) so a
+//! process-spanning cache can spill streams to disk.
+//!
+//! [`Program`]: crate::Program
+
+use visim_cpu::SimSink;
+use visim_isa::{BranchInfo, BranchKind, Inst, MemKind, MemRef, Op, Reg};
+use visim_util::fnv1a64;
+
+/// Version tag of the on-disk encoding. Bump whenever the byte layout
+/// (or the meaning of any field) changes; decoders reject other
+/// versions, so stale cache files are re-recorded instead of
+/// misinterpreted.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of an encoded trace.
+const MAGIC: &[u8; 4] = b"VTRC";
+
+/// A captured dynamic instruction stream in struct-of-arrays form.
+///
+/// One entry per instruction in `ops`/`pcs`/`dsts`/`srcs`/`meta`; the
+/// optional memory and branch payloads live in dense side tables
+/// consumed in stream order during replay (`meta` records which
+/// instructions carry one).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorded {
+    ops: Vec<Op>,
+    pcs: Vec<u64>,
+    dsts: Vec<u32>,
+    srcs: Vec<[u32; 3]>,
+    /// Bit 0: a `mems` entry follows; bit 1: a `branches` entry follows.
+    meta: Vec<u8>,
+    mems: Vec<MemRef>,
+    branches: Vec<BranchInfo>,
+}
+
+const META_MEM: u8 = 1;
+const META_BRANCH: u8 = 2;
+
+impl Recorded {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Recorded::default()
+    }
+
+    /// Number of instructions captured.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Approximate resident size in bytes (used for cache budgeting).
+    pub fn approx_bytes(&self) -> usize {
+        self.ops.len()
+            * (std::mem::size_of::<Op>() + 8 /* pc */ + 4 /* dst */ + 12 /* srcs */ + 1/* meta */)
+            + self.mems.len() * std::mem::size_of::<MemRef>()
+            + self.branches.len() * std::mem::size_of::<BranchInfo>()
+    }
+
+    /// Append one instruction, preserving every field verbatim.
+    pub fn push(&mut self, inst: Inst) {
+        self.ops.push(inst.op);
+        self.pcs.push(inst.pc);
+        self.dsts.push(inst.dst.0);
+        self.srcs
+            .push([inst.srcs[0].0, inst.srcs[1].0, inst.srcs[2].0]);
+        let mut meta = 0u8;
+        if let Some(m) = inst.mem {
+            meta |= META_MEM;
+            self.mems.push(m);
+        }
+        if let Some(b) = inst.branch {
+            meta |= META_BRANCH;
+            self.branches.push(b);
+        }
+        self.meta.push(meta);
+    }
+
+    /// The instruction at index `i`, given cursors into the side
+    /// tables (advanced past any payload consumed).
+    fn inst_at(&self, i: usize, mem_ix: &mut usize, br_ix: &mut usize) -> Inst {
+        let meta = self.meta[i];
+        let mem = (meta & META_MEM != 0).then(|| {
+            let m = self.mems[*mem_ix];
+            *mem_ix += 1;
+            m
+        });
+        let branch = (meta & META_BRANCH != 0).then(|| {
+            let b = self.branches[*br_ix];
+            *br_ix += 1;
+            b
+        });
+        let s = self.srcs[i];
+        Inst {
+            op: self.ops[i],
+            pc: self.pcs[i],
+            dst: Reg(self.dsts[i]),
+            srcs: [Reg(s[0]), Reg(s[1]), Reg(s[2])],
+            mem,
+            branch,
+        }
+    }
+
+    /// Feed the captured stream to `sink`, in order, as the exact
+    /// `Inst` values originally pushed.
+    pub fn replay<S: SimSink>(&self, sink: &mut S) {
+        let (mut mem_ix, mut br_ix) = (0, 0);
+        for i in 0..self.ops.len() {
+            sink.push(self.inst_at(i, &mut mem_ix, &mut br_ix));
+        }
+    }
+
+    /// Serialize with a magic/version header, the caller's `key`
+    /// (verified on decode so a renamed file cannot masquerade as a
+    /// different stream), and a trailing FNV-1a checksum.
+    pub fn encode(&self, key: &str) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.approx_bytes() + key.len() + 64);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(key.as_bytes());
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.mems.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.branches.len() as u64).to_le_bytes());
+        for &op in &self.ops {
+            out.push(op_code(op));
+        }
+        for &pc in &self.pcs {
+            out.extend_from_slice(&pc.to_le_bytes());
+        }
+        for &dst in &self.dsts {
+            out.extend_from_slice(&dst.to_le_bytes());
+        }
+        for s in &self.srcs {
+            for &r in s {
+                out.extend_from_slice(&r.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.meta);
+        for m in &self.mems {
+            out.extend_from_slice(&m.addr.to_le_bytes());
+            out.push(m.size);
+            out.push(mem_kind_code(m.kind));
+        }
+        for b in &self.branches {
+            out.push(branch_kind_code(b.kind));
+            out.push(b.taken as u8 | (b.backward as u8) << 1);
+            out.extend_from_slice(&b.target.to_le_bytes());
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decode a stream previously produced by [`Recorded::encode`] for
+    /// the same `key`, verifying magic, version, key, structural
+    /// consistency, and the checksum. Any failure is an `Err` so the
+    /// cache can discard the file and fall back to re-recording.
+    pub fn decode(bytes: &[u8], key: &str) -> Result<Recorded, String> {
+        if bytes.len() < 8 + 8 {
+            return Err("truncated header".into());
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte checksum"));
+        if fnv1a64(body) != stored {
+            return Err("checksum mismatch".into());
+        }
+        let mut c = Cursor { buf: body, pos: 0 };
+        if c.take(4)? != MAGIC {
+            return Err("bad magic".into());
+        }
+        let version = c.u32()?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(format!(
+                "version {version} != expected {TRACE_FORMAT_VERSION}"
+            ));
+        }
+        let key_len = c.u32()? as usize;
+        if c.take(key_len)? != key.as_bytes() {
+            return Err("key mismatch".into());
+        }
+        let n_inst = c.u64()? as usize;
+        let n_mem = c.u64()? as usize;
+        let n_br = c.u64()? as usize;
+        // Exact-length check up front so corrupt counts cannot trigger
+        // huge allocations or misaligned reads below.
+        let expect = n_inst
+            .checked_mul(26)
+            .and_then(|n| n.checked_add(n_mem.checked_mul(10)?))
+            .and_then(|n| n.checked_add(n_br.checked_mul(10)?))
+            .and_then(|n| n.checked_add(c.pos))
+            .ok_or("length overflow")?;
+        if expect != body.len() {
+            return Err(format!(
+                "payload length {} != expected {expect}",
+                body.len()
+            ));
+        }
+        let mut rec = Recorded {
+            ops: Vec::with_capacity(n_inst),
+            pcs: Vec::with_capacity(n_inst),
+            dsts: Vec::with_capacity(n_inst),
+            srcs: Vec::with_capacity(n_inst),
+            meta: Vec::with_capacity(n_inst),
+            mems: Vec::with_capacity(n_mem),
+            branches: Vec::with_capacity(n_br),
+        };
+        for _ in 0..n_inst {
+            rec.ops.push(op_from_code(c.u8()?)?);
+        }
+        for _ in 0..n_inst {
+            rec.pcs.push(c.u64()?);
+        }
+        for _ in 0..n_inst {
+            rec.dsts.push(c.u32()?);
+        }
+        for _ in 0..n_inst {
+            rec.srcs.push([c.u32()?, c.u32()?, c.u32()?]);
+        }
+        let (mut mem_seen, mut br_seen) = (0usize, 0usize);
+        for _ in 0..n_inst {
+            let m = c.u8()?;
+            if m & !(META_MEM | META_BRANCH) != 0 {
+                return Err(format!("bad meta byte {m:#x}"));
+            }
+            mem_seen += (m & META_MEM != 0) as usize;
+            br_seen += (m & META_BRANCH != 0) as usize;
+            rec.meta.push(m);
+        }
+        if mem_seen != n_mem || br_seen != n_br {
+            return Err("meta flags disagree with side-table counts".into());
+        }
+        for _ in 0..n_mem {
+            rec.mems.push(MemRef {
+                addr: c.u64()?,
+                size: c.u8()?,
+                kind: mem_kind_from_code(c.u8()?)?,
+            });
+        }
+        for _ in 0..n_br {
+            let kind = branch_kind_from_code(c.u8()?)?;
+            let flags = c.u8()?;
+            if flags & !3 != 0 {
+                return Err(format!("bad branch flags {flags:#x}"));
+            }
+            rec.branches.push(BranchInfo {
+                kind,
+                taken: flags & 1 != 0,
+                backward: flags & 2 != 0,
+                target: c.u64()?,
+            });
+        }
+        debug_assert_eq!(c.pos, body.len());
+        Ok(rec)
+    }
+}
+
+/// A byte-budgeted recording sink.
+///
+/// Feed a workload into it exactly as into a pipeline; [`Recorder::finish`]
+/// yields the captured stream. A stream whose resident size exceeds the
+/// budget *poisons* the recorder — the buffer is dropped immediately
+/// (so a too-big capture never holds the memory) and `finish` returns
+/// `None`, letting the caller fall back to direct emission.
+#[derive(Debug)]
+pub struct Recorder {
+    buf: Recorded,
+    budget: usize,
+    poisoned: bool,
+}
+
+impl Recorder {
+    /// A recorder that gives up past `budget_bytes` of resident stream.
+    pub fn new(budget_bytes: usize) -> Self {
+        Recorder {
+            buf: Recorded::new(),
+            budget: budget_bytes,
+            poisoned: false,
+        }
+    }
+
+    /// True once the budget was exceeded and the capture abandoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The captured stream, or `None` when the capture was poisoned.
+    pub fn finish(self) -> Option<Recorded> {
+        (!self.poisoned).then_some(self.buf)
+    }
+}
+
+impl SimSink for Recorder {
+    fn push(&mut self, inst: Inst) {
+        if self.poisoned {
+            return;
+        }
+        self.buf.push(inst);
+        if self.buf.approx_bytes() > self.budget {
+            self.poisoned = true;
+            self.buf = Recorded::new();
+        }
+    }
+}
+
+/// Byte-slice reader used by [`Recorded::decode`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).ok_or("offset overflow")?;
+        if end > self.buf.len() {
+            return Err("unexpected end of data".into());
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+}
+
+/// Every [`Op`], in the stable order of the on-disk encoding. The
+/// position in this table *is* the wire code; append only, never
+/// reorder (bump [`TRACE_FORMAT_VERSION`] if the set changes).
+const OP_TABLE: [Op; 26] = [
+    Op::IntAlu,
+    Op::IntMul,
+    Op::IntDiv,
+    Op::FpOp,
+    Op::FpMove,
+    Op::FpConv,
+    Op::FpDiv,
+    Op::Branch,
+    Op::Jump,
+    Op::Call,
+    Op::Ret,
+    Op::Load,
+    Op::Store,
+    Op::Prefetch,
+    Op::VisAdd,
+    Op::VisLogic,
+    Op::VisAlign,
+    Op::VisEdge,
+    Op::VisCmp,
+    Op::VisMul,
+    Op::VisPack,
+    Op::VisExpand,
+    Op::VisMerge,
+    Op::VisPdist,
+    Op::VisArray,
+    Op::VisGsr,
+];
+
+fn op_code(op: Op) -> u8 {
+    OP_TABLE
+        .iter()
+        .position(|&o| o == op)
+        .expect("every Op is in OP_TABLE") as u8
+}
+
+fn op_from_code(code: u8) -> Result<Op, String> {
+    OP_TABLE
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| format!("bad op code {code}"))
+}
+
+const MEM_KIND_TABLE: [MemKind; 6] = [
+    MemKind::Load,
+    MemKind::Store,
+    MemKind::Prefetch,
+    MemKind::PartialStore,
+    MemKind::BlockLoad,
+    MemKind::BlockStore,
+];
+
+fn mem_kind_code(kind: MemKind) -> u8 {
+    MEM_KIND_TABLE
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every MemKind is in MEM_KIND_TABLE") as u8
+}
+
+fn mem_kind_from_code(code: u8) -> Result<MemKind, String> {
+    MEM_KIND_TABLE
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| format!("bad mem kind {code}"))
+}
+
+const BRANCH_KIND_TABLE: [BranchKind; 4] = [
+    BranchKind::Cond,
+    BranchKind::Jump,
+    BranchKind::Call,
+    BranchKind::Ret,
+];
+
+fn branch_kind_code(kind: BranchKind) -> u8 {
+    BRANCH_KIND_TABLE
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every BranchKind is in BRANCH_KIND_TABLE") as u8
+}
+
+fn branch_kind_from_code(code: u8) -> Result<BranchKind, String> {
+    BRANCH_KIND_TABLE
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| format!("bad branch kind {code}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink that stores every pushed instruction.
+    #[derive(Default)]
+    struct Collect(Vec<Inst>);
+
+    impl SimSink for Collect {
+        fn push(&mut self, inst: Inst) {
+            self.0.push(inst);
+        }
+    }
+
+    fn sample_stream() -> Vec<Inst> {
+        vec![
+            Inst::compute(Op::IntAlu, 10, Reg(1), [Reg::NONE; 3]),
+            Inst::memory(
+                Op::Load,
+                11,
+                Reg(2),
+                [Reg(1), Reg::NONE, Reg::NONE],
+                MemRef {
+                    addr: 0x1000,
+                    size: 8,
+                    kind: MemKind::Load,
+                },
+            ),
+            Inst::control(
+                Op::Branch,
+                12,
+                [Reg(2), Reg::NONE, Reg::NONE],
+                BranchInfo::cond(true, true),
+            ),
+            Inst::memory(
+                Op::Store,
+                13,
+                Reg::NONE,
+                [Reg(1), Reg(2), Reg::NONE],
+                MemRef {
+                    addr: 0xffff_ffff_0008,
+                    size: 64,
+                    kind: MemKind::BlockStore,
+                },
+            ),
+            Inst::control(
+                Op::Ret,
+                14,
+                [Reg::NONE; 3],
+                BranchInfo::linkage(BranchKind::Ret, 0xdead),
+            ),
+            Inst::compute(Op::VisPdist, 15, Reg(3), [Reg(1), Reg(2), Reg(3)]),
+        ]
+    }
+
+    #[test]
+    fn replay_reproduces_the_pushed_stream_exactly() {
+        let stream = sample_stream();
+        let mut rec = Recorded::new();
+        for &i in &stream {
+            rec.push(i);
+        }
+        assert_eq!(rec.len(), stream.len());
+        let mut out = Collect::default();
+        rec.replay(&mut out);
+        assert_eq!(out.0, stream);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut rec = Recorded::new();
+        for &i in &sample_stream() {
+            rec.push(i);
+        }
+        let bytes = rec.encode("conv.v-.abc");
+        let back = Recorded::decode(&bytes, "conv.v-.abc").expect("decodes");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn decode_rejects_corruption_wrong_key_and_wrong_version() {
+        let mut rec = Recorded::new();
+        for &i in &sample_stream() {
+            rec.push(i);
+        }
+        let good = rec.encode("k");
+        assert!(Recorded::decode(&good, "other").is_err(), "key mismatch");
+        for truncate_at in [0, 3, 10, good.len() - 1] {
+            assert!(
+                Recorded::decode(&good[..truncate_at], "k").is_err(),
+                "truncation at {truncate_at}"
+            );
+        }
+        // Flip one byte anywhere: the checksum must catch it.
+        for ix in [4, 20, good.len() / 2, good.len() - 2] {
+            let mut bad = good.clone();
+            bad[ix] ^= 0x40;
+            assert!(Recorded::decode(&bad, "k").is_err(), "flip at {ix}");
+        }
+    }
+
+    #[test]
+    fn every_code_table_round_trips() {
+        for (ix, &op) in OP_TABLE.iter().enumerate() {
+            assert_eq!(op_code(op), ix as u8);
+            assert_eq!(op_from_code(ix as u8).unwrap(), op);
+        }
+        assert!(op_from_code(OP_TABLE.len() as u8).is_err());
+        for (ix, &k) in MEM_KIND_TABLE.iter().enumerate() {
+            assert_eq!(mem_kind_from_code(mem_kind_code(k)).unwrap(), k);
+            assert_eq!(ix as u8, mem_kind_code(k));
+        }
+        assert!(mem_kind_from_code(MEM_KIND_TABLE.len() as u8).is_err());
+        for &k in &BRANCH_KIND_TABLE {
+            assert_eq!(branch_kind_from_code(branch_kind_code(k)).unwrap(), k);
+        }
+        assert!(branch_kind_from_code(BRANCH_KIND_TABLE.len() as u8).is_err());
+    }
+
+    #[test]
+    fn recorder_poisons_past_its_budget_and_drops_the_buffer() {
+        let mut r = Recorder::new(200);
+        for i in 0..100 {
+            r.push(Inst::compute(Op::IntAlu, i, Reg(i as u32), [Reg::NONE; 3]));
+        }
+        assert!(r.is_poisoned());
+        assert!(r.finish().is_none());
+
+        let mut ok = Recorder::new(1 << 20);
+        ok.push(Inst::compute(Op::IntAlu, 1, Reg(1), [Reg::NONE; 3]));
+        assert!(!ok.is_poisoned());
+        assert_eq!(ok.finish().expect("under budget").len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_encodes_and_replays() {
+        let rec = Recorded::new();
+        let bytes = rec.encode("empty");
+        let back = Recorded::decode(&bytes, "empty").unwrap();
+        assert!(back.is_empty());
+        let mut out = Collect::default();
+        back.replay(&mut out);
+        assert!(out.0.is_empty());
+    }
+}

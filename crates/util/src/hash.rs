@@ -1,0 +1,41 @@
+//! FNV-1a hashing: a tiny, stable, dependency-free 64-bit hash.
+//!
+//! Used wherever the workspace needs a digest that must be identical
+//! across processes and builds — trace-cache keys derived from workload
+//! geometry, and the integrity checksum of on-disk trace files. (Rust's
+//! `DefaultHasher` is explicitly unstable across releases, so it cannot
+//! key an on-disk format.)
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash `bytes` with 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values from the FNV specification (Noll).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn sensitive_to_order_and_length() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ab\0"));
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`error`] — [`SimError`], the typed fault model threaded through
 //!   the pipeline watchdog, the memory-model invariant checks and the
 //!   experiment runners;
+//! * [`hash`] — stable 64-bit FNV-1a hashing for digests that must
+//!   agree across processes and builds (trace-cache keys, on-disk
+//!   trace checksums);
 //! * [`pool`] — a scoped worker pool with a bounded job queue (replaces
 //!   `rayon`) for the parallel experiment executor; it also records
 //!   per-job queue-wait and run wall-clock plus queue-depth samples,
@@ -23,9 +26,11 @@
 
 pub mod bench;
 pub mod error;
+pub mod hash;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use error::SimError;
+pub use hash::fnv1a64;
 pub use rng::Rng;

@@ -4,11 +4,20 @@
 # the repo's perf-trajectory baseline (EXPERIMENTS.md records the
 # before/after history).
 #
-# Usage:            scripts/bench.sh
-#   SIZE=tiny       workload size passed to every binary (default study)
-#   VISIM_JOBS=N    worker count for the experiment executor
-#                   (default: auto, one worker per core)
-#   BENCH_OUT=path  output JSON path (default BENCH_runtime.json)
+# Each binary is timed twice: a *cold* pass starting from a purged
+# on-disk trace cache (VISIM_TRACE_DIR, default target/trace-cache —
+# the harness deletes and repopulates it), then a *warm* pass that
+# replays every recorded stream from the cache. Both timings land in
+# the JSON (visim-bench-runtime-v3: seconds/exit plus
+# seconds_warm/exit_warm per binary, total_seconds plus
+# total_seconds_warm).
+#
+# Usage:                scripts/bench.sh
+#   SIZE=tiny           workload size passed to every binary (default study)
+#   VISIM_JOBS=N        worker count for the experiment executor
+#                       (default: auto, one worker per core)
+#   BENCH_OUT=path      output JSON path (default BENCH_runtime.json)
+#   VISIM_TRACE_DIR=dir on-disk trace cache location (purged at start)
 #
 # A degraded binary (nonzero exit, e.g. under VISIM_FAIL_BENCH) is still
 # timed and recorded with its exit status; the harness itself only fails
@@ -19,6 +28,7 @@ cd "$(dirname "$0")/.."
 SIZE="${SIZE:-study}"
 OUT="${BENCH_OUT:-BENCH_runtime.json}"
 BINARIES=(fig1 fig2 fig3 sweep_l1 sweep_l2 kernels14 ablation tables)
+export VISIM_TRACE_DIR="${VISIM_TRACE_DIR:-target/trace-cache}"
 
 echo "== build (release, offline, workspace) =="
 # --workspace: a plain root build only covers the root package and its
@@ -29,24 +39,45 @@ cores=$(nproc 2>/dev/null || echo 1)
 jobs="${VISIM_JOBS:-auto}"
 git_rev=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 
-echo "== timing (size=$SIZE, jobs=$jobs, cores=$cores) =="
-rows=""
+# One timing pass over every binary; appends to the named seconds/exit
+# arrays and adds to the named total.
+time_pass() {
+  local -n secs_out=$1 exit_out=$2
+  local total_var=$3
+  local bin start end status secs
+  for bin in "${BINARIES[@]}"; do
+    start=$(date +%s%N)
+    status=0
+    ./target/release/"$bin" "$SIZE" >/dev/null 2>&1 || status=$?
+    end=$(date +%s%N)
+    secs=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
+    printf -v "$total_var" '%s' \
+      "$(awk -v t="${!total_var}" -v s="$secs" 'BEGIN{printf "%.3f", t+s}')"
+    printf '%-10s %8ss  (exit %d)\n' "$bin" "$secs" "$status"
+    secs_out+=("$secs")
+    exit_out+=("$status")
+  done
+}
+
+echo "== timing pass 1/2: cold trace cache (size=$SIZE, jobs=$jobs, cores=$cores) =="
+rm -rf "${VISIM_TRACE_DIR:?}"
+cold_secs=() cold_exit=() warm_secs=() warm_exit=()
 total=0
-for bin in "${BINARIES[@]}"; do
-  start=$(date +%s%N)
-  status=0
-  ./target/release/"$bin" "$SIZE" >/dev/null 2>&1 || status=$?
-  end=$(date +%s%N)
-  secs=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
-  total=$(awk -v t="$total" -v s="$secs" 'BEGIN{printf "%.3f", t+s}')
-  printf '%-10s %8ss  (exit %d)\n' "$bin" "$secs" "$status"
+time_pass cold_secs cold_exit total
+
+echo "== timing pass 2/2: warm trace cache =="
+total_warm=0
+time_pass warm_secs warm_exit total_warm
+
+rows=""
+for i in "${!BINARIES[@]}"; do
   [ -n "$rows" ] && rows+=$',\n'
-  rows+="    {\"name\": \"$bin\", \"seconds\": $secs, \"exit\": $status}"
+  rows+="    {\"name\": \"${BINARIES[$i]}\", \"seconds\": ${cold_secs[$i]}, \"exit\": ${cold_exit[$i]}, \"seconds_warm\": ${warm_secs[$i]}, \"exit_warm\": ${warm_exit[$i]}}"
 done
 
 cat > "$OUT" <<EOF
 {
-  "schema": "visim-bench-runtime-v2",
+  "schema": "visim-bench-runtime-v3",
   "git_rev": "$git_rev",
   "size": "$SIZE",
   "jobs": "$jobs",
@@ -54,11 +85,12 @@ cat > "$OUT" <<EOF
   "binaries": [
 $rows
   ],
-  "total_seconds": $total
+  "total_seconds": $total,
+  "total_seconds_warm": $total_warm
 }
 EOF
 
-echo "== total ${total}s; wrote $OUT =="
+echo "== total ${total}s cold, ${total_warm}s warm; wrote $OUT =="
 
 # The timing loop above regenerated results/json/ as a side effect, so
 # the fidelity gate runs against exactly what was just measured.

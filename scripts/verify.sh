@@ -42,4 +42,27 @@ test -s "$fidelity_dir/results/trace/blend.ooo-vis.trace.json"
 (cd "$fidelity_dir" && "$OLDPWD/target/release/pipetrace" --attribution tiny >/dev/null)
 ./target/release/validate "$fidelity_dir/results/json"
 
+echo "== replay-equivalence gate (tiny) =="
+# The trace cache records each dynamic instruction stream once and
+# replays it per configuration; text output must be byte-identical to
+# direct emission. Run cached (with an on-disk spill) vs direct and
+# diff the reports.
+replay_dir="$fidelity_dir/replay"
+tdir="$replay_dir/trace-cache"
+mkdir -p "$replay_dir/cached" "$replay_dir/direct"
+for bin in fig1 sweep_l1; do
+  (cd "$replay_dir/cached" && VISIM_TRACE_DIR="$tdir" \
+    "$OLDPWD/target/release/$bin" tiny > "../$bin.cached.txt")
+  (cd "$replay_dir/direct" && VISIM_NO_TRACE_CACHE=1 \
+    "$OLDPWD/target/release/$bin" tiny > "../$bin.direct.txt")
+  diff "$replay_dir/$bin.cached.txt" "$replay_dir/$bin.direct.txt"
+done
+# A corrupted on-disk trace must be purged and re-recorded, not fail
+# the run or change its output.
+victim=$(ls "$tdir"/*.vtrc | head -1)
+printf 'garbage' >> "$victim"
+(cd "$replay_dir/cached" && VISIM_TRACE_DIR="$tdir" \
+  "$OLDPWD/target/release/fig1" tiny > "../fig1.healed.txt" 2>/dev/null)
+diff "$replay_dir/fig1.cached.txt" "$replay_dir/fig1.healed.txt"
+
 echo "verify: OK"
