@@ -132,33 +132,63 @@ fn main() {
     // One job per kernel (each job is two counted and two timed runs),
     // fanned out over the experiment worker pool; the row order is the
     // input order, so the table is identical for any worker count.
+    // Each run goes through the store-aware custom-cell runners, so
+    // this appendix binary gets the same crash-safe resume, retry, and
+    // fault-injection coverage as the registry-driven figures.
     let results = visim::experiment::run_parallel(
         KernelId::all()
             .iter()
             .map(|&k| {
                 let size = &size;
-                move || {
+                move || -> Result<_, visim_util::SimError> {
                     let (w, h) = (size.image_w, size.image_h);
-                    let mut counted = Vec::new();
-                    for v in [Variant::SCALAR, Variant::VIS] {
-                        let mut sink = CountingSink::new();
-                        {
-                            let mut p = Program::new(&mut sink);
-                            drive(&mut p, k, w, h, v);
-                        }
-                        counted.push(sink.finish());
-                    }
-                    let vis = counted.pop().expect("VIS counts");
-                    let base = counted.pop().expect("scalar counts");
-                    let ts = timed(k, w, h, Variant::SCALAR);
-                    let tv = timed(k, w, h, Variant::VIS);
-                    (base, vis, ts, tv)
+                    let counted_run = |v: Variant, vname: &str| {
+                        visim::experiment::try_custom_counted(
+                            &format!("k14.{}.{vname}", k.name()),
+                            size,
+                            || {
+                                let mut sink = CountingSink::new();
+                                {
+                                    let mut p = Program::new(&mut sink);
+                                    drive(&mut p, k, w, h, v);
+                                }
+                                Ok(sink.finish())
+                            },
+                        )
+                    };
+                    let base = counted_run(Variant::SCALAR, "base")?;
+                    let vis = counted_run(Variant::VIS, "vis")?;
+                    let cpu = CpuConfig::ooo_4way();
+                    let mem = MemConfig::default();
+                    let timed_run = |v: Variant, vname: &str| {
+                        visim::experiment::try_custom_timed(
+                            &format!("k14.{}.{vname}", k.name()),
+                            &cpu,
+                            &mem,
+                            size,
+                            || Ok(timed(k, w, h, v)),
+                        )
+                    };
+                    let ts = timed_run(Variant::SCALAR, "base")?;
+                    let tv = timed_run(Variant::VIS, "vis")?;
+                    Ok((base, vis, ts, tv))
                 }
             })
             .collect(),
     );
     let mut rows = Vec::new();
-    for (&k, (base, vis, ts, tv)) in KernelId::all().iter().zip(&results) {
+    for (&k, result) in KernelId::all().iter().zip(&results) {
+        let (base, vis, ts, tv) = match result {
+            Ok(cell) => cell,
+            Err(e) => {
+                out.fail(
+                    k.name(),
+                    e,
+                    artifact::failed_cell(k.name(), config(true, "any"), e),
+                );
+                continue;
+            }
+        };
         out.cell(artifact::counted_cell(
             k.name(),
             config(false, "base"),

@@ -22,8 +22,15 @@
 //! count, `VISIM_JOBS=1` is the serial reference path, and unset (or
 //! `0`) auto-detects one worker per core. Output is byte-identical for
 //! any worker count.
+//!
+//! Every binary is also crash-safe: finished cells persist in the
+//! content-addressed result store (`results/store/` by default, see
+//! `visim::store`), and `--resume` (or `VISIM_RESUME=1`) serves them
+//! back instead of re-simulating, producing byte-identical text output.
+//! `--no-store` opts out; `VISIM_FAULT` arms the deterministic
+//! fault-injection harness for testing the recovery paths.
 
-use std::io::{IsTerminal as _, Write as _};
+use std::io::IsTerminal as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -43,12 +50,18 @@ pub fn usage(bin: &str, about: &str) -> String {
     format!(
         "{bin}: {about}\n\
          \n\
-         Usage: {bin} [tiny|study|paper] [--no-trace-cache] [--trace-cache-mb N] [--help]\n\
+         Usage: {bin} [tiny|study|paper] [--resume] [--no-store] [--store-dir D]\n\
+         \x20         [--no-trace-cache] [--trace-cache-mb N] [--help]\n\
          \n\
          Sizes:\n\
          \x20 tiny    smallest inputs; seconds, used by tests and CI\n\
          \x20 study   scaled-down geometry documented in DESIGN.md (default)\n\
          \x20 paper   full 1024x640 / 352x240 geometry of the paper (slow)\n\
+         \n\
+         Result store (crash-safe resume; results are byte-identical either way):\n\
+         \x20 --resume             serve finished cells from the result store, simulate only misses\n\
+         \x20 --no-store           do not persist or serve per-cell results\n\
+         \x20 --store-dir D        result-store directory (default results/store)\n\
          \n\
          Trace cache (results are byte-identical with it on or off):\n\
          \x20 --no-trace-cache     emit every cell directly; no record/replay\n\
@@ -57,6 +70,10 @@ pub fn usage(bin: &str, about: &str) -> String {
          Environment:\n\
          \x20 VISIM_JOBS            worker count (1 = serial reference path; unset/0 = one per core)\n\
          \x20 VISIM_QUIET           set to 1 to silence the stderr progress heartbeat\n\
+         \x20 VISIM_RESUME          set to 1 to resume from the result store (same as --resume)\n\
+         \x20 VISIM_NO_STORE        set to 1 to disable the result store (same as --no-store)\n\
+         \x20 VISIM_STORE_DIR       result-store directory (flag takes precedence)\n\
+         \x20 VISIM_FAULT           inject deterministic faults, e.g. cell.transient:conv:0 (see EXPERIMENTS.md)\n\
          \x20 VISIM_NO_TRACE_CACHE  set to 1 to disable the trace cache (same as the flag)\n\
          \x20 VISIM_TRACE_MB        resident trace budget in MB (flag takes precedence)\n\
          \x20 VISIM_TRACE_DIR       directory for the on-disk trace spill (unset = memory only)\n\
@@ -69,10 +86,15 @@ pub fn usage(bin: &str, about: &str) -> String {
 /// argument (defaults to `study`), the trace-cache flags
 /// (`--no-trace-cache`, `--trace-cache-mb N` — applied to the
 /// process-wide [`visim::trace_cache`] before any simulation runs),
-/// plus `--help`/`-h`. Returns the size label alongside the geometry
-/// (the label goes into the JSON artifact's `"size"` member). Unknown
-/// or malformed arguments print the usage text to stderr and exit 2.
+/// the result-store flags (`--resume`, `--no-store`, `--store-dir D` —
+/// applied to [`visim::store`]), plus `--help`/`-h`. Installs
+/// `results/store` as the default store directory, which is why only
+/// the binaries (never library unit tests) persist cells. Returns the
+/// size label alongside the geometry (the label goes into the JSON
+/// artifact's `"size"` member). Unknown or malformed arguments print
+/// the usage text to stderr and exit 2.
 pub fn parse_size_args(bin: &str, about: &str) -> (&'static str, WorkloadSize) {
+    visim::store::set_default_dir("results/store");
     let bad = |msg: String| -> ! {
         eprintln!("{msg}");
         eprintln!("\n{}", usage(bin, about));
@@ -86,6 +108,14 @@ pub fn parse_size_args(bin: &str, about: &str) -> (&'static str, WorkloadSize) {
                 println!("{}", usage(bin, about));
                 std::process::exit(0);
             }
+            "--resume" => visim::store::set_cli_resume(),
+            "--no-store" => visim::store::set_cli_disabled(),
+            "--store-dir" => match args.next() {
+                Some(d) if !d.is_empty() && !d.starts_with('-') => {
+                    visim::store::set_cli_dir(&d);
+                }
+                _ => bad("--store-dir expects a directory path".into()),
+            },
             "--no-trace-cache" => visim::trace_cache::set_cli_disabled(),
             "--trace-cache-mb" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(mb) if mb >= 1 => visim::trace_cache::set_cli_budget_mb(mb),
@@ -201,6 +231,11 @@ impl Report {
     /// and the JSON artifact) at workload size `size_label`.
     pub fn new(name: &'static str, size_label: &str) -> Self {
         install_heartbeat(name);
+        if let Some(prior) = visim::journal::begin(name, size_label) {
+            if visim::store::resume() {
+                eprintln!("{name}: resuming; journal records {prior} previously completed cell(s)");
+            }
+        }
         Report {
             name,
             buf: String::new(),
@@ -312,6 +347,7 @@ impl Report {
                 eprintln!("could not write JSON artifact to {json_path}: {e}");
             }
         }
+        visim::journal::finish(self.failures.len() as u64);
         if self.failures.is_empty() {
             std::process::exit(0);
         }
@@ -342,23 +378,15 @@ fn sanitize(label: &str) -> String {
         .collect()
 }
 
-/// Write `bytes` to `path` atomically: create the parent directory,
-/// write a process-unique temp file, then rename it into place. Readers
-/// (and concurrent writers of the same path) see either the old
-/// complete file or the new complete file, never a mix.
+/// Write `bytes` to `path` atomically. Delegates to the workspace-wide
+/// write path ([`visim_util::atomic::write_atomic`]) so every durable
+/// artifact — JSON documents, partial-failure droppings, result-store
+/// cells, trace spills — lands through the same temp-file, `sync_all`,
+/// rename discipline. Readers (and concurrent writers of the same path)
+/// see either the old complete file or the new complete file, never a
+/// mix.
 pub fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
-    if let Some(parent) = std::path::Path::new(path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let tmp = format!("{path}.{}.tmp", std::process::id());
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
+    visim_util::atomic::write_atomic(path, bytes)
 }
 
 #[cfg(test)]
@@ -426,6 +454,13 @@ mod tests {
             "--trace-cache-mb",
             "VISIM_JOBS",
             "VISIM_QUIET",
+            "--resume",
+            "--no-store",
+            "--store-dir",
+            "VISIM_RESUME",
+            "VISIM_NO_STORE",
+            "VISIM_STORE_DIR",
+            "VISIM_FAULT",
             "VISIM_NO_TRACE_CACHE",
             "VISIM_TRACE_MB",
             "VISIM_TRACE_DIR",

@@ -20,6 +20,7 @@
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -29,10 +30,12 @@ use visim_mem::MemConfig;
 use visim_obs::trace::{Trace, TraceRing};
 use visim_obs::Registry;
 use visim_trace::{Recorded, Recorder};
-use visim_util::{pool, SimError};
+use visim_util::{fault, pool, SimError};
 
 use crate::bench::{Bench, WorkloadSize};
 use crate::config::Arch;
+use crate::journal;
+use crate::store;
 use crate::trace_cache;
 
 /// Environment variable naming a benchmark that must fail: fault
@@ -83,9 +86,11 @@ pub fn set_progress_observer(obs: Option<ProgressObserver>) {
     *PROGRESS.lock().expect("progress observer lock") = obs;
 }
 
-/// Take (and reset) the pool metrics accumulated so far, merged with a
-/// snapshot of the trace-cache counters (`trace_cache.*`). Returns the
-/// cache snapshot alone when no parallel work has run.
+/// Take (and reset) the pool metrics accumulated so far, merged with
+/// snapshots of the trace-cache counters (`trace_cache.*`), the result
+/// store counters (`store.*`), the fault-injection counters
+/// (`fault.*`), and the per-cell retry counters (`retry.*`). Returns
+/// the snapshots alone when no parallel work has run.
 pub fn drain_pool_metrics() -> Registry {
     let mut reg = POOL_METRICS
         .lock()
@@ -93,6 +98,11 @@ pub fn drain_pool_metrics() -> Registry {
         .take()
         .unwrap_or_default();
     trace_cache::export_metrics(&mut reg);
+    store::export_metrics(&mut reg);
+    fault::export_metrics(&mut reg);
+    reg.set("retry.attempts", RETRY_ATTEMPTS.load(Ordering::Relaxed));
+    reg.set("retry.recovered", RETRY_RECOVERED.load(Ordering::Relaxed));
+    reg.set("retry.exhausted", RETRY_EXHAUSTED.load(Ordering::Relaxed));
     reg
 }
 
@@ -119,6 +129,109 @@ where
     results
 }
 
+/// Per-cell retry policy: a cell whose attempt fails with a
+/// *transient* fault (see [`SimError::is_transient`]) is retried up to
+/// this many attempts with a short exponential backoff. Deterministic
+/// errors — workload panics, invariant violations, cycle-budget
+/// exhaustion — fail fast on the first attempt: re-running them would
+/// reproduce the same failure and waste the budget.
+const MAX_ATTEMPTS: u32 = 3;
+
+static RETRY_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+static RETRY_RECOVERED: AtomicU64 = AtomicU64::new(0);
+static RETRY_EXHAUSTED: AtomicU64 = AtomicU64::new(0);
+
+/// Run one cell attempt function under the retry policy. The attempt
+/// number is passed in so the `cell.transient` fault point can be
+/// scoped to a specific attempt (`VISIM_FAULT=cell.transient:conv:0`
+/// fires on attempt 0 and heals on the retry — the recovery path the
+/// fault gate exercises).
+fn with_retry<T>(mut attempt_fn: impl FnMut(u32) -> Result<T, SimError>) -> Result<T, SimError> {
+    let mut attempt = 0u32;
+    loop {
+        match attempt_fn(attempt) {
+            Ok(v) => {
+                if attempt > 0 {
+                    RETRY_RECOVERED.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(v);
+            }
+            Err(e) if e.is_transient() && attempt + 1 < MAX_ATTEMPTS => {
+                RETRY_ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1u64 << attempt));
+                attempt += 1;
+            }
+            Err(e) => {
+                if e.is_transient() {
+                    RETRY_EXHAUSTED.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// The crash-safety wrapper every store-eligible cell runs through.
+///
+/// On a resume run, a valid store entry under `key` short-circuits the
+/// simulation entirely — including entries with `status: failed`, whose
+/// recorded deterministic error is re-raised so a resumed run renders
+/// the same error row without re-running a known failure. Otherwise the
+/// cell computes under the retry policy (with the `cell.transient`
+/// fault point armed per attempt) and the outcome — success or
+/// deterministic failure, never a transient one — is persisted
+/// atomically and journaled.
+fn run_cell<T: Clone>(
+    key: Option<store::CellKey>,
+    tag: &str,
+    compute: impl Fn() -> Result<T, SimError>,
+    to_entry: impl Fn(&T) -> store::Entry,
+    from_entry: impl Fn(store::Entry) -> Option<T>,
+) -> Result<(T, bool), SimError> {
+    if let Some(key) = key.as_ref().filter(|_| store::resume()) {
+        match store::load(key) {
+            Some(store::Entry::Failed(e)) => {
+                journal::record(key, "stored-failed");
+                return Err(e);
+            }
+            Some(entry) => {
+                if let Some(v) = from_entry(entry) {
+                    journal::record(key, "stored");
+                    return Ok((v, true));
+                }
+            }
+            None => {}
+        }
+    }
+    let result = with_retry(|attempt| {
+        fault::trip_transient("cell.transient", &format!("{tag}:{attempt}"))?;
+        compute()
+    });
+    if let Some(key) = &key {
+        match &result {
+            Ok(v) => {
+                store::save(key, &to_entry(v));
+                journal::record(key, "ok");
+            }
+            Err(e) if !e.is_transient() => {
+                store::save(key, &store::Entry::Failed(e.clone()));
+                journal::record(key, "failed");
+            }
+            Err(_) => {}
+        }
+    }
+    result.map(|v| (v, false))
+}
+
+/// Fire the `cell.panic` fault point (keyed by benchmark/driver tag)
+/// inside the panic-catching boundary, so an injected panic takes the
+/// exact recovery path a real workload panic does.
+fn injected_panic(tag: &str) {
+    if fault::fires("cell.panic", tag) {
+        panic!("fault injected: cell.panic at {tag}");
+    }
+}
+
 fn injected_fault(bench: Bench) -> Result<(), SimError> {
     if std::env::var(FAIL_BENCH_ENV).as_deref() == Ok(bench.name()) {
         return Err(SimError::Workload {
@@ -131,6 +244,12 @@ fn injected_fault(bench: Bench) -> Result<(), SimError> {
 
 /// Run `f`, converting a workload panic into `SimError::Workload`.
 fn catch_workload<R>(bench: Bench, f: impl FnOnce() -> R) -> Result<R, SimError> {
+    catch_workload_named(bench.name(), f)
+}
+
+/// [`catch_workload`] for drivers outside the benchmark registry
+/// (`tag` stands in for the benchmark name in the error).
+fn catch_workload_named<R>(tag: &str, f: impl FnOnce() -> R) -> Result<R, SimError> {
     catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
         let detail = if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
@@ -140,7 +259,7 @@ fn catch_workload<R>(bench: Bench, f: impl FnOnce() -> R) -> Result<R, SimError>
             "non-string panic payload".to_string()
         };
         SimError::Workload {
-            bench: bench.name().to_string(),
+            bench: tag.to_string(),
             detail,
         }
     })
@@ -252,16 +371,92 @@ pub fn try_run_timed_cfg(
     size: &WorkloadSize,
     variant: Variant,
 ) -> Result<Summary, SimError> {
-    injected_fault(bench)?;
-    let t0 = Instant::now();
-    let stream = obtain_stream(bench, size, variant)?;
-    let emit = t0.elapsed();
-    let t1 = Instant::now();
-    let mut pipe = Pipeline::new(cpu, mem);
-    feed(bench, size, variant, &stream, &mut pipe)?;
-    let mut summary = pipe.try_finish()?;
-    stamp_cell_metrics(&mut summary.metrics, emit, t1.elapsed(), &stream);
+    let key = store::timed_key(bench.name(), &cpu, &mem, size, variant);
+    let (mut summary, from_store) = run_cell(
+        key,
+        bench.name(),
+        || {
+            injected_fault(bench)?;
+            catch_workload(bench, || injected_panic(bench.name()))?;
+            let t0 = Instant::now();
+            let stream = obtain_stream(bench, size, variant)?;
+            let emit = t0.elapsed();
+            let t1 = Instant::now();
+            let mut pipe = Pipeline::new(cpu.clone(), mem.clone());
+            feed(bench, size, variant, &stream, &mut pipe)?;
+            let mut summary = pipe.try_finish()?;
+            stamp_cell_metrics(&mut summary.metrics, emit, t1.elapsed(), &stream);
+            Ok(summary)
+        },
+        |s| store::Entry::Timed(Box::new(s.clone())),
+        |e| match e {
+            store::Entry::Timed(s) => Some(*s),
+            _ => None,
+        },
+    )?;
+    summary.metrics.set("cell.store_hit", u64::from(from_store));
     Ok(summary)
+}
+
+/// A store-aware detailed-timing cell for drivers outside the
+/// [`Bench`] registry (the appendix `kernels14` binary). `tag` must
+/// identify the workload and code variant; the machine configuration
+/// and workload geometry are folded into the content address here.
+/// `compute` gets the full crash-safety treatment: resume lookup, the
+/// `cell.panic`/`cell.transient` fault points, bounded retry, and an
+/// atomic store write of the outcome.
+pub fn try_custom_timed(
+    tag: &str,
+    cpu: &CpuConfig,
+    mem: &MemConfig,
+    size: &WorkloadSize,
+    compute: impl Fn() -> Result<Summary, SimError>,
+) -> Result<Summary, SimError> {
+    let key = store::custom_timed_key(tag, cpu, mem, size);
+    let (mut summary, from_store) = run_cell(
+        key,
+        tag,
+        || {
+            catch_workload_named(tag, || {
+                injected_panic(tag);
+                compute()
+            })
+            .and_then(|r| r)
+        },
+        |s| store::Entry::Timed(Box::new(s.clone())),
+        |e| match e {
+            store::Entry::Timed(s) => Some(*s),
+            _ => None,
+        },
+    )?;
+    summary.metrics.set("cell.store_hit", u64::from(from_store));
+    Ok(summary)
+}
+
+/// The counting-cell counterpart of [`try_custom_timed`].
+pub fn try_custom_counted(
+    tag: &str,
+    size: &WorkloadSize,
+    compute: impl Fn() -> Result<CpuStats, SimError>,
+) -> Result<CpuStats, SimError> {
+    let key = store::custom_counted_key(tag, size);
+    run_cell(
+        key,
+        tag,
+        || {
+            catch_workload_named(tag, || {
+                injected_panic(tag);
+                compute()
+            })
+            .and_then(|r| r)
+        },
+        |c| store::Entry::Counted(c.clone()),
+        |e| match e {
+            store::Entry::Counted(c) => Some(c),
+            _ => None,
+        },
+    )
+    .map(|(c, _)| c)
 }
 
 /// Run one benchmark through the detailed timing model with
@@ -330,10 +525,26 @@ pub fn try_run_counted(
     size: &WorkloadSize,
     variant: Variant,
 ) -> Result<CpuStats, SimError> {
-    injected_fault(bench)?;
-    let mut sink = CountingSink::new();
-    catch_workload(bench, || bench.run(&mut sink, size, variant))?;
-    Ok(sink.finish())
+    let key = store::counted_key(bench.name(), size, variant);
+    run_cell(
+        key,
+        bench.name(),
+        || {
+            injected_fault(bench)?;
+            let mut sink = CountingSink::new();
+            catch_workload(bench, || {
+                injected_panic(bench.name());
+                bench.run(&mut sink, size, variant)
+            })?;
+            Ok(sink.finish())
+        },
+        |c| store::Entry::Counted(c.clone()),
+        |e| match e {
+            store::Entry::Counted(c) => Some(c),
+            _ => None,
+        },
+    )
+    .map(|(c, _)| c)
 }
 
 /// Run one benchmark through the functional counter (fast; used for the

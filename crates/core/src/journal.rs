@@ -1,0 +1,148 @@
+//! Append-only run journal: a line-per-cell completion log beside the
+//! result store.
+//!
+//! The store (see [`crate::store`]) already makes every finished cell
+//! durable; the journal adds the *run-level* record — which cells a
+//! named run completed, in what order, with what status — so a resumed
+//! run can report how much prior progress it found, and a post-mortem
+//! can see exactly where a crashed run stopped.
+//!
+//! Format: one file per run at `<store>/journal/<name>.<size>.jnl`,
+//! plain text, one line per event:
+//!
+//! ```text
+//! # visim-journal-v1 run=fig1 size=tiny rev=<git rev>
+//! <fnv of line body>|cell|<status>|<cell key text>
+//! <fnv of line body>|end|ok|failures=0
+//! ```
+//!
+//! Each line carries a leading FNV-1a checksum of its body, so the torn
+//! final line a SIGKILL can leave behind is detected and ignored on
+//! read-back — the journal follows the same never-trust discipline as
+//! the store, just line-wise instead of file-wise. The journal is
+//! informational: resume correctness comes from the store's
+//! content-addressed lookups, never from journal replay.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use visim_util::fnv1a64;
+
+use crate::store;
+
+/// Journal file format tag (the header line's first token).
+pub const JOURNAL_SCHEMA: &str = "visim-journal-v1";
+
+struct Journal {
+    file: std::fs::File,
+}
+
+static ACTIVE: Mutex<Option<Journal>> = Mutex::new(None);
+
+fn journal_path(name: &str, size: &str) -> Option<PathBuf> {
+    let dir = store::dir()?;
+    Some(
+        std::path::Path::new(&dir)
+            .join("journal")
+            .join(format!("{name}.{size}.jnl")),
+    )
+}
+
+fn checksummed(body: &str) -> String {
+    format!("{:016x}|{body}\n", fnv1a64(body.as_bytes()))
+}
+
+/// Parse one journal line, returning its body when the checksum holds.
+fn valid_body(line: &str) -> Option<&str> {
+    let (sum, body) = line.split_once('|')?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    (sum == fnv1a64(body.as_bytes())).then_some(body)
+}
+
+/// Open the journal for run `name` at workload `size`. No-op unless the
+/// store is enabled. A fresh run truncates any previous journal; a
+/// resumed run appends, and the count of valid prior `cell` lines is
+/// returned so the caller can report recovered progress.
+pub fn begin(name: &str, size: &str) -> Option<u64> {
+    if !store::enabled() {
+        return None;
+    }
+    let path = journal_path(name, size)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok()?;
+    }
+    let resuming = store::resume();
+    let prior = if resuming {
+        std::fs::read_to_string(&path)
+            .map(|text| {
+                text.lines()
+                    .filter_map(valid_body)
+                    .filter(|b| b.starts_with("cell|"))
+                    .count() as u64
+            })
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(resuming)
+        .write(true)
+        .truncate(!resuming)
+        .open(&path)
+        .ok()?;
+    let header = format!(
+        "# {JOURNAL_SCHEMA} run={name} size={size} rev={}{}",
+        store::recorded_rev(),
+        if resuming { " resumed" } else { "" }
+    );
+    file.write_all(checksummed(&header).as_bytes()).ok()?;
+    file.flush().ok()?;
+    *ACTIVE.lock().expect("journal lock") = Some(Journal { file });
+    Some(prior)
+}
+
+/// Record one completed cell (status `ok`, `failed`, or `stored` for a
+/// cell served from the result store). Flushed per line so the journal
+/// survives a crash up to the last finished cell.
+pub fn record(key: &store::CellKey, status: &str) {
+    let mut guard = ACTIVE.lock().expect("journal lock");
+    if let Some(j) = guard.as_mut() {
+        let line = checksummed(&format!("cell|{status}|{}", key.text()));
+        let _ = j.file.write_all(line.as_bytes());
+        let _ = j.file.flush();
+    }
+}
+
+/// Close the journal with an end marker carrying the failure count.
+pub fn finish(failures: u64) {
+    let mut guard = ACTIVE.lock().expect("journal lock");
+    if let Some(mut j) = guard.take() {
+        let status = if failures == 0 { "ok" } else { "failed" };
+        let line = checksummed(&format!("end|{status}|failures={failures}"));
+        let _ = j.file.write_all(line.as_bytes());
+        let _ = j.file.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksummed_lines_round_trip_and_torn_lines_are_ignored() {
+        let line = checksummed("cell|ok|timed|conv|v-|tiny");
+        let body = valid_body(line.trim_end()).expect("valid line accepted");
+        assert_eq!(body, "cell|ok|timed|conv|v-|tiny");
+        // A torn tail (truncated mid-line) fails the checksum.
+        let torn = &line[..line.len() - 4];
+        assert_eq!(valid_body(torn.trim_end()), None);
+        // A flipped byte in the body fails too.
+        let flipped = line.replace("ok", "ok!");
+        assert_eq!(valid_body(flipped.trim_end()), None);
+        // Garbage without a delimiter is rejected, not a panic.
+        assert_eq!(valid_body("no-delimiter-here"), None);
+        assert_eq!(valid_body(""), None);
+    }
+}

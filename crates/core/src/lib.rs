@@ -19,6 +19,12 @@
 //! * [`trace_cache`] — the record-once/replay-many stream cache the
 //!   runners use to avoid re-emitting the same dynamic instruction
 //!   stream for every machine configuration;
+//! * [`store`] — the journaled content-addressed result store behind
+//!   crash-safe `--resume` runs: finished cells (successes *and*
+//!   deterministic failures) persist atomically and are served back
+//!   instead of re-simulated;
+//! * [`journal`] — the append-only run journal recording cell
+//!   completion order, used to report resume progress;
 //! * [`artifact`] — `visim-results-v1` JSON cell builders pairing each
 //!   text row with a machine-readable record (see `visim-obs`).
 //!
@@ -39,7 +45,9 @@ pub mod artifact;
 pub mod bench;
 pub mod config;
 pub mod experiment;
+pub mod journal;
 pub mod report;
+pub mod store;
 pub mod trace_cache;
 
 pub use bench::{Bench, WorkloadSize};

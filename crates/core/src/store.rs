@@ -1,0 +1,656 @@
+//! Content-addressed result store: the durability layer under the
+//! experiment engine.
+//!
+//! Every completed (benchmark × configuration) cell can be persisted as
+//! one file under the store directory and served back on a resumed run,
+//! so a crashed study loses at most the cells in flight — not the hours
+//! of finished simulation behind them. The design follows the
+//! trace-cache's on-disk discipline (`.vtrc`): versioned framing, a
+//! trailing FNV-1a checksum, and purge-and-recompute on any validation
+//! failure — never trust, never crash.
+//!
+//! * **Keying.** A cell's identity is the full text
+//!   `"<kind>|<bench>|<variant>|<workload Debug>|cpu=<CpuConfig Debug>|
+//!   mem=<MemConfig Debug>"` — everything the simulation result depends
+//!   on. The file name carries `fnv1a64` of that text; the entry echoes
+//!   the full text so a hash collision (or renamed file) is detected on
+//!   load and treated as corruption.
+//! * **Freshness.** Each entry records the store format version, the
+//!   `visim-results-v1` schema tag, and the writing binary's git
+//!   revision. A mismatch on load means the entry was produced by
+//!   different code: it is *purged and recomputed*
+//!   (`store.stale_purged`), never served — a stale cell that parses is
+//!   more dangerous than a torn one.
+//! * **Atomicity.** Writes land via `visim_util::atomic::write_atomic`
+//!   (temp file + `sync_all` + rename), so a SIGKILL mid-write leaves
+//!   either the old complete entry or the new complete entry. The
+//!   `store.write.torn` fault point bypasses exactly this discipline to
+//!   prove the checksum catches the resulting tear.
+//! * **Failed cells too.** A deterministic `SimError` is stored with
+//!   `status: failed` and served back on resume, reproducing the
+//!   original error row byte-for-byte instead of re-running a known
+//!   failure. Transient (retryable) faults are never stored.
+//!
+//! The store is enabled whenever a directory is configured —
+//! `VISIM_STORE_DIR`, or the binaries' default `results/store` — and
+//! not disabled via `--no-store`/`VISIM_NO_STORE=1`. Reads happen only
+//! on resume (`--resume`/`VISIM_RESUME=1`); writes happen on every
+//! run, which is what makes any run crash-safe by default.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use media_kernels::Variant;
+use visim_cpu::{CpuConfig, CpuStats, Summary};
+use visim_mem::MemConfig;
+use visim_obs::codec::{ByteReader, ByteWriter};
+use visim_obs::schema::RESULTS_SCHEMA;
+use visim_obs::Registry;
+use visim_util::{fault, fnv1a64, SimError};
+
+use crate::bench::WorkloadSize;
+
+/// Directory holding the store (unset + no CLI default = disabled).
+pub const STORE_DIR_ENV: &str = "VISIM_STORE_DIR";
+/// Set to `1` to serve finished cells from the store (same as
+/// `--resume`).
+pub const RESUME_ENV: &str = "VISIM_RESUME";
+/// Set to `1` to disable the store entirely (same as `--no-store`).
+pub const NO_STORE_ENV: &str = "VISIM_NO_STORE";
+/// Test hook: override the git revision recorded in (and expected of)
+/// store entries, so stale-entry handling is testable without rewriting
+/// history.
+pub const STORE_REV_ENV: &str = "VISIM_STORE_REV";
+
+/// On-disk entry format version; bump on any layout change so old
+/// entries are purged as stale instead of misread.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"VSTR";
+
+// CLI overrides, set by the binaries' shared arg parser before any
+// simulation runs.
+static CLI_RESUME: AtomicBool = AtomicBool::new(false);
+static CLI_DISABLE: AtomicBool = AtomicBool::new(false);
+static CLI_DIR: Mutex<Option<String>> = Mutex::new(None);
+static DEFAULT_DIR: Mutex<Option<String>> = Mutex::new(None);
+
+/// Serve finished cells from the store this run (the `--resume` flag).
+pub fn set_cli_resume() {
+    CLI_RESUME.store(true, Ordering::Relaxed);
+}
+
+/// Disable the store for this process (the `--no-store` flag).
+pub fn set_cli_disabled() {
+    CLI_DISABLE.store(true, Ordering::Relaxed);
+}
+
+/// Point the store at `dir` (the `--store-dir` flag; takes precedence
+/// over the environment).
+pub fn set_cli_dir(dir: &str) {
+    *CLI_DIR.lock().expect("store dir lock") = Some(dir.to_string());
+}
+
+/// Install the directory used when neither the flag nor the
+/// environment names one. The figure binaries install
+/// `results/store` here; library users (and unit tests) that never
+/// call the arg parser keep the store disabled and the working tree
+/// untouched.
+pub fn set_default_dir(dir: &str) {
+    *DEFAULT_DIR.lock().expect("store dir lock") = Some(dir.to_string());
+}
+
+/// The store directory: CLI flag, then `VISIM_STORE_DIR`, then the
+/// installed default. `None` disables the store.
+pub fn dir() -> Option<String> {
+    if let Some(d) = CLI_DIR.lock().expect("store dir lock").clone() {
+        return Some(d);
+    }
+    if let Ok(d) = std::env::var(STORE_DIR_ENV) {
+        if !d.is_empty() {
+            return Some(d);
+        }
+    }
+    DEFAULT_DIR.lock().expect("store dir lock").clone()
+}
+
+/// True when cells are persisted (a directory is configured and the
+/// store is not disabled).
+pub fn enabled() -> bool {
+    !CLI_DISABLE.load(Ordering::Relaxed)
+        && std::env::var(NO_STORE_ENV).as_deref() != Ok("1")
+        && dir().is_some()
+}
+
+/// True when finished cells are *served* from the store this run.
+pub fn resume() -> bool {
+    enabled()
+        && (CLI_RESUME.load(Ordering::Relaxed) || std::env::var(RESUME_ENV).as_deref() == Ok("1"))
+}
+
+/// The code revision recorded in (and demanded of) store entries:
+/// [`STORE_REV_ENV`] when set (tests), otherwise the git revision.
+/// Cached — it forks a `git` process — and rendered once per run.
+pub fn recorded_rev() -> &'static str {
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(|| {
+        std::env::var(STORE_REV_ENV).unwrap_or_else(|_| visim_obs::schema::git_rev())
+    })
+}
+
+/// What kind of payload a cell holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A detailed timing run: a full [`Summary`].
+    Timed,
+    /// A functional counting run: [`CpuStats`] only.
+    Counted,
+}
+
+impl Kind {
+    fn tag(self) -> u8 {
+        match self {
+            Kind::Timed => 0,
+            Kind::Counted => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, String> {
+        match tag {
+            0 => Ok(Kind::Timed),
+            1 => Ok(Kind::Counted),
+            other => Err(format!("unknown payload kind {other}")),
+        }
+    }
+}
+
+/// The content address of one experiment cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    kind: Kind,
+    /// The full identity text (see module docs); hashing it yields the
+    /// file name, echoing it in the entry defends against collisions.
+    text: String,
+    /// Filename-safe label prefix (benchmark name) for the entry file.
+    label: String,
+}
+
+impl CellKey {
+    /// The payload kind this key addresses.
+    pub fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    /// The full identity text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The content hash of the identity text.
+    pub fn hash(&self) -> u64 {
+        fnv1a64(self.text.as_bytes())
+    }
+
+    /// The entry's file name: `<label>.<kind>.<hash>.vcell`.
+    pub fn file_name(&self) -> String {
+        let kind = match self.kind {
+            Kind::Timed => "timed",
+            Kind::Counted => "counted",
+        };
+        format!(
+            "{}.{kind}.{:016x}.vcell",
+            sanitize(&self.label),
+            self.hash()
+        )
+    }
+
+    fn path(&self, dir: &str) -> std::path::PathBuf {
+        std::path::Path::new(dir).join(self.file_name())
+    }
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn variant_bits(variant: Variant) -> String {
+    format!(
+        "{}{}",
+        if variant.vis { 'v' } else { 's' },
+        if variant.prefetch { 'p' } else { '-' }
+    )
+}
+
+/// The key for a detailed timing cell, or `None` when the store is
+/// disabled. Everything the result depends on is folded in: benchmark,
+/// code variant, full workload geometry (seed included), and the
+/// complete machine configuration.
+pub fn timed_key(
+    bench: &str,
+    cpu: &CpuConfig,
+    mem: &MemConfig,
+    size: &WorkloadSize,
+    variant: Variant,
+) -> Option<CellKey> {
+    if !enabled() {
+        return None;
+    }
+    Some(CellKey {
+        kind: Kind::Timed,
+        text: format!(
+            "timed|{bench}|{}|{size:?}|cpu={cpu:?}|mem={mem:?}",
+            variant_bits(variant)
+        ),
+        label: bench.to_string(),
+    })
+}
+
+/// The key for a functional counting cell (no machine configuration —
+/// the counts depend only on the emitted stream), or `None` when the
+/// store is disabled.
+pub fn counted_key(bench: &str, size: &WorkloadSize, variant: Variant) -> Option<CellKey> {
+    if !enabled() {
+        return None;
+    }
+    Some(CellKey {
+        kind: Kind::Counted,
+        text: format!("counted|{bench}|{}|{size:?}", variant_bits(variant)),
+        label: bench.to_string(),
+    })
+}
+
+/// A timed-cell key for a driver outside the [`crate::bench::Bench`]
+/// registry (the appendix `kernels14` binary drives kernels directly).
+/// `tag` must identify the workload and variant; machine configuration
+/// and geometry are folded in here.
+pub fn custom_timed_key(
+    tag: &str,
+    cpu: &CpuConfig,
+    mem: &MemConfig,
+    size: &WorkloadSize,
+) -> Option<CellKey> {
+    if !enabled() {
+        return None;
+    }
+    Some(CellKey {
+        kind: Kind::Timed,
+        text: format!("timed|{tag}|{size:?}|cpu={cpu:?}|mem={mem:?}"),
+        label: tag.to_string(),
+    })
+}
+
+/// A counted-cell key for a driver outside the benchmark registry.
+pub fn custom_counted_key(tag: &str, size: &WorkloadSize) -> Option<CellKey> {
+    if !enabled() {
+        return None;
+    }
+    Some(CellKey {
+        kind: Kind::Counted,
+        text: format!("counted|{tag}|{size:?}"),
+        label: tag.to_string(),
+    })
+}
+
+/// A stored cell: the completed payload, or the deterministic error the
+/// cell failed with.
+#[derive(Debug, Clone)]
+pub enum Entry {
+    /// A completed timing run (boxed: a `Summary` dwarfs the other
+    /// variants).
+    Timed(Box<Summary>),
+    /// A completed counting run.
+    Counted(CpuStats),
+    /// A deterministic failure (`status: failed`): served back on
+    /// resume so known failures are not re-run.
+    Failed(SimError),
+}
+
+/// Why a present entry was rejected (and purged).
+#[derive(Debug)]
+enum Reject {
+    /// Torn write, bit flip, bad magic, key mismatch, undecodable
+    /// payload.
+    Corrupt(String),
+    /// Valid frame written by different code: format version, schema,
+    /// or git revision mismatch.
+    Stale(String),
+}
+
+// Observability counters (process-wide, exported into every binary's
+// metrics block via `experiment::drain_pool_metrics`).
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static WRITES: AtomicU64 = AtomicU64::new(0);
+static CORRUPT_PURGED: AtomicU64 = AtomicU64::new(0);
+static STALE_PURGED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the store counters into `reg` (`store.*` namespace). All
+/// five counters are always present — a zero `store.stale_purged` is
+/// evidence of freshness, not absence of instrumentation.
+pub fn export_metrics(reg: &mut Registry) {
+    reg.set("store.hit", HITS.load(Ordering::Relaxed));
+    reg.set("store.miss", MISSES.load(Ordering::Relaxed));
+    reg.set("store.writes", WRITES.load(Ordering::Relaxed));
+    reg.set(
+        "store.corrupt_purged",
+        CORRUPT_PURGED.load(Ordering::Relaxed),
+    );
+    reg.set("store.stale_purged", STALE_PURGED.load(Ordering::Relaxed));
+}
+
+/// Encode one entry in the framed store format (magic, version, schema,
+/// revision, key echo, status, payload, trailing checksum).
+fn encode_entry(key: &CellKey, entry: &Entry, schema: &str, rev: &str) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_raw(MAGIC);
+    w.put_u32(STORE_FORMAT_VERSION);
+    w.put_str(schema);
+    w.put_str(rev);
+    w.put_str(&key.text);
+    w.put_u8(key.kind.tag());
+    match entry {
+        Entry::Timed(s) => {
+            w.put_u8(0);
+            s.encode_into(&mut w);
+        }
+        Entry::Counted(c) => {
+            w.put_u8(0);
+            c.encode_into(&mut w);
+        }
+        Entry::Failed(e) => {
+            w.put_u8(1);
+            e.encode_into(&mut w);
+        }
+    }
+    let mut bytes = w.into_bytes();
+    let checksum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Validate and decode one entry against the key and freshness stamps
+/// the current binary expects. Checksum first: a torn or flipped entry
+/// must be rejected before any field is believed.
+fn decode_entry(bytes: &[u8], key: &CellKey, schema: &str, rev: &str) -> Result<Entry, Reject> {
+    let corrupt = |why: String| Reject::Corrupt(why);
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(corrupt(format!("{} bytes is too short", bytes.len())));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let expect = u64::from_le_bytes(trailer.try_into().unwrap());
+    if fnv1a64(body) != expect {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    let mut r = ByteReader::new(body);
+    if r.raw(4).map_err(corrupt)? != MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    let version = r.u32().map_err(corrupt)?;
+    if version != STORE_FORMAT_VERSION {
+        return Err(Reject::Stale(format!(
+            "format v{version}, binary expects v{STORE_FORMAT_VERSION}"
+        )));
+    }
+    let got_schema = r.str().map_err(corrupt)?;
+    if got_schema != schema {
+        return Err(Reject::Stale(format!(
+            "schema {got_schema:?}, binary expects {schema:?}"
+        )));
+    }
+    let got_rev = r.str().map_err(corrupt)?;
+    if got_rev != rev {
+        return Err(Reject::Stale(format!(
+            "written at rev {got_rev}, binary is {rev}"
+        )));
+    }
+    let got_key = r.str().map_err(corrupt)?;
+    if got_key != key.text {
+        return Err(corrupt(format!("key mismatch: entry holds {got_key:?}")));
+    }
+    let kind = Kind::from_tag(r.u8().map_err(corrupt)?).map_err(corrupt)?;
+    if kind != key.kind {
+        return Err(corrupt(format!(
+            "payload kind {kind:?} under a {:?} key",
+            key.kind
+        )));
+    }
+    let status = r.u8().map_err(corrupt)?;
+    let entry = match (status, kind) {
+        (0, Kind::Timed) => Entry::Timed(Box::new(Summary::decode_from(&mut r).map_err(corrupt)?)),
+        (0, Kind::Counted) => Entry::Counted(CpuStats::decode_from(&mut r).map_err(corrupt)?),
+        (1, _) => Entry::Failed(SimError::decode_from(&mut r).map_err(corrupt)?),
+        (other, _) => return Err(corrupt(format!("unknown status byte {other}"))),
+    };
+    r.done().map_err(corrupt)?;
+    Ok(entry)
+}
+
+/// Look up a finished cell. A present-but-invalid entry is purged
+/// (corrupt or stale, counted separately) and reported as a miss, so
+/// damage degrades to recomputation. Counts one hit or one miss.
+pub fn load(key: &CellKey) -> Option<Entry> {
+    let dir = dir()?;
+    let path = key.path(&dir);
+    let Ok(bytes) = std::fs::read(&path) else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return None;
+    };
+    match decode_entry(&bytes, key, RESULTS_SCHEMA, recorded_rev()) {
+        Ok(entry) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            Some(entry)
+        }
+        Err(reject) => {
+            let (counter, why) = match &reject {
+                Reject::Corrupt(why) => (&CORRUPT_PURGED, why),
+                Reject::Stale(why) => (&STALE_PURGED, why),
+            };
+            if std::fs::remove_file(&path).is_ok() {
+                counter.fetch_add(1, Ordering::Relaxed);
+                eprintln!("result store: purged {} ({why})", path.display());
+            }
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Persist a finished cell atomically. The `store.write.torn` fault
+/// point deliberately bypasses the atomic path and truncates the entry
+/// mid-payload — the checksum then rejects it on the next load, which
+/// is exactly the property the fault gate proves. A failed write (full
+/// disk, permissions) silently degrades to a store-less run — cell
+/// durability is an optimization, never a correctness dependency.
+pub fn save(key: &CellKey, entry: &Entry) {
+    let Some(dir) = dir() else { return };
+    let bytes = encode_entry(key, entry, RESULTS_SCHEMA, recorded_rev());
+    let path = key.path(&dir);
+    if fault::fires("store.write.torn", &key.text) {
+        // A torn write: some prefix of the entry, landed non-atomically
+        // at the final path.
+        let cut = bytes.len() / 2;
+        if std::fs::create_dir_all(&dir).is_ok() {
+            std::fs::write(&path, &bytes[..cut]).ok();
+        }
+        return;
+    }
+    if visim_util::atomic::write_atomic(&path, &bytes).is_ok() {
+        WRITES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use visim_cpu::Pipeline;
+    use visim_isa::{Inst, Op, Reg};
+    use visim_util::prop::{self, Config};
+
+    fn summary(n: u64) -> Summary {
+        let mut p = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
+        for i in 0..n {
+            visim_cpu::SimSink::push(
+                &mut p,
+                Inst::compute(
+                    Op::IntAlu,
+                    0x10 + 4 * i,
+                    Reg(1 + (i % 28) as u32),
+                    [Reg::NONE; 3],
+                ),
+            );
+        }
+        p.finish()
+    }
+
+    fn timed_test_key(text_salt: &str) -> CellKey {
+        CellKey {
+            kind: Kind::Timed,
+            text: format!("timed|conv|v-|{text_salt}"),
+            label: "conv".to_string(),
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_and_reject_wrong_stamps() {
+        let key = timed_test_key("salt");
+        let entry = Entry::Timed(Box::new(summary(40)));
+        let bytes = encode_entry(&key, &entry, RESULTS_SCHEMA, "rev-a");
+        let back = match decode_entry(&bytes, &key, RESULTS_SCHEMA, "rev-a") {
+            Ok(Entry::Timed(s)) => s,
+            other => panic!("expected timed entry, got {other:?}"),
+        };
+        let Entry::Timed(orig) = &entry else {
+            unreachable!()
+        };
+        assert_eq!(format!("{back:?}"), format!("{orig:?}"));
+        // Wrong revision: stale, not corrupt.
+        assert!(matches!(
+            decode_entry(&bytes, &key, RESULTS_SCHEMA, "rev-b"),
+            Err(Reject::Stale(_))
+        ));
+        // Wrong schema: stale.
+        assert!(matches!(
+            decode_entry(&bytes, &key, "visim-results-v999", "rev-a"),
+            Err(Reject::Stale(_))
+        ));
+        // Wrong key text: corrupt (collision or renamed file).
+        let other_key = timed_test_key("other-salt");
+        assert!(matches!(
+            decode_entry(&bytes, &other_key, RESULTS_SCHEMA, "rev-a"),
+            Err(Reject::Corrupt(_))
+        ));
+        // A counted key must not accept a timed payload.
+        let counted = CellKey {
+            kind: Kind::Counted,
+            text: key.text.clone(),
+            label: key.label.clone(),
+        };
+        assert!(matches!(
+            decode_entry(&bytes, &counted, RESULTS_SCHEMA, "rev-a"),
+            Err(Reject::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn failed_entries_round_trip_their_error() {
+        let key = timed_test_key("fail");
+        let err = SimError::Workload {
+            bench: "conv".into(),
+            detail: "fault injected via VISIM_FAIL_BENCH".into(),
+        };
+        let bytes = encode_entry(&key, &Entry::Failed(err.clone()), RESULTS_SCHEMA, "r");
+        match decode_entry(&bytes, &key, RESULTS_SCHEMA, "r") {
+            Ok(Entry::Failed(back)) => {
+                assert_eq!(back, err);
+                assert_eq!(back.to_string(), err.to_string());
+            }
+            other => panic!("expected failed entry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected_as_corrupt_or_stale() {
+        // Property: flipping any single bit of an encoded entry must
+        // never be served (the trailing checksum guards the whole
+        // frame). Each case picks a random bit via the prop harness.
+        let key = timed_test_key("prop");
+        let bytes = encode_entry(
+            &key,
+            &Entry::Timed(Box::new(summary(16))),
+            RESULTS_SCHEMA,
+            "rev",
+        );
+        let nbits = bytes.len() * 8;
+        prop::check(
+            Config::cases(128),
+            |rng| rng.gen_range(0..nbits),
+            |&bit| {
+                let mut mutated = bytes.clone();
+                mutated[bit / 8] ^= 1 << (bit % 8);
+                match decode_entry(&mutated, &key, RESULTS_SCHEMA, "rev") {
+                    Err(_) => Ok(()),
+                    Ok(_) => Err(format!("bit {bit} flip was accepted")),
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let key = timed_test_key("trunc");
+        let bytes = encode_entry(
+            &key,
+            &Entry::Timed(Box::new(summary(16))),
+            RESULTS_SCHEMA,
+            "rev",
+        );
+        for cut in [0, 1, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_entry(&bytes[..cut], &key, RESULTS_SCHEMA, "rev").is_err(),
+                "accepted a {cut}-byte truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn counted_entries_round_trip() {
+        let key = CellKey {
+            kind: Kind::Counted,
+            text: "counted|conv|v-|salt".into(),
+            label: "conv".into(),
+        };
+        let stats = summary(24).cpu;
+        let bytes = encode_entry(&key, &Entry::Counted(stats.clone()), RESULTS_SCHEMA, "r");
+        match decode_entry(&bytes, &key, RESULTS_SCHEMA, "r") {
+            Ok(Entry::Counted(back)) => {
+                assert_eq!(format!("{back:?}"), format!("{stats:?}"))
+            }
+            other => panic!("expected counted entry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_names_are_safe_and_key_dependent() {
+        let a = timed_test_key("a");
+        let b = timed_test_key("b");
+        assert_ne!(a.file_name(), b.file_name());
+        assert!(a.file_name().starts_with("conv.timed."));
+        assert!(a.file_name().ends_with(".vcell"));
+        let evil = CellKey {
+            kind: Kind::Timed,
+            text: "t".into(),
+            label: "../evil name".into(),
+        };
+        assert!(!evil.file_name().contains('/'));
+        assert!(!evil.file_name().contains(' '));
+    }
+}

@@ -33,7 +33,6 @@
 //! the JSON artifacts) reflects which path ran.
 
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -258,19 +257,21 @@ fn disk_load(dir: &str, id: &str) -> Option<Recorded> {
     }
 }
 
-/// Write `<dir>/<id>.vtrc` atomically (temp file + rename), so a
-/// concurrent reader sees either the complete old file or the complete
-/// new one.
+/// Write `<dir>/<id>.vtrc` atomically via the workspace's shared
+/// temp-file + `sync_all` + rename path
+/// ([`visim_util::atomic::write_atomic`]), so a concurrent reader sees
+/// either the complete old file or the complete new one. The
+/// `spill.corrupt` fault point flips one byte mid-payload before the
+/// write — the framing checksum then rejects the spill on reload and
+/// [`disk_load`] purges it, which is the degradation the fault gate
+/// proves out.
 fn disk_store(dir: &str, id: &str, rec: &Recorded) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let path = disk_path(dir, id);
-    let tmp = path.with_extension(format!("vtrc.{}.tmp", std::process::id()));
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&rec.encode(id))?;
-        f.sync_all()?;
+    let mut bytes = rec.encode(id);
+    if visim_util::fault::fires("spill.corrupt", id) {
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
     }
-    std::fs::rename(&tmp, &path)
+    visim_util::atomic::write_atomic(disk_path(dir, id), &bytes)
 }
 
 #[cfg(test)]

@@ -5,7 +5,8 @@
 //! crate stays a dependency-graph leaf: each crate owns the JSON shape
 //! of its own statistics.
 
-use visim_obs::Json;
+use visim_obs::codec::{ByteReader, ByteWriter};
+use visim_obs::{Json, Registry};
 
 use crate::pipeline::Summary;
 use crate::stats::{Breakdown, CpuStats};
@@ -78,6 +79,30 @@ impl Summary {
     pub fn to_json(&self) -> Json {
         Json::obj(self.json_members())
     }
+
+    /// Append the complete summary — pipeline statistics (exact
+    /// attribution units included), memory statistics, MSHR histogram,
+    /// and the per-cell metrics registry — to `w`. Unlike
+    /// [`Summary::to_json`], which emits derived floating-point views,
+    /// this round-trips every accumulator exactly; it is what lets a
+    /// result-store hit reproduce the original text report
+    /// byte-for-byte on resume.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        self.cpu.encode_into(w);
+        self.mem.encode_into(w);
+        w.put_u64s(&self.mshr_histogram);
+        self.metrics.encode_into(w);
+    }
+
+    /// Decode a summary written by [`Summary::encode_into`].
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, String> {
+        Ok(Summary {
+            cpu: CpuStats::decode_from(r)?,
+            mem: visim_mem::MemStats::decode_from(r)?,
+            mshr_histogram: r.u64s()?,
+            metrics: Registry::decode_from(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +148,35 @@ mod tests {
         assert!(counters.get("cpu.predictor.updates").is_some());
         // Round-trips through the parser.
         assert_eq!(Json::parse(&j.to_compact()).unwrap(), j);
+    }
+
+    #[test]
+    fn summary_binary_codec_round_trips_a_real_run() {
+        use visim_obs::codec::{ByteReader, ByteWriter};
+        let mut p = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
+        for i in 0..64u64 {
+            let op = if i % 7 == 0 { Op::IntMul } else { Op::IntAlu };
+            p.push(Inst::compute(
+                op,
+                0x10 + 4 * i,
+                Reg(1 + i as u32),
+                [Reg::NONE; 3],
+            ));
+        }
+        let s = p.finish();
+        let mut w = ByteWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = crate::pipeline::Summary::decode_from(&mut r).unwrap();
+        r.done().unwrap();
+        // The Debug form covers every field of every component, the
+        // crate-private attribution units included.
+        assert_eq!(format!("{back:?}"), format!("{s:?}"));
+        // Re-encoding the decoded summary is byte-identical.
+        let mut w2 = ByteWriter::new();
+        back.encode_into(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
     }
 
     #[test]

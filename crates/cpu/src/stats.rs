@@ -1,6 +1,7 @@
 //! Execution statistics and the paper's execution-time attribution.
 
 use visim_isa::{InstCat, Op};
+use visim_obs::codec::{ByteReader, ByteWriter};
 use visim_obs::trace::{Attribution, TraceStall};
 
 /// Where a lost retirement slot is charged (paper §2.3.4 / Figure 1).
@@ -149,6 +150,57 @@ impl CpuStats {
         }
     }
 
+    /// Append every counter — including the crate-private integer
+    /// attribution units behind [`CpuStats::breakdown`] — to `w`. This
+    /// is the result-store payload form; it must live in this crate
+    /// because the JSON view only exposes the *derived* floating-point
+    /// breakdown, which cannot reconstruct the exact accumulators a
+    /// resumed run needs for byte-identical reports.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u64(self.cycles);
+        w.put_u64(self.retired);
+        w.put_u64s(&self.mix);
+        w.put_u64(self.vis_overhead);
+        w.put_u64(self.cond_branches);
+        w.put_u64(self.mispredicts);
+        w.put_u64(self.ras_mispredicts);
+        w.put_u64(self.loads);
+        w.put_u64(self.stores);
+        w.put_u64(self.prefetches);
+        w.put_u64(self.width);
+        w.put_u64(self.busy_units);
+        w.put_u64(self.fu_stall_units);
+        w.put_u64(self.l1_hit_units);
+        w.put_u64(self.l1_miss_units);
+    }
+
+    /// Decode statistics written by [`CpuStats::encode_into`].
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, String> {
+        let cycles = r.u64()?;
+        let retired = r.u64()?;
+        let mix_v = r.u64s()?;
+        let mix: [u64; 4] = mix_v
+            .try_into()
+            .map_err(|v: Vec<u64>| format!("instruction mix has {} categories", v.len()))?;
+        Ok(CpuStats {
+            cycles,
+            retired,
+            mix,
+            vis_overhead: r.u64()?,
+            cond_branches: r.u64()?,
+            mispredicts: r.u64()?,
+            ras_mispredicts: r.u64()?,
+            loads: r.u64()?,
+            stores: r.u64()?,
+            prefetches: r.u64()?,
+            width: r.u64()?,
+            busy_units: r.u64()?,
+            fu_stall_units: r.u64()?,
+            l1_hit_units: r.u64()?,
+            l1_miss_units: r.u64()?,
+        })
+    }
+
     /// The exact integer attribution (units of `1/issue_width` cycles)
     /// behind [`CpuStats::breakdown`]. A trace ring fed the same
     /// per-cycle samples accumulates an equal value — the
@@ -237,6 +289,34 @@ mod tests {
         assert_eq!(s.vis_overhead, 1);
         assert!((s.vis_overhead_fraction() - 0.5).abs() < 1e-9);
         assert_eq!(s.loads, 1);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_the_private_attribution_units() {
+        let mut s = CpuStats::new(4);
+        s.account_cycle(4, None);
+        s.account_cycle(2, Some(StallClass::L1Miss));
+        s.account_cycle(0, Some(StallClass::FuStall));
+        s.account_idle(3, StallClass::L1Hit);
+        s.note_retired(Op::Load);
+        s.note_retired(Op::VisPack);
+        s.cond_branches = 17;
+        s.mispredicts = 5;
+        let mut w = ByteWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = CpuStats::decode_from(&mut r).unwrap();
+        r.done().unwrap();
+        // No PartialEq on CpuStats; the Debug form covers every field,
+        // private attribution units included.
+        assert_eq!(format!("{back:?}"), format!("{s:?}"));
+        let (b, o) = (back.breakdown(), s.breakdown());
+        assert_eq!(
+            (b.busy, b.fu_stall, b.l1_hit, b.l1_miss),
+            (o.busy, o.fu_stall, o.l1_hit, o.l1_miss)
+        );
+        assert!(CpuStats::decode_from(&mut ByteReader::new(&bytes[..16])).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Memory-system statistics.
 
+use visim_obs::codec::{ByteReader, ByteWriter};
 use visim_obs::Json;
 
 /// Counters maintained by [`crate::MemSystem`].
@@ -45,6 +46,66 @@ pub struct MemStats {
 }
 
 impl MemStats {
+    /// Append every counter to `w` in declaration order — the
+    /// result-store payload form. All fields are exact `u64`s, so the
+    /// round trip through [`MemStats::decode_from`] is lossless.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        for v in self.fields() {
+            w.put_u64(v);
+        }
+    }
+
+    /// Decode counters written by [`MemStats::encode_into`].
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, String> {
+        let mut s = MemStats::default();
+        for f in [
+            &mut s.l1_accesses,
+            &mut s.l1_hits,
+            &mut s.l1_primary_misses,
+            &mut s.l1_merged_misses,
+            &mut s.rejects_mshr_full,
+            &mut s.rejects_merge_limit,
+            &mut s.l2_accesses,
+            &mut s.l2_hits,
+            &mut s.l2_misses,
+            &mut s.writebacks_l1,
+            &mut s.writebacks_l2,
+            &mut s.prefetches_issued,
+            &mut s.prefetches_rejected,
+            &mut s.prefetches_unnecessary,
+            &mut s.prefetches_useful,
+            &mut s.prefetches_late,
+            &mut s.bypass_accesses,
+        ] {
+            *f = r.u64()?;
+        }
+        Ok(s)
+    }
+
+    /// Every counter in declaration order (the codec's field list; kept
+    /// next to `decode_from` so adding a field updates both or neither).
+    fn fields(&self) -> [u64; 17] {
+        [
+            self.l1_accesses,
+            self.l1_hits,
+            self.l1_primary_misses,
+            self.l1_merged_misses,
+            self.rejects_mshr_full,
+            self.rejects_merge_limit,
+            self.l2_accesses,
+            self.l2_hits,
+            self.l2_misses,
+            self.writebacks_l1,
+            self.writebacks_l2,
+            self.prefetches_issued,
+            self.prefetches_rejected,
+            self.prefetches_unnecessary,
+            self.prefetches_useful,
+            self.prefetches_late,
+            self.bypass_accesses,
+        ]
+    }
+
     /// L1 miss ratio over demand accesses (primary + merged misses).
     pub fn l1_miss_rate(&self) -> f64 {
         if self.l1_accesses == 0 {
@@ -127,6 +188,44 @@ mod tests {
         assert!((rate - 0.4).abs() < 1e-12);
         // Round-trips through the parser.
         assert_eq!(Json::parse(&j.to_compact()).unwrap(), j);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_every_counter() {
+        let mut s = MemStats::default();
+        // Distinct values per field catch any ordering slip between
+        // encode and decode.
+        for (i, f) in [
+            &mut s.l1_accesses,
+            &mut s.l1_hits,
+            &mut s.l1_primary_misses,
+            &mut s.l1_merged_misses,
+            &mut s.rejects_mshr_full,
+            &mut s.rejects_merge_limit,
+            &mut s.l2_accesses,
+            &mut s.l2_hits,
+            &mut s.l2_misses,
+            &mut s.writebacks_l1,
+            &mut s.writebacks_l2,
+            &mut s.prefetches_issued,
+            &mut s.prefetches_rejected,
+            &mut s.prefetches_unnecessary,
+            &mut s.prefetches_useful,
+            &mut s.prefetches_late,
+            &mut s.bypass_accesses,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            *f = 1000 + i as u64;
+        }
+        let mut w = ByteWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(MemStats::decode_from(&mut r).unwrap(), s);
+        r.done().unwrap();
+        assert!(MemStats::decode_from(&mut ByteReader::new(&bytes[..8])).is_err());
     }
 
     #[test]

@@ -554,6 +554,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)] // the truncating literal is the point
     fn f64_formatting_round_trips_exactly() {
         for x in [
             0.1,

@@ -4,6 +4,10 @@
 //! crate provides the std-only machinery a metrics/eval harness would
 //! normally pull from serde + prometheus:
 //!
+//! * [`codec`] — a little-endian byte writer/reader pair for the
+//!   versioned binary payloads the result store persists (exact
+//!   integer round-trips, which the derived-float JSON views cannot
+//!   provide);
 //! * [`json`] — a JSON value model with an emitter (compact and
 //!   pretty) and a recursive-descent parser, so the figure binaries can
 //!   write machine-readable artifacts and the `validate` gate can read
@@ -25,6 +29,7 @@
 //! nothing, not even `visim-util`) so every other crate can report into
 //! it.
 
+pub mod codec;
 pub mod json;
 pub mod metrics;
 pub mod schema;

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::codec::{ByteReader, ByteWriter};
 use crate::json::Json;
 
 /// A fixed-bucket histogram over `u64` samples.
@@ -117,6 +118,41 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Append the exact histogram state (bounds, buckets, aggregates —
+    /// including the raw `u64::MAX` empty-min sentinel) to `w`. Unlike
+    /// [`Histogram::to_json`], which emits derived views, this
+    /// round-trips bit-exactly through [`Histogram::decode_from`].
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u64s(&self.bounds);
+        w.put_u64s(&self.counts);
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+    }
+
+    /// Decode a histogram written by [`Histogram::encode_into`],
+    /// rejecting structurally impossible layouts.
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, String> {
+        let bounds = r.u64s()?;
+        let counts = r.u64s()?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram bucket mismatch: {} bounds, {} counts",
+                bounds.len(),
+                counts.len()
+            ));
+        }
+        Ok(Histogram {
+            bounds,
+            counts,
+            count: r.u64()?,
+            sum: r.u64()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        })
+    }
+
     /// Serialize: bounds, per-bucket counts (last = overflow), and the
     /// exact aggregates.
     pub fn to_json(&self) -> Json {
@@ -218,6 +254,38 @@ impl Registry {
         }
     }
 
+    /// Append the full registry (counters and histograms, in the
+    /// deterministic `BTreeMap` order) to `w`; the result-store payload
+    /// form of the per-cell metrics.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u32(self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+        w.put_u32(self.histograms.len() as u32);
+        for (name, h) in &self.histograms {
+            w.put_str(name);
+            h.encode_into(w);
+        }
+    }
+
+    /// Decode a registry written by [`Registry::encode_into`].
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, String> {
+        let mut reg = Registry::new();
+        let n = r.u32()?;
+        for _ in 0..n {
+            let name = r.str()?;
+            reg.counters.insert(name, r.u64()?);
+        }
+        let n = r.u32()?;
+        for _ in 0..n {
+            let name = r.str()?;
+            reg.histograms.insert(name, Histogram::decode_from(r)?);
+        }
+        Ok(reg)
+    }
+
     /// Serialize as `{"counters": {...}, "histograms": {...}}`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -303,6 +371,30 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         let j = h.to_json();
         assert_eq!(j.get("min").unwrap(), &Json::U64(0));
+    }
+
+    #[test]
+    fn registry_binary_codec_round_trips_exactly() {
+        let mut r = Registry::new();
+        r.add("store.hit", 3);
+        r.set("cell.emit_micros", 12_345);
+        r.observe("pool.job_run_ns", 7);
+        r.observe_with("window", 3, || Histogram::new(&[1, 2, 4]));
+        // An empty histogram keeps its u64::MAX min sentinel through
+        // the round trip (to_json would mask it as 0).
+        r.observe_with("empty-after-merge", 0, || Histogram::exponential(1, 4));
+        let mut w = ByteWriter::new();
+        r.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut rd = ByteReader::new(&bytes);
+        let back = Registry::decode_from(&mut rd).unwrap();
+        rd.done().unwrap();
+        assert_eq!(back, r);
+        // Truncated input degrades to an error, never a panic.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut rd = ByteReader::new(&bytes[..cut]);
+            assert!(Registry::decode_from(&mut rd).is_err() || rd.done().is_err());
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use visim_obs::codec::{ByteReader, ByteWriter};
+
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -37,6 +39,17 @@ pub enum SimError {
         /// Failure description.
         detail: String,
     },
+    /// A transient environmental fault (injected via `VISIM_FAULT`, or
+    /// a future flaky-I/O condition): unlike the deterministic variants
+    /// above, retrying the same cell may succeed, so the experiment
+    /// runners retry these with bounded backoff instead of failing the
+    /// cell outright.
+    Transient {
+        /// The fault point that fired (e.g. `cell.transient`).
+        point: String,
+        /// What happened.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -47,6 +60,98 @@ impl SimError {
             SimError::CycleBudget { .. } => "CycleBudget",
             SimError::Invariant { .. } => "Invariant",
             SimError::Workload { .. } => "Workload",
+            SimError::Transient { .. } => "Transient",
+        }
+    }
+
+    /// True for faults where retrying the same cell may succeed. The
+    /// deterministic kinds (model bugs, hostile workloads) re-fail
+    /// identically on every attempt, so retrying them only wastes time;
+    /// the runners fail fast on those.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Transient { .. })
+    }
+
+    /// Append the error to `w` in the result-store payload encoding.
+    /// Every field round-trips exactly, so a failed cell served from
+    /// the store on resume reproduces its original error row
+    /// byte-for-byte.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self {
+            SimError::CycleBudget { cycle, diagnostic } => {
+                w.put_u8(0);
+                w.put_u64(*cycle);
+                w.put_str(diagnostic);
+            }
+            SimError::Invariant { model, detail } => {
+                w.put_u8(1);
+                w.put_str(model);
+                w.put_str(detail);
+            }
+            SimError::Workload { bench, detail } => {
+                w.put_u8(2);
+                w.put_str(bench);
+                w.put_str(detail);
+            }
+            SimError::Transient { point, detail } => {
+                w.put_u8(3);
+                w.put_str(point);
+                w.put_str(detail);
+            }
+        }
+    }
+
+    /// Decode an error written by [`SimError::encode_into`].
+    pub fn decode_from(r: &mut ByteReader) -> Result<Self, String> {
+        match r.u8()? {
+            0 => Ok(SimError::CycleBudget {
+                cycle: r.u64()?,
+                diagnostic: r.str()?,
+            }),
+            1 => {
+                let model = intern_model(&r.str()?);
+                Ok(SimError::Invariant {
+                    model,
+                    detail: r.str()?,
+                })
+            }
+            2 => Ok(SimError::Workload {
+                bench: r.str()?,
+                detail: r.str()?,
+            }),
+            3 => Ok(SimError::Transient {
+                point: r.str()?,
+                detail: r.str()?,
+            }),
+            other => Err(format!("unknown SimError tag {other}")),
+        }
+    }
+}
+
+/// Map a decoded invariant model name back onto the `&'static str` the
+/// enum carries. The simulator constructs `Invariant` from a small
+/// closed set of literals; an unrecognized name (written by a newer
+/// binary) is leaked once — bounded by the set of distinct names, never
+/// per decode of the same name.
+fn intern_model(name: &str) -> &'static str {
+    match name {
+        "pipeline" => "pipeline",
+        "mshr" => "mshr",
+        "mem" => "mem",
+        "cache" => "cache",
+        "trace" => "trace",
+        _ => {
+            use std::collections::BTreeSet;
+            use std::sync::Mutex;
+            static LEAKED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+            let mut set = LEAKED.lock().expect("model intern lock");
+            if let Some(s) = set.get(name) {
+                s
+            } else {
+                let s: &'static str = Box::leak(name.to_string().into_boxed_str());
+                set.insert(s);
+                s
+            }
         }
     }
 }
@@ -65,6 +170,9 @@ impl fmt::Display for SimError {
             }
             SimError::Workload { bench, detail } => {
                 write!(f, "workload '{bench}' failed: {detail}")
+            }
+            SimError::Transient { point, detail } => {
+                write!(f, "transient fault at {point}: {detail}")
             }
         }
     }
@@ -94,6 +202,61 @@ mod tests {
             detail: "panicked".into(),
         };
         assert!(e.to_string().contains("cjpeg"), "{e}");
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_the_codec() {
+        let cases = vec![
+            SimError::CycleBudget {
+                cycle: u64::MAX,
+                diagnostic: "window=64/64 fetch_q=3".into(),
+            },
+            SimError::Invariant {
+                model: "mshr",
+                detail: "occupancy 13 > capacity 12".into(),
+            },
+            SimError::Invariant {
+                model: intern_model("future-model"),
+                detail: "from a newer binary".into(),
+            },
+            SimError::Workload {
+                bench: "cjpeg".into(),
+                detail: "panicked: index out of bounds".into(),
+            },
+            SimError::Transient {
+                point: "cell.transient".into(),
+                detail: "injected at conv:0".into(),
+            },
+        ];
+        for e in cases {
+            let mut w = ByteWriter::new();
+            e.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = SimError::decode_from(&mut r).unwrap();
+            r.done().unwrap();
+            assert_eq!(back, e);
+            assert_eq!(back.to_string(), e.to_string(), "Display must round-trip");
+        }
+    }
+
+    #[test]
+    fn only_transient_is_retryable() {
+        assert!(SimError::Transient {
+            point: "p".into(),
+            detail: "d".into()
+        }
+        .is_transient());
+        assert!(!SimError::Workload {
+            bench: "b".into(),
+            detail: "d".into()
+        }
+        .is_transient());
+        assert!(!SimError::CycleBudget {
+            cycle: 1,
+            diagnostic: "d".into()
+        }
+        .is_transient());
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Deterministic seeded fault injection (`VISIM_FAULT`).
+//!
+//! The durability layer — result store, trace-cache spill, per-cell
+//! retry — is only trustworthy if its failure paths are exercised, so
+//! this module lets a run inject faults at named points:
+//!
+//! ```text
+//! VISIM_FAULT=<point>:<spec>[,<point>:<spec>...]
+//! ```
+//!
+//! * `store.write.torn:1/8`  — a hash-rate spec `m/n`: the point fires
+//!   for a key when `fnv1a64("<point>|<key>|<seed>") % n < m`.
+//! * `spill.corrupt:seed7`   — `seed<K>`: rate 1/2 under seed `K`
+//!   (reseeding picks a different deterministic victim set).
+//! * `cell.panic:conv`       — anything else is a substring match
+//!   against the key (here: every cell whose benchmark name contains
+//!   `conv` panics).
+//!
+//! Firing decisions are pure functions of `(point, key, spec)` — no
+//! global counters, no wall clock — so they are identical at any
+//! `VISIM_JOBS`, across reruns, and across processes. That is what
+//! makes fault runs reproducible and lets the kill-resume equivalence
+//! gates diff outputs byte-for-byte.
+//!
+//! Injections are counted per point (`fault.<point>` plus the
+//! `fault.injected` total) and exported into every binary's metrics
+//! block via [`export_metrics`], so a fault run is self-describing.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use visim_obs::Registry;
+
+use crate::error::SimError;
+use crate::hash::fnv1a64;
+
+/// Environment variable holding the fault plan (see module docs).
+pub const FAULT_ENV: &str = "VISIM_FAULT";
+
+/// How one rule decides whether it fires for a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Spec {
+    /// Fire when `fnv1a64("<point>|<key>|<seed>") % n < m`.
+    Rate { m: u64, n: u64, seed: u64 },
+    /// Fire when the key contains the pattern.
+    Contains(String),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Rule {
+    point: String,
+    spec: Spec,
+}
+
+/// Parse one `<point>:<spec>` clause. `None` for an empty clause (so
+/// trailing commas are harmless); a missing spec means "always fire".
+fn parse_rule(clause: &str) -> Option<Rule> {
+    let clause = clause.trim();
+    if clause.is_empty() {
+        return None;
+    }
+    let (point, spec) = match clause.split_once(':') {
+        Some((p, s)) => (p, s),
+        None => (clause, ""),
+    };
+    let spec = parse_spec(spec);
+    Some(Rule {
+        point: point.trim().to_string(),
+        spec,
+    })
+}
+
+fn parse_spec(spec: &str) -> Spec {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        // Bare point: always fires.
+        return Spec::Rate {
+            m: 1,
+            n: 1,
+            seed: 0,
+        };
+    }
+    if let Some((m, n)) = spec.split_once('/') {
+        if let (Ok(m), Ok(n)) = (m.trim().parse::<u64>(), n.trim().parse::<u64>()) {
+            if n >= 1 {
+                return Spec::Rate { m, n, seed: 0 };
+            }
+        }
+    }
+    if let Some(seed) = spec.strip_prefix("seed") {
+        if let Ok(seed) = seed.trim().parse::<u64>() {
+            return Spec::Rate { m: 1, n: 2, seed };
+        }
+    }
+    Spec::Contains(spec.to_string())
+}
+
+fn parse_plan(plan: &str) -> Vec<Rule> {
+    plan.split(',').filter_map(parse_rule).collect()
+}
+
+/// The active rules, parsed once per process from [`FAULT_ENV`].
+fn rules() -> &'static [Rule] {
+    static RULES: OnceLock<Vec<Rule>> = OnceLock::new();
+    RULES.get_or_init(|| {
+        std::env::var(FAULT_ENV)
+            .map(|plan| parse_plan(&plan))
+            .unwrap_or_default()
+    })
+}
+
+/// Injection counters, keyed by point name.
+static INJECTED: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
+fn note_injected(point: &str) {
+    let mut map = INJECTED.lock().expect("fault counter lock");
+    *map.entry(point.to_string()).or_insert(0) += 1;
+}
+
+/// True when any active rule makes `point` fire for `key`; counts the
+/// injection. Deterministic in `(point, key)` for a fixed fault plan.
+pub fn fires(point: &str, key: &str) -> bool {
+    let fired = rules().iter().any(|r| {
+        r.point == point
+            && match &r.spec {
+                Spec::Rate { m, n, seed } => {
+                    fnv1a64(format!("{point}|{key}|{seed}").as_bytes()) % n < *m
+                }
+                Spec::Contains(pat) => key.contains(pat.as_str()),
+            }
+    });
+    if fired {
+        note_injected(point);
+    }
+    fired
+}
+
+/// [`fires`] as a `Result`: `Err(SimError::Transient)` when the point
+/// fires, for threading through `?` in the experiment runners.
+pub fn trip_transient(point: &str, key: &str) -> Result<(), SimError> {
+    if fires(point, key) {
+        Err(SimError::Transient {
+            point: point.to_string(),
+            detail: format!("injected at {key}"),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Snapshot the injection counters into `reg`: `fault.injected` (the
+/// total) plus one `fault.<point>` counter per fired point.
+pub fn export_metrics(reg: &mut Registry) {
+    let map = INJECTED.lock().expect("fault counter lock");
+    let total: u64 = map.values().sum();
+    reg.set("fault.injected", total);
+    for (point, n) in map.iter() {
+        reg.set(&format!("fault.{point}"), *n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_into_the_three_shapes() {
+        assert_eq!(
+            parse_rule("store.write.torn:1/8").unwrap(),
+            Rule {
+                point: "store.write.torn".into(),
+                spec: Spec::Rate {
+                    m: 1,
+                    n: 8,
+                    seed: 0
+                },
+            }
+        );
+        assert_eq!(
+            parse_rule("spill.corrupt:seed7").unwrap(),
+            Rule {
+                point: "spill.corrupt".into(),
+                spec: Spec::Rate {
+                    m: 1,
+                    n: 2,
+                    seed: 7
+                },
+            }
+        );
+        assert_eq!(
+            parse_rule("cell.panic:conv").unwrap(),
+            Rule {
+                point: "cell.panic".into(),
+                spec: Spec::Contains("conv".into()),
+            }
+        );
+        assert_eq!(
+            parse_rule("store.write.torn").unwrap().spec,
+            Spec::Rate {
+                m: 1,
+                n: 1,
+                seed: 0
+            },
+        );
+        let plan = parse_plan("a:1/2, b:xyz ,,c");
+        assert_eq!(plan.len(), 3);
+        // Malformed rates degrade to substring matches, never panic.
+        assert_eq!(parse_spec("3/0"), Spec::Contains("3/0".into()));
+        assert_eq!(parse_spec("seedx"), Spec::Contains("seedx".into()));
+    }
+
+    #[test]
+    fn rate_decisions_are_deterministic_and_seed_sensitive() {
+        let decide = |seed: u64, key: &str| {
+            fnv1a64(format!("p|{key}|{seed}").as_bytes()).is_multiple_of(2) // m=1,n=2
+        };
+        // Same inputs, same answer — and across many keys a 1/2 rate
+        // fires for some and spares others.
+        let keys: Vec<String> = (0..64).map(|i| format!("bench{i}")).collect();
+        let first: Vec<bool> = keys.iter().map(|k| decide(0, k)).collect();
+        let second: Vec<bool> = keys.iter().map(|k| decide(0, k)).collect();
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&b| b) && first.iter().any(|&b| !b));
+        // A different seed picks a different victim set.
+        let reseeded: Vec<bool> = keys.iter().map(|k| decide(7, k)).collect();
+        assert_ne!(first, reseeded);
+    }
+
+    #[test]
+    fn trip_transient_builds_a_retryable_error() {
+        // No env in unit tests: nothing fires.
+        assert!(trip_transient("cell.transient", "conv:0").is_ok());
+        let e = SimError::Transient {
+            point: "cell.transient".into(),
+            detail: "injected at conv:0".into(),
+        };
+        assert!(e.is_transient());
+    }
+}

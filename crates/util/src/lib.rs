@@ -12,9 +12,15 @@
 //!   iteration-bounded shrinking (replaces `proptest`);
 //! * [`bench`] — a wall-clock microbenchmark runner (replaces
 //!   `criterion`) for `harness = false` bench targets;
+//! * [`atomic`] — temp-file + `sync_all` + rename writes, the single
+//!   write path every durable artifact (result-store cells, trace
+//!   spills, JSON artifacts, partial-failure droppings) lands through;
 //! * [`error`] — [`SimError`], the typed fault model threaded through
 //!   the pipeline watchdog, the memory-model invariant checks and the
 //!   experiment runners;
+//! * [`fault`] — the deterministic seeded fault-injection harness
+//!   (`VISIM_FAULT=<point>:<spec>`) exercising the store, spill, and
+//!   worker-pool failure paths;
 //! * [`hash`] — stable 64-bit FNV-1a hashing for digests that must
 //!   agree across processes and builds (trace-cache keys, on-disk
 //!   trace checksums);
@@ -24,8 +30,10 @@
 //!   exported into a `visim_obs` metrics registry for the JSON result
 //!   artifacts.
 
+pub mod atomic;
 pub mod bench;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod pool;
 pub mod prop;

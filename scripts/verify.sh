@@ -65,4 +65,84 @@ printf 'garbage' >> "$victim"
   "$OLDPWD/target/release/fig1" tiny > "../fig1.healed.txt" 2>/dev/null)
 diff "$replay_dir/fig1.cached.txt" "$replay_dir/fig1.healed.txt"
 
+echo "== durability gate: store equivalence + resume (tiny) =="
+# The result store must be invisible in the results: store-on,
+# store-off, and fully-warm --resume runs are byte-identical.
+store_dir="$fidelity_dir/store-equiv"
+mkdir -p "$store_dir/on" "$store_dir/off"
+(cd "$store_dir/on" && "$OLDPWD/target/release/fig1" tiny > ../on.txt)
+(cd "$store_dir/off" && "$OLDPWD/target/release/fig1" tiny --no-store > ../off.txt)
+diff "$store_dir/on.txt" "$store_dir/off.txt"
+ls "$store_dir/on/results/store"/*.vcell >/dev/null  # cells persisted
+if ls "$store_dir/off/results/store"/*.vcell >/dev/null 2>&1; then
+  echo "--no-store still wrote cells"; exit 1
+fi
+(cd "$store_dir/on" && "$OLDPWD/target/release/fig1" tiny --resume \
+  > ../resumed.txt 2>/dev/null)
+diff "$store_dir/on.txt" "$store_dir/resumed.txt"
+
+echo "== durability gate: kill-resume convergence (tiny) =="
+# SIGKILL a run once at least one cell is durable; --resume must then
+# converge to the uninterrupted run's bytes.
+kill_dir="$fidelity_dir/kill"
+mkdir -p "$kill_dir/run"
+(cd "$kill_dir/run" && "$OLDPWD/target/release/fig1" tiny \
+  >/dev/null 2>&1) & victim=$!
+for _ in $(seq 1 600); do
+  if ls "$kill_dir/run/results/store"/*.vcell >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$victim" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+kill -9 "$victim" 2>/dev/null || true  # a naturally-finished run is fine
+wait "$victim" 2>/dev/null || true
+ls "$kill_dir/run/results/store"/*.vcell >/dev/null  # something survived
+(cd "$kill_dir/run" && "$OLDPWD/target/release/fig1" tiny --resume \
+  > ../resumed.txt 2>/dev/null)
+diff "$store_dir/on.txt" "$kill_dir/resumed.txt"
+
+echo "== durability gate: fault matrix (tiny) =="
+fault_dir="$fidelity_dir/faults"
+# 1. A transient fault on one cell's first attempt heals via retry:
+#    exit 0 and byte-identical output.
+mkdir -p "$fault_dir/transient"
+(cd "$fault_dir/transient" && VISIM_FAULT=cell.transient:conv:0 \
+  "$OLDPWD/target/release/fig1" tiny > ../transient.txt 2>/dev/null)
+diff "$store_dir/on.txt" "$fault_dir/transient.txt"
+# 2. Torn store writes (atomic-write discipline bypassed): the run is
+#    unaffected; a clean resume purges the tears and converges.
+mkdir -p "$fault_dir/torn"
+(cd "$fault_dir/torn" && VISIM_FAULT=store.write.torn:1/4 \
+  "$OLDPWD/target/release/fig1" tiny > ../torn.txt 2>/dev/null)
+diff "$store_dir/on.txt" "$fault_dir/torn.txt"
+(cd "$fault_dir/torn" && "$OLDPWD/target/release/fig1" tiny --resume \
+  > ../torn-resumed.txt 2>/dev/null)
+diff "$store_dir/on.txt" "$fault_dir/torn-resumed.txt"
+# 3. A workload panic degrades that benchmark to an error row: exit 1,
+#    partial artifacts written, and a resume under the same fault is
+#    stable (byte-identical to the failing run).
+mkdir -p "$fault_dir/panic"
+set +e
+(cd "$fault_dir/panic" && VISIM_FAULT=cell.panic:conv \
+  "$OLDPWD/target/release/fig1" tiny > ../panic.txt 2>/dev/null)
+panic_exit=$?
+set -e
+test "$panic_exit" -ne 0
+test -s "$fault_dir/panic/results/partial/fig1.txt"
+set +e
+(cd "$fault_dir/panic" && VISIM_FAULT=cell.panic:conv \
+  "$OLDPWD/target/release/fig1" tiny --resume > ../panic-resumed.txt 2>/dev/null)
+set -e
+diff "$fault_dir/panic.txt" "$fault_dir/panic-resumed.txt"
+# 4. Corrupted trace-cache spills are purged and re-recorded; two runs
+#    under the same corruption rate stay byte-identical.
+mkdir -p "$fault_dir/spill"
+(cd "$fault_dir/spill" && VISIM_FAULT=spill.corrupt:1/2 \
+  VISIM_TRACE_DIR="$fault_dir/spill/tcache" \
+  "$OLDPWD/target/release/fig1" tiny --no-store > ../spill1.txt 2>/dev/null)
+(cd "$fault_dir/spill" && VISIM_FAULT=spill.corrupt:1/2 \
+  VISIM_TRACE_DIR="$fault_dir/spill/tcache" \
+  "$OLDPWD/target/release/fig1" tiny --no-store > ../spill2.txt 2>/dev/null)
+diff "$fault_dir/spill1.txt" "$fault_dir/spill2.txt"
+diff "$store_dir/on.txt" "$fault_dir/spill1.txt"
+
 echo "verify: OK"
