@@ -1,4 +1,4 @@
-//! Paper-fidelity validation gate over the `visim-results-v1` JSON
+//! Paper-fidelity validation gate over the `visim-results-v2` JSON
 //! artifacts.
 //!
 //! Loads `fig1.json`, `fig2.json`, and `fig3.json` from a results
@@ -40,6 +40,26 @@
 //! but the physics moved) — different failure classes for a consumer
 //! scanning the output. Exit status: 0 all checks pass, 1 any crash or
 //! drift, 2 artifacts missing or unreadable.
+//!
+//! # Sampled-vs-exact drift mode
+//!
+//! `validate --drift <exact-dir> <sampled-dir>` compares the figure
+//! artifacts of an exact run against those of a `--sample` run of the
+//! same workload size. Per matched cell:
+//!
+//! * a sampled estimate (`cell.sampling.mode` = 1) must land within the
+//!   cell's own declared 95% CI (`cell.sampling.ci_centipct`), widened
+//!   to a conservative floor of ±[`DRIFT_FLOOR`] relative CPI error —
+//!   SMARTS CIs are computed from few windows at small sizes and can
+//!   underestimate;
+//! * an exact-fallback cell (`mode` = 2) must match the exact run's
+//!   cycle count bit for bit;
+//! * counted cells (Figure 2, no timing model) must carry identical
+//!   functional payloads — sampling never touches functional state.
+//!
+//! The sampled artifacts are then run through the same paper-fidelity
+//! bands as an exact run, so sampled Figures 1–3 must stay inside the
+//! paper's claims, not merely near the exact reproduction.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -375,22 +395,208 @@ fn check_pipetrace(gate: &mut Gate, doc: &Json) {
     );
 }
 
+/// Conservative floor on the allowed relative CPI error of a sampled
+/// cell, applied when the cell's own declared CI is tighter. SMARTS
+/// confidence intervals come from per-window CPI variance; with the
+/// handful of windows a tiny-size stream yields they can understate
+/// the true error, so the gate never demands better than ±5%.
+const DRIFT_FLOOR: f64 = 0.05;
+
+/// `cell.sampling.*` counter values from a cell's metrics.
+fn sampling_counter(cell: &Json, name: &str) -> Option<u64> {
+    cell.get("metrics")?
+        .get("counters")?
+        .get(name)
+        .and_then(Json::as_u64)
+}
+
+/// Identity of a cell for exact↔sampled pairing: benchmark name plus
+/// the full configuration object (compact-serialized).
+fn cell_key(cell: &Json) -> String {
+    let bench = cell.get("benchmark").and_then(Json::as_str).unwrap_or("?");
+    let config = cell.get("config").map(Json::to_compact).unwrap_or_default();
+    format!("{bench} {config}")
+}
+
+/// Short human label for drift diagnostics: benchmark + the
+/// distinguishing config members.
+fn cell_label(cell: &Json) -> String {
+    let bench = cell.get("benchmark").and_then(Json::as_str).unwrap_or("?");
+    let arch = config_str(cell, "arch").unwrap_or("");
+    let variant = config_str(cell, "variant").unwrap_or("");
+    let vis = cell
+        .get("config")
+        .and_then(|c| c.get("vis"))
+        .map(|j| j == &Json::Bool(true))
+        .unwrap_or(false);
+    let mut label = bench.to_string();
+    if !arch.is_empty() {
+        label.push_str(&format!("/{arch}"));
+    }
+    if !variant.is_empty() {
+        label.push_str(&format!("/{variant}"));
+    }
+    if vis {
+        label.push_str("+vis");
+    }
+    label
+}
+
+/// Compare one figure document between an exact and a sampled run:
+/// sampled estimates within their declared CI (floored), fallback and
+/// counted cells identical.
+fn check_drift(gate: &mut Gate, name: &str, exact: &Json, sampled: &Json) {
+    let (exact_ok, exact_failed) = cells(exact);
+    let (sampled_ok, sampled_failed) = cells(sampled);
+    gate.crashes(&format!("{name}(exact)"), &exact_failed);
+    gate.crashes(&format!("{name}(sampled)"), &sampled_failed);
+    let exact_by_key: BTreeMap<String, &Json> =
+        exact_ok.iter().map(|c| (cell_key(c), *c)).collect();
+    let mut estimated = 0usize;
+    let mut exact_matched = 0usize;
+    let mut worst = 0.0f64;
+    let mut bad: Vec<String> = Vec::new();
+    for s in &sampled_ok {
+        let label = cell_label(s);
+        let Some(e) = exact_by_key.get(&cell_key(s)) else {
+            bad.push(format!("{label}: no exact twin"));
+            continue;
+        };
+        let (exact_cycles, sampled_cycles) = (
+            e.get("cycles").and_then(Json::as_u64),
+            s.get("cycles").and_then(Json::as_u64),
+        );
+        let (Some(exact_cycles), Some(sampled_cycles)) = (exact_cycles, sampled_cycles) else {
+            // Counted cell (no timing model): sampling must not have
+            // touched it — the functional payload is identical.
+            if e.get("cpu") == s.get("cpu") {
+                exact_matched += 1;
+            } else {
+                bad.push(format!("{label}: counted payload differs under sampling"));
+            }
+            continue;
+        };
+        match sampling_counter(s, "cell.sampling.mode") {
+            Some(1) => {
+                estimated += 1;
+                let ci =
+                    sampling_counter(s, "cell.sampling.ci_centipct").unwrap_or(0) as f64 / 10_000.0;
+                let allowed = ci.max(DRIFT_FLOOR);
+                let err = (sampled_cycles as f64 - exact_cycles as f64).abs()
+                    / exact_cycles.max(1) as f64;
+                worst = worst.max(err);
+                if err > allowed {
+                    bad.push(format!(
+                        "{label}: CPI error {:.2}% > allowed {:.2}% (ci ±{:.2}%)",
+                        100.0 * err,
+                        100.0 * allowed,
+                        100.0 * ci
+                    ));
+                }
+            }
+            Some(2) => {
+                // Exact fallback: same pipeline, same stream — the
+                // cycle count must be bit-identical.
+                if exact_cycles == sampled_cycles {
+                    exact_matched += 1;
+                } else {
+                    bad.push(format!(
+                        "{label}: exact-fallback cell differs ({sampled_cycles} vs {exact_cycles})"
+                    ));
+                }
+            }
+            _ => bad.push(format!("{label}: timed cell missing cell.sampling.mode")),
+        }
+    }
+    let detail = if bad.is_empty() {
+        format!(
+            "{estimated} estimates within CI (worst {:.2}%), {exact_matched} exact-equal cells",
+            100.0 * worst
+        )
+    } else {
+        format!(
+            "{} of {} cells out: {}",
+            bad.len(),
+            sampled_ok.len(),
+            bad.join("; ")
+        )
+    };
+    gate.claim(
+        &format!("{name}.sampled-within-ci"),
+        !sampled_ok.is_empty() && bad.is_empty(),
+        &detail,
+    );
+}
+
+/// `--drift` entry point: per-cell exact-vs-sampled comparison for
+/// Figures 1–3, then the standard paper-fidelity bands over the
+/// sampled artifacts.
+fn run_drift(exact_dir: &str, sampled_dir: &str) -> ExitCode {
+    let mut gate = Gate::new();
+    println!("sampled-vs-exact drift validation: exact={exact_dir}/ sampled={sampled_dir}/");
+    let docs: Vec<(&str, Check)> = vec![
+        ("fig1", check_fig1),
+        ("fig2", check_fig2),
+        ("fig3", check_fig3),
+    ];
+    for (name, fidelity) in docs {
+        match (load(exact_dir, name), load(sampled_dir, name)) {
+            (Ok(exact), Ok(sampled)) => {
+                println!("{name}.json:");
+                check_drift(&mut gate, name, &exact, &sampled);
+                // The sampled artifact must also satisfy the paper's
+                // bands in its own right.
+                fidelity(&mut gate, &sampled);
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("validate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if gate.failures == 0 {
+        println!("drift: OK ({} checks)", gate.checks);
+        ExitCode::SUCCESS
+    } else {
+        println!("drift: {} of {} checks FAILED", gate.failures, gate.checks);
+        ExitCode::FAILURE
+    }
+}
+
 type Check = fn(&mut Gate, &Json);
 
 fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("--help") | Some("-h") => {
             println!(
-                "validate: paper-fidelity gate over the visim-results-v1 JSON artifacts\n\
+                "validate: paper-fidelity gate over the visim-results-v2 JSON artifacts\n\
                  \n\
                  Usage: validate [results-dir] [--help]\n\
+                 \x20      validate --drift <exact-dir> <sampled-dir>\n\
                  \n\
                  Loads fig1.json, fig2.json, fig3.json, and pipetrace.json from the\n\
                  given directory (default results/json) and checks the paper's headline\n\
                  claims as tolerance bands, plus the exact trace-vs-aggregate stall\n\
-                 attribution invariant. Exit: 0 ok, 1 drift/crash, 2 missing artifacts."
+                 attribution invariant. Exit: 0 ok, 1 drift/crash, 2 missing artifacts.\n\
+                 \n\
+                 --drift compares an exact run's Figures 1-3 against a --sample run of\n\
+                 the same workload size: every sampled estimate must land within its\n\
+                 own declared 95% CI (floored at +/-5% relative CPI error), fallback\n\
+                 and counted cells must match exactly, and the sampled artifacts must\n\
+                 still pass the paper-fidelity bands."
             );
             return ExitCode::SUCCESS;
+        }
+        Some("--drift") => {
+            let (exact_dir, sampled_dir) = match (std::env::args().nth(2), std::env::args().nth(3))
+            {
+                (Some(e), Some(s)) => (e, s),
+                _ => {
+                    eprintln!("validate: --drift needs <exact-dir> <sampled-dir>");
+                    return ExitCode::from(2);
+                }
+            };
+            return run_drift(&exact_dir, &sampled_dir);
         }
         _ => {}
     }

@@ -51,7 +51,7 @@ pub fn usage(bin: &str, about: &str) -> String {
         "{bin}: {about}\n\
          \n\
          Usage: {bin} [tiny|study|paper] [--resume] [--no-store] [--store-dir D]\n\
-         \x20         [--no-trace-cache] [--trace-cache-mb N] [--help]\n\
+         \x20         [--no-trace-cache] [--trace-cache-mb N] [--sample [W:P]] [--help]\n\
          \n\
          Sizes:\n\
          \x20 tiny    smallest inputs; seconds, used by tests and CI\n\
@@ -67,6 +67,10 @@ pub fn usage(bin: &str, about: &str) -> String {
          \x20 --no-trace-cache     emit every cell directly; no record/replay\n\
          \x20 --trace-cache-mb N   resident trace budget in MB (default 1024)\n\
          \n\
+         Sampled simulation (SMARTS-style; estimates carry confidence intervals):\n\
+         \x20 --sample             detailed windows + functional warming, default geometry\n\
+         \x20 --sample W:P         explicit window/period in instructions (e.g. 8000:160000)\n\
+         \n\
          Environment:\n\
          \x20 VISIM_JOBS            worker count (1 = serial reference path; unset/0 = one per core)\n\
          \x20 VISIM_QUIET           set to 1 to silence the stderr progress heartbeat\n\
@@ -77,6 +81,8 @@ pub fn usage(bin: &str, about: &str) -> String {
          \x20 VISIM_NO_TRACE_CACHE  set to 1 to disable the trace cache (same as the flag)\n\
          \x20 VISIM_TRACE_MB        resident trace budget in MB (flag takes precedence)\n\
          \x20 VISIM_TRACE_DIR       directory for the on-disk trace spill (unset = memory only)\n\
+         \x20 VISIM_SPILL_EMIT_MBPS spill only streams emitting slower than this (default 200)\n\
+         \x20 VISIM_SAMPLE          1 or W:P to enable sampled simulation (flag takes precedence)\n\
          \n\
          Output: text report on stdout, machine-readable twin under results/json/."
     )
@@ -101,7 +107,7 @@ pub fn parse_size_args(bin: &str, about: &str) -> (&'static str, WorkloadSize) {
         std::process::exit(2);
     };
     let mut picked: Option<(&'static str, WorkloadSize)> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
@@ -117,6 +123,18 @@ pub fn parse_size_args(bin: &str, about: &str) -> (&'static str, WorkloadSize) {
                 _ => bad("--store-dir expects a directory path".into()),
             },
             "--no-trace-cache" => visim::trace_cache::set_cli_disabled(),
+            "--sample" => {
+                // An optional W:P geometry may follow; a size word or
+                // another flag means the default geometry.
+                let spec = match args.peek() {
+                    Some(next) if next.contains(':') => args.next().unwrap(),
+                    _ => "1".to_string(),
+                };
+                match visim::sampling::parse_spec(&spec) {
+                    Ok(cfg) => visim::sampling::set_cli(Some(cfg)),
+                    Err(e) => bad(format!("--sample: {e}")),
+                }
+            }
             "--trace-cache-mb" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(mb) if mb >= 1 => visim::trace_cache::set_cli_budget_mb(mb),
                 _ => bad("--trace-cache-mb expects a positive integer (megabytes)".into()),
@@ -209,7 +227,7 @@ pub fn section(title: &str) {
 /// a partial-results file and a nonzero exit.
 ///
 /// Alongside the text stream, the report accumulates a
-/// `visim-results-v1` document ([`Report::cell`]) that [`Report::finish`]
+/// `visim-results-v2` document ([`Report::cell`]) that [`Report::finish`]
 /// writes to `results/json/<name>.json` — the machine-readable twin of
 /// the text output, carrying the full per-cell simulation payload plus
 /// run-level metrics (worker-pool timings, wall clock, git revision).
@@ -464,6 +482,9 @@ mod tests {
             "VISIM_NO_TRACE_CACHE",
             "VISIM_TRACE_MB",
             "VISIM_TRACE_DIR",
+            "VISIM_SPILL_EMIT_MBPS",
+            "--sample",
+            "VISIM_SAMPLE",
         ] {
             assert!(u.contains(needle), "usage misses {needle}: {u}");
         }

@@ -1,4 +1,4 @@
-//! End-to-end acceptance tests for the `visim-results-v1` JSON
+//! End-to-end acceptance tests for the `visim-results-v2` JSON
 //! artifacts: every figure binary writes `results/json/<name>.json`
 //! alongside its text output, the document parses with the in-tree
 //! parser, carries the full per-cell payload, and an injected failure

@@ -26,6 +26,7 @@ fn run_bin(exe: &str, dir: &Path, args: &[&str], envs: &[(&str, &str)]) -> Outpu
         .env_remove("VISIM_NO_TRACE_CACHE")
         .env_remove("VISIM_TRACE_MB")
         .env_remove("VISIM_TRACE_DIR")
+        .env_remove("VISIM_SPILL_EMIT_MBPS")
         .env_remove("VISIM_FAIL_BENCH")
         .env("VISIM_JOBS", "1");
     for (k, v) in envs {
@@ -171,8 +172,16 @@ fn disk_spill_warms_a_second_process_and_purges_corruption() {
     let tc = dir.join("trace-cache");
     let tc_str = tc.to_str().unwrap().to_string();
     let exe = env!("CARGO_BIN_EXE_fig1");
+    // Force every stream to disk: tiny streams re-emit faster than the
+    // spill policy's threshold and would otherwise (rightly) not spill.
+    let spill_env = ("VISIM_SPILL_EMIT_MBPS", "1000000");
 
-    let cold = run_bin(exe, &dir, &[], &[("VISIM_TRACE_DIR", tc_str.as_str())]);
+    let cold = run_bin(
+        exe,
+        &dir,
+        &[],
+        &[("VISIM_TRACE_DIR", tc_str.as_str()), spill_env],
+    );
     assert!(cold.status.success());
     let vtrc_count = std::fs::read_dir(&tc)
         .expect("spill directory created")
@@ -188,7 +197,12 @@ fn disk_spill_warms_a_second_process_and_purges_corruption() {
     // Figure 1 uses 12 benchmarks × {scalar, VIS} = 24 distinct streams.
     assert_eq!(vtrc_count, 24, "one spill file per distinct stream");
 
-    let warm = run_bin(exe, &dir, &[], &[("VISIM_TRACE_DIR", tc_str.as_str())]);
+    let warm = run_bin(
+        exe,
+        &dir,
+        &[],
+        &[("VISIM_TRACE_DIR", tc_str.as_str()), spill_env],
+    );
     assert!(warm.status.success());
     assert_eq!(cold.stdout, warm.stdout, "disk-warmed run differs");
 
@@ -204,7 +218,12 @@ fn disk_spill_warms_a_second_process_and_purges_corruption() {
     bytes[mid] ^= 0xff;
     std::fs::write(&victim, &bytes).unwrap();
 
-    let healed = run_bin(exe, &dir, &[], &[("VISIM_TRACE_DIR", tc_str.as_str())]);
+    let healed = run_bin(
+        exe,
+        &dir,
+        &[],
+        &[("VISIM_TRACE_DIR", tc_str.as_str()), spill_env],
+    );
     assert!(
         healed.status.success(),
         "corrupt spill file must not be fatal"
@@ -218,5 +237,52 @@ fn disk_spill_warms_a_second_process_and_purges_corruption() {
     let rewritten = std::fs::read(&victim).expect("purged entry re-recorded");
     assert_ne!(rewritten, bytes, "corrupt bytes were left in place");
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The spill policy: streams that re-emit faster than the configured
+/// disk-rate threshold never reach disk. Threshold 0 makes that
+/// deterministic (no stream is ever slow enough), so the run leaves no
+/// `.vtrc` files and reports every skip — while the results stay
+/// byte-identical to a spilling run, because the spill only ever
+/// changes wall clock.
+#[test]
+fn fast_streams_skip_the_disk_spill() {
+    let dir = scratch_dir("nospill");
+    let tc = dir.join("trace-cache");
+    let tc_str = tc.to_str().unwrap().to_string();
+    let exe = env!("CARGO_BIN_EXE_fig1");
+    let out = run_bin(
+        exe,
+        &dir,
+        &[],
+        &[
+            ("VISIM_TRACE_DIR", tc_str.as_str()),
+            ("VISIM_SPILL_EMIT_MBPS", "0"),
+        ],
+    );
+    assert!(out.status.success());
+    let vtrc_count = std::fs::read_dir(&tc)
+        .map(|rd| {
+            rd.filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    == Some("vtrc")
+            })
+            .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(vtrc_count, 0, "threshold 0 must never spill");
+    let text = std::fs::read_to_string(dir.join("results/json/fig1.json")).unwrap();
+    let doc = Json::parse(&text).unwrap();
+    let skipped = doc
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("trace_cache.spill_skipped"))
+        .and_then(Json::as_u64);
+    assert_eq!(skipped, Some(24), "every distinct stream reports its skip");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,4 +1,4 @@
-//! `visim-results-v1` cell builders for the experiment runners.
+//! `visim-results-v2` cell builders for the experiment runners.
 //!
 //! The figure binaries pair each text row with one machine-readable
 //! cell built here and pushed into a `visim_obs::schema::ResultsDoc`.

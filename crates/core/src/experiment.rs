@@ -25,16 +25,19 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use media_kernels::Variant;
-use visim_cpu::{CountingSink, CpuConfig, CpuStats, Pipeline, SimSink, Summary, Traced};
+use visim_cpu::{
+    CountingSink, CpuConfig, CpuStats, Pipeline, SimSink, Summary, Traced, WarmingSink,
+};
 use visim_mem::MemConfig;
 use visim_obs::trace::{Trace, TraceRing};
 use visim_obs::Registry;
-use visim_trace::{Recorded, Recorder};
+use visim_trace::{Checkpoint, Recorded, Recorder, ReplayCursor};
 use visim_util::{fault, pool, SimError};
 
 use crate::bench::{Bench, WorkloadSize};
 use crate::config::Arch;
 use crate::journal;
+use crate::sampling::{self, SampleConfig};
 use crate::store;
 use crate::trace_cache;
 
@@ -293,11 +296,13 @@ fn obtain_stream(bench: Bench, size: &WorkloadSize, variant: Variant) -> Result<
         });
     }
     let mut recorder = Recorder::new(trace_cache::budget_bytes());
+    let t0 = Instant::now();
     catch_workload(bench, || bench.run(&mut recorder, size, variant))?;
+    let emit = t0.elapsed();
     match recorder.finish() {
         Some(rec) => {
             let rec = Arc::new(rec);
-            trace_cache::store(&key, &rec);
+            trace_cache::store(&key, &rec, emit);
             Ok(Stream::Replay {
                 rec,
                 cache_hit: false,
@@ -348,6 +353,181 @@ fn stamp_cell_metrics(
     metrics.set("cell.trace_cache_hit", hit);
 }
 
+/// Integrity key for one window's checkpoint frame: identifies the
+/// cell's stream, the sampling geometry, and the window index, so a
+/// frame can never be replayed against the wrong window.
+fn ckpt_key(
+    bench: Bench,
+    size: &WorkloadSize,
+    variant: Variant,
+    scfg: SampleConfig,
+    ix: usize,
+) -> String {
+    format!(
+        "{}|{}{}|{size:?}|w{}p{}|win{ix}",
+        bench.name(),
+        if variant.vis { 'v' } else { 's' },
+        if variant.prefetch { 'p' } else { '-' },
+        scfg.window,
+        scfg.period
+    )
+}
+
+/// Exact simulation standing in for a sampled cell (`cell.sampling.mode
+/// = 2`): the stream was not replayable, too short for two windows, or
+/// the sample was degenerate. The result is a measurement, not an
+/// estimate, so the interval is zero-width — but it still lives under a
+/// sampling-suffixed store key, because it was produced by a sampled
+/// run.
+fn sampled_exact_fallback(
+    bench: Bench,
+    cpu: &CpuConfig,
+    mem: &MemConfig,
+    size: &WorkloadSize,
+    variant: Variant,
+    stream: &Stream,
+) -> Result<Summary, SimError> {
+    let mut pipe = Pipeline::new(cpu.clone(), mem.clone());
+    feed(bench, size, variant, stream, &mut pipe)?;
+    let mut summary = pipe.try_finish()?;
+    summary.metrics.set("cell.sampling.windows", 0);
+    summary
+        .metrics
+        .set("cell.sampling.sampled_insts", summary.cpu.retired);
+    summary.metrics.set("cell.sampling.ci_centipct", 0);
+    summary
+        .metrics
+        .set("cell.sampling.mode", sampling::MODE_EXACT_FALLBACK);
+    Ok(summary)
+}
+
+/// One timed cell under SMARTS-style sampling: a functional-warming
+/// pass over the recorded stream serializes an architectural checkpoint
+/// ([`Checkpoint`]) at every window boundary, the detailed windows fan
+/// out across the worker pool (each job independently validates its
+/// checkpoint frame, restores it into a fresh pipeline, and replays
+/// just its window span), and [`visim_cpu::extrapolate`] combines the
+/// warming pass's exact functional totals with the windows' cycle
+/// measurements into the full-run estimate.
+///
+/// The sampled result is deterministic for any worker count: windows
+/// are scheduled from instruction indices alone, the pool returns
+/// results in input order, and extrapolation is integer arithmetic over
+/// those ordered summaries. Anything that prevents sampling degrades to
+/// [`sampled_exact_fallback`] rather than failing the cell.
+fn run_sampled(
+    bench: Bench,
+    cpu: &CpuConfig,
+    mem: &MemConfig,
+    size: &WorkloadSize,
+    variant: Variant,
+    stream: &Stream,
+    scfg: SampleConfig,
+) -> Result<Summary, SimError> {
+    // Windows address dynamic instruction indices, so sampling needs a
+    // recorded stream; direct emission (cache disabled or over budget)
+    // falls back to exact.
+    let rec = match stream {
+        Stream::Replay { rec, .. } => Arc::clone(rec),
+        Stream::Direct => return sampled_exact_fallback(bench, cpu, mem, size, variant, stream),
+    };
+    let n = rec.len() as u64;
+    let starts: Vec<u64> = (0u64..)
+        .map(|k| k.saturating_mul(scfg.period))
+        .take_while(|s| s.saturating_add(scfg.window) <= n)
+        .collect();
+    if starts.len() < 2 {
+        return sampled_exact_fallback(bench, cpu, mem, size, variant, stream);
+    }
+
+    // Warming pass: advance the functional model through the whole
+    // stream (windows included — state continuity is the point),
+    // serializing a framed checkpoint at each window's *warm-up* entry:
+    // `warmup()` instructions before the measured span, so the detailed
+    // replay can refill the pipeline, ports, and banks before the
+    // window starts counting. The first window has no warm-up — at
+    // instruction 0 the cold start is the program's, not sampling's.
+    let warmup = scfg.warmup();
+    let entries: Vec<u64> = starts.iter().map(|&s| s.saturating_sub(warmup)).collect();
+    let mut warm = WarmingSink::new(cpu, mem.clone());
+    let mut cursor = ReplayCursor::start();
+    let mut frames = Vec::with_capacity(entries.len());
+    for (ix, &entry) in entries.iter().enumerate() {
+        cursor = rec.replay_span(cursor, entry - warm.insts(), &mut warm);
+        let ck = Checkpoint {
+            cursor,
+            state: warm.checkpoint(),
+        };
+        frames.push(ck.encode(&ckpt_key(bench, size, variant, scfg, ix)));
+    }
+    rec.replay_span(cursor, u64::MAX, &mut warm);
+    let total = warm.finish();
+
+    // Detailed windows: independent jobs on the worker pool (the plain
+    // pool entry point, not `run_parallel` — window jobs are an
+    // implementation detail of one cell, not top-level progress). Each
+    // job re-validates its checkpoint frame end to end before trusting
+    // it.
+    let window_jobs: Vec<_> = frames
+        .into_iter()
+        .enumerate()
+        .map(|(ix, frame)| {
+            let rec = Arc::clone(&rec);
+            let cpu = cpu.clone();
+            let mem = mem.clone();
+            let key = ckpt_key(bench, size, variant, scfg, ix);
+            let window = scfg.window;
+            // How far this window's checkpoint sits before its
+            // measured span (0 for the first window).
+            let warm_insts = starts[ix] - entries[ix];
+            move || -> Result<Summary, SimError> {
+                let ck = Checkpoint::decode_for(&frame, &key, &rec).map_err(|detail| {
+                    SimError::Invariant {
+                        model: "sampling",
+                        detail,
+                    }
+                })?;
+                let mut pipe = Pipeline::new(cpu, mem);
+                pipe.restore_checkpoint(&ck.state)
+                    .map_err(|detail| SimError::Invariant {
+                        model: "sampling",
+                        detail,
+                    })?;
+                // Detailed warm-up, then measure: the warm-up span
+                // refills the pipeline and memory-system timing state
+                // the checkpoint cannot carry, and `reset_stats`
+                // discards its cycles so only the window is counted.
+                let cursor = rec.replay_span(ck.cursor, warm_insts, &mut pipe);
+                pipe.reset_stats();
+                rec.replay_span(cursor, window, &mut pipe);
+                pipe.try_finish()
+            }
+        })
+        .collect();
+    let mut windows = Vec::with_capacity(starts.len());
+    for w in pool::run_ordered(jobs(), window_jobs) {
+        windows.push(w?);
+    }
+
+    match visim_cpu::extrapolate(&total, &windows) {
+        Some((mut summary, est)) => {
+            summary.metrics.set("cell.sampling.windows", est.windows);
+            summary
+                .metrics
+                .set("cell.sampling.sampled_insts", est.sampled_insts);
+            summary
+                .metrics
+                .set("cell.sampling.ci_centipct", est.ci_centipct);
+            summary.metrics.set("cell.sampling.warmup_insts", warmup);
+            summary
+                .metrics
+                .set("cell.sampling.mode", sampling::MODE_SAMPLED);
+            Ok(summary)
+        }
+        None => sampled_exact_fallback(bench, cpu, mem, size, variant, stream),
+    }
+}
+
 /// Run one benchmark through the detailed timing model, surfacing
 /// workload panics, invariant violations, and watchdog aborts as errors.
 pub fn try_run_timed(
@@ -382,9 +562,14 @@ pub fn try_run_timed_cfg(
             let stream = obtain_stream(bench, size, variant)?;
             let emit = t0.elapsed();
             let t1 = Instant::now();
-            let mut pipe = Pipeline::new(cpu.clone(), mem.clone());
-            feed(bench, size, variant, &stream, &mut pipe)?;
-            let mut summary = pipe.try_finish()?;
+            let mut summary = match sampling::config() {
+                Some(scfg) => run_sampled(bench, &cpu, &mem, size, variant, &stream, scfg)?,
+                None => {
+                    let mut pipe = Pipeline::new(cpu.clone(), mem.clone());
+                    feed(bench, size, variant, &stream, &mut pipe)?;
+                    pipe.try_finish()?
+                }
+            };
             stamp_cell_metrics(&mut summary.metrics, emit, t1.elapsed(), &stream);
             Ok(summary)
         },
@@ -967,6 +1152,129 @@ mod tests {
             assert_eq!(r.vis.retired, vis.retired, "{bench:?} vis");
             assert_eq!(r.vis.mix, vis.mix, "{bench:?} vis mix");
         }
+    }
+
+    /// Sampling accuracy and telemetry, driven directly through
+    /// [`run_sampled`] (never via the process-wide configuration, which
+    /// would leak into concurrently running exact tests).
+    #[test]
+    fn sampled_estimate_tracks_exact_cycles() {
+        let size = tiny();
+        let exact = try_run_timed(Bench::Addition, Arch::Ooo4, None, &size, Variant::SCALAR)
+            .expect("exact reference runs");
+        let stream = obtain_stream(Bench::Addition, &size, Variant::SCALAR).expect("stream");
+        let scfg = SampleConfig {
+            window: 500,
+            period: 2_000,
+        };
+        let cpu = Arch::Ooo4.cpu();
+        let mem = MemConfig::default();
+        let s = run_sampled(
+            Bench::Addition,
+            &cpu,
+            &mem,
+            &size,
+            Variant::SCALAR,
+            &stream,
+            scfg,
+        )
+        .expect("sampled run succeeds");
+        assert_eq!(
+            s.metrics.counter("cell.sampling.mode"),
+            sampling::MODE_SAMPLED
+        );
+        assert!(s.metrics.counter("cell.sampling.windows") >= 2);
+        assert!(s.metrics.counter("cell.sampling.sampled_insts") >= 1_000);
+        assert_eq!(
+            s.cpu.retired, exact.cpu.retired,
+            "functional counters are exact, not estimated"
+        );
+        assert_eq!(s.cpu.mix, exact.cpu.mix);
+        assert_eq!(s.cpu.mispredicts, exact.cpu.mispredicts);
+        // Cache hit/miss behaviour is reproduced exactly by the warming
+        // pass; only retry-dependent counters (accesses, MSHR rejects)
+        // depend on issue timing and may differ.
+        assert_eq!(s.mem.l1_hits, exact.mem.l1_hits);
+        assert_eq!(s.mem.l1_primary_misses, exact.mem.l1_primary_misses);
+        assert_eq!(s.mem.l1_merged_misses, exact.mem.l1_merged_misses);
+        assert_eq!(s.mem.l2_accesses, exact.mem.l2_accesses);
+        assert_eq!(s.mem.l2_misses, exact.mem.l2_misses);
+        let err = (s.cycles() as f64 - exact.cycles() as f64).abs() / exact.cycles() as f64;
+        assert!(
+            err < 0.15,
+            "sampled {} vs exact {} cycles ({:.1}% off)",
+            s.cycles(),
+            exact.cycles(),
+            100.0 * err
+        );
+        // The attribution stays exhaustive on the estimated summary.
+        let b = s.cpu.breakdown();
+        assert!((b.total() - s.cycles() as f64).abs() < 1e-6);
+
+        // Repeatability: the sampled estimate is deterministic.
+        let again = run_sampled(
+            Bench::Addition,
+            &cpu,
+            &mem,
+            &size,
+            Variant::SCALAR,
+            &stream,
+            scfg,
+        )
+        .expect("sampled rerun succeeds");
+        assert_eq!(format!("{:?}", again.cpu), format!("{:?}", s.cpu));
+    }
+
+    /// Streams sampling cannot window (direct emission, or too short
+    /// for two windows) degrade to exact simulation and say so.
+    #[test]
+    fn unsampleable_cells_fall_back_to_exact() {
+        let size = tiny();
+        let exact = try_run_timed(Bench::Addition, Arch::Ooo4, None, &size, Variant::SCALAR)
+            .expect("exact reference runs");
+        let cpu = Arch::Ooo4.cpu();
+        let mem = MemConfig::default();
+        let scfg = SampleConfig {
+            window: 500,
+            period: 2_000,
+        };
+        let direct = run_sampled(
+            Bench::Addition,
+            &cpu,
+            &mem,
+            &size,
+            Variant::SCALAR,
+            &Stream::Direct,
+            scfg,
+        )
+        .expect("direct fallback runs");
+        assert_eq!(
+            direct.metrics.counter("cell.sampling.mode"),
+            sampling::MODE_EXACT_FALLBACK
+        );
+        assert_eq!(direct.metrics.counter("cell.sampling.windows"), 0);
+        assert_eq!(direct.cycles(), exact.cycles(), "fallback is exact");
+
+        let stream = obtain_stream(Bench::Addition, &size, Variant::SCALAR).expect("stream");
+        let huge = SampleConfig {
+            window: 1 << 40,
+            period: 1 << 40,
+        };
+        let short = run_sampled(
+            Bench::Addition,
+            &cpu,
+            &mem,
+            &size,
+            Variant::SCALAR,
+            &stream,
+            huge,
+        )
+        .expect("short-stream fallback runs");
+        assert_eq!(
+            short.metrics.counter("cell.sampling.mode"),
+            sampling::MODE_EXACT_FALLBACK
+        );
+        assert_eq!(short.cycles(), exact.cycles());
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //!   instead of re-simulated;
 //! * [`journal`] — the append-only run journal recording cell
 //!   completion order, used to report resume progress;
-//! * [`artifact`] — `visim-results-v1` JSON cell builders pairing each
+//! * [`sampling`] — SMARTS-style sampled-simulation configuration:
+//!   detailed windows + functional warming, opt-in via
+//!   `--sample`/`VISIM_SAMPLE`, with exact simulation the byte-stable
+//!   default;
+//! * [`artifact`] — `visim-results-v2` JSON cell builders pairing each
 //!   text row with a machine-readable record (see `visim-obs`).
 //!
 //! # Example
@@ -47,6 +51,7 @@ pub mod config;
 pub mod experiment;
 pub mod journal;
 pub mod report;
+pub mod sampling;
 pub mod store;
 pub mod trace_cache;
 

@@ -16,7 +16,7 @@
 //!   the full text so a hash collision (or renamed file) is detected on
 //!   load and treated as corruption.
 //! * **Freshness.** Each entry records the store format version, the
-//!   `visim-results-v1` schema tag, and the writing binary's git
+//!   `visim-results-v2` schema tag, and the writing binary's git
 //!   revision. A mismatch on load means the entry was produced by
 //!   different code: it is *purged and recomputed*
 //!   (`store.stale_purged`), never served — a stale cell that parses is
@@ -230,10 +230,22 @@ fn variant_bits(variant: Variant) -> String {
     )
 }
 
+/// The active sampling geometry, folded into every timed cell's content
+/// address while sampling is enabled — including cells that end up
+/// falling back to exact simulation. Sampled estimates and exact
+/// measurements therefore never share a store entry in either
+/// direction, and neither do sampled runs of different geometries.
+fn sample_bits() -> String {
+    match crate::sampling::config() {
+        Some(cfg) => cfg.key_suffix(),
+        None => String::new(),
+    }
+}
+
 /// The key for a detailed timing cell, or `None` when the store is
 /// disabled. Everything the result depends on is folded in: benchmark,
-/// code variant, full workload geometry (seed included), and the
-/// complete machine configuration.
+/// code variant, full workload geometry (seed included), the complete
+/// machine configuration, and the sampling geometry if one is active.
 pub fn timed_key(
     bench: &str,
     cpu: &CpuConfig,
@@ -247,8 +259,9 @@ pub fn timed_key(
     Some(CellKey {
         kind: Kind::Timed,
         text: format!(
-            "timed|{bench}|{}|{size:?}|cpu={cpu:?}|mem={mem:?}",
-            variant_bits(variant)
+            "timed|{bench}|{}|{size:?}|cpu={cpu:?}|mem={mem:?}{}",
+            variant_bits(variant),
+            sample_bits()
         ),
         label: bench.to_string(),
     })
@@ -283,7 +296,10 @@ pub fn custom_timed_key(
     }
     Some(CellKey {
         kind: Kind::Timed,
-        text: format!("timed|{tag}|{size:?}|cpu={cpu:?}|mem={mem:?}"),
+        text: format!(
+            "timed|{tag}|{size:?}|cpu={cpu:?}|mem={mem:?}{}",
+            sample_bits()
+        ),
         label: tag.to_string(),
     })
 }

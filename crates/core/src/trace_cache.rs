@@ -15,7 +15,14 @@
 //! * **Budget.** The resident set is LRU-bounded by `VISIM_TRACE_MB`
 //!   (default 1024 MB; `--trace-cache-mb` overrides). The same budget
 //!   caps a single capture: a stream that outgrows it poisons its
-//!   recorder and the cell falls back to direct emission.
+//!   recorder and the cell falls back to direct emission. The default
+//!   deliberately does *not* hold the full study suite (~2.5 GB of
+//!   decoded streams): evictions cost re-loads, but on virtualized
+//!   hosts with on-demand paging the cost of first-touch page faults
+//!   grows with resident set size, and a measured study run with a
+//!   4 GB budget was slower end to end than with 1 GB — the extra
+//!   residency made every later allocation pay more than the evicted
+//!   re-loads saved.
 //! * **Opt-out.** `VISIM_NO_TRACE_CACHE=1` (or `--no-trace-cache`)
 //!   disables the cache entirely; every cell then emits directly, and
 //!   output must be byte-identical either way.
@@ -25,6 +32,21 @@
 //!   second process starts warm. A file that fails validation is
 //!   deleted and re-recorded — corruption degrades to a cache miss,
 //!   never to a wrong result.
+//! * **Spill policy.** A disk spill only pays off when re-*emitting*
+//!   the stream costs more than reading and decoding it back. Most of
+//!   the twelve workloads emit at ~1 GB/s of encoded stream — far
+//!   faster than a disk round-trip — so spilling them is pure
+//!   overhead (measured: the study-size sweep binaries spent ~12 s
+//!   writing and ~5 s reloading 450 MB of traces to save under 1 s of
+//!   emission, making the warm pass *slower* than the cold one).
+//!   [`store`] therefore spills only streams whose measured emission
+//!   rate falls below `VISIM_SPILL_EMIT_MBPS` (default 200 MB/s —
+//!   i.e. the workload regenerates its stream slower than a disk read
+//!   could): skipped spills count in `trace_cache.spill_skipped`. Set
+//!   the threshold huge to force every stream to disk (the verify
+//!   gates do, to exercise the corruption path) or to `0` to never
+//!   spill. The policy shifts only wall clock and `trace_cache.*`
+//!   counters — never results.
 //!
 //! Results never depend on cache state: a replayed stream pushes
 //! bit-identical `Inst` values in the original order, so hit, miss,
@@ -49,8 +71,12 @@ pub const TRACE_MB_ENV: &str = "VISIM_TRACE_MB";
 pub const NO_TRACE_CACHE_ENV: &str = "VISIM_NO_TRACE_CACHE";
 /// Directory for the on-disk spill; unset means memory-only.
 pub const TRACE_DIR_ENV: &str = "VISIM_TRACE_DIR";
+/// Emission-rate threshold (MB/s) below which a stream is worth
+/// spilling to disk; see the module doc's spill policy.
+pub const SPILL_EMIT_MBPS_ENV: &str = "VISIM_SPILL_EMIT_MBPS";
 
 const DEFAULT_BUDGET_MB: u64 = 1024;
+const DEFAULT_SPILL_EMIT_MBPS: u64 = 200;
 
 // CLI overrides, set by the binaries' shared arg parser before any
 // simulation runs (they take precedence over the environment).
@@ -112,6 +138,7 @@ static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static DISK_LOADS: AtomicU64 = AtomicU64::new(0);
 static DISK_STORES: AtomicU64 = AtomicU64::new(0);
 static DISK_PURGED: AtomicU64 = AtomicU64::new(0);
+static SPILL_SKIPPED: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot the cache counters into `reg` (`trace_cache.*` namespace).
 pub fn export_metrics(reg: &mut Registry) {
@@ -126,6 +153,10 @@ pub fn export_metrics(reg: &mut Registry) {
     reg.set(
         "trace_cache.disk_purged",
         DISK_PURGED.load(Ordering::Relaxed),
+    );
+    reg.set(
+        "trace_cache.spill_skipped",
+        SPILL_SKIPPED.load(Ordering::Relaxed),
     );
     let (bytes, entries) = {
         let lru = state().lock().expect("trace cache lock");
@@ -184,6 +215,26 @@ impl Lru {
         self.order.push(id);
         evicted
     }
+
+    /// Evict cold entries until `incoming` more bytes would fit in
+    /// `budget`, returning the eviction count. Called *before* an
+    /// expensive disk load rather than after it: dropping the cold
+    /// streams first hands their pages back to the OS, so the fresh
+    /// multi-hundred-MB allocations the load is about to make fault in
+    /// against a small resident set. (On virtualized hosts with
+    /// on-demand paging, first-touch cost grows with resident set
+    /// size — loading the biggest stream at ~1 GB RSS measured ~3x
+    /// slower than the same load into a lean process.)
+    fn pre_evict(&mut self, incoming: usize, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while !self.order.is_empty() && self.bytes + incoming > budget {
+            let cold = self.order.remove(0);
+            let old = self.map.remove(&cold).expect("order tracks map");
+            self.bytes -= old.approx_bytes();
+            evicted += 1;
+        }
+        evicted
+    }
 }
 
 fn state() -> &'static Mutex<Lru> {
@@ -199,6 +250,22 @@ pub fn lookup(id: &str) -> Option<Arc<Recorded>> {
         return Some(rec);
     }
     if let Some(dir) = disk_dir() {
+        // Make room *before* reading: the decoded stream lands in
+        // roughly 1.5x its encoded bytes of fresh allocations, and
+        // first-touching them is far cheaper against a small resident
+        // set (see [`Lru::pre_evict`]). An over-estimate only evicts a
+        // stream the insert below would have evicted anyway.
+        if let Ok(md) = std::fs::metadata(disk_path(&dir, id)) {
+            let estimate = usize::try_from(md.len())
+                .unwrap_or(usize::MAX)
+                .saturating_mul(3)
+                / 2;
+            let evicted = state()
+                .lock()
+                .expect("trace cache lock")
+                .pre_evict(estimate, budget_bytes());
+            EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+        }
         if let Some(rec) = disk_load(&dir, id) {
             let rec = Arc::new(rec);
             let evicted = state().lock().expect("trace cache lock").insert(
@@ -216,9 +283,12 @@ pub fn lookup(id: &str) -> Option<Arc<Recorded>> {
     None
 }
 
-/// Store a freshly captured stream: into the resident LRU and, when
-/// `VISIM_TRACE_DIR` is set, onto disk.
-pub fn store(id: &str, rec: &Arc<Recorded>) {
+/// Store a freshly captured stream: into the resident LRU and — when
+/// `VISIM_TRACE_DIR` is set *and* the stream is expensive enough to
+/// regenerate that a disk round-trip can win (see
+/// [`spill_worthwhile`]) — onto disk. `emit` is the measured wall
+/// clock of the recording pass.
+pub fn store(id: &str, rec: &Arc<Recorded>, emit: std::time::Duration) {
     let evicted = state().lock().expect("trace cache lock").insert(
         id.to_string(),
         rec.clone(),
@@ -226,12 +296,37 @@ pub fn store(id: &str, rec: &Arc<Recorded>) {
     );
     EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
     if let Some(dir) = disk_dir() {
+        if !spill_worthwhile(rec.approx_bytes(), emit, spill_emit_mbps()) {
+            SPILL_SKIPPED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         if disk_store(&dir, id, rec).is_ok() {
             DISK_STORES.fetch_add(1, Ordering::Relaxed);
         }
         // A failed spill (full disk, permissions) is silently a
         // memory-only cache — never a simulation failure.
     }
+}
+
+/// The configured emission-rate threshold in MB/s (default 200).
+fn spill_emit_mbps() -> u64 {
+    std::env::var(SPILL_EMIT_MBPS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_SPILL_EMIT_MBPS)
+}
+
+/// Is a stream of `bytes` encoded bytes, recorded in `emit` wall
+/// clock, worth spilling to disk? Only when the workload regenerates
+/// it *slower* than `threshold_mbps` — i.e. re-emission would cost
+/// more than a disk read of the same bytes. Fast emitters (most of the
+/// kernel workloads run at ~1 GB/s of encoded stream) are cheaper to
+/// re-record than to reload, so spilling them only burns I/O.
+fn spill_worthwhile(bytes: usize, emit: std::time::Duration, threshold_mbps: u64) -> bool {
+    let micros = emit.as_micros().max(1) as u64;
+    // bytes/micros == MB/s (both are factors of 10^6).
+    let emit_mbps = bytes as u64 / micros;
+    emit_mbps < threshold_mbps
 }
 
 fn disk_path(dir: &str, id: &str) -> std::path::PathBuf {
@@ -258,9 +353,9 @@ fn disk_load(dir: &str, id: &str) -> Option<Recorded> {
 }
 
 /// Write `<dir>/<id>.vtrc` atomically via the workspace's shared
-/// temp-file + `sync_all` + rename path
-/// ([`visim_util::atomic::write_atomic`]), so a concurrent reader sees
-/// either the complete old file or the complete new one. The
+/// temp-file + rename path
+/// ([`visim_util::atomic::write_atomic_unsynced`]), so a concurrent
+/// reader sees either the complete old file or the complete new one. The
 /// `spill.corrupt` fault point flips one byte mid-payload before the
 /// write — the framing checksum then rejects the spill on reload and
 /// [`disk_load`] purges it, which is the degradation the fault gate
@@ -271,7 +366,11 @@ fn disk_store(dir: &str, id: &str, rec: &Recorded) -> std::io::Result<()> {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
     }
-    visim_util::atomic::write_atomic(disk_path(dir, id), &bytes)
+    // Unsynced on purpose: the spill is a cache whose reader validates
+    // a checksum and purges damage, so a crash-torn file degrades to a
+    // miss — and `sync_all` on hundreds of MB of traces dominated the
+    // cold pass of the sweep binaries.
+    visim_util::atomic::write_atomic_unsynced(disk_path(dir, id), &bytes)
 }
 
 #[cfg(test)]
@@ -347,6 +446,27 @@ mod tests {
         assert!(disk_load(&dir, "k3").is_none());
         assert!(!p.exists(), "corrupt file purged");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_policy_keeps_slow_emitters_and_skips_fast_ones() {
+        use std::time::Duration;
+        let mb = 1 << 20;
+        // 100 MB emitted in 1 s = 100 MB/s: below the 200 MB/s default
+        // threshold, re-emission is slow, spilling wins.
+        assert!(spill_worthwhile(100 * mb, Duration::from_secs(1), 200));
+        // The same bytes in 100 ms = 1 GB/s: re-emission beats any
+        // disk read, skip the spill.
+        assert!(!spill_worthwhile(100 * mb, Duration::from_millis(100), 200));
+        // Threshold 0 never spills; a huge threshold always does.
+        assert!(!spill_worthwhile(100 * mb, Duration::from_secs(60), 0));
+        assert!(spill_worthwhile(
+            100 * mb,
+            Duration::from_micros(1),
+            u64::MAX
+        ));
+        // A zero-duration emit cannot divide by zero.
+        assert!(!spill_worthwhile(mb, Duration::ZERO, 200));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! JSON serialization of pipeline results for the `visim-results-v1`
+//! JSON serialization of pipeline results for the `visim-results-v2`
 //! artifact schema (see `visim-obs`).
 //!
 //! The conversions live here rather than in `visim-obs` so the obs

@@ -43,9 +43,11 @@ mod pipeline;
 mod predictor;
 mod sink;
 mod stats;
+mod warming;
 
 pub use config::{CpuConfig, FuCounts, IssuePolicy};
 pub use pipeline::{Pipeline, Summary};
 pub use predictor::{AgreePredictor, ReturnAddressStack};
 pub use sink::{CountingSink, SimSink, TraceSink, Traced};
 pub use stats::{Breakdown, CpuStats, StallClass};
+pub use warming::{extrapolate, SamplingEstimate, WarmingSink};

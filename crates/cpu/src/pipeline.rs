@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use visim_isa::{BranchKind, Inst, MemKind, MemRef};
 use visim_mem::{MemConfig, MemStats, MemSystem, Request, ServiceLevel};
+use visim_obs::codec::ByteReader;
 use visim_obs::trace::{InstSpan, InstantKind, SharedTraceRing};
 use visim_obs::{Histogram, Registry};
 use visim_util::SimError;
@@ -333,6 +334,49 @@ impl Pipeline {
     pub fn finish(self) -> Summary {
         self.try_finish()
             .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Restore an architectural checkpoint captured by
+    /// [`crate::WarmingSink::checkpoint`]: predictor counters,
+    /// return-address stack, and cache/MSHR residency. Must be called
+    /// on a freshly built pipeline, before any instruction is pushed —
+    /// the pipeline then observes its sample window on a warmed machine
+    /// with clean statistics. The pipeline and the checkpoint must share
+    /// the same processor and memory geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving the pipeline unusable — discard it) on
+    /// geometry mismatch, malformed state, or trailing bytes.
+    pub fn restore_checkpoint(&mut self, state: &[u8]) -> Result<(), String> {
+        if self.now != 0 || !self.fetch_q.is_empty() || !self.window.is_empty() {
+            return Err("checkpoint restored into a running pipeline".into());
+        }
+        let mut r = ByteReader::new(state);
+        self.pred.load_state(&mut r)?;
+        self.ras.load_state(&mut r)?;
+        self.mem.load_state(&mut r)?;
+        r.done()
+    }
+
+    /// Zero the statistics a sampled window reports — the cycle /
+    /// retirement / stall-attribution accumulators and the
+    /// window-occupancy histogram — while leaving every piece of
+    /// machine state (caches, predictor, RAS, in-flight instructions,
+    /// the current cycle) untouched. The sampled runner calls this at
+    /// the boundary between a window's detailed warm-up span and its
+    /// measured span, so the measurement starts from a *busy* pipeline
+    /// instead of the empty one a checkpoint restore leaves behind,
+    /// without the warm-up's cycles contaminating the estimate.
+    ///
+    /// Instructions in flight at the reset retire into the measured
+    /// statistics (and the measured span's own tail drains past its
+    /// last push) — the two edges model the steady state a window cut
+    /// from a longer run would see, which is exactly what the
+    /// extrapolation assumes.
+    pub fn reset_stats(&mut self) {
+        self.stats = CpuStats::new(self.cfg.issue_width);
+        self.window_occ = Histogram::new(&[1, 2, 4, 8, 16, 32, 64, 128]);
     }
 
     /// The first failure observed so far, if any.

@@ -11,6 +11,7 @@
 //! deviations — matching the paper's observation that the hard cases are
 //! data-dependent branches (saturation, thresholding).
 
+use visim_obs::codec::{ByteReader, ByteWriter};
 use visim_obs::trace::{InstantKind, SharedTraceRing};
 
 /// Observability counters for [`AgreePredictor`]: how often training
@@ -90,6 +91,34 @@ impl AgreePredictor {
         agree == Self::bias(backward)
     }
 
+    /// Serialize the counter table for an architectural checkpoint.
+    /// Statistics are *not* captured: a restored predictor observes its
+    /// window from a clean slate.
+    pub(crate) fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.counters.len() as u32);
+        w.put_raw(&self.counters);
+    }
+
+    /// Restore a counter table captured by [`AgreePredictor::save_state`]
+    /// into a predictor of the same geometry. Statistics reset to zero.
+    /// On error the table may be partially written and must be discarded.
+    pub(crate) fn load_state(&mut self, r: &mut ByteReader) -> Result<(), String> {
+        let n = r.u32()? as usize;
+        if n != self.counters.len() {
+            return Err(format!(
+                "predictor size {n} != configured {}",
+                self.counters.len()
+            ));
+        }
+        let bytes = r.raw(n)?;
+        if let Some(bad) = bytes.iter().find(|&&b| b > 3) {
+            return Err(format!("predictor counter {bad} out of 2-bit range"));
+        }
+        self.counters.copy_from_slice(bytes);
+        self.stats = PredictorStats::default();
+        Ok(())
+    }
+
     /// Train with the actual outcome.
     pub fn update(&mut self, pc: u64, backward: bool, taken: bool) {
         let agreed = taken == Self::bias(backward);
@@ -156,6 +185,29 @@ impl ReturnAddressStack {
                 false
             }
         }
+    }
+
+    /// Serialize the stack contents for an architectural checkpoint.
+    /// Overflow/underflow counters are not captured.
+    pub(crate) fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u64s(&self.stack);
+    }
+
+    /// Restore a stack captured by [`ReturnAddressStack::save_state`].
+    /// Counters reset to zero.
+    pub(crate) fn load_state(&mut self, r: &mut ByteReader) -> Result<(), String> {
+        let stack = r.u64s()?;
+        if stack.len() > self.cap {
+            return Err(format!(
+                "RAS depth {} exceeds capacity {}",
+                stack.len(),
+                self.cap
+            ));
+        }
+        self.stack = stack;
+        self.overflows = 0;
+        self.underflows = 0;
+        Ok(())
     }
 
     /// Pushes that lost the oldest entry to capacity.
@@ -249,6 +301,61 @@ mod tests {
         assert!(r.pop_matches(2));
         assert!(r.pop_matches(1));
         assert!(!r.pop_matches(1), "underflow mispredicts");
+    }
+
+    #[test]
+    fn predictor_snapshot_round_trips_and_rejects_bad_state() {
+        let mut p = AgreePredictor::new(64);
+        for i in 0..200u64 {
+            p.update(i * 4, i % 3 == 0, i % 2 == 0);
+        }
+        let mut w = ByteWriter::new();
+        p.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = AgreePredictor::new(64);
+        fresh
+            .load_state(&mut ByteReader::new(&bytes))
+            .expect("restores");
+        assert_eq!(fresh.counters, p.counters);
+        assert_eq!(fresh.stats, PredictorStats::default(), "stats reset");
+        // Re-encoding the restored state is bit-identical.
+        let mut w2 = ByteWriter::new();
+        fresh.save_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+
+        // Wrong geometry is rejected.
+        let mut small = AgreePredictor::new(32);
+        assert!(small.load_state(&mut ByteReader::new(&bytes)).is_err());
+        // An out-of-range counter byte is rejected.
+        let mut bad = bytes.clone();
+        bad[4] = 7;
+        assert!(AgreePredictor::new(64)
+            .load_state(&mut ByteReader::new(&bad))
+            .is_err());
+    }
+
+    #[test]
+    fn ras_snapshot_round_trips_and_rejects_overdeep_stack() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(0x10);
+        r.push(0x20);
+        r.push(0x30);
+        let mut w = ByteWriter::new();
+        r.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = ReturnAddressStack::new(4);
+        fresh
+            .load_state(&mut ByteReader::new(&bytes))
+            .expect("restores");
+        assert!(fresh.pop_matches(0x30));
+        assert!(fresh.pop_matches(0x20));
+        assert!(fresh.pop_matches(0x10));
+        assert_eq!(fresh.underflows(), 0);
+
+        let mut shallow = ReturnAddressStack::new(2);
+        assert!(shallow.load_state(&mut ByteReader::new(&bytes)).is_err());
     }
 
     #[test]

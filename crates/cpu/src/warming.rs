@@ -1,0 +1,434 @@
+//! Functional warming and sampled-run extrapolation (SMARTS-style).
+//!
+//! Sampled simulation replays the detailed cycle-accurate pipeline only
+//! for periodic sample windows and fast-forwards between them with
+//! [`WarmingSink`]: a sink that updates *only* the long-lived
+//! microarchitectural state whose history matters across windows —
+//! cache/MSHR residency and the branch-prediction structures — with no
+//! pipeline, window, or functional-unit modeling. Because warming
+//! consumes the stream in program order (the same order [`Pipeline`]
+//! dispatches and trains in), its functional counters (instruction mix,
+//! branch outcomes, predictor behaviour) are *exact*, not estimates;
+//! only cycle counts are extrapolated from the sampled windows.
+//!
+//! [`WarmingSink::checkpoint`] serializes the warmed state into an
+//! opaque blob that [`Pipeline::restore_checkpoint`] accepts, which is
+//! what makes every sample window independently replayable (and lets
+//! one benchmark's windows fan out across a worker pool).
+//!
+//! [`extrapolate`] combines the warming pass's exact functional totals
+//! with the detailed windows' cycle measurements into a full-run
+//! estimate, using the ratio estimator `cycles ≈ total_insts ×
+//! Σ window_cycles / Σ window_insts` and a Student-t confidence
+//! interval over the per-window CPI spread.
+//!
+//! [`Pipeline`]: crate::Pipeline
+//! [`Pipeline::restore_checkpoint`]: crate::Pipeline::restore_checkpoint
+
+use visim_isa::{BranchKind, Inst};
+use visim_mem::{MemConfig, MemSystem, Request};
+use visim_obs::codec::ByteWriter;
+use visim_obs::Registry;
+
+use crate::config::CpuConfig;
+use crate::pipeline::Summary;
+use crate::predictor::{AgreePredictor, ReturnAddressStack};
+use crate::sink::SimSink;
+use crate::stats::CpuStats;
+
+/// The functional-warming engine: caches, MSHR-visible miss state, and
+/// branch predictor only.
+///
+/// Time is the dynamic instruction index — each instruction advances the
+/// clock by one — which gives MSHR fills a deterministic pseudo-schedule
+/// without modeling issue timing.
+#[derive(Debug)]
+pub struct WarmingSink {
+    stats: CpuStats,
+    pred: AgreePredictor,
+    ras: ReturnAddressStack,
+    mem: MemSystem,
+    /// Dynamic instruction index == warming pseudo-time.
+    idx: u64,
+}
+
+impl WarmingSink {
+    /// A warming engine with the same predictor/RAS/memory geometry the
+    /// timing pipeline would build from these configurations.
+    pub fn new(cfg: &CpuConfig, mem_cfg: MemConfig) -> Self {
+        WarmingSink {
+            stats: CpuStats::new(cfg.issue_width),
+            pred: AgreePredictor::new(cfg.predictor_entries),
+            ras: ReturnAddressStack::new(cfg.ras_entries),
+            mem: MemSystem::new(mem_cfg),
+            idx: 0,
+        }
+    }
+
+    /// Dynamic instructions consumed so far.
+    pub fn insts(&self) -> u64 {
+        self.idx
+    }
+
+    /// Serialize the warmed architectural state (predictor counters,
+    /// return-address stack, cache tags/recency, in-flight MSHR misses)
+    /// into the opaque blob [`crate::Pipeline::restore_checkpoint`]
+    /// accepts. Statistics are not captured; a window replayed from the
+    /// checkpoint observes the machine from a clean slate.
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.pred.save_state(&mut w);
+        self.ras.save_state(&mut w);
+        self.mem.save_state(&mut w, self.idx);
+        w.into_bytes()
+    }
+
+    /// Finish the warming pass: exact functional statistics (cycles stay
+    /// 0 — warming has no timing model) plus the same observability
+    /// metrics a pipeline run exports, minus the cycle-derived ones.
+    pub fn finish(mut self) -> Summary {
+        let hist = self.mem.mshr_histogram(self.idx);
+        let mut metrics = Registry::new();
+        let ps = self.pred.stats();
+        metrics.set("cpu.predictor.updates", ps.updates);
+        metrics.set("cpu.predictor.bias_agreements", ps.bias_agreements);
+        metrics.set("cpu.predictor.flips", ps.flips);
+        metrics.set("cpu.ras.overflows", self.ras.overflows());
+        metrics.set("cpu.ras.underflows", self.ras.underflows());
+        self.mem.export_metrics(&mut metrics);
+        Summary {
+            cpu: self.stats,
+            mem: self.mem.stats().clone(),
+            mshr_histogram: hist,
+            metrics,
+        }
+    }
+}
+
+impl SimSink for WarmingSink {
+    fn push(&mut self, inst: Inst) {
+        self.stats.note_retired(inst.op);
+        // Branch handling matches CountingSink (and Pipeline dispatch,
+        // which trains in program order) exactly.
+        if let Some(b) = inst.branch {
+            match b.kind {
+                BranchKind::Cond => {
+                    self.stats.cond_branches += 1;
+                    if self.pred.predict(inst.pc, b.backward) != b.taken {
+                        self.stats.mispredicts += 1;
+                    }
+                    self.pred.update(inst.pc, b.backward, b.taken);
+                }
+                BranchKind::Call => self.ras.push(b.target),
+                BranchKind::Ret => {
+                    if !self.ras.pop_matches(b.target) {
+                        self.stats.ras_mispredicts += 1;
+                    }
+                }
+                BranchKind::Jump => {}
+            }
+        }
+        if let Some(mem) = inst.mem {
+            self.mem
+                .warm_access(Request::new(mem.addr, mem.size, mem.kind), self.idx);
+        }
+        self.idx += 1;
+    }
+}
+
+/// How a sampled estimate was produced, for `cell.sampling.*` metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingEstimate {
+    /// Detailed windows measured.
+    pub windows: u64,
+    /// Instructions simulated in detail (Σ window retirements).
+    pub sampled_insts: u64,
+    /// Half-width of the 95% confidence interval on CPI, relative to
+    /// the estimate, in centi-percent (e.g. 250 = ±2.5%).
+    pub ci_centipct: u64,
+}
+
+/// Two-sided 97.5% Student-t quantile (95% interval) for `dof` degrees
+/// of freedom; converges to the normal 1.96 for large windows counts.
+fn t975(dof: usize) -> f64 {
+    const T: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if dof == 0 {
+        f64::INFINITY
+    } else if dof <= T.len() {
+        T[dof - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Round `x × num / den` to the nearest integer in u128 arithmetic.
+fn scale(x: u64, num: u64, den: u64) -> u64 {
+    ((x as u128 * num as u128 + den as u128 / 2) / den as u128) as u64
+}
+
+/// Extrapolate detailed per-window measurements over the warming pass's
+/// exact functional totals.
+///
+/// `total` is the [`WarmingSink::finish`] summary of the *whole* run;
+/// `windows` are the detailed-window summaries in stream order. Returns
+/// the full-run estimated summary plus the sampling telemetry, or
+/// `None` when the sample is unusable (fewer than two windows, or no
+/// retirements) and the caller must fall back to exact simulation.
+///
+/// The estimated summary keeps every functional counter from `total`
+/// (they are exact), scales cycles and the stall-attribution units by
+/// the ratio estimator, and preserves the `Σ units = width × cycles`
+/// attribution invariant by deriving busy units as the remainder.
+pub fn extrapolate(total: &Summary, windows: &[Summary]) -> Option<(Summary, SamplingEstimate)> {
+    if windows.len() < 2 {
+        return None;
+    }
+    let mut retired_sum = 0u64;
+    let mut cycles_sum = 0u64;
+    let mut fu_sum = 0u64;
+    let mut l1h_sum = 0u64;
+    let mut l1m_sum = 0u64;
+    for w in windows {
+        retired_sum += w.cpu.retired;
+        cycles_sum += w.cpu.cycles;
+        fu_sum += w.cpu.fu_stall_units;
+        l1h_sum += w.cpu.l1_hit_units;
+        l1m_sum += w.cpu.l1_miss_units;
+    }
+    if retired_sum == 0 || total.cpu.retired == 0 {
+        return None;
+    }
+
+    let mut cpu = total.cpu.clone();
+    let n = total.cpu.retired;
+    cpu.cycles = scale(cycles_sum, n, retired_sum);
+    cpu.fu_stall_units = scale(fu_sum, n, retired_sum);
+    cpu.l1_hit_units = scale(l1h_sum, n, retired_sum);
+    cpu.l1_miss_units = scale(l1m_sum, n, retired_sum);
+    // Busy absorbs the rounding slack so the attribution stays
+    // exhaustive: Σ units == width × cycles.
+    let capacity = cpu.width * cpu.cycles;
+    let stalls = cpu.fu_stall_units + cpu.l1_hit_units + cpu.l1_miss_units;
+    cpu.busy_units = capacity.saturating_sub(stalls);
+
+    // 95% CI over the per-window CPI spread (windows retiring nothing
+    // contribute no CPI observation).
+    let cpis: Vec<f64> = windows
+        .iter()
+        .filter(|w| w.cpu.retired > 0)
+        .map(|w| w.cpu.cycles as f64 / w.cpu.retired as f64)
+        .collect();
+    let k = cpis.len();
+    let mean = cpis.iter().sum::<f64>() / k as f64;
+    let ci_centipct = if k < 2 || mean <= 0.0 {
+        0
+    } else {
+        let var = cpis.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (k - 1) as f64;
+        let half = t975(k - 1) * (var / k as f64).sqrt();
+        (half / mean * 10_000.0).round().min(u64::MAX as f64) as u64
+    };
+
+    // Functional metrics come from the warming pass; the windows add the
+    // only cycle-level observability a sampled run has (window occupancy
+    // over the sampled cycles).
+    let mut metrics = total.metrics.clone();
+    for w in windows {
+        if let Some(h) = w.metrics.histogram("cpu.window_occupancy") {
+            metrics.merge_histogram("cpu.window_occupancy", h);
+        }
+    }
+
+    let est = SamplingEstimate {
+        windows: windows.len() as u64,
+        sampled_insts: retired_sum,
+        ci_centipct,
+    };
+    Some((
+        Summary {
+            cpu,
+            mem: total.mem.clone(),
+            mshr_histogram: total.mshr_histogram.clone(),
+            metrics,
+        },
+        est,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use visim_isa::{BranchInfo, MemKind, MemRef, Op, Reg};
+
+    fn stream(n: u64) -> Vec<Inst> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            v.push(Inst::compute(
+                Op::IntAlu,
+                0x100 + i * 4,
+                Reg(1 + i as u32),
+                [Reg::NONE; 3],
+            ));
+            v.push(Inst::memory(
+                Op::Load,
+                0x200 + i * 4,
+                Reg(20_000 + i as u32),
+                [Reg::NONE; 3],
+                MemRef {
+                    addr: (i % 64) * 64,
+                    size: 8,
+                    kind: MemKind::Load,
+                },
+            ));
+            v.push(Inst::control(
+                Op::Branch,
+                0x300,
+                [Reg::NONE; 3],
+                BranchInfo::cond(i % 7 != 0, true),
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn warming_counters_match_counting_sink_exactly() {
+        let cfg = CpuConfig::ooo_4way();
+        let mut warm = WarmingSink::new(&cfg, MemConfig::default());
+        let mut count = crate::sink::CountingSink::new();
+        for inst in stream(500) {
+            warm.push(inst);
+            count.push(inst);
+        }
+        assert_eq!(warm.insts(), 1500);
+        let w = warm.finish();
+        let c = count.finish();
+        assert_eq!(w.cpu.cycles, 0, "warming has no timing model");
+        assert_eq!(w.cpu.retired, c.retired);
+        assert_eq!(w.cpu.mix, c.mix);
+        assert_eq!(w.cpu.cond_branches, c.cond_branches);
+        assert_eq!(w.cpu.mispredicts, c.mispredicts);
+        assert_eq!(w.cpu.ras_mispredicts, c.ras_mispredicts);
+        assert_eq!(w.cpu.loads, c.loads);
+        assert!(w.mem.l1_accesses > 0, "warming touched the memory system");
+    }
+
+    #[test]
+    fn checkpoint_restores_into_a_pipeline() {
+        let cfg = CpuConfig::ooo_4way();
+        let mem_cfg = MemConfig::default();
+        let mut warm = WarmingSink::new(&cfg, mem_cfg.clone());
+        for inst in stream(300) {
+            warm.push(inst);
+        }
+        let blob = warm.checkpoint();
+
+        let mut p = Pipeline::new(cfg.clone(), mem_cfg.clone());
+        p.restore_checkpoint(&blob).expect("restores cleanly");
+
+        // A running pipeline refuses a checkpoint.
+        let mut running = Pipeline::new(cfg.clone(), mem_cfg.clone());
+        running.push(Inst::compute(Op::IntAlu, 0x10, Reg(1), [Reg::NONE; 3]));
+        assert!(running.restore_checkpoint(&blob).is_err());
+
+        // Geometry mismatch (different predictor size) is rejected.
+        let mut other_cfg = cfg;
+        other_cfg.predictor_entries = 512;
+        let mut q = Pipeline::new(other_cfg, mem_cfg);
+        assert!(q.restore_checkpoint(&blob).is_err());
+
+        // Trailing garbage is rejected.
+        let mut long = blob.clone();
+        long.push(0);
+        let mut r = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
+        assert!(r.restore_checkpoint(&long).is_err());
+    }
+
+    #[test]
+    fn warmed_window_sees_hot_caches() {
+        // Replay the same window twice: once from a cold pipeline, once
+        // from a checkpoint warmed on the preceding stream. The warmed
+        // replay must see strictly more L1 hits.
+        let cfg = CpuConfig::ooo_4way();
+        let mem_cfg = MemConfig::default();
+        let full = stream(400);
+        let split = full.len() / 2;
+
+        let mut warm = WarmingSink::new(&cfg, mem_cfg.clone());
+        for &inst in &full[..split] {
+            warm.push(inst);
+        }
+        let blob = warm.checkpoint();
+
+        let mut cold = Pipeline::new(cfg.clone(), mem_cfg.clone());
+        for &inst in &full[split..] {
+            cold.push(inst);
+        }
+        let cold = cold.try_finish().expect("cold window runs");
+
+        let mut hot = Pipeline::new(cfg, mem_cfg);
+        hot.restore_checkpoint(&blob).expect("restores");
+        for &inst in &full[split..] {
+            hot.push(inst);
+        }
+        let hot = hot.try_finish().expect("warmed window runs");
+
+        assert_eq!(hot.cpu.retired, cold.cpu.retired);
+        assert!(
+            hot.mem.l1_hits > cold.mem.l1_hits,
+            "warmed {} vs cold {} L1 hits",
+            hot.mem.l1_hits,
+            cold.mem.l1_hits
+        );
+    }
+
+    #[test]
+    fn extrapolation_is_exact_for_uniform_windows() {
+        // Two windows with identical CPI: the estimate reconstructs the
+        // exact total with a zero-width confidence interval.
+        let mk = |cycles: u64, retired: u64, fu: u64| {
+            let mut s = CpuStats::new(4);
+            s.cycles = cycles;
+            s.retired = retired;
+            s.fu_stall_units = fu;
+            s.busy_units = 4 * cycles - fu;
+            Summary {
+                cpu: s,
+                mem: Default::default(),
+                mshr_histogram: Vec::new(),
+                metrics: Registry::new(),
+            }
+        };
+        let mut total = mk(0, 10_000, 0);
+        total.cpu.loads = 1234;
+        let windows = [mk(500, 1000, 800), mk(500, 1000, 800)];
+        let (est, tele) = extrapolate(&total, &windows).expect("estimable");
+        assert_eq!(est.cpu.cycles, 5_000, "CPI 0.5 over 10k insts");
+        assert_eq!(est.cpu.fu_stall_units, 8_000);
+        assert_eq!(
+            est.cpu.busy_units
+                + est.cpu.fu_stall_units
+                + est.cpu.l1_hit_units
+                + est.cpu.l1_miss_units,
+            est.cpu.width * est.cpu.cycles,
+            "attribution stays exhaustive"
+        );
+        assert_eq!(est.cpu.loads, 1234, "functional counters pass through");
+        assert_eq!(tele.windows, 2);
+        assert_eq!(tele.sampled_insts, 2000);
+        assert_eq!(tele.ci_centipct, 0, "no spread, no interval");
+
+        // Spread between windows widens the interval.
+        let spread = [mk(400, 1000, 100), mk(600, 1000, 100)];
+        let (_, t2) = extrapolate(&total, &spread).expect("estimable");
+        assert!(t2.ci_centipct > 0);
+
+        // Degenerate samples fall back.
+        assert!(extrapolate(&total, &windows[..1]).is_none());
+        let empty = [mk(0, 0, 0), mk(0, 0, 0)];
+        assert!(extrapolate(&total, &empty).is_none());
+    }
+}

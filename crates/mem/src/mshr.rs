@@ -8,6 +8,7 @@
 //! behaviour the paper traces back to bursts of small writes
 //! (e.g. 64 one-byte pixel stores per 64-byte line).
 
+use visim_obs::codec::{ByteReader, ByteWriter};
 use visim_obs::trace::{InstantKind, SharedTraceRing};
 
 /// Reason an MSHR request could not be accepted this cycle.
@@ -257,6 +258,83 @@ impl MshrFile {
         self.account(now);
         self.occupancy_cycles.clone()
     }
+
+    /// Serialize the in-flight miss set, with every fill time rebased so
+    /// the capture instant `now` becomes the restored file's cycle 0.
+    /// The occupancy integral and peak are not captured: a restored file
+    /// accounts its sample window from a clean slate.
+    pub fn save_state(&mut self, w: &mut ByteWriter, now: u64) {
+        self.expire(now);
+        w.put_u32(self.capacity as u32);
+        w.put_u32(self.max_merges);
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_u64(e.line);
+            // `expire` retained only fills strictly in the future, so
+            // the rebased time is >= 1 (or still the unset sentinel).
+            let rel = if e.fill_at == u64::MAX {
+                u64::MAX
+            } else {
+                e.fill_at - now
+            };
+            w.put_u64(rel);
+            w.put_u32(e.merges);
+            w.put_u8(e.prefetch_only as u8);
+        }
+    }
+
+    /// Restore a [`MshrFile::save_state`] snapshot, validating geometry
+    /// and every structural bound; on error the file must be discarded.
+    pub fn load_state(&mut self, r: &mut ByteReader) -> Result<(), String> {
+        let capacity = r.u32()? as usize;
+        let max_merges = r.u32()?;
+        if capacity != self.capacity || max_merges != self.max_merges {
+            return Err(format!(
+                "MSHR geometry mismatch: snapshot {capacity}x{max_merges}, \
+                 file {}x{}",
+                self.capacity, self.max_merges
+            ));
+        }
+        let n = r.u32()? as usize;
+        if n > capacity {
+            return Err(format!("snapshot holds {n} entries, capacity {capacity}"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut next_fill = u64::MAX;
+        for _ in 0..n {
+            let line = r.u64()?;
+            let fill_at = r.u64()?;
+            let merges = r.u32()?;
+            let flag = r.u8()?;
+            if merges == 0 || merges > max_merges {
+                return Err(format!("invalid merge count {merges}"));
+            }
+            if flag > 1 {
+                return Err(format!("invalid prefetch flag {flag:#x}"));
+            }
+            if fill_at == 0 {
+                return Err(format!("already-expired fill for line {line:#x}"));
+            }
+            if entries.iter().any(|e: &Entry| e.line == line) {
+                return Err(format!("duplicate MSHR entry for line {line:#x}"));
+            }
+            next_fill = next_fill.min(fill_at);
+            entries.push(Entry {
+                line,
+                fill_at,
+                merges,
+                prefetch_only: flag != 0,
+            });
+        }
+        self.live_count = entries.len();
+        self.peak = entries.len() as u32;
+        self.entries = entries;
+        self.occupancy_cycles = vec![0; self.capacity + 1];
+        self.last_change = 0;
+        self.next_live_fill = next_fill;
+        self.violation = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +420,68 @@ mod tests {
         let v = m.take_violation().expect("violation recorded");
         assert!(v.contains("0x1c0"), "{v}");
         assert!(m.take_violation().is_none(), "violation is taken once");
+    }
+
+    #[test]
+    fn snapshot_round_trip_rebases_fill_times() {
+        let mut m = MshrFile::new(4, 8);
+        m.offer(0x40, 0, true).unwrap();
+        m.set_fill_time(0x40, 100);
+        m.offer(0x80, 5, false).unwrap(); // prefetch-only entry
+        m.set_fill_time(0x80, 120);
+        m.offer(0xc0, 6, true).unwrap();
+        m.set_fill_time(0xc0, 8); // expires before the capture instant
+
+        let mut w = ByteWriter::new();
+        m.save_state(&mut w, 10);
+        let bytes = w.into_bytes();
+
+        let mut f = MshrFile::new(4, 8);
+        let mut r = ByteReader::new(&bytes);
+        f.load_state(&mut r).unwrap();
+        r.done().unwrap();
+
+        // The expired entry was dropped; live fills rebased to now=10.
+        assert_eq!(f.occupancy(0), 2);
+        match f.offer(0x40, 1, true) {
+            Ok(MshrOffer::Merged { fill_at, .. }) => assert_eq!(fill_at, 90),
+            other => panic!("{other:?}"),
+        }
+        match f.offer(0x80, 2, true) {
+            Ok(MshrOffer::Merged {
+                prefetch_inflight, ..
+            }) => assert!(prefetch_inflight, "prefetch-only flag survives"),
+            other => panic!("{other:?}"),
+        }
+        // Restoring at cycle 0 re-encodes the same snapshot bytes.
+        let mut g = MshrFile::new(4, 8);
+        let mut r = ByteReader::new(&bytes);
+        g.load_state(&mut r).unwrap();
+        let mut w2 = ByteWriter::new();
+        g.save_state(&mut w2, 0);
+        assert_eq!(bytes, w2.into_bytes());
+    }
+
+    #[test]
+    fn snapshot_geometry_and_bounds_rejected() {
+        let mut m = MshrFile::new(2, 8);
+        m.offer(0x40, 0, true).unwrap();
+        m.set_fill_time(0x40, 100);
+        let mut w = ByteWriter::new();
+        m.save_state(&mut w, 0);
+        let bytes = w.into_bytes();
+        // Wrong capacity.
+        let mut f = MshrFile::new(4, 8);
+        assert!(f.load_state(&mut ByteReader::new(&bytes)).is_err());
+        // Wrong merge limit.
+        let mut f = MshrFile::new(2, 4);
+        assert!(f.load_state(&mut ByteReader::new(&bytes)).is_err());
+        // Corrupt merge count (offset 12 opens the first entry: 8-byte
+        // line, 8-byte fill, then the 4-byte merge count at 28).
+        let mut bad = bytes.clone();
+        bad[28] = 0;
+        let mut f = MshrFile::new(2, 8);
+        assert!(f.load_state(&mut ByteReader::new(&bad)).is_err());
     }
 
     #[test]

@@ -131,7 +131,7 @@ impl MemStats {
     }
 
     /// Serialize every counter plus the derived rates for the
-    /// `visim-results-v1` cell payload.
+    /// `visim-results-v2` cell payload.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("l1_accesses", Json::from(self.l1_accesses)),

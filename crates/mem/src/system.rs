@@ -2,6 +2,7 @@
 //! and interleaved memory banks.
 
 use visim_isa::MemKind;
+use visim_obs::codec::{ByteReader, ByteWriter};
 use visim_obs::trace::{InstantKind, SharedTraceRing};
 use visim_util::SimError;
 
@@ -455,6 +456,190 @@ impl MemSystem {
             done_at: start + self.cfg.mem_latency,
             level: ServiceLevel::Memory,
             merged: false,
+        }
+    }
+
+    /// Serialize the architectural memory state — both tag arrays and
+    /// both MSHR files, with in-flight fills rebased so the capture
+    /// instant `now` becomes the restored system's cycle 0 — into `w`.
+    ///
+    /// Reservation state (ports, banks) and statistics are deliberately
+    /// excluded: a restored system models its sample window in
+    /// isolation, starting from idle resources and zeroed counters.
+    pub fn save_state(&mut self, w: &mut ByteWriter, now: u64) {
+        w.put_u64(self.cfg.line);
+        self.l1.save_state(w);
+        self.l2.save_state(w);
+        self.l1_mshrs.save_state(w, now);
+        self.l2_mshrs.save_state(w, now);
+    }
+
+    /// Restore a [`MemSystem::save_state`] snapshot taken under the
+    /// same configuration. Ports, banks, statistics, and any pending
+    /// fault are reset. On error the system is partially written and
+    /// must be discarded by the caller.
+    pub fn load_state(&mut self, r: &mut ByteReader) -> Result<(), String> {
+        let line = r.u64()?;
+        if line != self.cfg.line {
+            return Err(format!(
+                "line-size mismatch: snapshot {line}, system {}",
+                self.cfg.line
+            ));
+        }
+        self.l1.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.l1_mshrs.load_state(r)?;
+        self.l2_mshrs.load_state(r)?;
+        self.l1_ports = Ports::new(self.cfg.l1.ports);
+        self.l2_ports = Ports::new(self.cfg.l2.ports);
+        self.banks = Banks::new(self.cfg.banks, self.cfg.bank_busy, self.cfg.line);
+        self.stats = MemStats::default();
+        self.fault = None;
+        Ok(())
+    }
+
+    /// Functionally warm the hierarchy with one access at pseudo-time
+    /// `idx` (the dynamic instruction index, standing in for a cycle
+    /// count between detailed sample windows).
+    ///
+    /// This is the fast-forward path of sampled simulation: it updates
+    /// residency, recency, dirty bits, and MSHR-visible miss state —
+    /// everything the next detailed window's timing depends on — but
+    /// reserves no ports or banks and never rejects. Where the timing
+    /// model would reject and retry, the retry's eventual outcome is
+    /// applied immediately (the rejection is still counted), so the
+    /// functional miss counters stay meaningful while the contention
+    /// counters remain timing-approximate.
+    pub fn warm_access(&mut self, req: Request, idx: u64) {
+        let well_formed = req.size > 0
+            && req.size as u64 <= self.cfg.line
+            && (req.kind.bypasses_cache()
+                || req
+                    .addr
+                    .checked_add(req.size as u64 - 1)
+                    .is_some_and(|end| self.line_of(req.addr) == self.line_of(end)));
+        if !well_formed {
+            self.record_fault(
+                "mem",
+                format!("access must not straddle a cache line: {req:?}"),
+            );
+        }
+        if req.kind.bypasses_cache() {
+            self.stats.bypass_accesses += 1;
+            return;
+        }
+        let is_store = req.kind.is_store();
+        let is_prefetch = req.kind == MemKind::Prefetch;
+        let line = self.line_of(req.addr);
+        if !is_prefetch {
+            self.stats.l1_accesses += 1;
+        }
+
+        // Merge into an in-flight miss. The line is already resident in
+        // the tags (fills install eagerly), so a rejected demand access
+        // resolves, after the retry the timing model would perform, as
+        // an L1 hit once the fill completes.
+        if self.l1_mshrs.inflight(line, idx) {
+            match self.l1_mshrs.offer(line, idx, !is_prefetch) {
+                Ok(MshrOffer::Merged {
+                    prefetch_inflight, ..
+                }) => {
+                    if is_prefetch {
+                        self.stats.prefetches_issued += 1;
+                        self.stats.prefetches_unnecessary += 1;
+                    } else {
+                        self.stats.l1_merged_misses += 1;
+                        if prefetch_inflight {
+                            self.stats.prefetches_late += 1;
+                        }
+                        if is_store {
+                            self.l1.note_pending_store(line);
+                        }
+                    }
+                    return;
+                }
+                Ok(MshrOffer::Primary) => unreachable!("inflight line cannot be primary"),
+                Err(reject) => {
+                    self.reject(reject, is_prefetch);
+                    if !is_prefetch {
+                        self.stats.l1_hits += 1;
+                        if self.l1.hit_touch(req.addr, is_store) == Some(true) {
+                            self.stats.prefetches_useful += 1;
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+
+        // L1 tag lookup (no port reservation on the warming path).
+        if let Some(prefetched) = self.l1.hit_touch(req.addr, is_store) {
+            if is_prefetch {
+                self.stats.prefetches_issued += 1;
+                self.stats.prefetches_unnecessary += 1;
+            } else {
+                self.stats.l1_hits += 1;
+                if prefetched {
+                    self.stats.prefetches_useful += 1;
+                }
+            }
+            return;
+        }
+
+        // Primary miss. Allocate an MSHR when one is free; a full file
+        // is counted as a rejection but the fill proceeds anyway — the
+        // timing model's retry always succeeds eventually.
+        match self.l1_mshrs.offer(line, idx, !is_prefetch) {
+            Ok(MshrOffer::Primary) => {
+                self.l1_mshrs
+                    .set_fill_time(line, idx + self.cfg.mem_latency);
+            }
+            Ok(_) => unreachable!("no in-flight entry for this line"),
+            Err(reject) => {
+                self.reject(reject, is_prefetch);
+                if is_prefetch {
+                    return; // rejected prefetches are dropped
+                }
+            }
+        }
+        if is_prefetch {
+            self.stats.prefetches_issued += 1;
+        } else {
+            self.stats.l1_primary_misses += 1;
+        }
+
+        // L2 functional lookup, mirroring `l2_request` without timing.
+        self.stats.l2_accesses += 1;
+        if self.l2_mshrs.inflight(line, idx) {
+            let _ = self.l2_mshrs.offer(line, idx, true);
+            self.stats.l2_misses += 1;
+        } else if self.l2.hit_touch(line, false).is_some() {
+            self.stats.l2_hits += 1;
+        } else {
+            self.stats.l2_misses += 1;
+            if let Ok(MshrOffer::Primary) = self.l2_mshrs.offer(line, idx, true) {
+                self.l2_mshrs
+                    .set_fill_time(line, idx + self.cfg.mem_latency);
+            }
+            if let Lookup::Miss {
+                victim: Some(_),
+                victim_dirty: true,
+            } = self.l2.fill(line, false, false)
+            {
+                self.stats.writebacks_l2 += 1;
+            }
+        }
+
+        // Install in L1 tags; dirty victims write back toward the L2.
+        if let Lookup::Miss {
+            victim: Some(v),
+            victim_dirty: true,
+        } = self.l1.fill(req.addr, is_store, is_prefetch)
+        {
+            self.stats.writebacks_l1 += 1;
+            if self.l2.hit_touch(v, true).is_none() {
+                self.stats.writebacks_l2 += 1;
+            }
         }
     }
 

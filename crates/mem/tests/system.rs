@@ -216,6 +216,77 @@ fn larger_l2_keeps_bigger_working_sets() {
 }
 
 #[test]
+fn warming_reaches_the_same_residency_as_timed_access() {
+    // Serialized accesses (each issued after the previous completes)
+    // exercise no MSHR contention, so the functional warming path must
+    // land on exactly the same residency and recency state as the
+    // timing model.
+    let mut timed = MemSystem::new(MemConfig::default());
+    let mut warm = MemSystem::new(MemConfig::default());
+    let addrs: Vec<u64> = (0..400u64).map(|i| ((i * 37) % 97) * 64).collect();
+    let mut t = 0;
+    for (i, &a) in addrs.iter().enumerate() {
+        let kind = if i % 4 == 0 {
+            MemKind::Store
+        } else {
+            MemKind::Load
+        };
+        let r = timed.access(Request::new(a, 8, kind), t).unwrap();
+        t = r.done_at + 1;
+        // Spacing the pseudo-clock past the memory latency drains the
+        // warming MSHRs the same way the serialized timing run does.
+        warm.warm_access(Request::new(a, 8, kind), i as u64 * 200);
+    }
+    for &a in &addrs {
+        assert_eq!(timed.l1_contains(a), warm.l1_contains(a), "addr {a:#x}");
+    }
+    assert_eq!(timed.stats().l1_hits, warm.stats().l1_hits);
+    assert_eq!(
+        timed.stats().l1_primary_misses,
+        warm.stats().l1_primary_misses
+    );
+    assert_eq!(timed.stats().writebacks_l1, warm.stats().writebacks_l1);
+}
+
+#[test]
+fn system_snapshot_round_trips_bit_identically() {
+    use visim_obs::codec::{ByteReader, ByteWriter};
+    let mut m = MemSystem::new(tiny());
+    for i in 0..300u64 {
+        let kind = if i % 5 == 0 {
+            MemKind::Store
+        } else {
+            MemKind::Load
+        };
+        m.warm_access(Request::new((i * 31 % 53) * 64, 8, kind), i);
+    }
+    let mut w = ByteWriter::new();
+    m.save_state(&mut w, 300);
+    let bytes = w.into_bytes();
+
+    let mut fresh = MemSystem::new(tiny());
+    let mut r = ByteReader::new(&bytes);
+    fresh.load_state(&mut r).unwrap();
+    r.done().unwrap();
+
+    // Restored state re-encodes to the same bytes (at its new cycle 0)
+    // and starts with clean statistics.
+    let mut w2 = ByteWriter::new();
+    fresh.save_state(&mut w2, 0);
+    assert_eq!(bytes, w2.into_bytes());
+    assert_eq!(fresh.stats().l1_accesses, 0);
+    for i in 0..53u64 {
+        let a = i * 64;
+        assert_eq!(m.l1_contains(a), fresh.l1_contains(a), "addr {a:#x}");
+    }
+
+    // A snapshot from a different geometry is rejected.
+    let mut other = MemSystem::new(MemConfig::default());
+    let mut r = ByteReader::new(&bytes);
+    assert!(other.load_state(&mut r).is_err());
+}
+
+#[test]
 fn stats_accessors_are_consistent() {
     let mut m = MemSystem::new(MemConfig::default());
     let mut t = 0;

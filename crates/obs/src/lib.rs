@@ -16,8 +16,8 @@
 //!   fixed-bucket histograms, threaded through the pipeline, the memory
 //!   system, and the experiment worker pool, and drained into the JSON
 //!   artifacts;
-//! * [`schema`] — the versioned result schemas (`visim-results-v1`,
-//!   `visim-bench-runtime-v3`, `visim-trace-v1`): one place that names
+//! * [`schema`] — the versioned result schemas (`visim-results-v2`,
+//!   `visim-bench-runtime-v4`, `visim-trace-v1`): one place that names
 //!   and versions every machine-readable output format the repo
 //!   produces;
 //! * [`trace`] — cycle-level event tracing: a bounded ring of

@@ -3,23 +3,26 @@
 //! Every JSON artifact the repo produces names its schema here — this
 //! module is the single place that versions output formats:
 //!
-//! * [`RESULTS_SCHEMA`] (`visim-results-v1`) — the per-binary result
+//! * [`RESULTS_SCHEMA`] (`visim-results-v2`) — the per-binary result
 //!   documents under `results/json/<name>.json` and the per-failure
-//!   artifacts under `results/partial/<name>.<benchmark>.json`;
-//! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v3`) — the
+//!   artifacts under `results/partial/<name>.<benchmark>.json` (v2
+//!   added the sampled-simulation cell counters, `cell.sampling.*`);
+//! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v4`) — the
 //!   wall-clock harness output `BENCH_runtime.json` written by
 //!   `scripts/bench.sh` (v2 added `git_rev` and the fidelity summary;
 //!   v3 added the warm-trace-cache second pass: per-binary
-//!   `seconds_warm`/`exit_warm` and the `total_seconds_warm` total);
+//!   `seconds_warm`/`exit_warm` and the `total_seconds_warm` total;
+//!   v4 added the sampled third pass: `seconds_sampled`/`exit_sampled`,
+//!   `total_seconds_sampled`, and the exact-vs-sampled suite speedup);
 //! * [`TRACE_SCHEMA`] (`visim-trace-v1`) — the Chrome trace-event /
 //!   Perfetto files under `results/trace/` written by `pipetrace`
 //!   (schema tag carried in the file's `otherData`).
 //!
-//! # `visim-results-v1`
+//! # `visim-results-v2`
 //!
 //! ```json
 //! {
-//!   "schema": "visim-results-v1",
+//!   "schema": "visim-results-v2",
 //!   "name": "fig1",                  // binary name
 //!   "size": "study",                 // workload size label
 //!   "git_rev": "abc123…|unknown",
@@ -34,15 +37,25 @@
 //! or `"status": "failed"` with the `SimError` variant and message, so
 //! a consumer can distinguish *drifted* (ok cells outside a fidelity
 //! band) from *crashed* (failed cells).
+//!
+//! Cells produced by a sampled run (`--sample`/`VISIM_SAMPLE`)
+//! additionally carry, in their `metrics.counters`:
+//!
+//! * `cell.sampling.mode` — `1` sampled estimate, `2` exact fallback
+//!   (stream unsampleable); absent entirely on exact runs;
+//! * `cell.sampling.windows` — detailed windows measured;
+//! * `cell.sampling.sampled_insts` — instructions simulated in detail;
+//! * `cell.sampling.ci_centipct` — 95% CI half-width on CPI relative
+//!   to the estimate, in centi-percent (250 = ±2.5%).
 
 use crate::json::Json;
 use crate::metrics::Registry;
 
 /// Schema tag for the figure/sweep/ablation result documents.
-pub const RESULTS_SCHEMA: &str = "visim-results-v1";
+pub const RESULTS_SCHEMA: &str = "visim-results-v2";
 
 /// Schema tag for `BENCH_runtime.json` (`scripts/bench.sh`).
-pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v3";
+pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v4";
 
 /// Schema tag for the Chrome trace-event files written by `pipetrace`.
 pub const TRACE_SCHEMA: &str = "visim-trace-v1";
@@ -73,7 +86,7 @@ pub fn git_rev() -> String {
     }
 }
 
-/// An accumulating `visim-results-v1` document.
+/// An accumulating `visim-results-v2` document.
 #[derive(Debug, Clone)]
 pub struct ResultsDoc {
     name: String,

@@ -32,12 +32,14 @@
 //! assert_eq!(z.value(), 42);
 //! ```
 
+mod checkpoint;
 mod memimg;
 mod program;
 mod record;
 mod value;
 
+pub use checkpoint::{Checkpoint, CKPT_FORMAT_VERSION};
 pub use memimg::MemImage;
 pub use program::{Cond, Program};
-pub use record::{Recorded, Recorder, TRACE_FORMAT_VERSION};
+pub use record::{Recorded, Recorder, ReplayCursor, TRACE_FORMAT_VERSION};
 pub use value::{VVal, Val};

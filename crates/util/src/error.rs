@@ -54,7 +54,7 @@ pub enum SimError {
 
 impl SimError {
     /// The variant name, as recorded in failure artifacts
-    /// (`"error_kind"` in the `visim-results-v1` schema).
+    /// (`"error_kind"` in the `visim-results-v2` schema).
     pub fn kind(&self) -> &'static str {
         match self {
             SimError::CycleBudget { .. } => "CycleBudget",

@@ -4,13 +4,16 @@
 # the repo's perf-trajectory baseline (EXPERIMENTS.md records the
 # before/after history).
 #
-# Each binary is timed twice: a *cold* pass starting from a purged
-# on-disk trace cache (VISIM_TRACE_DIR, default target/trace-cache —
-# the harness deletes and repopulates it), then a *warm* pass that
-# replays every recorded stream from the cache. Both timings land in
-# the JSON (visim-bench-runtime-v3: seconds/exit plus
-# seconds_warm/exit_warm per binary, total_seconds plus
-# total_seconds_warm).
+# Each binary is timed three times: a *cold* pass starting from a
+# purged on-disk trace cache (VISIM_TRACE_DIR, default
+# target/trace-cache — the harness deletes and repopulates it), a
+# *warm* pass that reuses the cache, and a *sampled* pass running the
+# same suite under `--sample` (SMARTS-style windowed estimation) into
+# a separate results directory. All three timings land in the JSON
+# (visim-bench-runtime-v4: seconds/exit, seconds_warm/exit_warm, and
+# seconds_sampled/exit_sampled per binary; total_seconds,
+# total_seconds_warm, total_seconds_sampled, and the exact-vs-sampled
+# suite speedup).
 #
 # Usage:                scripts/bench.sh
 #   SIZE=tiny           workload size passed to every binary (default study)
@@ -28,7 +31,10 @@ cd "$(dirname "$0")/.."
 SIZE="${SIZE:-study}"
 OUT="${BENCH_OUT:-BENCH_runtime.json}"
 BINARIES=(fig1 fig2 fig3 sweep_l1 sweep_l2 kernels14 ablation tables)
-export VISIM_TRACE_DIR="${VISIM_TRACE_DIR:-target/trace-cache}"
+# Absolute: the sampled pass runs in a subdirectory and must share it.
+export VISIM_TRACE_DIR="${VISIM_TRACE_DIR:-$PWD/target/trace-cache}"
+ROOT="$PWD"
+SAMPLED_DIR="$ROOT/target/bench-sampled"
 
 echo "== build (release, offline, workspace) =="
 # --workspace: a plain root build only covers the root package and its
@@ -40,15 +46,19 @@ jobs="${VISIM_JOBS:-auto}"
 git_rev=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 
 # One timing pass over every binary; appends to the named seconds/exit
-# arrays and adds to the named total.
+# arrays and adds to the named total. $4 is the working directory (the
+# binaries write results/ relative to it), remaining args are passed to
+# every binary (e.g. --sample).
 time_pass() {
   local -n secs_out=$1 exit_out=$2
-  local total_var=$3
+  local total_var=$3 workdir=$4
+  shift 4
   local bin start end status secs
   for bin in "${BINARIES[@]}"; do
     start=$(date +%s%N)
     status=0
-    ./target/release/"$bin" "$SIZE" >/dev/null 2>&1 || status=$?
+    (cd "$workdir" && "$ROOT/target/release/$bin" "$SIZE" "$@" \
+      >/dev/null 2>&1) || status=$?
     end=$(date +%s%N)
     secs=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
     printf -v "$total_var" '%s' \
@@ -59,25 +69,37 @@ time_pass() {
   done
 }
 
-echo "== timing pass 1/2: cold trace cache (size=$SIZE, jobs=$jobs, cores=$cores) =="
+echo "== timing pass 1/3: cold trace cache (size=$SIZE, jobs=$jobs, cores=$cores) =="
 rm -rf "${VISIM_TRACE_DIR:?}"
-cold_secs=() cold_exit=() warm_secs=() warm_exit=()
+cold_secs=() cold_exit=() warm_secs=() warm_exit=() sampled_secs=() sampled_exit=()
 total=0
-time_pass cold_secs cold_exit total
+time_pass cold_secs cold_exit total "$ROOT"
 
-echo "== timing pass 2/2: warm trace cache =="
+echo "== timing pass 2/3: warm trace cache =="
 total_warm=0
-time_pass warm_secs warm_exit total_warm
+time_pass warm_secs warm_exit total_warm "$ROOT"
+
+echo "== timing pass 3/3: sampled (--sample, default geometry) =="
+# Separate results directory: the exact artifacts in results/json stay
+# the ones the fidelity gate below validates, and the sampled twins
+# feed the drift gate.
+rm -rf "$SAMPLED_DIR"
+mkdir -p "$SAMPLED_DIR"
+total_sampled=0
+time_pass sampled_secs sampled_exit total_sampled "$SAMPLED_DIR" --sample
+
+speedup=$(awk -v w="$total_warm" -v s="$total_sampled" \
+  'BEGIN{printf "%.2f", (s > 0) ? w / s : 0}')
 
 rows=""
 for i in "${!BINARIES[@]}"; do
   [ -n "$rows" ] && rows+=$',\n'
-  rows+="    {\"name\": \"${BINARIES[$i]}\", \"seconds\": ${cold_secs[$i]}, \"exit\": ${cold_exit[$i]}, \"seconds_warm\": ${warm_secs[$i]}, \"exit_warm\": ${warm_exit[$i]}}"
+  rows+="    {\"name\": \"${BINARIES[$i]}\", \"seconds\": ${cold_secs[$i]}, \"exit\": ${cold_exit[$i]}, \"seconds_warm\": ${warm_secs[$i]}, \"exit_warm\": ${warm_exit[$i]}, \"seconds_sampled\": ${sampled_secs[$i]}, \"exit_sampled\": ${sampled_exit[$i]}}"
 done
 
 cat > "$OUT" <<EOF
 {
-  "schema": "visim-bench-runtime-v3",
+  "schema": "visim-bench-runtime-v4",
   "git_rev": "$git_rev",
   "size": "$SIZE",
   "jobs": "$jobs",
@@ -86,11 +108,13 @@ cat > "$OUT" <<EOF
 $rows
   ],
   "total_seconds": $total,
-  "total_seconds_warm": $total_warm
+  "total_seconds_warm": $total_warm,
+  "total_seconds_sampled": $total_sampled,
+  "speedup_exact_vs_sampled": $speedup
 }
 EOF
 
-echo "== total ${total}s cold, ${total_warm}s warm; wrote $OUT =="
+echo "== total ${total}s cold, ${total_warm}s warm, ${total_sampled}s sampled (exact-vs-sampled speedup ${speedup}x); wrote $OUT =="
 
 # The timing loop above regenerated results/json/ as a side effect, so
 # the fidelity gate runs against exactly what was just measured.
@@ -99,3 +123,8 @@ echo "== total ${total}s cold, ${total_warm}s warm; wrote $OUT =="
 ./target/release/pipetrace --attribution "$SIZE" >/dev/null 2>&1 || true
 fidelity=$(./target/release/validate results/json 2>/dev/null | tail -1) || true
 echo "== ${fidelity:-fidelity: validate did not run} =="
+# And the sampled twins must stay within their own error bars of the
+# exact artifacts (plus the same paper bands).
+drift=$(./target/release/validate --drift results/json \
+  "$SAMPLED_DIR/results/json" 2>/dev/null | tail -1) || true
+echo "== ${drift:-drift: validate did not run} =="

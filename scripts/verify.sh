@@ -42,6 +42,23 @@ test -s "$fidelity_dir/results/trace/blend.ooo-vis.trace.json"
 (cd "$fidelity_dir" && "$OLDPWD/target/release/pipetrace" --attribution tiny >/dev/null)
 ./target/release/validate "$fidelity_dir/results/json"
 
+echo "== sampled-drift gate (tiny) =="
+# SMARTS-style sampled runs must agree with exact simulation: every
+# sampled estimate lands within its own declared 95% CI (floored at
+# ±5% relative CPI error), exact-fallback and counted cells match bit
+# for bit, and the sampled Figures 1-3 still pass the paper-fidelity
+# bands above. Geometry 2000:10000 keeps the per-window pipeline
+# fill/drain transient small at tiny size while still sampling every
+# timed cell (tiny streams are long enough for >= 2 windows).
+sampled_dir="$fidelity_dir/sampled"
+mkdir -p "$sampled_dir"
+for bin in fig1 fig2 fig3; do
+  (cd "$sampled_dir" && "$OLDPWD/target/release/$bin" tiny --sample 2000:10000 \
+    --no-store >/dev/null)
+done
+./target/release/validate --drift "$fidelity_dir/results/json" \
+  "$sampled_dir/results/json"
+
 echo "== replay-equivalence gate (tiny) =="
 # The trace cache records each dynamic instruction stream once and
 # replays it per configuration; text output must be byte-identical to
@@ -50,8 +67,12 @@ echo "== replay-equivalence gate (tiny) =="
 replay_dir="$fidelity_dir/replay"
 tdir="$replay_dir/trace-cache"
 mkdir -p "$replay_dir/cached" "$replay_dir/direct"
+# VISIM_SPILL_EMIT_MBPS: tiny streams all re-emit far faster than the
+# spill policy's disk-rate threshold, so force every stream to disk —
+# this gate is about the spill path itself.
 for bin in fig1 sweep_l1; do
   (cd "$replay_dir/cached" && VISIM_TRACE_DIR="$tdir" \
+    VISIM_SPILL_EMIT_MBPS=1000000 \
     "$OLDPWD/target/release/$bin" tiny > "../$bin.cached.txt")
   (cd "$replay_dir/direct" && VISIM_NO_TRACE_CACHE=1 \
     "$OLDPWD/target/release/$bin" tiny > "../$bin.direct.txt")
@@ -62,6 +83,7 @@ done
 victim=$(ls "$tdir"/*.vtrc | head -1)
 printf 'garbage' >> "$victim"
 (cd "$replay_dir/cached" && VISIM_TRACE_DIR="$tdir" \
+  VISIM_SPILL_EMIT_MBPS=1000000 \
   "$OLDPWD/target/release/fig1" tiny > "../fig1.healed.txt" 2>/dev/null)
 diff "$replay_dir/fig1.cached.txt" "$replay_dir/fig1.healed.txt"
 
@@ -134,13 +156,14 @@ set +e
 set -e
 diff "$fault_dir/panic.txt" "$fault_dir/panic-resumed.txt"
 # 4. Corrupted trace-cache spills are purged and re-recorded; two runs
-#    under the same corruption rate stay byte-identical.
+#    under the same corruption rate stay byte-identical. (Spills forced
+#    as in the replay gate — tiny streams would not spill on merit.)
 mkdir -p "$fault_dir/spill"
 (cd "$fault_dir/spill" && VISIM_FAULT=spill.corrupt:1/2 \
-  VISIM_TRACE_DIR="$fault_dir/spill/tcache" \
+  VISIM_TRACE_DIR="$fault_dir/spill/tcache" VISIM_SPILL_EMIT_MBPS=1000000 \
   "$OLDPWD/target/release/fig1" tiny --no-store > ../spill1.txt 2>/dev/null)
 (cd "$fault_dir/spill" && VISIM_FAULT=spill.corrupt:1/2 \
-  VISIM_TRACE_DIR="$fault_dir/spill/tcache" \
+  VISIM_TRACE_DIR="$fault_dir/spill/tcache" VISIM_SPILL_EMIT_MBPS=1000000 \
   "$OLDPWD/target/release/fig1" tiny --no-store > ../spill2.txt 2>/dev/null)
 diff "$fault_dir/spill1.txt" "$fault_dir/spill2.txt"
 diff "$store_dir/on.txt" "$fault_dir/spill1.txt"
