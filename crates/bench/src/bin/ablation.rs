@@ -2,261 +2,13 @@
 //! E13): issue-width and window scaling, MSHR capacity, and the
 //! mispredict-penalty sensitivity, plus MSHR-occupancy histograms.
 //!
-//! Every (benchmark × configuration) cell is independent, so each
-//! section fans its runs out over the experiment worker pool
-//! (`VISIM_JOBS` workers) and prints from this single thread; the
-//! output is byte-identical for any worker count.
-
-use media_kernels::Variant;
-use visim::artifact;
-use visim::bench::{Bench, WorkloadSize};
-use visim::config::Arch;
-use visim::experiment::{run_parallel, run_timed_cfg};
-use visim::report;
-use visim_bench::{parse_size_args, Report};
-use visim_cpu::{CpuConfig, Summary};
-use visim_mem::MemConfig;
-use visim_obs::Json;
-
-/// One simulation cell: a benchmark under an explicit machine config.
-#[derive(Clone)]
-struct Spec {
-    bench: Bench,
-    cpu: CpuConfig,
-    mem: MemConfig,
-    variant: Variant,
-}
-
-impl Spec {
-    fn vis(bench: Bench, cpu: CpuConfig, mem: MemConfig) -> Self {
-        Spec {
-            bench,
-            cpu,
-            mem,
-            variant: Variant::VIS,
-        }
-    }
-}
-
-/// Run every cell on the worker pool, results in input order. Cells
-/// route through the shared experiment runner, so an ablation sweep
-/// records each (benchmark, variant) stream once and replays it for
-/// every machine configuration on the sweep.
-fn run_all(specs: Vec<Spec>, size: &WorkloadSize) -> Vec<Summary> {
-    run_parallel(
-        specs
-            .into_iter()
-            .map(|spec| move || run_timed_cfg(spec.bench, spec.cpu, spec.mem, size, spec.variant))
-            .collect(),
-    )
-}
-
-/// Cell configuration for one ablation run: which sweep (`section`) and
-/// which point on it (`value`, with `"base"` for the baseline run).
-fn ablation_config(key: &str, value: &str) -> Json {
-    Json::obj(vec![
-        ("figure", Json::from("ablation")),
-        ("section", Json::from(key)),
-        ("value", Json::from(value)),
-    ])
-}
-
-/// A base-plus-variants section: per benchmark, one baseline run and
-/// one run per sweep value, rendered as ratios against the base. Every
-/// run also becomes one JSON result cell under the section key.
-#[allow(clippy::too_many_arguments)]
-fn ratio_section(
-    out: &mut Report,
-    key: &str,
-    title: &str,
-    headers: &[&str],
-    benches: &[Bench],
-    size: &WorkloadSize,
-    specs: Vec<Spec>,
-    per_bench: usize,
-) {
-    out.section(title);
-    let sums = run_all(specs, size);
-    let mut rows = Vec::new();
-    for (bench, chunk) in benches.iter().zip(sums.chunks_exact(per_bench)) {
-        let values = std::iter::once("base").chain(headers[1..].iter().copied());
-        for (s, value) in chunk.iter().zip(values) {
-            out.cell(artifact::timed_cell(
-                bench.name(),
-                ablation_config(key, value),
-                s,
-            ));
-        }
-        let base = chunk[0].cycles() as f64;
-        let mut row = vec![bench.name().to_string()];
-        for s in &chunk[1..] {
-            row.push(format!("{:.2}x", s.cycles() as f64 / base));
-        }
-        rows.push(row);
-    }
-    out.push(&report::table(headers, &rows));
-}
+//! The section definitions — sweep parameters, values, table headers —
+//! live in `results/manifests/ablation.json` (embedded at compile
+//! time, `--manifest` overrides). Every (benchmark × configuration)
+//! cell is independent, so each section fans its runs out over the
+//! experiment worker pool (`VISIM_JOBS` workers) and prints from a
+//! single thread; the output is byte-identical for any worker count.
 
 fn main() {
-    let (size_label, size) = parse_size_args(
-        "ablation",
-        "design-choice ablations: issue width, window, MSHRs, mispredict penalty",
-    );
-    let mut out = Report::new("ablation", size_label);
-    let benches = [Bench::Addition, Bench::Conv, Bench::MpegEnc];
-
-    let mut specs = Vec::new();
-    for bench in benches {
-        specs.push(Spec::vis(
-            bench,
-            CpuConfig::ooo_4way(),
-            MemConfig::default(),
-        ));
-        for width in [1u32, 2, 4, 8] {
-            let mut cfg = CpuConfig::ooo_4way();
-            cfg.issue_width = width;
-            specs.push(Spec::vis(bench, cfg, MemConfig::default()));
-        }
-    }
-    ratio_section(
-        &mut out,
-        "issue-width",
-        "ablation: issue width (out-of-order, VIS)",
-        &["benchmark", "w=1", "w=2", "w=4", "w=8"],
-        &benches,
-        &size,
-        specs,
-        5,
-    );
-
-    let mut specs = Vec::new();
-    for bench in benches {
-        specs.push(Spec::vis(
-            bench,
-            CpuConfig::ooo_4way(),
-            MemConfig::default(),
-        ));
-        for window in [16u32, 32, 64, 128] {
-            let mut cfg = CpuConfig::ooo_4way();
-            cfg.window = window;
-            specs.push(Spec::vis(bench, cfg, MemConfig::default()));
-        }
-    }
-    ratio_section(
-        &mut out,
-        "window",
-        "ablation: instruction window size",
-        &["benchmark", "win=16", "win=32", "win=64", "win=128"],
-        &benches,
-        &size,
-        specs,
-        5,
-    );
-
-    let mut specs = Vec::new();
-    for bench in benches {
-        specs.push(Spec::vis(
-            bench,
-            CpuConfig::ooo_4way(),
-            MemConfig::default(),
-        ));
-        for mshrs in [2u32, 4, 12, 24] {
-            let mut mem = MemConfig::default();
-            mem.l1.mshrs = mshrs;
-            mem.l2.mshrs = mshrs;
-            specs.push(Spec::vis(bench, CpuConfig::ooo_4way(), mem));
-        }
-    }
-    ratio_section(
-        &mut out,
-        "mshr-count",
-        "ablation: L1 MSHR count (write backup, paper §3.1)",
-        &["benchmark", "mshr=2", "mshr=4", "mshr=12", "mshr=24"],
-        &benches,
-        &size,
-        specs,
-        5,
-    );
-
-    let mut specs = Vec::new();
-    for bench in benches {
-        specs.push(Spec::vis(
-            bench,
-            CpuConfig::ooo_4way(),
-            MemConfig::default(),
-        ));
-        for pen in [0u64, 5, 10, 20] {
-            let mut cfg = CpuConfig::ooo_4way();
-            cfg.mispredict_penalty = pen;
-            specs.push(Spec::vis(bench, cfg, MemConfig::default()));
-        }
-    }
-    ratio_section(
-        &mut out,
-        "mispredict-penalty",
-        "ablation: branch mispredict penalty",
-        &["benchmark", "pen=0", "pen=5", "pen=10", "pen=20"],
-        &benches,
-        &size,
-        specs,
-        5,
-    );
-
-    let mut specs = Vec::new();
-    for bench in benches {
-        specs.push(Spec::vis(
-            bench,
-            CpuConfig::ooo_4way(),
-            MemConfig::default(),
-        ));
-        let mut cfg = CpuConfig::ooo_4way();
-        cfg.blocking_loads = true;
-        specs.push(Spec::vis(bench, cfg, MemConfig::default()));
-    }
-    ratio_section(
-        &mut out,
-        "blocking-loads",
-        "ablation: blocking vs non-blocking loads (related work, paper §5)",
-        &["benchmark", "blocking-loads slowdown"],
-        &benches,
-        &size,
-        specs,
-        2,
-    );
-
-    out.section("MSHR occupancy (paper: >5 in flight under prefetching)");
-    let hist_benches = [Bench::Addition, Bench::Scaling];
-    let variants = [("VIS", Variant::VIS), ("VIS+PF", Variant::VIS_PF)];
-    let mut specs = Vec::new();
-    for bench in hist_benches {
-        for (_, variant) in variants {
-            specs.push(Spec {
-                bench,
-                cpu: Arch::Ooo4.cpu(),
-                mem: MemConfig::default(),
-                variant,
-            });
-        }
-    }
-    let mut sums = run_all(specs, &size).into_iter();
-    for bench in hist_benches {
-        for (label, _) in variants {
-            let s = sums.next().expect("one summary per histogram cell");
-            out.cell(artifact::timed_cell(
-                bench.name(),
-                ablation_config("mshr-occupancy", label),
-                &s,
-            ));
-            let hist = &s.mshr_histogram;
-            let total: u64 = hist.iter().sum();
-            let frac_ge5: u64 = hist.iter().skip(5).sum();
-            out.line(format!(
-                "{:<10} {:<7} cycles with >=5 outstanding misses: {:>5.1}%",
-                bench.name(),
-                label,
-                100.0 * frac_ge5 as f64 / total.max(1) as f64
-            ));
-        }
-    }
-    out.finish();
+    visim_bench::render::manifest_main("ablation");
 }

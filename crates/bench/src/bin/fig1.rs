@@ -7,50 +7,12 @@
 //! eleven still produce bars and the process exits nonzero with the
 //! partial output preserved under `results/partial/`.
 //!
-//! The 72 (benchmark × configuration) cells run on the experiment
-//! worker pool (`VISIM_JOBS` workers) and are printed in figure order
-//! from this single thread, so the output is byte-identical for any
-//! worker count.
-
-use visim::artifact;
-use visim::experiment::try_fig1_all;
-use visim::report;
-use visim_bench::{parse_size_args, Report};
+//! The experiment grid lives in `results/manifests/fig1.json`
+//! (embedded at compile time, `--manifest` overrides): the 72
+//! (benchmark × configuration) cells run on the experiment worker pool
+//! (`VISIM_JOBS` workers) and are printed in figure order from a single
+//! thread, so the output is byte-identical for any worker count.
 
 fn main() {
-    let (size_label, size) = parse_size_args(
-        "fig1",
-        "regenerate Figure 1: normalized execution time on 3 architectures x {base, VIS}",
-    );
-    let mut out = Report::new("fig1", size_label);
-    out.line("Figure 1: performance of image and video benchmarks");
-    out.line(format!(
-        "(inputs: {}x{} images, {} dotprod elements, {}x{} video)",
-        size.image_w, size.image_h, size.dotprod_n, size.video_w, size.video_h
-    ));
-    for (bench, outcome) in try_fig1_all(&size) {
-        out.section(bench.name());
-        let bars = match outcome {
-            Ok(bars) => bars,
-            Err(e) => {
-                let cell = artifact::failed_cell(bench.name(), artifact::figure_config("fig1"), &e);
-                out.fail(bench.name(), &e, cell);
-                continue;
-            }
-        };
-        for bar in &bars {
-            out.cell(artifact::fig1_cell(bench, bar));
-        }
-        let rows = report::fig1_rows(&bars);
-        out.push(&report::table(&report::fig1_headers(), &rows));
-        // The headline ratios the paper quotes.
-        let t = |i: usize| bars[i].summary.cycles() as f64;
-        out.line(format!(
-            "ILP speedup (1-way -> ooo): {:.2}x   VIS speedup (ooo): {:.2}x   combined: {:.2}x",
-            t(0) / t(2),
-            t(2) / t(5),
-            t(0) / t(5),
-        ));
-    }
-    out.finish();
+    visim_bench::render::manifest_main("fig1");
 }

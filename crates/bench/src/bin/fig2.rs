@@ -4,65 +4,10 @@
 //! misprediction improvements, VIS rearrangement overhead).
 //!
 //! A benchmark whose run fails becomes an error row; the in-text
-//! statistics are computed over the benchmarks that succeeded.
-
-use visim::artifact;
-use visim::experiment::try_fig2;
-use visim::report;
-use visim_bench::{parse_size_args, Report};
+//! statistics are computed over the benchmarks that succeeded. The
+//! experiment grid lives in `results/manifests/fig2.json` (embedded at
+//! compile time, `--manifest` overrides).
 
 fn main() {
-    let (size_label, size) = parse_size_args(
-        "fig2",
-        "regenerate Figure 2: dynamic instruction counts, base vs. VIS",
-    );
-    let mut out = Report::new("fig2", size_label);
-    out.line("Figure 2: impact of VIS on dynamic (retired) instruction count");
-    out.section("instruction mix (percent of the base variant's count)");
-    let outcomes = try_fig2(&size);
-    let rows: Vec<_> = outcomes
-        .iter()
-        .filter_map(|(_, r)| r.as_ref().ok().cloned())
-        .collect();
-    out.push(&report::table(
-        &report::fig2_headers(),
-        &report::fig2_rows(&rows),
-    ));
-    for (bench, r) in &outcomes {
-        match r {
-            Ok(row) => {
-                for cell in artifact::fig2_cells(row) {
-                    out.cell(cell);
-                }
-            }
-            Err(e) => {
-                let cell = artifact::failed_cell(bench.name(), artifact::figure_config("fig2"), e);
-                out.fail(bench.name(), e, cell);
-            }
-        }
-    }
-
-    out.section("in-text statistics (paper §3.2.2 / §3.2.3)");
-    let mut overhead_sum = 0.0;
-    let mut overhead_n = 0;
-    for r in &rows {
-        if r.vis.mix[3] > 0 {
-            overhead_sum += r.vis.vis_overhead_fraction();
-            overhead_n += 1;
-        }
-    }
-    out.line(format!(
-        "average VIS rearrangement/alignment overhead: {:.0}% of VIS instructions (paper: ~41%)",
-        100.0 * overhead_sum / overhead_n.max(1) as f64
-    ));
-    for name in ["conv", "thresh", "mpeg-enc"] {
-        if let Some(r) = rows.iter().find(|r| r.bench.name() == name) {
-            out.line(format!(
-                "{name}: branch misprediction {:.1}% -> {:.1}% with VIS",
-                100.0 * r.base.mispredict_rate(),
-                100.0 * r.vis.mispredict_rate()
-            ));
-        }
-    }
-    out.finish();
+    visim_bench::render::manifest_main("fig2");
 }

@@ -3,60 +3,10 @@
 //! non-trivial memory stall time.
 //!
 //! A benchmark whose simulation fails becomes an error row; the rest
-//! still produce bars.
-
-use visim::artifact;
-use visim::experiment::try_fig3;
-use visim::report;
-use visim_bench::{parse_size_args, Report};
+//! still produce bars. The experiment grid lives in
+//! `results/manifests/fig3.json` (embedded at compile time,
+//! `--manifest` overrides).
 
 fn main() {
-    let (size_label, size) = parse_size_args(
-        "fig3",
-        "regenerate Figure 3: software prefetching (VIS vs. VIS+PF)",
-    );
-    let mut out = Report::new("fig3", size_label);
-    out.line("Figure 3: effect of software-inserted prefetching (4-way ooo, VIS)");
-    out.section("normalized execution time");
-    let outcomes = try_fig3(&size);
-    let rows: Vec<_> = outcomes
-        .iter()
-        .filter_map(|(_, r)| r.as_ref().ok().cloned())
-        .collect();
-    out.push(&report::table(
-        &report::fig3_headers(),
-        &report::fig3_rows(&rows),
-    ));
-    for (bench, r) in &outcomes {
-        match r {
-            Ok(row) => {
-                for cell in artifact::fig3_cells(row) {
-                    out.cell(cell);
-                }
-            }
-            Err(e) => {
-                let cell = artifact::failed_cell(bench.name(), artifact::figure_config("fig3"), e);
-                out.fail(bench.name(), e, cell);
-            }
-        }
-    }
-
-    // The paper's claim: with prefetching, every benchmark reverts to
-    // being compute-bound.
-    out.section("compute- vs memory-bound after prefetching");
-    for r in &rows {
-        let bd = r.pf.cpu.breakdown();
-        let memfrac = bd.memory() / r.pf.cycles() as f64;
-        out.line(format!(
-            "{:<10} memory fraction {:>5.1}%  -> {}",
-            r.bench.name(),
-            100.0 * memfrac,
-            if memfrac < 0.5 {
-                "compute-bound"
-            } else {
-                "memory-bound"
-            }
-        ));
-    }
-    out.finish();
+    visim_bench::render::manifest_main("fig3");
 }

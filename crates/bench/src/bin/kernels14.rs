@@ -2,229 +2,15 @@
 //! VSDK kernels but reports six for space (§2.1.1); this binary prints
 //! scalar-vs-VIS instruction counts and 4-way-OOO timings for the whole
 //! family, including the VIS-inapplicable scatter/gather kernels.
-
-use media_image::synth;
-use media_kernels::{blend, conv, pointwise, reduce, simimg::SimImage, thresh, KernelId, Variant};
-use visim::artifact;
-use visim::report;
-use visim_bench::{parse_size_args, Report};
-use visim_cpu::{CountingSink, CpuConfig, Pipeline, SimSink, Summary};
-use visim_mem::MemConfig;
-use visim_obs::Json;
-use visim_trace::Program;
-
-fn drive<S: SimSink>(p: &mut Program<S>, k: KernelId, w: usize, h: usize, v: Variant) {
-    let img = synth::still(w, h, 3, 1);
-    let img2 = synth::still(w, h, 3, 2);
-    let al = synth::alpha(w, h, 3, 3);
-    let img1b = synth::still(w, h, 1, 4);
-    let img1b2 = synth::still(w, h, 1, 5);
-    let al1b = synth::alpha(w, h, 1, 6);
-    match k {
-        KernelId::Addition => {
-            let a = SimImage::from_image(p, &img);
-            let b = SimImage::from_image(p, &img2);
-            let d = SimImage::alloc(p, w, h, 3);
-            pointwise::addition(p, &a, &b, &d, v);
-        }
-        KernelId::Blend => {
-            let a = SimImage::from_image(p, &img);
-            let b = SimImage::from_image(p, &img2);
-            let m = SimImage::from_image(p, &al);
-            let d = SimImage::alloc(p, w, h, 3);
-            blend::blend(p, &a, &b, &m, &d, v);
-        }
-        KernelId::Blend1 => {
-            let a = SimImage::from_image(p, &img1b);
-            let b = SimImage::from_image(p, &img1b2);
-            let m = SimImage::from_image(p, &al1b);
-            let d = SimImage::alloc(p, w, h, 1);
-            blend::blend(p, &a, &b, &m, &d, v);
-        }
-        KernelId::Conv => {
-            let a = SimImage::from_image(p, &img);
-            let d = SimImage::alloc(p, w, h, 3);
-            conv::conv(p, &a, &d, &conv::SHARPEN_STRONG, v);
-        }
-        KernelId::ConvSep => {
-            let a = SimImage::from_image(p, &img);
-            let t = SimImage::alloc(p, w, h, 3);
-            let d = SimImage::alloc(p, w, h, 3);
-            conv::convsep(p, &a, &t, &d, v);
-        }
-        KernelId::Copy => {
-            let a = SimImage::from_image(p, &img);
-            let d = SimImage::alloc(p, w, h, 3);
-            pointwise::copy(p, &a, &d, v);
-        }
-        KernelId::Dotprod => {
-            let n = w * h;
-            let a = reduce::alloc_i16_array(p, n, 1);
-            let b = reduce::alloc_i16_array(p, n, 2);
-            let _ = reduce::dotprod(p, a, b, n, v);
-        }
-        KernelId::Invert => {
-            let a = SimImage::from_image(p, &img);
-            let d = SimImage::alloc(p, w, h, 3);
-            pointwise::invert(p, &a, &d, v);
-        }
-        KernelId::Lookup => {
-            let a = SimImage::from_image(p, &img1b);
-            let d = SimImage::alloc(p, w, h, 1);
-            let mut table = [0u8; 256];
-            for (i, t) in table.iter_mut().enumerate() {
-                *t = (i as u8).wrapping_mul(31);
-            }
-            pointwise::lookup(p, &a, &d, &table, v);
-        }
-        KernelId::Histogram => {
-            let a = SimImage::from_image(p, &img1b);
-            let _ = pointwise::histogram(p, &a, v);
-        }
-        KernelId::Sad => {
-            let a = SimImage::from_image(p, &img1b);
-            let b = SimImage::from_image(p, &img1b2);
-            let _ = reduce::sad(p, &a, &b, v);
-        }
-        KernelId::Scaling => {
-            let a = SimImage::from_image(p, &img);
-            let d = SimImage::alloc(p, w, h, 3);
-            pointwise::scaling(p, &a, &d, 307, -12, v);
-        }
-        KernelId::Thresh => {
-            let a = SimImage::from_image(p, &img);
-            let d = SimImage::alloc(p, w, h, 3);
-            thresh::thresh(p, &a, &d, &thresh::ThreshParams::example(), v);
-        }
-        KernelId::Thresh1 => {
-            let a = SimImage::from_image(p, &img);
-            let d = SimImage::alloc(p, w, h, 3);
-            thresh::thresh1(p, &a, &d, &[100, 120, 140, 0], &[250, 1, 128, 0], v);
-        }
-    }
-}
-
-fn timed(k: KernelId, w: usize, h: usize, v: Variant) -> Summary {
-    let mut pipe = Pipeline::new(CpuConfig::ooo_4way(), MemConfig::default());
-    {
-        let mut p = Program::new(&mut pipe);
-        drive(&mut p, k, w, h, v);
-    }
-    pipe.finish()
-}
-
-/// Cell configuration for this binary's runs.
-fn config(timed: bool, variant: &str) -> Json {
-    Json::obj(vec![
-        ("figure", Json::from("kernels14")),
-        ("timed", Json::from(timed)),
-        ("variant", Json::from(variant)),
-    ])
-}
+//!
+//! The kernel list lives in `results/manifests/kernels14.json`
+//! (embedded at compile time, `--manifest` overrides); the per-kernel
+//! driver is `visim::kernels14`. Each kernel is one worker-pool job of
+//! two counted and two timed runs, all through the store-aware
+//! custom-cell runners, so this appendix binary gets the same
+//! crash-safe resume, retry, and fault-injection coverage as the
+//! registry-driven figures.
 
 fn main() {
-    let (size_label, size) = parse_size_args(
-        "kernels14",
-        "appendix: the full 14-kernel VSDK sweep, scalar vs. VIS",
-    );
-    let mut out = Report::new("kernels14", size_label);
-    out.section("all 14 VSDK kernels: VIS vs scalar (4-way ooo)");
-    // One job per kernel (each job is two counted and two timed runs),
-    // fanned out over the experiment worker pool; the row order is the
-    // input order, so the table is identical for any worker count.
-    // Each run goes through the store-aware custom-cell runners, so
-    // this appendix binary gets the same crash-safe resume, retry, and
-    // fault-injection coverage as the registry-driven figures.
-    let results = visim::experiment::run_parallel(
-        KernelId::all()
-            .iter()
-            .map(|&k| {
-                let size = &size;
-                move || -> Result<_, visim_util::SimError> {
-                    let (w, h) = (size.image_w, size.image_h);
-                    let counted_run = |v: Variant, vname: &str| {
-                        visim::experiment::try_custom_counted(
-                            &format!("k14.{}.{vname}", k.name()),
-                            size,
-                            || {
-                                let mut sink = CountingSink::new();
-                                {
-                                    let mut p = Program::new(&mut sink);
-                                    drive(&mut p, k, w, h, v);
-                                }
-                                Ok(sink.finish())
-                            },
-                        )
-                    };
-                    let base = counted_run(Variant::SCALAR, "base")?;
-                    let vis = counted_run(Variant::VIS, "vis")?;
-                    let cpu = CpuConfig::ooo_4way();
-                    let mem = MemConfig::default();
-                    let timed_run = |v: Variant, vname: &str| {
-                        visim::experiment::try_custom_timed(
-                            &format!("k14.{}.{vname}", k.name()),
-                            &cpu,
-                            &mem,
-                            size,
-                            || Ok(timed(k, w, h, v)),
-                        )
-                    };
-                    let ts = timed_run(Variant::SCALAR, "base")?;
-                    let tv = timed_run(Variant::VIS, "vis")?;
-                    Ok((base, vis, ts, tv))
-                }
-            })
-            .collect(),
-    );
-    let mut rows = Vec::new();
-    for (&k, result) in KernelId::all().iter().zip(&results) {
-        let (base, vis, ts, tv) = match result {
-            Ok(cell) => cell,
-            Err(e) => {
-                out.fail(
-                    k.name(),
-                    e,
-                    artifact::failed_cell(k.name(), config(true, "any"), e),
-                );
-                continue;
-            }
-        };
-        out.cell(artifact::counted_cell(
-            k.name(),
-            config(false, "base"),
-            base,
-        ));
-        out.cell(artifact::counted_cell(k.name(), config(false, "vis"), vis));
-        out.cell(artifact::timed_cell(k.name(), config(true, "base"), ts));
-        out.cell(artifact::timed_cell(k.name(), config(true, "vis"), tv));
-        rows.push(vec![
-            k.name().to_string(),
-            if KernelId::reported().contains(&k) {
-                "reported".into()
-            } else {
-                String::new()
-            },
-            format!("{:.1}", 100.0 * vis.retired as f64 / base.retired as f64),
-            format!("{:.2}x", ts.cycles() as f64 / tv.cycles() as f64),
-            format!(
-                "{:.0}%",
-                100.0 * tv.cpu.breakdown().memory() / tv.cycles() as f64
-            ),
-        ]);
-    }
-    out.push(&report::table(
-        &[
-            "kernel",
-            "in paper figs",
-            "VIS insts %",
-            "VIS speedup",
-            "mem% (VIS)",
-        ],
-        &rows,
-    ));
-    out.line(
-        "\nlookup and histogram are the VIS-inapplicable scatter/gather cases \
-         (§3.2.3);\ncopy is bandwidth-bound in both variants.",
-    );
-    out.finish();
+    visim_bench::render::manifest_main("kernels14");
 }

@@ -4,52 +4,12 @@
 //! the sensitive benchmarks are the table-driven codecs.
 //!
 //! A benchmark whose sweep fails becomes an error row; the rest still
-//! produce curves. The 12 × 5 (benchmark × L1 size) cells run on the
-//! experiment worker pool (`VISIM_JOBS` workers); output order is
-//! independent of the worker count.
-
-use visim::artifact;
-use visim::experiment::try_l1_sweep_all;
-use visim::report;
-use visim_bench::{parse_size_args, Report};
+//! produce curves. The sweep grid lives in
+//! `results/manifests/sweep_l1.json` (embedded at compile time,
+//! `--manifest` overrides): the 12 × 5 (benchmark × L1 size) cells run
+//! on the experiment worker pool (`VISIM_JOBS` workers); output order
+//! is independent of the worker count.
 
 fn main() {
-    let (size_label, size) = parse_size_args(
-        "sweep_l1",
-        "regenerate the S4.1 L1 cache-size sweep (L2 fixed)",
-    );
-    let sizes: [u64; 5] = [1 << 10, 4 << 10, 16 << 10, 32 << 10, 64 << 10];
-    let mut out = Report::new("sweep_l1", size_label);
-    out.line("Section 4.1: impact of L1 cache size (VIS, 4-way ooo)");
-    for (bench, outcome) in try_l1_sweep_all(&size, &sizes) {
-        out.section(bench.name());
-        let points = match outcome {
-            Ok(points) => points,
-            Err(e) => {
-                let cell =
-                    artifact::failed_cell(bench.name(), artifact::figure_config("sweep_l1"), &e);
-                out.fail(bench.name(), &e, cell);
-                continue;
-            }
-        };
-        for pt in &points {
-            out.cell(artifact::sweep_cell(bench, "l1", pt));
-        }
-        out.push(&report::table(
-            &report::sweep_headers(),
-            &report::sweep_rows(&points),
-        ));
-        let worst = points
-            .iter()
-            .map(|pt| pt.summary.cycles())
-            .max()
-            .unwrap_or(1) as f64;
-        let best = points
-            .iter()
-            .map(|pt| pt.summary.cycles())
-            .min()
-            .unwrap_or(1) as f64;
-        out.line(format!("1K-vs-64K spread: {:.2}x", worst / best));
-    }
-    out.finish();
+    visim_bench::render::manifest_main("sweep_l1");
 }

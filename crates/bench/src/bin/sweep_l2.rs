@@ -3,51 +3,16 @@
 //! kernels and the non-progressive JPEG codecs; ≤1.2X for the
 //! progressive codecs and MPEG once the display-sized working set fits.
 //!
+//! The study geometry is 1/16 the paper's pixel count, so the sweep
+//! covers proportionally smaller caches plus the paper's 2M corner.
+//!
 //! A benchmark whose sweep fails becomes an error row; the rest still
-//! produce curves. The 12 × 5 (benchmark × L2 size) cells run on the
-//! experiment worker pool (`VISIM_JOBS` workers); output order is
-//! independent of the worker count.
-
-use visim::artifact;
-use visim::experiment::try_l2_sweep_all;
-use visim::report;
-use visim_bench::{parse_size_args, Report};
+//! produce curves. The sweep grid lives in
+//! `results/manifests/sweep_l2.json` (embedded at compile time,
+//! `--manifest` overrides): the 12 × 5 (benchmark × L2 size) cells run
+//! on the experiment worker pool (`VISIM_JOBS` workers); output order
+//! is independent of the worker count.
 
 fn main() {
-    let (size_label, size) = parse_size_args(
-        "sweep_l2",
-        "regenerate the S4.1 L2 cache-size sweep (L1 fixed)",
-    );
-    // The study geometry is 1/16 the paper's pixel count, so the sweep
-    // covers proportionally smaller caches plus the paper's 2M corner.
-    let sizes: [u64; 5] = [128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
-    let mut out = Report::new("sweep_l2", size_label);
-    out.line("Section 4.1: impact of L2 cache size (VIS, 4-way ooo)");
-    for (bench, outcome) in try_l2_sweep_all(&size, &sizes) {
-        out.section(bench.name());
-        let points = match outcome {
-            Ok(points) => points,
-            Err(e) => {
-                let cell =
-                    artifact::failed_cell(bench.name(), artifact::figure_config("sweep_l2"), &e);
-                out.fail(bench.name(), &e, cell);
-                continue;
-            }
-        };
-        for pt in &points {
-            out.cell(artifact::sweep_cell(bench, "l2", pt));
-        }
-        out.push(&report::table(
-            &report::sweep_headers(),
-            &report::sweep_rows(&points),
-        ));
-        let base = points[0].summary.cycles() as f64;
-        let best = points
-            .iter()
-            .map(|pt| pt.summary.cycles())
-            .min()
-            .unwrap_or(1) as f64;
-        out.line(format!("max benefit from larger L2: {:.2}x", base / best));
-    }
-    out.finish();
+    visim_bench::render::manifest_main("sweep_l2");
 }

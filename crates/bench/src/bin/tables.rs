@@ -8,14 +8,6 @@
 //! `results/json/tables.json` has no cells — it still records the git
 //! revision and wall clock for provenance.
 
-use visim_bench::{parse_size_args, Report};
-
 fn main() {
-    let (size_label, _) = parse_size_args(
-        "tables",
-        "regenerate Tables 1-4: benchmark suite and machine parameters (no simulation)",
-    );
-    let mut out = Report::new("tables", size_label);
-    out.push(&visim::report::tables_text());
-    out.finish();
+    visim_bench::render::manifest_main("tables");
 }

@@ -30,6 +30,8 @@
 //! `--no-store` opts out; `VISIM_FAULT` arms the deterministic
 //! fault-injection harness for testing the recovery paths.
 
+pub mod render;
+
 use std::io::IsTerminal as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -51,12 +53,16 @@ pub fn usage(bin: &str, about: &str) -> String {
         "{bin}: {about}\n\
          \n\
          Usage: {bin} [tiny|study|paper] [--resume] [--no-store] [--store-dir D]\n\
-         \x20         [--no-trace-cache] [--trace-cache-mb N] [--sample [W:P]] [--help]\n\
+         \x20         [--no-trace-cache] [--trace-cache-mb N] [--sample [W:P]]\n\
+         \x20         [--manifest F] [--help]\n\
          \n\
          Sizes:\n\
          \x20 tiny    smallest inputs; seconds, used by tests and CI\n\
          \x20 study   scaled-down geometry documented in DESIGN.md (default)\n\
          \x20 paper   full 1024x640 / 352x240 geometry of the paper (slow)\n\
+         \n\
+         Experiment manifest (declarative grid; see results/manifests/):\n\
+         \x20 --manifest F         run the visim-manifest-v1 file F instead of the built-in manifest\n\
          \n\
          Result store (crash-safe resume; results are byte-identical either way):\n\
          \x20 --resume             serve finished cells from the result store, simulate only misses\n\
@@ -123,6 +129,12 @@ pub fn parse_size_args(bin: &str, about: &str) -> (&'static str, WorkloadSize) {
                 _ => bad("--store-dir expects a directory path".into()),
             },
             "--no-trace-cache" => visim::trace_cache::set_cli_disabled(),
+            "--manifest" => match args.next() {
+                Some(p) if !p.is_empty() && !p.starts_with('-') => {
+                    visim::manifest::set_cli_path(&p);
+                }
+                _ => bad("--manifest expects a manifest file path".into()),
+            },
             "--sample" => {
                 // An optional W:P geometry may follow; a size word or
                 // another flag means the default geometry.
@@ -183,7 +195,7 @@ const HEARTBEAT_PERIOD_MS: u64 = 1_000;
 /// prints a rate-limited `label: N/M cells done, ETA ~Xs` line. The
 /// observer only sees completion counts, so simulation output is
 /// unaffected; it is a no-op when [`heartbeat_enabled`] says so.
-fn install_heartbeat(label: &'static str) {
+fn install_heartbeat(label: String) {
     if !heartbeat_enabled() {
         return;
     }
@@ -209,7 +221,7 @@ fn install_heartbeat(label: &'static str) {
         }
         eprintln!(
             "{}",
-            format_heartbeat(label, done, total, elapsed.as_secs_f64())
+            format_heartbeat(&label, done, total, elapsed.as_secs_f64())
         );
     })));
 }
@@ -234,7 +246,7 @@ pub fn section(title: &str) {
 /// Wall-clock data lives only in the JSON artifact, never in the text
 /// stream, which stays byte-identical across runs and worker counts.
 pub struct Report {
-    name: &'static str,
+    name: String,
     buf: String,
     failures: Vec<(String, SimError)>,
     /// Write artifacts under `results/` (disabled in unit tests so they
@@ -245,17 +257,18 @@ pub struct Report {
 }
 
 impl Report {
-    /// A report for the binary named `name` (used for the partial file
-    /// and the JSON artifact) at workload size `size_label`.
-    pub fn new(name: &'static str, size_label: &str) -> Self {
-        install_heartbeat(name);
+    /// A report for the experiment named `name` (used for the partial
+    /// file and the JSON artifact; historically the binary name, now
+    /// the manifest name) at workload size `size_label`.
+    pub fn new(name: &str, size_label: &str) -> Self {
+        install_heartbeat(name.to_string());
         if let Some(prior) = visim::journal::begin(name, size_label) {
             if visim::store::resume() {
                 eprintln!("{name}: resuming; journal records {prior} previously completed cell(s)");
             }
         }
         Report {
-            name,
+            name: name.to_string(),
             buf: String::new(),
             failures: Vec::new(),
             artifacts: true,
@@ -314,7 +327,7 @@ impl Report {
             }
             let artifact = Json::obj(vec![
                 ("schema", Json::from(schema::RESULTS_SCHEMA)),
-                ("name", Json::from(self.name)),
+                ("name", Json::from(self.name.as_str())),
                 ("cell", cell.clone()),
             ]);
             let mut text = artifact.to_pretty();
@@ -485,6 +498,7 @@ mod tests {
             "VISIM_SPILL_EMIT_MBPS",
             "--sample",
             "VISIM_SAMPLE",
+            "--manifest",
         ] {
             assert!(u.contains(needle), "usage misses {needle}: {u}");
         }

@@ -34,9 +34,13 @@ use visim_obs::Registry;
 use visim_trace::{Checkpoint, Recorded, Recorder, ReplayCursor};
 use visim_util::{fault, pool, SimError};
 
+use media_kernels::KernelId;
+
 use crate::bench::{Bench, WorkloadSize};
 use crate::config::Arch;
 use crate::journal;
+use crate::kernels14::{self, KernelCell};
+use crate::manifest::{AblationSection, Grid, HistogramSection, Manifest, SweepCache};
 use crate::sampling::{self, SampleConfig};
 use crate::store;
 use crate::trace_cache;
@@ -624,6 +628,18 @@ pub fn try_custom_counted(
     size: &WorkloadSize,
     compute: impl Fn() -> Result<CpuStats, SimError>,
 ) -> Result<CpuStats, SimError> {
+    try_custom_counted_with_origin(tag, size, compute).map(|(c, _)| c)
+}
+
+/// [`try_custom_counted`] reporting where the result came from: the
+/// flag is `true` when the counts were served from the result store
+/// (the serve daemon's hit accounting; timed cells carry the same fact
+/// as their `cell.store_hit` metric instead).
+pub fn try_custom_counted_with_origin(
+    tag: &str,
+    size: &WorkloadSize,
+    compute: impl Fn() -> Result<CpuStats, SimError>,
+) -> Result<(CpuStats, bool), SimError> {
     let key = store::custom_counted_key(tag, size);
     run_cell(
         key,
@@ -641,7 +657,6 @@ pub fn try_custom_counted(
             _ => None,
         },
     )
-    .map(|(c, _)| c)
 }
 
 /// Run one benchmark through the detailed timing model with
@@ -710,6 +725,16 @@ pub fn try_run_counted(
     size: &WorkloadSize,
     variant: Variant,
 ) -> Result<CpuStats, SimError> {
+    try_run_counted_with_origin(bench, size, variant).map(|(c, _)| c)
+}
+
+/// [`try_run_counted`] reporting whether the counts were served from
+/// the result store (see [`try_custom_counted_with_origin`]).
+pub fn try_run_counted_with_origin(
+    bench: Bench,
+    size: &WorkloadSize,
+    variant: Variant,
+) -> Result<(CpuStats, bool), SimError> {
     let key = store::counted_key(bench.name(), size, variant);
     run_cell(
         key,
@@ -729,7 +754,6 @@ pub fn try_run_counted(
             _ => None,
         },
     )
-    .map(|(c, _)| c)
 }
 
 /// Run one benchmark through the functional counter (fast; used for the
@@ -775,35 +799,51 @@ pub fn fig1_bench(bench: Bench, size: &WorkloadSize) -> Vec<Fig1Bar> {
 /// `Err` reports that error, matching [`try_fig1_bench`]'s serial
 /// first-failure semantics, while the other benchmarks keep their bars.
 pub fn try_fig1_all(size: &WorkloadSize) -> Vec<(Bench, Result<Vec<Fig1Bar>, SimError>)> {
+    try_fig1_grid(
+        size,
+        &Bench::all(),
+        &Arch::all(),
+        &[Variant::SCALAR, Variant::VIS],
+    )
+}
+
+/// [`try_fig1_all`] over an explicit manifest grid: `benchmarks` ×
+/// `variants` × `archs` cells in that nesting order (matching the
+/// figure's bar order), fanned out over the worker pool in one batch.
+pub fn try_fig1_grid(
+    size: &WorkloadSize,
+    benchmarks: &[Bench],
+    archs: &[Arch],
+    variants: &[Variant],
+) -> Vec<(Bench, Result<Vec<Fig1Bar>, SimError>)> {
     let mut cells = Vec::new();
-    for bench in Bench::all() {
-        for vis in [false, true] {
-            for arch in Arch::all() {
-                cells.push((bench, vis, arch));
+    for &bench in benchmarks {
+        for &variant in variants {
+            for &arch in archs {
+                cells.push((bench, variant, arch));
             }
         }
     }
     let results = run_parallel(
         cells
             .iter()
-            .map(|&(bench, vis, arch)| {
-                let variant = if vis { Variant::VIS } else { Variant::SCALAR };
-                move || try_run_timed(bench, arch, None, size, variant)
-            })
+            .map(|&(bench, variant, arch)| move || try_run_timed(bench, arch, None, size, variant))
             .collect(),
     );
     let mut results = results.into_iter();
-    Bench::all()
-        .into_iter()
-        .map(|bench| {
-            let mut bars = Vec::with_capacity(6);
+    benchmarks
+        .iter()
+        .map(|&bench| {
+            let mut bars = Vec::with_capacity(archs.len() * variants.len());
             let mut first_err = None;
-            for vis in [false, true] {
-                for arch in Arch::all() {
+            for &variant in variants {
+                for &arch in archs {
                     match results.next().expect("one result per Figure 1 cell") {
-                        Ok(summary) if first_err.is_none() => {
-                            bars.push(Fig1Bar { arch, vis, summary })
-                        }
+                        Ok(summary) if first_err.is_none() => bars.push(Fig1Bar {
+                            arch,
+                            vis: variant.vis,
+                            summary,
+                        }),
                         Err(e) if first_err.is_none() => first_err = Some(e),
                         _ => {}
                     }
@@ -831,8 +871,16 @@ pub struct Fig2Row {
 /// variant masks the VIS result for that benchmark, matching the serial
 /// evaluation order.
 pub fn try_fig2(size: &WorkloadSize) -> Vec<(Bench, Result<Fig2Row, SimError>)> {
+    try_fig2_grid(size, &Bench::all())
+}
+
+/// [`try_fig2`] over an explicit benchmark list (the manifest grid).
+pub fn try_fig2_grid(
+    size: &WorkloadSize,
+    benchmarks: &[Bench],
+) -> Vec<(Bench, Result<Fig2Row, SimError>)> {
     let mut cells = Vec::new();
-    for bench in Bench::all() {
+    for &bench in benchmarks {
         for variant in [Variant::SCALAR, Variant::VIS] {
             cells.push((bench, variant));
         }
@@ -844,9 +892,9 @@ pub fn try_fig2(size: &WorkloadSize) -> Vec<(Bench, Result<Fig2Row, SimError>)> 
             .collect(),
     )
     .into_iter();
-    Bench::all()
-        .into_iter()
-        .map(|bench| {
+    benchmarks
+        .iter()
+        .map(|&bench| {
             let base = results.next().expect("base result per benchmark");
             let vis = results.next().expect("VIS result per benchmark");
             let row = base.and_then(|base| {
@@ -886,8 +934,16 @@ pub struct Fig3Row {
 /// baseline masks the prefetch result for that benchmark, matching the
 /// serial evaluation order.
 pub fn try_fig3(size: &WorkloadSize) -> Vec<(Bench, Result<Fig3Row, SimError>)> {
+    try_fig3_grid(size, &Bench::prefetch_set())
+}
+
+/// [`try_fig3`] over an explicit benchmark list (the manifest grid).
+pub fn try_fig3_grid(
+    size: &WorkloadSize,
+    benchmarks: &[Bench],
+) -> Vec<(Bench, Result<Fig3Row, SimError>)> {
     let mut cells = Vec::new();
-    for bench in Bench::prefetch_set() {
+    for &bench in benchmarks {
         for variant in [Variant::VIS, Variant::VIS_PF] {
             cells.push((bench, variant));
         }
@@ -899,9 +955,9 @@ pub fn try_fig3(size: &WorkloadSize) -> Vec<(Bench, Result<Fig3Row, SimError>)> 
             .collect(),
     )
     .into_iter();
-    Bench::prefetch_set()
-        .into_iter()
-        .map(|bench| {
+    benchmarks
+        .iter()
+        .map(|&bench| {
             let vis = results.next().expect("VIS result per benchmark");
             let pf = results.next().expect("prefetch result per benchmark");
             let row = vis.and_then(|vis| {
@@ -1001,8 +1057,28 @@ fn try_sweep_suite(
     sweep_sizes: &[u64],
     cfg_for: impl Fn(u64) -> MemConfig,
 ) -> Vec<(Bench, Result<Vec<SweepPoint>, SimError>)> {
+    try_sweep_grid_with(size, &Bench::all(), sweep_sizes, cfg_for)
+}
+
+/// [`try_sweep_suite`] over an explicit manifest grid: `benchmarks` ×
+/// `bytes` cells, varying the cache `cache` selects.
+pub fn try_sweep_grid(
+    size: &WorkloadSize,
+    benchmarks: &[Bench],
+    bytes: &[u64],
+    cache: SweepCache,
+) -> Vec<(Bench, Result<Vec<SweepPoint>, SimError>)> {
+    try_sweep_grid_with(size, benchmarks, bytes, |b| cache.mem_config(b))
+}
+
+fn try_sweep_grid_with(
+    size: &WorkloadSize,
+    benchmarks: &[Bench],
+    sweep_sizes: &[u64],
+    cfg_for: impl Fn(u64) -> MemConfig,
+) -> Vec<(Bench, Result<Vec<SweepPoint>, SimError>)> {
     let mut cells = Vec::new();
-    for bench in Bench::all() {
+    for &bench in benchmarks {
         for &bytes in sweep_sizes {
             cells.push((bench, bytes, cfg_for(bytes)));
         }
@@ -1019,9 +1095,9 @@ fn try_sweep_suite(
             .collect(),
     )
     .into_iter();
-    Bench::all()
-        .into_iter()
-        .map(|bench| {
+    benchmarks
+        .iter()
+        .map(|&bench| {
             let mut points = Vec::with_capacity(sweep_sizes.len());
             let mut first_err = None;
             for _ in sweep_sizes {
@@ -1052,6 +1128,135 @@ pub fn try_l2_sweep_all(
     l2_sizes: &[u64],
 ) -> Vec<(Bench, Result<Vec<SweepPoint>, SimError>)> {
     try_sweep_suite(size, l2_sizes, |b| MemConfig::default().with_l2_size(b))
+}
+
+/// One ablation ratio section fanned out over the worker pool: per
+/// benchmark, a baseline run on the out-of-order machine plus one run
+/// per sweep value, in that order (the layout `AblationSection.headers`
+/// describes). Any failure is fatal, matching the ablation binary's
+/// historical behaviour — ablations have no degraded rendering.
+pub fn run_ablation_section(
+    section: &AblationSection,
+    benchmarks: &[Bench],
+    size: &WorkloadSize,
+) -> Vec<Summary> {
+    let mut cells = Vec::new();
+    for &bench in benchmarks {
+        cells.push((bench, CpuConfig::ooo_4way(), MemConfig::default()));
+        for &value in &section.values {
+            let (cpu, mem) = section.param.config(value);
+            cells.push((bench, cpu, mem));
+        }
+    }
+    run_parallel(
+        cells
+            .into_iter()
+            .map(|(bench, cpu, mem)| move || run_timed_cfg(bench, cpu, mem, size, Variant::VIS))
+            .collect(),
+    )
+}
+
+/// The ablation experiment's MSHR-occupancy section: benchmarks ×
+/// variants on the out-of-order baseline, one worker-pool batch.
+pub fn run_histogram_section(section: &HistogramSection, size: &WorkloadSize) -> Vec<Summary> {
+    let mut cells = Vec::new();
+    for &bench in &section.benchmarks {
+        for (_, variant) in &section.variants {
+            cells.push((bench, *variant));
+        }
+    }
+    run_parallel(
+        cells
+            .into_iter()
+            .map(|(bench, variant)| {
+                move || run_timed_cfg(bench, Arch::Ooo4.cpu(), MemConfig::default(), size, variant)
+            })
+            .collect(),
+    )
+}
+
+/// The appendix kernel sweep: one worker-pool job per kernel, each job
+/// the kernel's full four-run cell ([`kernels14::try_kernel_cell`]).
+pub fn try_kernels14(
+    kernels: &[KernelId],
+    size: &WorkloadSize,
+) -> Vec<(KernelId, Result<KernelCell, SimError>)> {
+    let results = run_parallel(
+        kernels
+            .iter()
+            .map(|&k| move || kernels14::try_kernel_cell(k, size))
+            .collect(),
+    );
+    kernels.iter().copied().zip(results).collect()
+}
+
+/// The result of executing one manifest: one variant per grid kind,
+/// carrying exactly what that kind's renderer needs.
+pub enum ManifestOutcome {
+    /// Figure 1 bars per benchmark.
+    Fig1(Vec<(Bench, Result<Vec<Fig1Bar>, SimError>)>),
+    /// Figure 2 instruction-mix rows per benchmark.
+    Fig2(Vec<(Bench, Result<Fig2Row, SimError>)>),
+    /// Figure 3 prefetch pairs per benchmark.
+    Fig3(Vec<(Bench, Result<Fig3Row, SimError>)>),
+    /// §4.1 sweep curves per benchmark.
+    Sweep {
+        /// Which cache was varied.
+        cache: SweepCache,
+        /// Sweep points per benchmark.
+        results: Vec<(Bench, Result<Vec<SweepPoint>, SimError>)>,
+    },
+    /// Tables 1-4 (static; nothing was simulated).
+    Tables,
+    /// Ablation summaries: one vector per ratio section (in manifest
+    /// order, each laid out as [`run_ablation_section`] describes) plus
+    /// the histogram section's summaries.
+    Ablation {
+        /// Ratio-section summaries, one inner vector per section.
+        sections: Vec<Vec<Summary>>,
+        /// Histogram-section summaries.
+        histogram: Vec<Summary>,
+    },
+    /// Appendix kernel cells.
+    Kernels14(Vec<(KernelId, Result<KernelCell, SimError>)>),
+}
+
+/// Execute a manifest: fan its grid through the worker pool, store,
+/// trace cache, and sampling machinery, and return the grid-shaped
+/// outcome for rendering. Each ratio section of an ablation manifest is
+/// its own worker-pool batch (sections are rendered as they complete),
+/// every other grid is a single batch.
+pub fn run_manifest(m: &Manifest, size: &WorkloadSize) -> ManifestOutcome {
+    match &m.grid {
+        Grid::Fig1 {
+            benchmarks,
+            archs,
+            variants,
+        } => ManifestOutcome::Fig1(try_fig1_grid(size, benchmarks, archs, variants)),
+        Grid::Fig2 { benchmarks, .. } => ManifestOutcome::Fig2(try_fig2_grid(size, benchmarks)),
+        Grid::Fig3 { benchmarks } => ManifestOutcome::Fig3(try_fig3_grid(size, benchmarks)),
+        Grid::Sweep {
+            cache,
+            benchmarks,
+            bytes,
+        } => ManifestOutcome::Sweep {
+            cache: *cache,
+            results: try_sweep_grid(size, benchmarks, bytes, *cache),
+        },
+        Grid::Tables => ManifestOutcome::Tables,
+        Grid::Ablation {
+            benchmarks,
+            sections,
+            histogram,
+        } => ManifestOutcome::Ablation {
+            sections: sections
+                .iter()
+                .map(|s| run_ablation_section(s, benchmarks, size))
+                .collect(),
+            histogram: run_histogram_section(histogram, size),
+        },
+        Grid::Kernels14 { kernels } => ManifestOutcome::Kernels14(try_kernels14(kernels, size)),
+    }
 }
 
 #[cfg(test)]

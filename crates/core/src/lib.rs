@@ -29,6 +29,12 @@
 //!   detailed windows + functional warming, opt-in via
 //!   `--sample`/`VISIM_SAMPLE`, with exact simulation the byte-stable
 //!   default;
+//! * [`manifest`] — declarative `visim-manifest-v1` experiment
+//!   descriptions (`results/manifests/*.json`): benchmarks, config
+//!   axes, variants and titles as data, executed by
+//!   [`experiment::run_manifest`] and served cell-wise by the
+//!   `visim-serve` daemon;
+//! * [`kernels14`] — the appendix 14-kernel VSDK sweep driver;
 //! * [`artifact`] — `visim-results-v2` JSON cell builders pairing each
 //!   text row with a machine-readable record (see `visim-obs`).
 //!
@@ -50,6 +56,8 @@ pub mod bench;
 pub mod config;
 pub mod experiment;
 pub mod journal;
+pub mod kernels14;
+pub mod manifest;
 pub mod report;
 pub mod sampling;
 pub mod store;

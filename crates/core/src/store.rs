@@ -363,6 +363,104 @@ pub fn export_metrics(reg: &mut Registry) {
     reg.set("store.stale_purged", STALE_PURGED.load(Ordering::Relaxed));
 }
 
+/// Aggregate statistics for the entries one (schema, revision) pairing
+/// wrote — the unit of staleness: entries under another pairing would
+/// be purged instead of served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevStats {
+    /// Results-schema tag the entries carry.
+    pub schema: String,
+    /// Git revision (or [`STORE_REV_ENV`] override) that wrote them.
+    pub rev: String,
+    /// Number of valid entries.
+    pub entries: u64,
+    /// Their total size on disk in bytes.
+    pub bytes: u64,
+}
+
+/// A scan of the whole store directory (the `--store-stats` flag and
+/// the serve daemon's `store.bytes` accounting).
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// Valid `.vcell` entries found.
+    pub entries: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+    /// Files that failed checksum/framing validation (candidates for
+    /// purge on their next lookup; left in place by the scan).
+    pub invalid: u64,
+    /// Per-(schema, revision) breakdown, sorted for stable output.
+    pub revs: Vec<RevStats>,
+}
+
+/// Scan the store directory and size up its contents per schema
+/// revision. Entries are checksum-validated (a torn file counts as
+/// `invalid`, not as an entry) but never purged — the scan only
+/// observes. Returns `None` when the store is disabled.
+pub fn stats() -> Option<StoreStats> {
+    let dir = dir().filter(|_| enabled())?;
+    let mut stats = StoreStats::default();
+    let mut by_rev: std::collections::BTreeMap<(String, String), (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        // A store that was never written to is empty, not an error.
+        Err(_) => return Some(stats),
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("vcell") {
+            continue;
+        }
+        let Ok(bytes) = std::fs::read(&path) else {
+            stats.invalid += 1;
+            continue;
+        };
+        match entry_stamps(&bytes) {
+            Some((schema, rev)) => {
+                stats.entries += 1;
+                stats.bytes += bytes.len() as u64;
+                let slot = by_rev.entry((schema, rev)).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += bytes.len() as u64;
+            }
+            None => stats.invalid += 1,
+        }
+    }
+    stats.revs = by_rev
+        .into_iter()
+        .map(|((schema, rev), (entries, bytes))| RevStats {
+            schema,
+            rev,
+            entries,
+            bytes,
+        })
+        .collect();
+    Some(stats)
+}
+
+/// Read the (schema, revision) stamps of one encoded entry, validating
+/// the checksum and framing first. `None` means the file is not a
+/// well-formed store entry.
+fn entry_stamps(bytes: &[u8]) -> Option<(String, String)> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return None;
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let expect = u64::from_le_bytes(trailer.try_into().unwrap());
+    if fnv1a64(body) != expect {
+        return None;
+    }
+    let mut r = ByteReader::new(body);
+    if r.raw(4).ok()? != MAGIC {
+        return None;
+    }
+    let _version = r.u32().ok()?;
+    let schema = r.str().ok()?;
+    let rev = r.str().ok()?;
+    Some((schema, rev))
+}
+
 /// Encode one entry in the framed store format (magic, version, schema,
 /// revision, key echo, status, payload, trailing checksum).
 fn encode_entry(key: &CellKey, entry: &Entry, schema: &str, rev: &str) -> Vec<u8> {

@@ -17,7 +17,7 @@
 //!   system, and the experiment worker pool, and drained into the JSON
 //!   artifacts;
 //! * [`schema`] — the versioned result schemas (`visim-results-v2`,
-//!   `visim-bench-runtime-v4`, `visim-trace-v1`): one place that names
+//!   `visim-bench-runtime-v5`, `visim-trace-v1`): one place that names
 //!   and versions every machine-readable output format the repo
 //!   produces;
 //! * [`trace`] — cycle-level event tracing: a bounded ring of

@@ -7,13 +7,16 @@
 //!   documents under `results/json/<name>.json` and the per-failure
 //!   artifacts under `results/partial/<name>.<benchmark>.json` (v2
 //!   added the sampled-simulation cell counters, `cell.sampling.*`);
-//! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v4`) — the
+//! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v5`) — the
 //!   wall-clock harness output `BENCH_runtime.json` written by
 //!   `scripts/bench.sh` (v2 added `git_rev` and the fidelity summary;
 //!   v3 added the warm-trace-cache second pass: per-binary
 //!   `seconds_warm`/`exit_warm` and the `total_seconds_warm` total;
 //!   v4 added the sampled third pass: `seconds_sampled`/`exit_sampled`,
-//!   `total_seconds_sampled`, and the exact-vs-sampled suite speedup);
+//!   `total_seconds_sampled`, and the exact-vs-sampled suite speedup;
+//!   v5 added the warm-hit serve pass: `serve_cells`,
+//!   `serve_seconds_warm`, and `requests_per_sec_warm` — the
+//!   visim-serve daemon answering an already-stored manifest);
 //! * [`TRACE_SCHEMA`] (`visim-trace-v1`) — the Chrome trace-event /
 //!   Perfetto files under `results/trace/` written by `pipetrace`
 //!   (schema tag carried in the file's `otherData`).
@@ -55,7 +58,7 @@ use crate::metrics::Registry;
 pub const RESULTS_SCHEMA: &str = "visim-results-v2";
 
 /// Schema tag for `BENCH_runtime.json` (`scripts/bench.sh`).
-pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v4";
+pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v5";
 
 /// Schema tag for the Chrome trace-event files written by `pipetrace`.
 pub const TRACE_SCHEMA: &str = "visim-trace-v1";

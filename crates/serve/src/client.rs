@@ -1,0 +1,60 @@
+//! The bundled client: connect, send one request, relay the event
+//! stream to stdout, and turn the terminal event into an exit code.
+//!
+//! Scripts and tests use this instead of hand-rolling the protocol;
+//! `scripts/verify.sh` drives its serve gate entirely through
+//! `visim-serve client`.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+
+use visim_obs::Json;
+
+use crate::proto::Request;
+
+/// Send `request` to the daemon at `addr`, print every event line the
+/// daemon streams back, and return the process exit code: 0 when the
+/// terminal event reports success, 1 when a run finished with failed
+/// cells or the daemon reported an error, and an `Err` for transport
+/// problems.
+pub fn run(addr: &str, request: &Request) -> Result<i32, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut line = request.to_line();
+    line.push('\n');
+    writer
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    for event_line in BufReader::new(stream).lines() {
+        let event_line = event_line.map_err(|e| format!("read: {e}"))?;
+        if event_line.is_empty() {
+            continue;
+        }
+        println!("{event_line}");
+        let event = Json::parse(&event_line).map_err(|e| format!("bad event line: {e}"))?;
+        match event.get("event").and_then(Json::as_str) {
+            Some("done") => {
+                let failed = event.get("failed").and_then(Json::as_u64).unwrap_or(0);
+                return Ok(if failed == 0 { 0 } else { 1 });
+            }
+            Some("pong" | "stats" | "bye") => return Ok(0),
+            Some("error") => return Ok(1),
+            // `listening`, `start`, and `cell` events keep streaming.
+            _ => {}
+        }
+    }
+    Err("daemon closed the connection before a terminal event".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_to_a_dead_daemon_is_a_transport_error() {
+        // Port 1 on localhost is essentially never listening.
+        let err = run("127.0.0.1:1", &Request::Ping).unwrap_err();
+        assert!(err.starts_with("connect"), "{err}");
+    }
+}

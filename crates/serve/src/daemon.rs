@@ -1,0 +1,521 @@
+//! The daemon: TCP accept loop, per-connection protocol handling, and
+//! the single-flight cell executor over the result store.
+//!
+//! Threading model: one OS thread per connection (clients are few and
+//! long-lived), with each manifest request fanning its cells out over
+//! the experiment worker pool (`VISIM_JOBS` workers, scoped threads —
+//! concurrent manifests each get their own pool scope and share the
+//! process-wide pool metrics). Cell deduplication happens *across*
+//! connections through the single-flight table, so two clients
+//! submitting overlapping manifests never simulate a cell twice.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use visim::bench::WorkloadSize;
+use visim::manifest::{CellSpec, Manifest};
+use visim::{experiment, journal, store};
+use visim_obs::schema::ResultsDoc;
+use visim_obs::Json;
+
+use crate::proto::{size_from_name, ManifestSource, Request};
+use crate::SERVE_SCHEMA;
+
+/// Requests received, counted per cell (a manifest of 24 cells is 24
+/// requests). Exported as `serve.requests`.
+static REQUESTS: AtomicU64 = AtomicU64::new(0);
+/// Cells served straight from the result store (`serve.hits`).
+static HITS: AtomicU64 = AtomicU64::new(0);
+/// Cells that had to be simulated (`serve.misses`).
+static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Cells that joined another request's in-flight simulation
+/// (`serve.coalesced`).
+static COALESCED: AtomicU64 = AtomicU64::new(0);
+/// Cells whose simulation failed, for the journal's end marker.
+static FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Graceful-shutdown latch, set by the `shutdown` op.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// One in-flight cell simulation: the leader fills `slot` and notifies;
+/// followers wait on `cv`.
+struct Flight {
+    slot: Mutex<Option<CellResult>>,
+    cv: Condvar,
+}
+
+/// The single-flight table, keyed on [`CellSpec::identity`]. BTreeMap
+/// because its `new` is `const` — the table predates any thread.
+static FLIGHTS: Mutex<BTreeMap<String, Arc<Flight>>> = Mutex::new(BTreeMap::new());
+
+/// The outcome of one cell, shared verbatim between the leader and any
+/// coalesced followers.
+#[derive(Debug, Clone)]
+struct CellResult {
+    /// `false` means the simulation failed.
+    ok: bool,
+    /// The error text when `!ok`.
+    error: Option<String>,
+    /// Whether the result came from the store (leader's perspective;
+    /// followers report `coalesced` instead).
+    from_store: bool,
+    /// Small headline payload members for the `cell` event.
+    payload: Vec<(String, Json)>,
+}
+
+/// Execute `compute` under single-flight: the first requester of `key`
+/// runs it, everyone else arriving before completion waits and shares
+/// the result. Returns the result plus whether *this* caller coalesced.
+fn single_flight(key: String, compute: impl FnOnce() -> CellResult) -> (CellResult, bool) {
+    let flight = {
+        let mut map = FLIGHTS.lock().expect("flight table lock");
+        if let Some(f) = map.get(&key) {
+            Arc::clone(f)
+        } else {
+            let f = Arc::new(Flight {
+                slot: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            map.insert(key.clone(), Arc::clone(&f));
+            drop(map);
+            // Leader: simulate outside the table lock, publish, then
+            // retire the flight so later requests go to the store.
+            let result = compute();
+            *f.slot.lock().expect("flight slot lock") = Some(result.clone());
+            f.cv.notify_all();
+            FLIGHTS.lock().expect("flight table lock").remove(&key);
+            return (result, false);
+        }
+    };
+    let mut slot = flight.slot.lock().expect("flight slot lock");
+    while slot.is_none() {
+        slot = flight.cv.wait(slot).expect("flight slot wait");
+    }
+    (slot.clone().expect("flight slot filled"), true)
+}
+
+/// Run one cell through the store-aware experiment runners. The store
+/// lookup, checksum validation, stale purge, fault injection, retry,
+/// and journal recording all live in `visim::experiment`; this function
+/// only adapts the three cell kinds onto one result shape.
+fn run_spec(spec: &CellSpec, size: &WorkloadSize) -> CellResult {
+    let ok = |from_store: bool, payload: Vec<(String, Json)>| CellResult {
+        ok: true,
+        error: None,
+        from_store,
+        payload,
+    };
+    let failed = |e: &dyn std::fmt::Display| CellResult {
+        ok: false,
+        error: Some(e.to_string()),
+        from_store: false,
+        payload: Vec::new(),
+    };
+    match spec {
+        CellSpec::Timed {
+            bench,
+            cpu,
+            mem,
+            variant,
+            ..
+        } => {
+            match experiment::try_run_timed_cfg(*bench, cpu.clone(), mem.clone(), size, *variant) {
+                Ok(summary) => ok(
+                    summary.metrics.counter("cell.store_hit") == 1,
+                    vec![("cycles".to_string(), Json::from(summary.cycles()))],
+                ),
+                Err(e) => failed(&e),
+            }
+        }
+        CellSpec::Counted { bench, variant, .. } => {
+            match experiment::try_run_counted_with_origin(*bench, size, *variant) {
+                Ok((stats, from_store)) => ok(
+                    from_store,
+                    vec![("retired".to_string(), Json::from(stats.retired))],
+                ),
+                Err(e) => failed(&e),
+            }
+        }
+        CellSpec::Kernel { kernel, .. } => match visim::kernels14::try_kernel_cell(*kernel, size) {
+            Ok(cell) => ok(
+                cell.from_store,
+                vec![
+                    (
+                        "scalar_cycles".to_string(),
+                        Json::from(cell.timed_base.cycles()),
+                    ),
+                    (
+                        "vis_cycles".to_string(),
+                        Json::from(cell.timed_vis.cycles()),
+                    ),
+                ],
+            ),
+            Err(e) => failed(&e),
+        },
+    }
+}
+
+/// Write one event line to the (shared) client stream. Write errors are
+/// ignored: a client that hung up mid-manifest must not abort the
+/// simulations — their results still land in the store for the next
+/// requester.
+fn send(stream: &Mutex<TcpStream>, event: &Json) {
+    let mut line = event.to_compact();
+    line.push('\n');
+    let mut guard = stream.lock().expect("client stream lock");
+    let _ = guard.write_all(line.as_bytes());
+    let _ = guard.flush();
+}
+
+/// Per-request tally, reported in the terminal `done` event (the
+/// `serve.*` counters aggregate the same quantities daemon-wide).
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    failed: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    done: AtomicU64,
+}
+
+/// Run `specs` over the worker pool, streaming a `cell` event per
+/// completion, and return the tally for the `done` event.
+fn run_cells(specs: Vec<CellSpec>, size: &WorkloadSize, stream: &Mutex<TcpStream>) -> Tally {
+    let total = specs.len();
+    let tally = Tally::default();
+    let work: Vec<_> = specs
+        .into_iter()
+        .map(|spec| {
+            let tally = &tally;
+            move || {
+                REQUESTS.fetch_add(1, Ordering::Relaxed);
+                let identity = spec.identity(size);
+                let (result, coalesced) = single_flight(identity, || run_spec(&spec, size));
+                if coalesced {
+                    COALESCED.fetch_add(1, Ordering::Relaxed);
+                    tally.coalesced.fetch_add(1, Ordering::Relaxed);
+                } else if result.from_store {
+                    HITS.fetch_add(1, Ordering::Relaxed);
+                    tally.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    MISSES.fetch_add(1, Ordering::Relaxed);
+                    tally.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                if result.ok {
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    FAILURES.fetch_add(1, Ordering::Relaxed);
+                    tally.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                let done = tally.done.fetch_add(1, Ordering::Relaxed) + 1;
+                let mut members = vec![
+                    ("event", Json::from("cell")),
+                    ("label", Json::from(spec.label())),
+                    (
+                        "status",
+                        Json::from(if result.ok { "ok" } else { "failed" }),
+                    ),
+                    ("from_store", Json::Bool(result.from_store)),
+                    ("coalesced", Json::Bool(coalesced)),
+                    ("done", Json::from(done)),
+                    ("total", Json::from(total)),
+                ];
+                for (k, v) in &result.payload {
+                    members.push((k.as_str(), v.clone()));
+                }
+                if let Some(e) = &result.error {
+                    members.push(("error", Json::from(e.as_str())));
+                }
+                send(stream, &Json::obj(members));
+            }
+        })
+        .collect();
+    experiment::run_parallel(work);
+    tally
+}
+
+/// Resolve a request's manifest source against the embedded set or the
+/// daemon's filesystem.
+fn resolve_manifest(source: &ManifestSource) -> Result<Manifest, String> {
+    match source {
+        ManifestSource::Builtin(name) => Manifest::builtin(name).ok_or_else(|| {
+            format!(
+                "unknown builtin manifest {name:?}; have: {}",
+                Manifest::builtin_names().join(", ")
+            )
+        }),
+        ManifestSource::Path(path) => Manifest::load_file(path),
+    }
+}
+
+/// Handle a `manifest` or `cell` request end to end: resolve, run,
+/// stream, and send the terminal `done` event.
+fn handle_run(
+    source: &ManifestSource,
+    only_label: Option<&str>,
+    size_name: &str,
+    stream: &Mutex<TcpStream>,
+) -> Result<(), String> {
+    let manifest = resolve_manifest(source)?;
+    let size = size_from_name(size_name)?;
+    let mut specs = manifest.cells();
+    if let Some(label) = only_label {
+        specs.retain(|s| s.label() == label);
+        if specs.is_empty() {
+            return Err(format!(
+                "manifest {} has no cell labeled {label:?}",
+                manifest.name
+            ));
+        }
+    }
+    send(
+        stream,
+        &Json::obj(vec![
+            ("event", Json::from("start")),
+            ("manifest", Json::from(manifest.name.as_str())),
+            ("size", Json::from(size_name)),
+            ("cells", Json::from(specs.len())),
+        ]),
+    );
+    let tally = run_cells(specs, &size, stream);
+    send(
+        stream,
+        &Json::obj(vec![
+            ("event", Json::from("done")),
+            ("manifest", Json::from(manifest.name.as_str())),
+            ("cells", Json::from(tally.done.load(Ordering::Relaxed))),
+            ("ok", Json::from(tally.ok.load(Ordering::Relaxed))),
+            ("failed", Json::from(tally.failed.load(Ordering::Relaxed))),
+            ("hits", Json::from(tally.hits.load(Ordering::Relaxed))),
+            ("misses", Json::from(tally.misses.load(Ordering::Relaxed))),
+            (
+                "coalesced",
+                Json::from(tally.coalesced.load(Ordering::Relaxed)),
+            ),
+        ]),
+    );
+    Ok(())
+}
+
+/// The `stats` event body: the daemon-wide serve counters plus a live
+/// store scan.
+fn stats_event() -> Json {
+    let mut members = vec![
+        ("event", Json::from("stats")),
+        ("schema", Json::from(SERVE_SCHEMA)),
+        (
+            "serve",
+            Json::obj(vec![
+                ("requests", Json::from(REQUESTS.load(Ordering::Relaxed))),
+                ("hits", Json::from(HITS.load(Ordering::Relaxed))),
+                ("misses", Json::from(MISSES.load(Ordering::Relaxed))),
+                ("coalesced", Json::from(COALESCED.load(Ordering::Relaxed))),
+            ]),
+        ),
+    ];
+    if let Some(stats) = store::stats() {
+        members.push((
+            "store",
+            Json::obj(vec![
+                ("entries", Json::from(stats.entries)),
+                ("bytes", Json::from(stats.bytes)),
+                ("invalid", Json::from(stats.invalid)),
+            ]),
+        ));
+    }
+    Json::obj(members)
+}
+
+/// Serve one client connection until it closes or asks for shutdown.
+fn handle_conn(stream: TcpStream, daemon_addr: std::net::SocketAddr) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let stream = Mutex::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = match Request::parse(&line) {
+            Ok(Request::Ping) => {
+                send(
+                    &stream,
+                    &Json::obj(vec![
+                        ("event", Json::from("pong")),
+                        ("schema", Json::from(SERVE_SCHEMA)),
+                    ]),
+                );
+                Ok(())
+            }
+            Ok(Request::Stats) => {
+                send(&stream, &stats_event());
+                Ok(())
+            }
+            Ok(Request::Shutdown) => {
+                send(&stream, &Json::obj(vec![("event", Json::from("bye"))]));
+                SHUTDOWN.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the latch.
+                let _ = TcpStream::connect(daemon_addr);
+                return;
+            }
+            Ok(Request::Manifest { source, size }) => handle_run(&source, None, &size, &stream),
+            Ok(Request::Cell {
+                source,
+                label,
+                size,
+            }) => handle_run(&source, Some(&label), &size, &stream),
+            Err(e) => Err(e),
+        };
+        if let Err(e) = outcome {
+            send(
+                &stream,
+                &Json::obj(vec![
+                    ("event", Json::from("error")),
+                    ("error", Json::from(e.as_str())),
+                ]),
+            );
+        }
+    }
+}
+
+/// Daemon configuration from the CLI.
+pub struct DaemonConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// When set, the `listening` event line is also written here
+    /// (atomically), so scripts can poll one file instead of parsing
+    /// the daemon's stdout.
+    pub addr_file: Option<String>,
+}
+
+/// Run the daemon until a client sends `shutdown`. On exit, writes the
+/// run's results document (`results/json/serve.json`: pool, store,
+/// fault, retry, and `serve.*` metrics plus the store's size) and
+/// closes the journal.
+pub fn run(cfg: &DaemonConfig) -> Result<(), String> {
+    let started = Instant::now();
+    // The daemon is store-first by definition: every lookup path goes
+    // through the store before any simulation is scheduled.
+    store::set_cli_resume();
+    let journal_prior = journal::begin("serve", "daemon").unwrap_or(0);
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+        .map_err(|e| format!("bind 127.0.0.1:{}: {e}", cfg.port))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let listening = Json::obj(vec![
+        ("event", Json::from("listening")),
+        ("schema", Json::from(SERVE_SCHEMA)),
+        ("addr", Json::from(addr.to_string())),
+        ("pid", Json::from(u64::from(std::process::id()))),
+        ("journal_prior", Json::from(journal_prior)),
+    ]);
+    println!("{}", listening.to_compact());
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &cfg.addr_file {
+        let mut line = listening.to_compact();
+        line.push('\n');
+        visim_util::atomic::write_atomic(path, line.as_bytes())
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    let mut conns = Vec::new();
+    for conn in listener.incoming() {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        conns.push(std::thread::spawn(move || handle_conn(stream, addr)));
+    }
+    // Drain in-flight connections so the doc sees their final counters.
+    for handle in conns {
+        let _ = handle.join();
+    }
+    let mut doc = ResultsDoc::new("serve", "daemon", experiment::jobs());
+    doc.metrics.merge(&experiment::drain_pool_metrics());
+    doc.metrics
+        .set("serve.requests", REQUESTS.load(Ordering::Relaxed));
+    doc.metrics.set("serve.hits", HITS.load(Ordering::Relaxed));
+    doc.metrics
+        .set("serve.misses", MISSES.load(Ordering::Relaxed));
+    doc.metrics
+        .set("serve.coalesced", COALESCED.load(Ordering::Relaxed));
+    if let Some(stats) = store::stats() {
+        doc.metrics.set("store.bytes", stats.bytes);
+        doc.metrics.set("store.entries", stats.entries);
+    }
+    let mut text = doc.to_json(started.elapsed().as_secs_f64()).to_pretty();
+    text.push('\n');
+    visim_util::atomic::write_atomic("results/json/serve.json", text.as_bytes())
+        .map_err(|e| format!("write results/json/serve.json: {e}"))?;
+    journal::finish(FAILURES.load(Ordering::Relaxed));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flight_leader_runs_once_and_followers_share() {
+        let key = "test|cell".to_string();
+        let result = CellResult {
+            ok: true,
+            error: None,
+            from_store: false,
+            payload: vec![("cycles".to_string(), Json::from(7u64))],
+        };
+        // Sequential callers never coalesce: the flight retires as the
+        // leader returns.
+        let (r1, c1) = single_flight(key.clone(), || result.clone());
+        assert!(r1.ok && !c1);
+        let (_r2, c2) = single_flight(key, || result.clone());
+        assert!(!c2, "no in-flight leader to join");
+        assert!(FLIGHTS.lock().unwrap().is_empty(), "flights retire");
+    }
+
+    #[test]
+    fn concurrent_followers_coalesce_onto_one_computation() {
+        use std::sync::atomic::AtomicUsize;
+        let computed = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(4);
+        let coalesced_total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    barrier.wait();
+                    let (r, coalesced) = single_flight("race|cell".to_string(), || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for the
+                        // other threads to arrive and become followers.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        CellResult {
+                            ok: true,
+                            error: None,
+                            from_store: false,
+                            payload: Vec::new(),
+                        }
+                    });
+                    assert!(r.ok);
+                    if coalesced {
+                        coalesced_total.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        let runs = computed.load(Ordering::SeqCst);
+        let joined = coalesced_total.load(Ordering::SeqCst);
+        assert_eq!(runs + joined, 4, "every caller either led or joined");
+        assert!(runs >= 1, "someone computed");
+        assert!(
+            joined >= 4 - runs,
+            "followers that arrived in-flight coalesced"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! `visim-serve`: a job daemon over the content-addressed result store.
+//!
+//! The figure binaries run one manifest and exit; the daemon keeps the
+//! simulation substrate warm and serves manifests (or single cells) to
+//! concurrent clients over TCP. Three properties make it more than a
+//! remote shell around the binaries:
+//!
+//! - **Store-first.** The daemon runs with store resume permanently
+//!   on, so every requested cell is first looked up in the
+//!   content-addressed store (checksum-validated, stale entries
+//!   purged); only misses are simulated. Submitting the same manifest
+//!   twice therefore simulates nothing the second time.
+//! - **Single-flight.** Concurrent requests for the same cell identity
+//!   ([`visim::manifest::CellSpec::identity`]) coalesce onto one
+//!   in-flight simulation; followers wait for the leader's result
+//!   instead of duplicating work.
+//! - **Crash-safe.** Completed cells persist in the store and are
+//!   recorded in the run journal (`serve.daemon.jnl`), so a daemon
+//!   killed mid-manifest loses at most the cells in flight; a restart
+//!   reports the recovered progress and converges.
+//!
+//! The wire protocol is newline-delimited JSON ([`proto`]): one request
+//! object per line from the client, a stream of event objects back
+//! (`cell` progress events, then a terminal `done`/`pong`/`stats`/
+//! `bye`/`error` event). See DESIGN.md §14 for the full specification.
+
+pub mod client;
+pub mod daemon;
+pub mod proto;
+
+/// Protocol/schema tag carried by the daemon's `listening` event and
+/// every terminal reply, so clients can detect incompatible daemons.
+pub const SERVE_SCHEMA: &str = "visim-serve-v1";
+
+use visim::store;
+
+/// Render a [`store::stats`] scan as the `--store-stats` report: the
+/// directory, the totals, and one line per (schema, revision) pairing.
+pub fn store_stats_text() -> String {
+    let mut out = String::new();
+    match store::stats() {
+        None => out.push_str("store: disabled (--no-store / VISIM_NO_STORE)\n"),
+        Some(stats) => {
+            out.push_str(&format!(
+                "store: {}\n",
+                store::dir().unwrap_or_else(|| "<none>".into())
+            ));
+            out.push_str(&format!(
+                "  entries: {}  bytes: {}  invalid: {}\n",
+                stats.entries, stats.bytes, stats.invalid
+            ));
+            for rev in &stats.revs {
+                out.push_str(&format!(
+                    "  {} @ {}: {} entries, {} bytes\n",
+                    rev.schema, rev.rev, rev.entries, rev.bytes
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_stats_text_reports_disabled_store() {
+        // Unit tests never install a default store directory, so the
+        // store is disabled and the report says so instead of lying
+        // with zeros.
+        let text = store_stats_text();
+        assert!(text.starts_with("store: disabled"), "{text}");
+    }
+}

@@ -1,0 +1,136 @@
+//! `visim-serve` CLI: daemon mode (default), client mode, and the
+//! `--store-stats` report.
+
+use visim_serve::proto::{ManifestSource, Request};
+use visim_serve::{client, daemon};
+
+fn usage() -> String {
+    "visim-serve: job daemon serving manifest simulations over the content-addressed store\n\
+     \n\
+     Usage:\n\
+     \x20 visim-serve [--port N] [--addr-file F] [--store-dir D] [--no-store]\n\
+     \x20 visim-serve client <addr> <command>\n\
+     \x20 visim-serve --store-stats [--store-dir D]\n\
+     \n\
+     Daemon flags:\n\
+     \x20 --port N        TCP port on 127.0.0.1 (default 0 = ephemeral; the bound\n\
+     \x20                 address is printed in the `listening` event)\n\
+     \x20 --addr-file F   also write the `listening` event line to file F\n\
+     \x20 --store-dir D   result-store directory (default results/store)\n\
+     \x20 --no-store      serve without persistence (every request simulates)\n\
+     \n\
+     Client commands (addr as printed by the daemon, e.g. 127.0.0.1:38141):\n\
+     \x20 ping                          liveness probe\n\
+     \x20 stats                         serve counters + store scan\n\
+     \x20 shutdown                      graceful daemon shutdown\n\
+     \x20 manifest <name|path> [size]   run a manifest (builtin name, or a\n\
+     \x20                               daemon-local .json path); size is\n\
+     \x20                               tiny|study|paper (default study)\n\
+     \x20 cell <name|path> <label> [size]  run one cell of a manifest by label\n\
+     \n\
+     --store-stats   print store size/entry counts per schema revision and exit\n\
+     \n\
+     Environment: VISIM_JOBS, VISIM_STORE_DIR, VISIM_NO_STORE, VISIM_FAULT and the\n\
+     other knobs documented by the figure binaries apply to the daemon unchanged."
+        .to_string()
+}
+
+fn bad(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("\n{}", usage());
+    std::process::exit(2);
+}
+
+/// A manifest argument: an embedded name, or anything path-like.
+fn source_arg(arg: &str) -> ManifestSource {
+    if arg.contains('/') || arg.ends_with(".json") {
+        ManifestSource::Path(arg.to_string())
+    } else {
+        ManifestSource::Builtin(arg.to_string())
+    }
+}
+
+fn client_request(args: &[String]) -> Request {
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "manifest" => match args.get(1) {
+            Some(m) => Request::Manifest {
+                source: source_arg(m),
+                size: args.get(2).cloned().unwrap_or_else(|| "study".into()),
+            },
+            None => bad("client manifest: expected a manifest name or path"),
+        },
+        "cell" => match (args.get(1), args.get(2)) {
+            (Some(m), Some(label)) => Request::Cell {
+                source: source_arg(m),
+                label: label.clone(),
+                size: args.get(3).cloned().unwrap_or_else(|| "study".into()),
+            },
+            _ => bad("client cell: expected a manifest name/path and a cell label"),
+        },
+        other => bad(&format!(
+            "unknown client command {other:?}, expected ping|stats|shutdown|manifest|cell"
+        )),
+    }
+}
+
+fn main() {
+    visim::store::set_default_dir("results/store");
+    let mut args = std::env::args().skip(1);
+    let mut cfg = daemon::DaemonConfig {
+        port: 0,
+        addr_file: None,
+    };
+    let mut store_stats = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            "--store-stats" => store_stats = true,
+            "--no-store" => visim::store::set_cli_disabled(),
+            "--store-dir" => match args.next() {
+                Some(d) if !d.is_empty() && !d.starts_with('-') => {
+                    visim::store::set_cli_dir(&d);
+                }
+                _ => bad("--store-dir expects a directory path"),
+            },
+            "--port" => match args.next().and_then(|v| v.parse::<u16>().ok()) {
+                Some(p) => cfg.port = p,
+                None => bad("--port expects a TCP port number"),
+            },
+            "--addr-file" => match args.next() {
+                Some(f) if !f.is_empty() && !f.starts_with('-') => cfg.addr_file = Some(f),
+                _ => bad("--addr-file expects a file path"),
+            },
+            "client" => {
+                let rest: Vec<String> = args.collect();
+                let (addr, cmd) = match rest.split_first() {
+                    Some((addr, cmd)) if !cmd.is_empty() => (addr.clone(), cmd.to_vec()),
+                    _ => bad("client: expected an address and a command"),
+                };
+                let request = client_request(&cmd);
+                match client::run(&addr, &request) {
+                    Ok(code) => std::process::exit(code),
+                    Err(e) => {
+                        eprintln!("visim-serve client: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => bad(&format!("unknown argument {other:?}")),
+        }
+    }
+    if store_stats {
+        print!("{}", visim_serve::store_stats_text());
+        return;
+    }
+    if let Err(e) = daemon::run(&cfg) {
+        eprintln!("visim-serve: {e}");
+        std::process::exit(1);
+    }
+}

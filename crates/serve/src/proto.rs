@@ -1,0 +1,197 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line with an `"op"` member;
+//! every reply is a stream of JSON event objects, one per line, ending
+//! with a terminal event (`done`, `pong`, `stats`, `bye`, or `error`).
+//! The protocol is deliberately line-oriented so `nc` and shell scripts
+//! can speak it; the [`crate::client`] module is a convenience, not a
+//! requirement.
+
+use visim::bench::WorkloadSize;
+use visim_obs::Json;
+
+/// Where a request's manifest comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestSource {
+    /// One of the eight embedded manifests, by name (`"fig1"`, …).
+    Builtin(String),
+    /// A `visim-manifest-v1` file readable by the *daemon* (the path
+    /// is resolved in the daemon's working directory, not the
+    /// client's).
+    Path(String),
+}
+
+impl ManifestSource {
+    /// The JSON member encoding this source.
+    fn member(&self) -> (&'static str, Json) {
+        match self {
+            ManifestSource::Builtin(name) => ("name", Json::from(name.as_str())),
+            ManifestSource::Path(path) => ("path", Json::from(path.as_str())),
+        }
+    }
+
+    /// Decode from a request object: `"name"` wins over `"path"`.
+    fn from_json(obj: &Json) -> Result<ManifestSource, String> {
+        if let Some(name) = obj.get("name").and_then(Json::as_str) {
+            return Ok(ManifestSource::Builtin(name.to_string()));
+        }
+        if let Some(path) = obj.get("path").and_then(Json::as_str) {
+            return Ok(ManifestSource::Path(path.to_string()));
+        }
+        Err("manifest request needs a \"name\" or \"path\" member".into())
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; the daemon answers `pong`.
+    Ping,
+    /// Counter snapshot: the `serve.*` counters plus a store scan.
+    Stats,
+    /// Graceful shutdown: the daemon answers `bye`, drains in-flight
+    /// connections, writes its results document, and exits.
+    Shutdown,
+    /// Run a whole manifest; the daemon streams one `cell` event per
+    /// finished cell and a terminal `done` event.
+    Manifest {
+        /// The manifest to run.
+        source: ManifestSource,
+        /// Workload size name (`tiny`/`study`/`paper`).
+        size: String,
+    },
+    /// Run a single cell of a manifest, selected by its label.
+    Cell {
+        /// The manifest defining the cell.
+        source: ManifestSource,
+        /// The cell's label within the manifest.
+        label: String,
+        /// Workload size name.
+        size: String,
+    },
+}
+
+impl Request {
+    /// Parse one request line. Errors name what was malformed so the
+    /// daemon can echo them back in an `error` event.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let obj = Json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+        let op = obj
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request object needs a string \"op\" member")?;
+        let size = || {
+            obj.get("size")
+                .and_then(Json::as_str)
+                .unwrap_or("study")
+                .to_string()
+        };
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "manifest" => Ok(Request::Manifest {
+                source: ManifestSource::from_json(&obj)?,
+                size: size(),
+            }),
+            "cell" => Ok(Request::Cell {
+                source: ManifestSource::from_json(&obj)?,
+                label: obj
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or("cell request needs a string \"label\" member")?
+                    .to_string(),
+                size: size(),
+            }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Encode as one request line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let obj = match self {
+            Request::Ping => Json::obj(vec![("op", Json::from("ping"))]),
+            Request::Stats => Json::obj(vec![("op", Json::from("stats"))]),
+            Request::Shutdown => Json::obj(vec![("op", Json::from("shutdown"))]),
+            Request::Manifest { source, size } => Json::obj(vec![
+                ("op", Json::from("manifest")),
+                source.member(),
+                ("size", Json::from(size.as_str())),
+            ]),
+            Request::Cell {
+                source,
+                label,
+                size,
+            } => Json::obj(vec![
+                ("op", Json::from("cell")),
+                source.member(),
+                ("label", Json::from(label.as_str())),
+                ("size", Json::from(size.as_str())),
+            ]),
+        };
+        obj.to_compact()
+    }
+}
+
+/// Resolve a workload-size name, the same three names the figure
+/// binaries accept.
+pub fn size_from_name(name: &str) -> Result<WorkloadSize, String> {
+    match name {
+        "tiny" => Ok(WorkloadSize::tiny()),
+        "study" => Ok(WorkloadSize::study()),
+        "paper" => Ok(WorkloadSize::paper()),
+        other => Err(format!("unknown size {other:?}, expected tiny|study|paper")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Manifest {
+                source: ManifestSource::Builtin("fig2".into()),
+                size: "tiny".into(),
+            },
+            Request::Cell {
+                source: ManifestSource::Path("m.json".into()),
+                label: "conv/vis".into(),
+                size: "study".into(),
+            },
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            assert_eq!(Request::parse(&line).as_ref(), Ok(&req), "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described_not_panicked() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"manifest\"}",
+            "{\"op\":\"cell\",\"name\":\"fig1\"}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn size_defaults_to_study_and_rejects_unknown_names() {
+        match Request::parse("{\"op\":\"manifest\",\"name\":\"fig1\"}") {
+            Ok(Request::Manifest { size, .. }) => assert_eq!(size, "study"),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(size_from_name("tiny").is_ok());
+        assert!(size_from_name("huge").is_err());
+    }
+}

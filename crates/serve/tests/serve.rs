@@ -1,0 +1,242 @@
+//! End-to-end daemon tests: single-flight coalescing across concurrent
+//! clients, crash recovery through the store + journal, and the
+//! transient-fault retry path — all against the real binary over real
+//! TCP connections.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use visim_obs::Json;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("visim-serve-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn the daemon in `dir` on an ephemeral port and return the child
+/// plus the bound address (polled from the `--addr-file`).
+fn spawn_daemon(dir: &Path, envs: &[(&str, &str)]) -> (Child, String) {
+    let addr_file = dir.join("addr.txt");
+    std::fs::remove_file(&addr_file).ok();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_visim-serve"));
+    cmd.arg("--addr-file")
+        .arg(&addr_file)
+        .current_dir(dir)
+        .env("VISIM_JOBS", "2")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let child = cmd.spawn().expect("daemon spawns");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(line) = std::fs::read_to_string(&addr_file) {
+            if line.ends_with('\n') {
+                let event = Json::parse(line.trim()).expect("listening event parses");
+                assert_eq!(event.get("event").and_then(Json::as_str), Some("listening"));
+                break event
+                    .get("addr")
+                    .and_then(Json::as_str)
+                    .expect("listening event carries the address")
+                    .to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote its address");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+/// The `journal_prior` member of the daemon's listening event.
+fn journal_prior(dir: &Path) -> u64 {
+    let line = std::fs::read_to_string(dir.join("addr.txt")).unwrap();
+    Json::parse(line.trim())
+        .unwrap()
+        .get("journal_prior")
+        .and_then(Json::as_u64)
+        .expect("listening event carries journal_prior")
+}
+
+/// Connect, send one request line, and stream events until (and
+/// including) the one `stop` accepts.
+fn request(addr: &str, line: &str, mut stop: impl FnMut(&Json) -> bool) -> Vec<Json> {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut events = Vec::new();
+    for event_line in BufReader::new(stream).lines() {
+        let event = Json::parse(&event_line.expect("event line")).expect("event parses");
+        let is_stop = stop(&event);
+        events.push(event);
+        if is_stop {
+            break;
+        }
+    }
+    events
+}
+
+fn is_done(event: &Json) -> bool {
+    event.get("event").and_then(Json::as_str) == Some("done")
+}
+
+fn counter(event: &Json, name: &str) -> u64 {
+    event.get(name).and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+fn shutdown(addr: &str, mut child: Child) {
+    request(addr, "{\"op\":\"shutdown\"}", |e| {
+        e.get("event").and_then(Json::as_str) == Some("bye")
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if child.try_wait().expect("try_wait").is_some() {
+            return;
+        }
+        if Instant::now() > deadline {
+            child.kill().ok();
+            panic!("daemon did not exit after shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn concurrent_clients_on_one_cell_simulate_exactly_once() {
+    let dir = scratch_dir("coalesce");
+    let (child, addr) = spawn_daemon(&dir, &[]);
+    let req = "{\"op\":\"cell\",\"name\":\"fig2\",\"label\":\"conv/base\",\"size\":\"tiny\"}";
+    let dones: Vec<Json> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.as_str();
+                s.spawn(move || {
+                    let events = request(addr, req, is_done);
+                    events.into_iter().find(is_done).expect("done event")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (mut hits, mut misses, mut coalesced) = (0, 0, 0);
+    for done in &dones {
+        assert_eq!(counter(done, "ok"), 1, "{done:?}");
+        assert_eq!(counter(done, "failed"), 0, "{done:?}");
+        hits += counter(done, "hits");
+        misses += counter(done, "misses");
+        coalesced += counter(done, "coalesced");
+    }
+    // Whatever the interleaving — all four racing, or some arriving
+    // after the store already has the cell — exactly one client can
+    // miss: the in-flight table coalesces the racers and the store
+    // serves the stragglers.
+    assert_eq!(misses, 1, "exactly one simulation ran: {dones:?}");
+    assert_eq!(hits + coalesced, 3, "the rest shared it: {dones:?}");
+    shutdown(&addr, child);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_daemon_resumes_from_store_and_journal_on_restart() {
+    let dir = scratch_dir("kill");
+    let (mut child, addr) = spawn_daemon(&dir, &[]);
+    // Submit a full manifest and kill the daemon after three cells have
+    // durably completed (each cell event is sent only after the cell
+    // was stored and journaled).
+    let seen = request(
+        &addr,
+        "{\"op\":\"manifest\",\"name\":\"fig2\",\"size\":\"tiny\"}",
+        |e| e.get("event").and_then(Json::as_str) == Some("cell") && counter(e, "done") >= 3,
+    );
+    assert!(
+        seen.iter()
+            .any(|e| e.get("event").and_then(Json::as_str) == Some("cell")),
+        "saw cell progress before the kill: {seen:?}"
+    );
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().expect("reap the daemon");
+
+    // Restart over the same store: the journal reports the recovered
+    // cells and the resubmitted manifest converges without failures,
+    // serving at least the pre-kill cells straight from the store.
+    let (child, addr) = spawn_daemon(&dir, &[]);
+    assert!(
+        journal_prior(&dir) >= 3,
+        "restart reports the journaled progress"
+    );
+    let events = request(
+        &addr,
+        "{\"op\":\"manifest\",\"name\":\"fig2\",\"size\":\"tiny\"}",
+        is_done,
+    );
+    let done = events.iter().find(|e| is_done(e)).expect("done event");
+    assert_eq!(counter(done, "ok"), 24, "{done:?}");
+    assert_eq!(counter(done, "failed"), 0, "{done:?}");
+    assert!(
+        counter(done, "hits") >= 3,
+        "pre-kill cells came from the store: {done:?}"
+    );
+    shutdown(&addr, child);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn transient_fault_is_retried_behind_the_daemon() {
+    let dir = scratch_dir("fault");
+    // Fire one injected transient fault on conv's first attempt; the
+    // bounded-retry policy inside the cell runner must absorb it.
+    let (child, addr) = spawn_daemon(&dir, &[("VISIM_FAULT", "cell.transient:conv:0")]);
+    let events = request(
+        &addr,
+        "{\"op\":\"cell\",\"name\":\"fig2\",\"label\":\"conv/base\",\"size\":\"tiny\"}",
+        is_done,
+    );
+    let cell = events
+        .iter()
+        .find(|e| e.get("event").and_then(Json::as_str) == Some("cell"))
+        .expect("cell event");
+    assert_eq!(
+        cell.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "retry recovered the injected fault: {cell:?}"
+    );
+    let done = events.iter().find(|e| is_done(e)).expect("done event");
+    assert_eq!(counter(done, "failed"), 0, "{done:?}");
+    shutdown(&addr, child);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_requests_get_error_events_not_disconnects() {
+    let dir = scratch_dir("badreq");
+    let (child, addr) = spawn_daemon(&dir, &[]);
+    for bad in [
+        "not json",
+        "{\"op\":\"warp\"}",
+        "{\"op\":\"manifest\",\"name\":\"nope\"}",
+        "{\"op\":\"cell\",\"name\":\"fig2\",\"label\":\"nope\",\"size\":\"tiny\"}",
+        "{\"op\":\"manifest\",\"name\":\"fig2\",\"size\":\"huge\"}",
+    ] {
+        let events = request(&addr, bad, |e| {
+            e.get("event").and_then(Json::as_str) == Some("error")
+        });
+        let last = events.last().expect("error event");
+        assert!(
+            last.get("error").and_then(Json::as_str).is_some(),
+            "{bad} -> {last:?}"
+        );
+    }
+    // The daemon is still healthy afterwards.
+    let events = request(&addr, "{\"op\":\"ping\"}", |e| {
+        e.get("event").and_then(Json::as_str) == Some("pong")
+    });
+    assert_eq!(events.len(), 1);
+    shutdown(&addr, child);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -9,11 +9,14 @@
 # target/trace-cache — the harness deletes and repopulates it), a
 # *warm* pass that reuses the cache, and a *sampled* pass running the
 # same suite under `--sample` (SMARTS-style windowed estimation) into
-# a separate results directory. All three timings land in the JSON
-# (visim-bench-runtime-v4: seconds/exit, seconds_warm/exit_warm, and
+# a separate results directory. A fourth pass times the visim-serve
+# daemon answering an already-stored manifest (every cell a store hit),
+# the serving-latency headline. All four land in the JSON
+# (visim-bench-runtime-v5: seconds/exit, seconds_warm/exit_warm, and
 # seconds_sampled/exit_sampled per binary; total_seconds,
-# total_seconds_warm, total_seconds_sampled, and the exact-vs-sampled
-# suite speedup).
+# total_seconds_warm, total_seconds_sampled, the exact-vs-sampled
+# suite speedup, and serve_cells/serve_seconds_warm/
+# requests_per_sec_warm for the daemon pass).
 #
 # Usage:                scripts/bench.sh
 #   SIZE=tiny           workload size passed to every binary (default study)
@@ -91,6 +94,44 @@ time_pass sampled_secs sampled_exit total_sampled "$SAMPLED_DIR" --sample
 speedup=$(awk -v w="$total_warm" -v s="$total_sampled" \
   'BEGIN{printf "%.2f", (s > 0) ? w / s : 0}')
 
+echo "== timing pass 4/4: warm-hit serve (daemon, fig2 manifest) =="
+# Populate a dedicated store through the daemon, then time a second
+# submission of the same manifest: every cell is a checksum-validated
+# store hit, so this measures pure serving latency (protocol + store
+# reads), not simulation.
+SERVE_DIR="$ROOT/target/bench-serve"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+serve="$ROOT/target/release/visim-serve"
+(cd "$SERVE_DIR" && "$serve" --addr-file addr.txt >/dev/null 2>&1) \
+  & serve_pid=$!
+for _ in $(seq 1 300); do
+  [ -s "$SERVE_DIR/addr.txt" ] && break
+  sleep 0.1
+done
+serve_addr=$(sed 's/.*"addr":"\([^"]*\)".*/\1/' "$SERVE_DIR/addr.txt")
+serve_cells=0 serve_secs=0 rps_warm=0
+if (cd "$SERVE_DIR" && "$serve" client "$serve_addr" manifest fig2 "$SIZE" \
+    > cold-serve.txt 2>/dev/null); then
+  start=$(date +%s%N)
+  (cd "$SERVE_DIR" && "$serve" client "$serve_addr" manifest fig2 "$SIZE" \
+    > warm-serve.txt 2>/dev/null) || true
+  end=$(date +%s%N)
+  serve_secs=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
+  serve_cells=$(sed -n 's/.*"event":"done".*"cells":\([0-9]*\).*/\1/p' \
+    "$SERVE_DIR/warm-serve.txt" | head -1)
+  serve_cells="${serve_cells:-0}"
+  rps_warm=$(awk -v c="$serve_cells" -v s="$serve_secs" \
+    'BEGIN{printf "%.1f", (s > 0) ? c / s : 0}')
+  printf '%-10s %8ss  (%s cells, %s req/s warm)\n' \
+    "serve" "$serve_secs" "$serve_cells" "$rps_warm"
+else
+  echo "serve pass skipped: cold manifest submission failed"
+fi
+(cd "$SERVE_DIR" && "$serve" client "$serve_addr" shutdown \
+  >/dev/null 2>&1) || true
+wait "$serve_pid" 2>/dev/null || true
+
 rows=""
 for i in "${!BINARIES[@]}"; do
   [ -n "$rows" ] && rows+=$',\n'
@@ -99,7 +140,7 @@ done
 
 cat > "$OUT" <<EOF
 {
-  "schema": "visim-bench-runtime-v4",
+  "schema": "visim-bench-runtime-v5",
   "git_rev": "$git_rev",
   "size": "$SIZE",
   "jobs": "$jobs",
@@ -110,11 +151,14 @@ $rows
   "total_seconds": $total,
   "total_seconds_warm": $total_warm,
   "total_seconds_sampled": $total_sampled,
-  "speedup_exact_vs_sampled": $speedup
+  "speedup_exact_vs_sampled": $speedup,
+  "serve_cells": ${serve_cells},
+  "serve_seconds_warm": ${serve_secs},
+  "requests_per_sec_warm": ${rps_warm}
 }
 EOF
 
-echo "== total ${total}s cold, ${total_warm}s warm, ${total_sampled}s sampled (exact-vs-sampled speedup ${speedup}x); wrote $OUT =="
+echo "== total ${total}s cold, ${total_warm}s warm, ${total_sampled}s sampled (exact-vs-sampled speedup ${speedup}x), serve ${rps_warm} req/s warm; wrote $OUT =="
 
 # The timing loop above regenerated results/json/ as a side effect, so
 # the fidelity gate runs against exactly what was just measured.

@@ -168,4 +168,32 @@ mkdir -p "$fault_dir/spill"
 diff "$fault_dir/spill1.txt" "$fault_dir/spill2.txt"
 diff "$store_dir/on.txt" "$fault_dir/spill1.txt"
 
+echo "== serve gate: daemon warm-hit round trip (tiny) =="
+# Start the job daemon on an ephemeral port, submit the fig2 manifest
+# twice, and require the second pass to be served 100% from the store
+# (zero re-simulations), then shut down cleanly and leave a metrics doc.
+serve_dir="$fidelity_dir/serve"
+mkdir -p "$serve_dir"
+serve="$PWD/target/release/visim-serve"
+(cd "$serve_dir" && "$serve" --addr-file addr.txt >/dev/null 2>&1) & serve_pid=$!
+for _ in $(seq 1 300); do
+  if [ -s "$serve_dir/addr.txt" ]; then break; fi
+  sleep 0.1
+done
+test -s "$serve_dir/addr.txt"
+serve_addr=$(sed 's/.*"addr":"\([^"]*\)".*/\1/' "$serve_dir/addr.txt")
+(cd "$serve_dir" && "$serve" client "$serve_addr" manifest fig2 tiny \
+  > cold.txt)
+(cd "$serve_dir" && "$serve" client "$serve_addr" manifest fig2 tiny \
+  > warm.txt)
+grep -q '"event":"done"' "$serve_dir/cold.txt"
+# Warm pass: all 24 cells are store hits, nothing was simulated.
+grep -q '"event":"done".*"ok":24,"failed":0,"hits":24,"misses":0' \
+  "$serve_dir/warm.txt"
+(cd "$serve_dir" && "$serve" client "$serve_addr" shutdown >/dev/null)
+wait "$serve_pid"
+test -s "$serve_dir/results/json/serve.json"
+grep -q '"serve.hits": 24' "$serve_dir/results/json/serve.json"
+(cd "$serve_dir" && "$serve" --store-stats | grep -q "entries: 24")
+
 echo "verify: OK"
