@@ -43,8 +43,9 @@ use visim_util::SimError;
 
 /// Environment variable that silences the stderr progress heartbeat
 /// when set to `1` (it is also suppressed whenever stderr is not a
-/// terminal).
-pub const QUIET_ENV: &str = "VISIM_QUIET";
+/// terminal). Shared with the structured logger
+/// ([`visim_obs::log::QUIET_ENV`]): one knob silences both.
+pub const QUIET_ENV: &str = visim_obs::log::QUIET_ENV;
 
 /// The usage text for a figure/table binary named `bin` whose one-line
 /// purpose is `about`.
@@ -79,7 +80,8 @@ pub fn usage(bin: &str, about: &str) -> String {
          \n\
          Environment:\n\
          \x20 VISIM_JOBS            worker count (1 = serial reference path; unset/0 = one per core)\n\
-         \x20 VISIM_QUIET           set to 1 to silence the stderr progress heartbeat\n\
+         \x20 VISIM_QUIET           set to 1 to silence the stderr progress heartbeat and logs\n\
+         \x20 VISIM_LOG             stderr log level: debug|info|warn|error (default info)\n\
          \x20 VISIM_RESUME          set to 1 to resume from the result store (same as --resume)\n\
          \x20 VISIM_NO_STORE        set to 1 to disable the result store (same as --no-store)\n\
          \x20 VISIM_STORE_DIR       result-store directory (flag takes precedence)\n\
@@ -166,21 +168,25 @@ pub fn parse_size_args(bin: &str, about: &str) -> (&'static str, WorkloadSize) {
     picked.unwrap_or(("study", WorkloadSize::study()))
 }
 
-/// Render one heartbeat line: completed cells out of the total, plus a
-/// naive ETA extrapolated from the mean per-cell latency so far.
-pub fn format_heartbeat(label: &str, done: usize, total: usize, elapsed_secs: f64) -> String {
+/// Render one heartbeat message: completed cells out of the total, plus
+/// a naive ETA extrapolated from the mean per-cell latency so far. The
+/// binary's label is carried by the log line's component field, not
+/// repeated here.
+pub fn format_heartbeat(done: usize, total: usize, elapsed_secs: f64) -> String {
     let eta = if done > 0 {
         elapsed_secs / done as f64 * total.saturating_sub(done) as f64
     } else {
         0.0
     };
-    format!("{label}: {done}/{total} cells done, ETA ~{eta:.0}s")
+    format!("{done}/{total} cells done, ETA ~{eta:.0}s")
 }
 
 /// Whether the stderr heartbeat should run: stderr must be a terminal
-/// (so redirected/CI runs stay clean) and [`QUIET_ENV`] must not be `1`.
+/// (so redirected/CI runs stay clean) and the structured logger must be
+/// at `info` or chattier — `VISIM_QUIET=1` and `VISIM_LOG=warn|error`
+/// both silence it, uniformly with the daemon's log lines.
 fn heartbeat_enabled() -> bool {
-    std::env::var(QUIET_ENV).as_deref() != Ok("1") && std::io::stderr().is_terminal()
+    visim_obs::log::enabled(visim_obs::log::Level::Info) && std::io::stderr().is_terminal()
 }
 
 /// Heartbeat warm-up: no lines in the first couple of seconds, so quick
@@ -219,9 +225,9 @@ fn install_heartbeat(label: String) {
         {
             return;
         }
-        eprintln!(
-            "{}",
-            format_heartbeat(&label, done, total, elapsed.as_secs_f64())
+        visim_obs::log::info(
+            &label,
+            &format_heartbeat(done, total, elapsed.as_secs_f64()),
         );
     })));
 }
@@ -264,7 +270,10 @@ impl Report {
         install_heartbeat(name.to_string());
         if let Some(prior) = visim::journal::begin(name, size_label) {
             if visim::store::resume() {
-                eprintln!("{name}: resuming; journal records {prior} previously completed cell(s)");
+                visim_obs::log::info(
+                    name,
+                    &format!("resuming; journal records {prior} previously completed cell(s)"),
+                );
             }
         }
         Report {
@@ -457,19 +466,10 @@ mod tests {
 
     #[test]
     fn heartbeat_lines_report_progress_and_eta() {
-        assert_eq!(
-            format_heartbeat("fig1", 18, 72, 9.0),
-            "fig1: 18/72 cells done, ETA ~27s"
-        );
-        assert_eq!(
-            format_heartbeat("fig1", 72, 72, 30.0),
-            "fig1: 72/72 cells done, ETA ~0s"
-        );
+        assert_eq!(format_heartbeat(18, 72, 9.0), "18/72 cells done, ETA ~27s");
+        assert_eq!(format_heartbeat(72, 72, 30.0), "72/72 cells done, ETA ~0s");
         // No division by zero before the first completion.
-        assert_eq!(
-            format_heartbeat("fig1", 0, 72, 1.0),
-            "fig1: 0/72 cells done, ETA ~0s"
-        );
+        assert_eq!(format_heartbeat(0, 72, 1.0), "0/72 cells done, ETA ~0s");
     }
 
     #[test]
@@ -485,6 +485,7 @@ mod tests {
             "--trace-cache-mb",
             "VISIM_JOBS",
             "VISIM_QUIET",
+            "VISIM_LOG",
             "--resume",
             "--no-store",
             "--store-dir",

@@ -29,6 +29,7 @@ use visim_cpu::{
     CountingSink, CpuConfig, CpuStats, Pipeline, SimSink, Summary, Traced, WarmingSink,
 };
 use visim_mem::MemConfig;
+use visim_obs::live::{names as live_names, LiveRegistry};
 use visim_obs::trace::{Trace, TraceRing};
 use visim_obs::Registry;
 use visim_trace::{Checkpoint, Recorded, Recorder, ReplayCursor};
@@ -85,6 +86,26 @@ pub type ProgressObserver = Box<dyn Fn(usize, usize, u64) + Send + Sync>;
 
 static PROGRESS: Mutex<Option<ProgressObserver>> = Mutex::new(None);
 
+/// An optional live telemetry sink. When installed (the serve daemon
+/// does; the figure binaries never do), the experiment layer
+/// additionally records request-lifecycle phase timings
+/// (store-lookup, simulate) and folds each pool run's batch stats in,
+/// so a concurrent reader can watch latency distributions build up
+/// mid-run. Never installed → not even an `Instant::now()` is spent,
+/// and nothing here ever feeds [`drain_pool_metrics`] — the binaries'
+/// artifacts are byte-identical with telemetry compiled in.
+static LIVE_METRICS: Mutex<Option<Arc<LiveRegistry>>> = Mutex::new(None);
+
+/// Install (or, with `None`, remove) the process-wide live telemetry
+/// sink. See [`LIVE_METRICS`].
+pub fn install_live_metrics(live: Option<Arc<LiveRegistry>>) {
+    *LIVE_METRICS.lock().expect("live metrics lock") = live;
+}
+
+fn live_metrics() -> Option<Arc<LiveRegistry>> {
+    LIVE_METRICS.lock().expect("live metrics lock").clone()
+}
+
 /// Install (or, with `None`, remove) the process-wide progress
 /// observer. The figure binaries install a stderr heartbeat here; the
 /// observer only ever sees completion counts and job latencies, so it
@@ -131,6 +152,14 @@ where
         }
     };
     let (results, stats) = pool::run_ordered_timed_observed(jobs(), work, Some(&observer));
+    // The live sink (when installed) gets the same batch stats — the
+    // pool queue-wait and run-time distributions join the daemon's
+    // instantly-readable registry as well as the end-of-run artifact.
+    if let Some(live) = live_metrics() {
+        let mut batch = Registry::new();
+        stats.export(&mut batch);
+        live.merge(&batch);
+    }
     let mut guard = POOL_METRICS.lock().expect("pool metrics lock");
     stats.export(guard.get_or_insert_with(Registry::new));
     results
@@ -195,8 +224,17 @@ fn run_cell<T: Clone>(
     to_entry: impl Fn(&T) -> store::Entry,
     from_entry: impl Fn(store::Entry) -> Option<T>,
 ) -> Result<(T, bool), SimError> {
+    let live = live_metrics();
     if let Some(key) = key.as_ref().filter(|_| store::resume()) {
-        match store::load(key) {
+        let t0 = live.as_ref().map(|_| Instant::now());
+        let loaded = store::load(key);
+        if let (Some(live), Some(t0)) = (&live, t0) {
+            live.observe_latency_ns(
+                live_names::PHASE_STORE_LOOKUP,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        match loaded {
             Some(store::Entry::Failed(e)) => {
                 journal::record(key, "stored-failed");
                 return Err(e);
@@ -210,10 +248,14 @@ fn run_cell<T: Clone>(
             None => {}
         }
     }
+    let t1 = live.as_ref().map(|_| Instant::now());
     let result = with_retry(|attempt| {
         fault::trip_transient("cell.transient", &format!("{tag}:{attempt}"))?;
         compute()
     });
+    if let (Some(live), Some(t1)) = (&live, t1) {
+        live.observe_latency_ns(live_names::PHASE_SIMULATE, t1.elapsed().as_nanos() as u64);
+    }
     if let Some(key) = &key {
         match &result {
             Ok(v) => {

@@ -439,6 +439,31 @@ pub fn stats() -> Option<StoreStats> {
     Some(stats)
 }
 
+/// A cheap store-size estimate: `(files, bytes)` over the `.vcell`
+/// entries, from directory metadata alone — no file is opened or
+/// checksummed, so this is safe to call on every flight-recorder tick
+/// (the full [`stats`] scan reads and validates every entry, which a
+/// once-per-second sampler must not). Counts torn/invalid files too;
+/// the periodic snapshot tolerates that imprecision, the shutdown
+/// artifact uses the exact scan. `None` when the store is disabled.
+pub fn quick_scan() -> Option<(u64, u64)> {
+    let dir = dir().filter(|_| enabled())?;
+    let (mut files, mut bytes) = (0u64, 0u64);
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("vcell") {
+                continue;
+            }
+            if let Ok(meta) = entry.metadata() {
+                files += 1;
+                bytes += meta.len();
+            }
+        }
+    }
+    Some((files, bytes))
+}
+
 /// Read the (schema, revision) stamps of one encoded entry, validating
 /// the checksum and framing first. `None` means the file is not a
 /// well-formed store entry.

@@ -16,10 +16,17 @@
 //!   fixed-bucket histograms, threaded through the pipeline, the memory
 //!   system, and the experiment worker pool, and drained into the JSON
 //!   artifacts;
+//! * [`live`] — the thread-safe counterpart: a sharded registry of
+//!   atomic counters and mutex-guarded histograms that concurrent
+//!   threads record into and any thread snapshots at any instant (the
+//!   serve daemon's request-lifecycle telemetry lives here);
+//! * [`log`] — a leveled structured stderr logger (`VISIM_LOG`,
+//!   `VISIM_QUIET`) shared by the binaries' progress heartbeat and the
+//!   daemon's diagnostics;
 //! * [`schema`] — the versioned result schemas (`visim-results-v2`,
-//!   `visim-bench-runtime-v5`, `visim-trace-v1`): one place that names
-//!   and versions every machine-readable output format the repo
-//!   produces;
+//!   `visim-bench-runtime-v6`, `visim-trace-v1`,
+//!   `visim-serve-timeline-v1`): one place that names and versions
+//!   every machine-readable output format the repo produces;
 //! * [`trace`] — cycle-level event tracing: a bounded ring of
 //!   instruction lifecycle spans, instant events, and per-cycle
 //!   stall-cause samples, with a Chrome trace-event / Perfetto JSON
@@ -31,6 +38,8 @@
 
 pub mod codec;
 pub mod json;
+pub mod live;
+pub mod log;
 pub mod metrics;
 pub mod schema;
 pub mod trace;

@@ -1,0 +1,322 @@
+//! A thread-safe metrics registry readable at any instant.
+//!
+//! The plain [`Registry`](crate::metrics::Registry) is `&mut`-only: the
+//! figure binaries record into it single-threaded (after the worker
+//! pool reassembles results) and drain it once at exit. A long-lived
+//! daemon needs the opposite — many threads recording concurrently
+//! while another thread snapshots the current state without stopping
+//! the world. [`LiveRegistry`] provides that:
+//!
+//! * counters are `AtomicU64`s behind shard locks taken only on first
+//!   touch (hot-path increments are a map lookup plus one atomic add;
+//!   [`LiveRegistry::handle`] removes even the lookup);
+//! * histograms are the existing mergeable [`Histogram`]s behind
+//!   per-shard mutexes, so observation cost is one short critical
+//!   section and snapshots see bucket-consistent state (a histogram is
+//!   never observed half-updated — no torn reads);
+//! * [`LiveRegistry::snapshot`] converts to an ordinary [`Registry`] at
+//!   any moment, which gives the JSON form for free.
+//!
+//! Names are spread over a fixed set of shards by FNV-1a hash, so
+//! threads hammering *different* metrics rarely contend. The daemon's
+//! request-lifecycle phase and per-path latency names live here too
+//! ([`names`]), shared between `visim::experiment` (which records the
+//! store-lookup and simulate phases) and `visim-serve` (which records
+//! the rest), so both sides agree on the vocabulary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Histogram, Registry};
+
+/// Request-lifecycle metric names shared by the daemon and the
+/// experiment layer. Phase histograms time one phase of a request;
+/// path histograms time whole requests, classified by how they were
+/// served (exactly one path per request, so the path counts sum to the
+/// request count).
+pub mod names {
+    /// Reading and parsing one request line off the socket.
+    pub const PHASE_READ_PARSE: &str = "serve.phase.read_parse_ns";
+    /// Content-addressed store lookup (recorded by `visim::experiment`).
+    pub const PHASE_STORE_LOOKUP: &str = "serve.phase.store_lookup_ns";
+    /// A follower waiting on another request's in-flight simulation.
+    pub const PHASE_COALESCE_WAIT: &str = "serve.phase.coalesce_wait_ns";
+    /// Waiting in the worker-pool queue before the cell ran.
+    pub const PHASE_QUEUE_WAIT: &str = "serve.phase.queue_wait_ns";
+    /// Running the simulation proper (recorded by `visim::experiment`).
+    pub const PHASE_SIMULATE: &str = "serve.phase.simulate_ns";
+    /// Encoding and writing the reply event to the client.
+    pub const PHASE_RESPOND: &str = "serve.phase.respond_ns";
+    /// Whole-request latency of cells served from the store.
+    pub const PATH_HIT: &str = "serve.lat.hit_ns";
+    /// Whole-request latency of cells that simulated.
+    pub const PATH_MISS: &str = "serve.lat.miss_ns";
+    /// Whole-request latency of cells that joined an in-flight leader.
+    pub const PATH_COALESCED: &str = "serve.lat.coalesced_ns";
+
+    /// Every request-phase histogram, in lifecycle order.
+    pub const PHASES: [&str; 6] = [
+        PHASE_READ_PARSE,
+        PHASE_STORE_LOOKUP,
+        PHASE_COALESCE_WAIT,
+        PHASE_QUEUE_WAIT,
+        PHASE_SIMULATE,
+        PHASE_RESPOND,
+    ];
+
+    /// Every per-path latency histogram.
+    pub const PATHS: [&str; 3] = [PATH_HIT, PATH_MISS, PATH_COALESCED];
+
+    /// The short display name of a phase or path metric
+    /// (`"serve.phase.queue_wait_ns"` → `"queue_wait"`).
+    pub fn short(name: &str) -> &str {
+        let base = name.rsplit('.').next().unwrap_or(name);
+        base.strip_suffix("_ns").unwrap_or(base)
+    }
+}
+
+/// Histogram layout for request-latency metrics: 1 µs to ~2 min in
+/// nanoseconds, two buckets per octave (±~25% quantile resolution) so
+/// hit-path and miss-path percentiles stay distinguishable.
+pub fn latency_histogram() -> Histogram {
+    let mut bounds = Vec::with_capacity(56);
+    let mut b: u64 = 1 << 10;
+    for _ in 0..28 {
+        bounds.push(b);
+        bounds.push(b + b / 2);
+        b <<= 1;
+    }
+    Histogram::new(&bounds)
+}
+
+/// Number of shards. A small power of two: enough to keep a dozen
+/// worker threads off each other's locks, few enough that snapshots
+/// stay cheap.
+const SHARDS: usize = 16;
+
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<std::collections::BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<std::collections::BTreeMap<String, Histogram>>,
+}
+
+/// A sharded, thread-safe registry of named counters and histograms.
+/// See the module docs for the design; all methods take `&self`.
+#[derive(Default)]
+pub struct LiveRegistry {
+    shards: [Shard; SHARDS],
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl LiveRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        LiveRegistry::default()
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[(fnv1a(name) as usize) % SHARDS]
+    }
+
+    /// The counter cell for `name`, created at zero on first use. Hot
+    /// paths keep the handle and `fetch_add` on it directly.
+    pub fn handle(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.shard(name).counters.lock().expect("counter shard");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Add `by` to the counter `name`.
+    pub fn add(&self, name: &str, by: u64) {
+        self.handle(name).fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Set counter `name` to exactly `value`.
+    pub fn set(&self, name: &str, value: u64) {
+        self.handle(name).store(value, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        let map = self.shard(name).counters.lock().expect("counter shard");
+        map.get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Record `value` into histogram `name`, creating it with the given
+    /// layout on first use.
+    pub fn observe_with(&self, name: &str, value: u64, mk: impl FnOnce() -> Histogram) {
+        let mut map = self.shard(name).histograms.lock().expect("histogram shard");
+        map.entry(name.to_string())
+            .or_insert_with(mk)
+            .observe(value);
+    }
+
+    /// Record a latency sample in nanoseconds under the shared
+    /// [`latency_histogram`] layout. Zero-duration samples clamp to
+    /// 1 ns so a recorded phase is never mistaken for an absent one.
+    pub fn observe_latency_ns(&self, name: &str, ns: u64) {
+        self.observe_with(name, ns.max(1), latency_histogram);
+    }
+
+    /// A copy of the histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let map = self.shard(name).histograms.lock().expect("histogram shard");
+        map.get(name).cloned()
+    }
+
+    /// Fold a plain [`Registry`] in: counters add, histograms merge (or
+    /// are adopted when absent here). This is how post-run batch stats
+    /// (the worker pool's `PoolRunStats`) join the live view.
+    pub fn merge(&self, other: &Registry) {
+        for (name, v) in other.counters() {
+            self.add(name, v);
+        }
+        for (name, h) in other.histograms() {
+            let mut map = self.shard(name).histograms.lock().expect("histogram shard");
+            match map.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    map.insert(name.to_string(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Snapshot the current state into an ordinary [`Registry`].
+    /// Shards are locked one at a time, so the snapshot is per-metric
+    /// consistent (each counter and histogram is internally coherent)
+    /// without ever blocking all recording threads at once.
+    pub fn snapshot(&self) -> Registry {
+        let mut reg = Registry::new();
+        for shard in &self.shards {
+            for (name, c) in shard.counters.lock().expect("counter shard").iter() {
+                reg.set(name, c.load(Ordering::Relaxed));
+            }
+            for (name, h) in shard.histograms.lock().expect("histogram shard").iter() {
+                reg.merge_histogram(name, h);
+            }
+        }
+        reg
+    }
+
+    /// The JSON form of [`LiveRegistry::snapshot`].
+    pub fn to_json(&self) -> crate::json::Json {
+        self.snapshot().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_record_exactly() {
+        let live = LiveRegistry::new();
+        live.add("a", 2);
+        live.add("a", 3);
+        live.set("b", 7);
+        live.observe_latency_ns("lat", 5_000);
+        live.observe_latency_ns("lat", 0); // clamps to 1 ns
+        assert_eq!(live.counter("a"), 5);
+        assert_eq!(live.counter("b"), 7);
+        assert_eq!(live.counter("absent"), 0);
+        let h = live.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5_000);
+        let snap = live.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_folds_batch_registries_into_the_live_view() {
+        let live = LiveRegistry::new();
+        live.add("pool.jobs", 1);
+        let mut batch = Registry::new();
+        batch.add("pool.jobs", 9);
+        batch.observe_with("pool.queue_depth", 3, || Histogram::new(&[1, 2, 4]));
+        live.merge(&batch);
+        live.merge(&batch);
+        assert_eq!(live.counter("pool.jobs"), 19);
+        assert_eq!(live.histogram("pool.queue_depth").unwrap().count(), 2);
+    }
+
+    /// The tentpole concurrency guarantee: N threads hammering the same
+    /// counters and histograms lose nothing and tear nothing — totals
+    /// are exact and every snapshot taken mid-flight is internally
+    /// consistent (histogram bucket sums always equal its count).
+    #[test]
+    fn concurrent_recording_is_exact_and_untorn() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 5_000;
+        let live = LiveRegistry::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let live = &live;
+                s.spawn(move || {
+                    let fast = live.handle("stress.count");
+                    for i in 0..PER_THREAD {
+                        fast.fetch_add(1, Ordering::Relaxed);
+                        live.add("stress.slow", 1);
+                        live.observe_latency_ns("stress.lat", (t as u64 + 1) * (i % 7 + 1));
+                    }
+                });
+            }
+            // A reader snapshots while the writers run; whatever it
+            // sees must be internally coherent.
+            let live = &live;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let snap = live.snapshot();
+                    if let Some(h) = snap.histogram("stress.lat") {
+                        let j = h.to_json();
+                        let counts = j.get("counts").and_then(crate::json::Json::elements);
+                        let sum: u64 = counts
+                            .unwrap()
+                            .iter()
+                            .filter_map(crate::json::Json::as_u64)
+                            .sum();
+                        assert_eq!(sum, h.count(), "torn histogram read");
+                    }
+                    assert!(snap.counter("stress.count") <= THREADS as u64 * PER_THREAD);
+                }
+            });
+        });
+        let want = THREADS as u64 * PER_THREAD;
+        assert_eq!(live.counter("stress.count"), want);
+        assert_eq!(live.counter("stress.slow"), want);
+        assert_eq!(live.histogram("stress.lat").unwrap().count(), want);
+    }
+
+    #[test]
+    fn phase_names_shorten_for_display() {
+        assert_eq!(names::short(names::PHASE_QUEUE_WAIT), "queue_wait");
+        assert_eq!(names::short(names::PATH_HIT), "hit");
+        assert_eq!(names::short("plain"), "plain");
+    }
+
+    #[test]
+    fn latency_layout_resolves_neighbouring_octaves() {
+        let mut h = latency_histogram();
+        for _ in 0..100 {
+            h.observe(100_000);
+        }
+        for _ in 0..100 {
+            h.observe(1_000_000);
+        }
+        let p25 = h.quantile(0.25);
+        let p75 = h.quantile(0.75);
+        assert!(p75 > p25 * 5, "p25 {p25} vs p75 {p75}");
+    }
+}

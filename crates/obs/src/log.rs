@@ -1,0 +1,157 @@
+//! A leveled, structured stderr logger.
+//!
+//! The workspace historically had two ad-hoc stderr conventions: the
+//! figure binaries' TTY progress heartbeat (gated on `VISIM_QUIET`)
+//! and bare `eprintln!` diagnostics. The serve daemon needs real
+//! leveled logging (slow-request warnings, tick diagnostics), so this
+//! module centralizes the policy:
+//!
+//! * `VISIM_LOG=debug|info|warn|error` selects the minimum level
+//!   (default `info`);
+//! * `VISIM_QUIET=1` forces `error` — one knob silences heartbeat and
+//!   log lines alike, uniformly across binaries and daemon;
+//! * every line is `[ {elapsed:>9} {level:5} {component}] message`,
+//!   with elapsed seconds since the process first logged, so daemon
+//!   logs correlate with its telemetry timeline without timestamps
+//!   (the workspace has no clock formatting dependency).
+//!
+//! Lines go to stderr only: stdout belongs to the artifacts, and the
+//! zero-perturbation invariant (byte-identical results regardless of
+//! telemetry) depends on that.
+
+use std::io::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Environment variable selecting the minimum log level.
+pub const LOG_ENV: &str = "VISIM_LOG";
+
+/// Environment variable that silences everything below `error` when
+/// set to `1` (shared with the progress heartbeat).
+pub const QUIET_ENV: &str = "VISIM_QUIET";
+
+/// Log severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Per-request/per-tick detail.
+    Debug,
+    /// Lifecycle events (startup, resume, progress).
+    Info,
+    /// Degraded but continuing (slow requests, purged entries).
+    Warn,
+    /// Failures.
+    Error,
+}
+
+impl Level {
+    /// The fixed-width display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info ",
+            Level::Warn => "warn ",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a `VISIM_LOG` value; `None` for unrecognized text.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+fn threshold() -> Level {
+    static THRESHOLD: OnceLock<Level> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        if std::env::var(QUIET_ENV).as_deref() == Ok("1") {
+            return Level::Error;
+        }
+        std::env::var(LOG_ENV)
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Info)
+    })
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether `level` would be emitted. Callers with expensive message
+/// formatting (or side channels like the TTY heartbeat) check this
+/// first.
+pub fn enabled(level: Level) -> bool {
+    level >= threshold()
+}
+
+/// Emit one log line at `level` from `component`. A no-op below the
+/// configured threshold.
+pub fn log(level: Level, component: &str, msg: &str) {
+    if !enabled(level) {
+        return;
+    }
+    let elapsed = epoch().elapsed().as_secs_f64();
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "[{elapsed:9.3}s {} {component}] {msg}", level.name());
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(component: &str, msg: &str) {
+    log(Level::Debug, component, msg);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(component: &str, msg: &str) {
+    log(Level::Info, component, msg);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(component: &str, msg: &str) {
+    log(Level::Warn, component, msg);
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(component: &str, msg: &str) {
+    log(Level::Error, component, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse(" INFO "), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn names_are_fixed_width() {
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(l.name().len(), 5, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn logging_below_threshold_is_a_silent_no_op() {
+        // The threshold is latched once per process; whatever it is,
+        // emitting at every level must not panic.
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            log(l, "test", "probe");
+        }
+        assert!(enabled(Level::Error), "error is never filtered");
+    }
+}

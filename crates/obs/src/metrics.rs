@@ -104,6 +104,28 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the buckets: the
+    /// upper bound of the bucket holding the `ceil(q * count)`-th
+    /// sample, clamped into the exact `[min, max]` range (so quantiles
+    /// of a one-value histogram are that value, and the overflow
+    /// bucket reports the exact max rather than infinity). Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (ix, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let bound = self.bounds.get(ix).copied().unwrap_or(self.max);
+                return bound.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Fold another histogram into this one. The bucket layouts must
     /// match (same bounds); merging is used when per-worker or per-run
     /// histograms are combined into one artifact.
@@ -233,6 +255,16 @@ impl Registry {
         self.histograms.get(name)
     }
 
+    /// Iterate the counters in deterministic name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate the histograms in deterministic name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.histograms.is_empty()
@@ -331,6 +363,34 @@ mod tests {
             &Json::from(vec![2u64, 2, 0, 1]),
             "<=10: {{1,10}}, <=100: {{11,100}}, <=1000: none, overflow: 5000"
         );
+    }
+
+    #[test]
+    fn quantiles_track_the_buckets_and_clamp_to_exact_extremes() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        h.observe(7);
+        assert_eq!(h.quantile(0.5), 7, "single value is exact");
+        assert_eq!(h.quantile(0.99), 7);
+        for v in [1, 2, 3, 50, 60, 70, 80, 500, 5000] {
+            h.observe(v);
+        }
+        // 10 samples: p50 lands in the <=100 bucket, p99 in overflow.
+        assert_eq!(h.quantile(0.5), 100);
+        assert_eq!(h.quantile(0.99), 5000, "overflow reports exact max");
+        assert_eq!(h.quantile(0.0), 10, "q=0 is the first bucket's bound");
+    }
+
+    #[test]
+    fn registry_iterators_expose_contents_in_name_order() {
+        let mut r = Registry::new();
+        r.add("z", 1);
+        r.add("a", 2);
+        r.observe("lat", 7);
+        let names: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "z"]);
+        let hists: Vec<&str> = r.histograms().map(|(k, _)| k).collect();
+        assert_eq!(hists, ["lat"]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!   documents under `results/json/<name>.json` and the per-failure
 //!   artifacts under `results/partial/<name>.<benchmark>.json` (v2
 //!   added the sampled-simulation cell counters, `cell.sampling.*`);
-//! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v5`) — the
+//! * [`BENCH_RUNTIME_SCHEMA`] (`visim-bench-runtime-v6`) — the
 //!   wall-clock harness output `BENCH_runtime.json` written by
 //!   `scripts/bench.sh` (v2 added `git_rev` and the fidelity summary;
 //!   v3 added the warm-trace-cache second pass: per-binary
@@ -16,10 +16,21 @@
 //!   `total_seconds_sampled`, and the exact-vs-sampled suite speedup;
 //!   v5 added the warm-hit serve pass: `serve_cells`,
 //!   `serve_seconds_warm`, and `requests_per_sec_warm` — the
-//!   visim-serve daemon answering an already-stored manifest);
+//!   visim-serve daemon answering an already-stored manifest;
+//!   v6 added the warm serving-latency distribution from the daemon's
+//!   live telemetry: `serve_p50_ms_warm`/`serve_p99_ms_warm`, the
+//!   hit-path per-request latency percentiles);
 //! * [`TRACE_SCHEMA`] (`visim-trace-v1`) — the Chrome trace-event /
 //!   Perfetto files under `results/trace/` written by `pipetrace`
-//!   (schema tag carried in the file's `otherData`).
+//!   (schema tag carried in the file's `otherData`); the serve
+//!   daemon's `--trace-out` request timeline reuses the same format
+//!   with request phases in place of pipeline stages;
+//! * [`SERVE_TIMELINE_SCHEMA`] (`visim-serve-timeline-v1`) — the
+//!   daemon's flight-recorder timeline
+//!   (`results/json/serve_timeline.json`): the bounded ring of
+//!   per-interval snapshots (request/hit/miss deltas, per-phase
+//!   latency percentiles, in-flight count, store size) the tick
+//!   thread sampled, persisted at shutdown.
 //!
 //! # `visim-results-v2`
 //!
@@ -58,10 +69,14 @@ use crate::metrics::Registry;
 pub const RESULTS_SCHEMA: &str = "visim-results-v2";
 
 /// Schema tag for `BENCH_runtime.json` (`scripts/bench.sh`).
-pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v5";
+pub const BENCH_RUNTIME_SCHEMA: &str = "visim-bench-runtime-v6";
 
 /// Schema tag for the Chrome trace-event files written by `pipetrace`.
 pub const TRACE_SCHEMA: &str = "visim-trace-v1";
+
+/// Schema tag for the serve daemon's flight-recorder timeline
+/// (`results/json/serve_timeline.json`).
+pub const SERVE_TIMELINE_SCHEMA: &str = "visim-serve-timeline-v1";
 
 /// Cell status: the simulation completed and its payload is present.
 pub const STATUS_OK: &str = "ok";
@@ -87,6 +102,14 @@ pub fn git_rev() -> String {
         }
         _ => "unknown".to_string(),
     }
+}
+
+/// [`git_rev`] computed once per process — for callers on a request
+/// path (the serve daemon's health check) that must not fork a git
+/// subprocess per probe.
+pub fn git_rev_cached() -> &'static str {
+    static REV: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    REV.get_or_init(git_rev)
 }
 
 /// An accumulating `visim-results-v2` document.

@@ -8,21 +8,35 @@
 //! process-wide pool metrics). Cell deduplication happens *across*
 //! connections through the single-flight table, so two clients
 //! submitting overlapping manifests never simulate a cell twice.
+//!
+//! Telemetry: every cell request is timed through its lifecycle phases
+//! (read/parse → store lookup → coalesce wait → queue wait → simulate
+//! → respond) into the process-wide [`crate::telemetry::live`]
+//! registry; a tick thread samples the whole state into the flight
+//! recorder every `VISIM_TICK_MS`; `watch` clients stream those
+//! snapshots; and at shutdown the recorder persists as
+//! `results/json/serve_timeline.json` (plus, with `--trace-out`, a
+//! Chrome-trace request timeline). None of this touches the figure
+//! binaries: the live sink is installed here, by the daemon only.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use visim::bench::WorkloadSize;
 use visim::manifest::{CellSpec, Manifest};
 use visim::{experiment, journal, store};
+use visim_obs::live::names;
+use visim_obs::log;
 use visim_obs::schema::ResultsDoc;
-use visim_obs::Json;
+use visim_obs::trace::InstSpan;
+use visim_obs::{Histogram, Json};
 
 use crate::proto::{size_from_name, ManifestSource, Request};
+use crate::telemetry;
 use crate::SERVE_SCHEMA;
 
 /// Requests received, counted per cell (a manifest of 24 cells is 24
@@ -91,11 +105,22 @@ fn single_flight(key: String, compute: impl FnOnce() -> CellResult) -> (CellResu
             return (result, false);
         }
     };
+    let waited = Instant::now();
     let mut slot = flight.slot.lock().expect("flight slot lock");
     while slot.is_none() {
         slot = flight.cv.wait(slot).expect("flight slot wait");
     }
+    telemetry::live().observe_latency_ns(
+        names::PHASE_COALESCE_WAIT,
+        waited.elapsed().as_nanos() as u64,
+    );
     (slot.clone().expect("flight slot filled"), true)
+}
+
+/// Cells currently in flight (single-flight leaders that have not yet
+/// published their result).
+fn in_flight_count() -> u64 {
+    FLIGHTS.lock().expect("flight table lock").len() as u64
 }
 
 /// Run one cell through the store-aware experiment runners. The store
@@ -185,27 +210,49 @@ struct Tally {
 
 /// Run `specs` over the worker pool, streaming a `cell` event per
 /// completion, and return the tally for the `done` event.
+///
+/// This is where the request lifecycle is stitched together: each cell
+/// gets a daemon-wide request id, its queue wait, serving path (hit /
+/// miss / coalesced), respond time, and end-to-end latency land in the
+/// live registry (the store-lookup and simulate phases are recorded
+/// inside `visim::experiment`), slow requests are logged, and — when
+/// `--trace-out` armed the collector — the whole lifecycle becomes one
+/// trace span.
 fn run_cells(specs: Vec<CellSpec>, size: &WorkloadSize, stream: &Mutex<TcpStream>) -> Tally {
     let total = specs.len();
     let tally = Tally::default();
+    let live = telemetry::live();
+    let tracing = telemetry::trace_enabled();
+    let slow_ns = telemetry::slow_threshold_ns();
+    let epoch = telemetry::started();
     let work: Vec<_> = specs
         .into_iter()
         .map(|spec| {
             let tally = &tally;
+            let enqueued = Instant::now();
             move || {
-                REQUESTS.fetch_add(1, Ordering::Relaxed);
+                let id = REQUESTS.fetch_add(1, Ordering::Relaxed) + 1;
+                let begun = Instant::now();
+                live.observe_latency_ns(
+                    names::PHASE_QUEUE_WAIT,
+                    begun.duration_since(enqueued).as_nanos() as u64,
+                );
                 let identity = spec.identity(size);
                 let (result, coalesced) = single_flight(identity, || run_spec(&spec, size));
-                if coalesced {
+                let served = Instant::now();
+                let (path, path_op) = if coalesced {
                     COALESCED.fetch_add(1, Ordering::Relaxed);
                     tally.coalesced.fetch_add(1, Ordering::Relaxed);
+                    (names::PATH_COALESCED, "coalesced")
                 } else if result.from_store {
                     HITS.fetch_add(1, Ordering::Relaxed);
                     tally.hits.fetch_add(1, Ordering::Relaxed);
+                    (names::PATH_HIT, "hit")
                 } else {
                     MISSES.fetch_add(1, Ordering::Relaxed);
                     tally.misses.fetch_add(1, Ordering::Relaxed);
-                }
+                    (names::PATH_MISS, "miss")
+                };
                 if result.ok {
                     tally.ok.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -232,6 +279,36 @@ fn run_cells(specs: Vec<CellSpec>, size: &WorkloadSize, stream: &Mutex<TcpStream
                     members.push(("error", Json::from(e.as_str())));
                 }
                 send(stream, &Json::obj(members));
+                let finished = Instant::now();
+                live.observe_latency_ns(
+                    names::PHASE_RESPOND,
+                    finished.duration_since(served).as_nanos() as u64,
+                );
+                let total_ns = finished.duration_since(enqueued).as_nanos() as u64;
+                live.observe_latency_ns(path, total_ns);
+                if slow_ns.is_some_and(|t| total_ns >= t) {
+                    log::warn(
+                        "serve",
+                        &format!(
+                            "slow request #{id} {} ({path_op}): {:.1} ms end to end",
+                            spec.label(),
+                            total_ns as f64 / 1e6
+                        ),
+                    );
+                }
+                if tracing {
+                    let us = |t: Instant| t.duration_since(epoch).as_micros() as u64;
+                    telemetry::record_span(InstSpan {
+                        seq: id,
+                        pc: id,
+                        op: if result.ok { path_op } else { "failed" },
+                        fetch: us(enqueued),
+                        dispatch: us(begun),
+                        issue: us(begun),
+                        complete: us(served),
+                        retire: us(finished),
+                    });
+                }
             }
         })
         .collect();
@@ -302,21 +379,67 @@ fn handle_run(
     Ok(())
 }
 
-/// The `stats` event body: the daemon-wide serve counters plus a live
-/// store scan.
+/// Integer hit ratio in percent (hits × 100 / requests), 0 before the
+/// first request. Kept integral so shell gates can grep it exactly.
+fn hit_ratio_pct(hits: u64, requests: u64) -> u64 {
+    (hits * 100).checked_div(requests).unwrap_or(0)
+}
+
+/// Latency percentiles of one live histogram, for the `stats` and
+/// `snapshot` events.
+fn percentiles_json(h: &Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::from(h.count())),
+        ("p50_ns", Json::from(h.quantile(0.50))),
+        ("p90_ns", Json::from(h.quantile(0.90))),
+        ("p99_ns", Json::from(h.quantile(0.99))),
+        ("max_ns", Json::from(h.max())),
+    ])
+}
+
+/// One object member per *observed* metric in `group` (phases or
+/// paths), keyed by short name — empty histograms are omitted rather
+/// than reported as zeros.
+fn latency_group_json(group: &[&str]) -> Json {
+    let live = telemetry::live();
+    let mut members = Vec::new();
+    for name in group {
+        if let Some(h) = live.histogram(name) {
+            if h.count() > 0 {
+                members.push((names::short(name).to_string(), percentiles_json(&h)));
+            }
+        }
+    }
+    Json::Obj(members)
+}
+
+/// The `stats` event body: the daemon-wide serve counters, per-phase
+/// and per-path latency percentiles from the live registry, and a
+/// (checksumming) store scan.
 fn stats_event() -> Json {
+    let requests = REQUESTS.load(Ordering::Relaxed);
+    let hits = HITS.load(Ordering::Relaxed);
     let mut members = vec![
         ("event", Json::from("stats")),
         ("schema", Json::from(SERVE_SCHEMA)),
         (
+            "uptime_seconds",
+            Json::from(telemetry::started().elapsed().as_secs_f64()),
+        ),
+        (
             "serve",
             Json::obj(vec![
-                ("requests", Json::from(REQUESTS.load(Ordering::Relaxed))),
-                ("hits", Json::from(HITS.load(Ordering::Relaxed))),
+                ("requests", Json::from(requests)),
+                ("hits", Json::from(hits)),
                 ("misses", Json::from(MISSES.load(Ordering::Relaxed))),
                 ("coalesced", Json::from(COALESCED.load(Ordering::Relaxed))),
+                ("failures", Json::from(FAILURES.load(Ordering::Relaxed))),
+                ("in_flight", Json::from(in_flight_count())),
+                ("hit_ratio_pct", Json::from(hit_ratio_pct(hits, requests))),
             ]),
         ),
+        ("phases", latency_group_json(&names::PHASES)),
+        ("paths", latency_group_json(&names::PATHS)),
     ];
     if let Some(stats) = store::stats() {
         members.push((
@@ -331,6 +454,94 @@ fn stats_event() -> Json {
     Json::obj(members)
 }
 
+/// The health-check `pong`: schema plus enough to tell *which* daemon
+/// answered and whether it is busy. Uses the cached git rev — a probe
+/// must not fork a subprocess.
+fn pong_event() -> Json {
+    Json::obj(vec![
+        ("event", Json::from("pong")),
+        ("schema", Json::from(SERVE_SCHEMA)),
+        (
+            "uptime_seconds",
+            Json::from(telemetry::started().elapsed().as_secs_f64()),
+        ),
+        ("git_rev", Json::from(visim_obs::schema::git_rev_cached())),
+        ("in_flight", Json::from(in_flight_count())),
+    ])
+}
+
+/// One flight-recorder snapshot of the daemon's current state. Runs on
+/// the tick thread (and once at shutdown), so it only uses cheap
+/// probes: atomic counter loads, live-histogram clones, and the
+/// metadata-only store scan ([`store::quick_scan`], no checksumming).
+fn snapshot_json() -> Json {
+    let requests = REQUESTS.load(Ordering::Relaxed);
+    let hits = HITS.load(Ordering::Relaxed);
+    let mut members = vec![
+        ("event", Json::from("snapshot")),
+        ("t_ms", Json::from(telemetry::uptime_ms())),
+        ("requests", Json::from(requests)),
+        ("hits", Json::from(hits)),
+        ("misses", Json::from(MISSES.load(Ordering::Relaxed))),
+        ("coalesced", Json::from(COALESCED.load(Ordering::Relaxed))),
+        ("failures", Json::from(FAILURES.load(Ordering::Relaxed))),
+        ("hit_ratio_pct", Json::from(hit_ratio_pct(hits, requests))),
+        ("in_flight", Json::from(in_flight_count())),
+        ("phases", latency_group_json(&names::PHASES)),
+    ];
+    if let Some(h) = telemetry::live().histogram("pool.queue_depth") {
+        members.push(("queue_depth_max", Json::from(h.max())));
+    }
+    if let Some((entries, bytes)) = store::quick_scan() {
+        members.push(("store_entries", Json::from(entries)));
+        members.push(("store_bytes", Json::from(bytes)));
+    }
+    Json::obj(members)
+}
+
+/// Like [`send`] but reports whether the client is still reachable, so
+/// streaming loops can stop instead of spinning against a dead socket.
+fn send_ok(stream: &Mutex<TcpStream>, event: &Json) -> bool {
+    let mut line = event.to_compact();
+    line.push('\n');
+    let mut guard = stream.lock().expect("client stream lock");
+    guard.write_all(line.as_bytes()).is_ok() && guard.flush().is_ok()
+}
+
+/// Stream flight-recorder snapshots to a `watch` subscriber: one
+/// immediate snapshot (not pushed to the ring — watchers must not
+/// perturb the recorded timeline), then every ring tick as it lands,
+/// until `count` snapshots were delivered (`0` = until shutdown), the
+/// client hangs up, or the daemon shuts down. Ends with a `done` event
+/// carrying the delivered count.
+fn handle_watch(count: u64, stream: &Mutex<TcpStream>) {
+    let ring = telemetry::ring();
+    let mut last = ring.last_seq();
+    if !send_ok(stream, &snapshot_json()) {
+        return;
+    }
+    let mut sent = 1u64;
+    'stream: while (count == 0 || sent < count) && !SHUTDOWN.load(Ordering::SeqCst) {
+        for (seq, snap) in ring.wait_newer(last, Duration::from_millis(250)) {
+            last = seq;
+            if !send_ok(stream, &snap) {
+                return;
+            }
+            sent += 1;
+            if count != 0 && sent >= count {
+                break 'stream;
+            }
+        }
+    }
+    send(
+        stream,
+        &Json::obj(vec![
+            ("event", Json::from("done")),
+            ("snapshots", Json::from(sent)),
+        ]),
+    );
+}
+
 /// Serve one client connection until it closes or asks for shutdown.
 fn handle_conn(stream: TcpStream, daemon_addr: std::net::SocketAddr) {
     let reader = match stream.try_clone() {
@@ -343,22 +554,27 @@ fn handle_conn(stream: TcpStream, daemon_addr: std::net::SocketAddr) {
         if line.trim().is_empty() {
             continue;
         }
-        let outcome = match Request::parse(&line) {
+        let accepted = Instant::now();
+        let parsed = Request::parse(&line);
+        telemetry::live().observe_latency_ns(
+            names::PHASE_READ_PARSE,
+            accepted.elapsed().as_nanos() as u64,
+        );
+        let outcome = match parsed {
             Ok(Request::Ping) => {
-                send(
-                    &stream,
-                    &Json::obj(vec![
-                        ("event", Json::from("pong")),
-                        ("schema", Json::from(SERVE_SCHEMA)),
-                    ]),
-                );
+                send(&stream, &pong_event());
                 Ok(())
             }
             Ok(Request::Stats) => {
                 send(&stream, &stats_event());
                 Ok(())
             }
+            Ok(Request::Watch { count }) => {
+                handle_watch(count, &stream);
+                Ok(())
+            }
             Ok(Request::Shutdown) => {
+                log::info("serve", "shutdown requested");
                 send(&stream, &Json::obj(vec![("event", Json::from("bye"))]));
                 SHUTDOWN.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the latch.
@@ -393,14 +609,27 @@ pub struct DaemonConfig {
     /// (atomically), so scripts can poll one file instead of parsing
     /// the daemon's stdout.
     pub addr_file: Option<String>,
+    /// When set, every request's lifecycle span is collected and
+    /// exported to this path at shutdown as a Chrome trace-event /
+    /// Perfetto file (one lane per concurrently in-flight request).
+    pub trace_out: Option<String>,
 }
 
 /// Run the daemon until a client sends `shutdown`. On exit, writes the
 /// run's results document (`results/json/serve.json`: pool, store,
-/// fault, retry, and `serve.*` metrics plus the store's size) and
-/// closes the journal.
+/// fault, retry, and `serve.*` metrics plus the store's size), the
+/// flight-recorder timeline (`results/json/serve_timeline.json`), the
+/// request trace when `--trace-out` asked for one, and closes the
+/// journal.
 pub fn run(cfg: &DaemonConfig) -> Result<(), String> {
     let started = Instant::now();
+    // Latch the telemetry epoch and wire the experiment layer's phase
+    // timings (store lookup, simulate) into the daemon's live registry.
+    telemetry::started();
+    experiment::install_live_metrics(Some(Arc::clone(telemetry::live())));
+    if cfg.trace_out.is_some() {
+        telemetry::enable_trace();
+    }
     // The daemon is store-first by definition: every lookup path goes
     // through the store before any simulation is scheduled.
     store::set_cli_resume();
@@ -425,6 +654,28 @@ pub fn run(cfg: &DaemonConfig) -> Result<(), String> {
         visim_util::atomic::write_atomic(path, line.as_bytes())
             .map_err(|e| format!("write {path}: {e}"))?;
     }
+    log::info(
+        "serve",
+        &format!(
+            "listening on {addr} (pid {}, {} journal entries recovered)",
+            std::process::id(),
+            journal_prior
+        ),
+    );
+    // The flight recorder's tick thread: sample the daemon state into
+    // the snapshot ring every VISIM_TICK_MS until shutdown. Detached —
+    // it holds no locks across its sleep and the process outlives it
+    // only briefly after the latch flips.
+    let tick = telemetry::tick_interval();
+    std::thread::spawn(move || {
+        while !SHUTDOWN.load(Ordering::SeqCst) {
+            std::thread::sleep(tick);
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                break;
+            }
+            telemetry::ring().push(snapshot_json());
+        }
+    });
     let mut conns = Vec::new();
     for conn in listener.incoming() {
         if SHUTDOWN.load(Ordering::SeqCst) {
@@ -437,6 +688,9 @@ pub fn run(cfg: &DaemonConfig) -> Result<(), String> {
     for handle in conns {
         let _ = handle.join();
     }
+    // Final flight-recorder sample, so even a daemon shut down inside
+    // its first tick retains at least one snapshot.
+    telemetry::ring().push(snapshot_json());
     let mut doc = ResultsDoc::new("serve", "daemon", experiment::jobs());
     doc.metrics.merge(&experiment::drain_pool_metrics());
     doc.metrics
@@ -446,15 +700,51 @@ pub fn run(cfg: &DaemonConfig) -> Result<(), String> {
         .set("serve.misses", MISSES.load(Ordering::Relaxed));
     doc.metrics
         .set("serve.coalesced", COALESCED.load(Ordering::Relaxed));
-    if let Some(stats) = store::stats() {
-        doc.metrics.set("store.bytes", stats.bytes);
-        doc.metrics.set("store.entries", stats.entries);
+    doc.metrics
+        .set("serve.failures", FAILURES.load(Ordering::Relaxed));
+    // The request-lifecycle latency histograms ride along in the run
+    // document (`serve.phase.*`, `serve.lat.*`); the pool histograms
+    // already arrived through drain_pool_metrics, so only serve-side
+    // metrics are taken from the live registry.
+    let live_snapshot = telemetry::live().snapshot();
+    for (name, h) in live_snapshot.histograms() {
+        if name.starts_with("serve.") {
+            doc.metrics.merge_histogram(name, h);
+        }
     }
     let mut text = doc.to_json(started.elapsed().as_secs_f64()).to_pretty();
     text.push('\n');
     visim_util::atomic::write_atomic("results/json/serve.json", text.as_bytes())
         .map_err(|e| format!("write results/json/serve.json: {e}"))?;
+    let (snapshots, sampled) = telemetry::ring().drain_all();
+    let retained = snapshots.len();
+    let mut text = telemetry::timeline_doc(snapshots, sampled, tick).to_pretty();
+    text.push('\n');
+    visim_util::atomic::write_atomic("results/json/serve_timeline.json", text.as_bytes())
+        .map_err(|e| format!("write results/json/serve_timeline.json: {e}"))?;
+    if let Some(path) = &cfg.trace_out {
+        if let Some(trace) = telemetry::trace_doc() {
+            let mut text = trace.to_pretty();
+            text.push('\n');
+            visim_util::atomic::write_atomic(path, text.as_bytes())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            log::info("serve", &format!("request trace written to {path}"));
+        }
+    }
     journal::finish(FAILURES.load(Ordering::Relaxed));
+    log::info(
+        "serve",
+        &format!(
+            "shutdown after {:.1}s: {} requests ({} hits, {} misses, {} coalesced, {} failed), \
+             {retained} timeline snapshot(s) retained",
+            started.elapsed().as_secs_f64(),
+            REQUESTS.load(Ordering::Relaxed),
+            HITS.load(Ordering::Relaxed),
+            MISSES.load(Ordering::Relaxed),
+            COALESCED.load(Ordering::Relaxed),
+            FAILURES.load(Ordering::Relaxed),
+        ),
+    );
     Ok(())
 }
 

@@ -19,18 +19,31 @@
 //!   killed mid-manifest loses at most the cells in flight; a restart
 //!   reports the recovered progress and converges.
 //!
+//! - **Observable.** Every request is timed through its lifecycle
+//!   phases into a live, lock-cheap registry ([`telemetry`]); a flight
+//!   recorder samples the daemon state every `VISIM_TICK_MS` into a
+//!   bounded ring that `watch` clients stream live and that persists
+//!   as `results/json/serve_timeline.json` at shutdown. The `stats`
+//!   event carries per-phase and per-path latency percentiles, `ping`
+//!   answers a health check (uptime, git rev, in-flight count), and
+//!   `--trace-out` exports one Chrome-trace span per request.
+//!
 //! The wire protocol is newline-delimited JSON ([`proto`]): one request
 //! object per line from the client, a stream of event objects back
-//! (`cell` progress events, then a terminal `done`/`pong`/`stats`/
-//! `bye`/`error` event). See DESIGN.md §14 for the full specification.
+//! (`cell` progress and `snapshot` telemetry events, then a terminal
+//! `done`/`pong`/`stats`/`bye`/`error` event). See DESIGN.md §14–§15
+//! for the full specification.
 
 pub mod client;
 pub mod daemon;
 pub mod proto;
+pub mod telemetry;
 
 /// Protocol/schema tag carried by the daemon's `listening` event and
-/// every terminal reply, so clients can detect incompatible daemons.
-pub const SERVE_SCHEMA: &str = "visim-serve-v1";
+/// every terminal reply, so clients can detect incompatible daemons
+/// (v2 added the `watch` op, the health-check `pong`, and the
+/// percentile-bearing `stats` event).
+pub const SERVE_SCHEMA: &str = "visim-serve-v2";
 
 use visim::store;
 

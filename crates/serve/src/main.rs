@@ -1,37 +1,48 @@
 //! `visim-serve` CLI: daemon mode (default), client mode, and the
-//! `--store-stats` report.
+//! `--store-stats` / `--check-timeline` reports.
 
 use visim_serve::proto::{ManifestSource, Request};
-use visim_serve::{client, daemon};
+use visim_serve::{client, daemon, telemetry};
 
 fn usage() -> String {
     "visim-serve: job daemon serving manifest simulations over the content-addressed store\n\
      \n\
      Usage:\n\
-     \x20 visim-serve [--port N] [--addr-file F] [--store-dir D] [--no-store]\n\
+     \x20 visim-serve [--port N] [--addr-file F] [--trace-out F] [--store-dir D] [--no-store]\n\
      \x20 visim-serve client <addr> <command>\n\
      \x20 visim-serve --store-stats [--store-dir D]\n\
+     \x20 visim-serve --check-timeline <file>\n\
      \n\
      Daemon flags:\n\
      \x20 --port N        TCP port on 127.0.0.1 (default 0 = ephemeral; the bound\n\
      \x20                 address is printed in the `listening` event)\n\
      \x20 --addr-file F   also write the `listening` event line to file F\n\
+     \x20 --trace-out F   at shutdown, write one Chrome-trace span per served\n\
+     \x20                 request to file F (load in Perfetto / chrome://tracing)\n\
      \x20 --store-dir D   result-store directory (default results/store)\n\
      \x20 --no-store      serve without persistence (every request simulates)\n\
      \n\
      Client commands (addr as printed by the daemon, e.g. 127.0.0.1:38141):\n\
-     \x20 ping                          liveness probe\n\
-     \x20 stats                         serve counters + store scan\n\
+     \x20 ping                          health check (schema, git rev, uptime,\n\
+     \x20                               in-flight count)\n\
+     \x20 stats [--json]                serve counters + per-phase/per-path latency\n\
+     \x20                               percentiles + store scan (--json: raw event)\n\
+     \x20 watch [N] [--json]            stream flight-recorder snapshots, one\n\
+     \x20                               dashboard line per tick (N snapshots, or\n\
+     \x20                               until shutdown; --watch is an alias)\n\
      \x20 shutdown                      graceful daemon shutdown\n\
      \x20 manifest <name|path> [size]   run a manifest (builtin name, or a\n\
      \x20                               daemon-local .json path); size is\n\
      \x20                               tiny|study|paper (default study)\n\
      \x20 cell <name|path> <label> [size]  run one cell of a manifest by label\n\
      \n\
-     --store-stats   print store size/entry counts per schema revision and exit\n\
+     --store-stats       print store size/entry counts per schema revision and exit\n\
+     --check-timeline F  validate a serve_timeline.json flight-recorder artifact\n\
      \n\
      Environment: VISIM_JOBS, VISIM_STORE_DIR, VISIM_NO_STORE, VISIM_FAULT and the\n\
-     other knobs documented by the figure binaries apply to the daemon unchanged."
+     other knobs documented by the figure binaries apply to the daemon unchanged;\n\
+     VISIM_TICK_MS sets the flight-recorder interval, VISIM_SLOW_MS the\n\
+     slow-request warning threshold, VISIM_LOG the stderr log level."
         .to_string()
 }
 
@@ -55,6 +66,14 @@ fn client_request(args: &[String]) -> Request {
     match cmd {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "watch" | "--watch" => Request::Watch {
+            count: match args.get(1) {
+                Some(n) => n
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| bad("client watch: the count must be a number")),
+                None => 0,
+            },
+        },
         "shutdown" => Request::Shutdown,
         "manifest" => match args.get(1) {
             Some(m) => Request::Manifest {
@@ -72,7 +91,7 @@ fn client_request(args: &[String]) -> Request {
             _ => bad("client cell: expected a manifest name/path and a cell label"),
         },
         other => bad(&format!(
-            "unknown client command {other:?}, expected ping|stats|shutdown|manifest|cell"
+            "unknown client command {other:?}, expected ping|stats|watch|shutdown|manifest|cell"
         )),
     }
 }
@@ -83,6 +102,7 @@ fn main() {
     let mut cfg = daemon::DaemonConfig {
         port: 0,
         addr_file: None,
+        trace_out: None,
     };
     let mut store_stats = false;
     while let Some(arg) = args.next() {
@@ -107,14 +127,51 @@ fn main() {
                 Some(f) if !f.is_empty() && !f.starts_with('-') => cfg.addr_file = Some(f),
                 _ => bad("--addr-file expects a file path"),
             },
+            "--trace-out" => match args.next() {
+                Some(f) if !f.is_empty() && !f.starts_with('-') => cfg.trace_out = Some(f),
+                _ => bad("--trace-out expects a file path"),
+            },
+            "--check-timeline" => {
+                let path = match args.next() {
+                    Some(f) if !f.is_empty() && !f.starts_with('-') => f,
+                    _ => bad("--check-timeline expects a timeline file path"),
+                };
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("visim-serve: read {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                match telemetry::check_timeline_text(&text) {
+                    Ok(summary) => {
+                        println!("{summary}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("visim-serve: {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "client" => {
-                let rest: Vec<String> = args.collect();
+                let mut rest: Vec<String> = args.collect();
+                let json = rest.iter().any(|a| a == "--json");
+                rest.retain(|a| a != "--json");
                 let (addr, cmd) = match rest.split_first() {
                     Some((addr, cmd)) if !cmd.is_empty() => (addr.clone(), cmd.to_vec()),
                     _ => bad("client: expected an address and a command"),
                 };
                 let request = client_request(&cmd);
-                match client::run(&addr, &request) {
+                // Telemetry views render for humans unless --json asked
+                // for the raw event lines; run streams stay raw either
+                // way (scripts parse their cell/done events).
+                let render = match request {
+                    _ if json => client::Render::Raw,
+                    Request::Stats | Request::Watch { .. } | Request::Ping => client::Render::Human,
+                    _ => client::Render::Raw,
+                };
+                match client::run_with(&addr, &request, render) {
                     Ok(code) => std::process::exit(code),
                     Err(e) => {
                         eprintln!("visim-serve client: {e}");

@@ -49,6 +49,15 @@ pub enum Request {
     Ping,
     /// Counter snapshot: the `serve.*` counters plus a store scan.
     Stats,
+    /// Stream flight-recorder snapshots: one `snapshot` event per
+    /// recorder tick (plus one immediate snapshot on subscribe), then a
+    /// terminal `done` event after `count` snapshots (`0` = unbounded —
+    /// the stream ends when the daemon shuts down).
+    Watch {
+        /// Snapshots to deliver before the terminal `done` (0 = until
+        /// shutdown).
+        count: u64,
+    },
     /// Graceful shutdown: the daemon answers `bye`, drains in-flight
     /// connections, writes its results document, and exits.
     Shutdown,
@@ -89,6 +98,9 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "watch" => Ok(Request::Watch {
+                count: obj.get("count").and_then(Json::as_u64).unwrap_or(0),
+            }),
             "shutdown" => Ok(Request::Shutdown),
             "manifest" => Ok(Request::Manifest {
                 source: ManifestSource::from_json(&obj)?,
@@ -112,6 +124,10 @@ impl Request {
         let obj = match self {
             Request::Ping => Json::obj(vec![("op", Json::from("ping"))]),
             Request::Stats => Json::obj(vec![("op", Json::from("stats"))]),
+            Request::Watch { count } => Json::obj(vec![
+                ("op", Json::from("watch")),
+                ("count", Json::from(*count)),
+            ]),
             Request::Shutdown => Json::obj(vec![("op", Json::from("shutdown"))]),
             Request::Manifest { source, size } => Json::obj(vec![
                 ("op", Json::from("manifest")),
@@ -153,6 +169,8 @@ mod tests {
         let reqs = [
             Request::Ping,
             Request::Stats,
+            Request::Watch { count: 0 },
+            Request::Watch { count: 12 },
             Request::Shutdown,
             Request::Manifest {
                 source: ManifestSource::Builtin("fig2".into()),

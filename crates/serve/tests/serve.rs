@@ -212,6 +212,159 @@ fn transient_fault_is_retried_behind_the_daemon() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The named member of a nested object (`event.paths.hit.count`-style,
+/// two levels).
+fn nested(event: &Json, outer: &str, inner: &str, leaf: &str) -> u64 {
+    event
+        .get(outer)
+        .and_then(|o| o.get(inner))
+        .and_then(|i| i.get(leaf))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn telemetry_invariants_hold_over_a_cold_then_warm_manifest() {
+    let dir = scratch_dir("telemetry");
+    let (child, addr) = spawn_daemon(&dir, &[]);
+    let manifest = "{\"op\":\"manifest\",\"name\":\"fig2\",\"size\":\"tiny\"}";
+    for _ in 0..2 {
+        let events = request(&addr, manifest, is_done);
+        let done = events.iter().find(|e| is_done(e)).expect("done event");
+        assert_eq!(counter(done, "failed"), 0, "{done:?}");
+    }
+    let events = request(&addr, "{\"op\":\"stats\"}", |e| {
+        e.get("event").and_then(Json::as_str) == Some("stats")
+    });
+    let stats = events.last().expect("stats event");
+    assert_eq!(
+        stats.get("schema").and_then(Json::as_str),
+        Some("visim-serve-v2")
+    );
+    let serve = |k: &str| {
+        stats
+            .get("serve")
+            .and_then(|s| s.get(k))
+            .and_then(Json::as_u64)
+            .expect(k)
+    };
+    assert_eq!(serve("requests"), 48, "two 24-cell manifests: {stats:?}");
+    assert_eq!(serve("hits"), 24, "warm pass all hits: {stats:?}");
+    assert_eq!(serve("misses"), 24, "cold pass all misses: {stats:?}");
+    assert_eq!(serve("failures"), 0);
+    assert_eq!(serve("in_flight"), 0, "nothing in flight at rest");
+    assert_eq!(serve("hit_ratio_pct"), 50);
+
+    // Conservation: every request is classified onto exactly one
+    // serving path, so the path latency histogram counts sum to the
+    // request counter.
+    let paths_total = nested(stats, "paths", "hit", "count")
+        + nested(stats, "paths", "miss", "count")
+        + nested(stats, "paths", "coalesced", "count");
+    assert_eq!(paths_total, serve("requests"), "{stats:?}");
+
+    // Every always-on phase observed work (coalesce_wait legitimately
+    // stays empty without concurrent identical requests).
+    for phase in ["read_parse", "queue_wait", "store_lookup", "respond"] {
+        assert!(
+            nested(stats, "phases", phase, "count") > 0,
+            "phase {phase} never observed: {stats:?}"
+        );
+    }
+    assert_eq!(
+        nested(stats, "phases", "simulate", "count"),
+        24,
+        "only the cold pass simulated: {stats:?}"
+    );
+    assert_eq!(
+        nested(stats, "phases", "store_lookup", "count"),
+        48,
+        "every cell consulted the store: {stats:?}"
+    );
+
+    // The store-served path must be far faster than simulation: a warm
+    // hit's p99 stays under the miss path's p50.
+    let hit_p99 = nested(stats, "paths", "hit", "p99_ns");
+    let miss_p50 = nested(stats, "paths", "miss", "p50_ns");
+    assert!(hit_p99 > 0 && miss_p50 > 0, "{stats:?}");
+    assert!(
+        hit_p99 < miss_p50,
+        "warm hits (p99 {hit_p99}ns) must undercut cold misses (p50 {miss_p50}ns)"
+    );
+    shutdown(&addr, child);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watch_streams_ticked_snapshots_and_the_timeline_persists() {
+    let dir = scratch_dir("watch");
+    // Fast recorder tick so the bounded watch finishes quickly.
+    let (child, addr) = spawn_daemon(&dir, &[("VISIM_TICK_MS", "50")]);
+    let events = request(&addr, "{\"op\":\"watch\",\"count\":3}", is_done);
+    let snapshots: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("snapshot"))
+        .collect();
+    assert_eq!(snapshots.len(), 3, "{events:?}");
+    let done = events.iter().find(|e| is_done(e)).expect("done event");
+    assert_eq!(counter(done, "snapshots"), 3, "{done:?}");
+    let times: Vec<u64> = snapshots
+        .iter()
+        .map(|s| s.get("t_ms").and_then(Json::as_u64).expect("t_ms"))
+        .collect();
+    assert!(times.is_sorted(), "snapshot clock goes forward: {times:?}");
+    for s in &snapshots {
+        assert!(s.get("requests").is_some(), "{s:?}");
+        assert!(s.get("in_flight").is_some(), "{s:?}");
+        assert!(s.get("hit_ratio_pct").is_some(), "{s:?}");
+    }
+    shutdown(&addr, child);
+
+    // Shutdown persisted the flight recorder; the bundled checker
+    // accepts the artifact.
+    let timeline = dir.join("results/json/serve_timeline.json");
+    let text = std::fs::read_to_string(&timeline).expect("timeline written at shutdown");
+    let doc = Json::parse(&text).expect("timeline parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("visim-serve-timeline-v1")
+    );
+    let check = Command::new(env!("CARGO_BIN_EXE_visim-serve"))
+        .arg("--check-timeline")
+        .arg(&timeline)
+        .output()
+        .expect("checker runs");
+    assert!(
+        check.status.success(),
+        "--check-timeline rejected the artifact: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ping_answers_a_health_check() {
+    let dir = scratch_dir("health");
+    let (child, addr) = spawn_daemon(&dir, &[]);
+    let events = request(&addr, "{\"op\":\"ping\"}", |e| {
+        e.get("event").and_then(Json::as_str) == Some("pong")
+    });
+    let pong = events.last().expect("pong event");
+    assert_eq!(
+        pong.get("schema").and_then(Json::as_str),
+        Some("visim-serve-v2")
+    );
+    assert!(
+        pong.get("uptime_seconds").and_then(Json::as_f64).is_some(),
+        "{pong:?}"
+    );
+    let rev = pong.get("git_rev").and_then(Json::as_str).expect("git_rev");
+    assert!(!rev.is_empty());
+    assert_eq!(counter(pong, "in_flight"), 0, "{pong:?}");
+    shutdown(&addr, child);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_requests_get_error_events_not_disconnects() {
     let dir = scratch_dir("badreq");

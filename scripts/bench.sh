@@ -12,11 +12,13 @@
 # a separate results directory. A fourth pass times the visim-serve
 # daemon answering an already-stored manifest (every cell a store hit),
 # the serving-latency headline. All four land in the JSON
-# (visim-bench-runtime-v5: seconds/exit, seconds_warm/exit_warm, and
+# (visim-bench-runtime-v6: seconds/exit, seconds_warm/exit_warm, and
 # seconds_sampled/exit_sampled per binary; total_seconds,
 # total_seconds_warm, total_seconds_sampled, the exact-vs-sampled
 # suite speedup, and serve_cells/serve_seconds_warm/
-# requests_per_sec_warm for the daemon pass).
+# requests_per_sec_warm plus the per-request hit-path latency
+# percentiles serve_p50_ms_warm/serve_p99_ms_warm — read from the
+# daemon's live telemetry — for the daemon pass).
 #
 # Usage:                scripts/bench.sh
 #   SIZE=tiny           workload size passed to every binary (default study)
@@ -110,7 +112,7 @@ for _ in $(seq 1 300); do
   sleep 0.1
 done
 serve_addr=$(sed 's/.*"addr":"\([^"]*\)".*/\1/' "$SERVE_DIR/addr.txt")
-serve_cells=0 serve_secs=0 rps_warm=0
+serve_cells=0 serve_secs=0 rps_warm=0 serve_p50_ms=0 serve_p99_ms=0
 if (cd "$SERVE_DIR" && "$serve" client "$serve_addr" manifest fig2 "$SIZE" \
     > cold-serve.txt 2>/dev/null); then
   start=$(date +%s%N)
@@ -123,8 +125,20 @@ if (cd "$SERVE_DIR" && "$serve" client "$serve_addr" manifest fig2 "$SIZE" \
   serve_cells="${serve_cells:-0}"
   rps_warm=$(awk -v c="$serve_cells" -v s="$serve_secs" \
     'BEGIN{printf "%.1f", (s > 0) ? c / s : 0}')
-  printf '%-10s %8ss  (%s cells, %s req/s warm)\n' \
-    "serve" "$serve_secs" "$serve_cells" "$rps_warm"
+  # Per-request warm-hit latency percentiles from the daemon's live
+  # telemetry (the stats event's hit-path histogram, ns -> ms).
+  (cd "$SERVE_DIR" && "$serve" client "$serve_addr" stats --json \
+    > stats-serve.txt 2>/dev/null) || true
+  hit_p50_ns=$(sed -n 's/.*"hit":{"count":[0-9]*,"p50_ns":\([0-9]*\).*/\1/p' \
+    "$SERVE_DIR/stats-serve.txt" | head -1)
+  hit_p99_ns=$(sed -n \
+    's/.*"hit":{[^}]*"p99_ns":\([0-9]*\).*/\1/p' \
+    "$SERVE_DIR/stats-serve.txt" | head -1)
+  serve_p50_ms=$(awk -v n="${hit_p50_ns:-0}" 'BEGIN{printf "%.3f", n/1e6}')
+  serve_p99_ms=$(awk -v n="${hit_p99_ns:-0}" 'BEGIN{printf "%.3f", n/1e6}')
+  printf '%-10s %8ss  (%s cells, %s req/s warm, hit p50 %sms p99 %sms)\n' \
+    "serve" "$serve_secs" "$serve_cells" "$rps_warm" \
+    "$serve_p50_ms" "$serve_p99_ms"
 else
   echo "serve pass skipped: cold manifest submission failed"
 fi
@@ -140,7 +154,7 @@ done
 
 cat > "$OUT" <<EOF
 {
-  "schema": "visim-bench-runtime-v5",
+  "schema": "visim-bench-runtime-v6",
   "git_rev": "$git_rev",
   "size": "$SIZE",
   "jobs": "$jobs",
@@ -154,7 +168,9 @@ $rows
   "speedup_exact_vs_sampled": $speedup,
   "serve_cells": ${serve_cells},
   "serve_seconds_warm": ${serve_secs},
-  "requests_per_sec_warm": ${rps_warm}
+  "requests_per_sec_warm": ${rps_warm},
+  "serve_p50_ms_warm": ${serve_p50_ms},
+  "serve_p99_ms_warm": ${serve_p99_ms}
 }
 EOF
 

@@ -196,4 +196,48 @@ test -s "$serve_dir/results/json/serve.json"
 grep -q '"serve.hits": 24' "$serve_dir/results/json/serve.json"
 (cd "$serve_dir" && "$serve" --store-stats | grep -q "entries: 24")
 
+echo "== telemetry gate: request spans, flight recorder, timeline (tiny) =="
+# Daemon A (cold): fig2 tiny fills the store; the stats event must carry
+# non-zero simulate percentiles for all 24 misses.
+telem_dir="$fidelity_dir/telemetry"
+mkdir -p "$telem_dir"
+(cd "$telem_dir" && "$serve" --addr-file addr.txt >/dev/null 2>&1) & telem_pid=$!
+for _ in $(seq 1 300); do
+  if [ -s "$telem_dir/addr.txt" ]; then break; fi
+  sleep 0.1
+done
+telem_addr=$(sed 's/.*"addr":"\([^"]*\)".*/\1/' "$telem_dir/addr.txt")
+(cd "$telem_dir" && "$serve" client "$telem_addr" manifest fig2 tiny >/dev/null)
+(cd "$telem_dir" && "$serve" client "$telem_addr" stats --json > stats-cold.txt)
+grep -q '"simulate":{"count":24,"p50_ns":[1-9]' "$telem_dir/stats-cold.txt"
+(cd "$telem_dir" && "$serve" client "$telem_addr" shutdown >/dev/null)
+wait "$telem_pid"
+# Daemon B (warm, fast recorder tick, request tracing): the same
+# manifest is now served 100% from the store, every always-on phase
+# observed all 24 requests, watch streams live snapshots, and shutdown
+# persists the flight-recorder timeline plus the Chrome request trace.
+(cd "$telem_dir" && VISIM_TICK_MS=50 "$serve" --addr-file addr2.txt \
+  --trace-out results/trace/serve_requests.trace.json >/dev/null 2>&1) & telem_pid=$!
+for _ in $(seq 1 300); do
+  if [ -s "$telem_dir/addr2.txt" ]; then break; fi
+  sleep 0.1
+done
+telem_addr=$(sed 's/.*"addr":"\([^"]*\)".*/\1/' "$telem_dir/addr2.txt")
+(cd "$telem_dir" && "$serve" client "$telem_addr" manifest fig2 tiny > warm.txt)
+grep -q '"event":"done".*"hits":24,"misses":0' "$telem_dir/warm.txt"
+(cd "$telem_dir" && "$serve" client "$telem_addr" stats --json > stats-warm.txt)
+grep -q '"hit_ratio_pct":100' "$telem_dir/stats-warm.txt"
+for phase in read_parse store_lookup queue_wait respond; do
+  grep -q "\"$phase\":{\"count\":[1-9][0-9]*,\"p50_ns\":[1-9]" \
+    "$telem_dir/stats-warm.txt"
+done
+grep -q '"paths":{"hit":{"count":24' "$telem_dir/stats-warm.txt"
+(cd "$telem_dir" && "$serve" client "$telem_addr" watch 2 --json > watch.txt)
+test "$(grep -c '"event":"snapshot"' "$telem_dir/watch.txt")" -ge 2
+(cd "$telem_dir" && "$serve" client "$telem_addr" shutdown >/dev/null)
+wait "$telem_pid"
+test -s "$telem_dir/results/trace/serve_requests.trace.json"
+"$serve" --check-timeline "$telem_dir/results/json/serve_timeline.json" \
+  | grep -q 'schema visim-serve-timeline-v1'
+
 echo "verify: OK"
